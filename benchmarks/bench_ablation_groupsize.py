@@ -1,0 +1,48 @@
+"""Ablation — filter group size.
+
+The paper fixes groups of 10 bunches (10 % load granularity).  This
+bench sweeps the group size at a fixed 50 % load and measures control
+accuracy: larger groups spread selections more coarsely in time but do
+not change the selected fraction, so accuracy should be stable — the
+justification for the paper's simple choice.
+"""
+
+import pytest
+
+from repro.core.proportional_filter import ProportionalFilter
+from repro.replay.session import replay_trace
+from repro.config import ReplayConfig
+
+from .common import FACTORIES, banner, once, peak_trace
+
+GROUP_SIZES = (2, 4, 10, 20, 50)
+LOAD = 0.5
+
+
+def experiment():
+    trace = peak_trace("hdd", 4096, 50, 0, duration=6.0)
+    base = replay_trace(trace, FACTORIES["hdd"](), 1.0)
+    rows = []
+    for g in GROUP_SIZES:
+        session_cfg = ReplayConfig(group_size=g)
+        res = replay_trace(trace, FACTORIES["hdd"](), LOAD, config=session_cfg)
+        accuracy = (res.iops / base.iops) / LOAD
+        rows.append((g, res.iops, accuracy))
+    return rows
+
+
+def test_group_size_sweep(benchmark):
+    rows = once(benchmark, experiment)
+
+    banner(f"Ablation — filter group size at {LOAD * 100:.0f} % load")
+    print(f"{'group':>6} {'IOPS':>9} {'accuracy':>9}")
+    for g, iops, acc in rows:
+        print(f"{g:>6} {iops:>9.1f} {acc:>9.4f}")
+
+    # Accuracy stays within a few percent across group sizes.
+    for g, _, acc in rows:
+        assert acc == pytest.approx(1.0, abs=0.08), f"group {g}"
+    # Granularity: group size g supports levels k/g — the smallest
+    # representable level shrinks as groups grow.
+    assert ProportionalFilter(50).levels()[0] == pytest.approx(0.02)
+    assert ProportionalFilter(2).levels()[0] == pytest.approx(0.5)

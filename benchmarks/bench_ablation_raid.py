@@ -1,0 +1,88 @@
+"""Ablation — RAID level and scheduling discipline.
+
+Two substrate design choices DESIGN.md calls out:
+
+* **RAID-5 vs RAID-0**: the parity read-modify-write is what makes
+  small writes expensive on the paper's array; RAID-0 removes it (at
+  the cost of redundancy) and should show markedly better small-write
+  throughput and efficiency.
+* **FIFO vs elevator scheduling**: the paper's cache-disabled array
+  serves in order; firmware SCAN scheduling would mask part of the
+  random-ratio penalty the paper measures.
+"""
+
+import pytest
+
+from repro.config import WorkloadMode
+from repro.replay.session import replay_trace
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.queueing import ElevatorQueue
+from repro.storage.raid import RaidLevel
+from repro.workload.matrix import collect_trace
+
+from .common import banner, once
+
+
+def build_array(level=RaidLevel.RAID5, discipline_cls=None, name="arr"):
+    disks = [
+        HardDiskDrive(
+            f"{name}-d{i}",
+            discipline=discipline_cls() if discipline_cls else None,
+        )
+        for i in range(6)
+    ]
+    return DiskArray(disks, level=level, name=name)
+
+
+def experiment_raid_level():
+    mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+    results = {}
+    for level in (RaidLevel.RAID5, RaidLevel.RAID0):
+        factory = lambda lvl=level: build_array(level=lvl)
+        trace = collect_trace(factory, mode, 3.0, seed=53)
+        results[level] = replay_trace(trace, factory(), 1.0)
+    return results
+
+
+def test_raid5_parity_penalty(benchmark):
+    results = once(benchmark, experiment_raid_level)
+
+    banner("Ablation — RAID-5 vs RAID-0, 4 KB random-50% writes")
+    print(f"{'level':>7} {'IOPS':>9} {'Watts':>8} {'IOPS/W':>8}")
+    for level, res in results.items():
+        print(
+            f"{level.value:>7} {res.iops:>9.1f} {res.mean_watts:>8.2f} "
+            f"{res.iops_per_watt:>8.2f}"
+        )
+
+    r5 = results[RaidLevel.RAID5]
+    r0 = results[RaidLevel.RAID0]
+    # RAID-0 avoids the 4-op read-modify-write: at least 2x the IOPS
+    # and better energy efficiency on this write-heavy workload.
+    assert r0.iops > 2.0 * r5.iops
+    assert r0.iops_per_watt > r5.iops_per_watt
+
+
+def experiment_scheduling():
+    mode = WorkloadMode(request_size=4096, random_ratio=1.0, read_ratio=1.0)
+    results = {}
+    for label, discipline in (("fifo", None), ("elevator", ElevatorQueue)):
+        factory = lambda d=discipline: build_array(discipline_cls=d)
+        trace = collect_trace(factory, mode, 3.0, seed=59, outstanding=32)
+        results[label] = replay_trace(trace, factory(), 1.0)
+    return results
+
+
+def test_elevator_masks_random_penalty(benchmark):
+    results = once(benchmark, experiment_scheduling)
+
+    banner("Ablation — FIFO vs elevator, 4 KB fully random reads (QD 32)")
+    print(f"{'queue':>9} {'IOPS':>9} {'IOPS/W':>8}")
+    for label, res in results.items():
+        print(f"{label:>9} {res.iops:>9.1f} {res.iops_per_watt:>8.2f}")
+
+    # SCAN shortens seeks under deep queues: strictly better IOPS.  This
+    # is why the paper's direct-access (FIFO) configuration shows the
+    # full random-ratio penalty.
+    assert results["elevator"].iops > results["fifo"].iops

@@ -1,0 +1,66 @@
+"""Meta-benchmark — the simulator's own performance.
+
+Unlike the experiment benches (one pedantic round each), these are true
+microbenchmarks: pytest-benchmark repeats them and reports statistics.
+They guard the reproduction's usability — a 30-minute trace replay is
+only practical because the event engine and the replay stack sustain
+hundreds of thousands of events per second.
+"""
+
+import pytest
+
+from repro.config import WorkloadMode
+from repro.replay.session import replay_trace
+from repro.sim.engine import Simulator
+from repro.storage.array import build_hdd_raid5
+from repro.trace.blktrace import dumps, loads
+
+from .common import peak_trace
+
+
+def test_event_engine_throughput(benchmark):
+    """Raw calendar throughput: schedule+fire chained events."""
+    N = 20_000
+
+    def run():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < N:
+                sim.schedule_after(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return state["n"]
+
+    fired = benchmark(run)
+    assert fired == N
+    # Usability floor: at least 100k chained events/second.
+    assert benchmark.stats["mean"] < N / 100_000
+
+
+def test_replay_stack_throughput(benchmark):
+    """Full pipeline: filter + RAID-5 + power accounting + monitors."""
+    trace = peak_trace("hdd", 4096, 50, 50, duration=3.0)
+
+    def run():
+        return replay_trace(trace, build_hdd_raid5(6), 1.0).completed
+
+    completed = benchmark(run)
+    assert completed == trace.package_count
+    # The replay must run faster than the workload's simulated time
+    # (else long traces would be impractical).
+    assert benchmark.stats["mean"] < trace.duration
+
+
+def test_codec_throughput(benchmark):
+    """Binary round-trip of a multi-thousand-package trace."""
+    trace = peak_trace("hdd", 4096, 100, 50, duration=5.0)
+
+    def run():
+        return len(loads(dumps(trace)))
+
+    n = benchmark(run)
+    assert n == len(trace)

@@ -1,0 +1,100 @@
+"""Extension — energy cost of RAID-5 degradation and rebuild.
+
+PARAID's evaluation (paper Table I) is the only surveyed work that adds
+*reliability* to the response-time/energy axes.  With degraded-mode and
+rebuild support in the array substrate, TRACER can measure the energy
+dimension of a disk failure directly:
+
+* degraded replay: every read of the lost disk costs n−1 reconstruction
+  reads — throughput per Watt drops;
+* rebuild: reconstructing a member is a burst of sequential I/O on
+  every survivor — a measurable energy bill per rebuilt gigabyte.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.replay.session import replay_trace
+from repro.sim.engine import Simulator
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+from repro.storage.specs import SEAGATE_7200_12
+
+from .common import banner, once, peak_trace
+
+SMALL_SPEC = dataclasses.replace(
+    SEAGATE_7200_12, capacity_bytes=64 * 1024 * 1024  # 64 MiB members
+)
+
+
+def small_array():
+    return DiskArray(
+        [HardDiskDrive(f"d{i}", SEAGATE_7200_12) for i in range(6)],
+        level=RaidLevel.RAID5,
+        name="hdd-raid5",
+    )
+
+
+def experiment_degraded():
+    trace = peak_trace("hdd", 16384, 50, 100)  # read-heavy: worst case
+    clean = replay_trace(trace, small_array(), 1.0)
+    degraded_array = small_array()
+    degraded_array.fail_disk(0)
+    degraded = replay_trace(trace, degraded_array, 1.0)
+    return clean, degraded
+
+
+def test_degraded_mode_efficiency_penalty(benchmark):
+    clean, degraded = once(benchmark, experiment_degraded)
+
+    banner("Extension — degraded RAID-5 (16 KB, random 50 %, reads)")
+    print(f"{'state':>9} {'IOPS':>9} {'resp ms':>9} {'Watts':>8} {'IOPS/W':>8}")
+    for label, res in (("clean", clean), ("degraded", degraded)):
+        print(
+            f"{label:>9} {res.iops:>9.1f} {res.mean_response * 1000:>9.2f} "
+            f"{res.mean_watts:>8.2f} {res.iops_per_watt:>8.2f}"
+        )
+
+    # Reconstruction amplifies work: worse response, worse efficiency.
+    assert degraded.mean_response > clean.mean_response
+    assert degraded.iops_per_watt < clean.iops_per_watt
+    assert degraded.mean_watts >= clean.mean_watts * 0.99
+
+
+def experiment_rebuild():
+    sim = Simulator()
+    array = DiskArray(
+        [HardDiskDrive(f"r{i}", SMALL_SPEC) for i in range(6)],
+        level=RaidLevel.RAID5,
+        name="rebuild",
+    )
+    array.attach(sim)
+    array.fail_disk(2)
+    finished = []
+    t0 = sim.now
+    array.rebuild(on_complete=finished.append, rows_per_step=8)
+    sim.run()
+    assert finished
+    duration = finished[0] - t0
+    energy = array.energy_between(t0, finished[0])
+    idle_energy = array.idle_watts * duration
+    rebuilt_bytes = SMALL_SPEC.capacity_bytes
+    return duration, energy, idle_energy, rebuilt_bytes
+
+
+def test_rebuild_energy_bill(benchmark):
+    duration, energy, idle_energy, rebuilt = once(benchmark, experiment_rebuild)
+
+    banner("Extension — rebuild energy (64 MiB members, 6-disk RAID-5)")
+    print(f"rebuild time          : {duration:.2f} s")
+    print(f"energy during rebuild : {energy:.1f} J "
+          f"(idle would be {idle_energy:.1f} J)")
+    print(f"rebuild overhead      : {energy - idle_energy:.1f} J "
+          f"for {rebuilt / 1e6:.0f} MB reconstructed")
+    print(f"energy per rebuilt GB : "
+          f"{(energy - idle_energy) / (rebuilt / 1e9):.1f} J/GB")
+
+    assert duration > 0
+    assert energy > idle_energy  # the rebuild work is visible in Joules

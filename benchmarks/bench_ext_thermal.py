@@ -1,0 +1,67 @@
+"""Extension — temperature as an evaluation metric (paper §VII future work).
+
+"We intend to bring in temperature as new metric of TRACER evaluation
+framework, as temperature has obvious influences on energy, performance
+and reliability of storage systems."
+
+This bench runs the future-work experiment: replay the same workload at
+rising load proportions with thermal monitoring enabled, and relate
+steady-state device temperature to load and power.  Because drive
+thermal time constants are minutes, the load sweep replays a stretched
+trace (time-scaled to several minutes) so temperatures separate.
+"""
+
+import pytest
+
+from repro.config import ReplayConfig
+from repro.replay.session import ReplaySession
+from repro.storage.array import build_hdd_raid5
+from repro.trace.ops import concat
+
+from .common import banner, once, peak_trace
+
+LOADS = (0.2, 0.6, 1.0)
+REPEATS = 200  # ~3 s of peak workload repeated back-to-back: ~10 minutes
+
+
+def experiment():
+    base = peak_trace("hdd", 65536, 50, 50)
+    long_trace = concat([base] * REPEATS, label="thermal-soak")
+    rows = []
+    for lp in LOADS:
+        session = ReplaySession(
+            build_hdd_raid5(6),
+            config=ReplayConfig(sampling_cycle=30.0),
+            thermal=True,
+        )
+        result = session.run(long_trace, lp)
+        temps = [s.true_celsius for s in result.thermal_samples]
+        rows.append(
+            (
+                lp,
+                result.mean_watts,
+                result.max_temperature,
+                sum(temps) / len(temps),
+            )
+        )
+    return rows
+
+
+def test_temperature_tracks_load(benchmark):
+    rows = once(benchmark, experiment)
+
+    banner("Extension — temperature vs. load (64 KB, random 50 %, read 50 %)")
+    print(f"{'load%':>6} {'Watts':>8} {'mean °C':>8} {'max °C':>8}")
+    for lp, watts, tmax, tmean in rows:
+        print(f"{lp * 100:>5.0f}% {watts:>8.2f} {tmean:>8.2f} {tmax:>8.2f}")
+
+    watts = [r[1] for r in rows]
+    max_temps = [r[2] for r in rows]
+    mean_temps = [r[3] for r in rows]
+    # Higher load -> more Watts -> hotter devices.
+    assert watts == sorted(watts)
+    assert max_temps == sorted(max_temps)
+    assert mean_temps == sorted(mean_temps)
+    # Physically plausible band for fan-cooled 7200 rpm drives.
+    for t in max_temps:
+        assert 30.0 < t < 60.0

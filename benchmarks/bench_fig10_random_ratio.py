@@ -1,0 +1,83 @@
+"""Fig. 10 — impact of random ratio on energy efficiency.
+
+(a) MBPS/Kilowatt vs. random ratio, request sizes 512 B .. 64 KB,
+    read 0 %, load 100 %.
+(b) IOPS/Watt vs. random ratio, sizes 512 B .. 1 MB, read 100 %.
+
+Paper results: efficiency falls as random ratio rises (seek energy up,
+throughput down) and becomes much less sensitive beyond ~30 % random.
+"""
+
+import pytest
+
+from .common import banner, once, peak_trace, run_replay
+
+RANDOMS = (0, 25, 50, 75, 100)
+SIZES_A = (512, 4096, 16384, 65536)
+SIZES_B = (4096, 65536, 1048576)
+
+
+def experiment_a():
+    table = {}
+    for size in SIZES_A:
+        table[size] = [
+            run_replay("hdd", peak_trace("hdd", size, rnd, 0), 1.0)
+            for rnd in RANDOMS
+        ]
+    return table
+
+
+def experiment_b():
+    table = {}
+    for size in SIZES_B:
+        table[size] = [
+            run_replay("hdd", peak_trace("hdd", size, rnd, 100), 1.0)
+            for rnd in RANDOMS
+        ]
+    return table
+
+
+def test_fig10a_mbps_per_kw_vs_random(benchmark):
+    table = once(benchmark, experiment_a)
+
+    banner("Fig. 10a — MBPS/kW vs. random ratio (read 0 %, load 100 %)")
+    print(f"{'size':>8} " + " ".join(f"rnd{r:>3}%" for r in RANDOMS))
+    for size, results in table.items():
+        print(
+            f"{size:>8} "
+            + " ".join(f"{r.mbps_per_kilowatt:>7.1f}" for r in results)
+        )
+
+    for size, results in table.items():
+        effs = [r.mbps_per_kilowatt for r in results]
+        # Overall direction holds at every size.
+        assert effs[0] > effs[-1], f"size {size}"
+        assert effs[2] >= effs[-1], f"size {size}"
+        if size >= 16384:
+            # Strict monotonicity and flattening from 16 KB up.  At
+            # 4 KB the sequential write-only workload hits the RAID-5
+            # parity hot spot (every request's parity lands on one
+            # disk), so a little randomness *helps* by spreading parity
+            # — a cache-disabled-controller artefact we keep visible.
+            assert all(a >= b for a, b in zip(effs, effs[1:])), f"size {size}"
+            assert (effs[0] - effs[1]) > (effs[2] - effs[4]), f"size {size}"
+
+    # Power rises with randomness (seek energy) while throughput falls.
+    for size, results in table.items():
+        if size >= 4096:
+            assert results[-1].mean_watts > results[0].mean_watts
+
+
+def test_fig10b_iops_per_watt_vs_random(benchmark):
+    table = once(benchmark, experiment_b)
+
+    banner("Fig. 10b — IOPS/Watt vs. random ratio (read 100 %, load 100 %)")
+    print(f"{'size':>8} " + " ".join(f"rnd{r:>3}%" for r in RANDOMS))
+    for size, results in table.items():
+        print(
+            f"{size:>8} " + " ".join(f"{r.iops_per_watt:>7.2f}" for r in results)
+        )
+
+    for size, results in table.items():
+        effs = [r.iops_per_watt for r in results]
+        assert all(a >= b for a, b in zip(effs, effs[1:])), f"size {size}"

@@ -1,0 +1,59 @@
+"""Fig. 7 — idle power of the array vs. number of installed disks.
+
+Paper result: power grows linearly with disk count; once more than three
+disks are installed, the disks dominate the enclosure's non-disk draw.
+"""
+
+import pytest
+
+from repro.power.analyzer import PowerAnalyzer
+from repro.sim.engine import Simulator
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+
+from .common import banner, once
+
+
+def _level_for(n: int) -> RaidLevel:
+    if n >= 3:
+        return RaidLevel.RAID5
+    if n == 2:
+        return RaidLevel.RAID0
+    return RaidLevel.JBOD
+
+
+def measure_idle_power(n_disks: int, seconds: float = 60.0) -> float:
+    """Measure the array idle for a minute through the power analyzer
+    (the same measurement path the active experiments use)."""
+    sim = Simulator()
+    disks = [HardDiskDrive(f"d{i}") for i in range(n_disks)]
+    array = DiskArray(disks, level=_level_for(max(n_disks, 1)))
+    array.attach(sim)
+    analyzer = PowerAnalyzer(array.meter, sampling_cycle=1.0)
+    analyzer.start(sim)
+    sim.run(until=seconds)
+    analyzer.stop()
+    return analyzer.mean_watts
+
+
+def test_fig7_power_vs_disk_count(benchmark):
+    def experiment():
+        return [measure_idle_power(n) for n in range(0, 7)]
+
+    powers = once(benchmark, experiment)
+
+    banner("Fig. 7 — idle array power vs. number of disks")
+    print(f"{'disks':>6} {'Watts':>8} {'disk share':>11}")
+    for n, watts in enumerate(powers):
+        share = (watts - powers[0]) / watts if watts else 0.0
+        print(f"{n:>6} {watts:>8.2f} {share * 100:>10.1f}%")
+
+    # Linearity: each disk adds the same increment.
+    increments = [b - a for a, b in zip(powers, powers[1:])]
+    assert all(inc == pytest.approx(increments[0], rel=0.01) for inc in increments)
+    # Paper: disks dominate once n > 3.
+    disk_power_at_4 = powers[4] - powers[0]
+    disk_power_at_3 = powers[3] - powers[0]
+    assert disk_power_at_4 > powers[0]
+    assert disk_power_at_3 < powers[0]

@@ -1,0 +1,93 @@
+"""Fig. 8 — throughput vs. configured load proportion + control accuracy.
+
+Workload: request size 4 KB, random ratio 50 %, read ratio 0 % (the
+figure's caption).  Paper result: measured load proportions track the
+configured ones with error < 0.5 % (constant request size makes the
+filter exact up to bunch fan-out variation).
+"""
+
+import pytest
+
+from repro.config import LOAD_LEVELS
+from repro.core.accuracy import accuracy_table
+
+from .common import banner, once, peak_trace, run_replay
+
+DEVICE = "hdd"
+
+
+def experiment():
+    trace = peak_trace(DEVICE, 4096, 50, 0, duration=15.0)
+    results = {lp: run_replay(DEVICE, trace, lp) for lp in LOAD_LEVELS}
+    baseline = results[1.0]
+    rows = accuracy_table(
+        LOAD_LEVELS,
+        iops_fn=lambda lp: results[lp].iops,
+        mbps_fn=lambda lp: results[lp].mbps,
+        baseline_iops=baseline.iops,
+        baseline_mbps=baseline.mbps,
+    )
+    return results, rows
+
+
+def test_fig8_load_proportion_accuracy(benchmark):
+    results, rows = once(benchmark, experiment)
+
+    banner("Fig. 8 — throughput & load-control accuracy "
+           "(4 KB, random 50 %, read 0 %)")
+    print(f"{'load%':>6} {'IOPS':>9} {'MBPS':>8} "
+          f"{'acc(IOPS)':>10} {'acc(MBPS)':>10}")
+    for row in rows:
+        res = results[row.configured]
+        print(
+            f"{row.configured * 100:>5.0f}% {res.iops:>9.1f} {res.mbps:>8.3f} "
+            f"{row.iops_accuracy:>10.4f} {row.mbps_accuracy:>10.4f}"
+        )
+
+    # Monotone throughput in configured load.
+    iops = [results[lp].iops for lp in LOAD_LEVELS]
+    assert iops == sorted(iops)
+    # Tight accuracy for the fixed-request-size trace.  The paper's
+    # <0.5 % needs ~50k-bunch traces (error shrinks ~1/sqrt(bunches));
+    # at this ~1.7k-bunch scale we bound to 5 %.
+    worst = max(max(r.iops_error, r.mbps_error) for r in rows)
+    print(f"worst-case accuracy error: {worst * 100:.2f}%")
+    assert worst < 0.05
+
+
+def test_fig8_accuracy_confidence_interval(benchmark):
+    """Error bars the paper doesn't publish: repeat the accuracy
+    measurement over independently collected traces (different
+    generator seeds) and report a 95 % confidence interval on the
+    worst-case control error."""
+    from repro.config import WorkloadMode
+    from repro.metrics.stats import repeat_experiment
+    from repro.workload.matrix import collect_trace
+    from .common import FACTORIES
+
+    def worst_error_for_seed(seed: int) -> float:
+        mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+        trace = collect_trace(FACTORIES[DEVICE], mode, 8.0, seed=seed)
+        results = {
+            lp: run_replay(DEVICE, trace, lp) for lp in (0.1, 0.5, 1.0)
+        }
+        base = results[1.0].iops
+        return max(
+            abs((results[lp].iops / base) / lp - 1.0) for lp in (0.1, 0.5)
+        )
+
+    def experiment_ci():
+        return repeat_experiment(worst_error_for_seed, seeds=[101, 202, 303, 404])
+
+    summary, values = once(benchmark, experiment_ci)
+    print(
+        f"\nworst-case error over 4 independent traces: "
+        f"{summary.mean * 100:.2f}% ± {summary.ci_halfwidth * 100:.2f}% "
+        f"(95 % CI; per-seed: {[f'{v * 100:.2f}%' for v in values]})"
+    )
+    # Four short traces give a wide interval — that is the point of
+    # publishing one.  Robust claims at this scale: the mean error stays
+    # in single digits and no individual trace leaves the 15 % envelope
+    # (the paper's 50k-bunch traces shrink all of this ~5x further).
+    assert summary.mean < 0.08
+    assert max(values) < 0.15

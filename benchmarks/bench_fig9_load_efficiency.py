@@ -1,0 +1,74 @@
+"""Fig. 9 — impact of I/O load on energy efficiency.
+
+(a) IOPS/Watt vs. load, grouped by request size 512 B .. 1 MB
+    (read 25 %, random 25 %): efficiency is ~linear in load; small
+    requests achieve higher IOPS/Watt.
+(b) MBPS/Kilowatt vs. load, request sizes 512 B .. 64 KB across read
+    ratios 0-75 % (random 25 %): same linear-in-load trend.
+"""
+
+import pytest
+
+from repro.metrics.summary import linearity
+
+from .common import banner, once, peak_trace, run_replay
+
+LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
+SIZES_A = (512, 4096, 16384, 65536, 1048576)
+SIZES_B = (512, 4096, 16384, 65536)
+READS_B = (0, 25, 50, 75)
+
+
+def experiment_a():
+    table = {}
+    for size in SIZES_A:
+        trace = peak_trace("hdd", size, 25, 25)
+        table[size] = [run_replay("hdd", trace, lp).iops_per_watt for lp in LOADS]
+    return table
+
+
+def experiment_b():
+    table = {}
+    for size in SIZES_B:
+        for read in READS_B:
+            trace = peak_trace("hdd", size, 25, read)
+            table[(size, read)] = [
+                run_replay("hdd", trace, lp).mbps_per_kilowatt for lp in LOADS
+            ]
+    return table
+
+
+def test_fig9a_iops_per_watt_vs_load(benchmark):
+    table = once(benchmark, experiment_a)
+
+    banner("Fig. 9a — IOPS/Watt vs. load (read 25 %, random 25 %)")
+    header = f"{'req size':>9} " + " ".join(f"{lp * 100:>7.0f}%" for lp in LOADS)
+    print(header)
+    for size, series in table.items():
+        print(f"{size:>9} " + " ".join(f"{v:>8.3f}" for v in series))
+
+    for size, series in table.items():
+        # Linear, increasing in load.
+        assert series == sorted(series), f"size {size} not monotone"
+        assert linearity(LOADS, series) > 0.97, f"size {size} not linear"
+    # Small requests beat large on IOPS/Watt at full load.
+    assert table[4096][-1] > table[1048576][-1]
+    assert table[512][-1] > table[1048576][-1]
+
+
+def test_fig9b_mbps_per_kilowatt_vs_load(benchmark):
+    table = once(benchmark, experiment_b)
+
+    banner("Fig. 9b — MBPS/kW vs. load (random 25 %)")
+    header = f"{'size':>8} {'read%':>6} " + " ".join(
+        f"{lp * 100:>7.0f}%" for lp in LOADS
+    )
+    print(header)
+    for (size, read), series in sorted(table.items()):
+        print(
+            f"{size:>8} {read:>6} " + " ".join(f"{v:>8.2f}" for v in series)
+        )
+
+    for key, series in table.items():
+        assert series == sorted(series), f"{key} not monotone in load"
+        assert linearity(LOADS, series) > 0.95, f"{key} not linear"

@@ -1,0 +1,100 @@
+"""§VI-G — solid-state-disk RAID-5 evaluation.
+
+Paper results for the 4 × 32 GB Memoright SLC array (strip 128 KB):
+
+* idle power: SSD ≈ 3.5 W each, array 195.8 W;
+* active power/efficiency depends strongly on random ratio — high
+  random ratio gives low energy efficiency;
+* the SSD array is more energy-efficient than the HDD array (where the
+  HDD array's seek-bound workloads collapse);
+* read-ratio trend: see EXPERIMENTS.md — our cache-disabled RAID-5
+  substrate makes partial-stripe writes expensive, so the measured
+  read-ratio direction diverges from the paper's narrative; the bench
+  reports it rather than asserting it.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.storage.array import build_hdd_raid5, build_ssd_raid5
+
+from .common import banner, once, peak_trace, run_replay
+
+RANDOMS = (0, 50, 100)
+READS = (0, 50, 100)
+
+
+def experiment():
+    # Idle power through the measurement path.
+    sim = Simulator()
+    ssd = build_ssd_raid5(4)
+    ssd.attach(sim)
+    sim.advance_to(60.0)
+    idle_watts = ssd.energy_between(0.0, 60.0) / 60.0
+
+    grid = {}
+    for rnd in RANDOMS:
+        for rd in READS:
+            trace = peak_trace("ssd", 16384, rnd, rd)
+            grid[(rnd, rd)] = run_replay("ssd", trace, 1.0)
+    return idle_watts, grid
+
+
+def test_ssd_raid5_evaluation(benchmark):
+    idle_watts, grid = once(benchmark, experiment)
+
+    banner("§VI-G — SSD RAID-5 (4 × Memoright SLC 32 GB, 16 KB requests)")
+    print(f"idle array power: {idle_watts:.1f} W (paper: 195.8 W)")
+    print(f"{'random%':>8} {'read%':>6} {'MBPS':>8} {'Watts':>8} {'MBPS/kW':>9}")
+    for (rnd, rd), res in sorted(grid.items()):
+        print(
+            f"{rnd:>8} {rd:>6} {res.mbps:>8.2f} {res.mean_watts:>8.2f} "
+            f"{res.mbps_per_kilowatt:>9.1f}"
+        )
+
+    # Idle anchor.
+    assert idle_watts == pytest.approx(195.8, rel=0.01)
+
+    # High random ratio -> lower efficiency (driven by the FTL's
+    # random-write stalls; read-only workloads are immune).
+    for rd in (0, 50):
+        assert (
+            grid[(100, rd)].mbps_per_kilowatt
+            < grid[(0, rd)].mbps_per_kilowatt
+        ), f"read {rd}%: randomness did not hurt"
+
+
+def test_ssd_array_more_efficient_than_hdd(benchmark):
+    """Paper: 'SSDs can improve energy efficiency in disk arrays while
+    maintaining reasonably high I/O performance.'  Compare the two
+    arrays across a 3 × 3 workload grid and count wins."""
+
+    def experiment_pair():
+        wins = {}
+        for rnd in RANDOMS:
+            for rd in READS:
+                ssd = run_replay("ssd", peak_trace("ssd", 16384, rnd, rd), 1.0)
+                hdd = run_replay("hdd", peak_trace("hdd", 16384, rnd, rd), 1.0)
+                wins[(rnd, rd)] = (
+                    ssd.mbps_per_kilowatt,
+                    hdd.mbps_per_kilowatt,
+                )
+        return wins
+
+    wins = once(benchmark, experiment_pair)
+
+    banner("§VI-G — SSD vs HDD array efficiency (MBPS/kW, 16 KB)")
+    print(f"{'random%':>8} {'read%':>6} {'SSD':>9} {'HDD':>9} {'winner':>7}")
+    ssd_wins = 0
+    for (rnd, rd), (ssd_eff, hdd_eff) in sorted(wins.items()):
+        winner = "SSD" if ssd_eff > hdd_eff else "HDD"
+        ssd_wins += winner == "SSD"
+        print(f"{rnd:>8} {rd:>6} {ssd_eff:>9.1f} {hdd_eff:>9.1f} {winner:>7}")
+    print(f"SSD wins {ssd_wins}/{len(wins)} workload cells")
+
+    # SSD must dominate the random-heavy half of the grid and the
+    # majority overall.
+    assert ssd_wins >= 5
+    for rd in READS:
+        ssd_eff, hdd_eff = wins[(100, rd)]
+        assert ssd_eff > hdd_eff, f"random 100 %, read {rd}%: HDD won"

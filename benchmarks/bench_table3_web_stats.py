@@ -1,0 +1,47 @@
+"""Table III — characteristics of the web-server trace.
+
+Paper values: file system 169.54 GB; dataset 23.31 GB; read ratio
+90.39 %; average request size 21.5 KB.  The synthesiser must land on
+the read ratio and mean request size; the dataset scales with window
+length (the paper's figure covers a full week of traffic).
+"""
+
+import pytest
+
+from repro.trace.stats import compute_stats
+from repro.units import GB, KiB
+from repro.workload.webserver import WebServerModel, generate_webserver_trace
+
+from .common import banner, once
+
+DURATION = 1200.0
+
+
+def experiment():
+    trace = generate_webserver_trace(duration=DURATION, seed=31)
+    return compute_stats(trace)
+
+
+def test_table3_web_trace_characteristics(benchmark):
+    stats = once(benchmark, experiment)
+    model = WebServerModel()
+
+    banner("Table III — web-server trace characteristics")
+    print(f"{'quantity':<28} {'paper':>12} {'measured':>12}")
+    print(f"{'file system (GB)':<28} {'169.54':>12} "
+          f"{model.filesystem_bytes / GB:>12.2f}")
+    print(f"{'dataset touched (GB)':<28} {'23.31 (week)':>12} "
+          f"{stats.dataset_bytes / GB:>12.2f}")
+    print(f"{'read ratio (%)':<28} {'90.39':>12} "
+          f"{stats.read_ratio * 100:>12.2f}")
+    print(f"{'avg request size (KB)':<28} {'21.5':>12} "
+          f"{stats.mean_request_bytes / KiB:>12.2f}")
+    print(f"{'packages':<28} {'(week)':>12} {stats.package_count:>12}")
+    print(f"{'duration (s)':<28} {'~604800':>12} {stats.duration:>12.1f}")
+
+    assert stats.read_ratio == pytest.approx(0.9039, abs=0.02)
+    assert stats.mean_request_bytes == pytest.approx(21.5 * KiB, rel=0.15)
+    # The window's touched dataset is bounded by the full dataset.
+    assert 0 < stats.dataset_bytes <= 23.31 * GB
+    # All addresses live inside the 169.54 GB file system.
+    assert stats.package_count > 0

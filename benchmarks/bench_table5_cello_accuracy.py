@@ -1,0 +1,97 @@
+"""Table V — load-proportion control accuracy for the HP cello99 trace.
+
+Paper result: cello's error is visibly larger than the web trace's
+(13.2 % at the 10 % level) "partially because of the uneven request
+sizes in the HP's cello99 traces" — one selected bunch carrying a 1 MB
+transfer shifts the MBPS proportion far more than a 2 KB one.
+"""
+
+import pytest
+
+from repro.config import LOAD_LEVELS
+from repro.core.accuracy import accuracy_table
+from repro.workload.cello import generate_cello_trace
+
+from .common import FACTORIES, banner, once
+from repro.replay.session import replay_trace
+
+DURATION = 300.0
+
+
+def experiment():
+    trace = generate_cello_trace(duration=DURATION, seed=41)
+    results = {
+        lp: replay_trace(trace, FACTORIES["hdd"](), lp) for lp in LOAD_LEVELS
+    }
+    baseline = results[1.0]
+    rows = accuracy_table(
+        LOAD_LEVELS,
+        iops_fn=lambda lp: results[lp].iops,
+        mbps_fn=lambda lp: results[lp].mbps,
+        baseline_iops=baseline.iops,
+        baseline_mbps=baseline.mbps,
+    )
+    return rows
+
+
+def test_table5_cello_accuracy(benchmark):
+    rows = once(benchmark, experiment)
+
+    banner("Table V — load control accuracy, cello99-like trace (MBPS)")
+    print(f"{'configured%':>12} {'measured%MBPS':>14} {'accuracy':>9}")
+    for row in rows:
+        print(
+            f"{row.configured * 100:>11.0f} "
+            f"{row.measured_mbps_proportion * 100:>14.3f} "
+            f"{row.mbps_accuracy:>9.4f}"
+        )
+
+    worst = max(r.mbps_error for r in rows)
+    low_level_err = rows[0].mbps_error
+    print(f"max MBPS error: {worst * 100:.2f}% "
+          f"(at 10 % level: {low_level_err * 100:.2f}%)")
+
+    # The paper tolerates up to ~32 % here; we bound at 45 % and, more
+    # importantly, check the *relationship*: cello's control error
+    # exceeds what Fig. 8's constant-size traces achieve.
+    assert worst < 0.45
+    measured = [r.measured_mbps_proportion for r in rows]
+    assert measured == sorted(measured)
+
+
+def test_table5_cello_worse_than_fixed_size(benchmark):
+    """The storyline across Fig. 8 / Tables IV-V: control error grows
+    with request-size unevenness.
+
+    Measured at the filter level (selected-bytes proportion vs the
+    configured bunch proportion), which isolates the paper's stated
+    cause — "the uneven request sizes in the HP's cello99 traces" —
+    from replay-side edge effects.
+    """
+
+    def experiment_pair():
+        from repro.core.proportional_filter import filter_trace
+        from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+        cello = generate_cello_trace(duration=DURATION, seed=43)
+        n = len(cello)
+        # A fixed-size trace of identical bunch structure (one 4 KB
+        # request per bunch, same count) as the control.
+        fixed = Trace(
+            [Bunch(i / 64, [IOPackage(i * 8, 4096, READ)]) for i in range(n)]
+        )
+
+        def worst_error(trace):
+            worst = 0.0
+            for lp in (0.1, 0.3, 0.5, 0.7, 0.9):
+                selected = filter_trace(trace, round(lp, 1))
+                measured = selected.nbytes / trace.nbytes
+                worst = max(worst, abs(measured / lp - 1.0))
+            return worst
+
+        return worst_error(cello), worst_error(fixed)
+
+    cello_err, fixed_err = once(benchmark, experiment_pair)
+    print(f"\nworst byte-proportion error — cello: {cello_err * 100:.2f}%, "
+          f"fixed-size control: {fixed_err * 100:.2f}%")
+    assert cello_err > fixed_err

@@ -1,0 +1,87 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at
+simulation scale.  The paper collects ~2-minute traces and replays each
+ten times; we default to shorter collection windows (seconds) so the
+whole harness runs in minutes — the relationships under test are scale-
+invariant (see EXPERIMENTS.md).  Set ``TRACER_BENCH_SCALE`` to grow all
+durations (e.g. ``TRACER_BENCH_SCALE=10`` approaches paper scale).
+
+Collected traces are cached per (device, mode, duration) so sweeps that
+reuse a trace don't pay collection repeatedly.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Callable, Tuple
+
+from repro.config import WorkloadMode
+from repro.replay.session import replay_trace
+from repro.replay.results import ReplayResult
+from repro.rng import derive_seed
+from repro.storage.array import build_hdd_raid5, build_ssd_raid5
+from repro.trace.record import Trace
+from repro.workload.matrix import collect_trace
+
+SCALE = float(os.environ.get("TRACER_BENCH_SCALE", "1.0"))
+
+#: Base trace-collection window in simulated seconds (paper: ~120 s).
+COLLECT_SECONDS = 3.0 * SCALE
+
+FACTORIES: dict = {
+    "hdd": lambda: build_hdd_raid5(6),
+    "ssd": lambda: build_ssd_raid5(4),
+}
+
+
+@lru_cache(maxsize=256)
+def peak_trace(
+    device: str,
+    request_size: int,
+    random_pct: int,
+    read_pct: int,
+    duration: float = COLLECT_SECONDS,
+) -> Trace:
+    """Collect (and cache) a peak trace for one workload mode."""
+    mode = WorkloadMode(
+        request_size=request_size,
+        random_ratio=random_pct / 100.0,
+        read_ratio=read_pct / 100.0,
+    )
+    return collect_trace(
+        FACTORIES[device],
+        mode,
+        duration,
+        # Python's hash() of strings is salted per process; derive_seed
+        # is stable, keeping every benchmark run identical.
+        seed=derive_seed(
+            0, "bench", device, str(request_size), str(random_pct),
+            str(read_pct),
+        ),
+    )
+
+
+def run_replay(device: str, trace: Trace, load: float) -> ReplayResult:
+    """Replay on a fresh device of the given type."""
+    return replay_trace(trace, FACTORIES[device](), load)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_rows(header: str, rows) -> None:
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(row)
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Capacity planning with intensity scaling (the Fig. 2 200 %/1000 % knob).
+
+The paper's GUI can replay a trace at multiples of its recorded
+intensity.  The question that feature answers is *headroom*: how many
+times today's workload can this array absorb before latency breaks the
+service level?  `find_headroom` automates the search by bisection over
+the time-scale factor, and reports the power cost of running closer to
+saturation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis.headroom import find_headroom
+from repro.storage.array import build_hdd_raid5, build_ssd_raid5
+from repro.workload.webserver import WebServerModel, generate_webserver_trace
+from repro.units import GB
+
+# A 2-minute window of moderate web traffic, confined to the SSD
+# array's smaller address space so both arrays can replay it.
+model = WebServerModel(
+    filesystem_bytes=60 * GB,
+    dataset_bytes=8 * GB,
+    base_iops=40.0,
+    peak_iops=120.0,
+)
+trace = generate_webserver_trace(duration=120.0, model=model, seed=33)
+print(f"workload: {trace.package_count} requests over "
+      f"{trace.duration:.0f} s (web-server mix, read-heavy)\n")
+
+SLO = 0.050  # 50 ms mean response
+
+for label, factory in (
+    ("hdd-raid5 (6 disks)", lambda: build_hdd_raid5(6)),
+    ("ssd-raid5 (4 disks)", lambda: build_ssd_raid5(4)),
+):
+    result = find_headroom(
+        trace, factory, response_slo=SLO, max_intensity=64.0, tolerance=0.15
+    )
+    print(f"=== {label}, SLO: mean response <= {SLO * 1000:.0f} ms ===")
+    print(f"{'intensity':>10} {'resp ms':>9} {'IOPS':>9} {'Watts':>8}")
+    for p in sorted(result.probes, key=lambda p: p.intensity):
+        marker = " <-- SLO violated" if p.mean_response > SLO else ""
+        print(
+            f"{p.intensity:>9.2f}x {p.mean_response * 1000:>9.2f} "
+            f"{p.iops:>9.1f} {p.mean_watts:>8.2f}{marker}"
+        )
+    if result.first_violation == float("inf"):
+        print(f"sustains >= {result.saturation_intensity:.1f}x the recorded "
+              f"load (search cap reached)\n")
+    else:
+        print(f"headroom: {result.saturation_intensity:.1f}x the recorded "
+              f"load (violates at {result.first_violation:.1f}x)\n")

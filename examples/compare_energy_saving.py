@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Judging energy-conservation techniques with TRACER.
+
+The paper's motivation (§I, Table I): techniques like MAID and DRPM were
+each evaluated with ad-hoc workloads and metrics, making them impossible
+to compare.  TRACER fixes the workload (one trace, one load level) and
+the metrics (energy, response time, IOPS/Watt), and lets the techniques
+fight it out.
+
+This example replays two contrasting workloads through three systems —
+an always-on array, a MAID configuration (spin down idle disks), and a
+DRPM configuration (slow idle disks down) — and prints the uniform
+comparison for each.
+
+Run:  python examples/compare_energy_saving.py
+"""
+
+from repro.energysaving import DRPMArray, MAIDArray
+from repro.energysaving.report import compare_policies, format_comparison
+from repro.rng import make_rng
+from repro.storage.hdd import HardDiskDrive
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+
+def archival_trace(duration=240.0, seed=3):
+    """Bursts separated by tens of idle seconds (backup/archive work)."""
+    rng = make_rng(seed)
+    bunches, t, sector = [], 0.0, 0
+    while t < duration:
+        for i in range(int(rng.integers(8, 24))):
+            op = READ if rng.random() < 0.7 else WRITE
+            bunches.append(Bunch(t + i * 0.02, [IOPackage(sector, 65536, op)]))
+            sector += 128
+        t += float(rng.uniform(15.0, 35.0))
+    return Trace(bunches, label="archival")
+
+
+def steady_trace(duration=60.0, seed=4):
+    """Steady random I/O with no idle gaps (OLTP-ish) — the workload
+    that defeats idle-time techniques."""
+    rng = make_rng(seed)
+    bunches = []
+    # Addresses span the whole 6-disk concatenation so every member
+    # disk sees steady traffic (a range confined to one disk would let
+    # MAID sleep the other five and trivially "win").
+    for i in range(int(duration * 40)):
+        # Bounded by the smallest array under test (the RAID-5 DRPM
+        # array exposes 5 data disks' worth of sectors).
+        sector = int(rng.integers(0, 600_000_000)) * 8
+        op = READ if rng.random() < 0.6 else WRITE
+        bunches.append(Bunch(i / 40, [IOPackage(sector, 8192, op)]))
+    return Trace(bunches, label="steady-oltp")
+
+
+def always_on():
+    return MAIDArray(
+        [HardDiskDrive(f"b{i}") for i in range(6)], idle_timeout=None,
+        name="always-on",
+    )
+
+
+def maid():
+    return MAIDArray(
+        [HardDiskDrive(f"m{i}") for i in range(6)], idle_timeout=5.0,
+        name="maid",
+    )
+
+
+def drpm():
+    return DRPMArray(n_disks=6, window=2.0, name="drpm")
+
+
+for trace_fn in (archival_trace, steady_trace):
+    trace = trace_fn()
+    print(f"\n=== workload: {trace.label} "
+          f"({trace.package_count} requests over {trace.duration:.0f} s) ===")
+    rows = compare_policies(
+        ("always-on", always_on),
+        [("maid", maid), ("drpm", drpm)],
+        trace,
+    )
+    print(format_comparison(rows))
+
+print(
+    "\nReading the tables: on the archival workload both techniques save "
+    "~40 %\nenergy — MAID paying *seconds* of spin-up latency where DRPM "
+    "pays\nmilliseconds.  On the steady OLTP workload MAID finds almost no "
+    "gap longer\nthan its timeout, while DRPM still shaves idle Watts by "
+    "slowing spindles —\nat a painful response-time cost.  One framework, "
+    "one workload, one metric\nset — an apples-to-apples comparison, which "
+    "is TRACER's thesis."
+)

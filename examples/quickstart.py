@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: collect a trace, scale its load, measure energy efficiency.
+
+The five-minute tour of TRACER's pipeline:
+
+1. generate a peak synthetic workload on a simulated RAID-5 array
+   (the IOmeter role) while the trace collector records it;
+2. replay the trace at a few load proportions via the uniform
+   proportional filter;
+3. read back IOPS, MBPS, Watts, and the paper's combined metrics
+   IOPS/Watt and MBPS/Kilowatt.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IometerGenerator,
+    Simulator,
+    TraceCollector,
+    WorkloadMode,
+    build_hdd_raid5,
+    replay_trace,
+)
+
+# -- 1. Collect a peak trace (request 4 KiB, 50 % random, pure writes) --
+
+mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+
+sim = Simulator()
+array = build_hdd_raid5(n_disks=6)     # the paper's 6-disk Seagate array
+array.attach(sim)
+
+collector = TraceCollector(label="quickstart")
+generator = IometerGenerator(mode, outstanding=16, seed=42)
+peak = generator.run(sim, array, duration=3.0, collector=collector)
+trace = collector.finish()
+
+print(f"collected {len(trace)} bunches / {trace.package_count} packages "
+      f"({trace.duration:.1f} s of peak load)")
+print(f"peak throughput: {peak.iops:.1f} IOPS, {peak.mbps:.2f} MBPS\n")
+
+# -- 2 & 3. Replay at descending load proportions on fresh arrays --------
+
+print(f"{'load':>5} {'IOPS':>8} {'MBPS':>7} {'Watts':>8} "
+      f"{'IOPS/W':>7} {'MBPS/kW':>8}")
+for load in (1.0, 0.7, 0.4, 0.1):
+    result = replay_trace(trace, build_hdd_raid5(6), load_proportion=load)
+    print(
+        f"{load * 100:>4.0f}% {result.iops:>8.1f} {result.mbps:>7.2f} "
+        f"{result.mean_watts:>8.2f} {result.iops_per_watt:>7.2f} "
+        f"{result.mbps_per_kilowatt:>8.1f}"
+    )
+
+print("\nNote how power falls only slightly as load drops (idle power "
+      "dominates),\nso energy efficiency rises with utilisation — the "
+      "paper's Fig. 9 result.")

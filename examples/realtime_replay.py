@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Wall-clock trace replay — the paper's modality, measured honestly.
+
+TRACER replays traces against real hardware in real time.  A pure-Python
+reproduction of that fights the GIL and timer granularity, which is why
+this library's measured experiments run on the deterministic simulation
+clock instead.  This example demonstrates the wall-clock path anyway —
+against a file-backed target — and reports its own *timing error*, so
+you can see exactly what Python real-time replay is (and isn't) good
+for on your machine.
+
+Run:  python examples/realtime_replay.py
+"""
+
+import os
+import tempfile
+
+from repro.core import filter_trace
+from repro.replay.realtime import RealtimeReplayer
+from repro.trace.record import Trace
+from repro.workload.webserver import generate_webserver_trace
+
+# A short, modest-rate window so the demo finishes in ~6 seconds.
+trace = generate_webserver_trace(duration=6.0, seed=8)
+print(f"trace: {len(trace)} bunches / {trace.package_count} packages "
+      f"over {trace.duration:.1f} s")
+
+with tempfile.NamedTemporaryFile(delete=False) as tmp:
+    path = tmp.name
+    tmp.truncate(64 * 1024 * 1024)
+
+# The request handler: real pread/pwrite against a sparse file, with the
+# trace's sector addresses folded into the file's extent.
+fd = os.open(path, os.O_RDWR)
+FILE_SECTORS = 64 * 1024 * 1024 // 512
+try:
+    def handle(pkg):
+        offset = (pkg.sector % FILE_SECTORS) * 512
+        length = min(pkg.nbytes, 64 * 1024 * 1024 - offset)
+        if pkg.is_read:
+            os.pread(fd, length, offset)
+        else:
+            os.pwrite(fd, b"\0" * length, offset)
+
+    for load in (1.0, 0.5):
+        replayed = filter_trace(trace, load) if load < 1.0 else trace
+        report = RealtimeReplayer(handle, workers=8).replay(replayed)
+        print(
+            f"\nload {load * 100:>3.0f}%: {report.packages} requests in "
+            f"{report.wall_duration:.2f} s wall "
+            f"(schedule called for {report.trace_duration:.2f} s)"
+        )
+        print(
+            f"  dispatch lateness: mean {report.mean_lateness * 1000:.2f} ms, "
+            f"max {report.max_lateness * 1000:.2f} ms, "
+            f"slowdown {report.slowdown:.3f}x"
+        )
+finally:
+    os.close(fd)
+    os.unlink(path)
+
+print(
+    "\nMillisecond-scale lateness is typical: fine for throughput-level "
+    "load\ngeneration, far too coarse for microsecond-accurate block "
+    "timing — which is\nwhy the measured experiments in this repository "
+    "run on the simulation clock."
+)

@@ -1,0 +1,97 @@
+"""CSV export of evaluation outputs.
+
+Plotting and statistics happen outside this library (the environment is
+matplotlib-free by design); these writers produce the flat files any
+external tool ingests.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from ..host.records import TestRecord
+from ..replay.results import ReplayResult
+
+PathLike = Union[str, Path]
+
+RECORD_COLUMNS = [
+    "test_time",
+    "device_label",
+    "request_size",
+    "random_ratio",
+    "read_ratio",
+    "load_proportion",
+    "iops",
+    "mbps",
+    "mean_response",
+    "mean_watts",
+    "energy_joules",
+    "iops_per_watt",
+    "mbps_per_kilowatt",
+    "label",
+]
+
+
+def export_records_csv(records: Iterable[TestRecord], path: PathLike) -> int:
+    """Write test records to CSV; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(RECORD_COLUMNS)
+        for rec in records:
+            writer.writerow(
+                [
+                    rec.test_time,
+                    rec.device_label,
+                    rec.mode.request_size,
+                    rec.mode.random_ratio,
+                    rec.mode.read_ratio,
+                    rec.mode.load_proportion,
+                    rec.iops,
+                    rec.mbps,
+                    rec.mean_response,
+                    rec.mean_watts,
+                    rec.energy_joules,
+                    rec.iops_per_watt,
+                    rec.mbps_per_kilowatt,
+                    rec.label,
+                ]
+            )
+            count += 1
+    return count
+
+
+CYCLE_COLUMNS = [
+    "start",
+    "end",
+    "iops",
+    "mbps",
+    "mean_response",
+    "watts",
+    "iops_per_watt",
+    "mbps_per_kilowatt",
+]
+
+
+def export_cycles_csv(result: ReplayResult, path: PathLike) -> int:
+    """Write one replay's aligned per-cycle series to CSV."""
+    cycles = result.cycles()
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CYCLE_COLUMNS)
+        for c in cycles:
+            writer.writerow(
+                [
+                    c.start,
+                    c.end,
+                    c.iops,
+                    c.mbps,
+                    c.mean_response,
+                    c.watts,
+                    c.iops_per_watt,
+                    c.mbps_per_kilowatt,
+                ]
+            )
+    return len(cycles)

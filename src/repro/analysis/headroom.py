@@ -1,0 +1,152 @@
+"""Load-headroom analysis via intensity scaling.
+
+The Fig. 2 walkthrough shows TRACER scaling a trace's intensity to
+200 % or 1000 % of the original — the natural question that feature
+answers is *how much headroom does this system have on this workload?*
+This module automates it: bisect the time-scale intensity until the
+replayed workload's response time crosses a service-level threshold.
+The result is the saturation intensity — "this array sustains 3.4× the
+recorded load before p95 latency exceeds 50 ms".
+
+Monotonicity note: response time is monotone in offered intensity for
+a work-conserving device, which is what makes bisection sound; the
+search verifies the bracket before refining it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ReplayConfig
+from ..errors import TracerError
+from ..replay.session import ReplaySession
+from ..storage.base import StorageDevice
+from ..trace.record import Trace
+
+DeviceFactory = Callable[[], StorageDevice]
+
+
+class HeadroomError(TracerError):
+    """Unusable search configuration or bracket."""
+
+
+@dataclass(frozen=True)
+class HeadroomPoint:
+    """One probed intensity."""
+
+    intensity: float
+    mean_response: float
+    p95_response: float
+    iops: float
+    mean_watts: float
+
+
+@dataclass(frozen=True)
+class HeadroomResult:
+    """Outcome of a headroom search."""
+
+    saturation_intensity: float
+    """Largest probed intensity that still met the SLO."""
+    first_violation: float
+    """Smallest probed intensity that violated it."""
+    probes: Tuple[HeadroomPoint, ...]
+
+    @property
+    def headroom_factor(self) -> float:
+        """How many times the recorded load the system sustains."""
+        return self.saturation_intensity
+
+
+def _p95(result) -> float:
+    responses = [
+        s.total_response / s.completed
+        for s in result.perf_samples
+        if s.completed
+    ]
+    if not responses:
+        return 0.0
+    return float(np.percentile(responses, 95))
+
+
+def find_headroom(
+    trace: Trace,
+    device_factory: DeviceFactory,
+    response_slo: float = 0.050,
+    metric: str = "mean",
+    max_intensity: float = 64.0,
+    tolerance: float = 0.1,
+    config: Optional[ReplayConfig] = None,
+) -> HeadroomResult:
+    """Bisect for the highest intensity meeting ``response_slo`` seconds.
+
+    Parameters
+    ----------
+    metric:
+        ``"mean"`` (mean response) or ``"p95"`` (95th percentile of the
+        per-cycle mean responses).
+    max_intensity:
+        Upper bound of the exponential bracket search.
+    tolerance:
+        Relative width at which bisection stops.
+    """
+    if metric not in ("mean", "p95"):
+        raise HeadroomError(f"metric must be 'mean' or 'p95', got {metric!r}")
+    if response_slo <= 0 or max_intensity <= 1.0 or not 0 < tolerance < 1:
+        raise HeadroomError("invalid search parameters")
+    probes: List[HeadroomPoint] = []
+
+    def probe(intensity: float) -> Tuple[bool, HeadroomPoint]:
+        probe_cfg = ReplayConfig(
+            sampling_cycle=(config.sampling_cycle if config else 1.0),
+            time_scale=intensity,
+        )
+        session = ReplaySession(device_factory(), config=probe_cfg)
+        result = session.run(trace, 1.0)
+        value = result.mean_response if metric == "mean" else _p95(result)
+        point = HeadroomPoint(
+            intensity=intensity,
+            mean_response=result.mean_response,
+            p95_response=_p95(result),
+            iops=result.iops,
+            mean_watts=result.mean_watts,
+        )
+        probes.append(point)
+        return value <= response_slo, point
+
+    ok_at_one, _ = probe(1.0)
+    if not ok_at_one:
+        raise HeadroomError(
+            "the recorded workload already violates the SLO at 1.0x; "
+            "no headroom to measure"
+        )
+    # Exponential bracket: double until violation or cap.
+    low, high = 1.0, 2.0
+    while high <= max_intensity:
+        ok, _ = probe(high)
+        if not ok:
+            break
+        low = high
+        high *= 2.0
+    else:
+        # Never violated up to the cap.
+        return HeadroomResult(
+            saturation_intensity=low,
+            first_violation=float("inf"),
+            probes=tuple(probes),
+        )
+    # Bisection within (low, high).
+    while (high - low) / low > tolerance:
+        mid = (low + high) / 2.0
+        ok, _ = probe(mid)
+        if ok:
+            low = mid
+        else:
+            high = mid
+    return HeadroomResult(
+        saturation_intensity=low,
+        first_violation=high,
+        probes=tuple(probes),
+    )

@@ -1,0 +1,163 @@
+"""Workload characterisation of a trace.
+
+Extends :mod:`repro.trace.stats` (the Table III quantities) with the
+distributional facts storage papers quote: request-size histogram,
+seek-distance distribution, arrival burstiness, temporal read-ratio
+drift, and spatial hot regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..trace.record import Trace
+from ..trace.stats import TraceStats, compute_stats
+from ..units import KiB
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Full characterisation of one trace."""
+
+    stats: TraceStats
+    size_histogram: Tuple[Tuple[str, int], ...]
+    """(bucket label, count) pairs over power-of-two size buckets."""
+    seek_p50_sectors: float
+    seek_p95_sectors: float
+    seek_zero_fraction: float
+    """Fraction of transitions with no address jump (streaming)."""
+    interarrival_cv: float
+    """Coefficient of variation of bunch inter-arrivals (1 ≈ Poisson,
+    >1 bursty, <1 regular)."""
+    max_bunch_size: int
+    read_ratio_drift: float
+    """Max deviation of any decile window's read ratio from the global."""
+    hot_regions: Tuple[Tuple[int, float], ...]
+    """Top regions as (region index, fraction of accesses); regions are
+    1/100th slices of the touched address span."""
+
+    @property
+    def hot_region_share(self) -> float:
+        """Access share of the top-10 regions (locality measure)."""
+        return sum(frac for _, frac in self.hot_regions)
+
+
+def _size_buckets(sizes: np.ndarray) -> List[Tuple[str, int]]:
+    buckets: List[Tuple[str, int]] = []
+    edges = [512 * (2**i) for i in range(0, 13)]  # 512 B .. 2 MiB
+    labels = []
+    for lo, hi in zip(edges, edges[1:]):
+        labels.append((lo, hi))
+    counts = np.zeros(len(labels) + 1, dtype=int)
+    for size in sizes:
+        for i, (lo, hi) in enumerate(labels):
+            if lo <= size < hi:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    for (lo, hi), count in zip(labels, counts[:-1]):
+        if count:
+            buckets.append((f"[{lo // 512 * 512}B,{hi}B)", int(count)))
+    if counts[-1]:
+        buckets.append((">=2MiB", int(counts[-1])))
+    return buckets
+
+
+def profile_trace(trace: Trace, n_hot: int = 10) -> WorkloadProfile:
+    """Compute a :class:`WorkloadProfile` for ``trace``."""
+    stats = compute_stats(trace)
+    packages = list(trace.packages())
+    sizes = np.array([p.nbytes for p in packages], dtype=np.int64)
+    starts = np.array([p.sector for p in packages], dtype=np.int64)
+    ends = np.array([p.end_sector for p in packages], dtype=np.int64)
+    ops = np.array([p.op for p in packages], dtype=np.int8)
+
+    if len(packages) > 1:
+        jumps = np.abs(starts[1:] - ends[:-1])
+        seek_zero = float(np.count_nonzero(jumps == 0) / len(jumps))
+        p50 = float(np.percentile(jumps, 50))
+        p95 = float(np.percentile(jumps, 95))
+    else:
+        jumps = np.empty(0)
+        seek_zero, p50, p95 = 0.0, 0.0, 0.0
+
+    ts = np.array([b.timestamp for b in trace])
+    gaps = np.diff(ts) if len(ts) > 1 else np.empty(0)
+    cv = (
+        float(gaps.std() / gaps.mean())
+        if gaps.size and gaps.mean() > 0
+        else 0.0
+    )
+
+    # Read-ratio drift across decile windows.
+    drift = 0.0
+    if len(packages) >= 20:
+        deciles = np.array_split(ops, 10)
+        global_read = float(np.count_nonzero(ops == 0) / len(ops))
+        for window in deciles:
+            if len(window):
+                local = float(np.count_nonzero(window == 0) / len(window))
+                drift = max(drift, abs(local - global_read))
+
+    # Hot regions over the touched span.
+    hot: List[Tuple[int, float]] = []
+    if len(packages):
+        lo, hi = int(starts.min()), int(ends.max())
+        span = max(hi - lo, 1)
+        region = np.clip((starts - lo) * 100 // span, 0, 99)
+        counts = np.bincount(region, minlength=100).astype(float)
+        counts /= counts.sum()
+        order = np.argsort(counts)[::-1][:n_hot]
+        hot = [(int(i), float(counts[i])) for i in order if counts[i] > 0]
+
+    return WorkloadProfile(
+        stats=stats,
+        size_histogram=tuple(_size_buckets(sizes)) if len(sizes) else (),
+        seek_p50_sectors=p50,
+        seek_p95_sectors=p95,
+        seek_zero_fraction=seek_zero,
+        interarrival_cv=cv,
+        max_bunch_size=max((len(b) for b in trace), default=0),
+        read_ratio_drift=drift,
+        hot_regions=tuple(hot),
+    )
+
+
+def format_profile(profile: WorkloadProfile, title: str = "") -> str:
+    """Human-readable rendering (used by ``tracer profile``)."""
+    st = profile.stats
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"bunches / packages : {st.bunch_count} / {st.package_count}")
+    lines.append(f"duration           : {st.duration:.3f} s")
+    lines.append(f"offered load       : {st.iops:.1f} IOPS, {st.mbps:.2f} MBPS")
+    lines.append(f"read ratio         : {st.read_ratio * 100:.2f} % "
+                 f"(max decile drift {profile.read_ratio_drift * 100:.1f} pp)")
+    lines.append(f"random ratio       : {st.random_ratio * 100:.2f} %")
+    lines.append(f"mean request       : {st.mean_request_bytes / KiB:.2f} KiB")
+    lines.append(f"dataset touched    : {st.dataset_gib:.3f} GiB")
+    lines.append(
+        f"seek distance      : p50 {profile.seek_p50_sectors:.0f} / "
+        f"p95 {profile.seek_p95_sectors:.0f} sectors "
+        f"({profile.seek_zero_fraction * 100:.1f} % streaming)"
+    )
+    lines.append(f"arrival burstiness : CV {profile.interarrival_cv:.2f} "
+                 f"(1 = Poisson)")
+    lines.append(f"max bunch fan-out  : {profile.max_bunch_size}")
+    lines.append(
+        f"locality           : top-10 regions hold "
+        f"{profile.hot_region_share * 100:.1f} % of accesses"
+    )
+    if profile.size_histogram:
+        lines.append("request sizes:")
+        total = sum(c for _, c in profile.size_histogram)
+        for label, count in profile.size_histogram:
+            bar = "#" * max(1, round(40 * count / total))
+            lines.append(f"  {label:<18} {count:>8} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Markdown evaluation report from a results database.
+
+"The users are able to send queries to the database to access results
+after the testing processes are done" (§III-A1) — this module is the
+query that writes the whole story down: per device, per workload mode,
+the load sweep with throughput / power / efficiency, plus cross-device
+efficiency comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..host.database import ResultsDatabase
+from ..host.records import TestRecord
+
+ModeKey = Tuple[int, float, float]
+
+
+def _group_by_mode(records: List[TestRecord]) -> Dict[ModeKey, List[TestRecord]]:
+    grouped: Dict[ModeKey, List[TestRecord]] = defaultdict(list)
+    for rec in records:
+        key = (
+            rec.mode.request_size,
+            rec.mode.random_ratio,
+            rec.mode.read_ratio,
+        )
+        grouped[key].append(rec)
+    for rows in grouped.values():
+        rows.sort(key=lambda r: r.mode.load_proportion)
+    return dict(grouped)
+
+
+def _mode_heading(key: ModeKey) -> str:
+    rs, rnd, rd = key
+    return (
+        f"request {rs} B · random {rnd * 100:.0f} % · read {rd * 100:.0f} %"
+    )
+
+
+def database_report(db: ResultsDatabase, title: str = "TRACER evaluation") -> str:
+    """Render the entire database as a markdown report."""
+    lines = [f"# {title}", ""]
+    devices = db.devices()
+    if not devices:
+        lines.append("_No records._")
+        return "\n".join(lines)
+
+    lines.append(f"{db.count()} test records across "
+                 f"{len(devices)} device(s): {', '.join(devices)}.")
+    lines.append("")
+
+    best: List[Tuple[float, str, str]] = []
+    for device in devices:
+        lines.append(f"## {device}")
+        lines.append("")
+        records = db.query(device_label=device)
+        for key, rows in sorted(_group_by_mode(records).items()):
+            lines.append(f"### {_mode_heading(key)}")
+            lines.append("")
+            lines.append(
+                "| load % | IOPS | MBPS | resp (ms) | Watts | "
+                "IOPS/W | MBPS/kW |"
+            )
+            lines.append("|---|---|---|---|---|---|---|")
+            for rec in rows:
+                lines.append(
+                    f"| {rec.mode.load_proportion * 100:.0f} "
+                    f"| {rec.iops:.1f} | {rec.mbps:.2f} "
+                    f"| {rec.mean_response * 1000:.3f} "
+                    f"| {rec.mean_watts:.2f} | {rec.iops_per_watt:.2f} "
+                    f"| {rec.mbps_per_kilowatt:.1f} |"
+                )
+            lines.append("")
+            full = [r for r in rows if abs(r.mode.load_proportion - 1.0) < 1e-9]
+            if full:
+                best.append(
+                    (full[0].mbps_per_kilowatt, device, _mode_heading(key))
+                )
+
+    if best:
+        best.sort(reverse=True)
+        lines.append("## Efficiency ranking (full load, MBPS/kW)")
+        lines.append("")
+        lines.append("| rank | device | workload | MBPS/kW |")
+        lines.append("|---|---|---|---|")
+        for rank, (eff, device, heading) in enumerate(best, start=1):
+            lines.append(f"| {rank} | {device} | {heading} | {eff:.1f} |")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,422 @@
+"""Command-line interface: ``python -m repro`` / ``tracer``.
+
+Subcommands mirror the evaluation workflow of §III-B:
+
+* ``collect``  — build (part of) the synthetic trace matrix into a repository;
+* ``convert``  — transform an HP ``.srt`` text trace to ``.replay``;
+* ``stats``    — print Table-III-style statistics of a trace file;
+* ``replay``   — replay a trace at a load proportion (``--live`` streams
+  per-cycle rows, the GUI stand-in);
+* ``sweep``    — full load sweep (10 %..100 %) with a results database;
+* ``repo``     — list a trace repository;
+* ``profile``  — distributional workload characterisation;
+* ``compare``  — statistical similarity of two traces;
+* ``headroom`` — SLO-bounded intensity bisection (the Fig. 2 knob);
+* ``serve``    — run a workload-generator node (Fig. 3);
+* ``report`` / ``export`` — markdown report / CSV from a results database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from .config import ReplayConfig, TestRequest, WorkloadMode, LOAD_LEVELS
+from .host.database import ResultsDatabase
+from .host.evaluation import EvaluationHost
+from .metrics.summary import format_table, summarize
+from .replay.session import ReplaySession
+from .storage.array import build_hdd_raid5, build_ssd_raid5
+from .trace.blktrace import read_trace
+from .trace.repository import TraceRepository
+from .trace.srt import convert_srt_file
+from .trace.stats import compute_stats
+from .workload.matrix import build_matrix, matrix_modes
+
+
+def _device_factory(kind: str, n_disks: int) -> Callable:
+    if kind == "hdd-raid5":
+        return lambda: build_hdd_raid5(n_disks)
+    if kind == "ssd-raid5":
+        return lambda: build_ssd_raid5(n_disks)
+    raise SystemExit(f"unknown device type {kind!r} (hdd-raid5 | ssd-raid5)")
+
+
+def _add_device_args(parser: argparse.ArgumentParser, default_disks: int = 6) -> None:
+    parser.add_argument(
+        "--device",
+        default="hdd-raid5",
+        choices=["hdd-raid5", "ssd-raid5"],
+        help="simulated device under test",
+    )
+    parser.add_argument(
+        "--disks", type=int, default=default_disks, help="member disk count"
+    )
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    repo = TraceRepository(args.repository)
+    modes = matrix_modes()
+    if args.limit:
+        modes = modes[: args.limit]
+    results = build_matrix(
+        _device_factory(args.device, args.disks),
+        repo,
+        args.device,
+        duration=args.duration,
+        modes=modes,
+        overwrite=args.overwrite,
+    )
+    for name, bunches in results:
+        print(f"{name.filename}: {bunches} bunches")
+    print(f"repository now holds {len(repo)} traces at {repo.root}")
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    trace = convert_srt_file(args.src, args.dst, device=args.srt_device)
+    print(f"converted {args.src} -> {args.dst}: {len(trace)} bunches, "
+          f"{trace.package_count} packages")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    st = compute_stats(trace)
+    print(f"trace           : {args.trace}")
+    print(f"bunches         : {st.bunch_count}")
+    print(f"packages        : {st.package_count}")
+    print(f"duration        : {st.duration:.3f} s")
+    print(f"total data      : {st.total_bytes / 1e6:.2f} MB")
+    print(f"dataset         : {st.dataset_gib:.3f} GiB")
+    print(f"read ratio      : {st.read_ratio * 100:.2f} %")
+    print(f"random ratio    : {st.random_ratio * 100:.2f} %")
+    print(f"mean req size   : {st.mean_request_kib:.2f} KiB")
+    print(f"mean bunch size : {st.mean_bunch_size:.2f}")
+    print(f"offered IOPS    : {st.iops:.1f}")
+    print(f"offered MBPS    : {st.mbps:.2f}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .replay.console import ConsoleReporter
+
+    trace = read_trace(args.trace)
+    device = _device_factory(args.device, args.disks)()
+    session = ReplaySession(
+        device,
+        config=ReplayConfig(
+            sampling_cycle=args.cycle, time_scale=args.time_scale
+        ),
+        reporter=ConsoleReporter() if args.live else None,
+    )
+    result = session.run(trace, load_proportion=args.load / 100.0)
+    print(format_table(summarize([result]), title=f"replay of {args.trace}"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    db = ResultsDatabase(args.database) if args.database else ResultsDatabase()
+    repo = TraceRepository(args.repository) if args.repository else TraceRepository(
+        Path(args.trace).parent
+    )
+    host = EvaluationHost(
+        _device_factory(args.device, args.disks),
+        args.device,
+        repository=repo,
+        database=db,
+    )
+    st = compute_stats(trace)
+    mode = WorkloadMode(
+        request_size=max(int(st.mean_request_bytes), 512),
+        random_ratio=min(max(st.random_ratio, 0.0), 1.0),
+        read_ratio=min(max(st.read_ratio, 0.0), 1.0),
+    )
+    records = host.run_load_sweep(mode, trace=trace, label=Path(args.trace).stem)
+    print(f"{'load%':>6} {'IOPS':>10} {'MBPS':>9} {'Watts':>8} "
+          f"{'IOPS/W':>8} {'MBPS/kW':>9}")
+    for rec in records:
+        print(
+            f"{rec.mode.load_proportion * 100:>5.0f}% {rec.iops:>10.1f} "
+            f"{rec.mbps:>9.2f} {rec.mean_watts:>8.2f} "
+            f"{rec.iops_per_watt:>8.2f} {rec.mbps_per_kilowatt:>9.1f}"
+        )
+    if args.database:
+        print(f"records stored in {args.database}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from .analysis.profile import format_profile, profile_trace
+
+    trace = read_trace(args.trace)
+    profile = profile_trace(trace)
+    print(format_profile(profile, title=f"workload profile — {args.trace}"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import database_report
+
+    with ResultsDatabase(args.database) as db:
+        text = database_report(db, title=args.title)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .analysis.export import export_records_csv
+
+    with ResultsDatabase(args.database) as db:
+        records = db.query()
+        count = export_records_csv(records, args.csv)
+    print(f"exported {count} records to {args.csv}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.similarity import compare_traces, format_similarity
+
+    original = read_trace(args.original)
+    manipulated = read_trace(args.manipulated)
+    sim = compare_traces(original, manipulated)
+    print(f"similarity of {args.manipulated} vs {args.original}:")
+    print(format_similarity(sim))
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace) -> int:
+    """Cut a time window out of a trace and rebase it to t=0."""
+    from .trace.blktrace import write_trace
+    from .trace.ops import rebase, time_window
+
+    trace = read_trace(args.trace)
+    window = rebase(time_window(trace, args.start, args.end))
+    if len(window) == 0:
+        print(f"window [{args.start}, {args.end}) selects no bunches")
+        return 1
+    write_trace(window, args.output)
+    print(f"{args.output}: {len(window)} bunches / "
+          f"{window.package_count} packages "
+          f"({window.duration:.3f} s)")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    """Remap a trace's addresses into a smaller device's range."""
+    from .trace.blktrace import write_trace
+    from .trace.ops import fit_to_capacity
+
+    trace = read_trace(args.trace)
+    fitted = fit_to_capacity(trace, args.capacity_sectors, mode=args.mode)
+    write_trace(fitted, args.output)
+    print(f"{args.output}: fitted to {args.capacity_sectors} sectors "
+          f"({args.mode} mode), {fitted.package_count} packages")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a workload-generator node (Fig. 3's generator machine)."""
+    import threading
+
+    from .distributed.generator_node import GeneratorNode
+
+    repo = TraceRepository(args.repository)
+    node = GeneratorNode(
+        _device_factory(args.device, args.disks),
+        args.device,
+        repo,
+        host=args.bind,
+        port=args.port,
+        node_id=args.node_id,
+    )
+    node.start()
+    print(f"generator node {args.node_id!r} serving {args.device} "
+          f"on {args.bind}:{node.port} "
+          f"({len(repo)} traces in {repo.root})")
+    try:
+        if args.max_tests:
+            # Scriptable mode: exit once N tests have been served.
+            while node.tests_served < args.max_tests:
+                threading.Event().wait(0.05)
+        else:  # pragma: no cover - interactive mode
+            threading.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        node.stop()
+    print(f"served {node.tests_served} tests; shutting down")
+    return 0
+
+
+def cmd_headroom(args: argparse.Namespace) -> int:
+    from .analysis.headroom import HeadroomError, find_headroom
+
+    trace = read_trace(args.trace)
+    factory = _device_factory(args.device, args.disks)
+    try:
+        result = find_headroom(
+            trace,
+            factory,
+            response_slo=args.slo_ms / 1000.0,
+            metric=args.metric,
+            max_intensity=args.max_intensity,
+        )
+    except HeadroomError as exc:
+        print(f"headroom search failed: {exc}")
+        return 1
+    print(f"{'intensity':>10} {'resp ms':>9} {'IOPS':>9} {'Watts':>8}")
+    for p in sorted(result.probes, key=lambda p: p.intensity):
+        print(
+            f"{p.intensity:>9.2f}x {p.mean_response * 1000:>9.2f} "
+            f"{p.iops:>9.1f} {p.mean_watts:>8.2f}"
+        )
+    if result.first_violation == float("inf"):
+        print(f"sustains >= {result.saturation_intensity:.1f}x the recorded "
+              f"load (search cap {args.max_intensity:g}x reached)")
+    else:
+        print(f"headroom: {result.saturation_intensity:.1f}x "
+              f"(SLO violated at {result.first_violation:.1f}x)")
+    return 0
+
+
+def cmd_repo(args: argparse.Namespace) -> int:
+    repo = TraceRepository(args.repository)
+    names = list(repo.names())
+    for name in names:
+        print(name.filename)
+    print(f"{len(names)} traces in {repo.root}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tracer",
+        description="TRACER: load-controllable trace replay for storage "
+        "energy-efficiency evaluation (CLUSTER 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="collect synthetic traces into a repository")
+    _add_device_args(p)
+    p.add_argument("repository", help="repository directory")
+    p.add_argument("--duration", type=float, default=2.0, help="seconds per trace")
+    p.add_argument("--limit", type=int, default=0, help="collect only first N modes")
+    p.add_argument("--overwrite", action="store_true")
+    p.set_defaults(func=cmd_collect)
+
+    p = sub.add_parser("convert", help="convert HP .srt text trace to .replay")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("--srt-device", type=int, default=None,
+                   help="keep only this SRT device number")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("stats", help="print trace statistics (Table III style)")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("replay", help="replay a trace at a load proportion")
+    _add_device_args(p)
+    p.add_argument("trace")
+    p.add_argument("--load", type=float, default=100.0, help="load percent (10..100)")
+    p.add_argument("--cycle", type=float, default=1.0, help="sampling cycle seconds")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="inter-arrival intensity scale (e.g. 2.0 = 200%%)")
+    p.add_argument("--live", action="store_true",
+                   help="stream one line per sampling cycle (GUI stand-in)")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("sweep", help="replay a trace at 10%%..100%% load levels")
+    _add_device_args(p)
+    p.add_argument("trace")
+    p.add_argument("--database", default="", help="sqlite file for records")
+    p.add_argument("--repository", default="", help="trace repository directory")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("repo", help="list a trace repository")
+    p.add_argument("repository")
+    p.set_defaults(func=cmd_repo)
+
+    p = sub.add_parser("profile", help="characterise a trace (distributions)")
+    p.add_argument("trace")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "compare", help="statistical similarity of two traces (e.g. "
+        "original vs filtered)"
+    )
+    p.add_argument("original")
+    p.add_argument("manipulated")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("slice", help="cut a time window out of a trace")
+    p.add_argument("trace")
+    p.add_argument("output")
+    p.add_argument("--start", type=float, default=0.0, help="window start (s)")
+    p.add_argument("--end", type=float, required=True, help="window end (s)")
+    p.set_defaults(func=cmd_slice)
+
+    p = sub.add_parser(
+        "fit", help="remap trace addresses into a smaller device"
+    )
+    p.add_argument("trace")
+    p.add_argument("output")
+    p.add_argument("capacity_sectors", type=int)
+    p.add_argument("--mode", choices=["scale", "wrap"], default="scale")
+    p.set_defaults(func=cmd_fit)
+
+    p = sub.add_parser(
+        "serve", help="run a workload-generator node (TCP server, Fig. 3)"
+    )
+    _add_device_args(p)
+    p.add_argument("repository", help="trace repository to serve from")
+    p.add_argument("--bind", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral, printed on start)")
+    p.add_argument("--node-id", default="generator-0")
+    p.add_argument("--max-tests", type=int, default=0,
+                   help="exit after serving N tests (0 = run until Ctrl-C)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "headroom",
+        help="bisect the intensity a device sustains under a response SLO",
+    )
+    _add_device_args(p)
+    p.add_argument("trace")
+    p.add_argument("--slo-ms", type=float, default=50.0,
+                   help="mean-response SLO in milliseconds")
+    p.add_argument("--metric", choices=["mean", "p95"], default="mean")
+    p.add_argument("--max-intensity", type=float, default=64.0)
+    p.set_defaults(func=cmd_headroom)
+
+    p = sub.add_parser("report", help="markdown report from a results database")
+    p.add_argument("database")
+    p.add_argument("--output", default="", help="write to file instead of stdout")
+    p.add_argument("--title", default="TRACER evaluation")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("export", help="export database records to CSV")
+    p.add_argument("database")
+    p.add_argument("csv")
+    p.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

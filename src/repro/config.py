@@ -1,0 +1,172 @@
+"""Configuration records shared across TRACER subsystems.
+
+The paper (Section III-A1) defines a *workload mode* as a vector of
+request size, random rate, read rate, and load proportion.  That vector is
+what the evaluation host sends to the workload generator, what names trace
+files in the repository, and what keys result records in the database —
+so it lives here, at the root of the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+from .errors import WorkloadError
+from .units import KiB
+
+#: Request sizes used to build the paper's 125-trace synthetic matrix
+#: (five sizes spanning 512 B .. 1 MB, Section V-C1 / Fig. 9-10 captions).
+MATRIX_REQUEST_SIZES = (512, 4 * KiB, 16 * KiB, 64 * KiB, 1024 * KiB)
+
+#: Five read ratios of the synthetic matrix.
+MATRIX_READ_RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Five random ratios of the synthetic matrix.
+MATRIX_RANDOM_RATIOS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: The ten configured load proportions of every experiment (10% .. 100%).
+LOAD_LEVELS = tuple((i + 1) / 10 for i in range(10))
+
+
+def _check_ratio(name: str, value: float) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class WorkloadMode:
+    """The workload-mode vector of Section III-A1.
+
+    Parameters
+    ----------
+    request_size:
+        I/O request size in bytes.
+    random_ratio:
+        Fraction of requests whose start address is random (the rest
+        continue sequentially from the previous request).
+    read_ratio:
+        Fraction of requests that are reads.
+    load_proportion:
+        Configured I/O intensity as a fraction of the peak trace
+        (``1.0`` replays the full trace; ``0.2`` replays 2 of every
+        10 bunches).  May exceed 1.0 only via time scaling, not via the
+        proportional filter.
+    """
+
+    request_size: int
+    random_ratio: float
+    read_ratio: float
+    load_proportion: float = 1.0
+
+    def __post_init__(self) -> None:
+        if int(self.request_size) <= 0:
+            raise WorkloadError(
+                f"request_size must be positive, got {self.request_size!r}"
+            )
+        object.__setattr__(self, "request_size", int(self.request_size))
+        object.__setattr__(
+            self, "random_ratio", _check_ratio("random_ratio", self.random_ratio)
+        )
+        object.__setattr__(
+            self, "read_ratio", _check_ratio("read_ratio", self.read_ratio)
+        )
+        lp = float(self.load_proportion)
+        if lp <= 0:
+            raise WorkloadError(f"load_proportion must be > 0, got {lp!r}")
+        object.__setattr__(self, "load_proportion", lp)
+
+    def at_load(self, load_proportion: float) -> "WorkloadMode":
+        """Return a copy of this mode with a different load proportion."""
+        return replace(self, load_proportion=load_proportion)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise for the wire protocol and the results database."""
+        return {
+            "request_size": self.request_size,
+            "random_ratio": self.random_ratio,
+            "read_ratio": self.read_ratio,
+            "load_proportion": self.load_proportion,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadMode":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            request_size=int(data["request_size"]),
+            random_ratio=float(data["random_ratio"]),
+            read_ratio=float(data["read_ratio"]),
+            load_proportion=float(data.get("load_proportion", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Knobs of a single replay run.
+
+    ``sampling_cycle`` is the monitor/power-analyzer sampling period —
+    "whose default value is 1 Second - is fully configurable"
+    (Section III-A2).  ``time_scale`` multiplies I/O intensity by
+    compressing (>1) or stretching (<1) inter-arrival gaps, the
+    supplementary mechanism of Fig. 2.
+    """
+
+    sampling_cycle: float = 1.0
+    time_scale: float = 1.0
+    group_size: int = 10
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.sampling_cycle <= 0:
+            raise WorkloadError(
+                f"sampling_cycle must be > 0, got {self.sampling_cycle!r}"
+            )
+        if self.time_scale <= 0:
+            raise WorkloadError(f"time_scale must be > 0, got {self.time_scale!r}")
+        if self.group_size < 1:
+            raise WorkloadError(f"group_size must be >= 1, got {self.group_size!r}")
+
+
+@dataclass(frozen=True)
+class TestRequest:
+    """What the evaluation host asks the workload generator to run.
+
+    Combines the workload mode (selects the trace in the repository and
+    the filter level) with the replay configuration, plus a free-form
+    label recorded in the database.
+    """
+
+    #: Tell pytest not to collect this class despite the Test* name.
+    __test__ = False
+
+    mode: WorkloadMode
+    replay: ReplayConfig = field(default_factory=ReplayConfig)
+    label: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode.to_dict(),
+            "replay": {
+                "sampling_cycle": self.replay.sampling_cycle,
+                "time_scale": self.replay.time_scale,
+                "group_size": self.replay.group_size,
+                "seed": self.replay.seed,
+            },
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TestRequest":
+        rp = data.get("replay", {})
+        return cls(
+            mode=WorkloadMode.from_dict(data["mode"]),
+            replay=ReplayConfig(
+                sampling_cycle=float(rp.get("sampling_cycle", 1.0)),
+                time_scale=float(rp.get("time_scale", 1.0)),
+                group_size=int(rp.get("group_size", 10)),
+                seed=rp.get("seed"),
+            ),
+            label=str(data.get("label", "")),
+        )

@@ -1,0 +1,37 @@
+"""TRACER's primary contribution: load-controllable trace replay.
+
+Three mechanisms:
+
+* :mod:`~repro.core.selection` / :mod:`~repro.core.proportional_filter` —
+  the uniform bunch filter of Section IV: partition a trace's bunches
+  into groups of 10, uniformly select ``k`` per group, replay only those,
+  scaling I/O intensity to ``k × 10 %`` while preserving the original
+  access characteristics (Fig. 5).
+* :mod:`~repro.core.timescale` — inter-arrival-time scaling, the
+  supplement shown in Fig. 2 that pushes intensity above 100 % (200 %,
+  1000 %) or far below (1 %).
+* :mod:`~repro.core.loadcontrol` — the combined load controller used by
+  the replay session, plus the accuracy math of Eqs. (1)-(2) in
+  :mod:`~repro.core.accuracy`.
+"""
+
+from .selection import uniform_positions, selection_mask
+from .proportional_filter import ProportionalFilter, filter_trace, random_filter_trace
+from .timescale import TimeScaler, scale_trace
+from .loadcontrol import LoadController
+from .accuracy import load_proportion, control_accuracy, AccuracyRow, accuracy_table
+
+__all__ = [
+    "uniform_positions",
+    "selection_mask",
+    "ProportionalFilter",
+    "filter_trace",
+    "random_filter_trace",
+    "TimeScaler",
+    "scale_trace",
+    "LoadController",
+    "load_proportion",
+    "control_accuracy",
+    "AccuracyRow",
+    "accuracy_table",
+]

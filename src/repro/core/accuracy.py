@@ -1,0 +1,97 @@
+"""Load-control accuracy math (paper Eqs. 1 and 2).
+
+Given an original trace ``f`` and a manipulated trace ``f'``:
+
+* the *measured load proportion* is ``LP(f, f') = T(f') / T(f)`` where
+  ``T`` is throughput in IOPS or MBPS (Eq. 1);
+* the *control accuracy* is ``A(f, f') = LP(f, f') / LP_config`` (Eq. 2),
+  ideally 1.0.
+
+Tables IV and V of the paper report these for a web-server trace and an
+HP cello99 trace; ``accuracy_table`` reproduces the table layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..errors import FilterError
+
+
+def load_proportion(original_throughput: float, filtered_throughput: float) -> float:
+    """Eq. 1: measured load proportion ``T(f')/T(f)``."""
+    if original_throughput <= 0:
+        raise FilterError(
+            f"original throughput must be > 0, got {original_throughput!r}"
+        )
+    if filtered_throughput < 0:
+        raise FilterError(
+            f"filtered throughput must be >= 0, got {filtered_throughput!r}"
+        )
+    return filtered_throughput / original_throughput
+
+
+def control_accuracy(measured_proportion: float, configured_proportion: float) -> float:
+    """Eq. 2: ``A = LP_measured / LP_config`` (1.0 = perfect control)."""
+    if configured_proportion <= 0:
+        raise FilterError(
+            f"configured proportion must be > 0, got {configured_proportion!r}"
+        )
+    return measured_proportion / configured_proportion
+
+
+@dataclass(frozen=True)
+class AccuracyRow:
+    """One column of Table IV/V: a configured level and its measurements."""
+
+    configured: float
+    measured_iops_proportion: float
+    measured_mbps_proportion: float
+
+    @property
+    def iops_accuracy(self) -> float:
+        return control_accuracy(self.measured_iops_proportion, self.configured)
+
+    @property
+    def mbps_accuracy(self) -> float:
+        return control_accuracy(self.measured_mbps_proportion, self.configured)
+
+    @property
+    def iops_error(self) -> float:
+        """Relative error |A - 1| for the IOPS measurement."""
+        return abs(self.iops_accuracy - 1.0)
+
+    @property
+    def mbps_error(self) -> float:
+        return abs(self.mbps_accuracy - 1.0)
+
+
+def accuracy_table(
+    configured_levels: Sequence[float],
+    iops_fn: Callable[[float], float],
+    mbps_fn: Callable[[float], float],
+    baseline_iops: float,
+    baseline_mbps: float,
+) -> List[AccuracyRow]:
+    """Build the rows of an accuracy table.
+
+    Parameters
+    ----------
+    configured_levels:
+        The configured load proportions (0.1 .. 1.0 in the paper).
+    iops_fn / mbps_fn:
+        Measured throughput of the manipulated trace at a given level.
+    baseline_iops / baseline_mbps:
+        Throughput of the unfiltered (100 %) replay, the ``T(f)`` of Eq. 1.
+    """
+    rows = []
+    for level in configured_levels:
+        rows.append(
+            AccuracyRow(
+                configured=level,
+                measured_iops_proportion=load_proportion(baseline_iops, iops_fn(level)),
+                measured_mbps_proportion=load_proportion(baseline_mbps, mbps_fn(level)),
+            )
+        )
+    return rows

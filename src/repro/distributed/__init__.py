@@ -1,0 +1,26 @@
+"""Distributed TRACER (paper Fig. 3).
+
+"we can make use of TRACER to test a large-scale storage system where
+multiple evaluation hosts, power analyzers and mass amount of storage
+are efficiently connected."
+
+* :mod:`~repro.distributed.generator_node` — a workload-generator node:
+  owns a trace repository and a device under test, serves `run_test`
+  frames over TCP;
+* :mod:`~repro.distributed.host_node` — the remote evaluation host: the
+  client that dispatches tests to generator nodes and stores records
+  locally;
+* :mod:`~repro.distributed.multichannel` — parallel evaluation of many
+  arrays in one simulation with a multichannel power analyzer.
+"""
+
+from .generator_node import GeneratorNode
+from .host_node import RemoteEvaluationHost
+from .multichannel import MultiArrayEvaluation, ArrayRun
+
+__all__ = [
+    "GeneratorNode",
+    "RemoteEvaluationHost",
+    "MultiArrayEvaluation",
+    "ArrayRun",
+]

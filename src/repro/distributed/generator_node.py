@@ -1,0 +1,109 @@
+"""Workload-generator node: the TCP-serving side of Fig. 3.
+
+A node owns one device under test (via a factory), one trace repository,
+and answers the host's frames:
+
+* ``hello`` → ``ack`` with node identity;
+* ``list_traces`` → trace names available for its device;
+* ``run_test`` → executes the replay locally and returns the flat
+  result summary;
+* ``shutdown`` → acknowledges (the owner stops the server).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..config import TestRequest
+from ..errors import TracerError
+from ..host.communicator import CommunicatorServer
+from ..host.protocol import (
+    Frame,
+    KIND_ACK,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_LIST_TRACES,
+    KIND_RUN_TEST,
+    KIND_SHUTDOWN,
+    KIND_TEST_RESULT,
+    KIND_TRACE_LIST,
+)
+from ..replay.session import ReplaySession
+from ..storage.base import StorageDevice
+from ..trace.repository import TraceRepository
+
+DeviceFactory = Callable[[], StorageDevice]
+
+
+class GeneratorNode:
+    """One workload-generator machine."""
+
+    def __init__(
+        self,
+        device_factory: DeviceFactory,
+        device_label: str,
+        repository: TraceRepository,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        node_id: str = "generator-0",
+    ) -> None:
+        self.device_factory = device_factory
+        self.device_label = device_label
+        self.repository = repository
+        self.node_id = node_id
+        self.tests_served = 0
+        self._server = CommunicatorServer(self._handle, host=host, port=port)
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def start(self) -> "GeneratorNode":
+        self._server.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.stop()
+
+    def __enter__(self) -> "GeneratorNode":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- Frame dispatch ------------------------------------------------------
+
+    def _handle(self, frame: Frame) -> Frame:
+        if frame.kind == KIND_HELLO:
+            return Frame(
+                KIND_ACK,
+                {"node_id": self.node_id, "device": self.device_label},
+            )
+        if frame.kind == KIND_LIST_TRACES:
+            names = [
+                n.filename
+                for n in self.repository.find(device=self.device_label)
+            ]
+            return Frame(KIND_TRACE_LIST, {"traces": names})
+        if frame.kind == KIND_RUN_TEST:
+            return self._run_test(frame)
+        if frame.kind == KIND_SHUTDOWN:
+            return Frame(KIND_ACK, {"node_id": self.node_id})
+        return Frame(KIND_ERROR, {"message": f"unknown frame kind {frame.kind!r}"})
+
+    def _run_test(self, frame: Frame) -> Frame:
+        try:
+            request = TestRequest.from_dict(frame.body["request"])
+            name = self.repository.lookup(self.device_label, request.mode)
+            trace = self.repository.load(name)
+            device = self.device_factory()
+            session = ReplaySession(device, config=request.replay)
+            result = session.run(
+                trace, load_proportion=request.mode.load_proportion
+            )
+        except (TracerError, KeyError, ValueError) as exc:
+            return Frame(KIND_ERROR, {"message": f"{type(exc).__name__}: {exc}"})
+        self.tests_served += 1
+        body = result.to_dict()
+        body["node_id"] = self.node_id
+        return Frame(KIND_TEST_RESULT, body)

@@ -1,0 +1,110 @@
+"""Remote evaluation host: dispatches tests to generator nodes over TCP.
+
+Mirrors :class:`~repro.host.evaluation.EvaluationHost`'s test surface but
+executes replays on remote generator nodes, storing the returned
+summaries in a local results database (the paper's host machine keeps
+the database; generators do the I/O).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import LOAD_LEVELS, ReplayConfig, TestRequest, WorkloadMode
+from ..errors import ProtocolError
+from ..host.communicator import Communicator
+from ..host.database import ResultsDatabase
+from ..host.protocol import (
+    Frame,
+    KIND_ERROR,
+    KIND_HELLO,
+    KIND_LIST_TRACES,
+    KIND_RUN_TEST,
+    KIND_TEST_RESULT,
+    KIND_TRACE_LIST,
+)
+from ..host.records import TestRecord
+
+
+class RemoteEvaluationHost:
+    """Client-side evaluation host for one generator node."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        database: Optional[ResultsDatabase] = None,
+        clock: Callable[[], float] = _time.time,
+        timeout: float = 60.0,
+    ) -> None:
+        self.comm = Communicator(host, port, timeout=timeout)
+        self.database = database if database is not None else ResultsDatabase()
+        self.clock = clock
+        reply = self.comm.request(Frame(KIND_HELLO, {}))
+        if reply.kind == KIND_ERROR:
+            raise ProtocolError(f"node refused hello: {reply.body.get('message')}")
+        self.node_id = reply.body.get("node_id", "?")
+        self.device_label = reply.body.get("device", "?")
+
+    def close(self) -> None:
+        self.comm.close()
+
+    def __enter__(self) -> "RemoteEvaluationHost":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def list_traces(self) -> List[str]:
+        reply = self.comm.request(Frame(KIND_LIST_TRACES, {}))
+        if reply.kind != KIND_TRACE_LIST:
+            raise ProtocolError(f"unexpected reply {reply.kind!r}")
+        return list(reply.body.get("traces", []))
+
+    def run_test(self, request: TestRequest) -> TestRecord:
+        """Run one test remotely; store and return the record."""
+        reply = self.comm.request(
+            Frame(KIND_RUN_TEST, {"request": request.to_dict()})
+        )
+        if reply.kind == KIND_ERROR:
+            raise ProtocolError(f"remote test failed: {reply.body.get('message')}")
+        if reply.kind != KIND_TEST_RESULT:
+            raise ProtocolError(f"unexpected reply {reply.kind!r}")
+        body: Dict = reply.body
+        record = TestRecord(
+            test_time=self.clock(),
+            device_label=self.device_label,
+            mode=request.mode,
+            mean_amperes=body["mean_watts"] / 220.0,
+            mean_volts=220.0,
+            mean_watts=body["mean_watts"],
+            energy_joules=body["energy_joules"],
+            iops=body["iops"],
+            mbps=body["mbps"],
+            mean_response=body["mean_response"],
+            duration=body["duration"],
+            iops_per_watt=body["iops_per_watt"],
+            mbps_per_kilowatt=body["mbps_per_kilowatt"],
+            label=request.label,
+        )
+        self.database.insert(record)
+        return record
+
+    def run_load_sweep(
+        self,
+        mode: WorkloadMode,
+        levels: Sequence[float] = LOAD_LEVELS,
+        replay: Optional[ReplayConfig] = None,
+        label: str = "",
+    ) -> List[TestRecord]:
+        """Sweep load levels on the remote node."""
+        records = []
+        for level in levels:
+            request = TestRequest(
+                mode=mode.at_load(level),
+                replay=replay if replay is not None else ReplayConfig(),
+                label=label,
+            )
+            records.append(self.run_test(request))
+        return records

@@ -1,0 +1,280 @@
+"""eRAID: energy-efficient RAID via redundancy (Li & Wang, SIGOPS-EW'04).
+
+The fourth Table-I technique: exploit *redundancy* for power.  In a
+mirrored array the mirror halves carry no unique data, so under light
+load they can spin down; reads fall back to the primaries, and writes
+to a sleeping mirror are logged and replayed (resynced) when it wakes.
+
+Model, on striped mirror pairs (RAID-10 layout):
+
+* reads — alternate across a pair when both members spin; primary-only
+  while the mirror sleeps (no latency penalty beyond the busier
+  primary);
+* writes — always hit the primary; a sleeping mirror's copy is
+  deferred into a dirty log;
+* policy — a window timer watches primary utilisation: below
+  ``sleep_threshold`` the mirrors spin down; above ``wake_threshold``
+  (or when the dirty log exceeds ``max_dirty_log``) they spin up and
+  the log replays to them (resync I/O through the normal queues);
+* exposure — while dirty entries exist, that data is single-copy; the
+  array tracks ``exposure_seconds`` (integral of dirty-log non-empty
+  time), the reliability cost TRACER's metrics can weigh against the
+  energy saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import StorageConfigError
+from ..power.model import EnergyMeter
+from ..power.states import PowerState
+from ..sim.engine import Simulator
+from ..storage.base import Completion, CompletionCallback, StorageDevice
+from ..storage.hdd import HardDiskDrive
+from ..trace.record import READ, WRITE, IOPackage
+from ..units import SECTOR_BYTES
+
+
+@dataclass
+class _Flight:
+    package: IOPackage
+    submit_time: float
+    on_complete: CompletionCallback
+    pending: int
+
+
+class ERAIDArray(StorageDevice):
+    """Striped mirror pairs with mirror spin-down and write logging.
+
+    Parameters
+    ----------
+    disks:
+        Even count; pair ``p`` is (primary ``2p``, mirror ``2p+1``).
+    strip_bytes:
+        Stripe unit across pairs.
+    window:
+        Policy evaluation period in seconds (``None`` disables).
+    sleep_threshold / wake_threshold:
+        Primary-utilisation bounds for spinning mirrors down / up.
+    max_dirty_log:
+        Pending deferred writes that force a wake + resync.
+    """
+
+    def __init__(
+        self,
+        disks: Sequence[HardDiskDrive],
+        strip_bytes: int = 128 * 1024,
+        window: Optional[float] = 5.0,
+        sleep_threshold: float = 0.2,
+        wake_threshold: float = 0.6,
+        max_dirty_log: int = 1024,
+        non_disk_watts: float = 38.0,
+        name: str = "eraid0",
+    ) -> None:
+        super().__init__(name)
+        if len(disks) < 4 or len(disks) % 2:
+            raise StorageConfigError("eRAID needs an even count of >= 4 disks")
+        if strip_bytes <= 0 or strip_bytes % SECTOR_BYTES:
+            raise StorageConfigError("strip_bytes must be a positive 512 multiple")
+        if not 0.0 <= sleep_threshold < wake_threshold <= 1.0:
+            raise StorageConfigError(
+                "need 0 <= sleep_threshold < wake_threshold <= 1"
+            )
+        if max_dirty_log < 1:
+            raise StorageConfigError("max_dirty_log must be >= 1")
+        self.disks = list(disks)
+        self.n_pairs = len(disks) // 2
+        self.strip_bytes = strip_bytes
+        self.strip_sectors = strip_bytes // SECTOR_BYTES
+        self.window = window
+        self.sleep_threshold = sleep_threshold
+        self.wake_threshold = wake_threshold
+        self.max_dirty_log = max_dirty_log
+        self.meter = EnergyMeter(
+            [d.timeline for d in self.disks], overhead_watts=non_disk_watts
+        )
+        per_pair = min(d.capacity_sectors for d in self.disks)
+        self._pair_sectors = (per_pair // self.strip_sectors) * self.strip_sectors
+        self.mirrors_asleep = False
+        self._dirty: List[Tuple[int, IOPackage]] = []  # (pair, mirror pkg)
+        self._mirror_next = 0
+        self._policy_active = False
+        self._resyncing = False
+        self._exposure_started: Optional[float] = None
+        self.exposure_seconds = 0.0
+        self.sleep_events = 0
+        self.wake_events = 0
+        self.resynced_writes = 0
+
+    # -- Device interface --------------------------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        super().attach(sim)
+        for disk in self.disks:
+            disk.attach(sim)
+        self._policy_active = True
+        if self.window is not None:
+            sim.schedule_after(self.window, self._policy_tick, priority=20)
+
+    def stop_policy(self) -> None:
+        self._policy_active = False
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.n_pairs * self._pair_sectors
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        return self.meter.energy_between(t0, t1)
+
+    @property
+    def dirty_log_length(self) -> int:
+        return len(self._dirty)
+
+    # -- Address mapping (stripe across pairs) ------------------------------
+
+    def _pieces(self, package: IOPackage) -> List[Tuple[int, IOPackage]]:
+        """(pair, physical package) chunks, strip-aligned."""
+        pieces = []
+        start = package.sector * SECTOR_BYTES
+        remaining = package.nbytes
+        while remaining > 0:
+            strip_index = start // self.strip_bytes
+            offset = start % self.strip_bytes
+            take = min(self.strip_bytes - offset, remaining)
+            pair = strip_index % self.n_pairs
+            row = strip_index // self.n_pairs
+            sector = row * self.strip_sectors + offset // SECTOR_BYTES
+            pieces.append((pair, IOPackage(sector, take, package.op)))
+            start += take
+            remaining -= take
+        return pieces
+
+    # -- I/O path ------------------------------------------------------------
+
+    def submit(self, package: IOPackage, on_complete: CompletionCallback) -> None:
+        sim = self._require_sim()
+        self.check_bounds(package)
+        pieces = self._pieces(package)
+
+        def _mirror_usable(pair: int) -> bool:
+            mirror = self.disks[2 * pair + 1]
+            return (
+                not self.mirrors_asleep
+                and not self._resyncing
+                and mirror.state.ready
+            )
+
+        fanout = sum(
+            2 if (pkg.op == WRITE and _mirror_usable(pair)) else 1
+            for pair, pkg in pieces
+        )
+        flight = _Flight(package, sim.now, on_complete, pending=fanout)
+
+        def _one_done(_completion: Completion) -> None:
+            flight.pending -= 1
+            if flight.pending == 0:
+                flight.on_complete(
+                    Completion(
+                        package=flight.package,
+                        submit_time=flight.submit_time,
+                        start_time=flight.submit_time,
+                        finish_time=sim.now,
+                    )
+                )
+
+        for pair, pkg in pieces:
+            primary = self.disks[2 * pair]
+            mirror = self.disks[2 * pair + 1]
+            if pkg.op == READ:
+                if _mirror_usable(pair):
+                    member = primary if self._mirror_next == 0 else mirror
+                    self._mirror_next = 1 - self._mirror_next
+                    member.submit(pkg, _one_done)
+                else:
+                    primary.submit(pkg, _one_done)
+            else:
+                primary.submit(pkg, _one_done)
+                if _mirror_usable(pair):
+                    mirror.submit(pkg, _one_done)
+                else:
+                    # Sleeping or mid-wake: defer the mirror copy.
+                    self._log_dirty(pair, pkg)
+
+    def _log_dirty(self, pair: int, pkg: IOPackage) -> None:
+        sim = self._require_sim()
+        if self._exposure_started is None:
+            self._exposure_started = sim.now
+        self._dirty.append((pair, pkg))
+        if len(self._dirty) >= self.max_dirty_log:
+            self._wake_mirrors()
+
+    # -- Policy ----------------------------------------------------------------
+
+    def _primary_utilisation(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        primaries = [self.disks[2 * p] for p in range(self.n_pairs)]
+        return max(d.utilisation(t0, t1) for d in primaries)
+
+    def _policy_tick(self) -> None:
+        sim = self._require_sim()
+        if not self._policy_active:
+            return
+        t1 = sim.now
+        util = self._primary_utilisation(t1 - self.window, t1)
+        if not self.mirrors_asleep and util < self.sleep_threshold:
+            self._sleep_mirrors()
+        elif self.mirrors_asleep and util > self.wake_threshold:
+            self._wake_mirrors()
+        sim.schedule_after(self.window, self._policy_tick, priority=20)
+
+    def _sleep_mirrors(self) -> None:
+        ready = all(
+            self.disks[2 * p + 1].state.ready
+            and not self.disks[2 * p + 1].busy
+            and self.disks[2 * p + 1].queue_depth == 0
+            for p in range(self.n_pairs)
+        )
+        if not ready or self._resyncing:
+            return
+        for p in range(self.n_pairs):
+            self.disks[2 * p + 1].spin_down()
+        self.mirrors_asleep = True
+        self.sleep_events += 1
+
+    def _wake_mirrors(self) -> None:
+        if not self.mirrors_asleep or self._resyncing:
+            return
+        sim = self._require_sim()
+        self.mirrors_asleep = False
+        self._resyncing = True
+        self.wake_events += 1
+        delay = max(
+            self.disks[2 * p + 1].spin_up() for p in range(self.n_pairs)
+        )
+        sim.schedule_after(delay + 0.001, self._resync, priority=15)
+
+    def _resync(self) -> None:
+        """Replay the dirty log to the mirrors; loops until drained
+        (writes deferred during the resync itself join the next pass)."""
+        sim = self._require_sim()
+        backlog = self._dirty
+        self._dirty = []
+        if not backlog:
+            if self._exposure_started is not None:
+                self.exposure_seconds += sim.now - self._exposure_started
+                self._exposure_started = None
+            self._resyncing = False
+            return
+        pending = {"n": len(backlog)}
+
+        def _done(_completion: Completion) -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self._resync()  # drain anything deferred meanwhile
+
+        for pair, pkg in backlog:
+            self.resynced_writes += 1
+            self.disks[2 * pair + 1].submit(pkg, _done)

@@ -1,0 +1,188 @@
+"""MAID: Massive Array of Idle Disks (Colarelli & Grunwald, SC'02).
+
+Data is *concatenated* (not striped) across member disks, so cold disks
+see no traffic and can spin down after an idle timeout.  A request to a
+sleeping disk must wait out the spin-up — the latency penalty that makes
+MAID a trade-off worth measuring, which is exactly what TRACER's
+IOPS/Watt metric captures.
+
+Requests that span two member disks are split; the parent completes when
+both halves do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import StorageConfigError
+from ..power.model import EnergyMeter
+from ..power.states import PowerState
+from ..sim.engine import Simulator
+from ..storage.base import Completion, CompletionCallback, StorageDevice
+from ..storage.hdd import HardDiskDrive
+from ..trace.record import IOPackage
+
+
+@dataclass
+class _Flight:
+    package: IOPackage
+    submit_time: float
+    on_complete: CompletionCallback
+    pending: int
+    start_time: float
+
+
+class MAIDArray(StorageDevice):
+    """Concatenation array with per-disk spin-down.
+
+    Parameters
+    ----------
+    disks:
+        Member drives (must support spin_down/spin_up — i.e. HDDs).
+    idle_timeout:
+        Seconds without I/O after which a disk spins down.  ``None``
+        disables the policy (useful as the measurement baseline).
+    non_disk_watts:
+        Enclosure overhead added to the power meter.
+    """
+
+    def __init__(
+        self,
+        disks: Sequence[HardDiskDrive],
+        idle_timeout: Optional[float] = 10.0,
+        non_disk_watts: float = 38.0,
+        name: str = "maid0",
+    ) -> None:
+        super().__init__(name)
+        if not disks:
+            raise StorageConfigError("MAID needs at least one disk")
+        self.disks = list(disks)
+        self.idle_timeout = idle_timeout
+        self.meter = EnergyMeter(
+            [d.timeline for d in self.disks], overhead_watts=non_disk_watts
+        )
+        self._last_io = [0.0] * len(self.disks)
+        self._idle_events = [None] * len(self.disks)
+        self.spin_down_count = 0
+        self.spin_up_count = 0
+        self.blocked_on_spinup = 0
+
+    def attach(self, sim: Simulator) -> None:
+        super().attach(sim)
+        for disk in self.disks:
+            disk.attach(sim)
+        if self.idle_timeout is not None:
+            for i in range(len(self.disks)):
+                self._arm_idle_timer(i)
+
+    @property
+    def capacity_sectors(self) -> int:
+        return sum(d.capacity_sectors for d in self.disks)
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        return self.meter.energy_between(t0, t1)
+
+    # -- Idle policy ---------------------------------------------------------
+
+    def _arm_idle_timer(self, disk_idx: int) -> None:
+        sim = self._require_sim()
+        if self._idle_events[disk_idx] is not None:
+            self._idle_events[disk_idx].cancel()
+        self._idle_events[disk_idx] = sim.schedule(
+            sim.now + self.idle_timeout, self._idle_check, disk_idx, priority=20
+        )
+
+    def _idle_check(self, disk_idx: int) -> None:
+        sim = self._require_sim()
+        self._idle_events[disk_idx] = None
+        disk = self.disks[disk_idx]
+        idle_for = sim.now - self._last_io[disk_idx]
+        if (
+            idle_for >= self.idle_timeout
+            and disk.state.ready
+            and not disk.busy
+            and disk.queue_depth == 0
+        ):
+            disk.spin_down()
+            self.spin_down_count += 1
+        elif disk.state.ready:
+            self._arm_idle_timer(disk_idx)
+
+    # -- I/O path ------------------------------------------------------------
+
+    def _locate(self, package: IOPackage) -> List:
+        """Split a logical extent into (disk_idx, IOPackage) pieces."""
+        pieces = []
+        sector = package.sector
+        remaining = package.sectors
+        base = 0
+        for idx, disk in enumerate(self.disks):
+            cap = disk.capacity_sectors
+            if sector < base + cap:
+                local = sector - base
+                take = min(remaining, cap - local)
+                pieces.append(
+                    (idx, IOPackage(local, take * 512, package.op))
+                )
+                sector += take
+                remaining -= take
+                if remaining <= 0:
+                    break
+            base += cap
+        return pieces
+
+    def submit(self, package: IOPackage, on_complete: CompletionCallback) -> None:
+        sim = self._require_sim()
+        self.check_bounds(package)
+        pieces = self._locate(package)
+        flight = _Flight(
+            package=package,
+            submit_time=sim.now,
+            on_complete=on_complete,
+            pending=len(pieces),
+            start_time=sim.now,
+        )
+        for disk_idx, sub in pieces:
+            self._submit_piece(disk_idx, sub, flight)
+
+    def _submit_piece(self, disk_idx: int, sub: IOPackage, flight: _Flight) -> None:
+        sim = self._require_sim()
+        disk = self.disks[disk_idx]
+        self._last_io[disk_idx] = sim.now
+
+        def _done(completion: Completion) -> None:
+            self._last_io[disk_idx] = sim.now
+            flight.pending -= 1
+            if self.idle_timeout is not None and disk.state.ready:
+                self._arm_idle_timer(disk_idx)
+            if flight.pending == 0:
+                flight.on_complete(
+                    Completion(
+                        package=flight.package,
+                        submit_time=flight.submit_time,
+                        start_time=flight.start_time,
+                        finish_time=sim.now,
+                    )
+                )
+
+        if disk.state == PowerState.STANDBY:
+            self.blocked_on_spinup += 1
+            self.spin_up_count += 1
+            delay = disk.spin_up()
+            sim.schedule(
+                sim.now + delay, lambda: disk.submit(sub, _done), priority=5
+            )
+        elif disk.state == PowerState.SPINNING_UP:
+            # Another request already triggered spin-up; poll readiness.
+            self.blocked_on_spinup += 1
+
+            def _when_ready() -> None:
+                if disk.state.ready:
+                    disk.submit(sub, _done)
+                else:
+                    sim.schedule_after(0.1, _when_ready, priority=5)
+
+            sim.schedule_after(0.1, _when_ready, priority=5)
+        else:
+            disk.submit(sub, _done)

@@ -1,0 +1,112 @@
+"""Side-by-side policy comparison using TRACER's metrics.
+
+"TRACER allows systems developers to compare among various energy-saving
+techniques integrated into modern storage systems" (§I).  Given a
+baseline device factory and alternatives, replay the same trace at the
+same load on each and tabulate energy saving vs. performance penalty —
+the exact comparison columns of the paper's Table I literature survey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ReplayConfig
+from ..replay.results import ReplayResult
+from ..replay.session import ReplaySession
+from ..storage.base import StorageDevice
+from ..trace.record import Trace
+
+DeviceFactory = Callable[[], StorageDevice]
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """One policy's outcome relative to the baseline."""
+
+    name: str
+    result: ReplayResult
+    energy_saving: float
+    """Fraction of baseline energy saved (positive = saves energy)."""
+    response_penalty: float
+    """Relative mean-response-time increase over baseline."""
+    throughput_ratio: float
+    """Policy MBPS over baseline MBPS."""
+
+    @property
+    def iops_per_watt(self) -> float:
+        return self.result.iops_per_watt
+
+    @property
+    def mbps_per_kilowatt(self) -> float:
+        return self.result.mbps_per_kilowatt
+
+
+def compare_policies(
+    baseline: Tuple[str, DeviceFactory],
+    policies: Sequence[Tuple[str, DeviceFactory]],
+    trace: Trace,
+    load_proportion: float = 1.0,
+    config: Optional[ReplayConfig] = None,
+) -> List[PolicyComparison]:
+    """Replay ``trace`` on the baseline and each policy; compare.
+
+    Returns one row per entry, baseline first (with zero deltas).
+    """
+    base_name, base_factory = baseline
+    base_result = ReplaySession(base_factory(), config=config).run(
+        trace, load_proportion=load_proportion
+    )
+    rows = [
+        PolicyComparison(
+            name=base_name,
+            result=base_result,
+            energy_saving=0.0,
+            response_penalty=0.0,
+            throughput_ratio=1.0,
+        )
+    ]
+    for name, factory in policies:
+        result = ReplaySession(factory(), config=config).run(
+            trace, load_proportion=load_proportion
+        )
+        saving = (
+            1.0 - result.energy_joules / base_result.energy_joules
+            if base_result.energy_joules > 0
+            else 0.0
+        )
+        penalty = (
+            result.mean_response / base_result.mean_response - 1.0
+            if base_result.mean_response > 0
+            else 0.0
+        )
+        ratio = result.mbps / base_result.mbps if base_result.mbps > 0 else 0.0
+        rows.append(
+            PolicyComparison(
+                name=name,
+                result=result,
+                energy_saving=saving,
+                response_penalty=penalty,
+                throughput_ratio=ratio,
+            )
+        )
+    return rows
+
+
+def format_comparison(rows: Sequence[PolicyComparison]) -> str:
+    """Fixed-width table for bench/example output."""
+    header = (
+        f"{'policy':<20} {'energy J':>10} {'saving%':>8} {'resp ms':>9} "
+        f"{'penalty%':>9} {'MBPS':>8} {'IOPS/W':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<20} {row.result.energy_joules:>10.1f} "
+            f"{row.energy_saving * 100:>7.1f}% "
+            f"{row.result.mean_response * 1000:>9.3f} "
+            f"{row.response_penalty * 100:>8.1f}% "
+            f"{row.result.mbps:>8.2f} {row.iops_per_watt:>8.2f}"
+        )
+    return "\n".join(lines)

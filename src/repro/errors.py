@@ -1,0 +1,72 @@
+"""Exception hierarchy for the TRACER reproduction.
+
+Every error raised by the library derives from :class:`TracerError`, so
+callers can catch one type at the API boundary.  Subclasses are grouped by
+subsystem; each carries a human-readable message and, where useful,
+structured context attributes.
+"""
+
+from __future__ import annotations
+
+
+class TracerError(Exception):
+    """Base class for all TRACER errors."""
+
+
+class TraceFormatError(TracerError):
+    """A trace file is malformed or not in the expected format.
+
+    Attributes
+    ----------
+    offset:
+        Byte offset in the source file at which the problem was detected,
+        or ``None`` when not applicable.
+    """
+
+    def __init__(self, message: str, *, offset: int | None = None) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
+class TraceValidationError(TracerError):
+    """A trace violates a semantic invariant (e.g. non-monotone timestamps)."""
+
+
+class RepositoryError(TracerError):
+    """Trace repository problems: bad names, missing entries, collisions."""
+
+
+class FilterError(TracerError):
+    """Invalid load-control configuration (proportion out of range, etc.)."""
+
+
+class StorageConfigError(TracerError):
+    """Invalid storage device / RAID geometry configuration."""
+
+
+class StorageIOError(TracerError):
+    """A replayed request fell outside the device's addressable range."""
+
+
+class PowerAnalyzerError(TracerError):
+    """Power analyzer misuse: unknown channel, sampling before arming, ..."""
+
+
+class WorkloadError(TracerError):
+    """Invalid synthetic workload parameters."""
+
+
+class ReplayError(TracerError):
+    """Replay engine failures (empty trace, monitor misconfiguration, ...)."""
+
+
+class ProtocolError(TracerError):
+    """Malformed frames or unexpected messages on the host wire protocol."""
+
+
+class DatabaseError(TracerError):
+    """Evaluation-host result database failures."""
+
+
+class SimulationError(TracerError):
+    """Discrete-event engine misuse (scheduling into the past, ...)."""

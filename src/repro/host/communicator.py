@@ -1,0 +1,143 @@
+"""TCP communicator: the socket channel of §III-A1.
+
+:class:`Communicator` is the client side (the evaluation host dials the
+workload generator); :class:`CommunicatorServer` is the accepting side
+(a workload-generator node).  Both speak length-prefixed JSON frames
+(:mod:`repro.host.protocol`) with blocking request/response semantics —
+the host's dialogue is strictly sequential per node.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Optional, Tuple
+
+from ..errors import ProtocolError
+from .protocol import Frame, FrameReader, encode_frame
+
+FrameHandler = Callable[[Frame], Frame]
+
+
+class Communicator:
+    """Client side of the host↔generator channel."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.address = (host, port)
+        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self._reader = FrameReader()
+        self._pending: list = []
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Communicator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def send(self, frame: Frame) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def receive(self) -> Frame:
+        """Block until one complete frame arrives (FIFO across recvs)."""
+        if self._pending:
+            return self._pending.pop(0)
+        while True:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ProtocolError("connection closed mid-frame")
+            frames = self._reader.feed(data)
+            if frames:
+                self._pending = frames[1:]
+                return frames[0]
+
+    def request(self, frame: Frame) -> Frame:
+        """Send one frame and wait for the reply."""
+        self.send(frame)
+        return self.receive()
+
+
+class CommunicatorServer:
+    """Accepting side: serves one handler over TCP on a daemon thread.
+
+    Per-connection threads make the server usable by the multichannel
+    evaluation (several hosts talking to several generator nodes).
+    """
+
+    def __init__(self, handler: FrameHandler, host: str = "127.0.0.1", port: int = 0):
+        self.handler = handler
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> "CommunicatorServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            # Unblock accept() by dialing ourselves.
+            with socket.create_connection(self.address, timeout=1.0):
+                pass
+        except OSError:
+            pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "CommunicatorServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            if self._stop.is_set():
+                conn.close()
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        reader = FrameReader()
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    data = conn.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    frames = reader.feed(data)
+                except ProtocolError:
+                    break
+                for frame in frames:
+                    try:
+                        reply = self.handler(frame)
+                    except Exception as exc:  # surface handler bugs to peer
+                        reply = Frame("error", {"message": repr(exc)})
+                    try:
+                        conn.sendall(encode_frame(reply))
+                    except OSError:
+                        return

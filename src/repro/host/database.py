@@ -1,0 +1,198 @@
+"""The evaluation host's results database.
+
+"After each test, energy efficiency and performance results are stored
+as records in the database for future retrievals" and "users are able to
+send queries to the database to access results after the testing
+processes are done" (§III-A1).  Backed by sqlite3 (stdlib), file-based
+or in-memory.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..errors import DatabaseError
+from .records import TestRecord
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS test_records (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    test_time REAL NOT NULL,
+    device_label TEXT NOT NULL,
+    mode_json TEXT NOT NULL,
+    request_size INTEGER NOT NULL,
+    random_ratio REAL NOT NULL,
+    read_ratio REAL NOT NULL,
+    load_proportion REAL NOT NULL,
+    mean_amperes REAL NOT NULL,
+    mean_volts REAL NOT NULL,
+    mean_watts REAL NOT NULL,
+    energy_joules REAL NOT NULL,
+    iops REAL NOT NULL,
+    mbps REAL NOT NULL,
+    mean_response REAL NOT NULL,
+    duration REAL NOT NULL,
+    iops_per_watt REAL NOT NULL,
+    mbps_per_kilowatt REAL NOT NULL,
+    label TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS idx_records_device
+    ON test_records (device_label);
+CREATE INDEX IF NOT EXISTS idx_records_mode
+    ON test_records (request_size, random_ratio, read_ratio, load_proportion);
+CREATE TABLE IF NOT EXISTS test_cycles (
+    record_id INTEGER NOT NULL REFERENCES test_records(id) ON DELETE CASCADE,
+    cycle_index INTEGER NOT NULL,
+    start REAL NOT NULL,
+    end REAL NOT NULL,
+    iops REAL NOT NULL,
+    mbps REAL NOT NULL,
+    mean_response REAL NOT NULL,
+    watts REAL NOT NULL,
+    PRIMARY KEY (record_id, cycle_index)
+);
+"""
+
+
+class ResultsDatabase:
+    """sqlite-backed store of :class:`~repro.host.records.TestRecord`."""
+
+    def __init__(self, path: PathLike = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def insert(self, record: TestRecord) -> int:
+        """Store one record; returns its database id."""
+        row = record.to_row()
+        columns = ", ".join(row)
+        placeholders = ", ".join(f":{k}" for k in row)
+        try:
+            with self._conn:
+                cur = self._conn.execute(
+                    f"INSERT INTO test_records ({columns}) VALUES ({placeholders})",
+                    row,
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"insert failed: {exc}") from exc
+        return int(cur.lastrowid)
+
+    def get(self, record_id: int) -> TestRecord:
+        cur = self._conn.execute(
+            "SELECT * FROM test_records WHERE id = ?", (record_id,)
+        )
+        row = cur.fetchone()
+        if row is None:
+            raise DatabaseError(f"no record with id {record_id}")
+        return TestRecord.from_row(dict(row))
+
+    def query(
+        self,
+        device_label: Optional[str] = None,
+        request_size: Optional[int] = None,
+        random_ratio: Optional[float] = None,
+        read_ratio: Optional[float] = None,
+        load_proportion: Optional[float] = None,
+        label: Optional[str] = None,
+        order_by: str = "test_time",
+    ) -> List[TestRecord]:
+        """Filtered retrieval; any combination of workload-mode fields."""
+        if order_by not in (
+            "test_time",
+            "load_proportion",
+            "iops",
+            "mbps",
+            "mean_watts",
+            "id",
+        ):
+            raise DatabaseError(f"cannot order by {order_by!r}")
+        clauses = []
+        params: list = []
+        for column, value in (
+            ("device_label", device_label),
+            ("request_size", request_size),
+            ("label", label),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        for column, value in (
+            ("random_ratio", random_ratio),
+            ("read_ratio", read_ratio),
+            ("load_proportion", load_proportion),
+        ):
+            if value is not None:
+                clauses.append(f"ABS({column} - ?) < 1e-9")
+                params.append(value)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        cur = self._conn.execute(
+            f"SELECT * FROM test_records {where} ORDER BY {order_by}, id", params
+        )
+        return [TestRecord.from_row(dict(row)) for row in cur.fetchall()]
+
+    def insert_cycles(self, record_id: int, cycles) -> int:
+        """Persist a record's per-cycle series (§III-A1: the database
+        keeps results "for future retrievals" — including the real-time
+        curves the GUI displayed).
+
+        ``cycles`` is the list from
+        :meth:`repro.replay.results.ReplayResult.cycles`.
+        """
+        rows = [
+            (
+                record_id,
+                i,
+                c.start,
+                c.end,
+                c.iops,
+                c.mbps,
+                c.mean_response,
+                c.watts,
+            )
+            for i, c in enumerate(cycles)
+        ]
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO test_cycles "
+                    "(record_id, cycle_index, start, end, iops, mbps, "
+                    " mean_response, watts) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"cycle insert failed: {exc}") from exc
+        return len(rows)
+
+    def cycles(self, record_id: int) -> List[dict]:
+        """Per-cycle rows for one record, in cycle order."""
+        cur = self._conn.execute(
+            "SELECT * FROM test_cycles WHERE record_id = ? ORDER BY cycle_index",
+            (record_id,),
+        )
+        return [dict(row) for row in cur.fetchall()]
+
+    def count(self) -> int:
+        cur = self._conn.execute("SELECT COUNT(*) AS n FROM test_records")
+        return int(cur.fetchone()["n"])
+
+    def devices(self) -> List[str]:
+        """Distinct device labels present in the store."""
+        cur = self._conn.execute(
+            "SELECT DISTINCT device_label FROM test_records ORDER BY device_label"
+        )
+        return [row["device_label"] for row in cur.fetchall()]

@@ -1,0 +1,190 @@
+"""The evaluation host: the full §III-B test procedure, headless.
+
+Ties the pieces together:
+
+1. *Setting up the environment* — construct the host with a device
+   under test (or a device factory), a trace repository, a results
+   database, and a multichannel meter;
+2. *Building a trace repository* — :meth:`EvaluationHost.build_repository`
+   collects the synthetic matrix via the workload generator;
+3. *Testing energy efficiency* — :meth:`EvaluationHost.run_test` applies
+   a :class:`~repro.config.TestRequest`: look up the trace, arm monitor
+   and power channel, replay at the configured load proportion, store a
+   :class:`~repro.host.records.TestRecord`, and return it.
+
+A fresh simulator and device per test keeps tests independent, exactly
+as the paper resets the array between runs.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..config import LOAD_LEVELS, ReplayConfig, TestRequest, WorkloadMode
+from ..errors import RepositoryError, TracerError
+from ..replay.results import ReplayResult
+from ..replay.session import ReplaySession
+from ..storage.base import StorageDevice
+from ..trace.record import Trace
+from ..trace.repository import TraceName, TraceRepository
+from ..workload.matrix import build_matrix
+from .database import ResultsDatabase
+from .records import TestRecord
+
+DeviceFactory = Callable[[], StorageDevice]
+
+
+class EvaluationHost:
+    """Headless evaluation host.
+
+    Parameters
+    ----------
+    device_factory:
+        Builds a fresh device under test for each run.
+    device_label:
+        Repository/database label for this device (e.g. ``hdd-raid5``).
+    repository:
+        Trace repository to collect into / replay from.
+    database:
+        Results store; an in-memory one is created if omitted.
+    clock:
+        Source of record timestamps (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        device_factory: DeviceFactory,
+        device_label: str,
+        repository: TraceRepository,
+        database: Optional[ResultsDatabase] = None,
+        clock: Callable[[], float] = _time.time,
+    ) -> None:
+        self.device_factory = device_factory
+        self.device_label = device_label
+        self.repository = repository
+        self.database = database if database is not None else ResultsDatabase()
+        self.clock = clock
+
+    # -- §III-B step 2: build the trace repository -------------------------
+
+    def build_repository(
+        self,
+        modes: Optional[Iterable[WorkloadMode]] = None,
+        duration: float = 5.0,
+        outstanding: int = 16,
+        overwrite: bool = False,
+    ) -> int:
+        """Collect peak traces for ``modes`` (default: the 125 matrix).
+
+        Returns the number of traces now available.
+        """
+        build_matrix(
+            self.device_factory,
+            self.repository,
+            self.device_label,
+            duration=duration,
+            modes=modes,
+            outstanding=outstanding,
+            overwrite=overwrite,
+        )
+        return len(self.repository)
+
+    # -- §III-B step 3: run measured tests ---------------------------------
+
+    def _load_trace(self, mode: WorkloadMode) -> Trace:
+        name = self.repository.lookup(self.device_label, mode)
+        return self.repository.load(name)
+
+    def run_test(
+        self,
+        request: TestRequest,
+        trace: Optional[Trace] = None,
+        store_cycles: bool = False,
+    ) -> TestRecord:
+        """Execute one test and store its record.
+
+        ``trace`` overrides the repository lookup (used for real-world
+        traces that are not part of the synthetic matrix).
+        ``store_cycles`` additionally persists the per-cycle series
+        (the GUI's real-time curves) alongside the summary record.
+        """
+        if trace is None:
+            trace = self._load_trace(request.mode)
+        device = self.device_factory()
+        session = ReplaySession(device, config=request.replay)
+        result = session.run(trace, load_proportion=request.mode.load_proportion)
+        record = TestRecord.from_result(
+            result,
+            mode=request.mode,
+            device_label=self.device_label,
+            test_time=self.clock(),
+            label=request.label,
+        )
+        record_id = self.database.insert(record)
+        if store_cycles:
+            self.database.insert_cycles(record_id, result.cycles())
+        return record
+
+    def run_load_sweep(
+        self,
+        mode: WorkloadMode,
+        levels: Sequence[float] = LOAD_LEVELS,
+        replay: Optional[ReplayConfig] = None,
+        trace: Optional[Trace] = None,
+        label: str = "",
+    ) -> List[TestRecord]:
+        """Replay one trace at each load level (the paper's 10 runs/trace)."""
+        records = []
+        for level in levels:
+            request = TestRequest(
+                mode=mode.at_load(level),
+                replay=replay if replay is not None else ReplayConfig(),
+                label=label,
+            )
+            records.append(self.run_test(request, trace=trace))
+        return records
+
+    def run_matrix_evaluation(
+        self,
+        modes: Optional[Iterable[WorkloadMode]] = None,
+        levels: Sequence[float] = LOAD_LEVELS,
+        replay: Optional[ReplayConfig] = None,
+        collect_duration: float = 5.0,
+        label: str = "matrix",
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> int:
+        """The paper's §VI step 1 in one call: collect every requested
+        mode's peak trace (if missing) and replay it at every level.
+
+        The full 125 × 10 grid is 1250 tests ("we had to perform more
+        than 1250 experiments"); pass ``modes``/``levels`` subsets for
+        anything interactive.  Returns the number of records stored.
+        ``progress(done, total)`` is invoked after each test.
+        """
+        mode_list = list(modes) if modes is not None else None
+        self.build_repository(modes=mode_list, duration=collect_duration)
+        if mode_list is None:
+            from ..workload.matrix import matrix_modes
+
+            mode_list = matrix_modes()
+        total = len(mode_list) * len(levels)
+        done = 0
+        for mode in mode_list:
+            for level in levels:
+                request = TestRequest(
+                    mode=mode.at_load(level),
+                    replay=replay if replay is not None else ReplayConfig(),
+                    label=label,
+                )
+                self.run_test(request)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        return done
+
+    # -- Queries -------------------------------------------------------------
+
+    def query(self, **kwargs) -> List[TestRecord]:
+        """Query stored results (see :meth:`ResultsDatabase.query`)."""
+        return self.database.query(device_label=self.device_label, **kwargs)

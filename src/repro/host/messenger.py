@@ -1,0 +1,89 @@
+"""The messenger module: power-analyzer control (paper §III-A1).
+
+"The messenger module is responsible for both passing control
+information to the power analyzer and receiving energy efficiency
+results from the power analyzer ... TRACER is able to support various
+types of power analyzer devices with some modification on the messenger
+module."  The messenger therefore speaks a small device-agnostic command
+set against a driver object; a driver for the simulated
+:class:`~repro.power.meter.MultiChannelMeter` ships by default, and a
+different analyzer plugs in by implementing the same four methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from ..errors import PowerAnalyzerError
+from ..power.meter import ChannelReading, MultiChannelMeter
+from ..power.analyzer import PowerSample
+from ..sim.engine import Simulator
+
+
+class AnalyzerDriver(Protocol):
+    """The device-specific surface the messenger drives."""
+
+    def initialize(self) -> None: ...
+
+    def start_channel(self, channel: int) -> None: ...
+
+    def stop_channel(self, channel: int) -> ChannelReading: ...
+
+    def read_samples(self, channel: int) -> List[PowerSample]: ...
+
+
+class SimMeterDriver:
+    """Driver for the simulated multichannel meter."""
+
+    def __init__(self, meter: MultiChannelMeter, sim: Simulator) -> None:
+        self.meter = meter
+        self.sim = sim
+        self._initialized = False
+
+    def initialize(self) -> None:
+        self._initialized = True
+
+    def start_channel(self, channel: int) -> None:
+        if not self._initialized:
+            raise PowerAnalyzerError("driver not initialized")
+        self.meter.start(channel, self.sim)
+
+    def stop_channel(self, channel: int) -> ChannelReading:
+        return self.meter.stop(channel)
+
+    def read_samples(self, channel: int) -> List[PowerSample]:
+        return self.meter.samples(channel)
+
+
+class Messenger:
+    """Routes analyzer commands and collects readings per channel."""
+
+    def __init__(self, driver: AnalyzerDriver) -> None:
+        self.driver = driver
+        self.readings: Dict[int, ChannelReading] = {}
+        self._started: set = set()
+
+    def initialize(self) -> None:
+        """'Command information is delivered from GUI to initialize the
+        power analyzer' — forward it."""
+        self.driver.initialize()
+
+    def begin_test(self, channels: List[int]) -> None:
+        """Arm the given channels for a test."""
+        for channel in channels:
+            self.driver.start_channel(channel)
+            self._started.add(channel)
+
+    def finalize_test(self, channels: Optional[List[int]] = None) -> Dict[int, ChannelReading]:
+        """Stop channels and cache their aggregate readings."""
+        targets = channels if channels is not None else sorted(self._started)
+        for channel in targets:
+            if channel not in self._started:
+                raise PowerAnalyzerError(f"channel {channel} was not started")
+            self.readings[channel] = self.driver.stop_channel(channel)
+            self._started.discard(channel)
+        return {ch: self.readings[ch] for ch in targets}
+
+    def samples(self, channel: int) -> List[PowerSample]:
+        """Per-cycle samples for real-time display or storage."""
+        return self.driver.read_samples(channel)

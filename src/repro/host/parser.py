@@ -1,0 +1,102 @@
+"""The parser module: protocol bridge (paper §III-A1).
+
+"The parser is a middle layer sitting between GUI and the messenger
+module.  Since data protocols used in GUI and the messenger module are
+different, the parser has to maintain the consistency between the two
+protocols and avoid unnecessary conflicts."
+
+Our user-facing surface is textual commands (the CLI and examples use
+it); the messenger and communicator consume structured frames.  The
+parser translates a small command grammar into protocol frames and
+messenger calls, validating as it goes::
+
+    run device=hdd-raid5 rs=4096 rnd=50 rd=0 load=40 [cycle=1.0]
+    list device=hdd-raid5
+    shutdown
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any, Dict
+
+from ..config import ReplayConfig, TestRequest, WorkloadMode
+from ..errors import ProtocolError, WorkloadError
+from .protocol import (
+    Frame,
+    KIND_LIST_TRACES,
+    KIND_RUN_TEST,
+    KIND_SHUTDOWN,
+)
+
+
+class CommandParser:
+    """Translate command strings into protocol frames."""
+
+    def parse(self, command: str) -> Frame:
+        """Parse one command line into a frame; raises on bad grammar."""
+        tokens = shlex.split(command)
+        if not tokens:
+            raise ProtocolError("empty command")
+        verb, args = tokens[0].lower(), tokens[1:]
+        kv = self._keyvalues(args)
+        if verb == "run":
+            return self._parse_run(kv)
+        if verb == "list":
+            return Frame(KIND_LIST_TRACES, {"device": kv.get("device", "")})
+        if verb == "shutdown":
+            if kv:
+                raise ProtocolError("shutdown takes no arguments")
+            return Frame(KIND_SHUTDOWN, {})
+        raise ProtocolError(f"unknown command {verb!r}")
+
+    @staticmethod
+    def _keyvalues(args) -> Dict[str, str]:
+        kv = {}
+        for arg in args:
+            if "=" not in arg:
+                raise ProtocolError(f"expected key=value, got {arg!r}")
+            key, value = arg.split("=", 1)
+            if key in kv:
+                raise ProtocolError(f"duplicate key {key!r}")
+            kv[key] = value
+        return kv
+
+    def _parse_run(self, kv: Dict[str, str]) -> Frame:
+        required = {"device", "rs", "rnd", "rd", "load"}
+        missing = required - kv.keys()
+        if missing:
+            raise ProtocolError(f"run: missing {sorted(missing)}")
+        unknown = kv.keys() - required - {"cycle", "scale", "label"}
+        if unknown:
+            raise ProtocolError(f"run: unknown keys {sorted(unknown)}")
+        try:
+            mode = WorkloadMode(
+                request_size=int(kv["rs"]),
+                random_ratio=float(kv["rnd"]) / 100.0,
+                read_ratio=float(kv["rd"]) / 100.0,
+                load_proportion=float(kv["load"]) / 100.0,
+            )
+            replay = ReplayConfig(
+                sampling_cycle=float(kv.get("cycle", "1.0")),
+                time_scale=float(kv.get("scale", "1.0")),
+            )
+        except (ValueError, WorkloadError) as exc:
+            raise ProtocolError(f"run: invalid parameter: {exc}") from exc
+        request = TestRequest(mode=mode, replay=replay, label=kv.get("label", ""))
+        return Frame(
+            KIND_RUN_TEST, {"device": kv["device"], "request": request.to_dict()}
+        )
+
+    def format_result(self, body: Dict[str, Any]) -> str:
+        """Render a test_result frame body for the textual surface."""
+        try:
+            return (
+                f"{body['trace_label']}: load={body['load_proportion'] * 100:.0f}% "
+                f"IOPS={body['iops']:.1f} MBPS={body['mbps']:.2f} "
+                f"W={body['mean_watts']:.2f} "
+                f"IOPS/W={body['iops_per_watt']:.2f} "
+                f"MBPS/kW={body['mbps_per_kilowatt']:.1f}"
+            )
+        except KeyError as exc:
+            raise ProtocolError(f"result body missing field {exc}") from exc

@@ -1,0 +1,101 @@
+"""Wire protocol between evaluation host and workload-generator nodes.
+
+"The communicator in the evaluation host interacts with the communicator
+in the workload generator through the TCP socket channel" (§III-A1).
+Frames are length-prefixed JSON::
+
+    frame := length u32 (big-endian) | payload (UTF-8 JSON)
+    payload := {"kind": <str>, "body": <object>}
+
+Length-prefixing (rather than line-delimiting) keeps the protocol safe
+for payloads containing newlines and makes truncation detectable.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError
+
+_LENGTH = struct.Struct(">I")
+
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Upper bound on a frame; protects against garbage length prefixes."""
+
+# Frame kinds used by the host/generator dialogue.
+KIND_HELLO = "hello"
+KIND_RUN_TEST = "run_test"
+KIND_TEST_RESULT = "test_result"
+KIND_LIST_TRACES = "list_traces"
+KIND_TRACE_LIST = "trace_list"
+KIND_ERROR = "error"
+KIND_SHUTDOWN = "shutdown"
+KIND_ACK = "ack"
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One protocol message."""
+
+    kind: str
+    body: Dict[str, Any]
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise a frame to wire bytes."""
+    payload = json.dumps(
+        {"kind": frame.kind, "body": frame.body}, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(payload)} bytes")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Frame:
+    """Parse a frame payload (without the length prefix)."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(obj, dict) or "kind" not in obj:
+        raise ProtocolError("frame payload missing 'kind'")
+    body = obj.get("body", {})
+    if not isinstance(body, dict):
+        raise ProtocolError("frame 'body' must be an object")
+    return Frame(kind=str(obj["kind"]), body=body)
+
+
+class FrameReader:
+    """Incremental frame decoder over a byte stream.
+
+    Feed it chunks as they arrive from a socket; it yields complete
+    frames.  Handles frames split across chunks and multiple frames per
+    chunk.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        """Consume ``data``; return the list of completed frames."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack(bytes(self._buffer[: _LENGTH.size]))
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame length {length} exceeds maximum")
+            if len(self._buffer) < _LENGTH.size + length:
+                break
+            payload = bytes(self._buffer[_LENGTH.size : _LENGTH.size + length])
+            del self._buffer[: _LENGTH.size + length]
+            frames.append(decode_frame(payload))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

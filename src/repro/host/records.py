@@ -1,0 +1,129 @@
+"""Test records (paper §III-A1).
+
+"Each record in the database contains information on energy efficiency
+and performance (e.g., time of the test, workload modes, energy
+dissipation data (or power data), performance result, and
+energy-efficiency result).  Each workload mode is a vector that consists
+of request size, random rate, read rate, and load proportion value."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..config import WorkloadMode
+from ..errors import DatabaseError
+from ..replay.results import ReplayResult
+
+
+@dataclass(frozen=True)
+class TestRecord:
+    """One completed test, as stored by the evaluation host."""
+
+    #: Tell pytest not to collect this class despite the Test* name.
+    __test__ = False
+
+    test_time: float
+    """Wall-clock epoch seconds when the test was recorded."""
+    device_label: str
+    mode: WorkloadMode
+    # Energy dissipation data.
+    mean_amperes: float
+    mean_volts: float
+    mean_watts: float
+    energy_joules: float
+    # Performance results.
+    iops: float
+    mbps: float
+    mean_response: float
+    duration: float
+    # Energy-efficiency results.
+    iops_per_watt: float
+    mbps_per_kilowatt: float
+    label: str = ""
+    record_id: Optional[int] = None
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ReplayResult,
+        mode: WorkloadMode,
+        device_label: str,
+        test_time: float,
+        label: str = "",
+    ) -> "TestRecord":
+        """Build a record from a replay result."""
+        samples = result.power_samples
+        total_t = sum(s.duration for s in samples)
+        if total_t > 0:
+            amps = sum(s.amperes * s.duration for s in samples) / total_t
+            volts = sum(s.volts * s.duration for s in samples) / total_t
+        else:
+            amps = 0.0
+            volts = 0.0
+        return cls(
+            test_time=test_time,
+            device_label=device_label,
+            mode=mode,
+            mean_amperes=amps,
+            mean_volts=volts,
+            mean_watts=result.mean_watts,
+            energy_joules=result.energy_joules,
+            iops=result.iops,
+            mbps=result.mbps,
+            mean_response=result.mean_response,
+            duration=result.duration,
+            iops_per_watt=result.iops_per_watt,
+            mbps_per_kilowatt=result.mbps_per_kilowatt,
+            label=label,
+        )
+
+    def to_row(self) -> Dict[str, Any]:
+        """Flatten for SQL storage."""
+        return {
+            "test_time": self.test_time,
+            "device_label": self.device_label,
+            "mode_json": json.dumps(self.mode.to_dict(), sort_keys=True),
+            "request_size": self.mode.request_size,
+            "random_ratio": self.mode.random_ratio,
+            "read_ratio": self.mode.read_ratio,
+            "load_proportion": self.mode.load_proportion,
+            "mean_amperes": self.mean_amperes,
+            "mean_volts": self.mean_volts,
+            "mean_watts": self.mean_watts,
+            "energy_joules": self.energy_joules,
+            "iops": self.iops,
+            "mbps": self.mbps,
+            "mean_response": self.mean_response,
+            "duration": self.duration,
+            "iops_per_watt": self.iops_per_watt,
+            "mbps_per_kilowatt": self.mbps_per_kilowatt,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, Any]) -> "TestRecord":
+        """Inverse of :meth:`to_row` (plus the DB-assigned id)."""
+        try:
+            mode = WorkloadMode.from_dict(json.loads(row["mode_json"]))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise DatabaseError(f"corrupt mode_json in record: {exc}") from exc
+        return cls(
+            test_time=row["test_time"],
+            device_label=row["device_label"],
+            mode=mode,
+            mean_amperes=row["mean_amperes"],
+            mean_volts=row["mean_volts"],
+            mean_watts=row["mean_watts"],
+            energy_joules=row["energy_joules"],
+            iops=row["iops"],
+            mbps=row["mbps"],
+            mean_response=row["mean_response"],
+            duration=row["duration"],
+            iops_per_watt=row["iops_per_watt"],
+            mbps_per_kilowatt=row["mbps_per_kilowatt"],
+            label=row.get("label", ""),
+            record_id=row.get("id"),
+        )

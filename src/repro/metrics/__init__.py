@@ -1,0 +1,21 @@
+"""Evaluation metrics (paper §V-B).
+
+Throughput (IOPS, MBPS), power (Watt), and the paper's two combined
+energy-efficiency metrics: **IOPS/Watt** ("within one second, how many
+IO requests can be processed per Watt") and **MBPS/Kilowatt** ("the
+amount of data processed per Kilowatt").
+"""
+
+from .throughput import ThroughputStats, throughput_from_completions
+from .efficiency import iops_per_watt, mbps_per_kilowatt, EfficiencyPoint
+from .summary import RunSummary, summarize
+
+__all__ = [
+    "ThroughputStats",
+    "throughput_from_completions",
+    "iops_per_watt",
+    "mbps_per_kilowatt",
+    "EfficiencyPoint",
+    "RunSummary",
+    "summarize",
+]

@@ -1,0 +1,43 @@
+"""The paper's combined energy-efficiency metrics.
+
+Zero power reads as zero efficiency rather than a division error: a
+device reporting 0 W is a sensor fault, and efficiency curves should
+show the hole, not crash the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import WATTS_PER_KILOWATT
+
+
+def iops_per_watt(iops: float, watts: float) -> float:
+    """IO operations per second per Watt (§V-B)."""
+    if watts <= 0:
+        return 0.0
+    return iops / watts
+
+
+def mbps_per_kilowatt(mbps: float, watts: float) -> float:
+    """Megabytes per second per Kilowatt (§V-B)."""
+    if watts <= 0:
+        return 0.0
+    return mbps / (watts / WATTS_PER_KILOWATT)
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One (throughput, power) observation with derived efficiencies."""
+
+    iops: float
+    mbps: float
+    watts: float
+
+    @property
+    def iops_per_watt(self) -> float:
+        return iops_per_watt(self.iops, self.watts)
+
+    @property
+    def mbps_per_kilowatt(self) -> float:
+        return mbps_per_kilowatt(self.mbps, self.watts)

@@ -1,0 +1,131 @@
+"""Repeated-run statistics.
+
+The paper replays every trace once per configuration; a careful
+evaluation repeats runs across seeds and reports confidence intervals.
+This module aggregates repeated measurements — Student-t intervals for
+means, plus the paired-comparison helper an A-vs-B experiment needs
+(policy comparisons, cache on/off, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..errors import TracerError
+
+
+class StatsError(TracerError):
+    """Not enough data for the requested statistic."""
+
+
+@dataclass(frozen=True)
+class MeasurementSummary:
+    """Mean with a Student-t confidence interval."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def ci_halfwidth(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    @property
+    def relative_ci(self) -> float:
+        """Half-width over mean (0.05 = ±5 %); inf for a zero mean."""
+        if self.mean == 0:
+            return math.inf
+        return self.ci_halfwidth / abs(self.mean)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.4g} ± {self.ci_halfwidth:.2g} "
+            f"({self.confidence * 100:.0f} % CI, n={self.n})"
+        )
+
+
+def summarize_measurements(
+    values: Sequence[float], confidence: float = 0.95
+) -> MeasurementSummary:
+    """Student-t mean CI over repeated measurements."""
+    if not 0.0 < confidence < 1.0:
+        raise StatsError(f"confidence must be in (0,1), got {confidence}")
+    data = np.asarray(values, dtype=np.float64)
+    if data.size < 2:
+        raise StatsError("need >= 2 measurements for an interval")
+    mean = float(data.mean())
+    std = float(data.std(ddof=1))
+    sem = std / math.sqrt(data.size)
+    t = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=data.size - 1))
+    return MeasurementSummary(
+        n=int(data.size),
+        mean=mean,
+        std=std,
+        ci_low=mean - t * sem,
+        ci_high=mean + t * sem,
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """A-vs-B over paired (same-seed) measurements."""
+
+    n: int
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """CI excludes zero (difference is real at the chosen level)."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def compare_paired(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired-t comparison of A minus B (positive = A larger)."""
+    xa = np.asarray(a, dtype=np.float64)
+    xb = np.asarray(b, dtype=np.float64)
+    if xa.size != xb.size:
+        raise StatsError("paired comparison needs equal-length samples")
+    if xa.size < 2:
+        raise StatsError("need >= 2 pairs")
+    diff = xa - xb
+    summary = summarize_measurements(diff, confidence)
+    if np.allclose(diff, diff[0]):
+        # Degenerate: zero variance; p-value is 0 or 1 by sign.
+        p = 0.0 if diff[0] != 0 else 1.0
+    else:
+        p = float(_scipy_stats.ttest_rel(xa, xb).pvalue)
+    return PairedComparison(
+        n=int(xa.size),
+        mean_difference=summary.mean,
+        ci_low=summary.ci_low,
+        ci_high=summary.ci_high,
+        p_value=p,
+    )
+
+
+def repeat_experiment(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Tuple[MeasurementSummary, List[float]]:
+    """Run ``run(seed)`` per seed; return (summary, raw values)."""
+    if len(seeds) < 2:
+        raise StatsError("need >= 2 seeds")
+    values = [float(run(seed)) for seed in seeds]
+    return summarize_measurements(values, confidence), values

@@ -1,0 +1,71 @@
+"""Cross-run summaries: sweep tables over load levels and workload modes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One row of a sweep table."""
+
+    label: str
+    load_proportion: float
+    iops: float
+    mbps: float
+    mean_response: float
+    mean_watts: float
+    iops_per_watt: float
+    mbps_per_kilowatt: float
+
+
+def summarize(results: Sequence) -> List[RunSummary]:
+    """Convert :class:`~repro.replay.results.ReplayResult`s to summary rows."""
+    rows = []
+    for r in results:
+        rows.append(
+            RunSummary(
+                label=r.trace_label,
+                load_proportion=r.load_proportion,
+                iops=r.iops,
+                mbps=r.mbps,
+                mean_response=r.mean_response,
+                mean_watts=r.mean_watts,
+                iops_per_watt=r.iops_per_watt,
+                mbps_per_kilowatt=r.mbps_per_kilowatt,
+            )
+        )
+    return rows
+
+
+def format_table(rows: Sequence[RunSummary], title: str = "") -> str:
+    """Render summary rows as a fixed-width text table (bench output)."""
+    header = (
+        f"{'label':<28} {'load%':>6} {'IOPS':>10} {'MBPS':>9} "
+        f"{'resp(ms)':>9} {'Watts':>8} {'IOPS/W':>8} {'MBPS/kW':>9}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append(
+            f"{r.label:<28} {r.load_proportion * 100:>5.0f}% {r.iops:>10.1f} "
+            f"{r.mbps:>9.2f} {r.mean_response * 1000:>9.3f} {r.mean_watts:>8.2f} "
+            f"{r.iops_per_watt:>8.2f} {r.mbps_per_kilowatt:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def linearity(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation — used to verify 'efficiency is linearly
+    proportional to I/O load' claims (Fig. 9)."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size < 2 or np.allclose(x, x[0]) or np.allclose(y, y[0]):
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,61 @@
+"""Throughput aggregation from completion records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..storage.base import Completion
+
+
+@dataclass(frozen=True)
+class ThroughputStats:
+    """Aggregate throughput over a measurement window."""
+
+    duration: float
+    completed: int
+    total_bytes: int
+    mean_response: float
+    p95_response: float
+    max_response: float
+
+    @property
+    def iops(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mbps(self) -> float:
+        return (self.total_bytes / 1e6) / self.duration if self.duration > 0 else 0.0
+
+
+def throughput_from_completions(
+    completions: Sequence[Completion],
+    window_start: float | None = None,
+    window_end: float | None = None,
+) -> ThroughputStats:
+    """Compute throughput over [window_start, window_end].
+
+    Defaults to the span from first submit to last finish.  Completions
+    finishing outside the window are excluded.
+    """
+    if not completions:
+        return ThroughputStats(0.0, 0, 0, 0.0, 0.0, 0.0)
+    finishes = np.array([c.finish_time for c in completions])
+    submits = np.array([c.submit_time for c in completions])
+    start = window_start if window_start is not None else float(submits.min())
+    end = window_end if window_end is not None else float(finishes.max())
+    keep = (finishes >= start) & (finishes <= end)
+    kept = [c for c, k in zip(completions, keep) if k]
+    if not kept:
+        return ThroughputStats(max(end - start, 0.0), 0, 0, 0.0, 0.0, 0.0)
+    responses = np.array([c.response_time for c in kept])
+    return ThroughputStats(
+        duration=max(end - start, 0.0),
+        completed=len(kept),
+        total_bytes=int(sum(c.package.nbytes for c in kept)),
+        mean_response=float(responses.mean()),
+        p95_response=float(np.percentile(responses, 95)),
+        max_response=float(responses.max()),
+    )

@@ -1,0 +1,29 @@
+"""Power substrate: device power accounting and the simulated analyzer.
+
+Devices record *busy segments* (time interval × power draw) into a
+:class:`~repro.power.model.PowerTimeline`; anything outside a busy
+segment draws the device's idle power.  The
+:class:`~repro.power.analyzer.PowerAnalyzer` samples average power per
+cycle exactly the way the paper's Kingsin KS706 meter does — by
+integrating energy over the sampling window — and the
+:class:`~repro.power.sensor.HallSensor` adds the measurement
+imperfections (gain error, offset, noise) of a real magnetic-loop probe.
+"""
+
+from .states import PowerState
+from .model import PowerTimeline, EnergyMeter
+from .sensor import HallSensor, SensorSpec
+from .analyzer import PowerAnalyzer, PowerSample
+from .meter import MultiChannelMeter, ChannelReading
+
+__all__ = [
+    "PowerState",
+    "PowerTimeline",
+    "EnergyMeter",
+    "HallSensor",
+    "SensorSpec",
+    "PowerAnalyzer",
+    "PowerSample",
+    "MultiChannelMeter",
+    "ChannelReading",
+]

@@ -1,0 +1,113 @@
+"""Multichannel power meter (the Kingsin KS706 stand-in).
+
+"The power analyzer has multiple channels that allow the energy
+efficiency of multiple storage systems to be tested simultaneously"
+(Section III-A3).  :class:`MultiChannelMeter` hosts one
+:class:`~repro.power.analyzer.PowerAnalyzer` per channel and exposes the
+start/stop/read command surface the evaluation host's messenger module
+drives over the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import PowerAnalyzerError
+from ..sim.engine import Simulator
+from .analyzer import EnergySource, PowerAnalyzer, PowerSample
+from .sensor import HallSensor
+
+
+@dataclass(frozen=True)
+class ChannelReading:
+    """Aggregate result for one channel after a measurement run."""
+
+    channel: int
+    sample_count: int
+    mean_watts: float
+    total_energy_joules: float
+
+
+class MultiChannelMeter:
+    """A bank of independently armed power-measurement channels."""
+
+    def __init__(self, n_channels: int = 4, sampling_cycle: float = 1.0) -> None:
+        if n_channels < 1:
+            raise PowerAnalyzerError(f"need >= 1 channel, got {n_channels}")
+        self.n_channels = n_channels
+        self.sampling_cycle = sampling_cycle
+        self._sources: Dict[int, EnergySource] = {}
+        self._sensors: Dict[int, HallSensor] = {}
+        self._analyzers: Dict[int, PowerAnalyzer] = {}
+        self._last_samples: Dict[int, List[PowerSample]] = {}
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self.n_channels:
+            raise PowerAnalyzerError(
+                f"channel {channel} out of range [0, {self.n_channels})"
+            )
+
+    def connect(
+        self,
+        channel: int,
+        source: EnergySource,
+        sensor: Optional[HallSensor] = None,
+    ) -> None:
+        """Clip a channel's sensor loop around a device's supply."""
+        self._check_channel(channel)
+        if channel in self._analyzers:
+            raise PowerAnalyzerError(f"channel {channel} is measuring; stop it first")
+        self._sources[channel] = source
+        if sensor is not None:
+            self._sensors[channel] = sensor
+
+    def start(self, channel: int, sim: Simulator) -> None:
+        """Begin sampling on a connected channel."""
+        self._check_channel(channel)
+        if channel not in self._sources:
+            raise PowerAnalyzerError(f"channel {channel} has no connected source")
+        if channel in self._analyzers:
+            raise PowerAnalyzerError(f"channel {channel} already started")
+        analyzer = PowerAnalyzer(
+            self._sources[channel],
+            sampling_cycle=self.sampling_cycle,
+            sensor=self._sensors.get(channel),
+        )
+        analyzer.start(sim)
+        self._analyzers[channel] = analyzer
+
+    def start_all(self, sim: Simulator) -> None:
+        """Start every connected, idle channel."""
+        for channel in list(self._sources):
+            if channel not in self._analyzers:
+                self.start(channel, sim)
+
+    def stop(self, channel: int) -> ChannelReading:
+        """Stop a channel and return its aggregate reading."""
+        self._check_channel(channel)
+        analyzer = self._analyzers.pop(channel, None)
+        if analyzer is None:
+            raise PowerAnalyzerError(f"channel {channel} not started")
+        analyzer.stop()
+        reading = ChannelReading(
+            channel=channel,
+            sample_count=len(analyzer.samples),
+            mean_watts=analyzer.mean_watts,
+            total_energy_joules=analyzer.total_energy,
+        )
+        self._last_samples[channel] = analyzer.samples
+        return reading
+
+    def stop_all(self) -> List[ChannelReading]:
+        """Stop every running channel."""
+        return [self.stop(ch) for ch in sorted(self._analyzers)]
+
+    def samples(self, channel: int) -> List[PowerSample]:
+        """Per-cycle samples of a running or most recently stopped channel."""
+        if channel in self._analyzers:
+            return list(self._analyzers[channel].samples)
+        stored = self._last_samples.get(channel)
+        if stored is None:
+            raise PowerAnalyzerError(f"channel {channel} has no samples")
+        return list(stored)

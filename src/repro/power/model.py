@@ -1,0 +1,183 @@
+"""Power/energy accounting primitives.
+
+:class:`PowerTimeline` is how every simulated device reports its power
+draw: the device appends *busy segments* — ``(start, end, watts)`` — as
+it serves requests, and time not covered by a segment is billed at a
+(piecewise-constant) baseline power.  Queries integrate energy over
+arbitrary windows, which is exactly the operation a sampling power meter
+performs.
+
+Segments must be appended in non-decreasing start order and must not
+overlap (devices serve serially); this keeps queries O(log n) via
+prefix sums, per the HPC guide's advice to precompute instead of
+re-scanning.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import PowerAnalyzerError
+
+
+class PowerTimeline:
+    """Append-only record of busy power segments over a baseline.
+
+    Parameters
+    ----------
+    baseline_watts:
+        Power drawn whenever no busy segment covers an instant (idle
+        power).  Can be changed over time with :meth:`set_baseline`
+        (used by spin-down policies).
+    """
+
+    def __init__(self, baseline_watts: float) -> None:
+        if baseline_watts < 0:
+            raise PowerAnalyzerError(
+                f"baseline power must be >= 0, got {baseline_watts}"
+            )
+        # Busy segments, time-ordered and non-overlapping.
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        self._watts: List[float] = []
+        self._cum_excess: List[float] = [0.0]  # prefix sums of (w - baseline)*dt
+        # Baseline power changes: (time, watts); first entry covers -inf.
+        self._base_times: List[float] = [0.0]
+        self._base_watts: List[float] = [baseline_watts]
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._starts)
+
+    def set_baseline(self, time: float, watts: float) -> None:
+        """Change the baseline power from ``time`` onward."""
+        if watts < 0:
+            raise PowerAnalyzerError(f"baseline power must be >= 0, got {watts}")
+        if time < self._base_times[-1]:
+            raise PowerAnalyzerError(
+                f"baseline change at {time} precedes previous at "
+                f"{self._base_times[-1]}"
+            )
+        if time == self._base_times[-1]:
+            self._base_watts[-1] = watts
+        else:
+            self._base_times.append(time)
+            self._base_watts.append(watts)
+
+    def _baseline_energy(self, t0: float, t1: float) -> float:
+        """Integral of the piecewise-constant baseline over [t0, t1]."""
+        energy = 0.0
+        times = self._base_times
+        watts = self._base_watts
+        # Index of the baseline level in force at t0.
+        i = bisect.bisect_right(times, t0) - 1
+        i = max(i, 0)
+        cursor = t0
+        while cursor < t1:
+            seg_end = times[i + 1] if i + 1 < len(times) else t1
+            upto = min(seg_end, t1)
+            energy += watts[i] * (upto - cursor)
+            cursor = upto
+            i += 1
+        return energy
+
+    def _baseline_at(self, time: float) -> float:
+        i = bisect.bisect_right(self._base_times, time) - 1
+        return self._base_watts[max(i, 0)]
+
+    def baseline_watts_at(self, time: float) -> float:
+        """Baseline (idle) power in force at ``time``."""
+        return self._baseline_at(time)
+
+    def add_segment(self, start: float, end: float, watts: float) -> None:
+        """Append a busy segment drawing ``watts`` total during [start, end].
+
+        ``watts`` is *total* device power during the segment (not an
+        increment over idle); zero-length segments are ignored.
+        """
+        if end < start:
+            raise PowerAnalyzerError(f"segment end {end} precedes start {start}")
+        if watts < 0:
+            raise PowerAnalyzerError(f"segment power must be >= 0, got {watts}")
+        if end == start:
+            return
+        if self._starts and start < self._ends[-1] - 1e-12:
+            raise PowerAnalyzerError(
+                f"segment at {start} overlaps previous ending {self._ends[-1]}"
+            )
+        self._starts.append(start)
+        self._ends.append(end)
+        self._watts.append(watts)
+        base = self._baseline_energy(start, end)
+        excess = watts * (end - start) - base
+        self._cum_excess.append(self._cum_excess[-1] + excess)
+
+    def _excess_upto(self, t: float) -> float:
+        """Cumulative excess energy of segments (or parts) before time t."""
+        idx = bisect.bisect_right(self._starts, t)
+        total = self._cum_excess[idx]
+        # The segment at idx-1 may extend past t; subtract the tail.
+        if idx > 0 and self._ends[idx - 1] > t:
+            start = self._starts[idx - 1]
+            end = self._ends[idx - 1]
+            watts = self._watts[idx - 1]
+            tail_base = self._baseline_energy(t, end)
+            tail_excess = watts * (end - t) - tail_base
+            total -= tail_excess
+        return total
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        """Energy in Joules consumed during [t0, t1]."""
+        if t1 < t0:
+            raise PowerAnalyzerError(f"window end {t1} precedes start {t0}")
+        if t1 == t0:
+            return 0.0
+        base = self._baseline_energy(t0, t1)
+        return base + self._excess_upto(t1) - self._excess_upto(t0)
+
+    def mean_power(self, t0: float, t1: float) -> float:
+        """Average Watts over [t0, t1]."""
+        if t1 <= t0:
+            return self._baseline_at(t0)
+        return self.energy_between(t0, t1) / (t1 - t0)
+
+    def busy_time(self, t0: float, t1: float) -> float:
+        """Total busy-segment time overlapping [t0, t1] (utilisation)."""
+        if not self._starts or t1 <= t0:
+            return 0.0
+        starts = np.asarray(self._starts)
+        ends = np.asarray(self._ends)
+        overlap = np.minimum(ends, t1) - np.maximum(starts, t0)
+        return float(np.clip(overlap, 0.0, None).sum())
+
+
+class EnergyMeter:
+    """Aggregates several timelines plus a constant overhead into one view.
+
+    A disk array's power is the sum of its disks' timelines plus the
+    non-disk components (controller, fans, backplane) — Section VI-A.
+    """
+
+    def __init__(self, timelines: List[PowerTimeline], overhead_watts: float = 0.0):
+        if overhead_watts < 0:
+            raise PowerAnalyzerError(
+                f"overhead power must be >= 0, got {overhead_watts}"
+            )
+        self.timelines = list(timelines)
+        self.overhead_watts = float(overhead_watts)
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        total = self.overhead_watts * (t1 - t0)
+        for timeline in self.timelines:
+            total += timeline.energy_between(t0, t1)
+        return total
+
+    def mean_power(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return self.overhead_watts + sum(
+                tl.mean_power(t0, t1) for tl in self.timelines
+            )
+        return self.energy_between(t0, t1) / (t1 - t0)

@@ -1,0 +1,33 @@
+"""Device power states.
+
+Only two states matter for the baseline TRACER experiments (disks spin
+continuously), but the MAID/DRPM energy-saving extensions transition
+through the full set, so the enumeration lives in the power substrate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PowerState(Enum):
+    """Operational power state of a storage device."""
+
+    ACTIVE = "active"
+    """Spinning (HDD) / powered (SSD); can serve I/O immediately."""
+
+    IDLE = "idle"
+    """Spinning but not serving I/O.  Same readiness as ACTIVE; devices
+    report this distinction for accounting only."""
+
+    STANDBY = "standby"
+    """Spun down (HDD): heads parked, spindle stopped.  Serving I/O first
+    requires a spin-up transition."""
+
+    SPINNING_UP = "spinning_up"
+    """In transition from STANDBY to ACTIVE; draws peak current."""
+
+    @property
+    def ready(self) -> bool:
+        """Whether a request can start service without a transition."""
+        return self in (PowerState.ACTIVE, PowerState.IDLE)

@@ -1,0 +1,30 @@
+"""Trace replay: the engine that issues bunches, the performance monitor,
+and the session orchestration tying filter + replay + power measurement
+together.
+
+* :class:`~repro.replay.engine.ReplayEngine` — open-loop issue of
+  bunches at their (rebased) timestamps; intra-bunch packages submit
+  concurrently, per §IV-A.
+* :class:`~repro.replay.monitor.PerformanceMonitor` — per-cycle IOPS /
+  MBPS / response-time sampling (default cycle 1 s, configurable).
+* :class:`~repro.replay.session.ReplaySession` — one full measured
+  replay: applies the load controller, arms monitor and power analyzer,
+  runs to completion, returns a :class:`~repro.replay.results.ReplayResult`.
+* :mod:`~repro.replay.realtime` — optional wall-clock replayer (the
+  paper's actual modality), best-effort under the GIL.
+"""
+
+from .engine import ReplayEngine
+from .monitor import PerformanceMonitor, PerfSample
+from .results import ReplayResult, CycleRecord
+from .session import ReplaySession, replay_trace
+
+__all__ = [
+    "ReplayEngine",
+    "PerformanceMonitor",
+    "PerfSample",
+    "ReplayResult",
+    "CycleRecord",
+    "ReplaySession",
+    "replay_trace",
+]

@@ -1,0 +1,73 @@
+"""Live console reporting — the paper's GUI, as a terminal stream.
+
+"The users are allowed to view real-time energy dissipation, I/O
+throughput (IOPS and MBPS), and energy-efficiency values of a tested
+storage system using the graphic user interface" (§III-B step 3).  The
+:class:`ConsoleReporter` provides the headless equivalent: one line per
+sampling cycle with throughput, power, and the combined efficiency
+metrics, streamed while the replay runs.
+
+Wire it in via :class:`~repro.replay.session.ReplaySession`'s
+``reporter`` argument or the CLI's ``tracer replay --live``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from ..metrics.efficiency import iops_per_watt, mbps_per_kilowatt
+from ..power.analyzer import PowerAnalyzer
+from .monitor import PerfSample
+
+
+class ConsoleReporter:
+    """Streams one formatted line per completed sampling cycle.
+
+    The reporter is handed the session's power analyzer so each
+    performance cycle is printed alongside the matching power sample
+    (both close on the same simulated instant; performance closes
+    first — the analyzer's sample for the same window is therefore the
+    previous analyzer entry by the time we print, so power pairing uses
+    the analyzer's latest *closed* window).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self._analyzer: Optional[PowerAnalyzer] = None
+        self._header_printed = False
+        self.lines_emitted = 0
+
+    def bind(self, analyzer: PowerAnalyzer) -> None:
+        """Called by the session before the replay starts."""
+        self._analyzer = analyzer
+        self._header_printed = False
+        self.lines_emitted = 0
+
+    def _print_header(self) -> None:
+        print(
+            f"{'t(s)':>8} {'IOPS':>9} {'MBPS':>8} {'resp ms':>8} "
+            f"{'Watts':>8} {'IOPS/W':>7} {'MBPS/kW':>8}",
+            file=self.stream,
+        )
+        self._header_printed = True
+
+    def on_sample(self, sample: PerfSample) -> None:
+        """Monitor hook: one line per closed performance cycle."""
+        if not self._header_printed:
+            self._print_header()
+        watts = 0.0
+        if self._analyzer is not None:
+            # Integrate the same window directly from the power source:
+            # exact, and independent of monitor/analyzer tick ordering.
+            watts = self._analyzer.source.energy_between(
+                sample.start, sample.end
+            ) / max(sample.duration, 1e-12)
+        print(
+            f"{sample.end:>8.1f} {sample.iops:>9.1f} {sample.mbps:>8.2f} "
+            f"{sample.mean_response * 1000:>8.2f} {watts:>8.2f} "
+            f"{iops_per_watt(sample.iops, watts):>7.2f} "
+            f"{mbps_per_kilowatt(sample.mbps, watts):>8.1f}",
+            file=self.stream,
+        )
+        self.lines_emitted += 1

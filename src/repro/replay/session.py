@@ -1,0 +1,185 @@
+"""One full measured replay: load control + replay + monitor + power.
+
+This is the operation the paper's GUI triggers per test: pick a trace,
+set a load proportion (and optionally a time-scale), replay it against
+the device under test while the performance monitor and the power
+analyzer sample in lock-step, and produce the record the evaluation
+host stores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ReplayConfig
+from ..core.loadcontrol import LoadController
+from ..errors import ReplayError
+from ..power.analyzer import PowerAnalyzer
+from ..power.sensor import HallSensor
+from ..sim.engine import Simulator
+from ..storage.array import DiskArray
+from ..storage.base import StorageDevice
+from ..trace.record import Trace
+from .engine import ReplayEngine
+from .monitor import PerformanceMonitor
+from .results import ReplayResult
+
+
+class ReplaySession:
+    """Configure once, run one measured replay.
+
+    Parameters
+    ----------
+    device:
+        Device under test.  If it is a :class:`~repro.storage.array.DiskArray`
+        the power analyzer clamps around the whole enclosure (as the
+        paper's magnetic loop does); other devices must expose
+        ``energy_between``.
+    config:
+        Sampling cycle, time-scale, and filter group size.
+    sensor:
+        Optional imperfect Hall sensor for the power channel.
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        config: Optional[ReplayConfig] = None,
+        sensor: Optional[HallSensor] = None,
+        thermal: bool = False,
+        reporter=None,
+    ) -> None:
+        self.device = device
+        self.config = config or ReplayConfig()
+        self.sensor = sensor
+        self.thermal = thermal
+        self.reporter = reporter
+        self.controller = LoadController(group_size=self.config.group_size)
+
+    def _thermal_monitor(self):
+        """Build a per-member thermal monitor when requested.
+
+        Only meaningful for :class:`~repro.storage.array.DiskArray`
+        targets (single devices can wrap their own timeline directly).
+        """
+        if not self.thermal:
+            return None
+        from ..storage.hdd import HardDiskDrive
+        from ..thermal.model import HDD_THERMAL, SSD_THERMAL, ThermalModel
+        from ..thermal.monitor import ThermalMonitor
+
+        if not isinstance(self.device, DiskArray) or not self.device.disks:
+            return None
+        models = {}
+        for disk in self.device.disks:
+            spec = (
+                HDD_THERMAL if isinstance(disk, HardDiskDrive) else SSD_THERMAL
+            )
+            models[disk.name] = ThermalModel(disk.timeline, spec)
+        return ThermalMonitor(models, sampling_cycle=self.config.sampling_cycle)
+
+    def _power_source(self):
+        if isinstance(self.device, DiskArray):
+            return self.device.meter
+        return self.device
+
+    def run(
+        self,
+        trace: Trace,
+        load_proportion: float = 1.0,
+        sim: Optional[Simulator] = None,
+        drain: bool = True,
+    ) -> ReplayResult:
+        """Replay ``trace`` at ``load_proportion`` and measure.
+
+        Parameters
+        ----------
+        sim:
+            Simulator to run on; a fresh one is created by default.  The
+            device is (re)attached to it.
+        drain:
+            Measure until the last request *completes* (True, default) —
+            power and throughput then cover the natural span of the run.
+        """
+        if len(trace) == 0:
+            raise ReplayError("cannot replay an empty trace")
+        sim = sim if sim is not None else Simulator()
+        self.device.attach(sim)
+
+        manipulated = self.controller.apply(trace, load_proportion)
+        if self.config.time_scale != 1.0:
+            from ..core.timescale import TimeScaler
+
+            manipulated = TimeScaler(self.config.time_scale).apply(manipulated)
+        if len(manipulated) == 0:
+            raise ReplayError(
+                f"load proportion {load_proportion} left no bunches to replay"
+            )
+
+        monitor = PerformanceMonitor(
+            sampling_cycle=self.config.sampling_cycle,
+            on_sample=(
+                self.reporter.on_sample if self.reporter is not None else None
+            ),
+        )
+        analyzer = PowerAnalyzer(
+            self._power_source(),
+            sampling_cycle=self.config.sampling_cycle,
+            sensor=self.sensor,
+        )
+        if self.reporter is not None:
+            self.reporter.bind(analyzer)
+        engine = ReplayEngine(
+            sim, manipulated, self.device, on_completion=monitor.record
+        )
+        thermal_monitor = self._thermal_monitor()
+
+        start = sim.now
+        monitor.start(sim)
+        analyzer.start(sim)
+        if thermal_monitor is not None:
+            thermal_monitor.start(sim)
+        engine.start()
+        engine.run_to_completion()
+        monitor.stop()
+        analyzer.stop()
+        if thermal_monitor is not None:
+            thermal_monitor.stop()
+        end = sim.now
+
+        duration = end - start
+        total_bytes = monitor.total_bytes
+        completed = monitor.total_completed
+        responses = sum(s.total_response for s in monitor.samples)
+        return ReplayResult(
+            trace_label=manipulated.label,
+            load_proportion=load_proportion,
+            duration=duration,
+            completed=completed,
+            total_bytes=total_bytes,
+            mean_response=responses / completed if completed else 0.0,
+            mean_watts=analyzer.mean_watts,
+            energy_joules=analyzer.total_energy,
+            perf_samples=list(monitor.samples),
+            power_samples=list(analyzer.samples),
+            thermal_samples=(
+                list(thermal_monitor.samples)
+                if thermal_monitor is not None
+                else []
+            ),
+            metadata={
+                "time_scale": self.config.time_scale,
+                "group_size": self.config.group_size,
+                "bunches_replayed": len(manipulated),
+            },
+        )
+
+
+def replay_trace(
+    trace: Trace,
+    device: StorageDevice,
+    load_proportion: float = 1.0,
+    config: Optional[ReplayConfig] = None,
+) -> ReplayResult:
+    """Convenience one-shot wrapper around :class:`ReplaySession`."""
+    return ReplaySession(device, config=config).run(trace, load_proportion)

@@ -1,0 +1,17 @@
+"""Discrete-event simulation substrate.
+
+The paper replays traces against real hardware in wall-clock time.  A pure
+Python reproduction of timing-accurate block replay fights the GIL and
+scheduler jitter (the calibration notes call this out), so the default
+replay path here runs on a deterministic discrete-event clock: identical
+inputs produce identical outputs, and a 30-minute trace replays in
+milliseconds of host time.
+
+:class:`~repro.sim.engine.Simulator` is a classic event-calendar engine;
+devices schedule completion events, the monitor schedules sampling ticks.
+"""
+
+from .engine import Simulator
+from .events import Event
+
+__all__ = ["Simulator", "Event"]

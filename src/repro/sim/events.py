@@ -1,0 +1,31 @@
+"""Event records for the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is ``(time, priority, sequence)``: ties in time break on the
+    caller-supplied priority (lower runs first), then on insertion order,
+    which keeps the engine fully deterministic.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped.
+
+        Cancellation is O(1); the calendar lazily discards cancelled
+        entries instead of re-heapifying.
+        """
+        self.cancelled = True

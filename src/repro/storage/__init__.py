@@ -1,0 +1,53 @@
+"""Storage substrate: simulated disks, RAID geometry, and disk arrays.
+
+The paper evaluates TRACER on a real RAID-5 enterprise array (6× Seagate
+7200.12 HDDs) and on a 4× Memoright SLC SSD array.  We have neither, so
+this package provides first-principles service-time and power models
+calibrated against the paper's reported anchors (see
+``DESIGN.md`` §2 and :mod:`repro.storage.specs`):
+
+* :mod:`~repro.storage.hdd` — mechanical model: seek (distance-
+  dependent), rotational latency, zoned transfer rate, read/write
+  turnaround, optional spin-down states;
+* :mod:`~repro.storage.ssd` — flash model: per-op latency, channel
+  transfer rates, small random-write overhead;
+* :mod:`~repro.storage.raid` — RAID-0/1/5 geometry incl. RAID-5 partial-
+  stripe read-modify-write;
+* :mod:`~repro.storage.array` — the full disk array: controller
+  dispatch, FC-link serialisation, enclosure (non-disk) power.
+"""
+
+from .base import Completion, StorageDevice, QueuedDevice
+from .specs import (
+    HDDSpec,
+    SSDSpec,
+    EnclosureSpec,
+    SEAGATE_7200_12,
+    MEMORIGHT_SLC_32GB,
+    HDD_ENCLOSURE,
+    SSD_ENCLOSURE,
+)
+from .hdd import HardDiskDrive
+from .ssd import SolidStateDrive
+from .raid import RaidGeometry, RaidLevel
+from .array import DiskArray, build_hdd_raid5, build_ssd_raid5
+
+__all__ = [
+    "Completion",
+    "StorageDevice",
+    "QueuedDevice",
+    "HDDSpec",
+    "SSDSpec",
+    "EnclosureSpec",
+    "SEAGATE_7200_12",
+    "MEMORIGHT_SLC_32GB",
+    "HDD_ENCLOSURE",
+    "SSD_ENCLOSURE",
+    "HardDiskDrive",
+    "SolidStateDrive",
+    "RaidGeometry",
+    "RaidLevel",
+    "DiskArray",
+    "build_hdd_raid5",
+    "build_ssd_raid5",
+]

@@ -1,0 +1,263 @@
+"""Controller cache — the component the paper switched off.
+
+"The disk array controller's cache is disabled during the experiments
+to assure direct access to disks" (§V-A).  Several of this
+reproduction's divergences from the paper trace back to that choice
+(EXPERIMENTS.md "known divergences"): a write-back controller cache
+absorbs partial-stripe writes and hides the RAID-5 read-modify-write.
+This module implements the cache so the ablation benchmark can measure
+exactly what disabling it costs — and what the paper's numbers would
+have looked like with it on.
+
+Model (deliberately classic):
+
+* fixed capacity, 64 KiB lines, LRU replacement;
+* **read path**: whole-line hit → served at controller speed (DRAM);
+  miss → forwarded to the array, line(s) filled on completion;
+* **write path (write-back)**: data lands in cache lines and completes
+  at controller speed; dirty lines destage to the array in the
+  background (a trickle destager with a configurable depth), so the
+  media traffic — and its energy — still happens, just off the
+  latency path;
+* a dirty-ratio high-watermark throttles writes when the destager
+  falls behind (writes then wait for a destage slot, which is how a
+  real controller degrades to write-through under pressure).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+from collections import deque
+
+from ..errors import StorageConfigError
+from ..sim.engine import Simulator
+from ..storage.base import Completion, CompletionCallback, StorageDevice
+from ..trace.record import READ, WRITE, IOPackage
+from ..units import SECTOR_BYTES
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Controller cache parameters (the paper's array has 300 MB)."""
+
+    capacity_bytes: int = 300 * 1024 * 1024
+    line_bytes: int = 64 * 1024
+    hit_time: float = 0.00005
+    """DRAM + firmware service time for a cache hit."""
+    destage_depth: int = 4
+    """Dirty lines destaged concurrently in the background."""
+    dirty_high_watermark: float = 0.75
+    """Writes stall once this fraction of lines is dirty."""
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0:
+            raise StorageConfigError("cache sizes must be > 0")
+        if self.capacity_bytes < self.line_bytes:
+            raise StorageConfigError("cache smaller than one line")
+        if self.line_bytes % SECTOR_BYTES:
+            raise StorageConfigError("line_bytes must be a 512 multiple")
+        if not 0.0 < self.dirty_high_watermark <= 1.0:
+            raise StorageConfigError("dirty_high_watermark must be in (0,1]")
+        if self.destage_depth < 1:
+            raise StorageConfigError("destage_depth must be >= 1")
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def line_sectors(self) -> int:
+        return self.line_bytes // SECTOR_BYTES
+
+
+class CachedArray(StorageDevice):
+    """A write-back LRU cache in front of any storage device.
+
+    Wraps a backend (normally a :class:`~repro.storage.array.DiskArray`)
+    and presents the same ``submit`` interface.  Power is the backend's
+    (the cache DRAM's draw is part of the enclosure's non-disk power).
+    """
+
+    def __init__(
+        self,
+        backend: StorageDevice,
+        spec: CacheSpec = CacheSpec(),
+        name: str = "cached0",
+    ) -> None:
+        super().__init__(name)
+        self.backend = backend
+        self.spec = spec
+        # line id -> dirty flag; OrderedDict gives LRU order.
+        self._lines: "OrderedDict[int, bool]" = OrderedDict()
+        self._destaging = 0
+        self._write_waiters: Deque[Tuple[IOPackage, float, CompletionCallback]] = (
+            deque()
+        )
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_absorbs = 0
+        self.write_stalls = 0
+        self.destages = 0
+
+    # -- Plumbing ------------------------------------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        super().attach(sim)
+        self.backend.attach(sim)
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.backend.capacity_sectors
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        return self.backend.energy_between(t0, t1)
+
+    @property
+    def meter(self):
+        """Expose the backend's meter so sessions measure the array."""
+        return getattr(self.backend, "meter", self.backend)
+
+    @property
+    def dirty_lines(self) -> int:
+        return sum(1 for dirty in self._lines.values() if dirty)
+
+    # -- Line management -------------------------------------------------------
+
+    def _line_range(self, package: IOPackage) -> range:
+        first = package.sector // self.spec.line_sectors
+        last = (package.end_sector - 1) // self.spec.line_sectors
+        return range(first, last + 1)
+
+    def _touch(self, line: int, dirty: bool) -> None:
+        if line in self._lines:
+            dirty = dirty or self._lines[line]
+            del self._lines[line]
+        self._lines[line] = dirty
+        self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        while len(self._lines) > self.spec.n_lines:
+            # Evict the LRU line; a dirty victim must destage first —
+            # modelled as an immediate destage submission.
+            for line, dirty in self._lines.items():
+                victim, victim_dirty = line, dirty
+                break
+            del self._lines[victim]
+            if victim_dirty:
+                self._destage_line(victim, forced=True)
+
+    # -- Destager -------------------------------------------------------------
+
+    def _destage_line(self, line: int, forced: bool = False) -> None:
+        sim = self._require_sim()
+        self._destaging += 1
+        self.destages += 1
+        pkg = IOPackage(
+            line * self.spec.line_sectors, self.spec.line_bytes, WRITE
+        )
+
+        def _done(_completion: Completion) -> None:
+            self._destaging -= 1
+            self._pump()
+
+        self.backend.submit(pkg, _done)
+
+    def _pump(self) -> None:
+        """Advance background destaging and release stalled writes."""
+        while self._destaging < self.spec.destage_depth:
+            dirty_line = next(
+                (line for line, dirty in self._lines.items() if dirty), None
+            )
+            if dirty_line is None:
+                break
+            self._lines[dirty_line] = False
+            self._destage_line(dirty_line)
+        while self._write_waiters and not self._over_watermark():
+            pkg, submit_time, cb = self._write_waiters.popleft()
+            self._absorb_write(pkg, submit_time, cb)
+
+    def _over_watermark(self) -> bool:
+        limit = self.spec.dirty_high_watermark * self.spec.n_lines
+        return self.dirty_lines >= limit
+
+    # -- I/O path ---------------------------------------------------------------
+
+    def submit(self, package: IOPackage, on_complete: CompletionCallback) -> None:
+        sim = self._require_sim()
+        self.check_bounds(package)
+        if package.op == READ:
+            self._submit_read(package, sim.now, on_complete)
+        else:
+            self._submit_write(package, sim.now, on_complete)
+
+    def _submit_read(
+        self, package: IOPackage, submit_time: float, on_complete
+    ) -> None:
+        sim = self._require_sim()
+        lines = list(self._line_range(package))
+        if all(line in self._lines for line in lines):
+            self.read_hits += 1
+            for line in lines:
+                self._touch(line, dirty=False)
+            finish = sim.now + self.spec.hit_time
+            sim.schedule(
+                finish,
+                on_complete,
+                Completion(package, submit_time, submit_time, finish),
+            )
+            return
+        self.read_misses += 1
+
+        def _filled(completion: Completion) -> None:
+            for line in lines:
+                self._touch(line, dirty=False)
+            on_complete(
+                Completion(
+                    package, submit_time, completion.start_time, sim.now
+                )
+            )
+
+        self.backend.submit(package, _filled)
+
+    def _submit_write(
+        self, package: IOPackage, submit_time: float, on_complete
+    ) -> None:
+        if self._over_watermark():
+            self.write_stalls += 1
+            self._write_waiters.append((package, submit_time, on_complete))
+            self._pump()
+            return
+        self._absorb_write(package, submit_time, on_complete)
+
+    def _absorb_write(
+        self, package: IOPackage, submit_time: float, on_complete
+    ) -> None:
+        sim = self._require_sim()
+        self.write_absorbs += 1
+        for line in self._line_range(package):
+            self._touch(line, dirty=True)
+        finish = sim.now + self.spec.hit_time
+        sim.schedule(
+            finish,
+            on_complete,
+            Completion(package, submit_time, submit_time, finish),
+        )
+        self._pump()
+
+    # -- Shutdown ------------------------------------------------------------
+
+    def flush(self, on_complete: Optional[Callable[[], None]] = None) -> None:
+        """Destage every dirty line (end-of-run hygiene)."""
+        sim = self._require_sim()
+
+        def _check() -> None:
+            self._pump()
+            if self.dirty_lines == 0 and self._destaging == 0:
+                if on_complete is not None:
+                    on_complete()
+            else:
+                sim.schedule_after(0.01, _check, priority=18)
+
+        _check()

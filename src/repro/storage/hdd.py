@@ -1,0 +1,189 @@
+"""Mechanical hard-disk model.
+
+Service time decomposes into the classic components (Ruemmler & Wilkes):
+
+* **command overhead** — firmware processing, always paid;
+* **seek** — ``settle + coeff * sqrt(distance_fraction)`` when the head
+  must move; zero when the request continues sequentially from the last
+  one (streaming);
+* **rotational latency** — expected half-revolution after any seek;
+  zero while streaming (the head is already following the track);
+* **turnaround** — switching between reads and writes interrupts
+  streaming: the write path must flush / the head re-settles.  This is
+  the mechanism behind the paper's U-shaped throughput vs. read-ratio
+  curve at low random ratios (Fig. 11);
+* **transfer** — request bytes over the zoned media rate.
+
+Power: each phase draws the phase power from the spec; the request's
+mean power is the time-weighted blend, recorded as one busy segment.
+
+The drive also implements standby/spin-up transitions (used by the
+energy-saving policy extensions, idle in the baseline experiments).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..errors import StorageConfigError, StorageIOError
+from ..power.states import PowerState
+from ..rng import make_rng
+from ..trace.record import IOPackage
+from .base import QueuedDevice
+from .specs import HDDSpec, SEAGATE_7200_12
+
+
+class HardDiskDrive(QueuedDevice):
+    """One simulated mechanical disk.
+
+    Parameters
+    ----------
+    spec:
+        Mechanical/power parameters (default: the paper's Seagate
+        7200.12 500 GB).
+    rotational_jitter:
+        When ``True``, rotational latency is sampled uniformly in
+        [0, rotation_time) from a seeded stream instead of using the
+        expected value.  Default off: deterministic expected-value
+        latencies keep replay results exactly reproducible.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        name: str = "hdd0",
+        spec: HDDSpec = SEAGATE_7200_12,
+        rotational_jitter: bool = False,
+        seed: Optional[int] = None,
+        discipline=None,
+    ) -> None:
+        super().__init__(name, idle_watts=spec.idle_watts, discipline=discipline)
+        self.spec = spec
+        self.rotational_jitter = rotational_jitter
+        self._rng = make_rng(seed)
+        self._head_sector = 0
+        self._last_end_sector: Optional[int] = None
+        self._last_op: Optional[int] = None
+        self._transition_until = 0.0
+        self.state = PowerState.IDLE
+        self.seek_count = 0
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.spec.capacity_sectors
+
+    # -- Service model ---------------------------------------------------
+
+    def _seek_time(self, target_sector: int) -> float:
+        distance = abs(target_sector - self._head_sector)
+        if distance == 0:
+            return 0.0
+        frac = distance / max(self.capacity_sectors, 1)
+        return self.spec.settle_time + self.spec.seek_coefficient * math.sqrt(frac)
+
+    def _rotational_latency(self) -> float:
+        if self.rotational_jitter:
+            return float(self._rng.uniform(0.0, self.spec.rotation_time))
+        return self.spec.mean_rotational_latency
+
+    def _service(self, package: IOPackage, start_time: float) -> Tuple[float, float]:
+        if not self.state.ready:
+            raise StorageIOError(
+                f"{self.name}: request while {self.state.value}; spin up first"
+            )
+        spec = self.spec
+        # Streaming is an *address* property: the drive's track buffer /
+        # write cache keeps the head on track across read/write switches
+        # (the paper disabled the controller cache, not the drives').
+        # Switching op type still pays the electronics turnaround.
+        sequential = (
+            self._last_end_sector is not None
+            and package.sector == self._last_end_sector
+        )
+        turnaround = 0.0
+        if self._last_op is not None and package.op != self._last_op:
+            turnaround = (
+                spec.read_to_write_turnaround
+                if package.is_write
+                else spec.write_to_read_turnaround
+            )
+
+        if sequential:
+            seek = 0.0
+            rotation = 0.0
+        else:
+            seek = self._seek_time(package.sector)
+            rotation = self._rotational_latency()
+            if package.is_write and spec.write_cache:
+                # Write-back cached writes destage in sorted order; their
+                # effective positioning cost is a fraction of a cold seek.
+                seek *= spec.destage_seek_factor
+                rotation *= spec.destage_seek_factor
+            if seek > 0:
+                self.seek_count += 1
+
+        transfer = package.nbytes / spec.transfer_rate_at(package.sector)
+        total = spec.command_overhead + turnaround + seek + rotation + transfer
+
+        # Time-weighted mean power across the phases.  Command overhead and
+        # turnaround are electronics-bound: billed at rotate-wait power.
+        xfer_watts = spec.write_watts if package.is_write else spec.read_watts
+        energy = (
+            (spec.command_overhead + turnaround + rotation) * spec.rotate_wait_watts
+            + seek * spec.seek_watts
+            + transfer * xfer_watts
+        )
+        mean_watts = energy / total if total > 0 else spec.idle_watts
+
+        self._head_sector = package.end_sector
+        self._last_end_sector = package.end_sector
+        self._last_op = package.op
+        return total, mean_watts
+
+    # -- Spin-down support (energy-saving extensions) ---------------------
+
+    def spin_down(self) -> float:
+        """Enter standby.  Returns the transition time.
+
+        Only legal when the drive is idle with an empty queue; policies
+        are responsible for checking.
+        """
+        sim = self._require_sim()
+        if self._busy or self._queue:
+            raise StorageIOError(f"{self.name}: cannot spin down while busy")
+        if self.state == PowerState.STANDBY:
+            return 0.0
+        t = sim.now
+        self.timeline.add_segment(t, t + self.spec.spindown_time, self.spec.idle_watts)
+        self.timeline.set_baseline(t + self.spec.spindown_time, self.spec.standby_watts)
+        self.state = PowerState.STANDBY
+        self._transition_until = t + self.spec.spindown_time
+        self._last_end_sector = None  # streaming context is lost
+        self._last_op = None
+        return self.spec.spindown_time
+
+    def spin_up(self) -> float:
+        """Leave standby.  Returns the transition time (~seconds).
+
+        The caller must delay I/O submission by the returned time; the
+        energy cost of the spin-up burst is recorded here.
+        """
+        sim = self._require_sim()
+        if self.state != PowerState.STANDBY:
+            return 0.0
+        # A spin-up requested before the spin-down transition finished
+        # begins when the platters have actually stopped.
+        t = max(sim.now, getattr(self, "_transition_until", sim.now))
+        self.timeline.set_baseline(t, self.spec.idle_watts)
+        self.timeline.add_segment(t, t + self.spec.spinup_time, self.spec.spinup_watts)
+        self.state = PowerState.SPINNING_UP
+        ready_at = t + self.spec.spinup_time
+        self._transition_until = ready_at
+
+        def _ready() -> None:
+            self.state = PowerState.IDLE
+
+        sim.schedule(ready_at, _ready, priority=-1)
+        return ready_at - sim.now

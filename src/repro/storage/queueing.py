@@ -1,0 +1,85 @@
+"""Per-device queueing disciplines.
+
+The baseline experiments use FIFO (the paper disables the controller
+cache and reordering to "assure direct access to disks"), but a real
+drive firmware reorders; the elevator (SCAN) discipline is provided for
+the scheduling ablation benchmark, which quantifies how much seek
+optimisation would mask the random-ratio effects the paper measures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..trace.record import IOPackage
+
+#: Queue entries: (package, submit_time, callback)
+Entry = Tuple[IOPackage, float, object]
+
+
+class QueueDiscipline(ABC):
+    """Order in which a device drains waiting requests."""
+
+    @abstractmethod
+    def push(self, entry: Entry) -> None: ...
+
+    @abstractmethod
+    def pop(self, head_sector: int) -> Optional[Entry]:
+        """Next entry to serve given the current head position."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+
+class FIFOQueue(QueueDiscipline):
+    """First-in first-out — the paper's direct-access behaviour."""
+
+    def __init__(self) -> None:
+        self._q: Deque[Entry] = deque()
+
+    def push(self, entry: Entry) -> None:
+        self._q.append(entry)
+
+    def pop(self, head_sector: int) -> Optional[Entry]:
+        return self._q.popleft() if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class ElevatorQueue(QueueDiscipline):
+    """SCAN: serve the waiting request nearest the head in the sweep
+    direction, reversing at the end of the queue's extent.
+
+    O(n) pop — queues in these simulations stay shallow (tens of
+    entries), so a tree is not worth the complexity.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Entry] = []
+        self._direction = 1
+
+    def push(self, entry: Entry) -> None:
+        self._entries.append(entry)
+
+    def pop(self, head_sector: int) -> Optional[Entry]:
+        if not self._entries:
+            return None
+        ahead = [
+            (i, e)
+            for i, e in enumerate(self._entries)
+            if (e[0].sector - head_sector) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction = -self._direction
+            ahead = list(enumerate(self._entries))
+        idx, entry = min(
+            ahead, key=lambda item: abs(item[1][0].sector - head_sector)
+        )
+        self._entries.pop(idx)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)

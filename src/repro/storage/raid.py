@@ -1,0 +1,418 @@
+"""RAID geometry: logical-extent → per-disk sub-I/O mapping.
+
+Pure address arithmetic, independent of the simulator, so it is testable
+exhaustively (property tests verify coverage/non-overlap invariants).
+
+Supported levels:
+
+* **RAID-0** — striping, no redundancy;
+* **RAID-1** — mirroring (reads round-robin, writes fan out);
+* **RAID-5** — rotating parity (left-asymmetric layout).  Writes that
+  cover a full stripe compute parity in-memory and write everything in
+  one pass; partial-stripe writes pay the classic read-modify-write:
+  read old data + old parity, then write new data + new parity.  The
+  RMW penalty is why small random writes on the paper's RAID-5 array are
+  so expensive.
+* **JBOD** — single-disk passthrough (used by calibration benches).
+
+The paper's array: RAID-5, strip size 128 KB (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from ..errors import StorageConfigError
+from ..trace.record import READ, WRITE, IOPackage
+from ..units import SECTOR_BYTES
+
+
+class RaidLevel(Enum):
+    JBOD = "jbod"
+    RAID0 = "raid0"
+    RAID1 = "raid1"
+    RAID5 = "raid5"
+    RAID10 = "raid10"
+
+
+@dataclass(frozen=True)
+class SubIO:
+    """One per-disk operation derived from a logical request."""
+
+    disk: int
+    sector: int
+    nbytes: int
+    op: int
+
+    def to_package(self) -> IOPackage:
+        return IOPackage(self.sector, self.nbytes, self.op)
+
+
+@dataclass(frozen=True)
+class IOPlan:
+    """Execution plan: ``pre`` (reads) must finish before ``post`` issues.
+
+    Plain reads and full-stripe writes have an empty ``pre`` phase.
+    """
+
+    pre: Tuple[SubIO, ...]
+    post: Tuple[SubIO, ...]
+
+    @property
+    def total_ops(self) -> int:
+        return len(self.pre) + len(self.post)
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """A strip-aligned fragment of the logical extent."""
+
+    strip_index: int
+    offset_bytes: int   # within the strip
+    nbytes: int
+
+
+class RaidGeometry:
+    """Address mapping for one array configuration.
+
+    Parameters
+    ----------
+    n_disks:
+        Member disk count (RAID-5 needs ≥3, RAID-1 exactly 2, JBOD 1).
+    strip_bytes:
+        Strip (chunk) size per disk; the paper uses 128 KB.
+    disk_sectors:
+        Capacity of each member disk.
+    """
+
+    def __init__(
+        self,
+        level: RaidLevel,
+        n_disks: int,
+        strip_bytes: int,
+        disk_sectors: int,
+    ) -> None:
+        if strip_bytes <= 0 or strip_bytes % SECTOR_BYTES:
+            raise StorageConfigError(
+                f"strip_bytes must be a positive multiple of {SECTOR_BYTES}, "
+                f"got {strip_bytes}"
+            )
+        if disk_sectors <= 0:
+            raise StorageConfigError(f"disk_sectors must be > 0, got {disk_sectors}")
+        minimum = {
+            RaidLevel.JBOD: 1,
+            RaidLevel.RAID0: 2,
+            RaidLevel.RAID1: 2,
+            RaidLevel.RAID5: 3,
+            RaidLevel.RAID10: 4,
+        }[level]
+        if n_disks < minimum:
+            raise StorageConfigError(
+                f"{level.value} needs >= {minimum} disks, got {n_disks}"
+            )
+        if level is RaidLevel.RAID1 and n_disks != 2:
+            raise StorageConfigError(f"raid1 supports exactly 2 disks, got {n_disks}")
+        if level is RaidLevel.JBOD and n_disks != 1:
+            raise StorageConfigError(f"jbod is single-disk, got {n_disks}")
+        if level is RaidLevel.RAID10 and n_disks % 2:
+            raise StorageConfigError(
+                f"raid10 needs an even disk count, got {n_disks}"
+            )
+        self.level = level
+        self.n_disks = n_disks
+        self.strip_bytes = strip_bytes
+        # Usable member capacity truncates to whole strips (as real
+        # controllers do) so no stripe row ever spills past the disk.
+        strip_sectors = strip_bytes // SECTOR_BYTES
+        self.disk_sectors = (disk_sectors // strip_sectors) * strip_sectors
+        if self.disk_sectors <= 0:
+            raise StorageConfigError(
+                f"members of {disk_sectors} sectors cannot hold one "
+                f"{strip_bytes}-byte strip"
+            )
+        self._mirror_next = 0
+
+    # -- Capacity ----------------------------------------------------------
+
+    @property
+    def data_disks(self) -> int:
+        """Disks' worth of addressable data."""
+        if self.level is RaidLevel.RAID5:
+            return self.n_disks - 1
+        if self.level is RaidLevel.RAID1:
+            return 1
+        if self.level is RaidLevel.RAID10:
+            return self.n_disks // 2
+        return self.n_disks
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.data_disks * self.disk_sectors
+
+    @property
+    def strip_sectors(self) -> int:
+        return self.strip_bytes // SECTOR_BYTES
+
+    # -- Internal helpers ---------------------------------------------------
+
+    def _chunks(self, package: IOPackage) -> List[_Chunk]:
+        """Split the logical byte extent into strip-aligned chunks."""
+        start = package.sector * SECTOR_BYTES
+        remaining = package.nbytes
+        chunks: List[_Chunk] = []
+        while remaining > 0:
+            strip_index = start // self.strip_bytes
+            offset = start % self.strip_bytes
+            take = min(self.strip_bytes - offset, remaining)
+            chunks.append(_Chunk(strip_index, offset, take))
+            start += take
+            remaining -= take
+        return chunks
+
+    def parity_disk(self, row: int) -> int:
+        """RAID-5 parity disk for stripe ``row`` (rotating, left layout)."""
+        return (self.n_disks - 1) - (row % self.n_disks)
+
+    def _raid5_place(self, strip_index: int) -> Tuple[int, int]:
+        """Map a data strip index to (disk, row)."""
+        per_row = self.n_disks - 1
+        row = strip_index // per_row
+        position = strip_index % per_row
+        pdisk = self.parity_disk(row)
+        disk = position if position < pdisk else position + 1
+        return disk, row
+
+    def _chunk_sub_io(self, chunk: _Chunk, disk: int, row: int, op: int) -> SubIO:
+        sector = row * self.strip_sectors + chunk.offset_bytes // SECTOR_BYTES
+        return SubIO(disk=disk, sector=sector, nbytes=chunk.nbytes, op=op)
+
+    # -- Planning ------------------------------------------------------------
+
+    def plan(self, package: IOPackage) -> IOPlan:
+        """Build the per-disk execution plan for a logical request."""
+        if package.end_sector > self.capacity_sectors:
+            raise StorageConfigError(
+                f"request {package} exceeds array capacity "
+                f"{self.capacity_sectors} sectors"
+            )
+        if self.level is RaidLevel.JBOD:
+            return IOPlan(
+                pre=(),
+                post=(SubIO(0, package.sector, package.nbytes, package.op),),
+            )
+        if self.level is RaidLevel.RAID0:
+            return self._plan_raid0(package)
+        if self.level is RaidLevel.RAID1:
+            return self._plan_raid1(package)
+        if self.level is RaidLevel.RAID10:
+            return self._plan_raid10(package)
+        return self._plan_raid5(package)
+
+    def _plan_raid0(self, package: IOPackage) -> IOPlan:
+        subs = []
+        for chunk in self._chunks(package):
+            disk = chunk.strip_index % self.n_disks
+            row = chunk.strip_index // self.n_disks
+            subs.append(self._chunk_sub_io(chunk, disk, row, package.op))
+        return IOPlan(pre=(), post=tuple(subs))
+
+    def _plan_raid1(self, package: IOPackage) -> IOPlan:
+        if package.op == READ:
+            # Round-robin reads across the mirror pair.
+            disk = self._mirror_next
+            self._mirror_next = 1 - self._mirror_next
+            return IOPlan(
+                pre=(),
+                post=(SubIO(disk, package.sector, package.nbytes, READ),),
+            )
+        return IOPlan(
+            pre=(),
+            post=tuple(
+                SubIO(d, package.sector, package.nbytes, WRITE)
+                for d in range(self.n_disks)
+            ),
+        )
+
+    def _plan_raid10(self, package: IOPackage) -> IOPlan:
+        """Stripe across mirror pairs: pair ``p`` is disks (2p, 2p+1).
+
+        Reads alternate between the two members of the owning pair;
+        writes go to both.
+        """
+        n_pairs = self.n_disks // 2
+        subs: List[SubIO] = []
+        for chunk in self._chunks(package):
+            pair = chunk.strip_index % n_pairs
+            row = chunk.strip_index // n_pairs
+            if package.op == READ:
+                member = 2 * pair + self._mirror_next
+                self._mirror_next = 1 - self._mirror_next
+                subs.append(self._chunk_sub_io(chunk, member, row, READ))
+            else:
+                subs.append(
+                    self._chunk_sub_io(chunk, 2 * pair, row, WRITE)
+                )
+                subs.append(
+                    self._chunk_sub_io(chunk, 2 * pair + 1, row, WRITE)
+                )
+        return IOPlan(pre=(), post=tuple(subs))
+
+    def _plan_raid5(self, package: IOPackage) -> IOPlan:
+        chunks = self._chunks(package)
+        if package.op == READ:
+            subs = []
+            for chunk in chunks:
+                disk, row = self._raid5_place(chunk.strip_index)
+                subs.append(self._chunk_sub_io(chunk, disk, row, READ))
+            return IOPlan(pre=(), post=tuple(subs))
+
+        # Writes: group chunks per stripe row.
+        per_row = self.n_disks - 1
+        rows: Dict[int, List[_Chunk]] = {}
+        for chunk in chunks:
+            rows.setdefault(chunk.strip_index // per_row, []).append(chunk)
+        return self._plan_raid5_write_rows(rows)
+
+    def _plan_raid5_write_rows(self, rows: Dict[int, List[_Chunk]]) -> IOPlan:
+        per_row = self.n_disks - 1
+        pre: List[SubIO] = []
+        post: List[SubIO] = []
+        for row, row_chunks in sorted(rows.items()):
+            pdisk = self.parity_disk(row)
+            covered = sum(c.nbytes for c in row_chunks)
+            full_stripe = covered == per_row * self.strip_bytes
+            # Parity extent spans the union of the row's data extents.
+            lo = min(c.offset_bytes for c in row_chunks)
+            hi = max(c.offset_bytes + c.nbytes for c in row_chunks)
+            parity_sector = row * self.strip_sectors + lo // SECTOR_BYTES
+            parity_nbytes = hi - lo
+            if not full_stripe:
+                # Read-modify-write: old data + old parity first.
+                for chunk in row_chunks:
+                    disk, _ = self._raid5_place(chunk.strip_index)
+                    pre.append(self._chunk_sub_io(chunk, disk, row, READ))
+                pre.append(SubIO(pdisk, parity_sector, parity_nbytes, READ))
+            for chunk in row_chunks:
+                disk, _ = self._raid5_place(chunk.strip_index)
+                post.append(self._chunk_sub_io(chunk, disk, row, WRITE))
+            post.append(SubIO(pdisk, parity_sector, parity_nbytes, WRITE))
+        return IOPlan(pre=tuple(pre), post=tuple(post))
+
+    # -- Degraded mode (one failed member) ---------------------------------
+
+    def plan_degraded(self, package: IOPackage, failed_disk: int) -> IOPlan:
+        """Plan a request with one member disk failed (RAID-5 only).
+
+        * Reads of surviving chunks proceed normally; a chunk on the
+          failed disk is *reconstructed* by reading the same extent
+          from every other member of the stripe (data + parity).
+        * Writes use reconstruct-write: read the row's surviving strips
+          that are not being overwritten, then write the surviving
+          target chunks plus (when the parity disk survives) the new
+          parity.  No sub-I/O ever targets the failed disk.
+        """
+        if self.level is not RaidLevel.RAID5:
+            raise StorageConfigError(
+                f"degraded planning requires raid5, not {self.level.value}"
+            )
+        if not 0 <= failed_disk < self.n_disks:
+            raise StorageConfigError(
+                f"failed_disk {failed_disk} out of range [0, {self.n_disks})"
+            )
+        if package.end_sector > self.capacity_sectors:
+            raise StorageConfigError(
+                f"request {package} exceeds array capacity "
+                f"{self.capacity_sectors} sectors"
+            )
+        chunks = self._chunks(package)
+        if package.op == READ:
+            return self._plan_degraded_read(chunks, failed_disk)
+        return self._plan_degraded_write(chunks, failed_disk)
+
+    def _row_extent(self, chunks: List[_Chunk]) -> Tuple[int, int]:
+        lo = min(c.offset_bytes for c in chunks)
+        hi = max(c.offset_bytes + c.nbytes for c in chunks)
+        return lo, hi
+
+    def _plan_degraded_read(
+        self, chunks: List[_Chunk], failed_disk: int
+    ) -> IOPlan:
+        subs: List[SubIO] = []
+        per_row = self.n_disks - 1
+        for chunk in chunks:
+            disk, row = self._raid5_place(chunk.strip_index)
+            if disk != failed_disk:
+                subs.append(self._chunk_sub_io(chunk, disk, row, READ))
+                continue
+            # Reconstruct: read the same in-strip extent from every
+            # surviving member of the stripe (other data strips + parity).
+            sector = (
+                row * self.strip_sectors + chunk.offset_bytes // SECTOR_BYTES
+            )
+            for other in range(self.n_disks):
+                if other == failed_disk:
+                    continue
+                subs.append(SubIO(other, sector, chunk.nbytes, READ))
+        return IOPlan(pre=(), post=tuple(subs))
+
+    def _plan_degraded_write(
+        self, chunks: List[_Chunk], failed_disk: int
+    ) -> IOPlan:
+        per_row = self.n_disks - 1
+        rows: Dict[int, List[_Chunk]] = {}
+        for chunk in chunks:
+            rows.setdefault(chunk.strip_index // per_row, []).append(chunk)
+
+        pre: List[SubIO] = []
+        post: List[SubIO] = []
+        for row, row_chunks in sorted(rows.items()):
+            pdisk = self.parity_disk(row)
+            lo, hi = self._row_extent(row_chunks)
+            sector = row * self.strip_sectors + lo // SECTOR_BYTES
+            nbytes = hi - lo
+            written_disks = set()
+            for chunk in row_chunks:
+                disk, _ = self._raid5_place(chunk.strip_index)
+                written_disks.add(disk)
+                if disk != failed_disk:
+                    post.append(self._chunk_sub_io(chunk, disk, row, WRITE))
+            parity_survives = pdisk != failed_disk
+            # Reconstruct-write: read every surviving strip of the row
+            # that is not fully covered by this write, so the new
+            # parity reflects the whole row.  (When parity itself is
+            # the casualty there is nothing to maintain.)
+            if parity_survives:
+                for other in range(self.n_disks):
+                    if other == pdisk or other == failed_disk:
+                        continue
+                    if other in written_disks:
+                        continue
+                    pre.append(SubIO(other, sector, nbytes, READ))
+                post.append(SubIO(pdisk, sector, nbytes, WRITE))
+        return IOPlan(pre=tuple(pre), post=tuple(post))
+
+    def rebuild_rows(self) -> int:
+        """Number of stripe rows a full rebuild must reconstruct."""
+        return -(-self.disk_sectors // self.strip_sectors)
+
+    def plan_rebuild_row(self, row: int, failed_disk: int) -> IOPlan:
+        """One rebuild step: read the row from all survivors, write the
+        reconstructed strip to the replacement disk (same index)."""
+        if self.level is not RaidLevel.RAID5:
+            raise StorageConfigError("rebuild requires raid5")
+        sector = row * self.strip_sectors
+        nbytes = min(
+            self.strip_bytes,
+            (self.disk_sectors - sector) * SECTOR_BYTES,
+        )
+        if nbytes <= 0:
+            raise StorageConfigError(f"row {row} beyond disk capacity")
+        pre = tuple(
+            SubIO(other, sector, nbytes, READ)
+            for other in range(self.n_disks)
+            if other != failed_disk
+        )
+        post = (SubIO(failed_disk, sector, nbytes, WRITE),)
+        return IOPlan(pre=pre, post=post)

@@ -1,0 +1,31 @@
+"""Thermal metrics — the paper's stated future work.
+
+§VII: "We intend to bring in temperature as new metric of TRACER
+evaluation framework, as temperature has obvious influences on energy,
+performance and reliability of storage systems."
+
+This package adds that metric to the reproduction:
+
+* :mod:`~repro.thermal.model` — first-order RC thermal model driven by
+  a device's power timeline (dissipated Watts heat the device toward
+  ``T_ambient + P · R_th`` with time constant τ);
+* :mod:`~repro.thermal.sensor` — thermistor model (quantisation,
+  offset) so readings look like SMART temperature values;
+* :mod:`~repro.thermal.monitor` — per-cycle temperature sampling on the
+  simulation clock, aligned with the performance and power monitors.
+"""
+
+from .model import ThermalSpec, ThermalModel, HDD_THERMAL, SSD_THERMAL
+from .sensor import Thermistor, ThermistorSpec
+from .monitor import ThermalMonitor, ThermalSample
+
+__all__ = [
+    "ThermalSpec",
+    "ThermalModel",
+    "HDD_THERMAL",
+    "SSD_THERMAL",
+    "Thermistor",
+    "ThermistorSpec",
+    "ThermalMonitor",
+    "ThermalSample",
+]

@@ -1,0 +1,138 @@
+"""First-order RC thermal model driven by a power timeline.
+
+A storage device in an enclosure behaves, to first order, like a
+thermal RC circuit: dissipated power ``P`` pushes the device
+temperature toward ``T_ambient + P · R_th`` (thermal resistance in
+K/W) with time constant ``τ = R_th · C_th``.  Integrating over the
+device's :class:`~repro.power.model.PowerTimeline` gives the
+temperature history without any extra event machinery:
+
+    T(t+Δ) = T_target + (T(t) − T_target) · exp(−Δ/τ)
+
+where ``T_target`` uses the mean power over the step.  Steps are chosen
+small relative to τ, so the piecewise-constant-power approximation is
+tight (τ for a 3.5″ drive is tens of minutes; the default 1 s steps are
+conservative by three orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import TracerError
+from ..power.model import PowerTimeline
+
+
+class ThermalError(TracerError):
+    """Invalid thermal configuration or query."""
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Thermal parameters of one device in its bay.
+
+    Parameters
+    ----------
+    thermal_resistance:
+        Kelvin per Watt from device to enclosure air.
+    time_constant:
+        τ in seconds (R_th · C_th).
+    ambient:
+        Enclosure air temperature in °C (assumed regulated by the fans
+        accounted in the enclosure's non-disk power).
+    max_operating:
+        Vendor limit, for headroom reporting (°C).
+    """
+
+    thermal_resistance: float
+    time_constant: float
+    ambient: float = 25.0
+    max_operating: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance <= 0:
+            raise ThermalError("thermal_resistance must be > 0")
+        if self.time_constant <= 0:
+            raise ThermalError("time_constant must be > 0")
+
+    def steady_state(self, watts: float) -> float:
+        """Equilibrium temperature at constant dissipation."""
+        return self.ambient + watts * self.thermal_resistance
+
+
+#: 3.5" 7200 rpm drive in a fan-cooled bay: ~1.3 K/W, τ ≈ 8 minutes.
+HDD_THERMAL = ThermalSpec(thermal_resistance=1.3, time_constant=480.0)
+
+#: 2.5" SSD: lower mass, better coupling: ~2.0 K/W, τ ≈ 2 minutes.
+SSD_THERMAL = ThermalSpec(
+    thermal_resistance=2.0, time_constant=120.0, max_operating=70.0
+)
+
+
+class ThermalModel:
+    """Temperature history of one device from its power timeline.
+
+    The model is *pull-based*: it lazily integrates the power timeline
+    up to the queried time, caching its state, so callers can sample at
+    arbitrary (non-decreasing) times without re-integrating from zero.
+    """
+
+    def __init__(
+        self,
+        timeline: PowerTimeline,
+        spec: ThermalSpec,
+        step: float = 1.0,
+        start_temperature: float | None = None,
+    ) -> None:
+        if step <= 0:
+            raise ThermalError(f"step must be > 0, got {step}")
+        self.timeline = timeline
+        self.spec = spec
+        self.step = step
+        self._time = 0.0
+        self._temp = (
+            start_temperature
+            if start_temperature is not None
+            else spec.steady_state(timeline.baseline_watts_at(0.0))
+        )
+        self._history: List[Tuple[float, float]] = [(0.0, self._temp)]
+
+    @property
+    def current_temperature(self) -> float:
+        """Temperature at the last integrated instant."""
+        return self._temp
+
+    def _advance_one(self, dt: float) -> None:
+        watts = self.timeline.mean_power(self._time, self._time + dt)
+        target = self.spec.steady_state(watts)
+        decay = math.exp(-dt / self.spec.time_constant)
+        self._temp = target + (self._temp - target) * decay
+        self._time += dt
+        self._history.append((self._time, self._temp))
+
+    def temperature_at(self, time: float) -> float:
+        """Temperature in °C at ``time`` (must not precede prior queries)."""
+        if time < self._time - 1e-12:
+            # Serve from history (exact for recorded instants, nearest
+            # step otherwise).
+            times = np.array([t for t, _ in self._history])
+            temps = np.array([T for _, T in self._history])
+            return float(np.interp(time, times, temps))
+        while self._time + self.step <= time:
+            self._advance_one(self.step)
+        remainder = time - self._time
+        if remainder > 1e-12:
+            self._advance_one(remainder)
+        return self._temp
+
+    def headroom_at(self, time: float) -> float:
+        """Degrees below the vendor operating limit (negative = over)."""
+        return self.spec.max_operating - self.temperature_at(time)
+
+    def history(self) -> List[Tuple[float, float]]:
+        """(time, °C) points integrated so far."""
+        return list(self._history)

@@ -1,0 +1,109 @@
+"""Per-cycle temperature sampling on the simulation clock.
+
+Mirrors :class:`~repro.power.analyzer.PowerAnalyzer`: arm it, let it
+sample each device's thermal model every cycle, stop it, read the
+per-cycle records — so replay sessions can log temperature in lock-step
+with power and throughput (the integration the paper's future-work
+section proposes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.engine import Simulator
+from .model import ThermalError, ThermalModel
+from .sensor import Thermistor
+
+
+@dataclass(frozen=True)
+class ThermalSample:
+    """One device's temperature at one sampling instant."""
+
+    time: float
+    device: str
+    true_celsius: float
+    reported_celsius: float
+    headroom: float
+
+
+class ThermalMonitor:
+    """Samples a set of named thermal models every cycle."""
+
+    def __init__(
+        self,
+        models: Dict[str, ThermalModel],
+        sampling_cycle: float = 1.0,
+        sensor: Optional[Thermistor] = None,
+    ) -> None:
+        if sampling_cycle <= 0:
+            raise ThermalError(f"sampling_cycle must be > 0, got {sampling_cycle}")
+        if not models:
+            raise ThermalError("need at least one thermal model to monitor")
+        self.models = dict(models)
+        self.sampling_cycle = sampling_cycle
+        self.sensor = sensor if sensor is not None else Thermistor()
+        self.samples: List[ThermalSample] = []
+        self._armed = False
+        self._sim: Optional[Simulator] = None
+        self._pending = None
+
+    def start(self, sim: Simulator) -> None:
+        if self._armed:
+            raise ThermalError("thermal monitor already started")
+        self._armed = True
+        self._sim = sim
+        self.samples = []
+        self._schedule()
+
+    def _schedule(self) -> None:
+        assert self._sim is not None
+        self._pending = self._sim.schedule_after(
+            self.sampling_cycle, self._tick, priority=11
+        )
+
+    def _tick(self) -> None:
+        assert self._sim is not None
+        self._record(self._sim.now)
+        if self._armed:
+            self._schedule()
+
+    def _record(self, now: float) -> None:
+        for name, model in self.models.items():
+            true = model.temperature_at(now)
+            self.samples.append(
+                ThermalSample(
+                    time=now,
+                    device=name,
+                    true_celsius=true,
+                    reported_celsius=self.sensor.read(true),
+                    headroom=model.spec.max_operating - true,
+                )
+            )
+
+    def stop(self) -> None:
+        if not self._armed:
+            raise ThermalError("thermal monitor not started")
+        self._armed = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        assert self._sim is not None
+        self._record(self._sim.now)
+
+    # -- Aggregates --------------------------------------------------------
+
+    def max_temperature(self, device: Optional[str] = None) -> float:
+        """Hottest sampled true temperature (of one device or overall)."""
+        values = [
+            s.true_celsius
+            for s in self.samples
+            if device is None or s.device == device
+        ]
+        if not values:
+            raise ThermalError("no samples recorded")
+        return max(values)
+
+    def device_series(self, device: str) -> List[ThermalSample]:
+        return [s for s in self.samples if s.device == device]

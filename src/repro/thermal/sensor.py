@@ -1,0 +1,54 @@
+"""Thermistor model: what a SMART temperature attribute actually reports.
+
+Drive temperature sensors quantise to 1 °C (SMART attribute 194), sit a
+fixed offset from the hottest component, and lag slightly; the
+quantisation especially matters when an experiment tries to resolve the
+one-or-two-degree differences between load levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rng import make_rng
+from .model import ThermalError
+
+
+@dataclass(frozen=True)
+class ThermistorSpec:
+    """Imperfections of a device temperature sensor."""
+
+    quantisation: float = 1.0
+    """Reporting granularity in °C (SMART reports whole degrees)."""
+    offset: float = 0.0
+    """Systematic bias in °C (sensor placement vs hottest component)."""
+    noise: float = 0.0
+    """Std-dev of zero-mean Gaussian read noise in °C."""
+
+    def __post_init__(self) -> None:
+        if self.quantisation < 0 or self.noise < 0:
+            raise ThermalError("quantisation and noise must be >= 0")
+
+
+IDEAL_THERMISTOR = ThermistorSpec(quantisation=0.0)
+SMART_THERMISTOR = ThermistorSpec(quantisation=1.0)
+
+
+class Thermistor:
+    """Convert true temperature into sensor readings."""
+
+    def __init__(
+        self, spec: ThermistorSpec = SMART_THERMISTOR, seed: int | None = None
+    ) -> None:
+        self.spec = spec
+        self._rng = make_rng(seed)
+
+    def read(self, true_celsius: float) -> float:
+        """One reading in °C."""
+        value = true_celsius + self.spec.offset
+        if self.spec.noise:
+            value += float(self._rng.normal(0.0, self.spec.noise))
+        if self.spec.quantisation:
+            q = self.spec.quantisation
+            value = round(value / q) * q
+        return value

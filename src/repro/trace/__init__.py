@@ -1,0 +1,47 @@
+"""Block-level trace model.
+
+TRACER's traces follow the blktrace ``.replay`` layout of Fig. 4 in the
+paper: a trace is a sequence of *bunches*; each bunch carries an arrival
+timestamp and the number of concurrent *IO_packages* it contains; each
+IO_package is a (start sector, byte length, read/write) triple.  Requests
+inside one bunch are issued concurrently; bunches are issued at their
+timestamps.
+
+This package provides the in-memory records, a binary codec for the
+on-disk format, streaming readers/writers, trace statistics (Table III),
+an HP ``.srt`` format transformer, a named trace repository, validation,
+and slicing/merging utilities.
+"""
+
+from .record import IOPackage, Bunch, Trace, READ, WRITE
+from .blktrace import read_trace, write_trace, BlktraceCodec
+from .reader import TraceReader
+from .writer import TraceWriter
+from .stats import TraceStats, compute_stats
+from .srt import SRTRecord, parse_srt, srt_to_trace, convert_srt_file
+from .repository import TraceRepository, TraceName
+from .validate import validate_trace
+from . import ops
+
+__all__ = [
+    "IOPackage",
+    "Bunch",
+    "Trace",
+    "READ",
+    "WRITE",
+    "read_trace",
+    "write_trace",
+    "BlktraceCodec",
+    "TraceReader",
+    "TraceWriter",
+    "TraceStats",
+    "compute_stats",
+    "SRTRecord",
+    "parse_srt",
+    "srt_to_trace",
+    "convert_srt_file",
+    "TraceRepository",
+    "TraceName",
+    "validate_trace",
+    "ops",
+]

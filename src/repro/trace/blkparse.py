@@ -1,0 +1,155 @@
+"""Importer for blkparse ASCII output (the `blktrace` toolchain).
+
+Real-world users collect traces with Linux ``blktrace`` and render them
+with ``blkparse``; the default per-event line looks like::
+
+    8,0    3      102     0.000481superfluous  1234  D   W 816 + 8 [kworker/3:1]
+
+i.e. ``maj,min cpu seq timestamp pid action rwbs sector + nsectors
+[process]``.  This module parses that layout, keeps one *action* class
+(``Q`` queued / ``D`` dispatched / ``C`` completed — dispatch by
+default, matching what btreplay replays), and folds events into the
+bunch structure of :class:`~repro.trace.record.Trace`.
+
+Only R/W data events are kept: discards, flushes, and barrier-only
+events carry no replayable payload.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, TextIO, Union
+
+from ..errors import TraceFormatError
+from ..units import SECTOR_BYTES
+from .record import READ, WRITE, Trace
+from .srt import SRTRecord, srt_to_trace
+
+PathLike = Union[str, Path]
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<maj>\d+),(?P<min>\d+)"
+    r"\s+(?P<cpu>\d+)"
+    r"\s+(?P<seq>\d+)"
+    r"\s+(?P<time>\d+\.\d+)"
+    r"\s+(?P<pid>\d+)"
+    r"\s+(?P<action>[A-Z])"
+    r"\s+(?P<rwbs>[A-Z]+)"
+    r"\s+(?P<sector>\d+)\s*\+\s*(?P<count>\d+)"
+    r"(?:\s+\[(?P<proc>[^\]]*)\])?\s*$"
+)
+
+
+def parse_blkparse_line(line: str, lineno: int = 0) -> Optional[SRTRecord]:
+    """Parse one blkparse event line into an SRT-style record.
+
+    Returns ``None`` for structurally valid lines that carry nothing
+    replayable (zero-length transfers, non-R/W rwbs flags).  Raises
+    :class:`TraceFormatError` for lines that do not match the format at
+    all.
+    """
+    m = _LINE_RE.match(line)
+    if m is None:
+        raise TraceFormatError(
+            f"blkparse line {lineno}: unrecognised event: {line!r}"
+        )
+    rwbs = m.group("rwbs")
+    if "R" in rwbs and "W" not in rwbs:
+        op = READ
+    elif "W" in rwbs:
+        op = WRITE
+    else:
+        return None  # discard/flush/barrier-only event
+    count = int(m.group("count"))
+    if count == 0:
+        return None
+    device = (int(m.group("maj")) << 20) | int(m.group("min"))
+    return SRTRecord(
+        timestamp=float(m.group("time")),
+        device=device,
+        offset_bytes=int(m.group("sector")) * SECTOR_BYTES,
+        length_bytes=count * SECTOR_BYTES,
+        op=op,
+    )
+
+
+def parse_blkparse(
+    source: Union[TextIO, Iterable[str]],
+    action: str = "D",
+    strict: bool = False,
+) -> Iterator[SRTRecord]:
+    """Stream records of one action class from blkparse text.
+
+    Parameters
+    ----------
+    action:
+        Which event class to keep: ``Q`` (queued), ``D`` (dispatched,
+        default — btreplay's convention) or ``C`` (completed).
+    strict:
+        When False (default), lines that don't look like event lines
+        (blkparse summaries, per-CPU headers, blank lines) are skipped;
+        when True, they raise.
+    """
+    if action not in ("Q", "D", "C", "I", "M"):
+        raise TraceFormatError(f"unsupported blkparse action {action!r}")
+    for lineno, line in enumerate(source, start=1):
+        stripped = line.rstrip("\n")
+        if not stripped.strip():
+            continue
+        m = _LINE_RE.match(stripped)
+        if m is None:
+            if strict:
+                raise TraceFormatError(
+                    f"blkparse line {lineno}: unrecognised event: {stripped!r}"
+                )
+            continue
+        if m.group("action") != action:
+            continue
+        record = parse_blkparse_line(stripped, lineno)
+        if record is not None:
+            yield record
+
+
+def blkparse_to_trace(
+    source: Union[TextIO, Iterable[str]],
+    action: str = "D",
+    device: Optional[int] = None,
+    bunch_window: float = 0.001,
+    label: str = "",
+) -> Trace:
+    """Convert blkparse text into a replayable :class:`Trace`.
+
+    Events are folded into bunches with the same coalescing window the
+    collector uses; out-of-order timestamps (blkparse merges per-CPU
+    streams) are sorted first.
+    """
+    records = sorted(
+        parse_blkparse(source, action=action), key=lambda r: r.timestamp
+    )
+    return srt_to_trace(
+        iter(records), device=device, bunch_window=bunch_window, label=label
+    )
+
+
+def convert_blkparse_file(
+    src: PathLike,
+    dst: PathLike,
+    action: str = "D",
+    device: Optional[int] = None,
+    bunch_window: float = 0.001,
+) -> Trace:
+    """File-to-file transformer: blkparse text → ``.replay``."""
+    from .blktrace import write_trace
+
+    src = Path(src)
+    with open(src, "r") as fh:
+        trace = blkparse_to_trace(
+            fh,
+            action=action,
+            device=device,
+            bunch_window=bunch_window,
+            label=src.stem,
+        )
+    write_trace(trace, dst)
+    return trace

@@ -1,0 +1,129 @@
+"""Binary codec for the blktrace ``.replay`` file layout (paper Fig. 4).
+
+On-disk layout (little-endian)::
+
+    file   := magic header, bunch*
+    header := magic "TRCR" | version u16 | flags u16 | bunch_count u64
+    bunch  := timestamp_ns u64 | npackages u32 | package*
+    package:= sector u64 | nbytes u32 | op u8 | pad u8[3]
+
+The real blktrace btrecord/btreplay bunch layout is equivalent in content
+(timestamp, package count, then fixed-size IO descriptors); we add a
+magic/version header so format errors fail fast instead of producing
+garbage bunches.
+
+The codec is vectorised with NumPy: a trace with hundreds of thousands of
+packages round-trips in milliseconds, per the HPC guide's
+"vectorise, don't loop" rule.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from ..errors import TraceFormatError, TraceValidationError
+from ..units import NS_PER_S
+from .record import Bunch, IOPackage, Trace
+
+MAGIC = b"TRCR"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHHQ")
+_BUNCH_HEADER = struct.Struct("<QI")
+_PACKAGE_DTYPE = np.dtype(
+    [("sector", "<u8"), ("nbytes", "<u4"), ("op", "u1"), ("pad", "u1", 3)]
+)
+
+PathLike = Union[str, Path]
+
+
+class BlktraceCodec:
+    """Encode/decode :class:`~repro.trace.record.Trace` to the binary format."""
+
+    def encode(self, trace: Trace, stream: BinaryIO) -> int:
+        """Write ``trace`` to a binary stream; returns bytes written."""
+        written = stream.write(_HEADER.pack(MAGIC, VERSION, 0, len(trace)))
+        for bunch in trace:
+            ts_ns = round(bunch.timestamp * NS_PER_S)
+            written += stream.write(_BUNCH_HEADER.pack(ts_ns, len(bunch)))
+            arr = np.zeros(len(bunch), dtype=_PACKAGE_DTYPE)
+            arr["sector"] = [p.sector for p in bunch.packages]
+            arr["nbytes"] = [p.nbytes for p in bunch.packages]
+            arr["op"] = [p.op for p in bunch.packages]
+            data = arr.tobytes()
+            written += stream.write(data)
+        return written
+
+    def decode(self, stream: BinaryIO, label: str = "") -> Trace:
+        """Read one trace from a binary stream."""
+        raw = stream.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise TraceFormatError("truncated trace header", offset=0)
+        magic, version, _flags, bunch_count = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise TraceFormatError(
+                f"bad magic {magic!r}; not a TRACER .replay file", offset=0
+            )
+        if version != VERSION:
+            raise TraceFormatError(f"unsupported trace version {version}")
+        bunches = []
+        offset = _HEADER.size
+        for _ in range(bunch_count):
+            raw = stream.read(_BUNCH_HEADER.size)
+            if len(raw) < _BUNCH_HEADER.size:
+                raise TraceFormatError("truncated bunch header", offset=offset)
+            ts_ns, npackages = _BUNCH_HEADER.unpack(raw)
+            offset += _BUNCH_HEADER.size
+            if npackages == 0:
+                raise TraceFormatError("bunch with zero packages", offset=offset)
+            nbytes = npackages * _PACKAGE_DTYPE.itemsize
+            raw = stream.read(nbytes)
+            if len(raw) < nbytes:
+                raise TraceFormatError("truncated package array", offset=offset)
+            arr = np.frombuffer(raw, dtype=_PACKAGE_DTYPE)
+            offset += nbytes
+            try:
+                packages = [
+                    IOPackage(int(s), int(n), int(o))
+                    for s, n, o in zip(arr["sector"], arr["nbytes"], arr["op"])
+                ]
+                bunches.append(Bunch(ts_ns / NS_PER_S, packages))
+            except TraceValidationError as exc:
+                # Corrupted field values are a *format* problem from the
+                # reader's perspective.
+                raise TraceFormatError(
+                    f"invalid package fields: {exc}", offset=offset
+                ) from exc
+        return Trace(bunches, label=label)
+
+
+def write_trace(trace: Trace, path: PathLike) -> int:
+    """Write a trace to ``path`` in ``.replay`` format; returns bytes written."""
+    codec = BlktraceCodec()
+    with open(path, "wb") as fh:
+        return codec.encode(trace, fh)
+
+
+def read_trace(path: PathLike) -> Trace:
+    """Read a ``.replay`` trace file from ``path``."""
+    codec = BlktraceCodec()
+    path = Path(path)
+    with open(path, "rb") as fh:
+        return codec.decode(fh, label=path.stem)
+
+
+def dumps(trace: Trace) -> bytes:
+    """Encode a trace to bytes (useful for the wire protocol and tests)."""
+    buf = io.BytesIO()
+    BlktraceCodec().encode(trace, buf)
+    return buf.getvalue()
+
+
+def loads(data: bytes, label: str = "") -> Trace:
+    """Decode a trace from bytes."""
+    return BlktraceCodec().decode(io.BytesIO(data), label=label)

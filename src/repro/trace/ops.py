@@ -1,0 +1,154 @@
+"""Trace manipulation utilities: slicing, shifting, merging, rebasing.
+
+These are the plumbing operations the benchmarks and the distributed
+evaluation use to cut multi-minute traces into replay windows and to
+combine per-device traces for multi-array tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import TraceValidationError
+from .record import Bunch, Trace
+
+
+def time_window(trace: Trace, start: float, end: float) -> Trace:
+    """Return the sub-trace whose bunch timestamps fall in [start, end)."""
+    if end < start:
+        raise TraceValidationError(f"window end {end} precedes start {start}")
+    bunches = [b for b in trace if start <= b.timestamp < end]
+    return Trace(bunches, label=f"{trace.label}[{start:g}:{end:g}s]")
+
+
+def rebase(trace: Trace, origin: float = 0.0) -> Trace:
+    """Shift timestamps so the first bunch lands at ``origin``."""
+    if len(trace) == 0:
+        return Trace([], label=trace.label)
+    delta = origin - trace.bunches[0].timestamp
+    return Trace([b.shifted(delta) for b in trace], label=trace.label)
+
+
+def concat(traces: Sequence[Trace], gap: float = 0.0, label: str = "") -> Trace:
+    """Concatenate traces back-to-back, inserting ``gap`` seconds between.
+
+    Each trace is rebased so its first bunch starts right after the
+    previous trace's last bunch plus the gap.
+    """
+    bunches: List[Bunch] = []
+    cursor = 0.0
+    for trace in traces:
+        if len(trace) == 0:
+            continue
+        base = trace.bunches[0].timestamp
+        for bunch in trace:
+            bunches.append(bunch.shifted(cursor - base))
+        cursor = bunches[-1].timestamp + gap
+    return Trace(bunches, label=label or "concat")
+
+
+def merge(traces: Sequence[Trace], label: str = "") -> Trace:
+    """Merge traces by timestamp (stable across equal stamps).
+
+    Used when several collectors traced different devices over the same
+    wall-clock window and the union stream is wanted.
+    """
+    indexed = []
+    for t_idx, trace in enumerate(traces):
+        for b_idx, bunch in enumerate(trace):
+            indexed.append((bunch.timestamp, t_idx, b_idx, bunch))
+    indexed.sort(key=lambda item: (item[0], item[1], item[2]))
+    return Trace([item[3] for item in indexed], label=label or "merge")
+
+
+def first_n_bunches(trace: Trace, n: int) -> Trace:
+    """The first ``n`` bunches (replay warm-up windows)."""
+    return Trace(trace.bunches[: max(0, n)], label=trace.label)
+
+
+def split_by_op(trace: Trace) -> tuple:
+    """Split into (reads-only, writes-only) traces.
+
+    Bunches that become empty after the split are dropped; timestamps are
+    preserved, so the two halves can be replayed against each other.
+    """
+    reads: List[Bunch] = []
+    writes: List[Bunch] = []
+    for bunch in trace:
+        r = [p for p in bunch.packages if p.is_read]
+        w = [p for p in bunch.packages if p.is_write]
+        if r:
+            reads.append(Bunch(bunch.timestamp, r))
+        if w:
+            writes.append(Bunch(bunch.timestamp, w))
+    return (
+        Trace(reads, label=f"{trace.label}:reads"),
+        Trace(writes, label=f"{trace.label}:writes"),
+    )
+
+
+def fit_to_capacity(
+    trace: Trace,
+    capacity_sectors: int,
+    mode: str = "scale",
+) -> Trace:
+    """Remap a trace's addresses into a smaller device's range.
+
+    The paper notes a trace collected on a system with bandwidth B can
+    test any device with bandwidth ≤ B; the same portability question
+    arises for *capacity* (e.g. replaying an HDD-array trace on the
+    paper's 4×32 GB SSD array).  Two remapping modes:
+
+    * ``"scale"`` — multiply every address by ``capacity / span`` so the
+      trace's footprint shrinks proportionally.  Preserves address
+      ordering and *relative* seek distances, but compresses the gaps
+      inside sequential runs (strict block continuity is lost).
+    * ``"wrap"`` — addresses modulo the capacity.  Preserves request
+      sizes and strictly sequential runs (until a run crosses the wrap
+      point) but folds distant regions on top of each other.
+
+    Requests whose *size* exceeds the capacity are rejected.
+    """
+    if capacity_sectors <= 0:
+        raise TraceValidationError("capacity_sectors must be > 0")
+    if mode not in ("scale", "wrap"):
+        raise TraceValidationError(f"mode must be 'scale' or 'wrap', got {mode!r}")
+    if len(trace) == 0:
+        return Trace([], label=trace.label)
+    max_end = max(p.end_sector for p in trace.packages())
+    if max_end <= capacity_sectors:
+        return Trace(list(trace.bunches), label=trace.label)
+
+    bunches: List[Bunch] = []
+    factor = capacity_sectors / max_end
+    for bunch in trace:
+        packages = []
+        for pkg in bunch.packages:
+            size_sectors = pkg.sectors
+            if size_sectors > capacity_sectors:
+                raise TraceValidationError(
+                    f"request of {pkg.nbytes} bytes cannot fit a "
+                    f"{capacity_sectors}-sector device"
+                )
+            limit = capacity_sectors - size_sectors
+            if mode == "scale":
+                sector = min(int(pkg.sector * factor), limit)
+            else:
+                sector = pkg.sector % capacity_sectors
+                if sector > limit:
+                    sector = limit
+            packages.append(
+                type(pkg)(sector, pkg.nbytes, pkg.op)
+            )
+        bunches.append(Bunch(bunch.timestamp, packages))
+    return Trace(bunches, label=f"{trace.label}-fit")
+
+
+def interarrival_times(trace: Trace) -> np.ndarray:
+    """Array of inter-bunch gaps in seconds (len(trace)-1 entries)."""
+    ts = np.array([b.timestamp for b in trace], dtype=np.float64)
+    if len(ts) < 2:
+        return np.empty(0, dtype=np.float64)
+    return np.diff(ts)

@@ -1,0 +1,180 @@
+"""In-memory trace records: IO_package, bunch, trace.
+
+Mirrors the file structure of a blktrace ``.replay`` file (paper Fig. 4):
+
+* an :class:`IOPackage` is one block I/O request — starting sector,
+  length in bytes, and operation type;
+* a :class:`Bunch` is a set of concurrent IO_packages plus the arrival
+  timestamp of the bunch;
+* a :class:`Trace` is the ordered sequence of bunches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+from ..errors import TraceValidationError
+from ..units import SECTOR_BYTES
+
+READ = 0
+"""Operation code for a read request."""
+
+WRITE = 1
+"""Operation code for a write request."""
+
+_OP_NAMES = {READ: "R", WRITE: "W"}
+
+
+@dataclass(frozen=True)
+class IOPackage:
+    """One block-level I/O request.
+
+    Parameters
+    ----------
+    sector:
+        Starting sector (512-byte units), absolute on the target device.
+    nbytes:
+        Request length in bytes.  blktrace stores byte lengths even
+        though addressing is in sectors.
+    op:
+        :data:`READ` or :data:`WRITE`.
+    """
+
+    sector: int
+    nbytes: int
+    op: int
+
+    def __post_init__(self) -> None:
+        if self.sector < 0:
+            raise TraceValidationError(f"sector must be >= 0, got {self.sector}")
+        if self.nbytes <= 0:
+            raise TraceValidationError(f"nbytes must be > 0, got {self.nbytes}")
+        if self.op not in (READ, WRITE):
+            raise TraceValidationError(f"op must be READ(0) or WRITE(1), got {self.op}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == WRITE
+
+    @property
+    def sectors(self) -> int:
+        """Number of whole sectors this request touches."""
+        return -(-self.nbytes // SECTOR_BYTES)
+
+    @property
+    def end_sector(self) -> int:
+        """First sector *after* this request (exclusive end)."""
+        return self.sector + self.sectors
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{_OP_NAMES[self.op]}@{self.sector}+{self.nbytes}B"
+
+
+@dataclass(frozen=True)
+class Bunch:
+    """A timestamped group of concurrent IO_packages.
+
+    ``timestamp`` is the arrival time in seconds relative to the start of
+    the trace.  All packages in a bunch are issued simultaneously during
+    replay ("Concurrent I/O requests in a selected bunch must be replayed
+    in parallel", Section IV-A).
+    """
+
+    timestamp: float
+    packages: tuple
+
+    def __init__(self, timestamp: float, packages: Iterable[IOPackage]) -> None:
+        object.__setattr__(self, "timestamp", float(timestamp))
+        object.__setattr__(self, "packages", tuple(packages))
+        if self.timestamp < 0:
+            raise TraceValidationError(
+                f"bunch timestamp must be >= 0, got {self.timestamp}"
+            )
+        if not self.packages:
+            raise TraceValidationError("a bunch must contain at least one IOPackage")
+
+    def __len__(self) -> int:
+        return len(self.packages)
+
+    def __iter__(self) -> Iterator[IOPackage]:
+        return iter(self.packages)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all packages in the bunch."""
+        return sum(pkg.nbytes for pkg in self.packages)
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for pkg in self.packages if pkg.is_read)
+
+    def shifted(self, delta: float) -> "Bunch":
+        """Return a copy with the timestamp moved by ``delta`` seconds."""
+        return Bunch(self.timestamp + delta, self.packages)
+
+    def scaled(self, factor: float) -> "Bunch":
+        """Return a copy with the timestamp multiplied by ``factor``."""
+        return Bunch(self.timestamp * factor, self.packages)
+
+
+class Trace:
+    """An ordered sequence of bunches, with bulk accessors.
+
+    The constructor does *not* sort; callers own ordering.  Use
+    :func:`repro.trace.validate.validate_trace` to check monotonicity.
+    """
+
+    __slots__ = ("bunches", "label")
+
+    def __init__(self, bunches: Iterable[Bunch], label: str = "") -> None:
+        self.bunches: List[Bunch] = list(bunches)
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.bunches)
+
+    def __iter__(self) -> Iterator[Bunch]:
+        return iter(self.bunches)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Trace(self.bunches[idx], label=self.label)
+        return self.bunches[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self.bunches == other.bunches
+
+    @property
+    def package_count(self) -> int:
+        """Total number of IO_packages across all bunches."""
+        return sum(len(b) for b in self.bunches)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes transferred by the whole trace."""
+        return sum(b.nbytes for b in self.bunches)
+
+    @property
+    def duration(self) -> float:
+        """Timestamp of the last bunch minus the first (0 for <2 bunches)."""
+        if len(self.bunches) < 2:
+            return 0.0
+        return self.bunches[-1].timestamp - self.bunches[0].timestamp
+
+    def packages(self) -> Iterator[IOPackage]:
+        """Iterate over every IO_package in bunch order."""
+        for bunch in self.bunches:
+            yield from bunch.packages
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(label={self.label!r}, bunches={len(self.bunches)}, "
+            f"packages={self.package_count}, duration={self.duration:.3f}s)"
+        )

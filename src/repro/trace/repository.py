@@ -1,0 +1,161 @@
+"""The trace repository.
+
+Section III-A2: "Collected trace files are stored in the trace
+repository.  The name of each trace file implies important information
+such as storage device type, request size, random rate, and read rate."
+
+:class:`TraceName` encodes/decodes that naming convention;
+:class:`TraceRepository` is a directory of ``.replay`` files addressed by
+workload mode, with store/load/lookup/list operations used by the
+evaluation host and the 125-trace matrix builder.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..config import WorkloadMode
+from ..errors import RepositoryError
+from ..units import KiB
+from .blktrace import read_trace, write_trace
+from .record import Trace
+
+PathLike = Union[str, Path]
+
+_NAME_RE = re.compile(
+    r"^(?P<device>[a-z0-9-]+)_rs(?P<rs>\d+)_rnd(?P<rnd>\d{1,3})_rd(?P<rd>\d{1,3})"
+    r"(?:_(?P<tag>[A-Za-z0-9-]+))?\.replay$"
+)
+
+
+@dataclass(frozen=True)
+class TraceName:
+    """Encoded trace file name: device type + workload mode (+ tag).
+
+    Example: ``hdd-raid5_rs4096_rnd050_rd000.replay`` is the 4 KiB,
+    50 % random, 0 % read trace collected on an HDD RAID-5 array.
+    """
+
+    device: str
+    request_size: int
+    random_ratio: float
+    read_ratio: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[a-z0-9-]+", self.device):
+            raise RepositoryError(
+                f"device type must be lowercase alphanumeric/hyphen, got {self.device!r}"
+            )
+        if self.tag and not re.fullmatch(r"[A-Za-z0-9-]+", self.tag):
+            raise RepositoryError(f"invalid tag {self.tag!r}")
+
+    @property
+    def filename(self) -> str:
+        base = (
+            f"{self.device}_rs{self.request_size}"
+            f"_rnd{round(self.random_ratio * 100):03d}"
+            f"_rd{round(self.read_ratio * 100):03d}"
+        )
+        if self.tag:
+            base += f"_{self.tag}"
+        return base + ".replay"
+
+    @classmethod
+    def parse(cls, filename: str) -> "TraceName":
+        """Decode a repository file name; raises on foreign files."""
+        m = _NAME_RE.match(Path(filename).name)
+        if m is None:
+            raise RepositoryError(f"not a repository trace name: {filename!r}")
+        return cls(
+            device=m.group("device"),
+            request_size=int(m.group("rs")),
+            random_ratio=int(m.group("rnd")) / 100.0,
+            read_ratio=int(m.group("rd")) / 100.0,
+            tag=m.group("tag") or "",
+        )
+
+    def matches(self, mode: WorkloadMode) -> bool:
+        """True when this name's workload parameters equal ``mode``'s."""
+        return (
+            self.request_size == mode.request_size
+            and abs(self.random_ratio - mode.random_ratio) < 0.005
+            and abs(self.read_ratio - mode.read_ratio) < 0.005
+        )
+
+
+class TraceRepository:
+    """A directory of named ``.replay`` traces.
+
+    The repository is the hand-off point between the trace collector
+    (which stores peak-workload traces) and the replay tool (which loads
+    the trace matching a requested workload mode).
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, name: TraceName) -> Path:
+        return self.root / name.filename
+
+    def store(self, name: TraceName, trace: Trace, overwrite: bool = False) -> Path:
+        """Write ``trace`` under ``name``; refuses to clobber by default."""
+        path = self.path_for(name)
+        if path.exists() and not overwrite:
+            raise RepositoryError(f"trace already in repository: {path.name}")
+        write_trace(trace, path)
+        return path
+
+    def load(self, name: TraceName) -> Trace:
+        """Load the trace stored under ``name``."""
+        path = self.path_for(name)
+        if not path.exists():
+            raise RepositoryError(f"trace not in repository: {path.name}")
+        return read_trace(path)
+
+    def __contains__(self, name: TraceName) -> bool:
+        return self.path_for(name).exists()
+
+    def names(self) -> Iterator[TraceName]:
+        """Iterate all decodable trace names in the repository."""
+        for path in sorted(self.root.glob("*.replay")):
+            try:
+                yield TraceName.parse(path.name)
+            except RepositoryError:
+                continue
+
+    def find(
+        self,
+        device: Optional[str] = None,
+        mode: Optional[WorkloadMode] = None,
+    ) -> List[TraceName]:
+        """Find names by device type and/or workload mode."""
+        out = []
+        for name in self.names():
+            if device is not None and name.device != device:
+                continue
+            if mode is not None and not name.matches(mode):
+                continue
+            out.append(name)
+        return out
+
+    def lookup(self, device: str, mode: WorkloadMode) -> TraceName:
+        """Return the unique trace for (device, mode); raise otherwise."""
+        matches = self.find(device=device, mode=mode)
+        if not matches:
+            raise RepositoryError(
+                f"no trace for device={device!r} "
+                f"rs={mode.request_size} rnd={mode.random_ratio} rd={mode.read_ratio}"
+            )
+        if len(matches) > 1:
+            raise RepositoryError(
+                f"ambiguous: {len(matches)} traces match device={device!r} mode"
+            )
+        return matches[0]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.names())

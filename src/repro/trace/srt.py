@@ -1,0 +1,152 @@
+"""HP ``.srt`` trace parsing and the trace-format transformer.
+
+The paper's workload generator includes "a trace format transformer ...
+to change the HP trace format (i.e., trace files with the extension name
+srt) into the blktrace format" (Section III-A2).  HP's cello traces ship
+in the SRT (self-describing trace) format; the widely used text export
+carries one record per line::
+
+    <timestamp> <device> <start_byte> <length_bytes> <R|W>
+
+Timestamps are seconds (float) since trace start.  We parse that text
+form, group records that share a timestamp into bunches (that is exactly
+what a blktrace bunch is — requests queued in the same submission
+window), and emit a standard :class:`~repro.trace.record.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from ..errors import TraceFormatError
+from ..units import SECTOR_BYTES
+from .blktrace import write_trace
+from .record import READ, WRITE, Bunch, IOPackage, Trace
+
+PathLike = Union[str, Path]
+
+_OP_CODES = {"R": READ, "r": READ, "W": WRITE, "w": WRITE}
+
+
+@dataclass(frozen=True)
+class SRTRecord:
+    """One parsed SRT line."""
+
+    timestamp: float
+    device: int
+    offset_bytes: int
+    length_bytes: int
+    op: int
+
+
+def parse_srt_line(line: str, lineno: int = 0) -> SRTRecord:
+    """Parse one SRT text line; raises :class:`TraceFormatError` on garbage."""
+    fields = line.split()
+    if len(fields) != 5:
+        raise TraceFormatError(
+            f"SRT line {lineno}: expected 5 fields, got {len(fields)}: {line!r}"
+        )
+    try:
+        ts = float(fields[0])
+        dev = int(fields[1])
+        offset = int(fields[2])
+        length = int(fields[3])
+    except ValueError as exc:
+        raise TraceFormatError(f"SRT line {lineno}: {exc}") from exc
+    opname = fields[4]
+    if opname not in _OP_CODES:
+        raise TraceFormatError(
+            f"SRT line {lineno}: op must be R or W, got {opname!r}"
+        )
+    if ts < 0 or offset < 0 or length <= 0:
+        raise TraceFormatError(f"SRT line {lineno}: negative/zero field in {line!r}")
+    return SRTRecord(ts, dev, offset, length, _OP_CODES[opname])
+
+
+def parse_srt(source: Union[TextIO, Iterable[str]]) -> Iterator[SRTRecord]:
+    """Parse SRT text lines, skipping blanks and ``#`` comments."""
+    for lineno, line in enumerate(source, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_srt_line(stripped, lineno)
+
+
+def srt_to_trace(
+    records: Iterable[SRTRecord],
+    device: int | None = None,
+    bunch_window: float = 0.0,
+    label: str = "",
+) -> Trace:
+    """Convert SRT records to a blktrace-format :class:`Trace`.
+
+    Parameters
+    ----------
+    records:
+        Parsed SRT records, time-ordered.
+    device:
+        Keep only records for this device number (HP traces interleave
+        several disks); ``None`` keeps everything.
+    bunch_window:
+        Records whose timestamps differ by at most this many seconds are
+        folded into one bunch (concurrent submission).  ``0.0`` groups
+        only exactly-equal timestamps.
+    """
+    bunches: List[Bunch] = []
+    pending: List[IOPackage] = []
+    pending_ts: float | None = None
+    last_ts = -1.0
+    for rec in records:
+        if device is not None and rec.device != device:
+            continue
+        if rec.timestamp < last_ts:
+            raise TraceFormatError(
+                f"SRT records out of order: {rec.timestamp} after {last_ts}"
+            )
+        last_ts = rec.timestamp
+        pkg = IOPackage(rec.offset_bytes // SECTOR_BYTES, rec.length_bytes, rec.op)
+        if pending_ts is not None and rec.timestamp - pending_ts <= bunch_window:
+            pending.append(pkg)
+        else:
+            if pending:
+                bunches.append(Bunch(pending_ts, pending))
+            pending = [pkg]
+            pending_ts = rec.timestamp
+    if pending:
+        bunches.append(Bunch(pending_ts, pending))
+    return Trace(bunches, label=label)
+
+
+def convert_srt_file(
+    src: PathLike,
+    dst: PathLike,
+    device: int | None = None,
+    bunch_window: float = 0.0,
+) -> Trace:
+    """Transform an ``.srt`` text file into a ``.replay`` binary file.
+
+    Returns the converted trace (also written to ``dst``), mirroring the
+    paper's transformer which must run before TRACER can load HP traces.
+    """
+    src = Path(src)
+    with open(src, "r") as fh:
+        trace = srt_to_trace(
+            parse_srt(fh), device=device, bunch_window=bunch_window, label=src.stem
+        )
+    write_trace(trace, dst)
+    return trace
+
+
+def write_srt(trace: Trace, path: PathLike, device: int = 0) -> None:
+    """Export a trace to SRT text (round-trip support and test fixtures)."""
+    opname = {READ: "R", WRITE: "W"}
+    with open(path, "w") as fh:
+        fh.write("# HP SRT text export\n")
+        for bunch in trace:
+            for pkg in bunch.packages:
+                fh.write(
+                    f"{bunch.timestamp:.9f} {device} "
+                    f"{pkg.sector * SECTOR_BYTES} {pkg.nbytes} {opname[pkg.op]}\n"
+                )

@@ -1,0 +1,72 @@
+"""Semantic trace validation.
+
+The binary codec guarantees structural integrity; this module checks the
+invariants the replayer relies on: time-ordered bunches, non-empty
+bunches, and (optionally) requests inside a device's addressable range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import TraceValidationError
+from .record import Trace
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a validation pass."""
+
+    ok: bool
+    issues: tuple
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise TraceValidationError("; ".join(self.issues))
+
+
+def validate_trace(
+    trace: Trace,
+    capacity_sectors: Optional[int] = None,
+    strict: bool = True,
+) -> ValidationReport:
+    """Validate ``trace``.
+
+    Parameters
+    ----------
+    capacity_sectors:
+        When given, every request must end at or before this sector
+        (the target device's capacity).
+    strict:
+        When True, raise :class:`TraceValidationError` on the first
+        category of failure instead of returning a report.
+    """
+    issues: List[str] = []
+
+    last_ts = -1.0
+    out_of_order = 0
+    for i, bunch in enumerate(trace):
+        if bunch.timestamp < last_ts:
+            out_of_order += 1
+        last_ts = max(last_ts, bunch.timestamp)
+    if out_of_order:
+        issues.append(f"{out_of_order} bunches with decreasing timestamps")
+
+    if capacity_sectors is not None:
+        overflow = sum(
+            1 for pkg in trace.packages() if pkg.end_sector > capacity_sectors
+        )
+        if overflow:
+            issues.append(
+                f"{overflow} packages exceed device capacity of "
+                f"{capacity_sectors} sectors"
+            )
+
+    if len(trace) == 0:
+        issues.append("trace contains no bunches")
+
+    report = ValidationReport(ok=not issues, issues=tuple(issues))
+    if strict:
+        report.raise_if_failed()
+    return report

@@ -1,0 +1,77 @@
+"""Unit constants and conversion helpers used throughout TRACER.
+
+The block-level trace format, the storage models, and the metrics all mix
+units (sectors vs. bytes, seconds vs. milliseconds, Watts vs. Kilowatts).
+Centralising the conversions keeps every module honest about what a number
+means.
+
+Conventions
+-----------
+* **Time** is a ``float`` number of *seconds* everywhere inside the
+  simulator.  Trace files store nanosecond integer timestamps (like
+  blktrace does); the reader converts on the way in.
+* **Disk addresses** are 512-byte *sectors* (the blktrace convention).
+* **Request sizes** are *bytes* in API surfaces and records.
+* **Power** is Watts; **energy** is Joules.  The efficiency metrics
+  convert to IOPS/Watt and MBPS/Kilowatt at the reporting edge only.
+"""
+
+from __future__ import annotations
+
+SECTOR_BYTES = 512
+"""Size of one disk sector in bytes (blktrace convention)."""
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+NS_PER_S = 1_000_000_000
+US_PER_S = 1_000_000
+MS_PER_S = 1_000
+
+WATTS_PER_KILOWATT = 1000.0
+
+
+def sectors_to_bytes(sectors: int) -> int:
+    """Convert a sector count to bytes."""
+    return sectors * SECTOR_BYTES
+
+
+def bytes_to_sectors(nbytes: int) -> int:
+    """Convert a byte count to whole sectors, rounding up.
+
+    Block devices transfer whole sectors; a 100-byte logical request
+    still occupies one 512-byte sector on the wire.
+    """
+    if nbytes <= 0:
+        return 0
+    return -(-nbytes // SECTOR_BYTES)
+
+
+def ns_to_seconds(ns: int) -> float:
+    """Convert an integer nanosecond timestamp to float seconds."""
+    return ns / NS_PER_S
+
+
+def seconds_to_ns(seconds: float) -> int:
+    """Convert float seconds to an integer nanosecond timestamp."""
+    return round(seconds * NS_PER_S)
+
+
+def bytes_to_mb(nbytes: float) -> float:
+    """Convert bytes to decimal megabytes (the MBPS 'MB')."""
+    return nbytes / MB
+
+
+def mb_to_bytes(mb: float) -> float:
+    """Convert decimal megabytes to bytes."""
+    return mb * MB
+
+
+def watts_to_kilowatts(watts: float) -> float:
+    """Convert Watts to Kilowatts (for MBPS/Kilowatt reporting)."""
+    return watts / WATTS_PER_KILOWATT

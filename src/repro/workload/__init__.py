@@ -1,0 +1,41 @@
+"""Workload substrate: synthetic generators, collectors, real-world synthesisers.
+
+* :mod:`~repro.workload.patterns` — address/op streams with IOmeter's
+  three knobs (request size, random ratio, read ratio);
+* :mod:`~repro.workload.arrivals` — open arrival processes (Poisson,
+  bursty MMPP, diurnal modulation) for the real-world synthesisers;
+* :mod:`~repro.workload.iometer` — closed-loop peak-load generator
+  (the paper uses IOmeter to produce peak workloads, §III-B);
+* :mod:`~repro.workload.collector` — block-level trace collector that
+  records a running workload into a ``.replay`` trace (blktrace role);
+* :mod:`~repro.workload.webserver` / :mod:`~repro.workload.cello` —
+  statistical re-syntheses of the FIU web-server trace (Table III) and
+  the HP cello99 trace used in §VI-F;
+* :mod:`~repro.workload.matrix` — the 125-trace synthetic matrix
+  builder (§V-C1).
+"""
+
+from .patterns import AccessPattern
+from .arrivals import poisson_arrivals, mmpp_arrivals, diurnal_rate, constant_arrivals
+from .iometer import IometerGenerator, PeakResult
+from .collector import TraceCollector
+from .webserver import WebServerModel, generate_webserver_trace
+from .cello import CelloModel, generate_cello_trace
+from .matrix import build_matrix, matrix_modes
+
+__all__ = [
+    "AccessPattern",
+    "poisson_arrivals",
+    "mmpp_arrivals",
+    "diurnal_rate",
+    "constant_arrivals",
+    "IometerGenerator",
+    "PeakResult",
+    "TraceCollector",
+    "WebServerModel",
+    "generate_webserver_trace",
+    "CelloModel",
+    "generate_cello_trace",
+    "build_matrix",
+    "matrix_modes",
+]

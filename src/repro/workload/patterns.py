@@ -1,0 +1,106 @@
+"""Block address / operation pattern generation.
+
+Implements IOmeter's access-specification semantics: a stream of
+requests of fixed size where a configurable fraction start at a random
+aligned address (the rest continue sequentially from the previous
+request's end), and a configurable fraction are reads.
+
+The generator is stateful (the sequential cursor persists across calls)
+and draws from a seeded stream, so identical parameters reproduce
+identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..config import WorkloadMode
+from ..errors import WorkloadError
+from ..rng import make_rng
+from ..trace.record import READ, WRITE, IOPackage
+from ..units import SECTOR_BYTES
+
+
+class AccessPattern:
+    """Stateful request-stream generator with IOmeter's three knobs.
+
+    Parameters
+    ----------
+    mode:
+        Request size / random ratio / read ratio (load proportion is
+        ignored here — it belongs to the replay side).
+    capacity_sectors:
+        Addressable range; random starts are uniform over it and the
+        sequential cursor wraps at the end.
+    align_sectors:
+        Alignment of random starts (default: request size, IOmeter's
+        convention).
+    """
+
+    def __init__(
+        self,
+        mode: WorkloadMode,
+        capacity_sectors: int,
+        seed: Optional[int] = None,
+        align_sectors: Optional[int] = None,
+    ) -> None:
+        if capacity_sectors <= 0:
+            raise WorkloadError(f"capacity_sectors must be > 0, got {capacity_sectors}")
+        self.mode = mode
+        self.capacity_sectors = capacity_sectors
+        self.request_sectors = max(1, -(-mode.request_size // SECTOR_BYTES))
+        if self.request_sectors > capacity_sectors:
+            raise WorkloadError(
+                f"request size {mode.request_size} exceeds device capacity"
+            )
+        self.align = align_sectors if align_sectors else self.request_sectors
+        self._rng = make_rng(seed)
+        self._cursor = 0
+        self._max_start = capacity_sectors - self.request_sectors
+
+    def _random_start(self) -> int:
+        slots = self._max_start // self.align + 1
+        return int(self._rng.integers(0, slots)) * self.align
+
+    def next_package(self) -> IOPackage:
+        """Generate the next request in the stream."""
+        is_random = self._rng.random() < self.mode.random_ratio
+        if is_random:
+            start = self._random_start()
+        else:
+            start = self._cursor
+            if start > self._max_start:
+                start = 0
+        op = READ if self._rng.random() < self.mode.read_ratio else WRITE
+        pkg = IOPackage(start, self.mode.request_size, op)
+        self._cursor = pkg.end_sector
+        return pkg
+
+    def take(self, n: int) -> List[IOPackage]:
+        """Generate ``n`` requests."""
+        return [self.next_package() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[IOPackage]:
+        while True:
+            yield self.next_package()
+
+
+def zipf_popularity(
+    n_items: int, exponent: float, rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """Sample ``size`` item indices with Zipf(``exponent``) popularity.
+
+    Used by the web-server synthesiser: web object popularity is the
+    canonical Zipf workload.  Implemented by inverse-CDF over the finite
+    support (SciPy's ``zipf`` is unbounded; we need a bounded catalogue).
+    """
+    if n_items <= 0:
+        raise WorkloadError(f"n_items must be > 0, got {n_items}")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    u = rng.random(size)
+    return np.searchsorted(cdf, u)

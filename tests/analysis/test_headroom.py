@@ -1,0 +1,97 @@
+"""Load-headroom search tests."""
+
+import pytest
+
+from repro.analysis.headroom import HeadroomError, find_headroom
+from repro.storage.array import build_hdd_raid5
+from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+
+def light_trace(n=120, gap=0.05):
+    """~20 IOPS of sequential 4 KiB reads: far below array capacity."""
+    return Trace(
+        [Bunch(i * gap, [IOPackage(i * 8, 4096, READ)]) for i in range(n)],
+        label="light",
+    )
+
+
+class TestHeadroomSearch:
+    def test_finds_multiple_x_headroom(self):
+        result = find_headroom(
+            light_trace(),
+            lambda: build_hdd_raid5(6),
+            response_slo=0.050,
+            max_intensity=32.0,
+            tolerance=0.25,
+        )
+        # A light sequential workload scales many times over.
+        assert result.saturation_intensity >= 2.0
+        assert result.first_violation > result.saturation_intensity
+        assert len(result.probes) >= 3
+
+    def test_probes_monotone_response(self):
+        result = find_headroom(
+            light_trace(),
+            lambda: build_hdd_raid5(6),
+            response_slo=0.050,
+            max_intensity=16.0,
+            tolerance=0.25,
+        )
+        by_intensity = sorted(result.probes, key=lambda p: p.intensity)
+        responses = [p.mean_response for p in by_intensity]
+        # Response grows with intensity (weak monotonicity across probes).
+        assert responses[-1] >= responses[0]
+
+    def test_power_grows_with_intensity(self):
+        result = find_headroom(
+            light_trace(),
+            lambda: build_hdd_raid5(6),
+            response_slo=0.050,
+            max_intensity=16.0,
+            tolerance=0.25,
+        )
+        by_intensity = sorted(result.probes, key=lambda p: p.intensity)
+        assert by_intensity[-1].mean_watts > by_intensity[0].mean_watts
+
+    def test_unbounded_headroom_reports_cap(self):
+        result = find_headroom(
+            light_trace(n=30),
+            lambda: build_hdd_raid5(6),
+            response_slo=10.0,        # absurdly lax SLO
+            max_intensity=4.0,
+            tolerance=0.25,
+        )
+        assert result.first_violation == float("inf")
+        assert result.saturation_intensity >= 2.0
+
+    def test_already_violating_raises(self):
+        # Impossible SLO: even 1.0x violates.
+        with pytest.raises(HeadroomError, match="already violates"):
+            find_headroom(
+                light_trace(n=30),
+                lambda: build_hdd_raid5(6),
+                response_slo=1e-9,
+                max_intensity=4.0,
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(HeadroomError):
+            find_headroom(light_trace(), lambda: build_hdd_raid5(6),
+                          metric="median")
+        with pytest.raises(HeadroomError):
+            find_headroom(light_trace(), lambda: build_hdd_raid5(6),
+                          response_slo=-1.0)
+        with pytest.raises(HeadroomError):
+            find_headroom(light_trace(), lambda: build_hdd_raid5(6),
+                          max_intensity=0.5)
+
+    def test_p95_metric(self):
+        result = find_headroom(
+            light_trace(),
+            lambda: build_hdd_raid5(6),
+            response_slo=0.060,
+            metric="p95",
+            max_intensity=8.0,
+            tolerance=0.3,
+        )
+        assert result.saturation_intensity >= 1.0

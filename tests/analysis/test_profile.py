@@ -1,0 +1,72 @@
+"""Workload profile tests."""
+
+import pytest
+
+from repro.analysis.profile import format_profile, profile_trace
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.workload.cello import generate_cello_trace
+from repro.workload.webserver import generate_webserver_trace
+
+
+class TestProfileBasics:
+    def test_profile_of_small_trace(self, small_trace):
+        profile = profile_trace(small_trace)
+        assert profile.stats.package_count == small_trace.package_count
+        assert profile.max_bunch_size == 2
+        assert profile.size_histogram  # 4096 B bucket present
+        label, count = profile.size_histogram[0]
+        assert count == small_trace.package_count
+
+    def test_sequential_trace_streams(self):
+        trace = Trace(
+            [Bunch(i / 64, [IOPackage(i * 8, 4096, READ)]) for i in range(50)]
+        )
+        profile = profile_trace(trace)
+        assert profile.seek_zero_fraction == pytest.approx(1.0)
+        assert profile.seek_p50_sectors == 0.0
+
+    def test_random_trace_seeks(self):
+        trace = Trace(
+            [
+                Bunch(i / 64, [IOPackage((i * 99991) % 10**6, 4096, READ)])
+                for i in range(50)
+            ]
+        )
+        profile = profile_trace(trace)
+        assert profile.seek_zero_fraction < 0.1
+        assert profile.seek_p50_sectors > 0
+
+    def test_empty_trace(self):
+        profile = profile_trace(Trace([]))
+        assert profile.size_histogram == ()
+        assert profile.hot_regions == ()
+
+    def test_single_package(self):
+        trace = Trace([Bunch(0.0, [IOPackage(0, 512, READ)])])
+        profile = profile_trace(trace)
+        assert profile.seek_p95_sectors == 0.0
+
+
+class TestProfileOfRealisticTraces:
+    def test_cello_is_bursty_and_uneven(self):
+        profile = profile_trace(generate_cello_trace(duration=60.0, seed=3))
+        assert profile.interarrival_cv > 1.2
+        assert len(profile.size_histogram) >= 3  # multiple size buckets
+
+    def test_web_trace_is_zipf_local(self):
+        profile = profile_trace(
+            generate_webserver_trace(duration=120.0, seed=3)
+        )
+        # Zipf popularity concentrates accesses: the top-10 of 100
+        # regions must hold well above 10 % of accesses.
+        assert profile.hot_region_share > 0.15
+        assert profile.stats.read_ratio > 0.85
+
+
+class TestFormatting:
+    def test_format_contains_key_lines(self, small_trace):
+        text = format_profile(profile_trace(small_trace), title="demo")
+        assert "demo" in text
+        assert "read ratio" in text
+        assert "request sizes:" in text
+        assert "burstiness" in text

@@ -1,0 +1,108 @@
+"""Trace similarity tests — §IV-A's preservation claim, quantified.
+
+The tests pin both sides of the story: content characteristics survive
+filtering; microscopic gap shape and sequential-run structure change in
+the specific, predictable ways the module documents.
+"""
+
+import pytest
+
+from repro.analysis.similarity import (
+    SimilarityError,
+    compare_traces,
+    format_similarity,
+)
+from repro.core.proportional_filter import (
+    bernoulli_filter_trace,
+    filter_trace,
+)
+from repro.core.timescale import scale_trace
+from repro.trace.record import Trace
+from repro.workload.cello import generate_cello_trace
+
+
+@pytest.fixture(scope="module")
+def cello():
+    return generate_cello_trace(duration=120.0, seed=19)
+
+
+class TestSelfSimilarity:
+    def test_identical_traces_zero_distance(self, cello):
+        sim = compare_traces(cello, cello)
+        assert sim.size_ks == 0.0
+        assert sim.interarrival_ks == 0.0
+        assert sim.read_ratio_delta == 0.0
+        assert sim.locality_tv == 0.0
+        assert sim.content_distortion == 0.0
+
+    def test_empty_rejected(self, cello):
+        with pytest.raises(SimilarityError):
+            compare_traces(cello, Trace([]))
+
+
+class TestFilterPreservation:
+    """The paper's claim: content characteristics survive filtering."""
+
+    @pytest.mark.parametrize("level", [0.2, 0.5, 0.8])
+    def test_content_characteristics_preserved(self, cello, level):
+        filtered = filter_trace(cello, level)
+        sim = compare_traces(cello, filtered)
+        assert sim.size_ks < 0.05
+        assert sim.read_ratio_delta < 0.05
+        assert sim.locality_tv < 0.15
+        assert sim.content_distortion < 0.15
+
+    def test_random_ratio_drift_shrinks_with_level(self, cello):
+        """Bunch dropping breaks sequential runs: drift is largest at
+        10 % and nearly gone at 90 % — inherent to subsetting."""
+        drift = {
+            level: compare_traces(
+                cello, filter_trace(cello, level)
+            ).random_ratio_delta
+            for level in (0.1, 0.5, 0.9)
+        }
+        assert drift[0.1] > drift[0.9]
+        assert drift[0.9] < 0.1
+
+    def test_time_scaling_preserves_everything(self, cello):
+        scaled = scale_trace(cello, 4.0)
+        sim = compare_traces(cello, scaled)
+        # Mean-normalised gaps are identical; content untouched.
+        assert sim.size_ks == 0.0
+        assert sim.interarrival_ks == pytest.approx(0.0, abs=1e-3)
+        assert sim.read_ratio_delta == 0.0
+        assert sim.locality_tv == 0.0
+
+
+class TestGapShapeTradeoff:
+    """The documented trade-off: uniform selection CLT-smooths the gap
+    distribution (bad microscopic shape, good waveform); Bernoulli
+    thinning preserves gap shape (good microscopic, noisy waveform —
+    see bench_ablation_selection)."""
+
+    def test_uniform_coarsens_gap_distribution(self, cello):
+        sim = compare_traces(cello, filter_trace(cello, 0.1))
+        assert sim.interarrival_ks > 0.15
+
+    def test_bernoulli_preserves_gap_distribution(self, cello):
+        distances = [
+            compare_traces(
+                cello, bernoulli_filter_trace(cello, 0.1, seed=s)
+            ).interarrival_ks
+            for s in range(5)
+        ]
+        assert max(distances) < 0.1
+
+    def test_tradeoff_direction(self, cello):
+        uniform = compare_traces(cello, filter_trace(cello, 0.1))
+        bern = compare_traces(
+            cello, bernoulli_filter_trace(cello, 0.1, seed=0)
+        )
+        assert bern.interarrival_ks < uniform.interarrival_ks
+
+
+class TestFormatting:
+    def test_format_lines(self, cello):
+        text = format_similarity(compare_traces(cello, cello))
+        assert "request size KS" in text
+        assert "content distortion" in text

@@ -1,0 +1,82 @@
+"""Shared fixtures for the TRACER test suite.
+
+Simulated durations here are deliberately tiny (tenths of a second of
+simulated I/O) — the suite exercises behaviour and invariants, not
+statistics; the benchmarks run the long sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import WorkloadMode
+from repro.sim.engine import Simulator
+from repro.storage.array import build_hdd_raid5, build_ssd_raid5
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.trace.repository import TraceRepository
+from repro.workload.collector import TraceCollector
+from repro.workload.iometer import IometerGenerator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def small_trace() -> Trace:
+    """100 bunches, 1/64 s apart (exactly representable in binary and in
+    nanoseconds, so codec round-trips compare equal), alternating 4 KiB
+    read/write, two packages in every 10th bunch."""
+    bunches = []
+    for i in range(100):
+        packages = [IOPackage(i * 64, 4096, READ if i % 2 == 0 else WRITE)]
+        if i % 10 == 0:
+            packages.append(IOPackage(i * 64 + 8, 4096, WRITE))
+        bunches.append(Bunch(i / 64, packages))
+    return Trace(bunches, label="small")
+
+
+@pytest.fixture
+def uneven_trace() -> Trace:
+    """Variable request sizes and variable bunch fan-out (cello-like)."""
+    sizes = [512, 2048, 4096, 65536, 1024 * 1024, 8192, 16384]
+    bunches = []
+    for i in range(70):
+        fan = 1 + (i % 3)
+        packages = [
+            IOPackage((i * 131 + j * 17) % 100000, sizes[(i + j) % len(sizes)],
+                      READ if (i + j) % 3 else WRITE)
+            for j in range(fan)
+        ]
+        bunches.append(Bunch(i * 0.03125, packages))
+    return Trace(bunches, label="uneven")
+
+
+@pytest.fixture
+def hdd_array():
+    return build_hdd_raid5(6)
+
+
+@pytest.fixture
+def ssd_array():
+    return build_ssd_raid5(4)
+
+
+@pytest.fixture
+def repo(tmp_path) -> TraceRepository:
+    return TraceRepository(tmp_path / "repo")
+
+
+@pytest.fixture
+def collected_trace() -> Trace:
+    """A short peak trace collected on a fresh HDD RAID-5."""
+    sim = Simulator()
+    array = build_hdd_raid5(6)
+    array.attach(sim)
+    collector = TraceCollector(label="collected")
+    mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+    IometerGenerator(mode, outstanding=8, seed=7).run(
+        sim, array, 0.5, collector=collector
+    )
+    return collector.finish()

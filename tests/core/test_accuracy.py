@@ -1,0 +1,75 @@
+"""Load-control accuracy math tests (Eqs. 1-2, Tables IV-V layout)."""
+
+import pytest
+
+from repro.core.accuracy import (
+    AccuracyRow,
+    accuracy_table,
+    control_accuracy,
+    load_proportion,
+)
+from repro.errors import FilterError
+
+
+class TestEquations:
+    def test_load_proportion_eq1(self):
+        assert load_proportion(1000.0, 200.0) == pytest.approx(0.2)
+
+    def test_control_accuracy_eq2(self):
+        # Paper Table IV row: measured 9.9266 % at configured 10 %.
+        assert control_accuracy(0.099266, 0.10) == pytest.approx(0.99266)
+
+    def test_perfect_accuracy(self):
+        assert control_accuracy(0.5, 0.5) == 1.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(FilterError):
+            load_proportion(0.0, 10.0)
+
+    def test_negative_filtered_rejected(self):
+        with pytest.raises(FilterError):
+            load_proportion(100.0, -1.0)
+
+    def test_zero_configured_rejected(self):
+        with pytest.raises(FilterError):
+            control_accuracy(0.5, 0.0)
+
+
+class TestAccuracyRow:
+    def test_derived_fields(self):
+        row = AccuracyRow(
+            configured=0.2,
+            measured_iops_proportion=0.200126,
+            measured_mbps_proportion=0.202518,
+        )
+        assert row.iops_accuracy == pytest.approx(1.00063)
+        assert row.mbps_accuracy == pytest.approx(1.01259)
+        assert row.iops_error == pytest.approx(0.00063)
+        assert row.mbps_error == pytest.approx(0.01259)
+
+
+class TestAccuracyTable:
+    def test_builds_rows_per_level(self):
+        # Synthetic throughput exactly proportional to level -> accuracy 1.
+        rows = accuracy_table(
+            configured_levels=[0.1, 0.5, 1.0],
+            iops_fn=lambda level: 1000.0 * level,
+            mbps_fn=lambda level: 80.0 * level,
+            baseline_iops=1000.0,
+            baseline_mbps=80.0,
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert row.iops_accuracy == pytest.approx(1.0)
+            assert row.mbps_accuracy == pytest.approx(1.0)
+
+    def test_detects_bias(self):
+        rows = accuracy_table(
+            configured_levels=[0.5],
+            iops_fn=lambda level: 1000.0 * level * 1.1,  # reads 10 % high
+            mbps_fn=lambda level: 80.0 * level,
+            baseline_iops=1000.0,
+            baseline_mbps=80.0,
+        )
+        assert rows[0].iops_accuracy == pytest.approx(1.1)
+        assert rows[0].iops_error == pytest.approx(0.1)

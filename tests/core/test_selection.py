@@ -1,0 +1,99 @@
+"""Uniform selection pattern tests (the Fig. 5 algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import (
+    proportion_to_count,
+    selection_mask,
+    uniform_positions,
+)
+from repro.errors import FilterError
+
+
+class TestUniformPositions:
+    def test_paper_examples(self):
+        # Fig. 5: 10 % selects the 10th bunch; 20 % the 5th and 10th.
+        assert uniform_positions(1) == (9,)
+        assert uniform_positions(2) == (4, 9)
+
+    def test_full_selection(self):
+        assert uniform_positions(10) == tuple(range(10))
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_count_and_bounds(self, k):
+        positions = uniform_positions(k)
+        assert len(positions) == k
+        assert len(set(positions)) == k          # unique
+        assert positions[-1] == 9                # last of group always in
+        assert all(0 <= p <= 9 for p in positions)
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_positions_increasing(self, k):
+        positions = uniform_positions(k)
+        assert list(positions) == sorted(positions)
+
+    def test_uniform_spacing(self):
+        # k=5 in g=10 must alternate: every other bunch.
+        assert uniform_positions(5) == (1, 3, 5, 7, 9)
+
+    def test_other_group_sizes(self):
+        assert uniform_positions(1, group_size=4) == (3,)
+        assert uniform_positions(2, group_size=4) == (1, 3)
+        assert uniform_positions(20, group_size=20) == tuple(range(20))
+
+    @pytest.mark.parametrize("k,g", [(0, 10), (11, 10), (-1, 10), (1, 0)])
+    def test_invalid(self, k, g):
+        with pytest.raises(FilterError):
+            uniform_positions(k, g)
+
+
+class TestProportionToCount:
+    @pytest.mark.parametrize("prop,k", [(0.1, 1), (0.2, 2), (0.5, 5), (1.0, 10)])
+    def test_grid_values(self, prop, k):
+        assert proportion_to_count(prop) == k
+
+    @pytest.mark.parametrize("prop", [0.0, -0.1, 1.1])
+    def test_out_of_range(self, prop):
+        with pytest.raises(FilterError):
+            proportion_to_count(prop)
+
+    def test_off_grid_rejected(self):
+        with pytest.raises(FilterError, match="multiple"):
+            proportion_to_count(0.25)
+
+    def test_other_group_size_grid(self):
+        assert proportion_to_count(0.25, group_size=4) == 1
+        assert proportion_to_count(0.25, group_size=20) == 5
+
+
+class TestSelectionMask:
+    def test_exact_fraction_on_group_multiple(self):
+        for prop in (0.1, 0.3, 0.7, 1.0):
+            mask = selection_mask(1000, prop)
+            assert mask.sum() == int(prop * 1000)
+
+    def test_pattern_repeats_per_group(self):
+        mask = selection_mask(30, 0.2)
+        group = mask[:10]
+        assert np.array_equal(mask[10:20], group)
+        assert np.array_equal(mask[20:30], group)
+
+    def test_partial_tail_group(self):
+        # 25 bunches at 20 %: two full groups select 2 each; the 5-bunch
+        # tail contains position 4 only.
+        mask = selection_mask(25, 0.2)
+        assert mask.sum() == 2 + 2 + 1
+        assert mask[20 + 4]
+
+    def test_zero_length(self):
+        assert selection_mask(0, 0.5).sum() == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(FilterError):
+            selection_mask(-1, 0.5)
+
+    @pytest.mark.parametrize("n", [1, 9, 10, 11, 99, 100, 101])
+    @pytest.mark.parametrize("prop", [0.1, 0.5, 1.0])
+    def test_mask_length(self, n, prop):
+        assert len(selection_mask(n, prop)) == n

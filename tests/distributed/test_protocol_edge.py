@@ -1,0 +1,77 @@
+"""Distributed edge cases: shutdown dialogue, unknown frames, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.config import TestRequest, WorkloadMode
+from repro.distributed.generator_node import GeneratorNode
+from repro.host.communicator import Communicator
+from repro.host.protocol import Frame, KIND_ACK, KIND_ERROR, KIND_SHUTDOWN
+from repro.storage.array import build_hdd_raid5
+from repro.trace.repository import TraceName
+
+MODE = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+
+
+@pytest.fixture
+def node(repo, collected_trace):
+    repo.store(
+        TraceName("hdd-raid5", MODE.request_size, MODE.random_ratio,
+                  MODE.read_ratio),
+        collected_trace,
+    )
+    with GeneratorNode(
+        lambda: build_hdd_raid5(6), "hdd-raid5", repo, node_id="edge"
+    ) as node:
+        yield node
+
+
+class TestFrames:
+    def test_shutdown_acknowledged(self, node):
+        with Communicator("127.0.0.1", node.port) as comm:
+            reply = comm.request(Frame(KIND_SHUTDOWN, {}))
+            assert reply.kind == KIND_ACK
+            assert reply.body["node_id"] == "edge"
+
+    def test_unknown_kind_gets_error(self, node):
+        with Communicator("127.0.0.1", node.port) as comm:
+            reply = comm.request(Frame("teleport", {}))
+            assert reply.kind == KIND_ERROR
+            assert "unknown frame kind" in reply.body["message"]
+
+    def test_malformed_run_request_gets_error(self, node):
+        with Communicator("127.0.0.1", node.port) as comm:
+            reply = comm.request(Frame("run_test", {"request": {"nope": 1}}))
+            assert reply.kind == KIND_ERROR
+
+    def test_connection_survives_errors(self, node):
+        with Communicator("127.0.0.1", node.port) as comm:
+            comm.request(Frame("bogus", {}))
+            reply = comm.request(Frame("hello", {}))
+            assert reply.kind == KIND_ACK
+
+
+class TestConcurrentHosts:
+    def test_two_hosts_one_node(self, node):
+        """Per-connection threads: two hosts run tests concurrently."""
+        results = []
+        lock = threading.Lock()
+
+        def client():
+            from repro.distributed.host_node import RemoteEvaluationHost
+
+            with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+                record = host.run_test(TestRequest(mode=MODE.at_load(0.5)))
+                with lock:
+                    results.append(record.iops)
+
+        threads = [threading.Thread(target=client) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(results) == 2
+        # Both executed the same deterministic test.
+        assert results[0] == pytest.approx(results[1])
+        assert node.tests_served == 2

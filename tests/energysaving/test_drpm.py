@@ -1,0 +1,84 @@
+"""DRPM multi-speed disk and policy tests."""
+
+import pytest
+
+from repro.energysaving.drpm import DRPMArray, DRPMDisk, SPEED_LEVELS
+from repro.errors import StorageConfigError
+from repro.sim.engine import Simulator
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.record import READ, IOPackage
+
+
+class TestDRPMDisk:
+    def test_speed_change_lowers_baseline(self, sim):
+        disk = DRPMDisk("d0")
+        disk.attach(sim)
+        disk.set_speed(0.4)
+        t0 = sim.now + disk.transition_time
+        sim.advance_to(t0 + 10.0)
+        energy = disk.energy_between(t0, t0 + 10.0)
+        assert energy < SEAGATE_7200_12.idle_watts * 10.0 * 0.6
+
+    def test_low_speed_slows_service(self):
+        def service_time(speed):
+            sim = Simulator()
+            disk = DRPMDisk("d")
+            disk.attach(sim)
+            if speed != 1.0:
+                disk.set_speed(speed)
+                sim.advance_to(disk.transition_time + 0.01)
+            done = []
+            disk.submit(IOPackage(10**6, 4096, READ), done.append)
+            sim.run()
+            return done[0].service_time
+
+        assert service_time(0.4) > service_time(1.0)
+
+    def test_unsupported_speed_rejected(self, sim):
+        disk = DRPMDisk("d0")
+        disk.attach(sim)
+        with pytest.raises(StorageConfigError):
+            disk.set_speed(0.5)
+
+    def test_shift_while_busy_rejected(self, sim):
+        disk = DRPMDisk("d0")
+        disk.attach(sim)
+        disk.submit(IOPackage(0, 4096, READ), lambda c: None)
+        with pytest.raises(StorageConfigError):
+            disk.set_speed(0.8)
+        sim.run()
+
+    def test_same_speed_noop(self, sim):
+        disk = DRPMDisk("d0")
+        disk.attach(sim)
+        disk.set_speed(1.0)
+        assert disk.speed_changes == 0
+
+
+class TestDRPMArray:
+    def test_idle_array_downshifts(self):
+        sim = Simulator()
+        array = DRPMArray(n_disks=3, window=1.0)
+        array.attach(sim)
+        sim.run(until=10.0)
+        array.stop_policy()
+        assert all(d.speed < 1.0 for d in array.disks)
+        assert all(d.speed in SPEED_LEVELS for d in array.disks)
+
+    def test_downshift_saves_idle_energy(self):
+        sim = Simulator()
+        array = DRPMArray(n_disks=3, window=1.0)
+        array.attach(sim)
+        sim.run(until=60.0)
+        array.stop_policy()
+        energy = array.energy_between(0.0, 60.0)
+        always_full = (38.0 + 3 * 10.0) * 60.0
+        assert energy < always_full
+
+    def test_busy_array_upshifts(self, collected_trace):
+        from repro.replay.session import replay_trace
+
+        array = DRPMArray(n_disks=6, window=0.05, up_threshold=0.2)
+        result = replay_trace(collected_trace, array, 1.0)
+        array.stop_policy()
+        assert result.completed == collected_trace.package_count

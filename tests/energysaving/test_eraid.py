@@ -1,0 +1,168 @@
+"""eRAID mirror spin-down tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.energysaving.eraid import ERAIDArray
+from repro.errors import StorageConfigError
+from repro.power.states import PowerState
+from repro.sim.engine import Simulator
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.record import READ, WRITE, IOPackage
+
+SPEC = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=64 * 1024 * 1024)
+
+
+def build(sim, n=4, window=2.0, max_dirty=1024):
+    array = ERAIDArray(
+        [HardDiskDrive(f"e{i}", SPEC) for i in range(n)],
+        window=window,
+        max_dirty_log=max_dirty,
+    )
+    array.attach(sim)
+    return array
+
+
+class TestBasicIO:
+    def test_read_write_complete(self, sim):
+        array = build(sim, window=None)
+        done = []
+        array.submit(IOPackage(0, 4096, READ), done.append)
+        array.submit(IOPackage(512, 4096, WRITE), done.append)
+        sim.run()
+        assert len(done) == 2
+
+    def test_writes_mirror_when_awake(self, sim):
+        array = build(sim, window=None)
+        done = []
+        array.submit(IOPackage(0, 4096, WRITE), done.append)
+        sim.run()
+        assert array.disks[0].completed_count == 1
+        assert array.disks[1].completed_count == 1
+
+    def test_reads_alternate_across_pair(self, sim):
+        array = build(sim, window=None)
+        done = []
+        for _ in range(4):
+            array.submit(IOPackage(0, 4096, READ), done.append)
+        sim.run()
+        assert array.disks[0].completed_count == 2
+        assert array.disks[1].completed_count == 2
+
+    def test_capacity_is_pair_striped(self, sim):
+        array = build(sim, window=None)
+        assert array.capacity_sectors > 0
+        assert array.capacity_sectors <= 2 * SPEC.capacity_bytes // 512
+
+    def test_validation(self):
+        with pytest.raises(StorageConfigError):
+            ERAIDArray([HardDiskDrive("a", SPEC)])
+        with pytest.raises(StorageConfigError):
+            ERAIDArray(
+                [HardDiskDrive(f"x{i}", SPEC) for i in range(4)],
+                sleep_threshold=0.8,
+                wake_threshold=0.5,
+            )
+
+
+class TestPolicy:
+    def test_idle_array_sleeps_mirrors(self, sim):
+        array = build(sim, window=1.0)
+        sim.run(until=5.0)
+        array.stop_policy()
+        assert array.mirrors_asleep
+        assert array.sleep_events == 1
+        assert array.disks[1].state == PowerState.STANDBY
+        assert array.disks[3].state == PowerState.STANDBY
+        # Primaries keep spinning.
+        assert array.disks[0].state.ready
+
+    def test_sleeping_saves_energy(self, sim):
+        array = build(sim, window=1.0)
+        sim.run(until=120.0)
+        array.stop_policy()
+        energy = array.energy_between(0.0, 120.0)
+        always_on = (38.0 + 4 * 10.0) * 120.0
+        assert energy < always_on * 0.9
+
+    def test_reads_served_while_mirrors_sleep(self, sim):
+        array = build(sim, window=1.0)
+        sim.run(until=5.0)
+        assert array.mirrors_asleep
+        done = []
+        array.submit(IOPackage(0, 4096, READ), done.append)
+        sim.run(until=6.0)
+        array.stop_policy()
+        assert len(done) == 1
+        assert array.disks[1].completed_count == 0  # mirror untouched
+
+
+class TestDirtyLogAndResync:
+    def test_writes_logged_while_asleep(self, sim):
+        array = build(sim, window=1.0)
+        sim.run(until=5.0)
+        assert array.mirrors_asleep
+        done = []
+        array.submit(IOPackage(0, 4096, WRITE), done.append)
+        sim.run(until=5.5)
+        array.stop_policy()
+        assert len(done) == 1
+        assert array.dirty_log_length == 1
+        assert array.disks[0].completed_count == 1
+        assert array.disks[1].completed_count == 0
+
+    def test_dirty_overflow_forces_wake_and_resync(self, sim):
+        array = build(sim, window=1.0, max_dirty=3)
+        sim.run(until=5.0)
+        assert array.mirrors_asleep
+        done = []
+        for i in range(3):
+            sim.schedule(
+                5.0 + i * 0.01,
+                lambda i=i: array.submit(
+                    IOPackage(i * 64, 4096, WRITE), done.append
+                ),
+            )
+        sim.run(until=30.0)
+        array.stop_policy()
+        assert len(done) == 3
+        assert array.wake_events == 1
+        assert array.resynced_writes == 3
+        assert array.dirty_log_length == 0
+        assert array.disks[1].completed_count == 3  # mirror caught up
+
+    def test_exposure_accounted(self, sim):
+        array = build(sim, window=1.0, max_dirty=2)
+        sim.run(until=5.0)
+        done = []
+        sim.schedule(5.0, lambda: array.submit(
+            IOPackage(0, 4096, WRITE), done.append))
+        sim.schedule(7.0, lambda: array.submit(
+            IOPackage(64, 4096, WRITE), done.append))
+        sim.run(until=30.0)
+        array.stop_policy()
+        # Dirty window ran from the first logged write until resync.
+        assert array.exposure_seconds > 1.0
+
+
+class TestLoadWakesMirrors:
+    def test_busy_primaries_wake_mirrors(self, sim):
+        array = build(sim, window=0.5)
+        sim.run(until=2.0)
+        assert array.mirrors_asleep
+        # Hammer reads so primary utilisation exceeds the wake threshold.
+        done = []
+        for i in range(400):
+            sim.schedule(
+                2.0 + i * 0.005,
+                lambda i=i: array.submit(
+                    IOPackage((i * 997) % 10000 * 8, 4096, READ), done.append
+                ),
+            )
+        sim.run(until=8.0)
+        array.stop_policy()
+        sim.run(until=sim.now + 10.0)
+        assert array.wake_events >= 1
+        assert not array.mirrors_asleep

@@ -1,0 +1,91 @@
+"""MAID spin-down policy tests."""
+
+import pytest
+
+from repro.energysaving.maid import MAIDArray
+from repro.errors import StorageConfigError
+from repro.power.states import PowerState
+from repro.sim.engine import Simulator
+from repro.storage.hdd import HardDiskDrive
+from repro.trace.record import READ, IOPackage
+
+
+def maid(sim, n=4, idle_timeout=2.0):
+    array = MAIDArray(
+        [HardDiskDrive(f"m{i}") for i in range(n)],
+        idle_timeout=idle_timeout,
+    )
+    array.attach(sim)
+    return array
+
+
+class TestPolicy:
+    def test_idle_disks_spin_down(self, sim):
+        array = maid(sim, idle_timeout=2.0)
+        sim.run(until=10.0)
+        assert array.spin_down_count == 4
+        assert all(d.state == PowerState.STANDBY for d in array.disks)
+
+    def test_spin_down_saves_energy(self, sim):
+        array = maid(sim, idle_timeout=2.0)
+        sim.run(until=100.0)
+        energy = array.energy_between(0.0, 100.0)
+        always_on = (38.0 + 4 * 10.0) * 100.0
+        assert energy < always_on * 0.8
+
+    def test_disabled_policy_keeps_spinning(self, sim):
+        array = MAIDArray(
+            [HardDiskDrive(f"m{i}") for i in range(2)], idle_timeout=None
+        )
+        array.attach(sim)
+        sim.run(until=30.0)
+        assert all(d.state.ready for d in array.disks)
+        assert array.spin_down_count == 0
+
+    def test_active_disk_stays_up(self, sim):
+        array = maid(sim, idle_timeout=2.0)
+        done = []
+        # Keep disk 0 active with a request every second.
+        for i in range(6):
+            sim.schedule(
+                float(i), lambda: array.submit(IOPackage(0, 4096, READ), done.append)
+            )
+        sim.run(until=6.5)
+        assert array.disks[0].state.ready
+
+
+class TestSpinUpPath:
+    def test_request_to_sleeping_disk_spins_up_and_completes(self, sim):
+        array = maid(sim, idle_timeout=1.0)
+        sim.run(until=5.0)  # everything asleep
+        assert array.disks[0].state == PowerState.STANDBY
+        done = []
+        sim.schedule(5.0, lambda: array.submit(IOPackage(0, 4096, READ), done.append))
+        # Run generously: spin-up takes ~6 s.
+        for _ in range(100_000):
+            if done or not sim.step():
+                break
+        assert len(done) == 1
+        assert done[0].response_time > 5.0  # paid the spin-up
+        assert array.spin_up_count == 1
+        assert array.blocked_on_spinup == 1
+
+    def test_spanning_request_split_across_disks(self, sim):
+        array = maid(sim, n=2, idle_timeout=None)
+        cap = array.disks[0].capacity_sectors
+        done = []
+        # 8 sectors straddling the disk boundary.
+        array.submit(IOPackage(cap - 4, 4096, READ), done.append)
+        sim.run()
+        assert len(done) == 1
+        assert done[0].package.nbytes == 4096
+
+    def test_capacity_is_sum(self, sim):
+        array = maid(sim, n=3, idle_timeout=None)
+        assert array.capacity_sectors == 3 * array.disks[0].capacity_sectors
+
+
+class TestValidation:
+    def test_no_disks_rejected(self):
+        with pytest.raises(StorageConfigError):
+            MAIDArray([], idle_timeout=1.0)

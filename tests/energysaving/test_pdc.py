@@ -1,0 +1,182 @@
+"""PDC (Popular Data Concentration) tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.energysaving.pdc import PDCArray
+from repro.errors import StorageConfigError
+from repro.power.states import PowerState
+from repro.rng import make_rng
+from repro.sim.engine import Simulator
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.record import READ, IOPackage
+
+SMALL_SPEC = dataclasses.replace(
+    SEAGATE_7200_12, capacity_bytes=8 * 1024 * 1024  # 8 MiB members
+)
+SEGMENT = 1024 * 1024  # 1 MiB -> 8 slots per disk
+
+
+def build_pdc(sim, n=3, window=5.0, idle_timeout=None, budget=8):
+    array = PDCArray(
+        [HardDiskDrive(f"p{i}", SMALL_SPEC) for i in range(n)],
+        segment_bytes=SEGMENT,
+        window=window,
+        migration_budget=budget,
+        idle_timeout=idle_timeout,
+    )
+    array.attach(sim)
+    return array
+
+
+class TestAddressTranslation:
+    def test_identity_mapping_initially(self, sim):
+        array = build_pdc(sim)
+        assert array.segment_disk(0) == 0
+        assert array.segment_disk(8) == 1
+        assert array.segment_disk(16) == 2
+        assert array.mapping_is_bijective()
+
+    def test_io_round_trips(self, sim):
+        array = build_pdc(sim, window=None)
+        done = []
+        array.submit(IOPackage(0, 4096, READ), done.append)
+        sim.run()
+        assert len(done) == 1
+
+    def test_segment_spanning_io(self, sim):
+        array = build_pdc(sim, window=None)
+        done = []
+        seg_sectors = SEGMENT // 512
+        # Crosses segment 0 -> 1 boundary.
+        array.submit(IOPackage(seg_sectors - 4, 4096, READ), done.append)
+        sim.run()
+        assert len(done) == 1
+        assert done[0].package.nbytes == 4096
+
+    def test_capacity(self, sim):
+        array = build_pdc(sim, n=3)
+        assert array.capacity_sectors == 3 * 8 * (SEGMENT // 512)
+
+    def test_bounds_check(self, sim):
+        array = build_pdc(sim)
+        with pytest.raises(Exception):
+            array.submit(
+                IOPackage(array.capacity_sectors, 4096, READ), lambda c: None
+            )
+
+
+class TestConcentration:
+    def _hammer(self, sim, array, segments, n=60, start=0.0):
+        """Issue n reads spread over the given logical segments."""
+        rng = make_rng(9)
+        seg_sectors = SEGMENT // 512
+        done = []
+        for i in range(n):
+            seg = segments[int(rng.integers(0, len(segments)))]
+            sector = seg * seg_sectors + int(rng.integers(0, seg_sectors - 8))
+            sim.schedule(
+                start + i * 0.02,
+                lambda s=sector: array.submit(
+                    IOPackage(s, 4096, READ), done.append
+                ),
+            )
+        return done
+
+    def test_hot_segments_migrate_to_first_disk(self, sim):
+        array = build_pdc(sim, window=3.0, budget=8)
+        # Hammer segments that live on the LAST disk (16..23).
+        hot = [16, 17, 18]
+        self._hammer(sim, array, hot, n=80)
+        sim.run(until=20.0)
+        array.stop_policy()
+        assert array.migrations > 0
+        assert all(array.segment_disk(seg) == 0 for seg in hot)
+        assert array.mapping_is_bijective()
+
+    def test_migrated_data_still_reachable(self, sim):
+        array = build_pdc(sim, window=3.0, budget=8)
+        hot = [16, 17]
+        self._hammer(sim, array, hot, n=60)
+        sim.run(until=15.0)
+        array.stop_policy()
+        # Post-migration I/O to the hot segments completes on disk 0.
+        done = []
+        seg_sectors = SEGMENT // 512
+        before = array.disks[0].completed_count
+        array.submit(IOPackage(16 * seg_sectors, 4096, READ), done.append)
+        sim.run()
+        assert len(done) == 1
+        assert array.disks[0].completed_count == before + 1
+
+    def test_no_migration_when_budget_zero(self, sim):
+        array = build_pdc(sim, window=3.0, budget=0)
+        self._hammer(sim, array, [16, 17], n=40)
+        sim.run(until=15.0)
+        array.stop_policy()
+        assert array.migrations == 0
+
+    def test_well_placed_data_not_migrated(self, sim):
+        array = build_pdc(sim, window=3.0, budget=8)
+        # Hammer segments already on disk 0: nothing to do.
+        self._hammer(sim, array, [0, 1, 2], n=60)
+        sim.run(until=15.0)
+        array.stop_policy()
+        assert array.migrations == 0
+
+
+class TestEnergyPath:
+    def test_concentration_enables_spin_down(self):
+        sim = Simulator()
+        array = build_pdc(sim, window=3.0, idle_timeout=4.0, budget=8)
+        # Skewed workload on last-disk segments, sustained long enough
+        # for migration + idle timers to act.
+        rng = make_rng(5)
+        seg_sectors = SEGMENT // 512
+        done = []
+        for i in range(400):
+            seg = 16 + int(rng.integers(0, 3))
+            sector = seg * seg_sectors + int(rng.integers(0, seg_sectors - 8))
+            sim.schedule(
+                i * 0.1,
+                lambda s=sector: array.submit(
+                    IOPackage(s, 4096, READ), done.append
+                ),
+            )
+        sim.run(until=60.0)
+        array.stop_policy()
+        assert len(done) == 400
+        # The hot data moved off the tail disk, which then slept.
+        assert array.migrations > 0
+        assert array.spin_down_count > 0
+        sleeping = [
+            d for d in array.disks if d.state == PowerState.STANDBY
+        ]
+        assert sleeping
+
+
+class TestValidation:
+    def test_no_disks(self):
+        with pytest.raises(StorageConfigError):
+            PDCArray([], segment_bytes=SEGMENT)
+
+    def test_bad_segment_size(self):
+        with pytest.raises(StorageConfigError):
+            PDCArray([HardDiskDrive("d", SMALL_SPEC)], segment_bytes=1000)
+
+    def test_segment_larger_than_disk(self):
+        with pytest.raises(StorageConfigError):
+            PDCArray(
+                [HardDiskDrive("d", SMALL_SPEC)],
+                segment_bytes=64 * 1024 * 1024,
+            )
+
+    def test_bad_decay(self):
+        with pytest.raises(StorageConfigError):
+            PDCArray(
+                [HardDiskDrive("d", SMALL_SPEC)],
+                segment_bytes=SEGMENT,
+                decay=1.5,
+            )

@@ -1,0 +1,68 @@
+"""Policy comparison report tests."""
+
+import pytest
+
+from repro.energysaving.maid import MAIDArray
+from repro.energysaving.report import compare_policies, format_comparison
+from repro.storage.hdd import HardDiskDrive
+from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+
+@pytest.fixture
+def sparse_trace():
+    """Sparse bursts with long idle gaps — the workload MAID likes."""
+    bunches = []
+    for burst in range(4):
+        base = burst * 30.0
+        for i in range(5):
+            bunches.append(
+                Bunch(base + i * 0.05, [IOPackage(i * 8, 4096, READ)])
+            )
+    return Trace(bunches, label="sparse")
+
+
+def baseline_factory():
+    return MAIDArray(
+        [HardDiskDrive(f"b{i}") for i in range(4)], idle_timeout=None
+    )
+
+
+def maid_factory():
+    return MAIDArray(
+        [HardDiskDrive(f"m{i}") for i in range(4)], idle_timeout=3.0
+    )
+
+
+class TestComparePolicies:
+    def test_baseline_row_is_reference(self, sparse_trace):
+        rows = compare_policies(
+            ("always-on", baseline_factory),
+            [("maid", maid_factory)],
+            sparse_trace,
+        )
+        assert rows[0].name == "always-on"
+        assert rows[0].energy_saving == 0.0
+        assert rows[0].response_penalty == 0.0
+        assert rows[0].throughput_ratio == 1.0
+
+    def test_maid_saves_energy_on_sparse_trace(self, sparse_trace):
+        rows = compare_policies(
+            ("always-on", baseline_factory),
+            [("maid", maid_factory)],
+            sparse_trace,
+        )
+        maid_row = rows[1]
+        assert maid_row.energy_saving > 0.05
+        # MAID trades latency for energy: penalty is real but finite.
+        assert maid_row.response_penalty > 0.0
+
+    def test_format_comparison(self, sparse_trace):
+        rows = compare_policies(
+            ("always-on", baseline_factory),
+            [("maid", maid_factory)],
+            sparse_trace,
+        )
+        text = format_comparison(rows)
+        assert "always-on" in text
+        assert "maid" in text
+        assert "saving%" in text

@@ -1,0 +1,72 @@
+"""TCP communicator tests (loopback, ephemeral ports)."""
+
+import threading
+
+import pytest
+
+from repro.host.communicator import Communicator, CommunicatorServer
+from repro.host.protocol import Frame
+
+
+def echo_handler(frame: Frame) -> Frame:
+    return Frame("echo", {"kind": frame.kind, **frame.body})
+
+
+class TestRequestResponse:
+    def test_round_trip(self):
+        with CommunicatorServer(echo_handler) as server:
+            with Communicator("127.0.0.1", server.port) as comm:
+                reply = comm.request(Frame("ping", {"n": 7}))
+                assert reply.kind == "echo"
+                assert reply.body == {"kind": "ping", "n": 7}
+
+    def test_sequential_requests_same_connection(self):
+        with CommunicatorServer(echo_handler) as server:
+            with Communicator("127.0.0.1", server.port) as comm:
+                for i in range(5):
+                    reply = comm.request(Frame("seq", {"i": i}))
+                    assert reply.body["i"] == i
+
+    def test_multiple_clients(self):
+        with CommunicatorServer(echo_handler) as server:
+            results = []
+            lock = threading.Lock()
+
+            def client(n):
+                with Communicator("127.0.0.1", server.port) as comm:
+                    reply = comm.request(Frame("c", {"n": n}))
+                    with lock:
+                        results.append(reply.body["n"])
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            assert sorted(results) == [0, 1, 2, 3]
+
+    def test_handler_exception_becomes_error_frame(self):
+        def bad_handler(frame: Frame) -> Frame:
+            raise RuntimeError("boom")
+
+        with CommunicatorServer(bad_handler) as server:
+            with Communicator("127.0.0.1", server.port) as comm:
+                reply = comm.request(Frame("x", {}))
+                assert reply.kind == "error"
+                assert "boom" in reply.body["message"]
+
+    def test_large_frame(self):
+        with CommunicatorServer(echo_handler) as server:
+            with Communicator("127.0.0.1", server.port) as comm:
+                payload = "z" * 500_000
+                reply = comm.request(Frame("big", {"data": payload}))
+                assert reply.body["data"] == payload
+
+    def test_server_port_assigned(self):
+        with CommunicatorServer(echo_handler) as server:
+            assert server.port > 0
+
+    def test_stop_is_idempotent(self):
+        server = CommunicatorServer(echo_handler).start()
+        server.stop()
+        server.stop()

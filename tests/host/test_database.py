@@ -1,0 +1,176 @@
+"""Results database tests."""
+
+import pytest
+
+from repro.config import WorkloadMode
+from repro.errors import DatabaseError
+from repro.host.database import ResultsDatabase
+from repro.host.records import TestRecord
+
+
+def record(load=0.5, device="hdd-raid5", rs=4096, label=""):
+    return TestRecord(
+        test_time=1000.0 + load,
+        device_label=device,
+        mode=WorkloadMode(rs, 0.5, 0.25, load_proportion=load),
+        mean_amperes=0.45,
+        mean_volts=220.0,
+        mean_watts=99.0,
+        energy_joules=990.0,
+        iops=150.0 * load,
+        mbps=0.6 * load,
+        mean_response=0.012,
+        duration=10.0,
+        iops_per_watt=1.5 * load,
+        mbps_per_kilowatt=6.0 * load,
+        label=label,
+    )
+
+
+class TestInsertAndGet:
+    def test_roundtrip(self):
+        with ResultsDatabase() as db:
+            rid = db.insert(record())
+            restored = db.get(rid)
+            assert restored.mode == record().mode
+            assert restored.mean_watts == 99.0
+            assert restored.record_id == rid
+
+    def test_missing_id(self):
+        with ResultsDatabase() as db:
+            with pytest.raises(DatabaseError):
+                db.get(42)
+
+    def test_count(self):
+        with ResultsDatabase() as db:
+            for i in range(5):
+                db.insert(record(load=(i + 1) / 10))
+            assert db.count() == 5
+
+    def test_file_persistence(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        with ResultsDatabase(path) as db:
+            db.insert(record())
+        with ResultsDatabase(path) as db:
+            assert db.count() == 1
+
+
+class TestQuery:
+    def test_by_device(self):
+        with ResultsDatabase() as db:
+            db.insert(record(device="hdd-raid5"))
+            db.insert(record(device="ssd-raid5"))
+            rows = db.query(device_label="ssd-raid5")
+            assert len(rows) == 1
+            assert rows[0].device_label == "ssd-raid5"
+
+    def test_by_mode_fields(self):
+        with ResultsDatabase() as db:
+            for load in (0.1, 0.5, 1.0):
+                db.insert(record(load=load))
+            rows = db.query(load_proportion=0.5)
+            assert len(rows) == 1
+            assert rows[0].mode.load_proportion == 0.5
+
+    def test_by_request_size(self):
+        with ResultsDatabase() as db:
+            db.insert(record(rs=4096))
+            db.insert(record(rs=65536))
+            assert len(db.query(request_size=65536)) == 1
+
+    def test_by_label(self):
+        with ResultsDatabase() as db:
+            db.insert(record(label="fig9"))
+            db.insert(record(label="fig10"))
+            assert len(db.query(label="fig9")) == 1
+
+    def test_order_by(self):
+        with ResultsDatabase() as db:
+            for load in (1.0, 0.1, 0.5):
+                db.insert(record(load=load))
+            rows = db.query(order_by="load_proportion")
+            loads = [r.mode.load_proportion for r in rows]
+            assert loads == sorted(loads)
+
+    def test_bad_order_column_rejected(self):
+        with ResultsDatabase() as db:
+            with pytest.raises(DatabaseError):
+                db.query(order_by="mean_watts; DROP TABLE test_records")
+
+    def test_devices_listing(self):
+        with ResultsDatabase() as db:
+            db.insert(record(device="b"))
+            db.insert(record(device="a"))
+            db.insert(record(device="a"))
+            assert db.devices() == ["a", "b"]
+
+
+class TestCycleStorage:
+    def test_insert_and_fetch_cycles(self, collected_trace):
+        from repro.config import ReplayConfig
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_hdd_raid5
+
+        result = replay_trace(
+            collected_trace, build_hdd_raid5(6), 1.0,
+            config=ReplayConfig(sampling_cycle=0.1),
+        )
+        with ResultsDatabase() as db:
+            rid = db.insert(record())
+            n = db.insert_cycles(rid, result.cycles())
+            rows = db.cycles(rid)
+            assert len(rows) == n >= 3
+            assert rows[0]["cycle_index"] == 0
+            assert rows[0]["watts"] > 90.0
+            # Ordered by cycle index / time.
+            starts = [r["start"] for r in rows]
+            assert starts == sorted(starts)
+
+    def test_cycles_empty_for_unknown_record(self):
+        with ResultsDatabase() as db:
+            assert db.cycles(12345) == []
+
+    def test_host_stores_cycles_on_request(self, collected_trace, tmp_path):
+        from repro.config import TestRequest, WorkloadMode
+        from repro.host.evaluation import EvaluationHost
+        from repro.storage.array import build_hdd_raid5
+        from repro.trace.repository import TraceRepository
+
+        host = EvaluationHost(
+            device_factory=lambda: build_hdd_raid5(6),
+            device_label="hdd-raid5",
+            repository=TraceRepository(tmp_path / "repo"),
+            clock=lambda: 0.0,
+        )
+        mode = WorkloadMode(4096, 0.5, 0.0, load_proportion=1.0)
+        host.run_test(
+            TestRequest(mode=mode), trace=collected_trace, store_cycles=True
+        )
+        rows = host.database.cycles(1)
+        assert rows  # the series landed under the record's id
+
+
+class TestRecordConversion:
+    def test_from_result(self, collected_trace):
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_hdd_raid5
+
+        result = replay_trace(collected_trace, build_hdd_raid5(6), 0.5)
+        mode = WorkloadMode(4096, 0.5, 0.0, load_proportion=0.5)
+        rec = TestRecord.from_result(
+            result, mode=mode, device_label="hdd-raid5", test_time=123.0
+        )
+        assert rec.iops == result.iops
+        assert rec.mean_watts == result.mean_watts
+        assert rec.mean_volts == pytest.approx(220.0)
+        assert rec.mean_amperes == pytest.approx(result.mean_watts / 220.0, rel=0.01)
+        with ResultsDatabase() as db:
+            rid = db.insert(rec)
+            assert db.get(rid).iops == pytest.approx(result.iops)
+
+    def test_corrupt_mode_json(self):
+        row = record().to_row()
+        row["mode_json"] = "{not json"
+        row["id"] = 1
+        with pytest.raises(DatabaseError):
+            TestRecord.from_row(row)

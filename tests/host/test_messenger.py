@@ -1,0 +1,60 @@
+"""Messenger (power-analyzer control) tests."""
+
+import pytest
+
+from repro.errors import PowerAnalyzerError
+from repro.host.messenger import Messenger, SimMeterDriver
+from repro.power.meter import MultiChannelMeter
+from repro.power.model import PowerTimeline
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def setup(sim):
+    meter = MultiChannelMeter(n_channels=2, sampling_cycle=1.0)
+    meter.connect(0, PowerTimeline(10.0))
+    meter.connect(1, PowerTimeline(20.0))
+    driver = SimMeterDriver(meter, sim)
+    messenger = Messenger(driver)
+    return sim, messenger
+
+
+class TestMessengerFlow:
+    def test_full_test_cycle(self, setup):
+        sim, messenger = setup
+        messenger.initialize()
+        messenger.begin_test([0, 1])
+        sim.run(until=3.0)
+        readings = messenger.finalize_test()
+        assert readings[0].mean_watts == pytest.approx(10.0)
+        assert readings[1].mean_watts == pytest.approx(20.0)
+
+    def test_finalize_subset(self, setup):
+        sim, messenger = setup
+        messenger.initialize()
+        messenger.begin_test([0, 1])
+        sim.run(until=2.0)
+        readings = messenger.finalize_test([0])
+        assert list(readings) == [0]
+        # Channel 1 still live; finalize it too.
+        readings = messenger.finalize_test()
+        assert list(readings) == [1]
+
+    def test_samples_accessible(self, setup):
+        sim, messenger = setup
+        messenger.initialize()
+        messenger.begin_test([0])
+        sim.run(until=2.0)
+        messenger.finalize_test()
+        assert len(messenger.samples(0)) == 2
+
+    def test_start_requires_initialize(self, setup):
+        _, messenger = setup
+        with pytest.raises(PowerAnalyzerError):
+            messenger.begin_test([0])
+
+    def test_finalize_unstarted_channel(self, setup):
+        sim, messenger = setup
+        messenger.initialize()
+        with pytest.raises(PowerAnalyzerError):
+            messenger.finalize_test([1])

@@ -1,0 +1,101 @@
+"""Command parser (GUI↔messenger bridge) tests."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.host.parser import CommandParser
+from repro.host.protocol import KIND_LIST_TRACES, KIND_RUN_TEST, KIND_SHUTDOWN
+
+
+@pytest.fixture
+def parser():
+    return CommandParser()
+
+
+class TestRunCommand:
+    def test_full_run(self, parser):
+        frame = parser.parse("run device=hdd-raid5 rs=4096 rnd=50 rd=0 load=40")
+        assert frame.kind == KIND_RUN_TEST
+        assert frame.body["device"] == "hdd-raid5"
+        mode = frame.body["request"]["mode"]
+        assert mode["request_size"] == 4096
+        assert mode["random_ratio"] == 0.5
+        assert mode["read_ratio"] == 0.0
+        assert mode["load_proportion"] == pytest.approx(0.4)
+
+    def test_optional_cycle_and_scale(self, parser):
+        frame = parser.parse(
+            "run device=ssd rs=512 rnd=0 rd=100 load=100 cycle=0.5 scale=2.0"
+        )
+        replay = frame.body["request"]["replay"]
+        assert replay["sampling_cycle"] == 0.5
+        assert replay["time_scale"] == 2.0
+
+    def test_label(self, parser):
+        frame = parser.parse(
+            'run device=hdd rs=512 rnd=0 rd=0 load=10 label=fig8'
+        )
+        assert frame.body["request"]["label"] == "fig8"
+
+    @pytest.mark.parametrize(
+        "cmd",
+        [
+            "run rs=4096 rnd=50 rd=0 load=40",          # missing device
+            "run device=hdd rs=4096 rnd=50 rd=0",       # missing load
+            "run device=hdd rs=x rnd=50 rd=0 load=40",  # bad number
+            "run device=hdd rs=4096 rnd=150 rd=0 load=40",  # ratio > 100
+            "run device=hdd rs=4096 rnd=50 rd=0 load=40 bogus=1",
+            "run device=hdd device=ssd rs=1 rnd=0 rd=0 load=10",
+        ],
+    )
+    def test_invalid_run(self, parser, cmd):
+        with pytest.raises(ProtocolError):
+            parser.parse(cmd)
+
+
+class TestOtherCommands:
+    def test_list(self, parser):
+        frame = parser.parse("list device=hdd-raid5")
+        assert frame.kind == KIND_LIST_TRACES
+        assert frame.body["device"] == "hdd-raid5"
+
+    def test_shutdown(self, parser):
+        assert parser.parse("shutdown").kind == KIND_SHUTDOWN
+
+    def test_shutdown_with_args_rejected(self, parser):
+        with pytest.raises(ProtocolError):
+            parser.parse("shutdown now=1")
+
+    def test_unknown_command(self, parser):
+        with pytest.raises(ProtocolError):
+            parser.parse("teleport device=hdd")
+
+    def test_empty_command(self, parser):
+        with pytest.raises(ProtocolError):
+            parser.parse("   ")
+
+    def test_malformed_pair(self, parser):
+        with pytest.raises(ProtocolError):
+            parser.parse("list device")
+
+
+class TestResultFormatting:
+    def test_format_result(self, parser):
+        text = parser.format_result(
+            {
+                "trace_label": "web@40%",
+                "load_proportion": 0.4,
+                "iops": 123.4,
+                "mbps": 5.67,
+                "mean_watts": 101.2,
+                "iops_per_watt": 1.22,
+                "mbps_per_kilowatt": 56.0,
+            }
+        )
+        assert "web@40%" in text
+        assert "40%" in text
+        assert "IOPS=123.4" in text
+
+    def test_format_missing_field(self, parser):
+        with pytest.raises(ProtocolError):
+            parser.format_result({"trace_label": "x"})

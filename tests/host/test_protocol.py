@@ -1,0 +1,75 @@
+"""Wire protocol frame tests."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.host.protocol import (
+    Frame,
+    FrameReader,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        frame = Frame("run_test", {"device": "hdd", "levels": [1, 2, 3]})
+        data = encode_frame(frame)
+        assert decode_frame(data[4:]) == frame
+
+    def test_unicode_payload(self):
+        frame = Frame("hello", {"name": "évalu—ation"})
+        assert decode_frame(encode_frame(frame)[4:]) == frame
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'{"body": {}}')
+
+    def test_non_dict_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b'{"kind": "x", "body": [1,2]}')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe not json")
+
+    def test_default_empty_body(self):
+        frame = decode_frame(b'{"kind": "ack"}')
+        assert frame.body == {}
+
+
+class TestFrameReader:
+    def test_single_frame(self):
+        reader = FrameReader()
+        frames = reader.feed(encode_frame(Frame("a", {})))
+        assert [f.kind for f in frames] == ["a"]
+
+    def test_split_across_chunks(self):
+        data = encode_frame(Frame("split", {"x": 1}))
+        reader = FrameReader()
+        assert reader.feed(data[:3]) == []
+        assert reader.feed(data[3:7]) == []
+        frames = reader.feed(data[7:])
+        assert frames[0].kind == "split"
+        assert reader.pending_bytes == 0
+
+    def test_multiple_frames_one_chunk(self):
+        data = encode_frame(Frame("a", {})) + encode_frame(Frame("b", {}))
+        frames = FrameReader().feed(data)
+        assert [f.kind for f in frames] == ["a", "b"]
+
+    def test_oversize_length_rejected(self):
+        reader = FrameReader()
+        bad = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"x"
+        with pytest.raises(ProtocolError):
+            reader.feed(bad)
+
+    def test_interleaved_feeding(self):
+        a = encode_frame(Frame("a", {"n": 1}))
+        b = encode_frame(Frame("b", {"n": 2}))
+        reader = FrameReader()
+        out = reader.feed(a + b[:5])
+        assert [f.kind for f in out] == ["a"]
+        out = reader.feed(b[5:])
+        assert [f.kind for f in out] == ["b"]

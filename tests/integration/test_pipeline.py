@@ -1,0 +1,90 @@
+"""End-to-end pipeline integration tests.
+
+These run the full §III-B procedure at miniature scale: collect → store
+→ look up → filter → replay → measure → record → query.
+"""
+
+import pytest
+
+from repro.config import LOAD_LEVELS, TestRequest, WorkloadMode
+from repro.host.evaluation import EvaluationHost
+from repro.metrics.summary import linearity
+from repro.storage.array import build_hdd_raid5
+from repro.trace.blktrace import read_trace, write_trace
+from repro.trace.srt import write_srt, convert_srt_file
+
+
+MODE = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.25)
+
+
+@pytest.fixture(scope="module")
+def swept_host(tmp_path_factory):
+    """One host with a built repository and a completed load sweep."""
+    from repro.trace.repository import TraceRepository
+
+    root = tmp_path_factory.mktemp("pipeline")
+    host = EvaluationHost(
+        device_factory=lambda: build_hdd_raid5(6),
+        device_label="hdd-raid5",
+        repository=TraceRepository(root / "repo"),
+        clock=lambda: 0.0,
+    )
+    host.build_repository(modes=[MODE], duration=0.6)
+    host.run_load_sweep(MODE, levels=(0.2, 0.4, 0.6, 0.8, 1.0), label="pipe")
+    return host
+
+
+class TestFullPipeline:
+    def test_sweep_recorded(self, swept_host):
+        records = swept_host.query(label="pipe")
+        assert len(records) == 5
+
+    def test_throughput_proportional_to_load(self, swept_host):
+        records = swept_host.query(label="pipe", order_by="load_proportion")
+        loads = [r.mode.load_proportion for r in records]
+        iops = [r.iops for r in records]
+        # Offered load below saturation: throughput tracks the filter.
+        assert linearity(loads, iops) > 0.98
+        ratios = [i / iops[-1] for i in iops]
+        for load, ratio in zip(loads, ratios):
+            assert ratio == pytest.approx(load, abs=0.12)
+
+    def test_power_increases_with_load(self, swept_host):
+        records = swept_host.query(label="pipe", order_by="load_proportion")
+        watts = [r.mean_watts for r in records]
+        assert watts[0] < watts[-1]
+        assert all(w >= 97.0 for w in watts)  # never below near-idle
+
+    def test_efficiency_increases_with_load(self, swept_host):
+        """Fig. 9's headline: efficiency is (nearly) linear in load."""
+        records = swept_host.query(label="pipe", order_by="load_proportion")
+        eff = [r.iops_per_watt for r in records]
+        assert eff == sorted(eff)
+        assert linearity(
+            [r.mode.load_proportion for r in records], eff
+        ) > 0.97
+
+
+class TestTraceInterchange:
+    def test_replay_file_roundtrip_through_pipeline(
+        self, tmp_path, collected_trace
+    ):
+        """Collected traces survive disk storage and SRT conversion."""
+        replay_path = tmp_path / "t.replay"
+        write_trace(collected_trace, replay_path)
+        loaded = read_trace(replay_path)
+
+        srt_path = tmp_path / "t.srt"
+        write_srt(loaded, srt_path)
+        back = convert_srt_file(srt_path, tmp_path / "t2.replay")
+        assert back.package_count == collected_trace.package_count
+        assert len(back) == len(collected_trace)
+
+    def test_converted_trace_replays(self, tmp_path, collected_trace):
+        from repro.replay.session import replay_trace
+
+        srt_path = tmp_path / "t.srt"
+        write_srt(collected_trace, srt_path)
+        converted = convert_srt_file(srt_path, tmp_path / "t.replay")
+        result = replay_trace(converted, build_hdd_raid5(6), 0.5)
+        assert result.completed > 0

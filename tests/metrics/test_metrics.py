@@ -1,0 +1,97 @@
+"""Metrics tests: efficiency, throughput, summaries."""
+
+import pytest
+
+from repro.metrics.efficiency import (
+    EfficiencyPoint,
+    iops_per_watt,
+    mbps_per_kilowatt,
+)
+from repro.metrics.summary import RunSummary, format_table, linearity, summarize
+from repro.metrics.throughput import throughput_from_completions
+from repro.storage.base import Completion
+from repro.trace.record import READ, IOPackage
+
+
+class TestEfficiency:
+    def test_iops_per_watt(self):
+        assert iops_per_watt(500.0, 100.0) == 5.0
+
+    def test_mbps_per_kilowatt(self):
+        # 80 MBPS at 100 W = 800 MBPS/kW.
+        assert mbps_per_kilowatt(80.0, 100.0) == pytest.approx(800.0)
+
+    def test_zero_power_reads_zero(self):
+        assert iops_per_watt(100.0, 0.0) == 0.0
+        assert mbps_per_kilowatt(100.0, -5.0) == 0.0
+
+    def test_efficiency_point(self):
+        p = EfficiencyPoint(iops=200.0, mbps=50.0, watts=100.0)
+        assert p.iops_per_watt == 2.0
+        assert p.mbps_per_kilowatt == pytest.approx(500.0)
+
+
+class TestThroughput:
+    def _completion(self, submit, finish, nbytes=4096):
+        return Completion(
+            package=IOPackage(0, nbytes, READ),
+            submit_time=submit,
+            start_time=submit,
+            finish_time=finish,
+        )
+
+    def test_aggregates(self):
+        completions = [self._completion(i * 0.1, i * 0.1 + 0.05) for i in range(10)]
+        stats = throughput_from_completions(completions)
+        assert stats.completed == 10
+        assert stats.total_bytes == 40960
+        assert stats.mean_response == pytest.approx(0.05)
+        assert stats.duration == pytest.approx(0.95)
+
+    def test_window_filtering(self):
+        completions = [self._completion(0.0, 0.1), self._completion(1.0, 1.1)]
+        stats = throughput_from_completions(completions, 0.0, 0.5)
+        assert stats.completed == 1
+
+    def test_empty(self):
+        stats = throughput_from_completions([])
+        assert stats.completed == 0
+        assert stats.iops == 0.0
+
+    def test_percentiles(self):
+        completions = [self._completion(0.0, 0.001 * (i + 1)) for i in range(100)]
+        stats = throughput_from_completions(completions)
+        assert stats.p95_response <= stats.max_response
+        assert stats.mean_response < stats.max_response
+
+
+class TestSummary:
+    def test_summarize_from_results(self, collected_trace):
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_hdd_raid5
+
+        result = replay_trace(collected_trace, build_hdd_raid5(6), 0.5)
+        rows = summarize([result])
+        assert len(rows) == 1
+        assert rows[0].load_proportion == 0.5
+        assert rows[0].iops == result.iops
+
+    def test_format_table_contains_rows(self):
+        rows = [
+            RunSummary("t", 0.5, 100.0, 5.0, 0.01, 98.0, 1.02, 51.0),
+            RunSummary("t", 1.0, 200.0, 10.0, 0.01, 105.0, 1.90, 95.2),
+        ]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert text.count("\n") >= 3
+        assert "50%" in text and "100%" in text
+
+    def test_linearity_perfect(self):
+        assert linearity([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_linearity_anticorrelation(self):
+        assert linearity([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_linearity_degenerate(self):
+        assert linearity([1, 1, 1], [1, 2, 3]) == 0.0
+        assert linearity([1], [2]) == 0.0

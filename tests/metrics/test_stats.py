@@ -1,0 +1,103 @@
+"""Repeated-run statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    StatsError,
+    compare_paired,
+    repeat_experiment,
+    summarize_measurements,
+)
+
+
+class TestSummarize:
+    def test_basic_interval(self):
+        s = summarize_measurements([10.0, 12.0, 11.0, 9.0, 13.0])
+        assert s.n == 5
+        assert s.mean == pytest.approx(11.0)
+        assert s.ci_low < 11.0 < s.ci_high
+
+    def test_interval_contains_truth_usually(self):
+        """95 % CI coverage over many synthetic experiments ≈ 95 %."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(50.0, 5.0, size=10)
+            s = summarize_measurements(sample)
+            hits += s.ci_low <= 50.0 <= s.ci_high
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_narrows_with_n(self):
+        rng = np.random.default_rng(3)
+        small = summarize_measurements(rng.normal(0, 1, 5))
+        large = summarize_measurements(rng.normal(0, 1, 100))
+        assert large.ci_halfwidth < small.ci_halfwidth
+
+    def test_relative_ci(self):
+        s = summarize_measurements([100.0, 102.0, 98.0])
+        assert 0 < s.relative_ci < 0.1
+
+    def test_too_few_values(self):
+        with pytest.raises(StatsError):
+            summarize_measurements([1.0])
+
+    def test_bad_confidence(self):
+        with pytest.raises(StatsError):
+            summarize_measurements([1.0, 2.0], confidence=1.0)
+
+
+class TestPaired:
+    def test_clear_difference_significant(self):
+        a = [10.0, 11.0, 10.5, 10.2, 11.1]
+        b = [5.0, 5.5, 5.2, 5.1, 5.4]
+        cmp = compare_paired(a, b)
+        assert cmp.mean_difference > 4.0
+        assert cmp.significant
+        assert cmp.p_value < 0.01
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(11)
+        base = rng.normal(10, 1, 12)
+        noise = base + rng.normal(0, 0.5, 12)
+        cmp = compare_paired(base, noise)
+        assert not cmp.significant or abs(cmp.mean_difference) < 0.5
+
+    def test_constant_difference(self):
+        cmp = compare_paired([2.0, 3.0, 4.0], [1.0, 2.0, 3.0])
+        assert cmp.mean_difference == pytest.approx(1.0)
+        assert cmp.p_value == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(StatsError):
+            compare_paired([1.0, 2.0], [1.0])
+
+
+class TestRepeat:
+    def test_runs_once_per_seed(self):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return float(seed * 2)
+
+        summary, values = repeat_experiment(run, seeds=[1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert values == [2.0, 4.0, 6.0]
+        assert summary.mean == pytest.approx(4.0)
+
+    def test_with_real_replay(self, collected_trace):
+        """Replays are deterministic per seed-free device, so repeated
+        runs collapse to a point — the CI must reflect that."""
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_hdd_raid5
+
+        def run(seed):
+            return replay_trace(collected_trace, build_hdd_raid5(6), 0.5).iops
+
+        with pytest.raises(StatsError):
+            repeat_experiment(run, seeds=[1])
+        summary, values = repeat_experiment(run, seeds=[1, 2, 3])
+        assert summary.std == 0.0
+        assert summary.ci_halfwidth == 0.0

@@ -1,0 +1,119 @@
+"""Sampling power analyzer tests."""
+
+import pytest
+
+from repro.errors import PowerAnalyzerError
+from repro.power.analyzer import PowerAnalyzer
+from repro.power.model import PowerTimeline
+from repro.power.sensor import HallSensor, SensorSpec
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def timeline():
+    tl = PowerTimeline(10.0)
+    tl.add_segment(2.0, 3.0, 40.0)  # one busy second
+    return tl
+
+
+class TestSampling:
+    def test_one_sample_per_cycle(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        sim.run(until=5.0)
+        analyzer.stop()
+        assert len(analyzer.samples) == 5
+        for s in analyzer.samples:
+            assert s.duration == pytest.approx(1.0)
+
+    def test_sample_values(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        sim.run(until=5.0)
+        analyzer.stop()
+        watts = [s.true_watts for s in analyzer.samples]
+        assert watts[0] == pytest.approx(10.0)
+        assert watts[2] == pytest.approx(40.0)   # the busy second
+        assert watts[4] == pytest.approx(10.0)
+
+    def test_partial_final_cycle_on_stop(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        sim.run(until=2.5)
+        analyzer.stop()
+        assert len(analyzer.samples) == 3
+        assert analyzer.samples[-1].duration == pytest.approx(0.5)
+
+    def test_total_energy_matches_source(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=0.7)
+        analyzer.start(sim)
+        sim.run(until=6.3)
+        analyzer.stop()
+        assert analyzer.total_energy == pytest.approx(
+            timeline.energy_between(0.0, 6.3)
+        )
+
+    def test_mean_watts_weighted(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        sim.run(until=5.0)
+        analyzer.stop()
+        expected = timeline.energy_between(0, 5.0) / 5.0
+        assert analyzer.mean_true_watts == pytest.approx(expected)
+        assert analyzer.mean_watts == pytest.approx(expected)  # ideal sensor
+
+    def test_configurable_cycle(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=0.25)
+        analyzer.start(sim)
+        sim.run(until=1.0)
+        analyzer.stop()
+        assert len(analyzer.samples) == 4
+
+
+class TestSensorIntegration:
+    def test_reported_watts_include_gain_error(self, sim, timeline):
+        analyzer = PowerAnalyzer(
+            timeline,
+            sampling_cycle=1.0,
+            sensor=HallSensor(SensorSpec(gain_error=0.05)),
+        )
+        analyzer.start(sim)
+        sim.run(until=1.0)
+        analyzer.stop()
+        sample = analyzer.samples[0]
+        assert sample.true_watts == pytest.approx(10.0)
+        assert sample.watts == pytest.approx(10.5)
+
+    def test_current_voltage_fields(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        sim.run(until=1.0)
+        analyzer.stop()
+        sample = analyzer.samples[0]
+        assert sample.volts == pytest.approx(220.0)
+        assert sample.amperes == pytest.approx(10.0 / 220.0)
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline)
+        analyzer.start(sim)
+        with pytest.raises(PowerAnalyzerError):
+            analyzer.start(sim)
+
+    def test_stop_without_start_rejected(self, timeline):
+        with pytest.raises(PowerAnalyzerError):
+            PowerAnalyzer(timeline).stop()
+
+    def test_bad_cycle_rejected(self, timeline):
+        with pytest.raises(PowerAnalyzerError):
+            PowerAnalyzer(timeline, sampling_cycle=0.0)
+
+    def test_no_events_after_stop(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        sim.run(until=2.0)
+        analyzer.stop()
+        count = len(analyzer.samples)
+        sim.run(until=10.0)
+        assert len(analyzer.samples) == count

@@ -1,0 +1,92 @@
+"""Multichannel meter tests."""
+
+import pytest
+
+from repro.errors import PowerAnalyzerError
+from repro.power.meter import MultiChannelMeter
+from repro.power.model import PowerTimeline
+
+
+@pytest.fixture
+def sources():
+    a = PowerTimeline(10.0)
+    b = PowerTimeline(20.0)
+    return a, b
+
+
+class TestChannels:
+    def test_parallel_measurement(self, sim, sources):
+        a, b = sources
+        meter = MultiChannelMeter(n_channels=2, sampling_cycle=1.0)
+        meter.connect(0, a)
+        meter.connect(1, b)
+        meter.start_all(sim)
+        sim.run(until=3.0)
+        readings = meter.stop_all()
+        assert readings[0].mean_watts == pytest.approx(10.0)
+        assert readings[1].mean_watts == pytest.approx(20.0)
+        assert readings[0].sample_count == 3
+
+    def test_samples_retrievable_after_stop(self, sim, sources):
+        a, _ = sources
+        meter = MultiChannelMeter(n_channels=1)
+        meter.connect(0, a)
+        meter.start(0, sim)
+        sim.run(until=2.0)
+        meter.stop(0)
+        assert len(meter.samples(0)) == 2
+
+    def test_channel_reuse_after_stop(self, sim, sources):
+        a, _ = sources
+        meter = MultiChannelMeter(n_channels=1)
+        meter.connect(0, a)
+        meter.start(0, sim)
+        sim.run(until=1.0)
+        meter.stop(0)
+        meter.start(0, sim)
+        sim.run(until=2.0)
+        reading = meter.stop(0)
+        assert reading.sample_count == 1
+
+
+class TestErrors:
+    def test_unknown_channel(self, sim, sources):
+        meter = MultiChannelMeter(n_channels=2)
+        with pytest.raises(PowerAnalyzerError):
+            meter.connect(5, sources[0])
+        with pytest.raises(PowerAnalyzerError):
+            meter.start(-1, sim)
+
+    def test_start_unconnected(self, sim):
+        meter = MultiChannelMeter(n_channels=1)
+        with pytest.raises(PowerAnalyzerError):
+            meter.start(0, sim)
+
+    def test_double_start(self, sim, sources):
+        meter = MultiChannelMeter(n_channels=1)
+        meter.connect(0, sources[0])
+        meter.start(0, sim)
+        with pytest.raises(PowerAnalyzerError):
+            meter.start(0, sim)
+
+    def test_stop_not_started(self):
+        meter = MultiChannelMeter(n_channels=1)
+        with pytest.raises(PowerAnalyzerError):
+            meter.stop(0)
+
+    def test_reconnect_while_measuring_rejected(self, sim, sources):
+        a, b = sources
+        meter = MultiChannelMeter(n_channels=1)
+        meter.connect(0, a)
+        meter.start(0, sim)
+        with pytest.raises(PowerAnalyzerError):
+            meter.connect(0, b)
+
+    def test_samples_without_history(self):
+        meter = MultiChannelMeter(n_channels=1)
+        with pytest.raises(PowerAnalyzerError):
+            meter.samples(0)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(PowerAnalyzerError):
+            MultiChannelMeter(n_channels=0)

@@ -1,0 +1,140 @@
+"""PowerTimeline / EnergyMeter tests."""
+
+import pytest
+
+from repro.errors import PowerAnalyzerError
+from repro.power.model import EnergyMeter, PowerTimeline
+
+
+class TestBaseline:
+    def test_idle_energy(self):
+        tl = PowerTimeline(10.0)
+        assert tl.energy_between(0.0, 5.0) == pytest.approx(50.0)
+
+    def test_zero_window(self):
+        tl = PowerTimeline(10.0)
+        assert tl.energy_between(3.0, 3.0) == 0.0
+
+    def test_inverted_window_rejected(self):
+        tl = PowerTimeline(10.0)
+        with pytest.raises(PowerAnalyzerError):
+            tl.energy_between(5.0, 3.0)
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(PowerAnalyzerError):
+            PowerTimeline(-1.0)
+
+    def test_baseline_change(self):
+        tl = PowerTimeline(10.0)
+        tl.set_baseline(5.0, 2.0)
+        assert tl.energy_between(0.0, 10.0) == pytest.approx(10 * 5 + 2 * 5)
+
+    def test_baseline_change_same_time_overwrites(self):
+        tl = PowerTimeline(10.0)
+        tl.set_baseline(5.0, 2.0)
+        tl.set_baseline(5.0, 4.0)
+        assert tl.energy_between(5.0, 6.0) == pytest.approx(4.0)
+
+    def test_baseline_change_backwards_rejected(self):
+        tl = PowerTimeline(10.0)
+        tl.set_baseline(5.0, 2.0)
+        with pytest.raises(PowerAnalyzerError):
+            tl.set_baseline(4.0, 3.0)
+
+    def test_baseline_watts_at(self):
+        tl = PowerTimeline(10.0)
+        tl.set_baseline(5.0, 2.0)
+        assert tl.baseline_watts_at(1.0) == 10.0
+        assert tl.baseline_watts_at(5.0) == 2.0
+        assert tl.baseline_watts_at(100.0) == 2.0
+
+
+class TestSegments:
+    def test_segment_energy(self):
+        tl = PowerTimeline(10.0)
+        tl.add_segment(1.0, 2.0, 25.0)
+        # 1 s idle + 1 s at 25 W + 1 s idle.
+        assert tl.energy_between(0.0, 3.0) == pytest.approx(10 + 25 + 10)
+
+    def test_partial_overlap_left(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(1.0, 3.0, 10.0)
+        assert tl.energy_between(0.0, 2.0) == pytest.approx(10.0)
+
+    def test_partial_overlap_right(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(1.0, 3.0, 10.0)
+        assert tl.energy_between(2.0, 4.0) == pytest.approx(10.0)
+
+    def test_window_inside_segment(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(0.0, 10.0, 7.0)
+        assert tl.energy_between(4.0, 6.0) == pytest.approx(14.0)
+
+    def test_many_segments_additive(self):
+        tl = PowerTimeline(1.0)
+        for i in range(100):
+            tl.add_segment(i, i + 0.5, 3.0)
+        # Each second: 0.5 s at 3 W + 0.5 s at 1 W = 2 J.
+        assert tl.energy_between(0.0, 100.0) == pytest.approx(200.0)
+
+    def test_energy_windows_partition(self):
+        """Energy over [a,c] equals [a,b] + [b,c] for any split."""
+        tl = PowerTimeline(2.0)
+        tl.add_segment(0.5, 1.7, 9.0)
+        tl.add_segment(2.1, 3.3, 4.0)
+        total = tl.energy_between(0.0, 4.0)
+        for b in (0.25, 0.5, 1.0, 1.7, 2.5, 3.3):
+            assert tl.energy_between(0.0, b) + tl.energy_between(b, 4.0) == (
+                pytest.approx(total)
+            )
+
+    def test_overlapping_segments_rejected(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(0.0, 2.0, 5.0)
+        with pytest.raises(PowerAnalyzerError):
+            tl.add_segment(1.0, 3.0, 5.0)
+
+    def test_touching_segments_allowed(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(0.0, 1.0, 5.0)
+        tl.add_segment(1.0, 2.0, 7.0)
+        assert tl.energy_between(0.0, 2.0) == pytest.approx(12.0)
+
+    def test_zero_length_segment_ignored(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(1.0, 1.0, 100.0)
+        assert tl.segment_count == 0
+
+    def test_inverted_segment_rejected(self):
+        tl = PowerTimeline(0.0)
+        with pytest.raises(PowerAnalyzerError):
+            tl.add_segment(2.0, 1.0, 5.0)
+
+    def test_mean_power(self):
+        tl = PowerTimeline(10.0)
+        tl.add_segment(0.0, 1.0, 30.0)
+        assert tl.mean_power(0.0, 2.0) == pytest.approx(20.0)
+
+    def test_busy_time(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(1.0, 2.0, 5.0)
+        tl.add_segment(3.0, 4.0, 5.0)
+        assert tl.busy_time(0.0, 5.0) == pytest.approx(2.0)
+        assert tl.busy_time(1.5, 3.5) == pytest.approx(1.0)
+
+
+class TestEnergyMeter:
+    def test_sums_timelines_and_overhead(self):
+        a = PowerTimeline(10.0)
+        b = PowerTimeline(3.5)
+        meter = EnergyMeter([a, b], overhead_watts=38.0)
+        assert meter.energy_between(0.0, 2.0) == pytest.approx((10 + 3.5 + 38) * 2)
+
+    def test_mean_power(self):
+        meter = EnergyMeter([PowerTimeline(10.0)], overhead_watts=5.0)
+        assert meter.mean_power(0.0, 4.0) == pytest.approx(15.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(PowerAnalyzerError):
+            EnergyMeter([], overhead_watts=-1.0)

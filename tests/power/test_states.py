@@ -1,0 +1,15 @@
+"""Power state enum tests."""
+
+from repro.power.states import PowerState
+
+
+def test_ready_states():
+    assert PowerState.ACTIVE.ready
+    assert PowerState.IDLE.ready
+    assert not PowerState.STANDBY.ready
+    assert not PowerState.SPINNING_UP.ready
+
+
+def test_values_distinct():
+    values = {s.value for s in PowerState}
+    assert len(values) == len(list(PowerState))

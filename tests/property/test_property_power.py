@@ -1,0 +1,59 @@
+"""Property-based tests: power timeline energy accounting."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.power.model import PowerTimeline
+
+
+@st.composite
+def timelines(draw):
+    baseline = draw(st.floats(min_value=0.0, max_value=50.0))
+    tl = PowerTimeline(baseline)
+    cursor = 0.0
+    for _ in range(draw(st.integers(min_value=0, max_value=20))):
+        gap = draw(st.floats(min_value=0.0, max_value=2.0))
+        length = draw(st.floats(min_value=0.001, max_value=2.0))
+        watts = draw(st.floats(min_value=0.0, max_value=100.0))
+        tl.add_segment(cursor + gap, cursor + gap + length, watts)
+        cursor += gap + length
+    return tl, cursor, baseline
+
+
+windows = st.floats(min_value=0.0, max_value=60.0)
+
+
+class TestEnergyProperties:
+    @given(timelines(), windows, windows)
+    @settings(max_examples=150, deadline=None)
+    def test_energy_non_negative(self, tl_info, a, b):
+        tl, _, _ = tl_info
+        t0, t1 = min(a, b), max(a, b)
+        assert tl.energy_between(t0, t1) >= -1e-9
+
+    @given(timelines(), windows, windows, windows)
+    @settings(max_examples=150, deadline=None)
+    def test_energy_additive_over_splits(self, tl_info, a, b, c):
+        tl, _, _ = tl_info
+        t0, t1, t2 = sorted([a, b, c])
+        whole = tl.energy_between(t0, t2)
+        parts = tl.energy_between(t0, t1) + tl.energy_between(t1, t2)
+        assert abs(whole - parts) < 1e-6 * max(1.0, abs(whole))
+
+    @given(timelines(), windows, windows)
+    @settings(max_examples=150, deadline=None)
+    def test_mean_power_within_envelope(self, tl_info, a, b):
+        tl, _, baseline = tl_info
+        t0, t1 = min(a, b), max(a, b)
+        if t1 <= t0:
+            return
+        mean = tl.mean_power(t0, t1)
+        assert mean >= -1e-9
+        assert mean <= max(baseline, 100.0) + 1e-6
+
+    @given(timelines())
+    @settings(max_examples=100, deadline=None)
+    def test_busy_time_bounded_by_window(self, tl_info):
+        tl, end, _ = tl_info
+        window_end = end + 1.0
+        busy = tl.busy_time(0.0, window_end)
+        assert -1e-9 <= busy <= window_end + 1e-9

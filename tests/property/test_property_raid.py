@@ -1,0 +1,107 @@
+"""Property-based tests: RAID geometry coverage and safety invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.raid import RaidGeometry, RaidLevel
+from repro.trace.record import READ, WRITE, IOPackage
+from repro.units import SECTOR_BYTES
+
+DISK_SECTORS = 10**6
+
+
+@st.composite
+def geometries(draw):
+    level = draw(st.sampled_from([RaidLevel.RAID0, RaidLevel.RAID5]))
+    n = draw(st.integers(min_value=3, max_value=8))
+    strip = draw(st.sampled_from([4096, 65536, 128 * 1024]))
+    return RaidGeometry(level, n, strip, DISK_SECTORS)
+
+
+@st.composite
+def requests(draw, geometry):
+    nbytes = draw(st.integers(min_value=1, max_value=2 * 1024 * 1024))
+    sectors = -(-nbytes // SECTOR_BYTES)
+    max_start = geometry.capacity_sectors - sectors
+    sector = draw(st.integers(min_value=0, max_value=max_start))
+    op = draw(st.sampled_from([READ, WRITE]))
+    return IOPackage(sector, nbytes, op)
+
+
+@st.composite
+def geometry_and_request(draw):
+    geometry = draw(geometries())
+    return geometry, draw(requests(geometry))
+
+
+class TestGeometryProperties:
+    @given(geometry_and_request())
+    @settings(max_examples=200, deadline=None)
+    def test_subios_within_disk_bounds(self, gr):
+        geometry, pkg = gr
+        plan = geometry.plan(pkg)
+        for sub in list(plan.pre) + list(plan.post):
+            assert 0 <= sub.disk < geometry.n_disks
+            assert sub.sector >= 0
+            end = sub.sector + -(-sub.nbytes // SECTOR_BYTES)
+            assert end <= DISK_SECTORS
+
+    @given(geometry_and_request())
+    @settings(max_examples=200, deadline=None)
+    def test_subios_fit_in_one_strip(self, gr):
+        geometry, pkg = gr
+        plan = geometry.plan(pkg)
+        for sub in list(plan.pre) + list(plan.post):
+            offset = (sub.sector % geometry.strip_sectors) * SECTOR_BYTES
+            assert offset + sub.nbytes <= geometry.strip_bytes
+
+    @given(geometry_and_request())
+    @settings(max_examples=200, deadline=None)
+    def test_read_volume_conserved(self, gr):
+        geometry, pkg = gr
+        if pkg.op != READ:
+            return
+        plan = geometry.plan(pkg)
+        assert plan.pre == ()
+        assert sum(s.nbytes for s in plan.post) == pkg.nbytes
+
+    @given(geometry_and_request())
+    @settings(max_examples=200, deadline=None)
+    def test_write_data_volume_conserved(self, gr):
+        geometry, pkg = gr
+        if pkg.op != WRITE:
+            return
+        plan = geometry.plan(pkg)
+        if geometry.level is RaidLevel.RAID0:
+            assert sum(s.nbytes for s in plan.post) == pkg.nbytes
+            return
+        data_bytes = 0
+        for sub in plan.post:
+            row = sub.sector // geometry.strip_sectors
+            if sub.disk != geometry.parity_disk(row):
+                data_bytes += sub.nbytes
+        assert data_bytes == pkg.nbytes
+        # Every pre-read is matched by a write to the same extent.
+        pre_extents = {(s.disk, s.sector, s.nbytes) for s in plan.pre}
+        post_extents = {(s.disk, s.sector, s.nbytes) for s in plan.post}
+        assert pre_extents <= post_extents
+
+    @given(geometry_and_request())
+    @settings(max_examples=200, deadline=None)
+    def test_no_two_data_subios_overlap(self, gr):
+        """Distinct data sub-IOs of one request never overlap on disk."""
+        geometry, pkg = gr
+        plan = geometry.plan(pkg)
+        seen = {}
+        for sub in plan.post:
+            row = sub.sector // geometry.strip_sectors
+            if geometry.level is RaidLevel.RAID5 and sub.disk == (
+                geometry.parity_disk(row)
+            ):
+                continue
+            key = sub.disk
+            for start, end in seen.get(key, []):
+                sub_end = sub.sector + -(-sub.nbytes // SECTOR_BYTES)
+                assert sub_end <= start or sub.sector >= end
+            seen.setdefault(key, []).append(
+                (sub.sector, sub.sector + -(-sub.nbytes // SECTOR_BYTES))
+            )

@@ -1,0 +1,118 @@
+"""Cross-module property tests: load control, PDC mapping, cache."""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.loadcontrol import LoadController
+from repro.energysaving.pdc import PDCArray
+from repro.rng import make_rng
+from repro.sim.engine import Simulator
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+
+def dense_trace(n=200):
+    return Trace(
+        [Bunch(i / 64, [IOPackage(i * 8, 4096, READ)]) for i in range(n)]
+    )
+
+
+class TestLoadControlComposition:
+    @given(st.floats(min_value=0.02, max_value=3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_offered_rate_matches_target(self, intensity):
+        """For ANY intensity, filter × time-scale composition must land
+        the offered bunch rate within one filter-granularity step."""
+        trace = dense_trace()
+        out = LoadController().apply(trace, intensity)
+        assert len(out) >= 1
+        if len(out) < 2 or out.duration == 0:
+            return
+        base_rate = len(trace) / trace.duration
+        got_rate = len(out) / out.duration
+        ratio = got_rate / base_rate
+        # Within 15 % of target (group-edge effects at tiny levels).
+        assert abs(ratio - intensity) <= max(0.15 * intensity, 0.02)
+
+    @given(st.floats(min_value=0.02, max_value=0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_plan_composes_exactly(self, intensity):
+        plan = LoadController().plan(intensity)
+        assert plan.filter_proportion * plan.time_intensity == (
+            __import__("pytest").approx(intensity)
+        )
+
+
+SMALL_SPEC = dataclasses.replace(
+    SEAGATE_7200_12, capacity_bytes=8 * 1024 * 1024
+)
+
+
+class TestPDCMappingInvariant:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_mapping_stays_bijective_under_random_load(self, seed):
+        """No workload may ever corrupt the segment remap table."""
+        sim = Simulator()
+        array = PDCArray(
+            [HardDiskDrive(f"p{i}", SMALL_SPEC) for i in range(3)],
+            segment_bytes=1024 * 1024,
+            window=1.0,
+            migration_budget=4,
+            idle_timeout=None,
+        )
+        array.attach(sim)
+        rng = make_rng(seed)
+        done = []
+        for i in range(40):
+            sector = int(rng.integers(0, array.capacity_sectors - 8))
+            sim.schedule(
+                i * 0.1,
+                lambda s=sector: array.submit(
+                    IOPackage(s, 4096, READ), done.append
+                ),
+            )
+        sim.run(until=8.0)
+        array.stop_policy()
+        # Drain outstanding I/O.
+        sim.run(until=sim.now + 2.0)
+        assert array.mapping_is_bijective()
+        assert len(done) == 40
+
+
+class TestCacheConsistencyInvariant:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_every_request_completes_exactly_once(self, seed):
+        from repro.storage.array import build_hdd_raid5
+        from repro.storage.cache import CachedArray, CacheSpec
+
+        sim = Simulator()
+        device = CachedArray(
+            build_hdd_raid5(6),
+            spec=CacheSpec(
+                capacity_bytes=4 * 64 * 1024,
+                line_bytes=64 * 1024,
+                dirty_high_watermark=0.5,
+                destage_depth=1,
+            ),
+        )
+        device.attach(sim)
+        rng = make_rng(seed)
+        done = []
+        n = 30
+        for i in range(n):
+            sector = int(rng.integers(0, 10**6)) * 8
+            op = READ if rng.random() < 0.5 else 1
+            sim.schedule(
+                i * 0.002,
+                lambda s=sector, o=op: device.submit(
+                    IOPackage(s, 4096, o), done.append
+                ),
+            )
+        sim.run()
+        assert len(done) == n
+        # Dirty lines bounded by the watermark + in-flight slack.
+        assert device.dirty_lines <= device.spec.n_lines

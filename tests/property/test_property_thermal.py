@@ -1,0 +1,81 @@
+"""Property tests: thermal model physics invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.power.model import PowerTimeline
+from repro.thermal.model import ThermalModel, ThermalSpec
+
+
+@st.composite
+def specs(draw):
+    return ThermalSpec(
+        thermal_resistance=draw(st.floats(min_value=0.2, max_value=5.0)),
+        time_constant=draw(st.floats(min_value=10.0, max_value=1000.0)),
+        ambient=draw(st.floats(min_value=10.0, max_value=35.0)),
+    )
+
+
+@st.composite
+def power_profiles(draw):
+    """A timeline with random busy segments over a random baseline."""
+    baseline = draw(st.floats(min_value=0.0, max_value=15.0))
+    tl = PowerTimeline(baseline)
+    cursor = 0.0
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        gap = draw(st.floats(min_value=0.0, max_value=50.0))
+        length = draw(st.floats(min_value=1.0, max_value=100.0))
+        watts = draw(st.floats(min_value=0.0, max_value=40.0))
+        tl.add_segment(cursor + gap, cursor + gap + length, watts)
+        cursor += gap + length
+    return tl, baseline
+
+
+class TestThermalInvariants:
+    @given(specs(), power_profiles(), st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_temperature_bounded_by_power_envelope(self, spec, profile, t):
+        """T always lies between the equilibria of the min and max power
+        ever drawn (starting from the idle equilibrium)."""
+        tl, baseline = profile
+        model = ThermalModel(tl, spec, step=5.0)
+        temp = model.temperature_at(t)
+        lo = spec.steady_state(0.0)
+        hi = spec.steady_state(40.0)
+        assert lo - 1e-6 <= temp <= hi + 1e-6
+
+    @given(specs(), st.floats(min_value=1.0, max_value=60.0))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_power_is_fixed_point(self, spec, watts):
+        tl = PowerTimeline(watts)
+        model = ThermalModel(tl, spec)
+        equilibrium = spec.steady_state(watts)
+        assert abs(model.temperature_at(500.0) - equilibrium) < 1e-6
+
+    @given(
+        specs(),
+        st.floats(min_value=5.0, max_value=35.0),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_relaxation_toward_equilibrium_is_monotone(self, spec, watts, t):
+        """From a cold start under constant power, temperature rises
+        monotonically toward the equilibrium and never overshoots."""
+        tl = PowerTimeline(watts)
+        model = ThermalModel(tl, spec, start_temperature=spec.ambient)
+        equilibrium = spec.steady_state(watts)
+        t1 = model.temperature_at(t)
+        t2 = model.temperature_at(t + 50.0)
+        assert spec.ambient - 1e-9 <= t1 <= equilibrium + 1e-6
+        assert t2 >= t1 - 1e-9
+
+    @given(specs())
+    @settings(max_examples=40, deadline=None)
+    def test_hotter_history_queries_consistent(self, spec):
+        """Past queries served from history match what was integrated."""
+        tl = PowerTimeline(10.0)
+        tl.add_segment(20.0, 40.0, 35.0)
+        model = ThermalModel(tl, spec, step=1.0)
+        live = model.temperature_at(30.0)
+        model.temperature_at(200.0)  # integrate far ahead
+        replayed = model.temperature_at(30.0)
+        assert abs(live - replayed) < 0.2

@@ -1,0 +1,77 @@
+"""Property-based tests: trace codec and record invariants."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.blktrace import dumps, loads
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.trace.stats import compute_stats
+from repro.units import NS_PER_S
+
+packages = st.builds(
+    IOPackage,
+    sector=st.integers(min_value=0, max_value=2**48),
+    nbytes=st.integers(min_value=1, max_value=4 * 1024 * 1024),
+    op=st.sampled_from([READ, WRITE]),
+)
+
+# ns-aligned timestamps so codec round-trips are exact.
+timestamps = st.integers(min_value=0, max_value=10**12).map(
+    lambda ns: ns / NS_PER_S
+)
+
+
+@st.composite
+def traces(draw, max_bunches=30):
+    n = draw(st.integers(min_value=0, max_value=max_bunches))
+    stamps = sorted(draw(st.lists(timestamps, min_size=n, max_size=n)))
+    bunches = []
+    for ts in stamps:
+        pkgs = draw(st.lists(packages, min_size=1, max_size=4))
+        bunches.append(Bunch(ts, pkgs))
+    return Trace(bunches)
+
+
+class TestCodecProperties:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_identity(self, trace):
+        assert loads(dumps(trace)) == trace
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_encoding_deterministic(self, trace):
+        assert dumps(trace) == dumps(trace)
+
+    @given(traces(max_bunches=10))
+    @settings(max_examples=40, deadline=None)
+    def test_size_formula(self, trace):
+        data = dumps(trace)
+        expected = 16 + sum(12 + 16 * len(b) for b in trace)
+        assert len(data) == expected
+
+
+class TestStatsProperties:
+    @given(traces())
+    @settings(max_examples=50, deadline=None)
+    def test_stats_invariants(self, trace):
+        st_ = compute_stats(trace)
+        assert st_.package_count == trace.package_count
+        assert st_.bunch_count == len(trace)
+        assert 0.0 <= st_.read_ratio <= 1.0
+        assert 0.0 <= st_.random_ratio <= 1.0
+        assert st_.dataset_bytes <= max(st_.total_bytes, st_.dataset_bytes)
+        if trace.package_count:
+            assert st_.min_request_bytes <= st_.mean_request_bytes
+            assert st_.mean_request_bytes <= st_.max_request_bytes
+
+    @given(traces())
+    @settings(max_examples=50, deadline=None)
+    def test_dataset_bounded_by_extent_span(self, trace):
+        st_ = compute_stats(trace)
+        if trace.package_count == 0:
+            return
+        lo = min(p.sector for p in trace.packages())
+        hi = max(p.end_sector for p in trace.packages())
+        assert st_.dataset_bytes <= (hi - lo) * 512

@@ -1,0 +1,66 @@
+"""Live console reporter tests."""
+
+import io
+
+import pytest
+
+from repro.config import ReplayConfig
+from repro.replay.console import ConsoleReporter
+from repro.replay.session import ReplaySession
+from repro.storage.array import build_hdd_raid5
+
+
+class TestConsoleReporter:
+    def test_streams_one_line_per_cycle(self, collected_trace):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(stream=stream)
+        session = ReplaySession(
+            build_hdd_raid5(6),
+            config=ReplayConfig(sampling_cycle=0.1),
+            reporter=reporter,
+        )
+        result = session.run(collected_trace, 1.0)
+        out = stream.getvalue()
+        lines = [l for l in out.splitlines() if l.strip()]
+        # Header + one line per completed performance cycle.
+        assert "IOPS" in lines[0] and "Watts" in lines[0]
+        assert reporter.lines_emitted == len(result.perf_samples)
+        assert len(lines) == 1 + reporter.lines_emitted
+
+    def test_live_watts_plausible(self, collected_trace):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(stream=stream)
+        session = ReplaySession(
+            build_hdd_raid5(6),
+            config=ReplayConfig(sampling_cycle=0.2),
+            reporter=reporter,
+        )
+        session.run(collected_trace, 1.0)
+        data_lines = stream.getvalue().splitlines()[1:]
+        watts = [float(line.split()[4]) for line in data_lines if line.strip()]
+        assert all(95.0 < w < 120.0 for w in watts)
+
+    def test_reporter_reusable_across_runs(self, collected_trace):
+        stream = io.StringIO()
+        reporter = ConsoleReporter(stream=stream)
+        for _ in range(2):
+            session = ReplaySession(
+                build_hdd_raid5(6),
+                config=ReplayConfig(sampling_cycle=0.5),
+                reporter=reporter,
+            )
+            session.run(collected_trace, 0.5)
+        # Second run re-binds and re-prints its header.
+        assert stream.getvalue().count("IOPS/W") == 2
+
+    def test_cli_live_flag(self, tmp_path, collected_trace, capsys):
+        from repro.cli import main
+        from repro.trace.blktrace import write_trace
+
+        path = tmp_path / "t.replay"
+        write_trace(collected_trace, path)
+        assert main(["replay", str(path), "--load", "100",
+                     "--cycle", "0.2", "--live"]) == 0
+        out = capsys.readouterr().out
+        # Live lines precede the summary table.
+        assert out.index("IOPS/W") < out.index("replay of")

@@ -1,0 +1,114 @@
+"""Performance monitor tests."""
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.replay.monitor import PerformanceMonitor
+from repro.storage.base import Completion
+from repro.trace.record import READ, IOPackage
+
+
+def completion(finish, nbytes=4096, submit=None):
+    submit = finish - 0.005 if submit is None else submit
+    return Completion(
+        package=IOPackage(0, nbytes, READ),
+        submit_time=submit,
+        start_time=submit,
+        finish_time=finish,
+    )
+
+
+class TestSampling:
+    def test_per_cycle_counters(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=1.0)
+        mon.start(sim)
+        sim.schedule(0.2, lambda: mon.record(completion(0.2)))
+        sim.schedule(0.7, lambda: mon.record(completion(0.7)))
+        sim.schedule(1.5, lambda: mon.record(completion(1.5, nbytes=8192)))
+        sim.run(until=2.0)
+        mon.stop()
+        assert len(mon.samples) == 2
+        first, second = mon.samples
+        assert first.completed == 2
+        assert first.total_bytes == 8192
+        assert second.completed == 1
+        assert second.total_bytes == 8192
+
+    def test_iops_and_mbps(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=0.5)
+        mon.start(sim)
+        for i in range(10):
+            t = 0.05 * i + 0.01
+            sim.schedule(t, lambda t=t: mon.record(completion(t, nbytes=1_000_000)))
+        sim.run(until=0.5)
+        mon.stop()
+        sample = mon.samples[0]
+        assert sample.iops == pytest.approx(10 / 0.5)
+        assert sample.mbps == pytest.approx(10 / 0.5)
+
+    def test_mean_response(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=1.0)
+        mon.start(sim)
+        sim.schedule(0.5, lambda: mon.record(completion(0.5, submit=0.4)))
+        sim.schedule(0.6, lambda: mon.record(completion(0.6, submit=0.3)))
+        sim.run(until=1.0)
+        mon.stop()
+        assert mon.samples[0].mean_response == pytest.approx((0.1 + 0.3) / 2)
+
+    def test_partial_final_cycle(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=1.0)
+        mon.start(sim)
+        sim.schedule(1.2, lambda: mon.record(completion(1.2)))
+        sim.run(until=1.5)
+        mon.stop()
+        assert len(mon.samples) == 2
+        assert mon.samples[1].duration == pytest.approx(0.5)
+        assert mon.samples[1].completed == 1
+
+    def test_empty_cycles_still_sampled(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=1.0)
+        mon.start(sim)
+        sim.run(until=3.0)
+        mon.stop()
+        assert len(mon.samples) == 3
+        assert all(s.completed == 0 for s in mon.samples)
+
+    def test_totals(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=1.0)
+        mon.start(sim)
+        for i in range(5):
+            sim.schedule(0.3 * i + 0.1, lambda: mon.record(completion(sim.now)))
+        sim.run(until=2.0)
+        mon.stop()
+        assert mon.total_completed == 5
+        assert mon.total_bytes == 5 * 4096
+
+
+class TestLifecycle:
+    def test_record_before_start_rejected(self):
+        mon = PerformanceMonitor()
+        with pytest.raises(ReplayError):
+            mon.record(completion(1.0))
+
+    def test_double_start_rejected(self, sim):
+        mon = PerformanceMonitor()
+        mon.start(sim)
+        with pytest.raises(ReplayError):
+            mon.start(sim)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ReplayError):
+            PerformanceMonitor().stop()
+
+    def test_bad_cycle(self):
+        with pytest.raises(ReplayError):
+            PerformanceMonitor(sampling_cycle=0.0)
+
+    def test_no_ticks_after_stop(self, sim):
+        mon = PerformanceMonitor(sampling_cycle=1.0)
+        mon.start(sim)
+        sim.run(until=1.0)
+        mon.stop()
+        n = len(mon.samples)
+        sim.run(until=5.0)
+        assert len(mon.samples) == n

@@ -1,0 +1,79 @@
+"""ReplayResult / CycleRecord tests."""
+
+import pytest
+
+from repro.power.analyzer import PowerSample
+from repro.replay.monitor import PerfSample
+from repro.replay.results import CycleRecord, ReplayResult
+
+
+def make_result(**overrides):
+    kwargs = dict(
+        trace_label="t@50%",
+        load_proportion=0.5,
+        duration=10.0,
+        completed=500,
+        total_bytes=500 * 4096,
+        mean_response=0.01,
+        mean_watts=100.0,
+        energy_joules=1000.0,
+    )
+    kwargs.update(overrides)
+    return ReplayResult(**kwargs)
+
+
+class TestAggregates:
+    def test_iops_and_mbps(self):
+        r = make_result()
+        assert r.iops == 50.0
+        assert r.mbps == pytest.approx(500 * 4096 / 1e6 / 10.0)
+
+    def test_efficiency_metrics(self):
+        r = make_result()
+        assert r.iops_per_watt == pytest.approx(0.5)
+        assert r.mbps_per_kilowatt == pytest.approx(r.mbps / 0.1)
+
+    def test_zero_duration_safe(self):
+        r = make_result(duration=0.0)
+        assert r.iops == 0.0
+        assert r.mbps == 0.0
+
+    def test_to_dict_roundtrippable_fields(self):
+        d = make_result().to_dict()
+        assert d["iops"] == 50.0
+        assert d["load_proportion"] == 0.5
+        assert d["iops_per_watt"] == pytest.approx(0.5)
+        assert "metadata" in d
+
+
+class TestCycles:
+    def _samples(self):
+        perf = [
+            PerfSample(start=float(i), end=float(i + 1), completed=10,
+                       total_bytes=40960, total_response=0.1)
+            for i in range(3)
+        ]
+        power = [
+            PowerSample(start=float(i), end=float(i + 1), amperes=0.5,
+                        volts=220.0, watts=110.0, true_watts=110.0,
+                        energy_joules=110.0)
+            for i in range(3)
+        ]
+        return perf, power
+
+    def test_pairing(self):
+        perf, power = self._samples()
+        r = make_result(perf_samples=perf, power_samples=power)
+        cycles = r.cycles()
+        assert len(cycles) == 3
+        assert cycles[0].iops == 10.0
+        assert cycles[0].watts == 110.0
+        assert cycles[0].iops_per_watt == pytest.approx(10 / 110)
+        assert cycles[0].mbps_per_kilowatt == pytest.approx(
+            (40960 / 1e6) / 0.110
+        )
+
+    def test_unequal_series_pair_to_shorter(self):
+        perf, power = self._samples()
+        r = make_result(perf_samples=perf, power_samples=power[:2])
+        assert len(r.cycles()) == 2

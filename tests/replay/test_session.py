@@ -1,0 +1,88 @@
+"""Replay session (filter + replay + monitor + power) tests."""
+
+import pytest
+
+from repro.config import ReplayConfig
+from repro.errors import ReplayError
+from repro.power.sensor import HallSensor, SensorSpec
+from repro.replay.session import ReplaySession, replay_trace
+from repro.storage.array import build_hdd_raid5
+from repro.trace.record import Trace
+
+
+class TestSessionRun:
+    def test_full_replay_result(self, collected_trace):
+        result = replay_trace(collected_trace, build_hdd_raid5(6), 1.0)
+        assert result.completed == collected_trace.package_count
+        assert result.iops > 0
+        assert result.mbps > 0
+        assert result.mean_watts > 90.0
+        assert result.energy_joules > 0
+        assert result.iops_per_watt > 0
+        assert result.mbps_per_kilowatt > 0
+        assert result.load_proportion == 1.0
+
+    def test_filtered_replay_scales_throughput(self, collected_trace):
+        full = replay_trace(collected_trace, build_hdd_raid5(6), 1.0)
+        half = replay_trace(collected_trace, build_hdd_raid5(6), 0.5)
+        ratio = half.iops / full.iops
+        assert 0.35 < ratio < 0.65
+
+    def test_power_decreases_with_load(self, collected_trace):
+        full = replay_trace(collected_trace, build_hdd_raid5(6), 1.0)
+        tenth = replay_trace(collected_trace, build_hdd_raid5(6), 0.1)
+        assert tenth.mean_watts < full.mean_watts
+
+    def test_sampling_series_aligned(self, collected_trace):
+        config = ReplayConfig(sampling_cycle=0.1)
+        result = replay_trace(
+            collected_trace, build_hdd_raid5(6), 1.0, config=config
+        )
+        assert len(result.perf_samples) >= 3
+        cycles = result.cycles()
+        assert len(cycles) >= 3
+        for c in cycles:
+            assert c.watts > 0
+
+    def test_time_scale_compresses_duration(self, collected_trace):
+        base = replay_trace(collected_trace, build_hdd_raid5(6), 1.0)
+        config = ReplayConfig(time_scale=2.0)
+        fast = replay_trace(
+            collected_trace, build_hdd_raid5(6), 1.0, config=config
+        )
+        assert fast.duration < base.duration
+
+    def test_imperfect_sensor_shifts_reported_watts(self, collected_trace):
+        session = ReplaySession(
+            build_hdd_raid5(6),
+            sensor=HallSensor(SensorSpec(gain_error=0.10)),
+        )
+        result = session.run(collected_trace, 1.0)
+        true_watts = sum(
+            s.true_watts * s.duration for s in result.power_samples
+        ) / sum(s.duration for s in result.power_samples)
+        assert result.mean_watts == pytest.approx(true_watts * 1.10, rel=1e-6)
+
+    def test_deterministic(self, collected_trace):
+        a = replay_trace(collected_trace, build_hdd_raid5(6), 0.5)
+        b = replay_trace(collected_trace, build_hdd_raid5(6), 0.5)
+        assert a.iops == b.iops
+        assert a.mean_watts == b.mean_watts
+        assert a.energy_joules == b.energy_joules
+
+    def test_metadata_recorded(self, collected_trace):
+        result = replay_trace(collected_trace, build_hdd_raid5(6), 0.5)
+        assert result.metadata["bunches_replayed"] == len(collected_trace) // 2
+        assert result.metadata["group_size"] == 10
+
+
+class TestSessionErrors:
+    def test_empty_trace_rejected(self):
+        session = ReplaySession(build_hdd_raid5(6))
+        with pytest.raises(ReplayError):
+            session.run(Trace([]), 1.0)
+
+    def test_off_grid_load_uses_combined_control(self, collected_trace):
+        # 25 % is off the 10 %-grid: filter to 30 % then stretch.
+        result = replay_trace(collected_trace, build_hdd_raid5(6), 0.25)
+        assert result.completed > 0

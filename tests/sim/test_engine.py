@@ -1,0 +1,128 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_priority_then_insertion(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "second", priority=1)
+        sim.schedule(1.0, fired.append, "first", priority=0)
+        sim.schedule(1.0, fired.append, "third", priority=1)
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda: None)
+
+    def test_schedule_at_now_allowed(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(sim.now, fired.append, "x"))
+        sim.run()
+        assert fired == ["x"]
+
+    def test_schedule_after(self, sim):
+        times = []
+        sim.schedule_after(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5]
+
+    def test_schedule_after_negative_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-0.1, lambda: None)
+
+    def test_events_scheduled_during_run(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule_after(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.schedule(2.0, fired.append, "y")
+        event.cancel()
+        sim.run()
+        assert fired == ["y"]
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+        assert sim.events_processed == 0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0  # clock advanced to the bound
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_exact_boundary_inclusive(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "x")
+        sim.run(until=2.0)
+        assert fired == ["x"]
+
+    def test_advance_to(self, sim):
+        sim.advance_to(10.0)
+        assert sim.now == 10.0
+        with pytest.raises(SimulationError):
+            sim.advance_to(5.0)
+
+    def test_max_events_guard(self, sim):
+        def perpetual():
+            sim.schedule_after(0.001, perpetual)
+
+        sim.schedule(0.0, perpetual)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+
+class TestBookkeeping:
+    def test_counts(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        assert sim.pending == 5
+        sim.run()
+        assert sim.events_processed == 5
+        assert sim.pending == 0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_start_time(self):
+        sim = Simulator(start_time=100.0)
+        assert sim.now == 100.0
+        with pytest.raises(SimulationError):
+            sim.schedule(99.0, lambda: None)

@@ -1,0 +1,134 @@
+"""Disk array tests: dispatch, RMW sequencing, link cap, power."""
+
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.sim.engine import Simulator
+from repro.storage.array import DiskArray, build_hdd_raid5, build_ssd_raid5
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+from repro.storage.specs import HDD_ENCLOSURE
+from repro.trace.record import READ, WRITE, IOPackage
+
+
+def serve(sim, array, packages):
+    done = []
+    for pkg in packages:
+        array.submit(pkg, done.append)
+    sim.run()
+    return done
+
+
+class TestConstruction:
+    def test_paper_hdd_array(self, hdd_array):
+        assert len(hdd_array.disks) == 6
+        assert hdd_array.level == RaidLevel.RAID5
+        assert hdd_array.idle_watts == pytest.approx(98.0)
+
+    def test_paper_ssd_array(self, ssd_array):
+        # §VI-G: the SSD array idles at 195.8 W.
+        assert ssd_array.idle_watts == pytest.approx(195.8)
+
+    def test_empty_enclosure_idles_at_non_disk_power(self, sim):
+        array = DiskArray([], enclosure=HDD_ENCLOSURE)
+        array.attach(sim)
+        assert array.idle_watts == pytest.approx(38.0)
+        assert array.capacity_sectors == 0
+
+    def test_empty_enclosure_rejects_io(self, sim):
+        array = DiskArray([])
+        array.attach(sim)
+        with pytest.raises(StorageConfigError):
+            array.submit(IOPackage(0, 512, READ), lambda c: None)
+
+    def test_too_many_disks(self):
+        disks = [HardDiskDrive(f"d{i}") for i in range(13)]
+        with pytest.raises(StorageConfigError):
+            DiskArray(disks, enclosure=HDD_ENCLOSURE)
+
+    def test_capacity_uses_smallest_member(self):
+        array = build_hdd_raid5(6)
+        strip_sectors = 128 * 1024 // 512
+        per_disk = (
+            array.disks[0].capacity_sectors // strip_sectors * strip_sectors
+        )
+        assert array.capacity_sectors == 5 * per_disk
+
+
+class TestIOPath:
+    def test_read_completes(self, sim, hdd_array):
+        hdd_array.attach(sim)
+        done = serve(sim, hdd_array, [IOPackage(0, 4096, READ)])
+        assert len(done) == 1
+        assert done[0].response_time > 0
+        assert hdd_array.completed_count == 1
+
+    def test_rmw_write_touches_four_subios(self, sim, hdd_array):
+        hdd_array.attach(sim)
+        serve(sim, hdd_array, [IOPackage(0, 4096, WRITE)])
+        assert hdd_array.subio_count == 4
+
+    def test_write_slower_than_read_rmw(self, sim):
+        a1 = build_hdd_raid5(6)
+        a1.attach(sim)
+        read = serve(sim, a1, [IOPackage(10**6, 4096, READ)])[0]
+        sim2 = Simulator()
+        a2 = build_hdd_raid5(6)
+        a2.attach(sim2)
+        write = serve(sim2, a2, [IOPackage(10**6, 4096, WRITE)])[0]
+        assert write.response_time > read.response_time
+
+    def test_concurrent_requests_parallelise(self, sim, hdd_array):
+        """Requests to different disks should overlap in time."""
+        hdd_array.attach(sim)
+        strip_sectors = 128 * 1024 // 512
+        pkgs = [IOPackage(i * strip_sectors, 4096, READ) for i in range(5)]
+        done = serve(sim, hdd_array, pkgs)
+        total_span = max(c.finish_time for c in done)
+        serial_estimate = sum(c.service_time for c in done)
+        assert total_span < serial_estimate
+
+    def test_bounds_check(self, sim, hdd_array):
+        hdd_array.attach(sim)
+        with pytest.raises(Exception):
+            hdd_array.submit(
+                IOPackage(hdd_array.capacity_sectors, 4096, READ), lambda c: None
+            )
+
+    def test_link_serialisation_caps_throughput(self, sim, ssd_array):
+        """Large sequential reads cannot exceed the 400 MB/s FC link."""
+        ssd_array.attach(sim)
+        nbytes = 1024 * 1024
+        pkgs = [
+            IOPackage(i * (nbytes // 512), nbytes, READ) for i in range(50)
+        ]
+        done = serve(sim, ssd_array, pkgs)
+        duration = max(c.finish_time for c in done)
+        mbps = 50 * nbytes / 1e6 / duration
+        assert mbps <= 400.0 * 1.01
+
+
+class TestArrayPower:
+    def test_idle_energy(self, sim, hdd_array):
+        hdd_array.attach(sim)
+        sim.advance_to(10.0)
+        assert hdd_array.energy_between(0, 10.0) == pytest.approx(980.0)
+
+    def test_power_grows_with_disk_count(self, sim):
+        # Fig. 7: linear growth with disk count.
+        powers = []
+        for n in (0, 3, 6):
+            array = DiskArray(
+                [HardDiskDrive(f"d{i}") for i in range(n)],
+                level=RaidLevel.RAID5 if n >= 3 else RaidLevel.RAID0
+                if n >= 2
+                else RaidLevel.JBOD if n == 1 else RaidLevel.RAID5,
+            )
+            powers.append(array.idle_watts)
+        assert powers == pytest.approx([38.0, 68.0, 98.0])
+
+    def test_active_power_above_idle(self, sim, hdd_array):
+        hdd_array.attach(sim)
+        serve(sim, hdd_array, [IOPackage(i * 10**5, 4096, READ) for i in range(20)])
+        end = sim.now
+        assert hdd_array.mean_power(0, end) > hdd_array.idle_watts

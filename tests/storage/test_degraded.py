@@ -1,0 +1,209 @@
+"""Degraded-mode RAID-5 and rebuild tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.sim.engine import Simulator
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidGeometry, RaidLevel
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.record import READ, WRITE, IOPackage
+
+STRIP = 128 * 1024
+STRIP_SECTORS = STRIP // 512
+
+
+@pytest.fixture
+def geo():
+    return RaidGeometry(RaidLevel.RAID5, 6, STRIP, 10**6)
+
+
+class TestDegradedPlanning:
+    def test_read_on_surviving_disk_unchanged(self, geo):
+        pkg = IOPackage(0, 4096, READ)   # lives on disk 0
+        normal = geo.plan(pkg)
+        degraded = geo.plan_degraded(pkg, failed_disk=3)
+        assert degraded == normal
+
+    def test_read_on_failed_disk_reconstructs(self, geo):
+        pkg = IOPackage(0, 4096, READ)   # disk 0, row 0
+        plan = geo.plan_degraded(pkg, failed_disk=0)
+        # Reads the same extent from all 5 survivors.
+        assert len(plan.post) == 5
+        assert all(s.op == READ for s in plan.post)
+        assert 0 not in {s.disk for s in plan.post}
+        assert {s.disk for s in plan.post} == {1, 2, 3, 4, 5}
+        assert all(s.nbytes == 4096 for s in plan.post)
+
+    def test_no_subio_ever_targets_failed_disk(self, geo):
+        for failed in range(6):
+            for sector in (0, STRIP_SECTORS, 12345):
+                for op in (READ, WRITE):
+                    plan = geo.plan_degraded(
+                        IOPackage(sector, 65536, op), failed
+                    )
+                    touched = {s.disk for s in plan.pre} | {
+                        s.disk for s in plan.post
+                    }
+                    assert failed not in touched
+
+    def test_write_with_failed_parity_skips_parity(self, geo):
+        pdisk = geo.parity_disk(0)
+        pkg = IOPackage(0, 4096, WRITE)
+        plan = geo.plan_degraded(pkg, failed_disk=pdisk)
+        # Just the data write: no reads, no parity maintenance possible.
+        assert plan.pre == ()
+        assert len(plan.post) == 1
+        assert plan.post[0].op == WRITE
+        assert plan.post[0].disk == 0
+
+    def test_write_with_failed_data_disk_updates_parity(self, geo):
+        pkg = IOPackage(0, 4096, WRITE)   # data on disk 0 (failed)
+        plan = geo.plan_degraded(pkg, failed_disk=0)
+        pdisk = geo.parity_disk(0)
+        # Reconstruct-write: read the other data strips, write parity.
+        read_disks = {s.disk for s in plan.pre}
+        assert read_disks == {1, 2, 3, 4}
+        writes = {s.disk for s in plan.post}
+        assert writes == {pdisk}
+
+    def test_write_surviving_disk_reconstruct_write(self, geo):
+        pkg = IOPackage(0, 4096, WRITE)   # data on disk 0
+        plan = geo.plan_degraded(pkg, failed_disk=2)
+        pdisk = geo.parity_disk(0)
+        # Reads: surviving strips not written and not parity: 1, 3, 4.
+        assert {s.disk for s in plan.pre} == {1, 3, 4}
+        assert {s.disk for s in plan.post} == {0, pdisk}
+
+    def test_non_raid5_rejected(self):
+        geo0 = RaidGeometry(RaidLevel.RAID0, 4, STRIP, 10**6)
+        with pytest.raises(StorageConfigError):
+            geo0.plan_degraded(IOPackage(0, 512, READ), 0)
+
+    def test_bad_disk_index(self, geo):
+        with pytest.raises(StorageConfigError):
+            geo.plan_degraded(IOPackage(0, 512, READ), 6)
+
+
+class TestRebuildPlanning:
+    def test_row_plan(self, geo):
+        plan = geo.plan_rebuild_row(5, failed_disk=2)
+        assert len(plan.pre) == 5
+        assert all(s.op == READ and s.disk != 2 for s in plan.pre)
+        assert plan.post[0].disk == 2
+        assert plan.post[0].op == WRITE
+        assert plan.post[0].sector == 5 * STRIP_SECTORS
+
+    def test_partial_tail_strip_is_truncated_away(self):
+        # Members truncate to whole strips, so every rebuild row is a
+        # full strip.
+        geo = RaidGeometry(RaidLevel.RAID5, 3, STRIP, STRIP_SECTORS * 2 + 16)
+        assert geo.rebuild_rows() == 2
+        plan = geo.plan_rebuild_row(1, failed_disk=0)
+        assert plan.post[0].nbytes == STRIP
+
+    def test_rows_cover_disk(self, geo):
+        assert geo.rebuild_rows() == geo.disk_sectors // STRIP_SECTORS
+
+
+def small_array(n=4):
+    spec = dataclasses.replace(
+        SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024  # 16 MiB members
+    )
+    disks = [HardDiskDrive(f"s{i}", spec) for i in range(n)]
+    return DiskArray(disks, level=RaidLevel.RAID5, name="small")
+
+
+class TestArrayDegradedOperation:
+    def test_degraded_read_completes(self, sim):
+        array = small_array()
+        array.attach(sim)
+        array.fail_disk(1)
+        done = []
+        array.submit(IOPackage(0, 4096, READ), done.append)
+        sim.run()
+        assert len(done) == 1
+        assert array.disks[1].completed_count == 0
+
+    def test_degraded_reads_amplify_work(self):
+        """Reconstruction runs its survivor reads in parallel, so QD-1
+        latency barely moves — the cost is op amplification, which is
+        what burns energy and steals throughput under load."""
+
+        def run(failed):
+            sim = Simulator()
+            array = small_array()
+            array.attach(sim)
+            if failed:
+                array.fail_disk(0)
+            done = []
+            array.submit(IOPackage(0, 4096, READ), done.append)  # on disk 0
+            sim.run()
+            busy = sum(
+                d.timeline.busy_time(0.0, sim.now) for d in array.disks
+            )
+            return array.subio_count, busy
+
+        degraded_ops, degraded_busy = run(failed=True)
+        clean_ops, clean_busy = run(failed=False)
+        assert degraded_ops == 3   # n-1 survivors on a 4-disk array
+        assert clean_ops == 1
+        assert degraded_busy > 2.5 * clean_busy
+
+    def test_double_failure_rejected(self, sim):
+        array = small_array()
+        array.attach(sim)
+        array.fail_disk(0)
+        with pytest.raises(StorageConfigError):
+            array.fail_disk(1)
+
+    def test_rebuild_restores_clean_operation(self, sim):
+        array = small_array()
+        array.attach(sim)
+        array.fail_disk(2)
+        finished = []
+        array.rebuild(on_complete=finished.append, rows_per_step=16)
+        sim.run()
+        assert len(finished) == 1
+        assert array.failed_disk is None
+        assert not array.rebuilding
+        # Replacement disk received one write per row.
+        rows = -(-array.disks[2].capacity_sectors // (128 * 1024 // 512))
+        assert array.disks[2].completed_count == rows
+
+    def test_rebuild_consumes_energy(self, sim):
+        array = small_array()
+        array.attach(sim)
+        array.fail_disk(2)
+        array.rebuild(rows_per_step=16)
+        sim.run()
+        end = sim.now
+        assert end > 0
+        assert array.mean_power(0, end) > array.idle_watts
+
+    def test_rebuild_without_failure_rejected(self, sim):
+        array = small_array()
+        array.attach(sim)
+        with pytest.raises(StorageConfigError):
+            array.rebuild()
+
+    def test_foreground_io_during_rebuild(self, sim):
+        array = small_array()
+        array.attach(sim)
+        array.fail_disk(0)
+        done = []
+        array.rebuild(rows_per_step=4)
+        # Degraded foreground I/O interleaves with rebuild traffic.
+        for i in range(5):
+            sim.schedule(
+                i * 0.01,
+                lambda i=i: array.submit(
+                    IOPackage(i * 64, 4096, READ), done.append
+                ),
+            )
+        sim.run()
+        assert len(done) == 5
+        assert array.failed_disk is None  # rebuild finished too

@@ -1,0 +1,214 @@
+"""RAID geometry tests: address math, coverage, RMW planning."""
+
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.storage.raid import IOPlan, RaidGeometry, RaidLevel, SubIO
+from repro.trace.record import READ, WRITE, IOPackage
+
+STRIP = 128 * 1024
+STRIP_SECTORS = STRIP // 512
+
+
+DISK_SECTORS = STRIP_SECTORS * 40_000  # strip-aligned member size
+
+
+def geo(level=RaidLevel.RAID5, n=6, strip=STRIP, disk_sectors=DISK_SECTORS):
+    return RaidGeometry(level, n, strip, disk_sectors)
+
+
+class TestConstruction:
+    def test_capacity_raid5(self):
+        g = geo()
+        assert g.data_disks == 5
+        assert g.capacity_sectors == 5 * DISK_SECTORS
+
+    def test_capacity_raid0(self):
+        assert geo(RaidLevel.RAID0).capacity_sectors == 6 * DISK_SECTORS
+
+    def test_capacity_raid1(self):
+        assert geo(RaidLevel.RAID1, n=2).capacity_sectors == DISK_SECTORS
+
+    def test_capacity_truncates_to_whole_strips(self):
+        g = geo(disk_sectors=STRIP_SECTORS * 3 + 17)
+        assert g.disk_sectors == STRIP_SECTORS * 3
+
+    @pytest.mark.parametrize(
+        "level,n",
+        [
+            (RaidLevel.RAID5, 2),
+            (RaidLevel.RAID1, 3),
+            (RaidLevel.RAID0, 1),
+            (RaidLevel.JBOD, 2),
+        ],
+    )
+    def test_disk_count_constraints(self, level, n):
+        with pytest.raises(StorageConfigError):
+            geo(level, n=n)
+
+    def test_strip_must_be_sector_multiple(self):
+        with pytest.raises(StorageConfigError):
+            geo(strip=1000)
+
+    def test_out_of_range_request_rejected(self):
+        g = geo()
+        with pytest.raises(StorageConfigError):
+            g.plan(IOPackage(g.capacity_sectors - 1, 4096, READ))
+
+
+class TestParityRotation:
+    def test_parity_rotates_over_all_disks(self):
+        g = geo()
+        parities = {g.parity_disk(row) for row in range(6)}
+        assert parities == set(range(6))
+
+    def test_left_layout_starts_at_last_disk(self):
+        g = geo()
+        assert g.parity_disk(0) == 5
+        assert g.parity_disk(1) == 4
+
+
+class TestReadPlanning:
+    def test_small_read_single_disk(self):
+        g = geo()
+        plan = g.plan(IOPackage(0, 4096, READ))
+        assert plan.pre == ()
+        assert len(plan.post) == 1
+        sub = plan.post[0]
+        assert sub.op == READ
+        assert sub.disk == 0
+        assert sub.sector == 0
+        assert sub.nbytes == 4096
+
+    def test_strip_spanning_read(self):
+        g = geo()
+        # Start half a strip in, read one full strip: spans two chunks.
+        pkg = IOPackage(STRIP_SECTORS // 2, STRIP, READ)
+        plan = g.plan(pkg)
+        assert len(plan.post) == 2
+        assert sum(s.nbytes for s in plan.post) == STRIP
+
+    def test_read_avoids_parity_disk(self):
+        g = geo()
+        # Read the whole first stripe row (5 data strips on disks 0-4).
+        pkg = IOPackage(0, 5 * STRIP, READ)
+        plan = g.plan(pkg)
+        disks = {s.disk for s in plan.post}
+        assert g.parity_disk(0) not in disks
+        assert len(plan.post) == 5
+
+    def test_reads_cover_request_exactly(self):
+        g = geo()
+        pkg = IOPackage(12345 * 8, 1024 * 1024, READ)
+        plan = g.plan(pkg)
+        assert sum(s.nbytes for s in plan.post) == pkg.nbytes
+
+
+class TestWritePlanning:
+    def test_partial_stripe_write_is_rmw(self):
+        g = geo()
+        plan = g.plan(IOPackage(0, 4096, WRITE))
+        # Pre-reads: old data + old parity.
+        assert len(plan.pre) == 2
+        assert {s.op for s in plan.pre} == {READ}
+        # Post-writes: new data + new parity.
+        assert len(plan.post) == 2
+        assert {s.op for s in plan.post} == {WRITE}
+
+    def test_rmw_parity_extent_matches_data(self):
+        g = geo()
+        plan = g.plan(IOPackage(8, 4096, WRITE))
+        data_write = [s for s in plan.post if s.disk != g.parity_disk(0)][0]
+        parity_write = [s for s in plan.post if s.disk == g.parity_disk(0)][0]
+        assert parity_write.sector == data_write.sector
+        assert parity_write.nbytes == data_write.nbytes
+
+    def test_full_stripe_write_skips_reads(self):
+        g = geo()
+        pkg = IOPackage(0, 5 * STRIP, WRITE)  # exactly one full stripe
+        plan = g.plan(pkg)
+        assert plan.pre == ()
+        assert len(plan.post) == 6  # 5 data + 1 parity
+        parity = [s for s in plan.post if s.disk == g.parity_disk(0)][0]
+        assert parity.nbytes == STRIP
+
+    def test_multi_stripe_write_mixed(self):
+        g = geo()
+        # 1.5 stripes starting at stripe 0: full row 0 + partial row 1.
+        pkg = IOPackage(0, 5 * STRIP + 2 * STRIP, WRITE)
+        plan = g.plan(pkg)
+        # Row 0 full (no reads); row 1 partial (reads for 2 data + parity).
+        assert len(plan.pre) == 3
+        # Writes: 6 (row 0) + 3 (row 1: 2 data + parity).
+        assert len(plan.post) == 9
+
+    def test_write_ops_total_accounting(self):
+        g = geo()
+        plan = g.plan(IOPackage(0, 4096, WRITE))
+        assert plan.total_ops == 4
+
+
+class TestRaid0AndJbod:
+    def test_raid0_round_robin(self):
+        g = geo(RaidLevel.RAID0)
+        plan = g.plan(IOPackage(0, 6 * STRIP, WRITE))
+        assert plan.pre == ()
+        assert [s.disk for s in plan.post] == list(range(6))
+
+    def test_raid0_no_parity_overhead(self):
+        g = geo(RaidLevel.RAID0)
+        plan = g.plan(IOPackage(0, 4096, WRITE))
+        assert plan.total_ops == 1
+
+    def test_jbod_passthrough(self):
+        g = geo(RaidLevel.JBOD, n=1)
+        pkg = IOPackage(777, 8192, READ)
+        plan = g.plan(pkg)
+        assert plan.post == (SubIO(0, 777, 8192, READ),)
+
+
+class TestRaid1:
+    def test_writes_mirror(self):
+        g = geo(RaidLevel.RAID1, n=2)
+        plan = g.plan(IOPackage(5, 4096, WRITE))
+        assert len(plan.post) == 2
+        assert {s.disk for s in plan.post} == {0, 1}
+        assert all(s.sector == 5 for s in plan.post)
+
+    def test_reads_alternate(self):
+        g = geo(RaidLevel.RAID1, n=2)
+        first = g.plan(IOPackage(0, 512, READ)).post[0].disk
+        second = g.plan(IOPackage(0, 512, READ)).post[0].disk
+        assert {first, second} == {0, 1}
+
+
+class TestCoverageInvariants:
+    @pytest.mark.parametrize("sector", [0, 7, STRIP_SECTORS - 1, STRIP_SECTORS, 99991])
+    @pytest.mark.parametrize("nbytes", [512, 4096, STRIP, STRIP * 3 + 512])
+    def test_read_chunks_tile_the_extent(self, sector, nbytes):
+        """Sub-reads must cover the logical extent exactly once."""
+        g = geo()
+        plan = g.plan(IOPackage(sector, nbytes, READ))
+        assert sum(s.nbytes for s in plan.post) == nbytes
+        # Each sub-IO fits within one strip on its disk.
+        for s in plan.post:
+            offset_in_strip = s.sector % STRIP_SECTORS
+            assert offset_in_strip * 512 + s.nbytes <= STRIP
+
+    @pytest.mark.parametrize("sector", [0, 8, STRIP_SECTORS * 3])
+    @pytest.mark.parametrize("nbytes", [512, STRIP, 5 * STRIP])
+    def test_write_data_volume(self, sector, nbytes):
+        """Data writes equal the logical bytes; parity adds extra."""
+        g = geo()
+        plan = g.plan(IOPackage(sector, nbytes, WRITE))
+        per_row = g.n_disks - 1
+        rows = set()
+        data_bytes = 0
+        for s in plan.post:
+            row = s.sector // STRIP_SECTORS
+            if s.disk == g.parity_disk(row):
+                rows.add(row)
+            else:
+                data_bytes += s.nbytes
+        assert data_bytes == nbytes
+        assert len(rows) >= 1

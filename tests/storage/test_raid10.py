@@ -1,0 +1,87 @@
+"""RAID-10 geometry tests."""
+
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.storage.raid import RaidGeometry, RaidLevel
+from repro.trace.record import READ, WRITE, IOPackage
+
+STRIP = 128 * 1024
+STRIP_SECTORS = STRIP // 512
+
+
+DISK_SECTORS = STRIP_SECTORS * 4_000
+
+
+def geo(n=6):
+    return RaidGeometry(RaidLevel.RAID10, n, STRIP, DISK_SECTORS)
+
+
+class TestConstruction:
+    def test_capacity_half_of_members(self):
+        assert geo(6).capacity_sectors == 3 * DISK_SECTORS
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(StorageConfigError):
+            geo(5)
+
+    def test_minimum_four(self):
+        with pytest.raises(StorageConfigError):
+            RaidGeometry(RaidLevel.RAID10, 2, STRIP, DISK_SECTORS)
+
+
+class TestPlanning:
+    def test_write_mirrors_within_pair(self):
+        plan = geo().plan(IOPackage(0, 4096, WRITE))
+        assert plan.pre == ()
+        assert len(plan.post) == 2
+        assert {s.disk for s in plan.post} == {0, 1}
+        assert all(s.op == WRITE for s in plan.post)
+        assert plan.post[0].sector == plan.post[1].sector
+
+    def test_reads_alternate_within_pair(self):
+        g = geo()
+        first = g.plan(IOPackage(0, 4096, READ)).post[0].disk
+        second = g.plan(IOPackage(0, 4096, READ)).post[0].disk
+        assert {first, second} == {0, 1}
+
+    def test_striping_across_pairs(self):
+        g = geo(6)
+        # Strip indices 0,1,2 -> pairs 0,1,2; index 3 wraps to pair 0.
+        plan = g.plan(IOPackage(0, 4 * STRIP, WRITE))
+        pairs = [s.disk // 2 for s in plan.post]
+        assert pairs == [0, 0, 1, 1, 2, 2, 0, 0]
+        # Row advances when wrapping.
+        assert plan.post[6].sector == STRIP_SECTORS
+
+    def test_volume_conserved_on_write(self):
+        g = geo()
+        pkg = IOPackage(128, 3 * STRIP + 4096, WRITE)
+        plan = g.plan(pkg)
+        # Every byte written twice (mirroring).
+        assert sum(s.nbytes for s in plan.post) == 2 * pkg.nbytes
+
+    def test_read_volume_exact(self):
+        g = geo()
+        pkg = IOPackage(128, 3 * STRIP + 4096, READ)
+        plan = g.plan(pkg)
+        assert sum(s.nbytes for s in plan.post) == pkg.nbytes
+
+
+class TestOnArray:
+    def test_raid10_array_round_trip(self, sim):
+        from repro.storage.array import DiskArray
+        from repro.storage.hdd import HardDiskDrive
+
+        array = DiskArray(
+            [HardDiskDrive(f"d{i}") for i in range(4)],
+            level=RaidLevel.RAID10,
+        )
+        array.attach(sim)
+        done = []
+        array.submit(IOPackage(0, 4096, WRITE), done.append)
+        sim.run()
+        assert len(done) == 1
+        # Both members of pair 0 saw the write.
+        assert array.disks[0].completed_count == 1
+        assert array.disks[1].completed_count == 1

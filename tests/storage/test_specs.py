@@ -1,0 +1,85 @@
+"""Device spec catalog tests (calibration anchors)."""
+
+import pytest
+
+from repro.errors import StorageConfigError
+from repro.storage.specs import (
+    HDD_ENCLOSURE,
+    HDDSpec,
+    MEMORIGHT_SLC_32GB,
+    SEAGATE_7200_12,
+    SSD_ENCLOSURE,
+    SSDSpec,
+    EnclosureSpec,
+)
+
+
+class TestPaperAnchors:
+    def test_fig7_crossover_beyond_three_disks(self):
+        """Fig. 7: disks dominate array power once more than three are
+        installed: 4 × idle > non-disk, 3 × idle < non-disk."""
+        idle = SEAGATE_7200_12.idle_watts
+        non_disk = HDD_ENCLOSURE.non_disk_watts
+        assert 3 * idle < non_disk < 4 * idle
+
+    def test_ssd_idle_power_is_papers(self):
+        assert MEMORIGHT_SLC_32GB.idle_watts == 3.5
+
+    def test_ssd_array_idle_is_papers(self):
+        total = SSD_ENCLOSURE.non_disk_watts + 4 * MEMORIGHT_SLC_32GB.idle_watts
+        assert total == pytest.approx(195.8)
+
+    def test_7200rpm_rotation(self):
+        assert SEAGATE_7200_12.rotation_time == pytest.approx(60.0 / 7200)
+        assert SEAGATE_7200_12.mean_rotational_latency == pytest.approx(
+            60.0 / 7200 / 2
+        )
+
+    def test_average_seek_near_datasheet(self):
+        """Random seeks average distance/capacity ≈ 1/3; the sqrt model
+        should land near the 8.5 ms datasheet average."""
+        spec = SEAGATE_7200_12
+        avg = spec.settle_time + spec.seek_coefficient * (1 / 3) ** 0.5
+        assert 0.007 < avg < 0.010
+
+    def test_seek_power_above_transfer_power(self):
+        spec = SEAGATE_7200_12
+        assert spec.seek_watts > spec.write_watts > spec.read_watts > spec.idle_watts
+
+
+class TestValidation:
+    def test_inverted_zoning_rejected(self):
+        with pytest.raises(StorageConfigError):
+            HDDSpec(
+                name="bad", capacity_bytes=10**9, rpm=7200,
+                settle_time=0.001, seek_coefficient=0.01,
+                outer_rate=50e6, inner_rate=100e6,
+                read_to_write_turnaround=0.001, write_to_read_turnaround=0.001,
+                command_overhead=0.0001, idle_watts=5, seek_watts=8,
+                read_watts=6, write_watts=7, rotate_wait_watts=5.5,
+                standby_watts=1, spinup_time=5, spinup_watts=20,
+                spindown_time=1,
+            )
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(StorageConfigError):
+            SSDSpec(
+                name="bad", capacity_bytes=0, read_latency=1e-4,
+                write_latency=1e-4, read_rate=1e8, write_rate=1e8,
+                random_write_overhead=1e-3, page_bytes=4096,
+                command_overhead=1e-5, idle_watts=1, read_watts=2,
+                write_watts=3,
+            )
+
+    def test_enclosure_validation(self):
+        with pytest.raises(StorageConfigError):
+            EnclosureSpec("bad", non_disk_watts=-1, controller_overhead=0,
+                          link_rate=1e8, max_disks=4)
+        with pytest.raises(StorageConfigError):
+            EnclosureSpec("bad", non_disk_watts=10, controller_overhead=0,
+                          link_rate=0, max_disks=4)
+
+    def test_transfer_rate_clamps(self):
+        spec = SEAGATE_7200_12
+        assert spec.transfer_rate_at(-5) == spec.outer_rate
+        assert spec.transfer_rate_at(spec.capacity_sectors * 2) == spec.inner_rate

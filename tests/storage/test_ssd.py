@@ -1,0 +1,107 @@
+"""SSD model tests."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.storage.specs import MEMORIGHT_SLC_32GB
+from repro.storage.ssd import SolidStateDrive
+from repro.trace.record import READ, WRITE, IOPackage
+
+
+@pytest.fixture
+def ssd(sim):
+    d = SolidStateDrive("s0")
+    d.attach(sim)
+    return d
+
+
+def serve(sim, device, packages):
+    done = []
+    for pkg in packages:
+        device.submit(pkg, done.append)
+    sim.run()
+    return done
+
+
+class TestServiceModel:
+    def test_read_latency_plus_transfer(self, sim, ssd):
+        spec = MEMORIGHT_SLC_32GB
+        done = serve(sim, ssd, [IOPackage(0, 4096, READ)])
+        expected = (
+            spec.command_overhead + spec.read_latency + 4096 / spec.read_rate
+        )
+        assert done[0].service_time == pytest.approx(expected)
+
+    def test_sequential_write_fast(self, sim, ssd):
+        spec = MEMORIGHT_SLC_32GB
+        done = serve(
+            sim, ssd,
+            [IOPackage(0, 4096, WRITE), IOPackage(8, 4096, WRITE)],
+        )
+        # Second write continues the stream: no FTL overhead.
+        expected = (
+            spec.command_overhead + spec.write_latency + 4096 / spec.write_rate
+        )
+        assert done[1].service_time == pytest.approx(expected)
+
+    def test_scattered_write_pays_ftl_stall(self, sim, ssd):
+        spec = MEMORIGHT_SLC_32GB
+        done = serve(
+            sim, ssd,
+            [IOPackage(0, 4096, WRITE), IOPackage(10**6, 4096, WRITE)],
+        )
+        slow = done[1].service_time
+        assert slow > spec.random_write_overhead
+        assert ssd.random_write_count >= 1
+
+    def test_first_write_counts_as_random(self, sim, ssd):
+        serve(sim, ssd, [IOPackage(0, 4096, WRITE)])
+        assert ssd.random_write_count == 1
+
+    def test_reads_insensitive_to_location(self, sim, ssd):
+        done = serve(
+            sim, ssd,
+            [IOPackage(0, 4096, READ), IOPackage(10**6, 4096, READ)],
+        )
+        assert done[0].service_time == pytest.approx(done[1].service_time)
+
+    def test_interleaved_reads_do_not_break_write_stream(self, sim, ssd):
+        """Per-stream cursors: a read between two contiguous writes must
+        not make the second write 'random' (RMW pattern)."""
+        done = serve(
+            sim, ssd,
+            [
+                IOPackage(0, 4096, WRITE),
+                IOPackage(10**5, 4096, READ),
+                IOPackage(8, 4096, WRITE),
+            ],
+        )
+        spec = MEMORIGHT_SLC_32GB
+        assert done[2].service_time < spec.random_write_overhead
+        assert ssd.random_write_count == 1  # only the first (cold) write
+
+
+class TestPower:
+    def test_idle_power(self, sim, ssd):
+        sim.advance_to(5.0)
+        assert ssd.energy_between(0, 5.0) == pytest.approx(3.5 * 5.0)
+
+    def test_write_power_exceeds_read_power(self, sim, ssd):
+        spec = MEMORIGHT_SLC_32GB
+        assert spec.write_watts > spec.read_watts
+
+    def test_active_energy_recorded(self, sim, ssd):
+        serve(sim, ssd, [IOPackage(0, 1024 * 1024, READ)])
+        end = sim.now
+        energy = ssd.energy_between(0, end)
+        assert energy > MEMORIGHT_SLC_32GB.idle_watts * end * 0.999
+        assert energy == pytest.approx(MEMORIGHT_SLC_32GB.read_watts * end, rel=0.05)
+
+
+class TestCapacity:
+    def test_capacity_sectors(self, ssd):
+        assert ssd.capacity_sectors == 32 * 10**9 // 512
+
+    def test_completed_counter(self, sim, ssd):
+        serve(sim, ssd, [IOPackage(i * 8, 4096, READ) for i in range(7)])
+        assert ssd.completed_count == 7

@@ -1,0 +1,270 @@
+"""CLI tests (driven through main() with argv lists)."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.blktrace import read_trace, write_trace
+from repro.trace.srt import write_srt
+
+
+@pytest.fixture
+def trace_file(tmp_path, collected_trace):
+    path = tmp_path / "demo.replay"
+    write_trace(collected_trace, path)
+    return path
+
+
+class TestStats:
+    def test_stats_output(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "read ratio" in out
+        assert "bunches" in out
+
+
+class TestConvert:
+    def test_convert_srt(self, tmp_path, small_trace, capsys):
+        src = tmp_path / "in.srt"
+        write_srt(small_trace, src)
+        dst = tmp_path / "out.replay"
+        assert main(["convert", str(src), str(dst)]) == 0
+        assert read_trace(dst) == small_trace
+        assert "converted" in capsys.readouterr().out
+
+
+class TestCollectAndRepo:
+    def test_collect_limited(self, tmp_path, capsys):
+        repo_dir = tmp_path / "repo"
+        rc = main([
+            "collect", str(repo_dir), "--duration", "0.2", "--limit", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repository now holds 2 traces" in out
+        assert main(["repo", str(repo_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 traces" in out
+
+
+class TestReplay:
+    def test_replay_at_load(self, trace_file, capsys):
+        rc = main([
+            "replay", str(trace_file), "--load", "50", "--cycle", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "50%" in out
+        assert "IOPS/W" in out
+
+    def test_replay_with_time_scale(self, trace_file, capsys):
+        rc = main([
+            "replay", str(trace_file), "--load", "100", "--time-scale", "2.0",
+        ])
+        assert rc == 0
+
+    def test_bad_device_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["replay", str(trace_file), "--device", "floppy"])
+
+
+class TestProfile:
+    def test_profile_output(self, trace_file, capsys):
+        assert main(["profile", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "workload profile" in out
+        assert "burstiness" in out
+
+
+class TestSliceAndFit:
+    def test_slice_window(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "window.replay"
+        rc = main([
+            "slice", str(trace_file), str(out), "--start", "0.1",
+            "--end", "0.3",
+        ])
+        assert rc == 0
+        window = read_trace(out)
+        assert len(window) > 0
+        assert window[0].timestamp == 0.0  # rebased
+
+    def test_slice_empty_window_fails(self, trace_file, tmp_path):
+        rc = main([
+            "slice", str(trace_file), str(tmp_path / "x.replay"),
+            "--start", "900", "--end", "901",
+        ])
+        assert rc == 1
+
+    def test_fit_to_smaller_device(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "fitted.replay"
+        rc = main(["fit", str(trace_file), str(out), "100000"])
+        assert rc == 0
+        fitted = read_trace(out)
+        assert all(p.end_sector <= 100000 for p in fitted.packages())
+
+
+class TestDeterminism:
+    def test_full_pipeline_bit_identical(self, tmp_path, collected_trace):
+        """Same inputs ⇒ identical database contents, end to end."""
+        from repro.config import WorkloadMode
+        from repro.host.evaluation import EvaluationHost
+        from repro.storage.array import build_hdd_raid5
+        from repro.trace.repository import TraceRepository
+
+        def run(tag):
+            host = EvaluationHost(
+                device_factory=lambda: build_hdd_raid5(6),
+                device_label="hdd-raid5",
+                repository=TraceRepository(tmp_path / tag),
+                clock=lambda: 0.0,
+            )
+            mode = WorkloadMode(4096, 0.5, 0.0)
+            records = host.run_load_sweep(
+                mode, levels=(0.3, 0.7), trace=collected_trace
+            )
+            return [
+                (r.iops, r.mbps, r.mean_watts, r.energy_joules,
+                 r.mean_response)
+                for r in records
+            ]
+
+        assert run("a") == run("b")
+
+
+class TestServe:
+    def test_serve_max_tests(self, tmp_path, collected_trace, capsys):
+        """Start a node via the CLI in a thread, drive one remote test,
+        and watch it exit after --max-tests."""
+        import re
+        import threading
+
+        from repro.config import TestRequest, WorkloadMode
+        from repro.distributed.host_node import RemoteEvaluationHost
+        from repro.trace.repository import TraceName, TraceRepository
+
+        repo_dir = tmp_path / "repo"
+        repo = TraceRepository(repo_dir)
+        mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+        repo.store(
+            TraceName("hdd-raid5", 4096, 0.5, 0.0), collected_trace
+        )
+
+        rc = {}
+
+        def run_server():
+            rc["value"] = main([
+                "serve", str(repo_dir), "--max-tests", "1",
+                "--node-id", "cli-node",
+            ])
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        # The CLI prints the ephemeral port; poll captured stdout for it.
+        port = None
+        for _ in range(100):
+            out = capsys.readouterr().out
+            m = re.search(r"on 127\.0\.0\.1:(\d+)", out)
+            if m:
+                port = int(m.group(1))
+                break
+            threading.Event().wait(0.05)
+        assert port is not None
+        with RemoteEvaluationHost("127.0.0.1", port) as host:
+            record = host.run_test(TestRequest(mode=mode.at_load(0.5)))
+            assert record.iops > 0
+        thread.join(timeout=30)
+        assert rc["value"] == 0
+
+
+class TestHeadroom:
+    def test_headroom_search(self, tmp_path, capsys):
+        from repro.trace.blktrace import write_trace
+        from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+        light = Trace(
+            [Bunch(i * 0.05, [IOPackage(i * 8, 4096, READ)])
+             for i in range(60)]
+        )
+        path = tmp_path / "light.replay"
+        write_trace(light, path)
+        rc = main([
+            "headroom", str(path), "--slo-ms", "50",
+            "--max-intensity", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "intensity" in out
+        assert "headroom" in out or "sustains" in out
+
+    def test_headroom_impossible_slo(self, tmp_path, capsys):
+        from repro.trace.blktrace import write_trace
+        from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+        trace = Trace(
+            [Bunch(i * 0.05, [IOPackage(i * 10**6, 4096, READ)])
+             for i in range(20)]
+        )
+        path = tmp_path / "t.replay"
+        write_trace(trace, path)
+        rc = main(["headroom", str(path), "--slo-ms", "0.0001"])
+        assert rc == 1
+        assert "failed" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_traces(self, tmp_path, collected_trace, capsys):
+        from repro.core.proportional_filter import filter_trace
+        from repro.trace.blktrace import write_trace
+
+        a = tmp_path / "a.replay"
+        b = tmp_path / "b.replay"
+        write_trace(collected_trace, a)
+        write_trace(filter_trace(collected_trace, 0.5), b)
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "request size KS" in out
+        assert "content distortion" in out
+
+
+class TestReportAndExport:
+    @pytest.fixture
+    def populated_db(self, tmp_path, trace_file):
+        db = tmp_path / "results.sqlite"
+        main(["sweep", str(trace_file), "--database", str(db)])
+        return db
+
+    def test_report_to_stdout(self, populated_db, capsys):
+        capsys.readouterr()
+        assert main(["report", str(populated_db)]) == 0
+        out = capsys.readouterr().out
+        assert "# TRACER evaluation" in out
+        assert "| load % |" in out
+
+    def test_report_to_file(self, populated_db, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main([
+            "report", str(populated_db), "--output", str(out_file),
+            "--title", "my run",
+        ]) == 0
+        assert out_file.read_text().startswith("# my run")
+
+    def test_export_csv(self, populated_db, tmp_path, capsys):
+        csv_file = tmp_path / "records.csv"
+        assert main(["export", str(populated_db), str(csv_file)]) == 0
+        out = capsys.readouterr().out
+        assert "exported 10 records" in out
+        assert csv_file.exists()
+
+
+class TestSweep:
+    def test_sweep_with_database(self, trace_file, tmp_path, capsys):
+        db = tmp_path / "results.sqlite"
+        rc = main([
+            "sweep", str(trace_file), "--database", str(db),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "100%" in out and "10%" in out
+        from repro.host.database import ResultsDatabase
+
+        with ResultsDatabase(db) as database:
+            assert database.count() == 10

@@ -1,0 +1,122 @@
+"""WorkloadMode / ReplayConfig / TestRequest validation and serialisation."""
+
+import pytest
+
+from repro.config import (
+    LOAD_LEVELS,
+    MATRIX_RANDOM_RATIOS,
+    MATRIX_READ_RATIOS,
+    MATRIX_REQUEST_SIZES,
+    ReplayConfig,
+    TestRequest as TRequest,
+    WorkloadMode,
+)
+from repro.errors import WorkloadError
+
+
+class TestWorkloadMode:
+    def test_valid_mode(self):
+        mode = WorkloadMode(4096, 0.5, 0.25)
+        assert mode.request_size == 4096
+        assert mode.load_proportion == 1.0
+
+    def test_request_size_coerced_to_int(self):
+        assert WorkloadMode(4096.0, 0, 0).request_size == 4096
+
+    @pytest.mark.parametrize("rs", [0, -1, -4096])
+    def test_bad_request_size(self, rs):
+        with pytest.raises(WorkloadError):
+            WorkloadMode(rs, 0.5, 0.5)
+
+    @pytest.mark.parametrize("ratio", [-0.01, 1.01, 2.0])
+    def test_bad_random_ratio(self, ratio):
+        with pytest.raises(WorkloadError):
+            WorkloadMode(4096, ratio, 0.5)
+
+    @pytest.mark.parametrize("ratio", [-0.5, 1.5])
+    def test_bad_read_ratio(self, ratio):
+        with pytest.raises(WorkloadError):
+            WorkloadMode(4096, 0.5, ratio)
+
+    def test_bad_load_proportion(self):
+        with pytest.raises(WorkloadError):
+            WorkloadMode(4096, 0.5, 0.5, load_proportion=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadMode(4096, 0.5, 0.5, load_proportion=-0.1)
+
+    def test_load_above_one_allowed(self):
+        # Time scaling can exceed 100 % intensity.
+        mode = WorkloadMode(4096, 0.5, 0.5, load_proportion=2.0)
+        assert mode.load_proportion == 2.0
+
+    def test_at_load(self):
+        mode = WorkloadMode(4096, 0.5, 0.25)
+        scaled = mode.at_load(0.3)
+        assert scaled.load_proportion == 0.3
+        assert scaled.request_size == mode.request_size
+        assert mode.load_proportion == 1.0  # original untouched
+
+    def test_dict_roundtrip(self):
+        mode = WorkloadMode(16384, 0.75, 0.25, load_proportion=0.4)
+        assert WorkloadMode.from_dict(mode.to_dict()) == mode
+
+    def test_frozen(self):
+        mode = WorkloadMode(4096, 0.5, 0.25)
+        with pytest.raises(AttributeError):
+            mode.request_size = 8192
+
+
+class TestReplayConfig:
+    def test_defaults(self):
+        cfg = ReplayConfig()
+        assert cfg.sampling_cycle == 1.0
+        assert cfg.time_scale == 1.0
+        assert cfg.group_size == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sampling_cycle": 0.0},
+            {"sampling_cycle": -1.0},
+            {"time_scale": 0.0},
+            {"group_size": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            ReplayConfig(**kwargs)
+
+
+class TestTestRequest:
+    def test_dict_roundtrip(self):
+        request = TRequest(
+            mode=WorkloadMode(4096, 0.5, 0.25, load_proportion=0.6),
+            replay=ReplayConfig(sampling_cycle=0.5, time_scale=2.0, group_size=20),
+            label="fig8",
+        )
+        restored = TRequest.from_dict(request.to_dict())
+        assert restored.mode == request.mode
+        assert restored.replay == request.replay
+        assert restored.label == "fig8"
+
+    def test_from_dict_defaults(self):
+        request = TRequest.from_dict(
+            {"mode": {"request_size": 512, "random_ratio": 0, "read_ratio": 1}}
+        )
+        assert request.replay == ReplayConfig()
+        assert request.label == ""
+
+
+class TestMatrixConstants:
+    def test_125_cells(self):
+        assert (
+            len(MATRIX_REQUEST_SIZES)
+            * len(MATRIX_READ_RATIOS)
+            * len(MATRIX_RANDOM_RATIOS)
+            == 125
+        )
+
+    def test_load_levels(self):
+        assert len(LOAD_LEVELS) == 10
+        assert LOAD_LEVELS[0] == pytest.approx(0.1)
+        assert LOAD_LEVELS[-1] == pytest.approx(1.0)

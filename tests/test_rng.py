@@ -1,0 +1,46 @@
+"""Seeded RNG helper tests."""
+
+import numpy as np
+
+from repro.rng import DEFAULT_SEED, derive_seed, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(123).random(10)
+        b = make_rng(123).random(10)
+        assert np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = make_rng(None).random(5)
+        b = make_rng(DEFAULT_SEED).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(9)
+        assert make_rng(gen) is gen
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_base_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_concatenation_not_ambiguous(self):
+        # ("ab",) must differ from ("a", "b") — the separator matters.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestSpawn:
+    def test_spawn_independent_streams(self):
+        a = spawn(5, "disk0").random(10)
+        b = spawn(5, "disk1").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_reproducible(self):
+        assert np.array_equal(spawn(5, "x").random(4), spawn(5, "x").random(4))

@@ -1,0 +1,58 @@
+"""Unit conversion tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestSectorConversions:
+    def test_sectors_to_bytes(self):
+        assert units.sectors_to_bytes(1) == 512
+        assert units.sectors_to_bytes(8) == 4096
+        assert units.sectors_to_bytes(0) == 0
+
+    def test_bytes_to_sectors_exact(self):
+        assert units.bytes_to_sectors(512) == 1
+        assert units.bytes_to_sectors(4096) == 8
+
+    def test_bytes_to_sectors_rounds_up(self):
+        assert units.bytes_to_sectors(1) == 1
+        assert units.bytes_to_sectors(513) == 2
+        assert units.bytes_to_sectors(4097) == 9
+
+    def test_bytes_to_sectors_nonpositive(self):
+        assert units.bytes_to_sectors(0) == 0
+        assert units.bytes_to_sectors(-100) == 0
+
+    def test_roundtrip_is_cover(self):
+        for n in (1, 511, 512, 513, 100_000):
+            assert units.sectors_to_bytes(units.bytes_to_sectors(n)) >= n
+
+
+class TestTimeConversions:
+    def test_ns_roundtrip(self):
+        for sec in (0.0, 0.001, 1.0, 123.456789):
+            ns = units.seconds_to_ns(sec)
+            assert abs(units.ns_to_seconds(ns) - sec) < 1e-9
+
+    def test_seconds_to_ns_rounds(self):
+        assert units.seconds_to_ns(1e-9) == 1
+        assert units.seconds_to_ns(1.4e-9) == 1
+        assert units.seconds_to_ns(1.6e-9) == 2
+
+
+class TestPowerAndData:
+    def test_watts_to_kilowatts(self):
+        assert units.watts_to_kilowatts(1000.0) == 1.0
+        assert units.watts_to_kilowatts(98.0) == pytest.approx(0.098)
+
+    def test_bytes_to_mb_decimal(self):
+        # MBPS uses decimal megabytes.
+        assert units.bytes_to_mb(1_000_000) == 1.0
+        assert units.mb_to_bytes(2.5) == 2_500_000
+
+    def test_constants_consistent(self):
+        assert units.MiB == 1024 * units.KiB
+        assert units.GiB == 1024 * units.MiB
+        assert units.GB == 1000 * units.MB
+        assert units.SECTOR_BYTES == 512

@@ -1,0 +1,168 @@
+"""Thermal model, thermistor, and monitor tests."""
+
+import math
+
+import pytest
+
+from repro.power.model import PowerTimeline
+from repro.sim.engine import Simulator
+from repro.thermal.model import (
+    HDD_THERMAL,
+    SSD_THERMAL,
+    ThermalError,
+    ThermalModel,
+    ThermalSpec,
+)
+from repro.thermal.monitor import ThermalMonitor
+from repro.thermal.sensor import (
+    IDEAL_THERMISTOR,
+    SMART_THERMISTOR,
+    Thermistor,
+    ThermistorSpec,
+)
+
+SPEC = ThermalSpec(thermal_resistance=1.0, time_constant=100.0, ambient=25.0)
+
+
+class TestThermalModel:
+    def test_starts_at_idle_equilibrium(self):
+        tl = PowerTimeline(10.0)
+        model = ThermalModel(tl, SPEC)
+        assert model.current_temperature == pytest.approx(35.0)
+
+    def test_constant_power_stays_at_equilibrium(self):
+        tl = PowerTimeline(10.0)
+        model = ThermalModel(tl, SPEC)
+        assert model.temperature_at(500.0) == pytest.approx(35.0, abs=1e-6)
+
+    def test_step_response_exponential(self):
+        """A power step's response must follow 1 - exp(-t/tau)."""
+        tl = PowerTimeline(0.0)
+        tl.add_segment(0.0, 10_000.0, 20.0)  # 20 W from t=0
+        model = ThermalModel(tl, SPEC, start_temperature=25.0)
+        # At t = tau, the rise should be ~63.2 % of the 20 K step.
+        t_tau = model.temperature_at(100.0)
+        expected = 25.0 + 20.0 * (1 - math.exp(-1.0))
+        assert t_tau == pytest.approx(expected, abs=0.2)
+        # Settles at ambient + P*Rth.
+        assert model.temperature_at(1500.0) == pytest.approx(45.0, abs=0.1)
+
+    def test_cooling_after_burst(self):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(0.0, 50.0, 30.0)
+        model = ThermalModel(tl, SPEC, start_temperature=25.0)
+        hot = model.temperature_at(50.0)
+        cooled = model.temperature_at(700.0)
+        assert hot > cooled
+        assert cooled == pytest.approx(25.0, abs=0.5)
+
+    def test_history_interpolation(self):
+        tl = PowerTimeline(10.0)
+        model = ThermalModel(tl, SPEC)
+        model.temperature_at(10.0)
+        # Query into the past: served from history, no error.
+        assert model.temperature_at(5.0) == pytest.approx(35.0, abs=1e-6)
+
+    def test_headroom(self):
+        tl = PowerTimeline(10.0)
+        model = ThermalModel(tl, SPEC)
+        assert model.headroom_at(1.0) == pytest.approx(60.0 - 35.0)
+
+    def test_higher_power_higher_steady_state(self):
+        low = PowerTimeline(5.0)
+        high = PowerTimeline(15.0)
+        m_low = ThermalModel(low, SPEC)
+        m_high = ThermalModel(high, SPEC)
+        assert m_high.temperature_at(1000.0) > m_low.temperature_at(1000.0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ThermalError):
+            ThermalSpec(thermal_resistance=0.0, time_constant=10.0)
+        with pytest.raises(ThermalError):
+            ThermalSpec(thermal_resistance=1.0, time_constant=-1.0)
+        with pytest.raises(ThermalError):
+            ThermalModel(PowerTimeline(1.0), SPEC, step=0.0)
+
+    def test_builtin_specs_sane(self):
+        # A 10 W HDD should idle in the 35-40 °C range.
+        assert 35.0 <= HDD_THERMAL.steady_state(10.0) <= 40.0
+        # A 3.5 W SSD idles low-30s.
+        assert 30.0 <= SSD_THERMAL.steady_state(3.5) <= 35.0
+
+
+class TestThermistor:
+    def test_ideal_passthrough(self):
+        sensor = Thermistor(IDEAL_THERMISTOR)
+        assert sensor.read(37.3) == pytest.approx(37.3)
+
+    def test_smart_quantises_to_whole_degrees(self):
+        sensor = Thermistor(SMART_THERMISTOR)
+        assert sensor.read(37.3) == 37.0
+        assert sensor.read(37.6) == 38.0
+
+    def test_offset(self):
+        sensor = Thermistor(ThermistorSpec(quantisation=0.0, offset=2.0))
+        assert sensor.read(30.0) == pytest.approx(32.0)
+
+    def test_noise_seeded(self):
+        spec = ThermistorSpec(quantisation=0.0, noise=0.5)
+        a = Thermistor(spec, seed=1).read(30.0)
+        b = Thermistor(spec, seed=1).read(30.0)
+        assert a == b
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ThermalError):
+            ThermistorSpec(noise=-1.0)
+
+
+class TestThermalMonitor:
+    def test_samples_every_cycle(self, sim):
+        tl = PowerTimeline(10.0)
+        monitor = ThermalMonitor(
+            {"d0": ThermalModel(tl, SPEC)}, sampling_cycle=1.0,
+            sensor=Thermistor(IDEAL_THERMISTOR),
+        )
+        monitor.start(sim)
+        sim.run(until=5.0)
+        monitor.stop()
+        series = monitor.device_series("d0")
+        assert len(series) >= 5
+        assert all(s.true_celsius == pytest.approx(35.0) for s in series)
+
+    def test_tracks_heating_under_load(self, sim):
+        tl = PowerTimeline(0.0)
+        tl.add_segment(0.0, 200.0, 25.0)
+        monitor = ThermalMonitor(
+            {"d0": ThermalModel(tl, SPEC, start_temperature=25.0)},
+            sampling_cycle=10.0,
+        )
+        monitor.start(sim)
+        sim.run(until=200.0)
+        monitor.stop()
+        series = monitor.device_series("d0")
+        temps = [s.true_celsius for s in series]
+        assert temps == sorted(temps)  # monotone heating
+        assert monitor.max_temperature("d0") > 35.0
+
+    def test_multiple_devices(self, sim):
+        models = {
+            "cool": ThermalModel(PowerTimeline(5.0), SPEC),
+            "warm": ThermalModel(PowerTimeline(20.0), SPEC),
+        }
+        monitor = ThermalMonitor(models, sampling_cycle=1.0)
+        monitor.start(sim)
+        sim.run(until=3.0)
+        monitor.stop()
+        assert monitor.max_temperature("warm") > monitor.max_temperature("cool")
+
+    def test_lifecycle_errors(self, sim):
+        monitor = ThermalMonitor({"d": ThermalModel(PowerTimeline(1.0), SPEC)})
+        with pytest.raises(ThermalError):
+            monitor.stop()
+        monitor.start(sim)
+        with pytest.raises(ThermalError):
+            monitor.start(sim)
+        with pytest.raises(ThermalError):
+            ThermalMonitor({})
+        with pytest.raises(ThermalError):
+            monitor.max_temperature("missing")

@@ -1,0 +1,131 @@
+"""blkparse ASCII importer tests."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.blkparse import (
+    blkparse_to_trace,
+    convert_blkparse_file,
+    parse_blkparse,
+    parse_blkparse_line,
+)
+from repro.trace.blktrace import read_trace
+from repro.trace.record import READ, WRITE
+
+LINE_D_WRITE = "  8,0    3      102     0.000481  1234  D   W 816 + 8 [kworker]"
+LINE_D_READ = "  8,0    1       77     0.001200   999  D   R 1024 + 16 [fio]"
+LINE_Q = "  8,0    1       76     0.001100   999  Q   R 1024 + 16 [fio]"
+LINE_C = "  8,0    1       80     0.002000   999  C   R 1024 + 16 [fio]"
+LINE_FLUSH = "  8,0    0        5     0.000900    42  D   FN 0 + 0 [jbd2]"
+SUMMARY = "CPU0 (8,0):"
+
+
+class TestParseLine:
+    def test_write_event(self):
+        rec = parse_blkparse_line(LINE_D_WRITE)
+        assert rec.op == WRITE
+        assert rec.offset_bytes == 816 * 512
+        assert rec.length_bytes == 8 * 512
+        assert rec.timestamp == pytest.approx(0.000481)
+
+    def test_read_event(self):
+        rec = parse_blkparse_line(LINE_D_READ)
+        assert rec.op == READ
+        assert rec.length_bytes == 16 * 512
+
+    def test_device_encoding(self):
+        rec = parse_blkparse_line(LINE_D_WRITE)
+        assert rec.device == (8 << 20) | 0
+
+    def test_flush_event_skipped(self):
+        assert parse_blkparse_line(LINE_FLUSH) is None
+
+    def test_garbage_raises(self):
+        with pytest.raises(TraceFormatError):
+            parse_blkparse_line("not an event at all")
+
+    def test_missing_process_field_ok(self):
+        rec = parse_blkparse_line(
+            "8,16  0  1  1.500000  55  D  WS 2048 + 8"
+        )
+        assert rec.op == WRITE
+
+
+class TestStreamParsing:
+    def test_filters_by_action(self):
+        lines = [LINE_Q, LINE_D_READ, LINE_C]
+        d_records = list(parse_blkparse(lines, action="D"))
+        q_records = list(parse_blkparse(lines, action="Q"))
+        assert len(d_records) == 1
+        assert len(q_records) == 1
+        assert d_records[0].timestamp == pytest.approx(0.0012)
+
+    def test_skips_noise_by_default(self):
+        lines = [SUMMARY, "", LINE_D_WRITE, "Total (8,0): 500 events"]
+        records = list(parse_blkparse(lines))
+        assert len(records) == 1
+
+    def test_strict_raises_on_noise(self):
+        with pytest.raises(TraceFormatError):
+            list(parse_blkparse([SUMMARY], strict=True))
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(TraceFormatError):
+            list(parse_blkparse([], action="Z"))
+
+
+class TestToTrace:
+    def test_builds_bunched_trace(self):
+        lines = [
+            "8,0 0 1 0.000000 1 D R 0 + 8 [a]",
+            "8,0 1 2 0.000300 1 D R 64 + 8 [a]",      # same bunch (window)
+            "8,0 0 3 0.050000 1 D W 128 + 8 [a]",
+        ]
+        trace = blkparse_to_trace(lines, bunch_window=0.001)
+        assert len(trace) == 2
+        assert len(trace[0]) == 2
+        assert trace.package_count == 3
+
+    def test_out_of_order_cpu_streams_sorted(self):
+        lines = [
+            "8,0 1 2 0.002000 1 D R 64 + 8 [a]",
+            "8,0 0 1 0.001000 1 D R 0 + 8 [a]",
+        ]
+        trace = blkparse_to_trace(lines, bunch_window=0.0)
+        assert trace[0].packages[0].sector == 0
+
+    def test_device_filter(self):
+        lines = [
+            "8,0 0 1 0.000000 1 D R 0 + 8 [a]",
+            "8,16 0 2 0.001000 1 D R 64 + 8 [a]",
+        ]
+        dev = (8 << 20) | 16
+        trace = blkparse_to_trace(lines, device=dev)
+        assert trace.package_count == 1
+        assert trace[0].packages[0].sector == 64
+
+    def test_file_conversion(self, tmp_path):
+        src = tmp_path / "out.blkparse"
+        src.write_text(
+            "CPU0 (sda):\n"
+            "8,0 0 1 0.000000 1 D R 0 + 8 [fio]\n"
+            "8,0 0 2 0.010000 1 D W 512 + 16 [fio]\n"
+        )
+        dst = tmp_path / "out.replay"
+        trace = convert_blkparse_file(src, dst)
+        assert read_trace(dst) == trace
+        assert trace.package_count == 2
+
+    def test_converted_trace_replays(self, tmp_path):
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_hdd_raid5
+
+        lines = "\n".join(
+            f"8,0 0 {i} {i * 0.01:.6f} 1 D R {i * 64} + 8 [app]"
+            for i in range(1, 40)
+        )
+        src = tmp_path / "t.blkparse"
+        src.write_text(lines + "\n")
+        trace = convert_blkparse_file(src, tmp_path / "t.replay")
+        result = replay_trace(trace, build_hdd_raid5(6), 1.0)
+        assert result.completed == 39

@@ -1,0 +1,93 @@
+"""Binary codec tests (.replay format, Fig. 4 layout)."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.blktrace import (
+    BlktraceCodec,
+    dumps,
+    loads,
+    read_trace,
+    write_trace,
+)
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self, small_trace):
+        assert loads(dumps(small_trace)) == small_trace
+
+    def test_file_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        restored = read_trace(path)
+        assert restored == small_trace
+        assert restored.label == "t"
+
+    def test_uneven_roundtrip(self, uneven_trace):
+        assert loads(dumps(uneven_trace)) == uneven_trace
+
+    def test_empty_trace_roundtrip(self):
+        trace = Trace([])
+        assert loads(dumps(trace)) == trace
+
+    def test_large_values_roundtrip(self):
+        # 64-bit sectors, large sizes, big timestamps.
+        trace = Trace(
+            [Bunch(86400.0, [IOPackage(2**40, 1024 * 1024, WRITE)])]
+        )
+        restored = loads(dumps(trace))
+        assert restored[0].packages[0].sector == 2**40
+
+    def test_timestamps_quantised_to_ns(self):
+        trace = Trace([Bunch(1 / 3, [IOPackage(0, 512, READ)])])
+        restored = loads(dumps(trace))
+        assert restored[0].timestamp == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_written_bytes_returned(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        n = write_trace(small_trace, path)
+        assert n == path.stat().st_size
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        data = b"XXXX" + dumps(Trace([]))[4:]
+        with pytest.raises(TraceFormatError, match="magic"):
+            loads(data)
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            loads(b"TR")
+
+    def test_truncated_bunch(self, small_trace):
+        data = dumps(small_trace)
+        with pytest.raises(TraceFormatError):
+            loads(data[: len(data) // 2])
+
+    def test_bad_version(self):
+        data = bytearray(dumps(Trace([])))
+        data[4] = 99  # version field
+        with pytest.raises(TraceFormatError, match="version"):
+            loads(bytes(data))
+
+    def test_declared_count_exceeds_content(self, small_trace):
+        data = bytearray(dumps(small_trace))
+        # Header count is a u64 at offset 8; bump it.
+        data[8] = 0xFF
+        with pytest.raises(TraceFormatError):
+            loads(bytes(data))
+
+
+class TestCodecStreams:
+    def test_encode_to_stream(self, small_trace):
+        buf = io.BytesIO()
+        written = BlktraceCodec().encode(small_trace, buf)
+        assert written == len(buf.getvalue())
+
+    def test_decode_label(self, small_trace):
+        buf = io.BytesIO(dumps(small_trace))
+        trace = BlktraceCodec().decode(buf, label="named")
+        assert trace.label == "named"

@@ -1,0 +1,56 @@
+"""Golden-file pin of the binary trace format.
+
+The `.replay` layout is an interchange format: traces written today
+must load forever.  This test freezes the exact byte encoding of a
+known trace; if it ever fails, the format changed and needs a version
+bump (and a migration path), not a test update.
+"""
+
+from repro.trace.blktrace import dumps, loads
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+GOLDEN_TRACE = Trace(
+    [
+        Bunch(0.0, [IOPackage(0, 4096, READ)]),
+        Bunch(
+            0.5,
+            [IOPackage(8, 512, WRITE), IOPackage(2**33, 1024 * 1024, READ)],
+        ),
+    ]
+)
+
+GOLDEN_BYTES = bytes.fromhex(
+    # header: magic "TRCR", version 1, flags 0, bunch_count 2
+    "54524352" "0100" "0000" "0200000000000000"
+    # bunch 0: ts 0 ns, 1 package
+    "0000000000000000" "01000000"
+    #   package: sector 0, nbytes 4096, op 0 (READ), pad
+    "0000000000000000" "00100000" "00" "000000"
+    # bunch 1: ts 500_000_000 ns, 2 packages
+    "0065cd1d00000000" "02000000"
+    #   package: sector 8, nbytes 512, op 1 (WRITE), pad
+    "0800000000000000" "00020000" "01" "000000"
+    #   package: sector 2^33, nbytes 1 MiB, op 0, pad
+    "0000000002000000" "00001000" "00" "000000"
+)
+
+
+class TestGoldenFormat:
+    def test_encoding_matches_golden_bytes(self):
+        assert dumps(GOLDEN_TRACE) == GOLDEN_BYTES
+
+    def test_golden_bytes_decode(self):
+        assert loads(GOLDEN_BYTES) == GOLDEN_TRACE
+
+    def test_header_fields_at_fixed_offsets(self):
+        data = dumps(GOLDEN_TRACE)
+        assert data[0:4] == b"TRCR"
+        assert int.from_bytes(data[4:6], "little") == 1   # version
+        assert int.from_bytes(data[8:16], "little") == 2  # bunch count
+
+    def test_package_record_is_16_bytes(self):
+        one = Trace([Bunch(0.0, [IOPackage(0, 512, READ)])])
+        two = Trace(
+            [Bunch(0.0, [IOPackage(0, 512, READ), IOPackage(8, 512, READ)])]
+        )
+        assert len(dumps(two)) - len(dumps(one)) == 16

@@ -1,0 +1,168 @@
+"""Trace manipulation utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.trace import ops
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self, small_trace):
+        window = ops.time_window(small_trace, 10 / 64, 20 / 64)
+        assert all(10 / 64 <= b.timestamp < 20 / 64 for b in window)
+        assert len(window) == 10
+
+    def test_bad_window_rejected(self, small_trace):
+        with pytest.raises(TraceValidationError):
+            ops.time_window(small_trace, 1.0, 0.5)
+
+    def test_empty_window(self, small_trace):
+        assert len(ops.time_window(small_trace, 50.0, 60.0)) == 0
+
+
+class TestRebase:
+    def test_rebase_to_zero(self):
+        trace = Trace([Bunch(5.0, [IOPackage(0, 512, READ)]),
+                       Bunch(6.0, [IOPackage(8, 512, READ)])])
+        rebased = ops.rebase(trace)
+        assert rebased[0].timestamp == 0.0
+        assert rebased[1].timestamp == 1.0
+
+    def test_rebase_to_origin(self):
+        trace = Trace([Bunch(5.0, [IOPackage(0, 512, READ)])])
+        assert ops.rebase(trace, origin=2.0)[0].timestamp == 2.0
+
+    def test_rebase_empty(self):
+        assert len(ops.rebase(Trace([]))) == 0
+
+
+class TestConcat:
+    def test_back_to_back(self):
+        a = Trace([Bunch(0.0, [IOPackage(0, 512, READ)]),
+                   Bunch(1.0, [IOPackage(8, 512, READ)])])
+        b = Trace([Bunch(10.0, [IOPackage(16, 512, WRITE)])])
+        joined = ops.concat([a, b], gap=0.5)
+        stamps = [bunch.timestamp for bunch in joined]
+        assert stamps == [0.0, 1.0, 1.5]
+
+    def test_skips_empty(self):
+        a = Trace([Bunch(0.0, [IOPackage(0, 512, READ)])])
+        assert len(ops.concat([Trace([]), a, Trace([])])) == 1
+
+
+class TestMerge:
+    def test_sorted_by_time(self):
+        a = Trace([Bunch(0.0, [IOPackage(0, 512, READ)]),
+                   Bunch(2.0, [IOPackage(8, 512, READ)])])
+        b = Trace([Bunch(1.0, [IOPackage(16, 512, WRITE)])])
+        merged = ops.merge([a, b])
+        assert [x.timestamp for x in merged] == [0.0, 1.0, 2.0]
+
+    def test_stable_on_ties(self):
+        a = Trace([Bunch(1.0, [IOPackage(0, 512, READ)])])
+        b = Trace([Bunch(1.0, [IOPackage(99, 512, WRITE)])])
+        merged = ops.merge([a, b])
+        assert merged[0].packages[0].sector == 0
+        assert merged[1].packages[0].sector == 99
+
+
+class TestSplitByOp:
+    def test_partition(self, small_trace):
+        reads, writes = ops.split_by_op(small_trace)
+        assert all(p.is_read for p in reads.packages())
+        assert all(p.is_write for p in writes.packages())
+        total = reads.package_count + writes.package_count
+        assert total == small_trace.package_count
+
+    def test_timestamps_preserved(self):
+        trace = Trace([Bunch(3.0, [IOPackage(0, 512, READ),
+                                   IOPackage(8, 512, WRITE)])])
+        reads, writes = ops.split_by_op(trace)
+        assert reads[0].timestamp == 3.0
+        assert writes[0].timestamp == 3.0
+
+
+class TestFitToCapacity:
+    def _big_trace(self):
+        return Trace(
+            [
+                Bunch(i / 64, [IOPackage(i * 10**6, 4096, READ)])
+                for i in range(1, 20)
+            ]
+        )
+
+    def test_already_fitting_unchanged(self, small_trace):
+        out = ops.fit_to_capacity(small_trace, 10**9)
+        assert out == small_trace
+
+    def test_scale_mode_fits_and_preserves_order(self):
+        trace = self._big_trace()
+        out = ops.fit_to_capacity(trace, 100_000, mode="scale")
+        assert all(p.end_sector <= 100_000 for p in out.packages())
+        starts = [p.sector for p in out.packages()]
+        assert starts == sorted(starts)  # relative layout preserved
+
+    def test_wrap_preserves_sequential_runs(self):
+        # A strictly sequential trace stays sequential under wrap
+        # (scale compresses the intra-run gaps instead).
+        trace = Trace(
+            [Bunch(i / 64, [IOPackage(10**6 + i * 8, 4096, READ)])
+             for i in range(50)]
+        )
+        out = ops.fit_to_capacity(trace, 2**18, mode="wrap")
+        from repro.trace.stats import compute_stats
+
+        assert compute_stats(out).random_ratio < 0.1
+
+    def test_wrap_mode_fits(self):
+        out = ops.fit_to_capacity(self._big_trace(), 100_000, mode="wrap")
+        assert all(p.end_sector <= 100_000 for p in out.packages())
+
+    def test_sizes_and_ops_untouched(self):
+        trace = self._big_trace()
+        out = ops.fit_to_capacity(trace, 50_000, mode="scale")
+        assert [p.nbytes for p in out.packages()] == [
+            p.nbytes for p in trace.packages()
+        ]
+        assert [p.op for p in out.packages()] == [
+            p.op for p in trace.packages()
+        ]
+        assert [b.timestamp for b in out] == [b.timestamp for b in trace]
+
+    def test_oversize_request_rejected(self):
+        trace = Trace([Bunch(0.0, [IOPackage(0, 10**9, READ)])])
+        with pytest.raises(TraceValidationError):
+            ops.fit_to_capacity(trace, 1000)
+
+    def test_validation(self, small_trace):
+        with pytest.raises(TraceValidationError):
+            ops.fit_to_capacity(small_trace, 0)
+        with pytest.raises(TraceValidationError):
+            ops.fit_to_capacity(small_trace, 100, mode="teleport")
+
+    def test_fitted_trace_replays_on_small_array(self, collected_trace):
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_ssd_raid5
+
+        ssd = build_ssd_raid5(4)
+        fitted = ops.fit_to_capacity(collected_trace, ssd.capacity_sectors)
+        result = replay_trace(fitted, ssd, 1.0)
+        assert result.completed == collected_trace.package_count
+
+
+class TestInterarrival:
+    def test_values(self, small_trace):
+        gaps = ops.interarrival_times(small_trace)
+        assert len(gaps) == len(small_trace) - 1
+        assert np.allclose(gaps, 1 / 64)
+
+    def test_short_traces(self):
+        assert len(ops.interarrival_times(Trace([]))) == 0
+        single = Trace([Bunch(0.0, [IOPackage(0, 512, READ)])])
+        assert len(ops.interarrival_times(single)) == 0
+
+    def test_first_n(self, small_trace):
+        assert len(ops.first_n_bunches(small_trace, 7)) == 7
+        assert len(ops.first_n_bunches(small_trace, -3)) == 0

@@ -1,0 +1,83 @@
+"""Streaming reader/writer tests."""
+
+import pytest
+
+from repro.errors import TraceFormatError, TraceValidationError
+from repro.trace.blktrace import read_trace, write_trace
+from repro.trace.reader import TraceReader
+from repro.trace.record import READ, Bunch, IOPackage, Trace
+from repro.trace.writer import TraceWriter
+
+
+class TestTraceWriter:
+    def test_incremental_write_matches_bulk(self, small_trace, tmp_path):
+        bulk = tmp_path / "bulk.replay"
+        inc = tmp_path / "inc.replay"
+        write_trace(small_trace, bulk)
+        with TraceWriter(inc) as writer:
+            for bunch in small_trace:
+                writer.append(bunch)
+        assert inc.read_bytes() == bulk.read_bytes()
+
+    def test_count_tracked(self, small_trace, tmp_path):
+        with TraceWriter(tmp_path / "t.replay") as writer:
+            for bunch in small_trace:
+                writer.append(bunch)
+            assert writer.count == len(small_trace)
+
+    def test_out_of_order_rejected(self, tmp_path):
+        with TraceWriter(tmp_path / "t.replay") as writer:
+            writer.append(Bunch(1.0, [IOPackage(0, 512, READ)]))
+            with pytest.raises(TraceValidationError):
+                writer.append(Bunch(0.5, [IOPackage(0, 512, READ)]))
+
+    def test_equal_timestamps_allowed(self, tmp_path):
+        path = tmp_path / "t.replay"
+        with TraceWriter(path) as writer:
+            writer.append(Bunch(1.0, [IOPackage(0, 512, READ)]))
+            writer.append(Bunch(1.0, [IOPackage(8, 512, READ)]))
+        assert len(read_trace(path)) == 2
+
+    def test_close_idempotent(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.replay")
+        writer.close()
+        writer.close()
+
+    def test_empty_file_valid(self, tmp_path):
+        path = tmp_path / "empty.replay"
+        with TraceWriter(path):
+            pass
+        assert len(read_trace(path)) == 0
+
+
+class TestTraceReader:
+    def test_streaming_matches_bulk(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        with TraceReader(path) as reader:
+            assert reader.bunch_count == len(small_trace)
+            bunches = list(reader)
+        assert Trace(bunches) == small_trace
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.replay"
+        path.write_bytes(b"not a trace at all")
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_truncated_body_detected(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        with TraceReader(path) as reader:
+            with pytest.raises(TraceFormatError):
+                list(reader)
+
+    def test_context_manager_closes(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        reader = TraceReader(path)
+        with reader:
+            pass
+        assert reader._fh.closed

@@ -1,0 +1,111 @@
+"""IOPackage / Bunch / Trace record tests."""
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+
+class TestIOPackage:
+    def test_basic_fields(self):
+        pkg = IOPackage(100, 4096, READ)
+        assert pkg.sector == 100
+        assert pkg.nbytes == 4096
+        assert pkg.is_read and not pkg.is_write
+
+    def test_sector_math(self):
+        pkg = IOPackage(10, 4096, WRITE)
+        assert pkg.sectors == 8
+        assert pkg.end_sector == 18
+
+    def test_partial_sector_rounds_up(self):
+        pkg = IOPackage(0, 513, READ)
+        assert pkg.sectors == 2
+        assert pkg.end_sector == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sector": -1, "nbytes": 512, "op": READ},
+            {"sector": 0, "nbytes": 0, "op": READ},
+            {"sector": 0, "nbytes": -512, "op": READ},
+            {"sector": 0, "nbytes": 512, "op": 7},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(TraceValidationError):
+            IOPackage(**kwargs)
+
+    def test_hashable_and_equal(self):
+        assert IOPackage(1, 512, READ) == IOPackage(1, 512, READ)
+        assert len({IOPackage(1, 512, READ), IOPackage(1, 512, READ)}) == 1
+
+
+class TestBunch:
+    def test_construction(self):
+        bunch = Bunch(1.5, [IOPackage(0, 512, READ), IOPackage(8, 512, WRITE)])
+        assert len(bunch) == 2
+        assert bunch.timestamp == 1.5
+        assert bunch.nbytes == 1024
+        assert bunch.read_count == 1
+
+    def test_empty_bunch_rejected(self):
+        with pytest.raises(TraceValidationError):
+            Bunch(0.0, [])
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceValidationError):
+            Bunch(-0.1, [IOPackage(0, 512, READ)])
+
+    def test_shifted(self):
+        bunch = Bunch(1.0, [IOPackage(0, 512, READ)])
+        moved = bunch.shifted(2.0)
+        assert moved.timestamp == 3.0
+        assert moved.packages == bunch.packages
+        assert bunch.timestamp == 1.0
+
+    def test_scaled(self):
+        bunch = Bunch(2.0, [IOPackage(0, 512, READ)])
+        assert bunch.scaled(0.5).timestamp == 1.0
+
+    def test_iterable(self):
+        packages = [IOPackage(i, 512, READ) for i in range(3)]
+        bunch = Bunch(0.0, packages)
+        assert list(bunch) == packages
+
+
+class TestTrace:
+    def test_aggregates(self, small_trace):
+        assert len(small_trace) == 100
+        assert small_trace.package_count == 110
+        assert small_trace.nbytes == 110 * 4096
+        assert small_trace.duration == pytest.approx(99 / 64)
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+        assert trace.package_count == 0
+
+    def test_single_bunch_duration_zero(self):
+        trace = Trace([Bunch(5.0, [IOPackage(0, 512, READ)])])
+        assert trace.duration == 0.0
+
+    def test_slicing_returns_trace(self, small_trace):
+        sub = small_trace[10:20]
+        assert isinstance(sub, Trace)
+        assert len(sub) == 10
+        assert sub.label == small_trace.label
+
+    def test_indexing_returns_bunch(self, small_trace):
+        assert isinstance(small_trace[0], Bunch)
+
+    def test_packages_iterates_in_order(self, small_trace):
+        packages = list(small_trace.packages())
+        assert len(packages) == small_trace.package_count
+        assert packages[0] == small_trace[0].packages[0]
+
+    def test_equality_by_content(self, small_trace):
+        clone = Trace(list(small_trace.bunches), label="different-label")
+        assert clone == small_trace
+        assert Trace([]) != small_trace

@@ -1,0 +1,102 @@
+"""Trace repository and naming convention tests."""
+
+import pytest
+
+from repro.config import WorkloadMode
+from repro.errors import RepositoryError
+from repro.trace.repository import TraceName, TraceRepository
+
+
+class TestTraceName:
+    def test_filename_encoding(self):
+        name = TraceName("hdd-raid5", 4096, 0.5, 0.0)
+        assert name.filename == "hdd-raid5_rs4096_rnd050_rd000.replay"
+
+    def test_filename_with_tag(self):
+        name = TraceName("ssd-raid5", 512, 1.0, 1.0, tag="run2")
+        assert name.filename == "ssd-raid5_rs512_rnd100_rd100_run2.replay"
+
+    def test_parse_roundtrip(self):
+        name = TraceName("hdd-raid5", 65536, 0.25, 0.75, tag="x1")
+        assert TraceName.parse(name.filename) == name
+
+    def test_parse_without_tag(self):
+        parsed = TraceName.parse("ssd_rs512_rnd000_rd100.replay")
+        assert parsed.device == "ssd"
+        assert parsed.request_size == 512
+        assert parsed.random_ratio == 0.0
+        assert parsed.read_ratio == 1.0
+        assert parsed.tag == ""
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["random.replay", "hdd_rs_rnd050_rd000.replay", "notatrace.txt",
+         "hdd_rsX_rnd050_rd000.replay"],
+    )
+    def test_parse_rejects_foreign_names(self, bad):
+        with pytest.raises(RepositoryError):
+            TraceName.parse(bad)
+
+    def test_invalid_device_chars(self):
+        with pytest.raises(RepositoryError):
+            TraceName("HDD Raid", 4096, 0.5, 0.5)
+
+    def test_matches_mode(self):
+        name = TraceName("hdd", 4096, 0.5, 0.25)
+        assert name.matches(WorkloadMode(4096, 0.5, 0.25))
+        assert not name.matches(WorkloadMode(4096, 0.5, 0.5))
+        assert not name.matches(WorkloadMode(512, 0.5, 0.25))
+
+
+class TestRepository:
+    def test_store_and_load(self, repo, small_trace):
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        path = repo.store(name, small_trace)
+        assert path.exists()
+        assert repo.load(name) == small_trace
+        assert name in repo
+
+    def test_store_refuses_overwrite(self, repo, small_trace):
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        with pytest.raises(RepositoryError, match="already"):
+            repo.store(name, small_trace)
+        repo.store(name, small_trace, overwrite=True)  # explicit is fine
+
+    def test_load_missing(self, repo):
+        with pytest.raises(RepositoryError, match="not in repository"):
+            repo.load(TraceName("hdd", 512, 0.0, 0.0))
+
+    def test_names_and_len(self, repo, small_trace):
+        for rs in (512, 4096):
+            repo.store(TraceName("hdd", rs, 0.0, 0.0), small_trace)
+        # A foreign file is ignored.
+        (repo.root / "stray.replay").write_bytes(b"junk")
+        names = list(repo.names())
+        assert len(names) == 2
+        assert len(repo) == 2
+
+    def test_find_by_device(self, repo, small_trace):
+        repo.store(TraceName("hdd", 512, 0.0, 0.0), small_trace)
+        repo.store(TraceName("ssd", 512, 0.0, 0.0), small_trace)
+        assert len(repo.find(device="hdd")) == 1
+
+    def test_lookup_unique(self, repo, small_trace):
+        mode = WorkloadMode(4096, 0.25, 0.75)
+        repo.store(TraceName("hdd", 4096, 0.25, 0.75), small_trace)
+        name = repo.lookup("hdd", mode)
+        assert name.request_size == 4096
+
+    def test_lookup_missing_raises(self, repo):
+        with pytest.raises(RepositoryError, match="no trace"):
+            repo.lookup("hdd", WorkloadMode(4096, 0.25, 0.75))
+
+    def test_lookup_ambiguous_raises(self, repo, small_trace):
+        repo.store(TraceName("hdd", 4096, 0.25, 0.75, tag="a"), small_trace)
+        repo.store(TraceName("hdd", 4096, 0.25, 0.75, tag="b"), small_trace)
+        with pytest.raises(RepositoryError, match="ambiguous"):
+            repo.lookup("hdd", WorkloadMode(4096, 0.25, 0.75))
+
+    def test_creates_root_directory(self, tmp_path):
+        repo = TraceRepository(tmp_path / "nested" / "repo")
+        assert repo.root.is_dir()

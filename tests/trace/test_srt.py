@@ -1,0 +1,116 @@
+"""HP .srt parser and format transformer tests."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.blktrace import read_trace
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.trace.srt import (
+    convert_srt_file,
+    parse_srt,
+    parse_srt_line,
+    srt_to_trace,
+    write_srt,
+)
+
+
+class TestParseLine:
+    def test_valid_read(self):
+        rec = parse_srt_line("1.500000 3 1024 4096 R")
+        assert rec.timestamp == 1.5
+        assert rec.device == 3
+        assert rec.offset_bytes == 1024
+        assert rec.length_bytes == 4096
+        assert rec.op == READ
+
+    def test_lowercase_write(self):
+        assert parse_srt_line("0.0 0 0 512 w").op == WRITE
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "1.0 0 0 512",              # too few fields
+            "1.0 0 0 512 R extra",      # too many fields
+            "abc 0 0 512 R",            # bad timestamp
+            "1.0 0 0 512 X",            # bad op
+            "1.0 0 0 0 R",              # zero length
+            "-1.0 0 0 512 R",           # negative timestamp
+        ],
+    )
+    def test_invalid_lines(self, line):
+        with pytest.raises(TraceFormatError):
+            parse_srt_line(line)
+
+
+class TestParseStream:
+    def test_skips_comments_and_blanks(self):
+        text = ["# header", "", "0.0 0 0 512 R", "   ", "1.0 0 512 512 W"]
+        records = list(parse_srt(text))
+        assert len(records) == 2
+
+    def test_reports_line_numbers(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(parse_srt(["0.0 0 0 512 R", "garbage"]))
+
+
+class TestSrtToTrace:
+    def test_groups_equal_timestamps(self):
+        records = parse_srt(
+            ["0.0 0 0 512 R", "0.0 0 512 512 R", "1.0 0 1024 512 W"]
+        )
+        trace = srt_to_trace(records)
+        assert len(trace) == 2
+        assert len(trace[0]) == 2
+        assert len(trace[1]) == 1
+
+    def test_bunch_window_coalesces(self):
+        records = parse_srt(
+            ["0.000 0 0 512 R", "0.0005 0 512 512 R", "0.100 0 1024 512 R"]
+        )
+        trace = srt_to_trace(records, bunch_window=0.001)
+        assert len(trace) == 2
+
+    def test_device_filter(self):
+        records = parse_srt(
+            ["0.0 1 0 512 R", "0.5 2 512 512 R", "1.0 1 1024 512 W"]
+        )
+        trace = srt_to_trace(records, device=1)
+        assert trace.package_count == 2
+
+    def test_byte_offsets_become_sectors(self):
+        trace = srt_to_trace(parse_srt(["0.0 0 2048 512 R"]))
+        assert trace[0].packages[0].sector == 4
+
+    def test_out_of_order_rejected(self):
+        records = [r for r in parse_srt(["1.0 0 0 512 R", "0.5 0 0 512 R"])]
+        with pytest.raises(TraceFormatError, match="out of order"):
+            srt_to_trace(iter(records))
+
+
+class TestFileConversion:
+    def test_convert_and_load(self, tmp_path):
+        src = tmp_path / "cello.srt"
+        src.write_text(
+            "# cello excerpt\n"
+            "0.000000 0 0 4096 R\n"
+            "0.010000 0 4096 4096 W\n"
+            "0.020000 0 8192 8192 R\n"
+        )
+        dst = tmp_path / "cello.replay"
+        trace = convert_srt_file(src, dst)
+        assert dst.exists()
+        assert read_trace(dst) == trace
+        assert trace.label == "cello"
+
+    def test_roundtrip_through_srt(self, tmp_path):
+        original = Trace(
+            [
+                Bunch(0.0, [IOPackage(0, 4096, READ)]),
+                Bunch(0.25, [IOPackage(8, 8192, WRITE)]),
+            ]
+        )
+        srt_path = tmp_path / "out.srt"
+        write_srt(original, srt_path)
+        replay_path = tmp_path / "back.replay"
+        restored = convert_srt_file(srt_path, replay_path)
+        assert restored == original

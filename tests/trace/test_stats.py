@@ -1,0 +1,103 @@
+"""Trace statistics tests (Table III quantities)."""
+
+import pytest
+
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.trace.stats import compute_stats
+
+
+def _trace(entries, fan=1):
+    """entries: list of (ts, sector, nbytes, op)."""
+    return Trace([Bunch(ts, [IOPackage(s, n, o)]) for ts, s, n, o in entries])
+
+
+class TestBasicStats:
+    def test_counts_and_sizes(self):
+        trace = _trace(
+            [(0.0, 0, 4096, READ), (1.0, 8, 4096, WRITE), (2.0, 16, 8192, READ)]
+        )
+        st = compute_stats(trace)
+        assert st.bunch_count == 3
+        assert st.package_count == 3
+        assert st.total_bytes == 16384
+        assert st.mean_request_bytes == pytest.approx(16384 / 3)
+        assert st.max_request_bytes == 8192
+        assert st.min_request_bytes == 4096
+        assert st.duration == 2.0
+
+    def test_read_ratio(self):
+        trace = _trace(
+            [(0.0, 0, 512, READ), (1.0, 8, 512, READ), (2.0, 16, 512, WRITE)]
+        )
+        assert compute_stats(trace).read_ratio == pytest.approx(2 / 3)
+
+    def test_empty_trace(self):
+        st = compute_stats(Trace([]))
+        assert st.bunch_count == 0
+        assert st.iops == 0.0
+
+    def test_rates(self):
+        # 4 requests over 2 s => 2 IOPS; 4 MB over 2 s => 2 MBPS.
+        trace = _trace(
+            [(i * (2 / 3), i * 2048, 1_000_000, READ) for i in range(4)]
+        )
+        st = compute_stats(trace)
+        assert st.iops == pytest.approx(4 / 2.0)
+        assert st.mbps == pytest.approx(2.0)
+
+
+class TestRandomRatio:
+    def test_fully_sequential(self):
+        trace = _trace([(float(i), i * 8, 4096, READ) for i in range(10)])
+        assert compute_stats(trace).random_ratio == pytest.approx(0.0)
+
+    def test_fully_random(self):
+        trace = _trace([(float(i), i * 1000 + 1, 4096, READ) for i in range(10)])
+        assert compute_stats(trace).random_ratio == pytest.approx(1.0)
+
+    def test_half_random(self):
+        entries = []
+        cursor = 0
+        for i in range(20):
+            if i % 2 == 0:
+                cursor = i * 10_000  # jump
+            entries.append((float(i), cursor, 4096, READ))
+            cursor += 8
+        st = compute_stats(_trace(entries))
+        # Jumps land on even indices 2..18: 9 of the 19 transitions.
+        assert st.random_ratio == pytest.approx(9 / 19)
+
+
+class TestDataset:
+    def test_unique_extent_no_overlap(self):
+        trace = _trace(
+            [(0.0, 0, 4096, READ), (1.0, 100, 4096, READ)]
+        )
+        assert compute_stats(trace).dataset_bytes == 8192
+
+    def test_unique_extent_full_overlap(self):
+        trace = _trace(
+            [(0.0, 0, 4096, READ), (1.0, 0, 4096, WRITE), (2.0, 0, 4096, READ)]
+        )
+        assert compute_stats(trace).dataset_bytes == 4096
+
+    def test_unique_extent_partial_overlap(self):
+        # [0, 8) and [4, 12) sectors => 12 sectors unique.
+        trace = _trace(
+            [(0.0, 0, 4096, READ), (1.0, 4, 4096, READ)]
+        )
+        assert compute_stats(trace).dataset_bytes == 12 * 512
+
+    def test_dataset_leq_total(self, uneven_trace):
+        st = compute_stats(uneven_trace)
+        assert 0 < st.dataset_bytes <= st.total_bytes
+
+
+class TestBunchStats:
+    def test_mean_bunch_size(self, small_trace):
+        st = compute_stats(small_trace)
+        assert st.mean_bunch_size == pytest.approx(110 / 100)
+
+    def test_mean_interarrival(self, small_trace):
+        st = compute_stats(small_trace)
+        assert st.mean_interarrival == pytest.approx(1 / 64, rel=1e-6)

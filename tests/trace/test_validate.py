@@ -1,0 +1,55 @@
+"""Semantic trace validation tests."""
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.trace.record import READ, Bunch, IOPackage, Trace
+from repro.trace.validate import validate_trace
+
+
+def _bunch(ts, sector=0):
+    return Bunch(ts, [IOPackage(sector, 512, READ)])
+
+
+class TestValidateTrace:
+    def test_valid_trace_passes(self, small_trace):
+        report = validate_trace(small_trace)
+        assert report.ok
+        assert report.issues == ()
+
+    def test_out_of_order_detected(self):
+        trace = Trace([_bunch(1.0), _bunch(0.5), _bunch(2.0)])
+        with pytest.raises(TraceValidationError, match="decreasing"):
+            validate_trace(trace)
+
+    def test_non_strict_returns_report(self):
+        trace = Trace([_bunch(1.0), _bunch(0.5)])
+        report = validate_trace(trace, strict=False)
+        assert not report.ok
+        assert any("decreasing" in issue for issue in report.issues)
+
+    def test_empty_trace_flagged(self):
+        report = validate_trace(Trace([]), strict=False)
+        assert not report.ok
+        assert any("no bunches" in issue for issue in report.issues)
+
+    def test_capacity_check(self):
+        trace = Trace([_bunch(0.0, sector=1000)])
+        with pytest.raises(TraceValidationError, match="capacity"):
+            validate_trace(trace, capacity_sectors=100)
+        assert validate_trace(trace, capacity_sectors=2000).ok
+
+    def test_capacity_boundary_exact_fit(self):
+        # One 512-byte request ending exactly at capacity is legal.
+        trace = Trace([_bunch(0.0, sector=99)])
+        assert validate_trace(trace, capacity_sectors=100).ok
+
+    def test_report_raise_if_failed(self):
+        report = validate_trace(Trace([]), strict=False)
+        with pytest.raises(TraceValidationError):
+            report.raise_if_failed()
+
+    def test_multiple_issues_accumulate(self):
+        trace = Trace([_bunch(1.0, sector=500), _bunch(0.5, sector=600)])
+        report = validate_trace(trace, capacity_sectors=100, strict=False)
+        assert len(report.issues) == 2

@@ -1,0 +1,112 @@
+"""Arrival process tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.arrivals import (
+    constant_arrivals,
+    diurnal_rate,
+    inhomogeneous_poisson,
+    mmpp_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestConstant:
+    def test_spacing_and_count(self):
+        times = constant_arrivals(10.0, 2.0)
+        assert len(times) == 20
+        assert np.allclose(np.diff(times), 0.1)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            constant_arrivals(0.0, 1.0)
+        with pytest.raises(WorkloadError):
+            constant_arrivals(1.0, -1.0)
+
+
+class TestPoisson:
+    def test_rate_recovered(self):
+        times = poisson_arrivals(100.0, 50.0, seed=1)
+        assert len(times) / 50.0 == pytest.approx(100.0, rel=0.1)
+
+    def test_sorted_within_duration(self):
+        times = poisson_arrivals(50.0, 10.0, seed=2)
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 10.0
+        assert times.min() >= 0.0
+
+    def test_exponential_gaps(self):
+        times = poisson_arrivals(200.0, 100.0, seed=3)
+        gaps = np.diff(times)
+        # Mean gap 1/rate; CV of exponential is 1.
+        assert gaps.mean() == pytest.approx(1 / 200.0, rel=0.05)
+        assert gaps.std() / gaps.mean() == pytest.approx(1.0, rel=0.1)
+
+    def test_seeded(self):
+        assert np.array_equal(
+            poisson_arrivals(10, 5, seed=7), poisson_arrivals(10, 5, seed=7)
+        )
+
+
+class TestMMPP:
+    def test_burstier_than_poisson(self):
+        """MMPP inter-arrivals must have CV > 1 (overdispersed)."""
+        times = mmpp_arrivals(20.0, 500.0, 2.0, 0.5, 200.0, seed=4)
+        gaps = np.diff(np.sort(times))
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3
+
+    def test_mean_rate_between_states(self):
+        times = mmpp_arrivals(50.0, 150.0, 1.0, 1.0, 100.0, seed=5)
+        rate = len(times) / 100.0
+        assert 50.0 < rate < 150.0
+
+    def test_within_duration_sorted(self):
+        times = mmpp_arrivals(10, 100, 1, 1, 20.0, seed=6)
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 20.0
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            mmpp_arrivals(0, 10, 1, 1, 10)
+        with pytest.raises(WorkloadError):
+            mmpp_arrivals(1, 10, 1, 1, -5)
+
+
+class TestDiurnal:
+    def test_rate_bounds(self):
+        rate = diurnal_rate(100.0, 300.0, period=600.0)
+        samples = [rate(t) for t in np.linspace(0, 600, 200)]
+        assert min(samples) >= 100.0 - 1e-9
+        assert max(samples) <= 300.0 + 1e-9
+
+    def test_oscillates(self):
+        rate = diurnal_rate(100.0, 300.0, period=600.0)
+        assert rate(150.0) == pytest.approx(300.0)   # quarter period: peak
+        assert rate(450.0) == pytest.approx(100.0)   # three quarters: trough
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            diurnal_rate(0.0, 10.0)
+        with pytest.raises(WorkloadError):
+            diurnal_rate(100.0, 50.0)
+
+
+class TestInhomogeneous:
+    def test_follows_rate_function(self):
+        rate = diurnal_rate(50.0, 250.0, period=100.0)
+        times = inhomogeneous_poisson(rate, 250.0, 100.0, seed=8)
+        # First half (rising + peak) should out-arrive the second half.
+        first = np.count_nonzero(times < 50.0)
+        second = len(times) - first
+        assert first > second
+
+    def test_rate_above_max_rejected(self):
+        with pytest.raises(WorkloadError):
+            inhomogeneous_poisson(lambda t: 100.0, 50.0, 10.0, seed=9)
+
+    def test_total_count_near_integral(self):
+        times = inhomogeneous_poisson(lambda t: 80.0, 100.0, 50.0, seed=10)
+        assert len(times) == pytest.approx(80.0 * 50.0, rel=0.1)

@@ -1,0 +1,71 @@
+"""cello99 synthesiser tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.stats import compute_stats
+from repro.workload.cello import CelloModel, generate_cello_trace
+
+
+@pytest.fixture(scope="module")
+def cello_trace():
+    return generate_cello_trace(duration=240.0, seed=13)
+
+
+class TestStatistics:
+    def test_read_ratio_58_percent(self, cello_trace):
+        st = compute_stats(cello_trace)
+        assert st.read_ratio == pytest.approx(0.58, abs=0.03)
+
+    def test_sizes_uneven(self, cello_trace):
+        """The Table V storyline: cello's request sizes are markedly
+        uneven — coefficient of variation must be well above 1."""
+        sizes = np.array([p.nbytes for p in cello_trace.packages()])
+        cv = sizes.std() / sizes.mean()
+        assert cv > 1.5
+
+    def test_heavy_tail_present(self, cello_trace):
+        sizes = np.array([p.nbytes for p in cello_trace.packages()])
+        assert sizes.max() >= 64 * 1024
+        assert sizes.min() <= 8 * 1024
+
+    def test_bursty_arrivals(self, cello_trace):
+        from repro.trace.ops import interarrival_times
+
+        gaps = interarrival_times(cello_trace)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.2
+
+    def test_sequential_runs_exist(self, cello_trace):
+        st = compute_stats(cello_trace)
+        assert 0.2 < st.random_ratio < 0.8
+
+
+class TestStructure:
+    def test_time_ordered_within_duration(self, cello_trace):
+        stamps = [b.timestamp for b in cello_trace]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] < 240.0
+
+    def test_addresses_within_device(self, cello_trace):
+        cap = CelloModel().device_bytes // 512
+        assert all(p.end_sector <= cap for p in cello_trace.packages())
+
+    def test_deterministic(self):
+        a = generate_cello_trace(duration=15.0, seed=2)
+        b = generate_cello_trace(duration=15.0, seed=2)
+        assert a == b
+
+    def test_multi_package_bunches(self, cello_trace):
+        assert max(len(b) for b in cello_trace) >= 2
+
+
+class TestValidation:
+    def test_bad_read_ratio(self):
+        with pytest.raises(WorkloadError):
+            CelloModel(read_ratio=-0.1)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            CelloModel(small_weights=(0.5, 0.2, 0.2))

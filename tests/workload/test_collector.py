@@ -1,0 +1,81 @@
+"""Trace collector tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.record import READ, IOPackage
+from repro.workload.collector import TraceCollector
+
+
+def pkg(sector=0):
+    return IOPackage(sector, 4096, READ)
+
+
+class TestBunching:
+    def test_simultaneous_requests_share_bunch(self):
+        col = TraceCollector(bunch_window=0.0)
+        col.record(1.0, pkg(0))
+        col.record(1.0, pkg(8))
+        col.record(2.0, pkg(16))
+        trace = col.finish()
+        assert len(trace) == 2
+        assert len(trace[0]) == 2
+
+    def test_window_coalesces(self):
+        col = TraceCollector(bunch_window=0.001)
+        col.record(0.0, pkg(0))
+        col.record(0.0005, pkg(8))
+        col.record(0.01, pkg(16))
+        trace = col.finish()
+        assert len(trace) == 2
+
+    def test_window_anchored_at_first_request(self):
+        """The window measures from the bunch's first request, so a chain
+        of closely spaced requests cannot extend a bunch forever."""
+        col = TraceCollector(bunch_window=0.001)
+        for i in range(5):
+            col.record(i * 0.0009, pkg(i * 8))
+        trace = col.finish()
+        assert len(trace) >= 2
+
+    def test_max_bunch_packages(self):
+        col = TraceCollector(bunch_window=1.0, max_bunch_packages=3)
+        for i in range(7):
+            col.record(0.0, pkg(i * 8))
+        trace = col.finish()
+        assert max(len(b) for b in trace) == 3
+        assert trace.package_count == 7
+
+
+class TestTimestamps:
+    def test_rebased_to_zero(self):
+        col = TraceCollector()
+        col.record(100.0, pkg(0))
+        col.record(101.0, pkg(8))
+        trace = col.finish()
+        assert trace[0].timestamp == 0.0
+        assert trace[1].timestamp == pytest.approx(1.0)
+
+    def test_label(self):
+        col = TraceCollector(label="peak-4k")
+        col.record(0.0, pkg())
+        assert col.finish().label == "peak-4k"
+
+    def test_empty_collection(self):
+        assert len(TraceCollector().finish()) == 0
+
+    def test_package_count_live(self):
+        col = TraceCollector()
+        col.record(0.0, pkg(0))
+        col.record(0.5, pkg(8))
+        assert col.package_count == 2
+
+
+class TestValidation:
+    def test_negative_window_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceCollector(bunch_window=-0.1)
+
+    def test_zero_max_packages_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceCollector(max_bunch_packages=0)

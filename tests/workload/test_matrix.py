@@ -1,0 +1,83 @@
+"""Synthetic matrix builder tests."""
+
+import pytest
+
+from repro.config import WorkloadMode
+from repro.storage.array import build_hdd_raid5
+from repro.trace.stats import compute_stats
+from repro.workload.matrix import build_matrix, collect_trace, matrix_modes
+
+
+class TestMatrixModes:
+    def test_125_modes(self):
+        modes = matrix_modes()
+        assert len(modes) == 125
+        assert len(set(modes)) == 125
+
+    def test_custom_axes(self):
+        modes = matrix_modes(
+            request_sizes=[4096], read_ratios=[0.0, 1.0], random_ratios=[0.5]
+        )
+        assert len(modes) == 2
+
+
+class TestCollectTrace:
+    def test_collected_trace_matches_mode(self):
+        mode = WorkloadMode(request_size=16384, random_ratio=0.0, read_ratio=1.0)
+        trace = collect_trace(lambda: build_hdd_raid5(6), mode, 0.3, seed=1)
+        st = compute_stats(trace)
+        assert st.package_count > 0
+        assert st.mean_request_bytes == 16384
+        assert st.read_ratio == 1.0
+
+    def test_fresh_device_per_cell(self):
+        """Two collections of the same mode must be identical — no state
+        leaks between cells."""
+        mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.5)
+        a = collect_trace(lambda: build_hdd_raid5(6), mode, 0.2, seed=5)
+        b = collect_trace(lambda: build_hdd_raid5(6), mode, 0.2, seed=5)
+        assert a == b
+
+
+class TestBuildMatrix:
+    def test_builds_and_stores(self, repo):
+        modes = matrix_modes(
+            request_sizes=[4096],
+            read_ratios=[0.0, 1.0],
+            random_ratios=[0.0],
+        )
+        results = build_matrix(
+            lambda: build_hdd_raid5(6), repo, "hdd-raid5",
+            duration=0.2, modes=modes,
+        )
+        assert len(results) == 2
+        assert len(repo) == 2
+        for name, bunches in results:
+            assert bunches > 0
+            assert name in repo
+
+    def test_skips_existing_cells(self, repo):
+        modes = matrix_modes(
+            request_sizes=[4096], read_ratios=[0.5], random_ratios=[0.5]
+        )
+        first = build_matrix(
+            lambda: build_hdd_raid5(6), repo, "hdd-raid5",
+            duration=0.2, modes=modes,
+        )
+        # Second build must reuse the stored trace, not re-collect.
+        second = build_matrix(
+            lambda: build_hdd_raid5(6), repo, "hdd-raid5",
+            duration=0.2, modes=modes,
+        )
+        assert first == second
+        assert len(repo) == 1
+
+    def test_lookup_by_mode(self, repo):
+        mode = WorkloadMode(request_size=4096, random_ratio=0.25, read_ratio=0.75)
+        build_matrix(
+            lambda: build_hdd_raid5(6), repo, "hdd-raid5",
+            duration=0.2, modes=[mode],
+        )
+        name = repo.lookup("hdd-raid5", mode)
+        trace = repo.load(name)
+        assert compute_stats(trace).mean_request_bytes == 4096

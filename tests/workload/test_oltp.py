@@ -1,0 +1,99 @@
+"""OLTP trace synthesiser tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.record import READ, WRITE
+from repro.trace.validate import validate_trace
+from repro.units import SECTOR_BYTES
+from repro.workload.oltp import OLTPModel, generate_oltp_trace
+
+
+@pytest.fixture(scope="module")
+def oltp():
+    return generate_oltp_trace(duration=30.0, seed=21)
+
+
+MODEL = OLTPModel()
+
+
+class TestStructure:
+    def test_time_ordered_and_valid(self, oltp):
+        assert validate_trace(
+            oltp, capacity_sectors=MODEL.capacity_sectors
+        ).ok
+
+    def test_transaction_rate(self, oltp):
+        # Two bunches per transaction (pages + commit).
+        assert len(oltp) / 2 / 30.0 == pytest.approx(MODEL.tps, rel=0.1)
+
+    def test_log_writes_sequential_and_in_log_region(self, oltp):
+        log_start = MODEL.log_start_sector
+        log_pkgs = [
+            p for p in oltp.packages() if p.sector >= log_start
+        ]
+        assert log_pkgs
+        assert all(p.is_write for p in log_pkgs)
+        assert all(p.nbytes == MODEL.commit_bytes for p in log_pkgs)
+        # Strictly sequential appends (modulo circular wrap).
+        starts = [p.sector for p in log_pkgs]
+        diffs = np.diff(starts)
+        expected = -(-MODEL.commit_bytes // SECTOR_BYTES)
+        wraps = np.count_nonzero(diffs != expected)
+        assert wraps <= 1
+
+    def test_data_accesses_page_aligned(self, oltp):
+        page_sectors = MODEL.page_bytes // SECTOR_BYTES
+        data_pkgs = [
+            p for p in oltp.packages() if p.sector < MODEL.log_start_sector
+        ]
+        assert all(p.sector % page_sectors == 0 for p in data_pkgs)
+        assert all(p.nbytes == MODEL.page_bytes for p in data_pkgs)
+
+    def test_data_read_fraction(self, oltp):
+        data_pkgs = [
+            p for p in oltp.packages() if p.sector < MODEL.log_start_sector
+        ]
+        reads = sum(1 for p in data_pkgs if p.is_read)
+        assert reads / len(data_pkgs) == pytest.approx(0.65, abs=0.05)
+
+    def test_hot_skew(self, oltp):
+        page_sectors = MODEL.page_bytes // SECTOR_BYTES
+        hot_limit = int(MODEL.data_pages * MODEL.hot_fraction) * page_sectors
+        data_pkgs = [
+            p for p in oltp.packages() if p.sector < MODEL.log_start_sector
+        ]
+        hot = sum(1 for p in data_pkgs if p.sector < hot_limit)
+        assert hot / len(data_pkgs) == pytest.approx(0.8, abs=0.05)
+
+    def test_deterministic(self):
+        a = generate_oltp_trace(duration=5.0, seed=2)
+        b = generate_oltp_trace(duration=5.0, seed=2)
+        assert a == b
+
+
+class TestModelValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"page_bytes": 1000},
+            {"read_fraction": 1.5},
+            {"ops_min": 0},
+            {"ops_min": 5, "ops_max": 2},
+            {"hot_fraction": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            OLTPModel(**kwargs)
+
+
+class TestReplayability:
+    def test_replays_on_array(self):
+        from repro.replay.session import replay_trace
+        from repro.storage.array import build_hdd_raid5
+
+        trace = generate_oltp_trace(duration=3.0, seed=4)
+        result = replay_trace(trace, build_hdd_raid5(6), 1.0)
+        assert result.completed == trace.package_count

@@ -1,0 +1,58 @@
+"""Parallel matrix builder tests.
+
+``device_factory`` must be picklable, hence the module-level factory.
+"""
+
+import pytest
+
+from repro.storage.array import build_hdd_raid5
+from repro.workload.matrix import build_matrix, matrix_modes
+from repro.workload.parallel import build_matrix_parallel
+
+
+def hdd_factory():
+    return build_hdd_raid5(6)
+
+
+MODES = matrix_modes(
+    request_sizes=[4096, 65536],
+    read_ratios=[0.0, 1.0],
+    random_ratios=[0.5],
+)
+
+
+class TestParallelBuild:
+    def test_builds_all_cells(self, repo):
+        results = build_matrix_parallel(
+            hdd_factory, repo, "hdd-raid5",
+            duration=0.2, modes=MODES, max_workers=2,
+        )
+        assert len(results) == 4
+        assert len(repo) == 4
+
+    def test_identical_to_serial(self, repo, tmp_path):
+        from repro.trace.repository import TraceRepository
+
+        serial_repo = TraceRepository(tmp_path / "serial")
+        build_matrix(
+            hdd_factory, serial_repo, "hdd-raid5",
+            duration=0.2, modes=MODES,
+        )
+        build_matrix_parallel(
+            hdd_factory, repo, "hdd-raid5",
+            duration=0.2, modes=MODES, max_workers=2,
+        )
+        for name in serial_repo.names():
+            assert repo.load(name) == serial_repo.load(name)
+
+    def test_skips_existing(self, repo):
+        first = build_matrix_parallel(
+            hdd_factory, repo, "hdd-raid5",
+            duration=0.2, modes=MODES[:1], max_workers=2,
+        )
+        second = build_matrix_parallel(
+            hdd_factory, repo, "hdd-raid5",
+            duration=0.2, modes=MODES[:1], max_workers=2,
+        )
+        assert first == second
+        assert len(repo) == 1

@@ -1,0 +1,117 @@
+"""Access pattern generator tests (IOmeter knob semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadMode
+from repro.errors import WorkloadError
+from repro.rng import make_rng
+from repro.trace.record import READ
+from repro.workload.patterns import AccessPattern, zipf_popularity
+
+CAPACITY = 10**7
+
+
+def pattern(rs=4096, rnd=0.5, rd=0.5, seed=1, capacity=CAPACITY):
+    return AccessPattern(WorkloadMode(rs, rnd, rd), capacity, seed=seed)
+
+
+class TestKnobs:
+    def test_request_size_respected(self):
+        p = pattern(rs=16384)
+        for pkg in p.take(50):
+            assert pkg.nbytes == 16384
+
+    def test_pure_sequential(self):
+        p = pattern(rnd=0.0)
+        pkgs = p.take(100)
+        for prev, cur in zip(pkgs, pkgs[1:]):
+            assert cur.sector == prev.end_sector
+
+    def test_pure_random_rarely_sequential(self):
+        p = pattern(rnd=1.0)
+        pkgs = p.take(200)
+        sequential = sum(
+            1 for a, b in zip(pkgs, pkgs[1:]) if b.sector == a.end_sector
+        )
+        assert sequential < 5
+
+    def test_random_ratio_statistics(self):
+        p = pattern(rnd=0.3, seed=5)
+        pkgs = p.take(3000)
+        jumps = sum(
+            1 for a, b in zip(pkgs, pkgs[1:]) if b.sector != a.end_sector
+        )
+        assert jumps / 2999 == pytest.approx(0.3, abs=0.03)
+
+    def test_read_ratio_statistics(self):
+        p = pattern(rd=0.75, seed=9)
+        pkgs = p.take(3000)
+        reads = sum(1 for pkg in pkgs if pkg.is_read)
+        assert reads / 3000 == pytest.approx(0.75, abs=0.03)
+
+    def test_extremes(self):
+        assert all(pkg.is_read for pkg in pattern(rd=1.0).take(100))
+        assert all(pkg.is_write for pkg in pattern(rd=0.0).take(100))
+
+
+class TestAddressing:
+    def test_requests_within_capacity(self):
+        p = pattern(rs=1024 * 1024, rnd=1.0, capacity=10**5)
+        for pkg in p.take(500):
+            assert pkg.end_sector <= 10**5
+
+    def test_random_starts_aligned(self):
+        p = pattern(rs=4096, rnd=1.0)
+        for pkg in p.take(200):
+            assert pkg.sector % 8 == 0
+
+    def test_sequential_cursor_wraps(self):
+        capacity = 100
+        p = pattern(rs=4096, rnd=0.0, capacity=capacity)
+        pkgs = p.take(30)  # 8 sectors each: wraps after 12 requests
+        assert all(pkg.end_sector <= capacity for pkg in pkgs)
+        assert any(pkg.sector == 0 for pkg in pkgs[1:])
+
+    def test_request_larger_than_capacity_rejected(self):
+        with pytest.raises(WorkloadError):
+            pattern(rs=1024 * 1024, capacity=100)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(WorkloadError):
+            pattern(capacity=0)
+
+
+class TestDeterminism:
+    def test_seeded_reproducible(self):
+        a = pattern(seed=42).take(100)
+        b = pattern(seed=42).take(100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert pattern(seed=1).take(100) != pattern(seed=2).take(100)
+
+    def test_iterable_interface(self):
+        p = pattern()
+        it = iter(p)
+        first = [next(it) for _ in range(5)]
+        assert len(first) == 5
+
+
+class TestZipf:
+    def test_popularity_is_skewed(self):
+        rng = make_rng(3)
+        draws = zipf_popularity(1000, 1.0, rng, 20000)
+        counts = np.bincount(draws, minlength=1000)
+        # Rank-1 item much more popular than rank-500.
+        assert counts[0] > counts[499] * 5
+
+    def test_all_indices_in_range(self):
+        rng = make_rng(3)
+        draws = zipf_popularity(50, 0.8, rng, 5000)
+        assert draws.min() >= 0
+        assert draws.max() < 50
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_popularity(0, 1.0, make_rng(1), 10)

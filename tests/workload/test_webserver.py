@@ -1,0 +1,74 @@
+"""Web-server trace synthesiser tests (Table III calibration)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.stats import compute_stats
+from repro.units import GB, KiB
+from repro.workload.webserver import WebServerModel, generate_webserver_trace
+
+
+@pytest.fixture(scope="module")
+def web_trace():
+    # 6 minutes is enough to stabilise the statistics.
+    return generate_webserver_trace(duration=360.0, seed=11)
+
+
+class TestTableIII:
+    def test_read_ratio(self, web_trace):
+        st = compute_stats(web_trace)
+        assert st.read_ratio == pytest.approx(0.9039, abs=0.02)
+
+    def test_mean_request_size(self, web_trace):
+        st = compute_stats(web_trace)
+        assert st.mean_request_bytes == pytest.approx(21.5 * KiB, rel=0.15)
+
+    def test_addresses_within_filesystem(self, web_trace):
+        fs_sectors = int(169.54 * GB) // 512
+        assert all(p.end_sector <= fs_sectors for p in web_trace.packages())
+
+    def test_dataset_bounded(self, web_trace):
+        st = compute_stats(web_trace)
+        # A sub-hour window touches only part of the 23.31 GB dataset,
+        # and never more than the dataset itself.
+        assert 0 < st.dataset_bytes <= 23.31 * GB
+
+
+class TestStructure:
+    def test_time_ordered(self, web_trace):
+        stamps = [b.timestamp for b in web_trace]
+        assert stamps == sorted(stamps)
+
+    def test_duration_respected(self, web_trace):
+        assert web_trace.duration <= 360.0
+
+    def test_contains_bursty_bunches(self, web_trace):
+        assert max(len(b) for b in web_trace) >= 2
+
+    def test_intensity_waves_present(self, web_trace):
+        """Fig. 12 relies on the trace having visible load waves: the
+        busiest minute must clearly exceed the quietest."""
+        counts = {}
+        for bunch in web_trace:
+            counts.setdefault(int(bunch.timestamp // 60), 0)
+            counts[int(bunch.timestamp // 60)] += len(bunch.packages)
+        per_min = list(counts.values())
+        assert max(per_min) > 1.5 * min(per_min)
+
+    def test_seeded_deterministic(self):
+        a = generate_webserver_trace(duration=20.0, seed=3)
+        b = generate_webserver_trace(duration=20.0, seed=3)
+        assert a == b
+
+    def test_label(self, web_trace):
+        assert web_trace.label == "webserver"
+
+
+class TestModelValidation:
+    def test_dataset_must_fit(self):
+        with pytest.raises(WorkloadError):
+            WebServerModel(filesystem_bytes=10**9, dataset_bytes=2 * 10**9)
+
+    def test_bad_read_ratio(self):
+        with pytest.raises(WorkloadError):
+            WebServerModel(read_ratio=1.5)
