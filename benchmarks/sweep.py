@@ -1,0 +1,154 @@
+"""Parallel benchmark sweep runner.
+
+Fans independent benchmark points out across a process pool via
+:func:`repro.workload.parallel.run_sweep`.  Replay on the simulated
+clock is deterministic and every point's seed derives from the point's
+identity (:func:`repro.rng.derive_seed`), so a parallel sweep is
+bit-identical to serial execution — ``--verify`` proves it on every run
+by executing both and comparing.
+
+The default sweep reproduces ``bench_fig8_load_accuracy.py``: one peak
+trace (4 KiB requests, 50 % random, 0 % read, HDD RAID-5), replayed at
+every configured load proportion.  The trace ships to workers in the
+compact binary ``.replay`` encoding and each worker replays one load
+level on a fresh device.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep.py              # all cores
+    PYTHONPATH=src python benchmarks/sweep.py --serial     # one core
+    PYTHONPATH=src python benchmarks/sweep.py --verify     # prove equality
+    PYTHONPATH=src python benchmarks/sweep.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+# Allow `python benchmarks/sweep.py` without installing the benchmarks
+# package (workers resolve the module through the fork server anyway).
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.config import LOAD_LEVELS
+from repro.trace.blktrace import dumps, loads
+from repro.workload.parallel import run_sweep
+
+from benchmarks.common import banner, peak_trace, run_replay
+
+DEVICE = "hdd"
+
+
+def _replay_point(point: tuple, seed: int) -> dict:
+    """Worker: replay one load level of the shipped trace.
+
+    ``seed`` is unused here — the simulated replay is fully
+    deterministic — but stays in the signature so stochastic sweeps
+    (fresh trace collection per point, sensor noise studies) drop in
+    without changing the engine.
+    """
+    trace_bytes, device, load = point
+    trace = loads(trace_bytes)
+    result = run_replay(device, trace, load)
+    return {
+        "device": device,
+        "load": load,
+        "iops": result.iops,
+        "mbps": result.mbps,
+        "completed": result.completed,
+        "mean_watts": result.mean_watts,
+        "energy_joules": result.energy_joules,
+        "mean_response": result.mean_response,
+    }
+
+
+def fig8_points(
+    duration: float = 15.0, loads_levels: Optional[Sequence[float]] = None
+) -> List[tuple]:
+    """Build the Fig. 8 sweep: every load level over one peak trace."""
+    levels = list(loads_levels) if loads_levels is not None else list(LOAD_LEVELS)
+    trace = peak_trace(DEVICE, 4096, 50, 0, duration=duration)
+    data = dumps(trace)
+    return [(data, DEVICE, load) for load in levels]
+
+
+def sweep_fig8(
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    duration: float = 15.0,
+    loads_levels: Optional[Sequence[float]] = None,
+) -> List[dict]:
+    """Run the Fig. 8 load sweep; parallel by default, same numbers either way."""
+    points = fig8_points(duration=duration, loads_levels=loads_levels)
+    labels = [f"{DEVICE}@{point[2]:g}" for point in points]
+    return run_sweep(
+        _replay_point,
+        points,
+        labels=labels,
+        max_workers=max_workers,
+        parallel=parallel,
+    )
+
+
+def _print_results(results: List[dict]) -> None:
+    print(f"{'load%':>6} {'IOPS':>9} {'MBPS':>8} {'watts':>8} {'joules':>10}")
+    for row in results:
+        print(
+            f"{row['load'] * 100:>5.0f}% {row['iops']:>9.1f} "
+            f"{row['mbps']:>8.3f} {row['mean_watts']:>8.2f} "
+            f"{row['energy_joules']:>10.1f}"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--serial", action="store_true", help="run on one core")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run both parallel and serial, assert identical results",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="pool size")
+    parser.add_argument(
+        "--duration", type=float, default=15.0, help="trace collection seconds"
+    )
+    parser.add_argument("--json", type=Path, default=None, help="write results here")
+    args = parser.parse_args(argv)
+
+    banner("Parallel sweep — Fig. 8 load accuracy "
+           "(4 KB, random 50 %, read 0 %)")
+    t0 = time.perf_counter()
+    results = sweep_fig8(
+        parallel=not args.serial,
+        max_workers=args.workers,
+        duration=args.duration,
+    )
+    elapsed = time.perf_counter() - t0
+    _print_results(results)
+    mode = "serial" if args.serial else "parallel"
+    print(f"\n{len(results)} points in {elapsed:.1f}s ({mode})")
+
+    if args.verify:
+        t0 = time.perf_counter()
+        serial = sweep_fig8(parallel=False, duration=args.duration)
+        serial_elapsed = time.perf_counter() - t0
+        if serial != results:
+            print("MISMATCH: parallel and serial sweeps disagree", file=sys.stderr)
+            return 1
+        print(
+            f"verified: parallel == serial "
+            f"({serial_elapsed:.1f}s serial vs {elapsed:.1f}s parallel)"
+        )
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(results, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import FilterError
+from ..trace.packed import PackedTrace, TraceLike
 from ..trace.record import Trace
 from .proportional_filter import ProportionalFilter
 from .timescale import TimeScaler
@@ -67,8 +68,12 @@ class LoadController:
         proportion = k_above / g
         return LoadPlan(intensity, proportion, intensity / proportion)
 
-    def apply(self, trace: Trace, intensity: float) -> Trace:
-        """Return the trace scaled to ``intensity`` per :meth:`plan`."""
+    def apply(self, trace: TraceLike, intensity: float) -> TraceLike:
+        """Return the trace scaled to ``intensity`` per :meth:`plan`.
+
+        Packed traces take the vectorised filter/scale fast paths and
+        stay packed throughout.
+        """
         plan = self.plan(intensity)
         out = trace
         if plan.filter_proportion < 1.0:
@@ -78,5 +83,9 @@ class LoadController:
         if math.isclose(plan.filter_proportion, 1.0) and math.isclose(
             plan.time_intensity, 1.0
         ):
-            out = Trace(trace.bunches, label=f"{trace.label}@100%")
+            label = f"{trace.label}@100%"
+            if isinstance(trace, PackedTrace):
+                out = trace.with_label(label)
+            else:
+                out = Trace(trace.bunches, label=label)
         return out

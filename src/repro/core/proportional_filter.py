@@ -15,6 +15,11 @@ demonstrates this on a web-server trace).
 
 ``random_filter_trace`` implements the strawman the paper argues
 against — random bunch selection — for the ablation benchmark.
+
+Every filter accepts both the legacy object :class:`~repro.trace.record.Trace`
+and the columnar :class:`~repro.trace.packed.PackedTrace`; the packed
+path applies the selection mask as a single vectorised gather and is
+property-tested to keep the two representations bit-identical.
 """
 
 from __future__ import annotations
@@ -25,8 +30,17 @@ import numpy as np
 
 from ..errors import FilterError
 from ..rng import make_rng
+from ..trace.packed import PackedTrace, TraceLike
 from ..trace.record import Trace
 from .selection import proportion_to_count, selection_mask
+
+
+def _apply_mask(trace: TraceLike, mask: np.ndarray, label: str) -> TraceLike:
+    """Keep the bunches marked by ``mask``, preserving representation."""
+    if isinstance(trace, PackedTrace):
+        return trace.select(mask, label=label)
+    bunches = [b for b, keep in zip(trace.bunches, mask) if keep]
+    return Trace(bunches, label=label)
 
 
 class ProportionalFilter:
@@ -50,16 +64,16 @@ class ProportionalFilter:
         """The configurable load proportions this group size supports."""
         return tuple((i + 1) / self.group_size for i in range(self.group_size))
 
-    def apply(self, trace: Trace, proportion: float) -> Trace:
+    def apply(self, trace: TraceLike, proportion: float) -> TraceLike:
         """Return the filtered trace replaying ``proportion`` of bunches.
 
         ``proportion == 1.0`` returns a same-content trace (still a new
-        object, so callers can mutate labels safely).
+        object, so callers can mutate labels safely).  Packed traces stay
+        packed and are filtered by one vectorised gather.
         """
         mask = selection_mask(len(trace), proportion, self.group_size)
-        bunches = [b for b, keep in zip(trace.bunches, mask) if keep]
         label = f"{trace.label}@{round(proportion * 100)}%"
-        return Trace(bunches, label=label)
+        return _apply_mask(trace, mask, label)
 
     def selected_count(self, n_bunches: int, proportion: float) -> int:
         """How many bunches :meth:`apply` would keep, without building them."""
@@ -67,18 +81,18 @@ class ProportionalFilter:
 
 
 def filter_trace(
-    trace: Trace, proportion: float, group_size: int = 10
-) -> Trace:
+    trace: TraceLike, proportion: float, group_size: int = 10
+) -> TraceLike:
     """One-shot convenience wrapper around :class:`ProportionalFilter`."""
     return ProportionalFilter(group_size).apply(trace, proportion)
 
 
 def random_filter_trace(
-    trace: Trace,
+    trace: TraceLike,
     proportion: float,
     group_size: int = 10,
     seed: Optional[int] = None,
-) -> Trace:
+) -> TraceLike:
     """Randomly select ``k`` bunches per group (the rejected alternative).
 
     Matches the proportional filter's per-group quota so throughput
@@ -96,15 +110,16 @@ def random_filter_trace(
         take = min(k, size)
         idx = rng.choice(size, size=take, replace=False)
         mask[base + idx] = True
-    bunches = [b for b, keep in zip(trace.bunches, mask) if keep]
-    return Trace(bunches, label=f"{trace.label}@rand{round(proportion * 100)}%")
+    return _apply_mask(
+        trace, mask, f"{trace.label}@rand{round(proportion * 100)}%"
+    )
 
 
 def bernoulli_filter_trace(
-    trace: Trace,
+    trace: TraceLike,
     proportion: float,
     seed: Optional[int] = None,
-) -> Trace:
+) -> TraceLike:
     """Globally random (unstratified) selection: keep each bunch with
     probability ``proportion``.
 
@@ -117,7 +132,6 @@ def bernoulli_filter_trace(
         raise FilterError(f"proportion must be in (0, 1], got {proportion!r}")
     rng = make_rng(seed)
     keep = rng.random(len(trace)) < proportion
-    bunches = [b for b, k in zip(trace.bunches, keep) if k]
-    return Trace(
-        bunches, label=f"{trace.label}@bern{round(proportion * 100)}%"
+    return _apply_mask(
+        trace, keep, f"{trace.label}@bern{round(proportion * 100)}%"
     )

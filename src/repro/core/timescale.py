@@ -14,6 +14,7 @@ offsets in a trace are preserved proportionally.
 from __future__ import annotations
 
 from ..errors import FilterError
+from ..trace.packed import PackedTrace, TraceLike
 from ..trace.record import Bunch, Trace
 
 
@@ -37,8 +38,21 @@ class TimeScaler:
         """Multiplier applied to inter-arrival gaps (1 / intensity)."""
         return 1.0 / self.intensity
 
-    def apply(self, trace: Trace) -> Trace:
-        """Return a new trace with scaled timestamps."""
+    def apply(self, trace: TraceLike) -> TraceLike:
+        """Return a new trace with scaled timestamps.
+
+        Packed traces stay packed: the timestamp column is rescaled in
+        one vectorised expression (bit-identical to the object path —
+        both evaluate ``origin + (t - origin) * factor`` in IEEE double).
+        """
+        if isinstance(trace, PackedTrace):
+            if len(trace) == 0 or self.intensity == 1.0:
+                return trace.with_label(trace.label)
+            origin = float(trace.timestamps[0])
+            timestamps = origin + (trace.timestamps - origin) * self.time_factor
+            return trace.with_timestamps(
+                timestamps, label=f"{trace.label}x{self.intensity:g}"
+            )
         if len(trace) == 0 or self.intensity == 1.0:
             return Trace(trace.bunches, label=trace.label)
         origin = trace.bunches[0].timestamp
@@ -51,6 +65,6 @@ class TimeScaler:
         return Trace(bunches, label=label)
 
 
-def scale_trace(trace: Trace, intensity: float) -> Trace:
+def scale_trace(trace: TraceLike, intensity: float) -> TraceLike:
     """One-shot convenience wrapper around :class:`TimeScaler`."""
     return TimeScaler(intensity).apply(trace)

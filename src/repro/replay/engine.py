@@ -5,6 +5,14 @@ original time stamps ... Concurrent I/O requests in a selected bunch
 must be replayed in parallel" (§IV-A).  The engine schedules one
 dispatch event per bunch at ``origin + (timestamp - first_timestamp)``
 and submits every package of the bunch at that instant.
+
+Both trace representations replay here.  A legacy object
+:class:`~repro.trace.record.Trace` dispatches bunch objects; a columnar
+:class:`~repro.trace.packed.PackedTrace` takes the fast path — all bunch
+events enter the calendar through one :meth:`Simulator.schedule_batch`
+(single heapify) and each dispatch hands a row range of the package
+table to :meth:`StorageDevice.submit_slice` instead of materialising
+IOPackage objects up front.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from typing import Callable, List, Optional
 from ..errors import ReplayError
 from ..sim.engine import Simulator
 from ..storage.base import Completion, StorageDevice
+from ..trace.packed import PackedTrace, TraceLike
 from ..trace.record import Bunch, Trace
 
 CompletionHook = Callable[[Completion], None]
@@ -25,7 +34,7 @@ class ReplayEngine:
     Parameters
     ----------
     trace:
-        The (already filtered/scaled) trace to replay.
+        The (already filtered/scaled) trace to replay — object or packed.
     device:
         Target device; must be attached to the same simulator.
     on_completion:
@@ -37,7 +46,7 @@ class ReplayEngine:
     def __init__(
         self,
         sim: Simulator,
-        trace: Trace,
+        trace: TraceLike,
         device: StorageDevice,
         on_completion: Optional[CompletionHook] = None,
         on_finished: Optional[Callable[[], None]] = None,
@@ -66,15 +75,39 @@ class ReplayEngine:
             raise ReplayError("replay already started")
         self._started = True
         self.start_time = self.sim.now
-        origin = self.trace.bunches[0].timestamp
-        for bunch in self.trace:
-            when = self.start_time + (bunch.timestamp - origin)
-            self.sim.schedule(when, self._dispatch_bunch, bunch, priority=5)
+        if isinstance(self.trace, PackedTrace):
+            times = self.start_time + (
+                self.trace.timestamps - self.trace.timestamps[0]
+            )
+            self.sim.schedule_batch(
+                times,
+                self._dispatch_packed,
+                args_seq=[(i,) for i in range(len(self.trace))],
+                priority=5,
+            )
+        else:
+            origin = self.trace.bunches[0].timestamp
+            self.sim.schedule_batch(
+                [
+                    self.start_time + (bunch.timestamp - origin)
+                    for bunch in self.trace
+                ],
+                self._dispatch_bunch,
+                args_seq=[(bunch,) for bunch in self.trace],
+                priority=5,
+            )
 
     def _dispatch_bunch(self, bunch: Bunch) -> None:
         for package in bunch.packages:
             self.issued += 1
             self.device.submit(package, self._on_done)
+
+    def _dispatch_packed(self, i: int) -> None:
+        offsets = self.trace.offsets
+        start = int(offsets[i])
+        stop = int(offsets[i + 1])
+        self.issued += stop - start
+        self.device.submit_slice(self.trace, start, stop, self._on_done)
 
     def _on_done(self, completion: Completion) -> None:
         self.completed += 1
@@ -89,17 +122,19 @@ class ReplayEngine:
         """Step the simulator until every replayed request completes.
 
         Tolerates perpetual side events (monitor/analyzer sampling
-        ticks) that would make ``sim.run()`` never return.
+        ticks) that would make ``sim.run()`` never return.  With
+        ``max_events``, at most that many events execute before a
+        :class:`ReplayError` is raised.
         """
         if not self._started:
             self.start()
         steps = 0
         while not self.done:
+            if max_events is not None and steps >= max_events:
+                raise ReplayError(f"exceeded max_events={max_events} during replay")
             if not self.sim.step():
                 raise ReplayError(
                     f"simulation drained with {self.total_packages - self.completed} "
                     "requests outstanding — device lost completions"
                 )
             steps += 1
-            if max_events is not None and steps > max_events:
-                raise ReplayError(f"exceeded max_events={max_events} during replay")

@@ -19,6 +19,7 @@ from ..power.sensor import HallSensor
 from ..sim.engine import Simulator
 from ..storage.array import DiskArray
 from ..storage.base import StorageDevice
+from ..trace.packed import TraceLike
 from ..trace.record import Trace
 from .engine import ReplayEngine
 from .monitor import PerformanceMonitor
@@ -85,12 +86,16 @@ class ReplaySession:
 
     def run(
         self,
-        trace: Trace,
+        trace: TraceLike,
         load_proportion: float = 1.0,
         sim: Optional[Simulator] = None,
         drain: bool = True,
     ) -> ReplayResult:
         """Replay ``trace`` at ``load_proportion`` and measure.
+
+        ``trace`` may be a legacy object :class:`Trace` or a columnar
+        :class:`~repro.trace.packed.PackedTrace`; packed traces stay on
+        the vectorised filter/scale/dispatch fast path throughout.
 
         Parameters
         ----------
@@ -176,7 +181,7 @@ class ReplaySession:
 
 
 def replay_trace(
-    trace: Trace,
+    trace: TraceLike,
     device: StorageDevice,
     load_proportion: float = 1.0,
     config: Optional[ReplayConfig] = None,

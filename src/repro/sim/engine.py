@@ -10,7 +10,7 @@ clocks or threads, which is what makes runs reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import SimulationError
 from .events import Event
@@ -80,6 +80,66 @@ class Simulator:
         heapq.heappush(self._calendar, event)
         return event
 
+    def schedule_batch(
+        self,
+        times: Iterable[float],
+        callback: Callable[..., Any],
+        args_seq: Optional[Iterable[tuple]] = None,
+        priority: int = 0,
+    ) -> List[Event]:
+        """Schedule ``callback(*args)`` at each of ``times`` in one shot.
+
+        The calendar is extended and re-heapified **once** — O(n + m)
+        instead of the O(m log(n + m)) of ``m`` individual pushes — which
+        is what makes replaying a multi-hundred-thousand-bunch trace
+        cheap to set up.  Ordering semantics are identical to equivalent
+        :meth:`schedule` calls made in iteration order (sequence numbers
+        are assigned in order, so time/priority ties still resolve
+        deterministically).
+
+        Parameters
+        ----------
+        times:
+            Absolute simulated times (any iterable of floats, e.g. a
+            NumPy array).  All must be ``>= now``; nothing is scheduled
+            if any time is invalid.
+        args_seq:
+            Optional per-event argument tuples, same length as ``times``;
+            omitted means every callback fires with no arguments.
+        """
+        time_list = [float(t) for t in times]
+        if args_seq is None:
+            args_list: Sequence[tuple] = [()] * len(time_list)
+        else:
+            args_list = list(args_seq)
+            if len(args_list) != len(time_list):
+                raise SimulationError(
+                    f"schedule_batch: {len(time_list)} times but "
+                    f"{len(args_list)} argument tuples"
+                )
+        if time_list and min(time_list) < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={min(time_list)} before "
+                f"current time t={self._now}"
+            )
+        events = []
+        seq = self._sequence
+        for t, args in zip(time_list, args_list):
+            events.append(
+                Event(
+                    time=t,
+                    priority=priority,
+                    sequence=seq,
+                    callback=callback,
+                    args=args,
+                )
+            )
+            seq += 1
+        self._sequence = seq
+        self._calendar.extend(events)
+        heapq.heapify(self._calendar)
+        return events
+
     def schedule_after(
         self,
         delay: float,
@@ -119,8 +179,9 @@ class Simulator:
             is then advanced *to* ``until`` (so a monitor sampling at 1 Hz
             and a run ``until=60`` leaves ``now == 60``).
         max_events:
-            Safety valve for tests; raises :class:`SimulationError` if
-            exceeded, which catches accidental event storms.
+            Safety valve for tests; at most this many events execute —
+            the run raises :class:`SimulationError` the moment one more
+            would, which catches accidental event storms.
         """
         executed = 0
         while self._calendar:
@@ -130,13 +191,13 @@ class Simulator:
                 continue
             if until is not None and nxt.time > until:
                 break
-            if not self.step():
-                break
-            executed += 1
-            if max_events is not None and executed > max_events:
+            if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; runaway event loop?"
                 )
+            if not self.step():
+                break
+            executed += 1
         if until is not None and until > self._now:
             self._now = float(until)
 

@@ -72,6 +72,25 @@ class StorageDevice(ABC):
     def submit(self, package: IOPackage, on_complete: CompletionCallback) -> None:
         """Accept a request; ``on_complete`` fires when it finishes."""
 
+    def submit_slice(
+        self, packed, start: int, stop: int, on_complete: CompletionCallback
+    ) -> None:
+        """Batch submission hook for the packed replay fast path.
+
+        Accepts rows ``start:stop`` of a
+        :class:`~repro.trace.packed.PackedTrace` package table (one
+        replay bunch).  The contract is identical to ``stop - start``
+        individual :meth:`submit` calls in row order: ``on_complete``
+        must eventually fire exactly once per package.  The default
+        implementation materialises each row and loops over
+        :meth:`submit`; devices with a cheaper bulk path (or test sinks
+        that only count) may override it.
+        """
+        submit = self.submit
+        fast_pkg = IOPackage._from_validated
+        for sector, nbytes, op in packed.packages[start:stop].tolist():
+            submit(fast_pkg(sector, nbytes, op), on_complete)
+
     @abstractmethod
     def energy_between(self, t0: float, t1: float) -> float:
         """Joules drawn by this device during [t0, t1]."""

@@ -14,7 +14,17 @@ and slicing/merging utilities.
 """
 
 from .record import IOPackage, Bunch, Trace, READ, WRITE
-from .blktrace import read_trace, write_trace, BlktraceCodec
+from .packed import PackedTrace, TraceLike, pack, unpack
+from .blktrace import (
+    read_trace,
+    write_trace,
+    BlktraceCodec,
+    PackedCodec,
+    read_trace_packed,
+    write_trace_packed,
+    dumps_packed,
+    loads_packed,
+)
 from .reader import TraceReader
 from .writer import TraceWriter
 from .stats import TraceStats, compute_stats
@@ -29,9 +39,18 @@ __all__ = [
     "Trace",
     "READ",
     "WRITE",
+    "PackedTrace",
+    "TraceLike",
+    "pack",
+    "unpack",
     "read_trace",
     "write_trace",
     "BlktraceCodec",
+    "PackedCodec",
+    "read_trace_packed",
+    "write_trace_packed",
+    "dumps_packed",
+    "loads_packed",
     "TraceReader",
     "TraceWriter",
     "TraceStats",

@@ -53,6 +53,19 @@ class IOPackage:
         if self.op not in (READ, WRITE):
             raise TraceValidationError(f"op must be READ(0) or WRITE(1), got {self.op}")
 
+    @classmethod
+    def _from_validated(cls, sector: int, nbytes: int, op: int) -> "IOPackage":
+        """Build a package from already-validated fields, skipping checks.
+
+        The packed fast path validates whole columns vectorised; paying
+        ``__post_init__`` again per element would dominate dispatch.
+        """
+        pkg = object.__new__(cls)
+        object.__setattr__(pkg, "sector", sector)
+        object.__setattr__(pkg, "nbytes", nbytes)
+        object.__setattr__(pkg, "op", op)
+        return pkg
+
     @property
     def is_read(self) -> bool:
         return self.op == READ
@@ -97,6 +110,14 @@ class Bunch:
             )
         if not self.packages:
             raise TraceValidationError("a bunch must contain at least one IOPackage")
+
+    @classmethod
+    def _from_validated(cls, timestamp: float, packages: tuple) -> "Bunch":
+        """Build a bunch from already-validated parts, skipping checks."""
+        bunch = object.__new__(cls)
+        object.__setattr__(bunch, "timestamp", timestamp)
+        object.__setattr__(bunch, "packages", packages)
+        return bunch
 
     def __len__(self) -> int:
         return len(self.packages)

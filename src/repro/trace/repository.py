@@ -17,10 +17,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
+import numpy as np
+
 from ..config import WorkloadMode
 from ..errors import RepositoryError
 from ..units import KiB
-from .blktrace import read_trace, write_trace
+from .blktrace import read_trace, read_trace_packed, write_trace, write_trace_packed
+from .packed import PACKED_PACKAGE_DTYPE, PackedTrace, TraceLike
 from .record import Trace
 
 PathLike = Union[str, Path]
@@ -102,12 +105,28 @@ class TraceRepository:
     def path_for(self, name: TraceName) -> Path:
         return self.root / name.filename
 
-    def store(self, name: TraceName, trace: Trace, overwrite: bool = False) -> Path:
-        """Write ``trace`` under ``name``; refuses to clobber by default."""
+    def packed_cache_path(self, name: TraceName) -> Path:
+        """Sidecar holding the columnar arrays of a stored trace."""
+        return self.root / (name.filename + ".npz")
+
+    def store(
+        self, name: TraceName, trace: TraceLike, overwrite: bool = False
+    ) -> Path:
+        """Write ``trace`` under ``name``; refuses to clobber by default.
+
+        Accepts either representation.  Any stale packed sidecar for the
+        name is dropped so :meth:`load_packed` never serves old data.
+        """
         path = self.path_for(name)
         if path.exists() and not overwrite:
             raise RepositoryError(f"trace already in repository: {path.name}")
-        write_trace(trace, path)
+        if isinstance(trace, PackedTrace):
+            write_trace_packed(trace, path)
+        else:
+            write_trace(trace, path)
+        cache = self.packed_cache_path(name)
+        if cache.exists():
+            cache.unlink()
         return path
 
     def load(self, name: TraceName) -> Trace:
@@ -116,6 +135,51 @@ class TraceRepository:
         if not path.exists():
             raise RepositoryError(f"trace not in repository: {path.name}")
         return read_trace(path)
+
+    def load_packed(self, name: TraceName) -> PackedTrace:
+        """Load the trace under ``name`` as a :class:`PackedTrace`.
+
+        The columnar arrays are cached on disk in an ``.npz`` sidecar
+        next to the ``.replay`` file, so repeated sweeps over the same
+        repository skip even the (already cheap) binary parse.  The
+        sidecar is rebuilt whenever it is missing or older than its
+        trace file.
+        """
+        path = self.path_for(name)
+        if not path.exists():
+            raise RepositoryError(f"trace not in repository: {path.name}")
+        cache = self.packed_cache_path(name)
+        if cache.exists() and cache.stat().st_mtime >= path.stat().st_mtime:
+            try:
+                with np.load(cache, allow_pickle=False) as data:
+                    packages = np.empty(
+                        len(data["sector"]), dtype=PACKED_PACKAGE_DTYPE
+                    )
+                    packages["sector"] = data["sector"]
+                    packages["nbytes"] = data["nbytes"]
+                    packages["op"] = data["op"]
+                    return PackedTrace(
+                        data["timestamps"],
+                        data["offsets"],
+                        packages,
+                        label=path.stem,
+                        validate=False,
+                    )
+            except (OSError, ValueError, KeyError):
+                # Corrupt or foreign sidecar: fall through and rebuild.
+                pass
+        packed = read_trace_packed(path)
+        tmp = cache.with_suffix(".tmp.npz")
+        np.savez(
+            tmp,
+            timestamps=packed.timestamps,
+            offsets=packed.offsets,
+            sector=packed.packages["sector"],
+            nbytes=packed.packages["nbytes"],
+            op=packed.packages["op"],
+        )
+        tmp.replace(cache)
+        return packed
 
     def __contains__(self, name: TraceName) -> bool:
         return self.path_for(name).exists()

@@ -15,6 +15,7 @@ from typing import Dict, Iterable
 import numpy as np
 
 from ..units import GiB, KiB
+from .packed import PackedTrace, TraceLike
 from .record import Trace
 
 
@@ -80,26 +81,44 @@ def _unique_extent_bytes(starts: np.ndarray, ends: np.ndarray) -> int:
     return total * 512
 
 
-def compute_stats(trace: Trace) -> TraceStats:
+def compute_stats(trace: TraceLike) -> TraceStats:
     """Compute :class:`TraceStats` for ``trace``.
 
     Randomness is estimated as the fraction of packages (in issue order)
     that do *not* start at the previous package's end sector — the same
     notion IOmeter's random ratio controls.
+
+    Accepts both representations; a :class:`PackedTrace` skips the
+    object walk entirely (its columns *are* the working arrays), with
+    bit-identical results.
     """
-    sectors = []
-    nbytes = []
-    ops = []
-    bunch_sizes = []
-    timestamps = []
-    for bunch in trace:
-        bunch_sizes.append(len(bunch))
-        timestamps.append(bunch.timestamp)
-        for pkg in bunch.packages:
-            sectors.append(pkg.sector)
-            nbytes.append(pkg.nbytes)
-            ops.append(pkg.op)
-    if not sectors:
+    if isinstance(trace, PackedTrace):
+        n_bunches = len(trace)
+        sec = trace.packages["sector"]
+        size = trace.packages["nbytes"]
+        op = trace.packages["op"]
+        ts = trace.timestamps
+        bunch_sizes = trace.bunch_sizes
+    else:
+        sectors = []
+        nbytes = []
+        ops = []
+        sizes_list = []
+        timestamps = []
+        for bunch in trace:
+            sizes_list.append(len(bunch))
+            timestamps.append(bunch.timestamp)
+            for pkg in bunch.packages:
+                sectors.append(pkg.sector)
+                nbytes.append(pkg.nbytes)
+                ops.append(pkg.op)
+        n_bunches = len(trace)
+        sec = np.asarray(sectors, dtype=np.int64)
+        size = np.asarray(nbytes, dtype=np.int64)
+        op = np.asarray(ops, dtype=np.int8)
+        ts = np.asarray(timestamps, dtype=np.float64)
+        bunch_sizes = np.asarray(sizes_list, dtype=np.int64)
+    if len(sec) == 0:
         return TraceStats(
             bunch_count=0,
             package_count=0,
@@ -116,11 +135,6 @@ def compute_stats(trace: Trace) -> TraceStats:
             iops=0.0,
             mbps=0.0,
         )
-
-    sec = np.asarray(sectors, dtype=np.int64)
-    size = np.asarray(nbytes, dtype=np.int64)
-    op = np.asarray(ops, dtype=np.int8)
-    ts = np.asarray(timestamps, dtype=np.float64)
 
     size_sectors = -(-size // 512)
     ends = sec + size_sectors
@@ -141,7 +155,7 @@ def compute_stats(trace: Trace) -> TraceStats:
     mbps = (total_bytes / 1e6) / duration if duration > 0 else 0.0
 
     return TraceStats(
-        bunch_count=len(trace),
+        bunch_count=n_bunches,
         package_count=len(sec),
         total_bytes=total_bytes,
         dataset_bytes=int(dataset),

@@ -15,7 +15,7 @@ worker identity.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import WorkloadMode
 from ..rng import DEFAULT_SEED, derive_seed
@@ -25,6 +25,54 @@ from ..trace.repository import TraceName, TraceRepository
 from .matrix import collect_trace, matrix_modes
 
 DeviceFactory = Callable[[], StorageDevice]
+
+#: A sweep worker: ``worker(point, seed) -> result``.  Must be picklable
+#: (module-level function), like every process-pool entry point here.
+SweepWorker = Callable[[Any, int], Any]
+
+
+def run_sweep(
+    worker: SweepWorker,
+    points: Sequence[Any],
+    *,
+    base_seed: int = DEFAULT_SEED,
+    labels: Optional[Sequence[str]] = None,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> List[Any]:
+    """Fan ``worker(point, seed)`` out across a process pool.
+
+    The generic engine under ``benchmarks/sweep.py``: each benchmark
+    point gets a seed derived from the *point's identity* (its position,
+    or the matching entry of ``labels`` when given) — never from worker
+    identity or scheduling order — so a parallel sweep is reproducible
+    and bit-identical to ``parallel=False`` serial execution.  Results
+    come back in point order.
+
+    ``worker`` must be a module-level function; point payloads cross the
+    process boundary pickled, so prefer compact encodings (e.g. the
+    binary trace bytes from :func:`repro.trace.blktrace.dumps`) for
+    large inputs.
+    """
+    points = list(points)
+    if labels is not None:
+        label_list = [str(lbl) for lbl in labels]
+        if len(label_list) != len(points):
+            raise ValueError(
+                f"{len(points)} points but {len(label_list)} labels"
+            )
+    else:
+        label_list = [str(i) for i in range(len(points))]
+    seeds = [
+        derive_seed(base_seed, "sweep", label) for label in label_list
+    ]
+    if not parallel:
+        return [worker(p, s) for p, s in zip(points, seeds)]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(worker, p, s) for p, s in zip(points, seeds)
+        ]
+        return [f.result() for f in futures]
 
 
 def _collect_cell(

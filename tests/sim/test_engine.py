@@ -108,6 +108,103 @@ class TestRunUntil:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_executes_exactly_the_budget(self, sim):
+        """Regression: the guard used to fire only after max_events + 1
+        events had already executed."""
+        fired = []
+
+        def perpetual():
+            fired.append(sim.now)
+            sim.schedule_after(0.001, perpetual)
+
+        sim.schedule(0.0, perpetual)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+        assert len(fired) == 100
+        assert sim.events_processed == 100
+
+    def test_max_events_not_raised_when_calendar_drains(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=5)  # exactly enough budget — no error
+        assert fired == [0, 1, 2, 3, 4]
+
+
+class TestScheduleBatch:
+    def test_fires_in_time_order(self, sim):
+        fired = []
+        sim.schedule_batch(
+            [3.0, 1.0, 2.0], fired.append, args_seq=[("c",), ("a",), ("b",)]
+        )
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_interleaves_with_singly_scheduled(self, sim):
+        fired = []
+        sim.schedule(1.5, fired.append, "single")
+        sim.schedule_batch(
+            [1.0, 2.0], fired.append, args_seq=[("b0",), ("b1",)]
+        )
+        sim.run()
+        assert fired == ["b0", "single", "b1"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        fired = []
+        sim.schedule_batch(
+            [1.0, 1.0, 1.0],
+            fired.append,
+            args_seq=[("first",), ("second",), ("third",)],
+        )
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_equivalent_to_loop_of_schedule(self):
+        times = [0.5, 0.25, 0.25, 1.0, 0.75]
+
+        def run_single():
+            sim = Simulator()
+            fired = []
+            for i, t in enumerate(times):
+                sim.schedule(t, fired.append, (t, i))
+            sim.run()
+            return fired
+
+        def run_batch():
+            sim = Simulator()
+            fired = []
+            sim.schedule_batch(
+                times, fired.append, args_seq=[((t, i),) for i, t in enumerate(times)]
+            )
+            sim.run()
+            return fired
+
+        assert run_batch() == run_single()
+
+    def test_empty_batch_is_noop(self, sim):
+        assert sim.schedule_batch([], lambda: None) == []
+        assert sim.pending == 0
+
+    def test_past_time_rejected_atomically(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([2.0, 0.5], lambda: None)
+        assert sim.pending == 0  # nothing partially scheduled
+
+    def test_args_length_mismatch_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([1.0, 2.0], lambda: None, args_seq=[()])
+
+    def test_cancellation_works_on_batch_events(self, sim):
+        fired = []
+        events = sim.schedule_batch(
+            [1.0, 2.0], fired.append, args_seq=[("a",), ("b",)]
+        )
+        events[0].cancel()
+        sim.run()
+        assert fired == ["b"]
+
 
 class TestBookkeeping:
     def test_counts(self, sim):

@@ -1,0 +1,290 @@
+"""PackedTrace unit tests: round-trips, vectorised derivations, codec.
+
+The property suite (``tests/property/test_property_packed.py``) covers
+the fast-path/compat-path equivalence on random traces; these tests pin
+concrete behaviour and the error surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceFormatError, TraceValidationError
+from repro.trace.blktrace import (
+    dumps,
+    dumps_packed,
+    loads,
+    loads_packed,
+    read_trace_packed,
+    write_trace,
+    write_trace_packed,
+)
+from repro.trace.packed import (
+    PACKED_PACKAGE_DTYPE,
+    PackedTrace,
+    pack,
+    unpack,
+)
+from repro.trace.record import Bunch, Trace
+
+
+def make_packed(n_bunches=10, fan=3):
+    sizes = np.full(n_bunches, fan, dtype=np.int64)
+    offsets = np.zeros(n_bunches + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    packages = np.zeros(total, dtype=PACKED_PACKAGE_DTYPE)
+    packages["sector"] = np.arange(total) * 8
+    packages["nbytes"] = 4096
+    packages["op"] = np.arange(total) % 2
+    timestamps = np.arange(n_bunches, dtype=np.float64) / 64
+    return PackedTrace(timestamps, offsets, packages, label="synthetic")
+
+
+class TestRoundTrip:
+    def test_object_roundtrip_lossless(self, uneven_trace):
+        packed = PackedTrace.from_trace(uneven_trace)
+        assert packed.to_trace() == uneven_trace
+        assert packed.label == uneven_trace.label
+
+    def test_pack_unpack_helpers(self, small_trace):
+        packed = pack(small_trace)
+        assert pack(packed) is packed  # idempotent
+        assert unpack(packed) == small_trace
+        assert unpack(small_trace) is small_trace
+
+    def test_empty_trace(self):
+        packed = pack(Trace([]))
+        assert len(packed) == 0
+        assert packed.package_count == 0
+        assert packed.duration == 0.0
+        assert packed.to_trace() == Trace([])
+
+    def test_binary_encoding_matches_object_codec(self, uneven_trace):
+        """The packed codec writes byte-identical .replay files."""
+        assert dumps_packed(pack(uneven_trace)) == dumps(uneven_trace)
+
+    def test_loads_packed_inverse_of_dumps(self, uneven_trace):
+        data = dumps(uneven_trace)
+        assert loads_packed(data).to_trace() == loads(data)
+
+    def test_file_roundtrip(self, uneven_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace_packed(pack(uneven_trace), path)
+        assert read_trace_packed(path).to_trace() == uneven_trace
+
+    def test_file_interoperates_with_object_writer(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        assert read_trace_packed(path).to_trace() == small_trace
+
+
+class TestAccessors:
+    def test_len_and_counts(self):
+        packed = make_packed(n_bunches=7, fan=4)
+        assert len(packed) == 7
+        assert packed.package_count == 28
+        assert packed.nbytes == 28 * 4096
+        assert list(packed.bunch_sizes) == [4] * 7
+
+    def test_duration(self):
+        packed = make_packed(n_bunches=5)
+        assert packed.duration == pytest.approx(4 / 64)
+        assert make_packed(n_bunches=1).duration == 0.0
+
+    def test_bunch_materialisation(self):
+        packed = make_packed(n_bunches=3, fan=2)
+        b = packed.bunch(1)
+        assert isinstance(b, Bunch)
+        assert b.timestamp == pytest.approx(1 / 64)
+        assert [p.sector for p in b.packages] == [16, 24]
+        assert packed.bunch(-1).timestamp == pytest.approx(2 / 64)
+        with pytest.raises(IndexError):
+            packed.bunch(3)
+
+    def test_iteration_yields_legacy_bunches(self, small_trace):
+        packed = pack(small_trace)
+        assert list(packed) == list(small_trace.bunches)
+
+    def test_equality(self):
+        a, b = make_packed(), make_packed()
+        assert a == b
+        assert a != b.with_timestamps(b.timestamps + 1.0)
+
+
+class TestSelect:
+    def test_boolean_mask(self):
+        packed = make_packed(n_bunches=6, fan=2)
+        mask = np.array([True, False, True, True, False, False])
+        sel = packed.select(mask)
+        assert len(sel) == 3
+        assert list(sel.timestamps) == [0.0, 2 / 64, 3 / 64]
+        expected_rows = np.concatenate(
+            [np.arange(0, 2), np.arange(4, 6), np.arange(6, 8)]
+        )
+        assert np.array_equal(sel.packages, packed.packages[expected_rows])
+
+    def test_index_array(self):
+        packed = make_packed(n_bunches=6, fan=2)
+        sel = packed.select(np.array([1, 4]))
+        assert list(sel.timestamps) == [1 / 64, 4 / 64]
+        assert sel.package_count == 4
+
+    def test_empty_selection(self):
+        packed = make_packed()
+        sel = packed.select(np.zeros(len(packed), dtype=bool))
+        assert len(sel) == 0
+        assert sel.package_count == 0
+        assert sel.to_trace() == Trace([])
+
+    def test_full_selection_is_equal(self):
+        packed = make_packed()
+        assert packed.select(np.ones(len(packed), dtype=bool)) == packed
+
+    def test_label_handling(self):
+        packed = make_packed()
+        assert packed.select(np.array([0]), label="cut").label == "cut"
+        assert packed.select(np.array([0])).label == packed.label
+
+    def test_matches_object_selection(self, uneven_trace):
+        packed = pack(uneven_trace)
+        mask = np.arange(len(uneven_trace)) % 3 == 0
+        expected = Trace(
+            [b for b, keep in zip(uneven_trace.bunches, mask) if keep]
+        )
+        assert packed.select(mask).to_trace() == expected
+
+
+class TestWithTimestamps:
+    def test_replaces_times_shares_packages(self):
+        packed = make_packed()
+        shifted = packed.with_timestamps(packed.timestamps + 5.0)
+        assert shifted.packages is packed.packages
+        assert shifted.timestamps[0] == 5.0
+
+    def test_shape_mismatch_rejected(self):
+        packed = make_packed()
+        with pytest.raises(TraceValidationError):
+            packed.with_timestamps(np.zeros(len(packed) + 1))
+
+    def test_negative_times_rejected(self):
+        packed = make_packed()
+        with pytest.raises(TraceValidationError):
+            packed.with_timestamps(packed.timestamps - 1.0)
+
+    def test_with_label(self):
+        relabelled = make_packed().with_label("renamed")
+        assert relabelled.label == "renamed"
+        assert relabelled == make_packed()
+
+
+class TestValidation:
+    def test_bad_offsets_length(self):
+        with pytest.raises(TraceValidationError):
+            PackedTrace(
+                np.zeros(2),
+                np.array([0, 1], dtype=np.int64),
+                np.zeros(1, dtype=PACKED_PACKAGE_DTYPE),
+            )
+
+    def test_empty_bunch_rejected(self):
+        packages = np.zeros(1, dtype=PACKED_PACKAGE_DTYPE)
+        packages["nbytes"] = 512
+        with pytest.raises(TraceValidationError):
+            PackedTrace(np.zeros(2), np.array([0, 0, 1]), packages)
+
+    def test_bad_field_values_rejected(self):
+        def one_package(**fields):
+            packages = np.zeros(1, dtype=PACKED_PACKAGE_DTYPE)
+            packages["nbytes"] = 512
+            for key, value in fields.items():
+                packages[key] = value
+            return PackedTrace(np.zeros(1), np.array([0, 1]), packages)
+
+        one_package()  # baseline is valid
+        with pytest.raises(TraceValidationError):
+            one_package(sector=-1)
+        with pytest.raises(TraceValidationError):
+            one_package(nbytes=0)
+        with pytest.raises(TraceValidationError):
+            one_package(op=2)
+
+    def test_negative_timestamp_rejected(self):
+        packages = np.zeros(1, dtype=PACKED_PACKAGE_DTYPE)
+        packages["nbytes"] = 512
+        with pytest.raises(TraceValidationError):
+            PackedTrace(np.array([-0.5]), np.array([0, 1]), packages)
+
+    def test_foreign_dtype_widened(self):
+        narrow = np.zeros(
+            2, dtype=[("sector", "<u8"), ("nbytes", "<u4"), ("op", "u1")]
+        )
+        narrow["nbytes"] = 4096
+        packed = PackedTrace(np.zeros(2), np.array([0, 1, 2]), narrow)
+        assert packed.packages.dtype == PACKED_PACKAGE_DTYPE
+
+
+class TestCodecErrors:
+    def test_truncated_bytes_rejected(self, small_trace):
+        data = dumps(small_trace)
+        with pytest.raises(TraceFormatError):
+            loads_packed(data[: len(data) - 7])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_packed(b"definitely not a trace")
+
+
+class TestRepositorySidecar:
+    def test_load_packed_builds_and_reuses_cache(self, repo, small_trace):
+        from repro.trace.repository import TraceName
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        cache = repo.packed_cache_path(name)
+        assert not cache.exists()
+        first = repo.load_packed(name)
+        assert cache.exists()
+        again = repo.load_packed(name)
+        assert again == first
+        assert first.to_trace() == small_trace
+
+    def test_corrupt_sidecar_rebuilt(self, repo, small_trace):
+        from repro.trace.repository import TraceName
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        repo.load_packed(name)
+        cache = repo.packed_cache_path(name)
+        cache.write_bytes(b"garbage")
+        # Corrupt sidecars must be transparently rebuilt, not fatal.
+        import os
+        import time
+
+        os.utime(cache, (time.time() + 10, time.time() + 10))
+        assert repo.load_packed(name).to_trace() == small_trace
+
+    def test_store_drops_stale_sidecar(self, repo, small_trace, uneven_trace):
+        from repro.trace.repository import TraceName
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        repo.load_packed(name)
+        assert repo.packed_cache_path(name).exists()
+        repo.store(name, uneven_trace, overwrite=True)
+        assert not repo.packed_cache_path(name).exists()
+        assert repo.load_packed(name).to_trace() == uneven_trace
+
+    def test_store_accepts_packed(self, repo, uneven_trace):
+        from repro.trace.repository import TraceName
+
+        name = TraceName("ssd", 65536, 1.0, 1.0)
+        repo.store(name, pack(uneven_trace))
+        assert repo.load(name) == uneven_trace
+
+    def test_sidecar_not_listed_as_trace(self, repo, small_trace):
+        from repro.trace.repository import TraceName
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        repo.load_packed(name)
+        assert list(repo.names()) == [name]

@@ -81,3 +81,65 @@ class TestTraceReader:
         with reader:
             pass
         assert reader._fh.closed
+
+    def test_second_iteration_rejected(self, small_trace, tmp_path):
+        """Regression: a second ``iter()`` silently yielded zero bunches
+        (or garbage, had the count not run out) instead of failing."""
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        with TraceReader(path) as reader:
+            assert len(list(reader)) == len(small_trace)
+            with pytest.raises(TraceFormatError):
+                iter(reader)
+
+    def test_resumed_iteration_rejected(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        with TraceReader(path) as reader:
+            it = iter(reader)
+            next(it)
+            next(it)
+            with pytest.raises(TraceFormatError):
+                iter(reader)
+
+    def test_externally_moved_stream_detected(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        with TraceReader(path) as reader:
+            it = iter(reader)
+            next(it)
+            reader._fh.seek(3)  # stray seek between bunches
+            with pytest.raises(TraceFormatError):
+                next(it)
+
+
+class TestReadPacked:
+    def test_matches_streamed_bunches(self, uneven_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(uneven_trace, path)
+        with TraceReader(path) as reader:
+            packed = reader.read_packed()
+        assert packed.to_trace() == uneven_trace
+
+    def test_label_is_file_stem(self, small_trace, tmp_path):
+        path = tmp_path / "mytrace.replay"
+        write_trace(small_trace, path)
+        with TraceReader(path) as reader:
+            assert reader.read_packed().label == "mytrace"
+
+    def test_rejected_after_streaming_started(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        with TraceReader(path) as reader:
+            next(iter(reader))
+            with pytest.raises(TraceFormatError):
+                reader.read_packed()
+
+    def test_truncated_body_detected(self, small_trace, tmp_path):
+        path = tmp_path / "t.replay"
+        write_trace(small_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])
+        with TraceReader(path) as reader:
+            with pytest.raises(TraceFormatError):
+                reader.read_packed()

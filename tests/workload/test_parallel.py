@@ -1,17 +1,23 @@
-"""Parallel matrix builder tests.
+"""Parallel matrix builder and sweep runner tests.
 
-``device_factory`` must be picklable, hence the module-level factory.
+``device_factory`` and sweep workers must be picklable, hence the
+module-level functions.
 """
 
 import pytest
 
+from repro.rng import derive_seed
 from repro.storage.array import build_hdd_raid5
 from repro.workload.matrix import build_matrix, matrix_modes
-from repro.workload.parallel import build_matrix_parallel
+from repro.workload.parallel import build_matrix_parallel, run_sweep
 
 
 def hdd_factory():
     return build_hdd_raid5(6)
+
+
+def echo_worker(point, seed):
+    return (point, seed)
 
 
 MODES = matrix_modes(
@@ -56,3 +62,51 @@ class TestParallelBuild:
         )
         assert first == second
         assert len(repo) == 1
+
+
+class TestRunSweep:
+    def test_parallel_identical_to_serial(self):
+        points = list(range(8))
+        parallel = run_sweep(echo_worker, points, max_workers=2)
+        serial = run_sweep(echo_worker, points, parallel=False)
+        assert parallel == serial
+
+    def test_results_in_point_order(self):
+        points = ["a", "b", "c", "d"]
+        results = run_sweep(echo_worker, points, max_workers=2)
+        assert [r[0] for r in results] == points
+
+    def test_seeds_derive_from_labels_not_position(self):
+        """Two sweeps sharing a labelled point must hand it the same
+        seed even when the point sits at different positions — seeds are
+        point-identity, never scheduling- or worker-identity."""
+        first = run_sweep(
+            echo_worker, ["x", "y"], labels=["px", "py"], parallel=False
+        )
+        second = run_sweep(
+            echo_worker, ["z", "y"], labels=["pz", "py"], parallel=False
+        )
+        assert first[1][1] == second[1][1]
+        assert first[0][1] != second[0][1]
+
+    def test_default_seeds_are_positional(self):
+        from repro.rng import DEFAULT_SEED
+
+        results = run_sweep(echo_worker, ["a", "b"], parallel=False)
+        expected = [
+            derive_seed(DEFAULT_SEED, "sweep", "0"),
+            derive_seed(DEFAULT_SEED, "sweep", "1"),
+        ]
+        assert [seed for _, seed in results] == expected
+
+    def test_base_seed_changes_all_seeds(self):
+        a = run_sweep(echo_worker, [0], base_seed=1, parallel=False)
+        b = run_sweep(echo_worker, [0], base_seed=2, parallel=False)
+        assert a[0][1] != b[0][1]
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(echo_worker, [1, 2], labels=["only-one"], parallel=False)
+
+    def test_empty_sweep(self):
+        assert run_sweep(echo_worker, []) == []
