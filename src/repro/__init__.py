@@ -75,6 +75,14 @@ from .workload import (
     generate_webserver_trace,
     matrix_modes,
 )
+from .faults import (
+    DiskFailFault,
+    FaultInjector,
+    FaultSchedule,
+    SectorErrorFault,
+    SlowdownFault,
+    StuckFault,
+)
 from .replay import ReplayResult, ReplaySession, replay_trace
 from .metrics import iops_per_watt, mbps_per_kilowatt
 from .host import EvaluationHost, ResultsDatabase, TestRecord
@@ -124,6 +132,12 @@ __all__ = [
     "generate_cello_trace",
     "generate_webserver_trace",
     "matrix_modes",
+    "DiskFailFault",
+    "FaultInjector",
+    "FaultSchedule",
+    "SectorErrorFault",
+    "SlowdownFault",
+    "StuckFault",
     "ReplayResult",
     "ReplaySession",
     "replay_trace",

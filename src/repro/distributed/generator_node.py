@@ -8,11 +8,21 @@ and answers the host's frames:
 * ``run_test`` → executes the replay locally and returns the flat
   result summary;
 * ``shutdown`` → acknowledges (the owner stops the server).
+
+``run_test`` dispatches are idempotent when the host tags them with a
+``request_id``: results are cached per id, so a retried dispatch (the
+host's communicator resends after a lost reply) returns the cached
+summary instead of replaying again.  A dispatch that arrives while the
+same id is still executing waits for that execution to finish rather
+than starting a second one.  Error replies are never cached — a retry
+after a transient failure re-executes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
 
 from ..config import TestRequest
 from ..errors import TracerError
@@ -34,6 +44,13 @@ from ..trace.repository import TraceRepository
 
 DeviceFactory = Callable[[], StorageDevice]
 
+#: Most recent run_test results retained for retry deduplication.
+RESULT_CACHE_SIZE = 256
+
+#: Upper bound on how long a duplicate dispatch waits for the original
+#: execution of the same request id before giving up with an error.
+DUPLICATE_WAIT_SECONDS = 600.0
+
 
 class GeneratorNode:
     """One workload-generator machine."""
@@ -46,13 +63,19 @@ class GeneratorNode:
         host: str = "127.0.0.1",
         port: int = 0,
         node_id: str = "generator-0",
+        idle_timeout: Optional[float] = None,
     ) -> None:
         self.device_factory = device_factory
         self.device_label = device_label
         self.repository = repository
         self.node_id = node_id
         self.tests_served = 0
-        self._server = CommunicatorServer(self._handle, host=host, port=port)
+        self._lock = threading.Lock()
+        self._results: "OrderedDict[str, Frame]" = OrderedDict()
+        self._in_progress: Dict[str, threading.Event] = {}
+        self._server = CommunicatorServer(
+            self._handle, host=host, port=port, idle_timeout=idle_timeout
+        )
 
     @property
     def port(self) -> int:
@@ -92,6 +115,49 @@ class GeneratorNode:
         return Frame(KIND_ERROR, {"message": f"unknown frame kind {frame.kind!r}"})
 
     def _run_test(self, frame: Frame) -> Frame:
+        request_id = frame.body.get("request_id")
+        if request_id is None:
+            # Legacy host without ids: execute unconditionally.
+            return self._execute(frame)
+        while True:
+            with self._lock:
+                cached = self._results.get(request_id)
+                if cached is not None:
+                    return cached
+                running = self._in_progress.get(request_id)
+                if running is None:
+                    done = threading.Event()
+                    self._in_progress[request_id] = done
+                    break
+            # Same id already executing on another connection: wait for
+            # it, then loop to pick up the cached result (or re-claim
+            # the id if the first execution errored).
+            if not running.wait(DUPLICATE_WAIT_SECONDS):
+                return Frame(
+                    KIND_ERROR,
+                    {
+                        "message": (
+                            f"request {request_id!r} still executing after "
+                            f"{DUPLICATE_WAIT_SECONDS}s"
+                        )
+                    },
+                )
+        reply: Optional[Frame] = None
+        try:
+            reply = self._execute(frame)
+        finally:
+            with self._lock:
+                # Cache only successes; a failed execution may succeed
+                # on retry, so the id stays claimable.
+                if reply is not None and reply.kind == KIND_TEST_RESULT:
+                    self._results[request_id] = reply
+                    while len(self._results) > RESULT_CACHE_SIZE:
+                        self._results.popitem(last=False)
+                self._in_progress.pop(request_id, None)
+                done.set()
+        return reply
+
+    def _execute(self, frame: Frame) -> Frame:
         try:
             request = TestRequest.from_dict(frame.body["request"])
             name = self.repository.lookup(self.device_label, request.mode)

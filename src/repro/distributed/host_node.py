@@ -4,16 +4,27 @@ Mirrors :class:`~repro.host.evaluation.EvaluationHost`'s test surface but
 executes replays on remote generator nodes, storing the returned
 summaries in a local results database (the paper's host machine keeps
 the database; generators do the I/O).
+
+Failure semantics: the underlying :class:`~repro.host.communicator.Communicator`
+retries each request over a fresh connection with exponential backoff,
+so transient connection drops are absorbed within the configured
+attempt budget and anything worse surfaces as a clean
+:class:`~repro.errors.ProtocolError`.  Every ``run_test`` dispatch
+carries a unique ``request_id``, which the generator node uses to
+deduplicate retried dispatches — a replay never runs twice because its
+reply got lost on the wire.
 """
 
 from __future__ import annotations
 
+import itertools
 import time as _time
+import uuid
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..config import LOAD_LEVELS, ReplayConfig, TestRequest, WorkloadMode
 from ..errors import ProtocolError
-from ..host.communicator import Communicator
+from ..host.communicator import Communicator, RetryPolicy
 from ..host.database import ResultsDatabase
 from ..host.protocol import (
     Frame,
@@ -28,7 +39,12 @@ from ..host.records import TestRecord
 
 
 class RemoteEvaluationHost:
-    """Client-side evaluation host for one generator node."""
+    """Client-side evaluation host for one generator node.
+
+    Construction connects and performs the HELLO handshake; if either
+    step fails the socket is closed before the error propagates (no
+    leaked connections from refused handshakes).
+    """
 
     def __init__(
         self,
@@ -37,18 +53,43 @@ class RemoteEvaluationHost:
         database: Optional[ResultsDatabase] = None,
         clock: Callable[[], float] = _time.time,
         timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self.comm = Communicator(host, port, timeout=timeout)
         self.database = database if database is not None else ResultsDatabase()
         self.clock = clock
-        reply = self.comm.request(Frame(KIND_HELLO, {}))
+        self.node_id = "?"
+        self.device_label = "?"
+        self.comm: Optional[Communicator] = None
+        self._client_id = uuid.uuid4().hex[:12]
+        self._sequence = itertools.count()
+        comm = self._connect(host, port, timeout, retry)
+        try:
+            self._handshake(comm)
+        except BaseException:
+            comm.close()
+            raise
+        self.comm = comm
+
+    @staticmethod
+    def _connect(
+        host: str, port: int, timeout: float, retry: Optional[RetryPolicy]
+    ) -> Communicator:
+        """Dial the node (retried/bounded inside the communicator)."""
+        return Communicator(host, port, timeout=timeout, retry=retry)
+
+    def _handshake(self, comm: Communicator) -> None:
+        """HELLO dialogue: learn the node's identity and device label."""
+        reply = comm.request(Frame(KIND_HELLO, {}))
         if reply.kind == KIND_ERROR:
-            raise ProtocolError(f"node refused hello: {reply.body.get('message')}")
+            raise ProtocolError(
+                f"node refused hello: {reply.body.get('message')}"
+            )
         self.node_id = reply.body.get("node_id", "?")
         self.device_label = reply.body.get("device", "?")
 
     def close(self) -> None:
-        self.comm.close()
+        if self.comm is not None:
+            self.comm.close()
 
     def __enter__(self) -> "RemoteEvaluationHost":
         return self
@@ -56,16 +97,30 @@ class RemoteEvaluationHost:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _require_comm(self) -> Communicator:
+        if self.comm is None:
+            raise ProtocolError("remote host is closed")
+        return self.comm
+
     def list_traces(self) -> List[str]:
-        reply = self.comm.request(Frame(KIND_LIST_TRACES, {}))
+        reply = self._require_comm().request(Frame(KIND_LIST_TRACES, {}))
         if reply.kind != KIND_TRACE_LIST:
             raise ProtocolError(f"unexpected reply {reply.kind!r}")
         return list(reply.body.get("traces", []))
 
     def run_test(self, request: TestRequest) -> TestRecord:
-        """Run one test remotely; store and return the record."""
-        reply = self.comm.request(
-            Frame(KIND_RUN_TEST, {"request": request.to_dict()})
+        """Run one test remotely; store and return the record.
+
+        The dispatch is tagged with a unique request id, so if the reply
+        is lost and the communicator retries, the node returns the
+        cached result of the first execution instead of replaying again.
+        """
+        request_id = f"{self._client_id}-{next(self._sequence)}"
+        reply = self._require_comm().request(
+            Frame(
+                KIND_RUN_TEST,
+                {"request": request.to_dict(), "request_id": request_id},
+            )
         )
         if reply.kind == KIND_ERROR:
             raise ProtocolError(f"remote test failed: {reply.body.get('message')}")

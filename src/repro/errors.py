@@ -48,6 +48,10 @@ class StorageIOError(TracerError):
     """A replayed request fell outside the device's addressable range."""
 
 
+class FaultConfigError(TracerError):
+    """Invalid fault-injection schedule or injector configuration."""
+
+
 class PowerAnalyzerError(TracerError):
     """Power analyzer misuse: unknown channel, sampling before arming, ..."""
 

@@ -1,0 +1,46 @@
+"""Deterministic fault injection for replay runs.
+
+TRACER's numbers are only trustworthy if the harness can be validated
+against known-ground-truth behaviour, including behaviour under partial
+failure.  This package provides:
+
+* :mod:`repro.faults.schedule` — seeded, declarative fault schedules
+  (:class:`FaultSchedule`) describing latent sector errors, transient
+  slowdowns, stuck-busy windows, and whole-disk failures at a fixed
+  simulated time;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, a transparent
+  :class:`~repro.storage.base.StorageDevice` wrapper that applies a
+  schedule to any device (including :class:`~repro.storage.array.DiskArray`)
+  and logs every injected fault as a :class:`FaultEvent`;
+* :mod:`repro.faults.network` — :class:`FlakyLink`, a deterministic TCP
+  fault proxy for exercising the distributed protocol's retry paths.
+
+All injection is a pure function of the schedule's seed and the
+simulation clock, so a faulty run is exactly as reproducible as a clean
+one.
+"""
+
+from .injector import FaultInjector
+from .network import FlakyLink, LinkFault
+from .schedule import (
+    DiskFailFault,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    SectorErrorFault,
+    SlowdownFault,
+    StuckFault,
+)
+
+__all__ = [
+    "DiskFailFault",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "FlakyLink",
+    "LinkFault",
+    "SectorErrorFault",
+    "SlowdownFault",
+    "StuckFault",
+]

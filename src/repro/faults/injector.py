@@ -1,0 +1,223 @@
+"""The fault injector: a transparent faulty wrapper for any device.
+
+:class:`FaultInjector` sits between the replay engine and the device
+under test.  The clean path is untouched — submissions (including the
+packed ``submit_slice`` fast path) are delegated to the wrapped device —
+and faults act on *completions*: a completion that a fault affects is
+re-delivered later with its ``finish_time`` moved, so injected latency
+shows up in every downstream measurement (monitor samples, response
+times, the power window of the run) exactly as a real fault would.
+
+Determinism: every injected delay is a pure function of the schedule and
+of simulation state that is itself deterministic, so two runs with the
+same seed produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import FaultConfigError
+from ..sim.engine import Simulator
+from ..storage.array import DiskArray
+from ..storage.base import Completion, CompletionCallback, StorageDevice
+from ..trace.record import READ
+from .schedule import FaultEvent, FaultKind, FaultSchedule
+
+#: Cap on the per-run event log; counters stay exact beyond it.
+MAX_LOGGED_EVENTS = 1000
+
+
+class FaultInjector(StorageDevice):
+    """Wrap ``inner`` and apply a :class:`FaultSchedule` to its traffic.
+
+    Parameters
+    ----------
+    inner:
+        The device under test.  Disk-failure faults additionally require
+        it to be a :class:`~repro.storage.array.DiskArray`.
+    schedule:
+        What to inject.  An empty schedule makes the wrapper a strict
+        pass-through (no per-request overhead beyond one ``if``).
+    """
+
+    def __init__(
+        self,
+        inner: StorageDevice,
+        schedule: FaultSchedule,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name if name is not None else f"faulty:{inner.name}")
+        self.inner = inner
+        self.schedule = schedule
+        self.fault_events: List[FaultEvent] = []
+        self.counters: Dict[str, int] = {
+            "sector_errors": 0,
+            "slowdown_delayed": 0,
+            "stuck_held": 0,
+            "disk_failures": 0,
+        }
+        self._bad_starts: Optional[np.ndarray] = None
+        self._bad_ends: Optional[np.ndarray] = None
+        self._armed_for: Optional[Simulator] = None
+        self._windows_logged: set = set()
+        self._last_cb: Optional[CompletionCallback] = None
+        self._last_wrapped: Optional[CompletionCallback] = None
+
+    # -- Device interface --------------------------------------------------
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self.inner.capacity_sectors
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        return self.inner.energy_between(t0, t1)
+
+    def attach(self, sim: Simulator) -> None:
+        super().attach(sim)
+        self.inner.attach(sim)
+        if self._armed_for is sim:
+            return
+        self._armed_for = sim
+        self._last_cb = None
+        self._last_wrapped = None
+        spec = self.schedule.sector_errors
+        if spec is not None and spec.count:
+            starts = self.schedule.resolve_bad_extents(self.capacity_sectors)
+            self._bad_starts = starts
+            self._bad_ends = starts + spec.extent_sectors
+        for fault in self.schedule.disk_failures:
+            if not isinstance(self.inner, DiskArray):
+                raise FaultConfigError(
+                    f"{self.name}: disk-failure faults need a DiskArray "
+                    f"target, not {type(self.inner).__name__}"
+                )
+            if not 0 <= fault.member < len(self.inner.disks):
+                raise FaultConfigError(
+                    f"{self.name}: no member {fault.member} to fail"
+                )
+            sim.schedule(fault.at, self._fire_disk_fail, fault, priority=0)
+
+    def submit(self, package, on_complete: CompletionCallback) -> None:
+        if self.schedule.empty:
+            self.inner.submit(package, on_complete)
+        else:
+            self.inner.submit(package, self._wrapped(on_complete))
+
+    def submit_slice(self, packed, start, stop, on_complete) -> None:
+        # The packed fast path stays fast: the slice goes to the inner
+        # device's vectorised submission unchanged; faults only add a
+        # constant amount of work per *completion*.
+        if self.schedule.empty:
+            self.inner.submit_slice(packed, start, stop, on_complete)
+        else:
+            self.inner.submit_slice(
+                packed, start, stop, self._wrapped(on_complete)
+            )
+
+    # -- Fault machinery ---------------------------------------------------
+
+    def _wrapped(self, cb: CompletionCallback) -> CompletionCallback:
+        if cb is self._last_cb:
+            return self._last_wrapped  # type: ignore[return-value]
+
+        def deliver(completion: Completion) -> None:
+            self._deliver(completion, cb)
+
+        self._last_cb = cb
+        self._last_wrapped = deliver
+        return deliver
+
+    def _deliver(self, completion: Completion, cb: CompletionCallback) -> None:
+        sim = self._require_sim()
+        now = completion.finish_time
+        extra = 0.0
+        pkg = completion.package
+        if (
+            self._bad_starts is not None
+            and len(self._bad_starts)
+            and pkg.op == READ
+        ):
+            hit = self._bad_extent_hit(pkg.sector, pkg.end_sector)
+            if hit is not None:
+                spec = self.schedule.sector_errors
+                assert spec is not None
+                extra += spec.retry_penalty
+                self.counters["sector_errors"] += 1
+                self._log(
+                    FaultKind.SECTOR_ERROR,
+                    now,
+                    {"sector": int(pkg.sector), "extent_start": int(hit)},
+                )
+        for idx, window in enumerate(self.schedule.slowdowns):
+            if window.start <= now < window.end:
+                extra += (window.factor - 1.0) * completion.service_time
+                self.counters["slowdown_delayed"] += 1
+                self._log_window(("slowdown", idx), FaultKind.SLOWDOWN, window)
+        target = now + extra
+        for idx, window in enumerate(self.schedule.stuck_windows):
+            if window.start <= target < window.end:
+                target = window.end
+                self.counters["stuck_held"] += 1
+                self._log_window(("stuck", idx), FaultKind.STUCK, window)
+        if target <= now:
+            cb(completion)
+        else:
+            sim.schedule(target, self._deliver_late, completion, target, cb,
+                         priority=1)
+
+    def _deliver_late(
+        self, completion: Completion, target: float, cb: CompletionCallback
+    ) -> None:
+        cb(replace(completion, finish_time=target))
+
+    def _bad_extent_hit(self, sector: int, end_sector: int) -> Optional[int]:
+        """Return the start of a bad extent overlapping [sector, end)."""
+        assert self._bad_starts is not None and self._bad_ends is not None
+        i = int(np.searchsorted(self._bad_starts, end_sector, side="left"))
+        # Extents are fixed-length and sorted, so only the nearest extent
+        # starting before ``end_sector`` can overlap.
+        if i and self._bad_ends[i - 1] > sector:
+            return int(self._bad_starts[i - 1])
+        return None
+
+    def _fire_disk_fail(self, fault) -> None:
+        array = self.inner
+        assert isinstance(array, DiskArray)
+        if array.failed_disk == fault.member:
+            return  # re-armed schedule on a device that already failed
+        array.fail_disk(fault.member)
+        self.counters["disk_failures"] += 1
+        sim = self._require_sim()
+        self._log(
+            FaultKind.DISK_FAIL,
+            sim.now,
+            {"member": fault.member, "device": array.disks[fault.member].name},
+        )
+
+    def _log_window(self, key, kind: FaultKind, window) -> None:
+        """Log a window fault once, on its first affected completion."""
+        if key in self._windows_logged:
+            return
+        self._windows_logged.add(key)
+        detail = {"start": window.start, "duration": window.duration}
+        if kind is FaultKind.SLOWDOWN:
+            detail["factor"] = window.factor
+        sim = self._require_sim()
+        self._log(kind, sim.now, detail)
+
+    def _log(self, kind: FaultKind, time: float, detail: Dict) -> None:
+        if len(self.fault_events) < MAX_LOGGED_EVENTS:
+            self.fault_events.append(
+                FaultEvent(time=time, kind=kind, device=self.name, detail=detail)
+            )
+
+
+def unwrap(device: StorageDevice) -> StorageDevice:
+    """Peel fault injectors off a device (for power/thermal plumbing)."""
+    while isinstance(device, FaultInjector):
+        device = device.inner
+    return device

@@ -1,0 +1,196 @@
+"""Deterministic TCP fault proxy for the host↔generator channel.
+
+:class:`FlakyLink` listens on an ephemeral loopback port and forwards
+byte streams to a real target (typically a
+:class:`~repro.distributed.generator_node.GeneratorNode`), injecting one
+:class:`LinkFault` per accepted connection, in order.  Because a
+retrying client dials connections strictly sequentially, the fault a
+given attempt sees is deterministic — which is what lets the fuzz tests
+assert exact retry budgets.
+
+After the plan is exhausted every further connection is forwarded
+cleanly, so "drop the first N attempts" scenarios converge.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import FaultConfigError
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Behaviour of one proxied connection.
+
+    Parameters
+    ----------
+    refuse:
+        Close the client connection immediately, before forwarding
+        anything (connection-refused-like failure).
+    drop_c2s_after:
+        Kill the connection after this many client→server bytes.
+    drop_s2c_after:
+        Kill the connection after this many server→client bytes (lets a
+        request reach — and execute on — the server, then loses the
+        reply: the idempotent-retry case).
+    garble_reply:
+        XOR-corrupt the first 4 bytes of the server's reply (the frame
+        length prefix), turning it into a malformed/oversized frame.
+    """
+
+    refuse: bool = False
+    drop_c2s_after: Optional[int] = None
+    drop_s2c_after: Optional[int] = None
+    garble_reply: bool = False
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("drop_c2s_after", self.drop_c2s_after),
+            ("drop_s2c_after", self.drop_s2c_after),
+        ):
+            if value is not None and value < 0:
+                raise FaultConfigError(f"{label} must be >= 0, got {value}")
+
+
+CLEAN = LinkFault()
+
+
+class FlakyLink:
+    """A fault-injecting TCP proxy in front of one target address."""
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        plan: Sequence[LinkFault] = (),
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.target = (target_host, target_port)
+        self.plan = list(plan)
+        self.connections_served = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(16)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> "FlakyLink":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        try:
+            with socket.create_connection(self.address, timeout=1.0):
+                pass
+        except OSError:
+            pass
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FlakyLink":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- Proxying ----------------------------------------------------------
+
+    def _next_fault(self) -> LinkFault:
+        with self._lock:
+            index = self.connections_served
+            self.connections_served += 1
+        return self.plan[index] if index < len(self.plan) else CLEAN
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                break
+            if self._stop.is_set():
+                client.close()
+                break
+            fault = self._next_fault()
+            if fault.refuse:
+                client.close()
+                continue
+            threading.Thread(
+                target=self._serve, args=(client, fault), daemon=True
+            ).start()
+
+    def _serve(self, client: socket.socket, fault: LinkFault) -> None:
+        try:
+            upstream = socket.create_connection(self.target, timeout=5.0)
+        except OSError:
+            client.close()
+            return
+        dead = threading.Event()
+
+        def kill() -> None:
+            dead.set()
+            for sock in (client, upstream):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+
+        def pump(
+            src: socket.socket,
+            dst: socket.socket,
+            budget: Optional[int],
+            garble_first: bool,
+        ) -> None:
+            forwarded = 0
+            first = True
+            while not dead.is_set():
+                try:
+                    data = src.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                if garble_first and first:
+                    head = bytes(b ^ 0xFF for b in data[:4])
+                    data = head + data[4:]
+                    first = False
+                if budget is not None and forwarded + len(data) > budget:
+                    take = budget - forwarded
+                    if take > 0:
+                        try:
+                            dst.sendall(data[:take])
+                        except OSError:
+                            pass
+                    kill()
+                    return
+                try:
+                    dst.sendall(data)
+                except OSError:
+                    break
+                forwarded += len(data)
+            kill()
+
+        c2s = threading.Thread(
+            target=pump,
+            args=(client, upstream, fault.drop_c2s_after, False),
+            daemon=True,
+        )
+        s2c = threading.Thread(
+            target=pump,
+            args=(upstream, client, fault.drop_s2c_after, fault.garble_reply),
+            daemon=True,
+        )
+        c2s.start()
+        s2c.start()

@@ -1,0 +1,268 @@
+"""Seeded fault schedules.
+
+A :class:`FaultSchedule` is a declarative, immutable description of every
+fault a run will inject.  Where a fault needs randomness (the placement
+of latent bad sectors, the composition of a generated schedule), that
+randomness is drawn from streams derived from the schedule's seed via
+:func:`repro.rng.spawn` — two schedules built from the same seed are
+equal, and two runs driven by equal schedules are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import FaultConfigError
+from ..rng import spawn
+
+
+class FaultKind(Enum):
+    """Categories of injected faults (the ``kind`` of a logged event)."""
+
+    SECTOR_ERROR = "sector_error"
+    SLOWDOWN = "slowdown"
+    STUCK = "stuck"
+    DISK_FAIL = "disk_fail"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence, logged on the simulation clock."""
+
+    time: float
+    kind: FaultKind
+    device: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (stored in results, crosses the wire protocol)."""
+        return {
+            "time": self.time,
+            "kind": self.kind.value,
+            "device": self.device,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass(frozen=True)
+class SectorErrorFault:
+    """Latent sector errors: seeded bad extents that penalise reads.
+
+    ``count`` bad extents of ``extent_sectors`` sectors each are placed
+    uniformly (from the schedule seed) over the device's address space.
+    A read overlapping a bad extent completes, but only after the drive's
+    internal retry/ECC recovery — modelled as ``retry_penalty`` extra
+    seconds of response time.  Writes are unaffected (drives remap on
+    write).
+    """
+
+    count: int
+    extent_sectors: int = 8
+    retry_penalty: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise FaultConfigError(f"count must be >= 0, got {self.count}")
+        if self.extent_sectors < 1:
+            raise FaultConfigError(
+                f"extent_sectors must be >= 1, got {self.extent_sectors}"
+            )
+        if self.retry_penalty < 0:
+            raise FaultConfigError(
+                f"retry_penalty must be >= 0, got {self.retry_penalty}"
+            )
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """A transient slowdown window.
+
+    Requests whose service completes inside ``[start, start + duration)``
+    take ``factor`` times their service time (the extra delay is added to
+    the delivered completion).  Models thermal throttling, background
+    media scans, and neighbour interference.
+    """
+
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultConfigError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise FaultConfigError(f"duration must be > 0, got {self.duration}")
+        if self.factor < 1.0:
+            raise FaultConfigError(f"factor must be >= 1, got {self.factor}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class StuckFault:
+    """A stuck-busy window: the device freezes, then recovers.
+
+    Any request that would complete inside ``[start, start + duration)``
+    is held and completes at the window's end — the classic firmware
+    stall / bus reset timeout.
+    """
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultConfigError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise FaultConfigError(f"duration must be > 0, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class DiskFailFault:
+    """Whole-disk failure of one array member at simulated time ``at``.
+
+    Only meaningful when the injected device is a
+    :class:`~repro.storage.array.DiskArray`: at ``at`` the member is
+    marked failed and the array plans all subsequent I/O in degraded
+    reconstruct-read mode (RAID-5).  Requests already in flight complete
+    normally, as they would against a controller that detects the
+    failure on the next dispatch.
+    """
+
+    at: float
+    member: int
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultConfigError(f"at must be >= 0, got {self.at}")
+        if self.member < 0:
+            raise FaultConfigError(f"member must be >= 0, got {self.member}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything one run will inject, reproducible from ``seed``.
+
+    The seed drives both the randomised parts of the schedule itself
+    (bad-extent placement) and nothing else — timed faults are explicit,
+    so a schedule is fully inspectable before the run.
+    """
+
+    seed: int = 0
+    sector_errors: Optional[SectorErrorFault] = None
+    slowdowns: Tuple[SlowdownFault, ...] = ()
+    stuck_windows: Tuple[StuckFault, ...] = ()
+    disk_failures: Tuple[DiskFailFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+        object.__setattr__(self, "stuck_windows", tuple(self.stuck_windows))
+        object.__setattr__(self, "disk_failures", tuple(self.disk_failures))
+        members = [f.member for f in self.disk_failures]
+        if len(set(members)) != len(members):
+            raise FaultConfigError(
+                "at most one DiskFailFault per member is supported"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule injects nothing (wrapper is a no-op)."""
+        return (
+            (self.sector_errors is None or self.sector_errors.count == 0)
+            and not self.slowdowns
+            and not self.stuck_windows
+            and not self.disk_failures
+        )
+
+    def resolve_bad_extents(self, capacity_sectors: int) -> np.ndarray:
+        """Place the latent bad extents on a device of the given size.
+
+        Returns the sorted int64 array of extent start sectors (each
+        extent spans ``extent_sectors`` sectors).  Deterministic: the
+        placement depends only on the schedule seed, the spec, and the
+        capacity.
+        """
+        spec = self.sector_errors
+        if spec is None or spec.count == 0:
+            return np.empty(0, dtype=np.int64)
+        if capacity_sectors <= spec.extent_sectors:
+            raise FaultConfigError(
+                f"device of {capacity_sectors} sectors cannot hold a "
+                f"{spec.extent_sectors}-sector bad extent"
+            )
+        rng = spawn(self.seed, "faults", "sector-errors")
+        starts = rng.integers(
+            0, capacity_sectors - spec.extent_sectors, size=spec.count
+        )
+        return np.sort(starts.astype(np.int64))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float,
+        n_members: int = 0,
+        max_slowdowns: int = 2,
+        sector_error_count: int = 4,
+    ) -> "FaultSchedule":
+        """Draw a random-but-reproducible schedule for a run of ``duration``.
+
+        The composition (how many windows, where, which member fails) is
+        a pure function of ``seed``; calling twice with the same
+        arguments returns equal schedules.  ``n_members > 0`` enables a
+        possible member failure (for array targets).
+        """
+        if duration <= 0:
+            raise FaultConfigError(f"duration must be > 0, got {duration}")
+        if n_members < 0:
+            raise FaultConfigError(f"n_members must be >= 0, got {n_members}")
+        rng = spawn(seed, "faults", "generate")
+        slowdowns = tuple(
+            SlowdownFault(
+                start=float(rng.uniform(0.0, duration * 0.8)),
+                duration=float(rng.uniform(duration * 0.05, duration * 0.25)),
+                factor=float(rng.uniform(1.5, 4.0)),
+            )
+            for _ in range(int(rng.integers(0, max_slowdowns + 1)))
+        )
+        stuck: Tuple[StuckFault, ...] = ()
+        if rng.random() < 0.5:
+            stuck = (
+                StuckFault(
+                    start=float(rng.uniform(0.0, duration * 0.8)),
+                    duration=float(rng.uniform(duration * 0.05, duration * 0.2)),
+                ),
+            )
+        failures: Tuple[DiskFailFault, ...] = ()
+        if n_members > 0 and rng.random() < 0.5:
+            failures = (
+                DiskFailFault(
+                    at=float(rng.uniform(duration * 0.2, duration * 0.8)),
+                    member=int(rng.integers(0, n_members)),
+                ),
+            )
+        sector = (
+            SectorErrorFault(
+                count=sector_error_count,
+                retry_penalty=float(rng.uniform(0.01, 0.05)),
+            )
+            if sector_error_count
+            else None
+        )
+        return cls(
+            seed=seed,
+            sector_errors=sector,
+            slowdowns=slowdowns,
+            stuck_windows=stuck,
+            disk_failures=failures,
+        )

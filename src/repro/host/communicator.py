@@ -5,34 +5,135 @@ workload generator); :class:`CommunicatorServer` is the accepting side
 (a workload-generator node).  Both speak length-prefixed JSON frames
 (:mod:`repro.host.protocol`) with blocking request/response semantics —
 the host's dialogue is strictly sequential per node.
+
+Robustness: every client operation is bounded.  Sockets carry a timeout,
+transport failures surface as typed :class:`~repro.errors.ProtocolError`
+(never a hang), and :meth:`Communicator.request` retries over a fresh
+connection with exponential backoff under a :class:`RetryPolicy` budget.
+Retried requests may reach the server twice — callers that dispatch
+side-effectful work attach request ids so the server can deduplicate
+(see :class:`~repro.distributed.generator_node.GeneratorNode`).
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from typing import Callable, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import ProtocolError
-from .protocol import Frame, FrameReader, encode_frame
+from .protocol import Frame, FrameReader, KIND_ERROR, encode_frame
 
 FrameHandler = Callable[[Frame], Frame]
 
 
-class Communicator:
-    """Client side of the host↔generator channel."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for client-side requests.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    ``delay(attempt)`` is the sleep after the ``attempt``-th failure
+    (0-based): ``min(base_delay * multiplier**attempt, max_delay)``.
+    Deliberately jitter-free so retry timing is reproducible in tests.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ProtocolError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ProtocolError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ProtocolError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+
+#: Single-attempt policy: fail fast, no backoff.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0)
+
+
+class Communicator:
+    """Client side of the host↔generator channel.
+
+    Parameters
+    ----------
+    timeout:
+        Socket timeout in seconds for connect, send, and receive; a
+        stalled peer produces a :class:`ProtocolError`, never a hang.
+    retry:
+        Attempt budget and backoff for :meth:`request` (and the initial
+        dial).  Defaults to 4 attempts with 50 ms exponential backoff.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ProtocolError(f"timeout must be > 0, got {timeout}")
         self.address = (host, port)
-        self._sock = socket.create_connection(self.address, timeout=timeout)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sock: Optional[socket.socket] = None
         self._reader = FrameReader()
-        self._pending: list = []
+        self._pending: List[Frame] = []
+        self._connect()
+
+    # -- Connection management ---------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def _dial(self) -> socket.socket:
+        """One connection attempt; the timeout sticks for all later I/O."""
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        return sock
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._sock = self._dial()
+        # Discard any half-received frame from the dead connection.
+        self._reader = FrameReader()
+        self._pending.clear()
+
+    def _connect(self) -> None:
+        last: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                self._reconnect()
+                return
+            except OSError as exc:
+                last = exc
+                if attempt + 1 < self.retry.max_attempts:
+                    time.sleep(self.retry.delay(attempt))
+        raise ProtocolError(
+            f"cannot connect to {self.address[0]}:{self.address[1]} after "
+            f"{self.retry.max_attempts} attempts: {last}"
+        ) from last
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "Communicator":
         return self
@@ -40,15 +141,31 @@ class Communicator:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- Frame I/O ----------------------------------------------------------
+
     def send(self, frame: Frame) -> None:
-        self._sock.sendall(encode_frame(frame))
+        if self._sock is None:
+            raise ProtocolError("communicator is closed")
+        try:
+            self._sock.sendall(encode_frame(frame))
+        except OSError as exc:
+            raise ProtocolError(f"send failed: {exc}") from exc
 
     def receive(self) -> Frame:
-        """Block until one complete frame arrives (FIFO across recvs)."""
+        """Block (bounded by the timeout) until one complete frame arrives."""
         if self._pending:
             return self._pending.pop(0)
+        if self._sock is None:
+            raise ProtocolError("communicator is closed")
         while True:
-            data = self._sock.recv(65536)
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout as exc:
+                raise ProtocolError(
+                    f"receive timed out after {self.timeout}s"
+                ) from exc
+            except OSError as exc:
+                raise ProtocolError(f"receive failed: {exc}") from exc
             if not data:
                 raise ProtocolError("connection closed mid-frame")
             frames = self._reader.feed(data)
@@ -57,9 +174,31 @@ class Communicator:
                 return frames[0]
 
     def request(self, frame: Frame) -> Frame:
-        """Send one frame and wait for the reply."""
-        self.send(frame)
-        return self.receive()
+        """Send one frame and wait for the reply, retrying on failure.
+
+        Each attempt uses a fresh connection if the previous one died.
+        Connection drops, timeouts, and malformed reply frames all count
+        against the retry budget; exhausting it raises
+        :class:`ProtocolError` carrying the last underlying failure.
+        A retried request may execute twice server-side — pass a
+        ``request_id`` in the frame body when that matters.
+        """
+        last: Optional[Exception] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                if self._sock is None:
+                    self._reconnect()
+                self.send(frame)
+                return self.receive()
+            except (OSError, ProtocolError) as exc:
+                last = exc
+                self.close()
+                if attempt + 1 < self.retry.max_attempts:
+                    time.sleep(self.retry.delay(attempt))
+        raise ProtocolError(
+            f"request {frame.kind!r} to {self.address[0]}:{self.address[1]} "
+            f"failed after {self.retry.max_attempts} attempts: {last}"
+        ) from last
 
 
 class CommunicatorServer:
@@ -67,10 +206,20 @@ class CommunicatorServer:
 
     Per-connection threads make the server usable by the multichannel
     evaluation (several hosts talking to several generator nodes).
+    A client that sends a malformed frame gets one ``error`` frame back
+    (best effort) and its connection closed; ``idle_timeout`` bounds how
+    long a silent connection may pin its thread.
     """
 
-    def __init__(self, handler: FrameHandler, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        handler: FrameHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: Optional[float] = None,
+    ):
         self.handler = handler
+        self.idle_timeout = idle_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -120,6 +269,8 @@ class CommunicatorServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         reader = FrameReader()
+        if self.idle_timeout is not None:
+            conn.settimeout(self.idle_timeout)
         with conn:
             while not self._stop.is_set():
                 try:
@@ -130,13 +281,22 @@ class CommunicatorServer:
                     break
                 try:
                     frames = reader.feed(data)
-                except ProtocolError:
+                except ProtocolError as exc:
+                    # Tell the peer why before hanging up.
+                    try:
+                        conn.sendall(
+                            encode_frame(
+                                Frame(KIND_ERROR, {"message": str(exc)})
+                            )
+                        )
+                    except OSError:
+                        pass
                     break
                 for frame in frames:
                     try:
                         reply = self.handler(frame)
                     except Exception as exc:  # surface handler bugs to peer
-                        reply = Frame("error", {"message": repr(exc)})
+                        reply = Frame(KIND_ERROR, {"message": repr(exc)})
                     try:
                         conn.sendall(encode_frame(reply))
                     except OSError:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..faults.schedule import FaultEvent
 from ..metrics.efficiency import iops_per_watt, mbps_per_kilowatt
 from ..power.analyzer import PowerSample
 from .monitor import PerfSample
@@ -54,6 +55,9 @@ class ReplayResult:
     """Per-cycle :class:`~repro.thermal.monitor.ThermalSample` records,
     populated when the session ran with thermal monitoring enabled
     (the paper's future-work temperature metric)."""
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    """Injected faults that fired during this run (seeded fault
+    injection), in simulation-time order.  Empty for clean runs."""
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -118,5 +122,6 @@ class ReplayResult:
             "energy_joules": self.energy_joules,
             "iops_per_watt": self.iops_per_watt,
             "mbps_per_kilowatt": self.mbps_per_kilowatt,
+            "fault_events": [e.to_dict() for e in self.fault_events],
             "metadata": dict(self.metadata),
         }

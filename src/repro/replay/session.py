@@ -14,6 +14,8 @@ from typing import Optional
 from ..config import ReplayConfig
 from ..core.loadcontrol import LoadController
 from ..errors import ReplayError
+from ..faults.injector import FaultInjector, unwrap
+from ..faults.schedule import FaultSchedule
 from ..power.analyzer import PowerAnalyzer
 from ..power.sensor import HallSensor
 from ..sim.engine import Simulator
@@ -40,6 +42,11 @@ class ReplaySession:
         Sampling cycle, time-scale, and filter group size.
     sensor:
         Optional imperfect Hall sensor for the power channel.
+    faults:
+        Optional seeded :class:`~repro.faults.schedule.FaultSchedule`;
+        when given, the device is wrapped in a
+        :class:`~repro.faults.injector.FaultInjector` and the run's
+        injected faults are surfaced in ``ReplayResult.fault_events``.
     """
 
     def __init__(
@@ -49,7 +56,10 @@ class ReplaySession:
         sensor: Optional[HallSensor] = None,
         thermal: bool = False,
         reporter=None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
+        if faults is not None and not faults.empty:
+            device = FaultInjector(device, faults)
         self.device = device
         self.config = config or ReplayConfig()
         self.sensor = sensor
@@ -69,10 +79,11 @@ class ReplaySession:
         from ..thermal.model import HDD_THERMAL, SSD_THERMAL, ThermalModel
         from ..thermal.monitor import ThermalMonitor
 
-        if not isinstance(self.device, DiskArray) or not self.device.disks:
+        target = unwrap(self.device)
+        if not isinstance(target, DiskArray) or not target.disks:
             return None
         models = {}
-        for disk in self.device.disks:
+        for disk in target.disks:
             spec = (
                 HDD_THERMAL if isinstance(disk, HardDiskDrive) else SSD_THERMAL
             )
@@ -80,9 +91,10 @@ class ReplaySession:
         return ThermalMonitor(models, sampling_cycle=self.config.sampling_cycle)
 
     def _power_source(self):
-        if isinstance(self.device, DiskArray):
-            return self.device.meter
-        return self.device
+        target = unwrap(self.device)
+        if isinstance(target, DiskArray):
+            return target.meter
+        return target
 
     def run(
         self,
@@ -156,6 +168,20 @@ class ReplaySession:
         total_bytes = monitor.total_bytes
         completed = monitor.total_completed
         responses = sum(s.total_response for s in monitor.samples)
+        metadata = {
+            "time_scale": self.config.time_scale,
+            "group_size": self.config.group_size,
+            "bunches_replayed": len(manipulated),
+        }
+        fault_events = []
+        if isinstance(self.device, FaultInjector):
+            fault_events = list(self.device.fault_events)
+            metadata["fault_counters"] = dict(self.device.counters)
+        target = unwrap(self.device)
+        if isinstance(target, DiskArray) and target.degraded_requests:
+            metadata["degraded_requests"] = target.degraded_requests
+            metadata["reconstruct_reads"] = target.reconstruct_reads
+            metadata["failed_disk"] = target.failed_disk
         return ReplayResult(
             trace_label=manipulated.label,
             load_proportion=load_proportion,
@@ -172,11 +198,8 @@ class ReplaySession:
                 if thermal_monitor is not None
                 else []
             ),
-            metadata={
-                "time_scale": self.config.time_scale,
-                "group_size": self.config.group_size,
-                "bunches_replayed": len(manipulated),
-            },
+            fault_events=fault_events,
+            metadata=metadata,
         )
 
 
@@ -185,6 +208,9 @@ def replay_trace(
     device: StorageDevice,
     load_proportion: float = 1.0,
     config: Optional[ReplayConfig] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> ReplayResult:
     """Convenience one-shot wrapper around :class:`ReplaySession`."""
-    return ReplaySession(device, config=config).run(trace, load_proportion)
+    return ReplaySession(device, config=config, faults=faults).run(
+        trace, load_proportion
+    )

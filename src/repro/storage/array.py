@@ -106,6 +106,8 @@ class DiskArray(StorageDevice):
         self.subio_count = 0
         self.failed_disk: Optional[int] = None
         self.rebuilding = False
+        self.degraded_requests = 0
+        self.reconstruct_reads = 0
 
     # -- Device interface --------------------------------------------------
 
@@ -143,6 +145,8 @@ class DiskArray(StorageDevice):
         self.check_bounds(package)
         if self.failed_disk is not None:
             plan = self.geometry.plan_degraded(package, self.failed_disk)
+            self.degraded_requests += 1
+            self.reconstruct_reads += plan.reconstruct_reads
         else:
             plan = self.geometry.plan(package)
         flight = _InFlight(

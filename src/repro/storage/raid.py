@@ -55,10 +55,15 @@ class IOPlan:
     """Execution plan: ``pre`` (reads) must finish before ``post`` issues.
 
     Plain reads and full-stripe writes have an empty ``pre`` phase.
+    ``reconstruct_reads`` counts the read sub-I/Os a degraded plan issues
+    purely to reconstruct data or parity for the failed member (survivor
+    reads standing in for a failed-chunk read, and the row reads of a
+    reconstruct-write); it is 0 for every clean-mode plan.
     """
 
     pre: Tuple[SubIO, ...]
     post: Tuple[SubIO, ...]
+    reconstruct_reads: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -340,7 +345,7 @@ class RaidGeometry:
         self, chunks: List[_Chunk], failed_disk: int
     ) -> IOPlan:
         subs: List[SubIO] = []
-        per_row = self.n_disks - 1
+        reconstruct_reads = 0
         for chunk in chunks:
             disk, row = self._raid5_place(chunk.strip_index)
             if disk != failed_disk:
@@ -355,7 +360,10 @@ class RaidGeometry:
                 if other == failed_disk:
                     continue
                 subs.append(SubIO(other, sector, chunk.nbytes, READ))
-        return IOPlan(pre=(), post=tuple(subs))
+                reconstruct_reads += 1
+        return IOPlan(
+            pre=(), post=tuple(subs), reconstruct_reads=reconstruct_reads
+        )
 
     def _plan_degraded_write(
         self, chunks: List[_Chunk], failed_disk: int
@@ -391,7 +399,9 @@ class RaidGeometry:
                         continue
                     pre.append(SubIO(other, sector, nbytes, READ))
                 post.append(SubIO(pdisk, sector, nbytes, WRITE))
-        return IOPlan(pre=tuple(pre), post=tuple(post))
+        return IOPlan(
+            pre=tuple(pre), post=tuple(post), reconstruct_reads=len(pre)
+        )
 
     def rebuild_rows(self) -> int:
         """Number of stripe rows a full rebuild must reconstruct."""

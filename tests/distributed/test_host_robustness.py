@@ -1,0 +1,104 @@
+"""RemoteEvaluationHost construction/teardown robustness.
+
+Regression coverage for the constructor doing the HELLO handshake: a
+refused or failed hello must close the freshly dialed socket before the
+error propagates, never leak it.
+"""
+
+import pytest
+
+import repro.distributed.host_node as host_node_module
+from repro.config import TestRequest, WorkloadMode
+from repro.distributed.generator_node import GeneratorNode
+from repro.distributed.host_node import RemoteEvaluationHost
+from repro.errors import ProtocolError
+from repro.host.communicator import Communicator, CommunicatorServer, NO_RETRY
+from repro.host.protocol import Frame, KIND_ERROR, KIND_HELLO
+from repro.storage.array import build_hdd_raid5
+from repro.trace.repository import TraceName
+
+MODE = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+
+
+@pytest.fixture
+def tracked_comms(monkeypatch):
+    """Every Communicator the host dials, for post-mortem inspection."""
+    instances = []
+
+    class TrackingCommunicator(Communicator):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            instances.append(self)
+
+    monkeypatch.setattr(host_node_module, "Communicator", TrackingCommunicator)
+    return instances
+
+
+def refusing_handler(frame: Frame) -> Frame:
+    if frame.kind == KIND_HELLO:
+        return Frame(KIND_ERROR, {"message": "node is draining"})
+    return Frame("ack", {})
+
+
+class TestHandshakeFailureClosesSocket:
+    def test_refused_hello_raises_and_closes(self, tracked_comms):
+        with CommunicatorServer(refusing_handler) as server:
+            with pytest.raises(ProtocolError, match="refused hello"):
+                RemoteEvaluationHost(
+                    "127.0.0.1", server.port, retry=NO_RETRY
+                )
+        assert len(tracked_comms) == 1
+        assert not tracked_comms[0].connected
+
+    def test_dead_peer_raises_and_closes(self, tracked_comms):
+        # A server that stops before replying: the hello times out.
+        server = CommunicatorServer(lambda f: Frame("ack", {}))
+        server.start()
+        port = server.port
+        server.stop()
+        with pytest.raises(ProtocolError):
+            RemoteEvaluationHost("127.0.0.1", port, retry=NO_RETRY, timeout=0.5)
+        for comm in tracked_comms:
+            assert not comm.connected
+
+    def test_nothing_listening_raises(self):
+        with CommunicatorServer(refusing_handler) as server:
+            free_port = server.port
+        with pytest.raises(ProtocolError, match="cannot connect"):
+            RemoteEvaluationHost(
+                "127.0.0.1", free_port, retry=NO_RETRY, timeout=0.5
+            )
+
+
+class TestHostLifecycle:
+    @pytest.fixture
+    def node(self, repo, collected_trace):
+        repo.store(
+            TraceName(
+                "hdd-raid5", MODE.request_size, MODE.random_ratio, MODE.read_ratio
+            ),
+            collected_trace,
+        )
+        with GeneratorNode(
+            lambda: build_hdd_raid5(6), "hdd-raid5", repo, node_id="gen-r"
+        ) as node:
+            yield node
+
+    def test_close_is_idempotent(self, node):
+        host = RemoteEvaluationHost("127.0.0.1", node.port)
+        host.close()
+        host.close()
+
+    def test_requests_after_close_raise_cleanly(self, node):
+        host = RemoteEvaluationHost("127.0.0.1", node.port)
+        host.close()
+        host.comm = None
+        with pytest.raises(ProtocolError, match="closed"):
+            host.list_traces()
+
+    def test_run_tests_use_distinct_request_ids(self, node):
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            host.run_test(TestRequest(mode=MODE.at_load(0.5)))
+            host.run_test(TestRequest(mode=MODE.at_load(1.0)))
+        assert node.tests_served == 2
+        assert len(node._results) == 2  # two distinct cached ids

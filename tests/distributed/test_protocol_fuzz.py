@@ -1,0 +1,238 @@
+"""Protocol fuzzing and fault-injected distributed replay.
+
+Feeds truncated, oversized, and garbage frames into the generator node,
+and drives host↔node dialogues through a :class:`FlakyLink` that drops
+connections mid-stream.  Every scenario must finish in bounded time
+(clean retries or a typed :class:`ProtocolError`) — a hang fails the
+test via the daemon-thread deadline helper.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.config import TestRequest, WorkloadMode
+from repro.errors import ProtocolError
+from repro.distributed.generator_node import GeneratorNode
+from repro.distributed.host_node import RemoteEvaluationHost
+from repro.faults.network import FlakyLink, LinkFault
+from repro.host.communicator import RetryPolicy
+from repro.host.protocol import (
+    Frame,
+    FrameReader,
+    KIND_ACK,
+    KIND_ERROR,
+    KIND_RUN_TEST,
+    MAX_FRAME_BYTES,
+    encode_frame,
+)
+from repro.storage.array import build_hdd_raid5
+from repro.trace.repository import TraceName
+
+MODE = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02)
+DEADLINE = 30.0
+
+
+def bounded(fn, deadline=DEADLINE):
+    """Run ``fn`` on a daemon thread; fail the test if it outlives the
+    deadline (the no-hang guarantee), else return/raise its outcome."""
+    outcome = {}
+
+    def runner():
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # re-raised on the test thread
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    thread.join(deadline)
+    assert not thread.is_alive(), f"operation hung past {deadline}s"
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
+
+
+@pytest.fixture
+def node(repo, collected_trace):
+    repo.store(
+        TraceName("hdd-raid5", MODE.request_size, MODE.random_ratio, MODE.read_ratio),
+        collected_trace,
+    )
+    with GeneratorNode(
+        lambda: build_hdd_raid5(6), "hdd-raid5", repo, node_id="gen-fuzz"
+    ) as node:
+        yield node
+
+
+def raw_exchange(port: int, payload: bytes, timeout: float = 5.0):
+    """Send raw bytes to the node; return the frames it replies with."""
+    reader = FrameReader()
+    frames = []
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        sock.sendall(payload)
+        while not frames:
+            try:
+                data = sock.recv(65536)
+            except socket.timeout:
+                break
+            if not data:
+                break
+            frames.extend(reader.feed(data))
+    return frames
+
+
+def hello_reply_len(node: GeneratorNode) -> int:
+    """Exact wire size of the node's hello reply (for drop budgets)."""
+    return len(
+        encode_frame(
+            Frame(KIND_ACK, {"node_id": node.node_id, "device": "hdd-raid5"})
+        )
+    )
+
+
+class TestServerSideFuzz:
+    def test_garbage_payload_gets_error_frame(self, node):
+        junk = b"\x00\xffnot json at all{{{"
+        payload = struct.pack(">I", len(junk)) + junk
+        frames = bounded(lambda: raw_exchange(node.port, payload))
+        assert len(frames) == 1
+        assert frames[0].kind == KIND_ERROR
+        assert "malformed" in frames[0].body["message"]
+
+    def test_oversized_length_prefix_gets_error_frame(self, node):
+        payload = struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x" * 64
+        frames = bounded(lambda: raw_exchange(node.port, payload))
+        assert len(frames) == 1
+        assert frames[0].kind == KIND_ERROR
+        assert "exceeds" in frames[0].body["message"]
+
+    def test_non_object_payload_gets_error_frame(self, node):
+        junk = b"[1,2,3]"
+        payload = struct.pack(">I", len(junk)) + junk
+        frames = bounded(lambda: raw_exchange(node.port, payload))
+        assert frames and frames[0].kind == KIND_ERROR
+
+    def test_truncated_frame_then_disconnect_leaves_node_alive(self, node):
+        # Promise 1000 bytes, deliver 10, hang up.
+        def poke():
+            with socket.create_connection(("127.0.0.1", node.port), timeout=5.0) as sock:
+                sock.sendall(struct.pack(">I", 1000) + b"0123456789")
+            return True
+
+        assert bounded(poke)
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            assert host.node_id == "gen-fuzz"
+
+    def test_node_survives_a_burst_of_garbage_connections(self, node):
+        payloads = [
+            b"",
+            b"\xff" * 7,
+            struct.pack(">I", 3) + b"{}",  # length lies (3 != 2)
+            struct.pack(">I", 0),  # zero-length payload
+        ]
+        for payload in payloads:
+            bounded(lambda p=payload: raw_exchange(node.port, p, timeout=1.0))
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            assert len(host.list_traces()) == 1
+
+
+class TestFaultedDistributedReplay:
+    def test_dropped_connections_absorbed_by_retry(self, node):
+        plan = [LinkFault(refuse=True), LinkFault(drop_c2s_after=2)]
+        with FlakyLink("127.0.0.1", node.port, plan=plan) as link:
+            def dialogue():
+                with RemoteEvaluationHost(
+                    "127.0.0.1", link.port, retry=FAST_RETRY, timeout=5.0
+                ) as host:
+                    return host.run_test(TestRequest(mode=MODE.at_load(0.5)))
+
+            record = bounded(dialogue)
+        assert record.iops > 0
+        assert node.tests_served == 1
+
+    def test_lost_reply_retried_without_rerunning_test(self, node):
+        # The hello reply passes exactly; the run_test reply is dropped.
+        # The retried dispatch must hit the request-id cache, not replay.
+        plan = [LinkFault(drop_s2c_after=hello_reply_len(node))]
+        with FlakyLink("127.0.0.1", node.port, plan=plan) as link:
+            def dialogue():
+                with RemoteEvaluationHost(
+                    "127.0.0.1", link.port, retry=FAST_RETRY, timeout=5.0
+                ) as host:
+                    return host.run_test(TestRequest(mode=MODE.at_load(0.5)))
+
+            record = bounded(dialogue)
+        assert record.iops > 0
+        assert node.tests_served == 1
+
+    def test_garbled_reply_retried(self, node):
+        plan = [LinkFault(garble_reply=True)]
+        with FlakyLink("127.0.0.1", node.port, plan=plan) as link:
+            def dialogue():
+                with RemoteEvaluationHost(
+                    "127.0.0.1", link.port, retry=FAST_RETRY, timeout=5.0
+                ) as host:
+                    return host.node_id
+
+            assert bounded(dialogue) == "gen-fuzz"
+
+    def test_budget_exhaustion_is_clean_protocol_error(self, node):
+        plan = [LinkFault(refuse=True)] * 10
+        with FlakyLink("127.0.0.1", node.port, plan=plan) as link:
+            def dialogue():
+                with pytest.raises(ProtocolError, match="attempts"):
+                    RemoteEvaluationHost(
+                        "127.0.0.1", link.port, retry=FAST_RETRY, timeout=2.0
+                    )
+                return True
+
+            assert bounded(dialogue)
+
+
+class TestIdempotentDispatch:
+    def request_frame(self, request_id):
+        body = {"request": TestRequest(mode=MODE.at_load(0.5)).to_dict()}
+        if request_id is not None:
+            body["request_id"] = request_id
+        return Frame(KIND_RUN_TEST, body)
+
+    def test_same_request_id_executes_once(self, node):
+        first = node._handle(self.request_frame("req-1"))
+        second = node._handle(self.request_frame("req-1"))
+        assert first.kind == "test_result"
+        assert second is first  # cached frame, not a re-execution
+        assert node.tests_served == 1
+
+    def test_distinct_request_ids_execute_separately(self, node):
+        node._handle(self.request_frame("req-a"))
+        node._handle(self.request_frame("req-b"))
+        assert node.tests_served == 2
+
+    def test_missing_request_id_always_executes(self, node):
+        node._handle(self.request_frame(None))
+        node._handle(self.request_frame(None))
+        assert node.tests_served == 2
+
+    def test_error_replies_not_cached(self, node, monkeypatch):
+        lookups = []
+        original = node.repository.lookup
+
+        def counting_lookup(device, mode):
+            lookups.append(device)
+            return original(device, mode)
+
+        monkeypatch.setattr(node.repository, "lookup", counting_lookup)
+        missing = WorkloadMode(request_size=512, random_ratio=0.0, read_ratio=1.0)
+        frame = Frame(
+            KIND_RUN_TEST,
+            {"request": TestRequest(mode=missing).to_dict(), "request_id": "req-e"},
+        )
+        assert node._handle(frame).kind == KIND_ERROR
+        assert node._handle(frame).kind == KIND_ERROR
+        # Both dispatches executed — failures stay retryable.
+        assert len(lookups) == 2

@@ -1,0 +1,248 @@
+"""FaultInjector unit tests against a deterministic stub device."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults.injector import FaultInjector, unwrap
+from repro.faults.schedule import (
+    DiskFailFault,
+    FaultKind,
+    FaultSchedule,
+    SectorErrorFault,
+    SlowdownFault,
+    StuckFault,
+)
+from repro.sim.engine import Simulator
+from repro.storage.array import DiskArray
+from repro.storage.base import Completion, StorageDevice
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.record import READ, WRITE, IOPackage
+
+SERVICE = 0.01
+
+
+class StubDevice(StorageDevice):
+    """Completes every request after a fixed service time."""
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        super().__init__("stub")
+        self._capacity = capacity
+
+    @property
+    def capacity_sectors(self) -> int:
+        return self._capacity
+
+    def energy_between(self, t0: float, t1: float) -> float:
+        return 0.0
+
+    def submit(self, package, on_complete) -> None:
+        sim = self._require_sim()
+        start = sim.now
+        completion = Completion(
+            package=package,
+            submit_time=start,
+            start_time=start,
+            finish_time=start + SERVICE,
+        )
+        sim.schedule(start + SERVICE, on_complete, completion)
+
+
+def run_one(injector: FaultInjector, package: IOPackage, at: float = 0.0):
+    """Attach, submit one package at ``at``, run, return the completion."""
+    sim = Simulator()
+    injector.attach(sim)
+    done = []
+    sim.schedule(at, injector.submit, package, done.append)
+    sim.run()
+    assert len(done) == 1
+    return done[0]
+
+
+def small_array() -> DiskArray:
+    spec = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024)
+    disks = [HardDiskDrive(f"d{i}", spec) for i in range(4)]
+    return DiskArray(disks, RaidLevel.RAID5, name="small")
+
+
+class TestPassThrough:
+    def test_empty_schedule_is_transparent(self):
+        injector = FaultInjector(StubDevice(), FaultSchedule())
+        completion = run_one(injector, IOPackage(0, 4096, READ))
+        assert completion.finish_time == pytest.approx(SERVICE)
+        assert injector.fault_events == []
+
+    def test_delegated_properties(self):
+        inner = StubDevice(capacity=12345)
+        injector = FaultInjector(inner, FaultSchedule())
+        assert injector.capacity_sectors == 12345
+        assert injector.energy_between(0.0, 1.0) == 0.0
+        assert injector.name == "faulty:stub"
+
+    def test_unwrap_peels_layers(self):
+        inner = StubDevice()
+        wrapped = FaultInjector(
+            FaultInjector(inner, FaultSchedule()), FaultSchedule()
+        )
+        assert unwrap(wrapped) is inner
+        assert unwrap(inner) is inner
+
+    def test_completion_outside_all_windows_undelayed(self):
+        schedule = FaultSchedule(
+            slowdowns=(SlowdownFault(start=5.0, duration=1.0, factor=3.0),),
+            stuck_windows=(StuckFault(start=9.0, duration=1.0),),
+        )
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(0, 4096, READ))
+        assert completion.finish_time == pytest.approx(SERVICE)
+
+
+class TestSlowdownAndStuck:
+    def test_slowdown_scales_service_time(self):
+        schedule = FaultSchedule(
+            slowdowns=(SlowdownFault(start=0.0, duration=1.0, factor=3.0),)
+        )
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(0, 4096, READ))
+        # service ends at SERVICE inside the window; 2x extra is added.
+        assert completion.finish_time == pytest.approx(3 * SERVICE)
+        assert injector.counters["slowdown_delayed"] == 1
+        assert [e.kind for e in injector.fault_events] == [FaultKind.SLOWDOWN]
+
+    def test_stuck_window_holds_to_window_end(self):
+        schedule = FaultSchedule(
+            stuck_windows=(StuckFault(start=0.0, duration=0.5),)
+        )
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(0, 4096, WRITE))
+        assert completion.finish_time == pytest.approx(0.5)
+        assert injector.counters["stuck_held"] == 1
+
+    def test_slowdown_can_push_into_stuck_window(self):
+        # Service ends at 0.01; slowdown pushes to 0.03, inside the
+        # stuck window [0.02, 0.06) — held to 0.06.
+        schedule = FaultSchedule(
+            slowdowns=(SlowdownFault(start=0.0, duration=0.02, factor=3.0),),
+            stuck_windows=(StuckFault(start=0.02, duration=0.04),),
+        )
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(0, 4096, READ))
+        assert completion.finish_time == pytest.approx(0.06)
+
+    def test_window_logged_once_for_many_requests(self):
+        schedule = FaultSchedule(
+            slowdowns=(SlowdownFault(start=0.0, duration=10.0, factor=2.0),)
+        )
+        injector = FaultInjector(StubDevice(), schedule)
+        sim = Simulator()
+        injector.attach(sim)
+        done = []
+        for i in range(5):
+            sim.schedule(i * 0.1, injector.submit, IOPackage(0, 512, READ),
+                         done.append)
+        sim.run()
+        assert len(done) == 5
+        assert injector.counters["slowdown_delayed"] == 5
+        assert len(injector.fault_events) == 1
+
+
+class TestSectorErrors:
+    def schedule(self) -> FaultSchedule:
+        return FaultSchedule(
+            seed=3,
+            sector_errors=SectorErrorFault(
+                count=4, extent_sectors=8, retry_penalty=0.05
+            ),
+        )
+
+    def test_read_on_bad_extent_pays_penalty(self):
+        schedule = self.schedule()
+        bad = int(schedule.resolve_bad_extents(1 << 20)[0])
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(bad, 4096, READ))
+        assert completion.finish_time == pytest.approx(SERVICE + 0.05)
+        assert injector.counters["sector_errors"] == 1
+        event = injector.fault_events[0]
+        assert event.kind is FaultKind.SECTOR_ERROR
+        assert event.detail["extent_start"] == bad
+
+    def test_write_on_bad_extent_unaffected(self):
+        schedule = self.schedule()
+        bad = int(schedule.resolve_bad_extents(1 << 20)[0])
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(bad, 4096, WRITE))
+        assert completion.finish_time == pytest.approx(SERVICE)
+        assert injector.counters["sector_errors"] == 0
+
+    def test_read_missing_all_extents_unaffected(self):
+        schedule = self.schedule()
+        starts = schedule.resolve_bad_extents(1 << 20)
+        # Find a sector well clear of every extent.
+        clear = 0
+        while any(s - 16 <= clear < s + 24 for s in starts):
+            clear += 64
+        injector = FaultInjector(StubDevice(), schedule)
+        completion = run_one(injector, IOPackage(clear, 4096, READ))
+        assert completion.finish_time == pytest.approx(SERVICE)
+
+    def test_overlap_detected_from_either_side(self):
+        schedule = self.schedule()
+        bad = int(schedule.resolve_bad_extents(1 << 20)[0])
+        injector = FaultInjector(StubDevice(), schedule)
+        # Read starting before the extent but overlapping its first sector.
+        completion = run_one(injector, IOPackage(max(bad - 4, 0), 4096, READ))
+        assert completion.finish_time == pytest.approx(SERVICE + 0.05)
+
+
+class TestDiskFailure:
+    def test_fail_fires_at_scheduled_time(self):
+        array = small_array()
+        schedule = FaultSchedule(disk_failures=(DiskFailFault(at=0.5, member=2),))
+        injector = FaultInjector(array, schedule)
+        sim = Simulator()
+        injector.attach(sim)
+        sim.run()
+        assert array.failed_disk == 2
+        assert injector.counters["disk_failures"] == 1
+        event = injector.fault_events[0]
+        assert event.kind is FaultKind.DISK_FAIL
+        assert event.time == pytest.approx(0.5)
+        assert event.detail["member"] == 2
+
+    def test_io_after_failure_runs_degraded(self):
+        array = small_array()
+        schedule = FaultSchedule(disk_failures=(DiskFailFault(at=0.1, member=0),))
+        injector = FaultInjector(array, schedule)
+        sim = Simulator()
+        injector.attach(sim)
+        done = []
+        sim.schedule(0.2, injector.submit, IOPackage(0, 4096, READ), done.append)
+        sim.run()
+        assert len(done) == 1
+        assert array.degraded_requests == 1
+        assert array.reconstruct_reads > 0
+
+    def test_reattach_same_sim_does_not_rearm(self):
+        array = small_array()
+        schedule = FaultSchedule(disk_failures=(DiskFailFault(at=0.5, member=1),))
+        injector = FaultInjector(array, schedule)
+        sim = Simulator()
+        injector.attach(sim)
+        injector.attach(sim)  # e.g. session re-attach before run
+        sim.run()
+        assert injector.counters["disk_failures"] == 1
+
+    def test_non_array_target_rejected(self):
+        schedule = FaultSchedule(disk_failures=(DiskFailFault(at=1.0, member=0),))
+        injector = FaultInjector(StubDevice(), schedule)
+        with pytest.raises(FaultConfigError, match="DiskArray"):
+            injector.attach(Simulator())
+
+    def test_unknown_member_rejected(self):
+        schedule = FaultSchedule(disk_failures=(DiskFailFault(at=1.0, member=9),))
+        injector = FaultInjector(small_array(), schedule)
+        with pytest.raises(FaultConfigError, match="no member 9"):
+            injector.attach(Simulator())

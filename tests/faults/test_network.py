@@ -1,0 +1,96 @@
+"""FlakyLink proxy tests: deterministic per-connection link faults."""
+
+import pytest
+
+from repro.errors import FaultConfigError, ProtocolError
+from repro.faults.network import CLEAN, FlakyLink, LinkFault
+from repro.host.communicator import (
+    Communicator,
+    CommunicatorServer,
+    RetryPolicy,
+)
+from repro.host.protocol import Frame
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.02)
+
+
+def echo_handler(frame: Frame) -> Frame:
+    return Frame("echo", dict(frame.body))
+
+
+@pytest.fixture
+def server():
+    with CommunicatorServer(echo_handler) as srv:
+        yield srv
+
+
+def proxied_request(server, plan, retry=FAST_RETRY, body=None):
+    with FlakyLink("127.0.0.1", server.port, plan=plan) as link:
+        with Communicator(
+            "127.0.0.1", link.port, timeout=2.0, retry=retry
+        ) as comm:
+            reply = comm.request(Frame("ping", body or {"n": 1}))
+        return reply, link.connections_served
+
+
+class TestLinkFault:
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(FaultConfigError):
+            LinkFault(drop_c2s_after=-1)
+        with pytest.raises(FaultConfigError):
+            LinkFault(drop_s2c_after=-5)
+
+    def test_clean_is_default(self):
+        assert CLEAN == LinkFault()
+
+
+class TestFlakyLink:
+    def test_clean_plan_forwards_transparently(self, server):
+        reply, served = proxied_request(server, plan=())
+        assert reply.kind == "echo"
+        assert reply.body == {"n": 1}
+        assert served == 1
+
+    def test_refused_connection_then_retry_succeeds(self, server):
+        reply, served = proxied_request(server, plan=[LinkFault(refuse=True)])
+        assert reply.kind == "echo"
+        assert served == 2  # refused once, clean on the retry
+
+    def test_request_dropped_before_server_then_retried(self, server):
+        plan = [LinkFault(drop_c2s_after=0)]
+        reply, served = proxied_request(server, plan)
+        assert reply.kind == "echo"
+        assert served == 2
+
+    def test_reply_dropped_then_retried(self, server):
+        plan = [LinkFault(drop_s2c_after=0)]
+        reply, served = proxied_request(server, plan)
+        assert reply.kind == "echo"
+        assert served == 2
+
+    def test_garbled_reply_is_protocol_error_then_retried(self, server):
+        # XORed length prefix decodes as an absurd frame length, which
+        # the client rejects as malformed and retries on a fresh link.
+        plan = [LinkFault(garble_reply=True)]
+        reply, served = proxied_request(server, plan)
+        assert reply.kind == "echo"
+        assert served == 2
+
+    def test_exhausted_plan_serves_clean(self, server):
+        with FlakyLink("127.0.0.1", server.port, plan=[LinkFault(refuse=True)]) as link:
+            with Communicator(
+                "127.0.0.1", link.port, timeout=2.0, retry=FAST_RETRY
+            ) as comm:
+                for n in range(3):
+                    reply = comm.request(Frame("ping", {"n": n}))
+                    assert reply.body == {"n": n}
+
+    def test_budget_exhaustion_raises_protocol_error(self, server):
+        plan = [LinkFault(refuse=True)] * 5
+        with FlakyLink("127.0.0.1", server.port, plan=plan) as link:
+            with Communicator(
+                "127.0.0.1", link.port, timeout=2.0, retry=FAST_RETRY
+            ) as comm:
+                with pytest.raises(ProtocolError, match="after 3 attempts"):
+                    comm.request(Frame("ping", {}))
+        assert link.connections_served == 3

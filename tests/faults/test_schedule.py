@@ -1,0 +1,182 @@
+"""Fault schedule construction, validation, and seeded determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults.schedule import (
+    DiskFailFault,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    SectorErrorFault,
+    SlowdownFault,
+    StuckFault,
+)
+
+
+class TestFaultSpecs:
+    def test_slowdown_window_end(self):
+        fault = SlowdownFault(start=1.0, duration=0.5, factor=2.0)
+        assert fault.end == 1.5
+
+    def test_stuck_window_end(self):
+        assert StuckFault(start=0.25, duration=0.25).end == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(start=-0.1, duration=1.0, factor=2.0),
+            dict(start=0.0, duration=0.0, factor=2.0),
+            dict(start=0.0, duration=1.0, factor=0.5),
+        ],
+    )
+    def test_slowdown_validation(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            SlowdownFault(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(start=-1.0, duration=1.0), dict(start=0.0, duration=-1.0)],
+    )
+    def test_stuck_validation(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            StuckFault(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(count=-1),
+            dict(count=1, extent_sectors=0),
+            dict(count=1, retry_penalty=-0.1),
+        ],
+    )
+    def test_sector_error_validation(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            SectorErrorFault(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(at=-1.0, member=0), dict(at=0.0, member=-1)]
+    )
+    def test_disk_fail_validation(self, kwargs):
+        with pytest.raises(FaultConfigError):
+            DiskFailFault(**kwargs)
+
+
+class TestFaultEvent:
+    def test_to_dict_is_json_safe(self):
+        event = FaultEvent(
+            time=1.5,
+            kind=FaultKind.DISK_FAIL,
+            device="faulty:array0",
+            detail={"member": 2},
+        )
+        encoded = json.dumps(event.to_dict())
+        assert json.loads(encoded)["kind"] == "disk_fail"
+        assert json.loads(encoded)["detail"] == {"member": 2}
+
+
+class TestFaultSchedule:
+    def test_default_is_empty(self):
+        assert FaultSchedule().empty
+
+    def test_zero_sector_errors_is_empty(self):
+        assert FaultSchedule(sector_errors=SectorErrorFault(count=0)).empty
+
+    def test_any_fault_makes_non_empty(self):
+        schedule = FaultSchedule(
+            slowdowns=(SlowdownFault(start=0.0, duration=1.0, factor=2.0),)
+        )
+        assert not schedule.empty
+
+    def test_lists_coerced_to_tuples(self):
+        schedule = FaultSchedule(
+            stuck_windows=[StuckFault(start=0.0, duration=1.0)]
+        )
+        assert isinstance(schedule.stuck_windows, tuple)
+
+    def test_duplicate_failed_member_rejected(self):
+        with pytest.raises(FaultConfigError, match="one DiskFailFault per"):
+            FaultSchedule(
+                disk_failures=(
+                    DiskFailFault(at=1.0, member=0),
+                    DiskFailFault(at=2.0, member=0),
+                )
+            )
+
+
+class TestBadExtentPlacement:
+    def test_same_seed_same_extents(self):
+        a = FaultSchedule(seed=42, sector_errors=SectorErrorFault(count=16))
+        b = FaultSchedule(seed=42, sector_errors=SectorErrorFault(count=16))
+        np.testing.assert_array_equal(
+            a.resolve_bad_extents(1 << 20), b.resolve_bad_extents(1 << 20)
+        )
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule(seed=1, sector_errors=SectorErrorFault(count=32))
+        b = FaultSchedule(seed=2, sector_errors=SectorErrorFault(count=32))
+        assert not np.array_equal(
+            a.resolve_bad_extents(1 << 20), b.resolve_bad_extents(1 << 20)
+        )
+
+    def test_extents_sorted_and_in_bounds(self):
+        spec = SectorErrorFault(count=64, extent_sectors=8)
+        starts = FaultSchedule(seed=9, sector_errors=spec).resolve_bad_extents(
+            100_000
+        )
+        assert len(starts) == 64
+        assert np.all(np.diff(starts) >= 0)
+        assert starts.min() >= 0
+        assert starts.max() + spec.extent_sectors <= 100_000
+
+    def test_no_spec_gives_no_extents(self):
+        assert len(FaultSchedule().resolve_bad_extents(1 << 20)) == 0
+
+    def test_tiny_device_rejected(self):
+        schedule = FaultSchedule(
+            sector_errors=SectorErrorFault(count=1, extent_sectors=64)
+        )
+        with pytest.raises(FaultConfigError, match="cannot hold"):
+            schedule.resolve_bad_extents(64)
+
+
+class TestGeneratedSchedules:
+    def test_same_seed_equal_schedules(self):
+        a = FaultSchedule.generate(seed=7, duration=10.0, n_members=6)
+        b = FaultSchedule.generate(seed=7, duration=10.0, n_members=6)
+        assert a == b
+
+    def test_generated_faults_respect_bounds(self):
+        for seed in range(20):
+            schedule = FaultSchedule.generate(
+                seed=seed, duration=10.0, n_members=4
+            )
+            for window in schedule.slowdowns:
+                assert 0.0 <= window.start <= 8.0
+                assert window.factor >= 1.5
+            for window in schedule.stuck_windows:
+                assert 0.0 <= window.start <= 8.0
+            for failure in schedule.disk_failures:
+                assert 2.0 <= failure.at <= 8.0
+                assert 0 <= failure.member < 4
+
+    def test_seeds_vary_composition(self):
+        schedules = {
+            FaultSchedule.generate(seed=s, duration=10.0, n_members=4)
+            for s in range(10)
+        }
+        assert len(schedules) > 1
+
+    def test_no_members_means_no_failures(self):
+        for seed in range(10):
+            schedule = FaultSchedule.generate(seed=seed, duration=5.0)
+            assert schedule.disk_failures == ()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(FaultConfigError):
+            FaultSchedule.generate(seed=0, duration=0.0)
+        with pytest.raises(FaultConfigError):
+            FaultSchedule.generate(seed=0, duration=1.0, n_members=-1)

@@ -70,3 +70,85 @@ class TestRequestResponse:
         server = CommunicatorServer(echo_handler).start()
         server.stop()
         server.stop()
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_then_caps(self):
+        from repro.host.communicator import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(10) == pytest.approx(0.5)
+
+    def test_no_retry_constant(self):
+        from repro.host.communicator import NO_RETRY
+
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.delay(0) == 0.0
+
+    def test_validation(self):
+        from repro.errors import ProtocolError
+        from repro.host.communicator import RetryPolicy
+
+        with pytest.raises(ProtocolError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_bad_timeout_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="timeout"):
+            Communicator("127.0.0.1", 1, timeout=0.0)
+
+
+class TestBoundedFailures:
+    def test_connect_to_dead_port_raises_not_hangs(self):
+        from repro.errors import ProtocolError
+        from repro.host.communicator import RetryPolicy
+
+        with CommunicatorServer(echo_handler) as server:
+            dead_port = server.port
+        with pytest.raises(ProtocolError, match="cannot connect"):
+            Communicator(
+                "127.0.0.1",
+                dead_port,
+                timeout=0.5,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            )
+
+    def test_receive_timeout_is_protocol_error(self):
+        from repro.errors import ProtocolError
+        from repro.host.communicator import NO_RETRY
+
+        # A handler that never answers: the bounded receive must raise.
+        stall = threading.Event()
+
+        def black_hole(frame: Frame) -> Frame:
+            stall.wait(5.0)
+            return Frame("late", {})
+
+        with CommunicatorServer(black_hole) as server:
+            with Communicator(
+                "127.0.0.1", server.port, timeout=0.3, retry=NO_RETRY
+            ) as comm:
+                with pytest.raises(ProtocolError, match="attempts"):
+                    comm.request(Frame("ping", {}))
+        stall.set()
+
+    def test_idle_timeout_closes_silent_connection(self):
+        with CommunicatorServer(echo_handler, idle_timeout=0.2) as server:
+            with Communicator("127.0.0.1", server.port, timeout=2.0) as comm:
+                import time as _t
+
+                _t.sleep(0.5)  # exceed the server's idle window
+                # The server dropped us; the retrying request redials.
+                reply = comm.request(Frame("ping", {"n": 1}))
+                assert reply.kind == "echo"

@@ -1,0 +1,74 @@
+"""Power analyzer edge cases: empty windows, restarts, and cycle
+misalignment against the performance monitor."""
+
+import pytest
+
+from repro.power.analyzer import PowerAnalyzer
+from repro.power.model import PowerTimeline
+from repro.replay.monitor import PerformanceMonitor
+
+
+@pytest.fixture
+def timeline() -> PowerTimeline:
+    return PowerTimeline(baseline_watts=10.0)
+
+
+class TestEmptyWindows:
+    def test_stop_with_clock_unmoved_emits_nothing(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=1.0)
+        analyzer.start(sim)
+        analyzer.stop()
+        assert analyzer.samples == []
+        assert analyzer.total_energy == 0.0
+        assert analyzer.mean_watts == 0.0
+        assert analyzer.mean_true_watts == 0.0
+
+    def test_stop_on_exact_cycle_boundary_no_empty_tail(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=0.5)
+        analyzer.start(sim)
+        sim.run(until=0.5)
+        analyzer.stop()
+        assert len(analyzer.samples) == 1
+        assert analyzer.samples[0].duration == pytest.approx(0.5)
+
+    def test_restart_resets_series(self, sim, timeline):
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=0.25)
+        analyzer.start(sim)
+        sim.run(until=0.5)
+        analyzer.stop()
+        assert len(analyzer.samples) == 2
+        analyzer.start(sim)
+        sim.run(until=0.75)
+        analyzer.stop()
+        assert len(analyzer.samples) == 1  # old series discarded
+
+
+class TestCycleMisalignment:
+    def test_meter_and_monitor_windows_tile_independently(self, sim, timeline):
+        """Different sampling cycles must each tile the run without
+        gaps or overlaps — alignment is the session's job, not theirs."""
+        monitor = PerformanceMonitor(sampling_cycle=1.0)
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=0.4)
+        monitor.start(sim)
+        analyzer.start(sim)
+        sim.run(until=2.0)
+        monitor.stop()
+        analyzer.stop()
+        assert len(monitor.samples) == 2
+        assert len(analyzer.samples) == 5
+        for series in (monitor.samples, analyzer.samples):
+            assert series[0].start == 0.0
+            assert series[-1].end == pytest.approx(2.0)
+            for a, b in zip(series, series[1:]):
+                assert a.end == pytest.approx(b.start)
+
+    def test_energy_is_exact_despite_misaligned_cycles(self, sim, timeline):
+        # Odd cycle length: 2.0 s of 10 W must still integrate to 20 J.
+        analyzer = PowerAnalyzer(timeline, sampling_cycle=0.3)
+        analyzer.start(sim)
+        sim.run(until=2.0)
+        analyzer.stop()
+        assert analyzer.total_energy == pytest.approx(20.0)
+        assert analyzer.mean_watts == pytest.approx(10.0)
+        # Final window is the 0.2 s remainder, not a full cycle.
+        assert analyzer.samples[-1].duration == pytest.approx(0.2)

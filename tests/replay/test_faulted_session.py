@@ -1,0 +1,126 @@
+"""Replay sessions under injected faults.
+
+Includes the golden degraded-RAID-5 run: a fixture trace replayed while
+one member fails mid-run at a fixed timestamp, with the reconstruct-read
+counts and the response/energy summary pinned.  Any change to degraded
+planning, the injector, or the measurement path that shifts these
+numbers must be deliberate.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.faults.schedule import (
+    DiskFailFault,
+    FaultSchedule,
+    SlowdownFault,
+    StuckFault,
+)
+from repro.replay.session import ReplaySession, replay_trace
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+from repro.storage.specs import SEAGATE_7200_12
+from repro.trace.packed import pack
+
+FAIL_AT = 0.5
+FAILED_MEMBER = 1
+
+
+def small_array() -> DiskArray:
+    spec = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024)
+    disks = [HardDiskDrive(f"d{i}", spec) for i in range(4)]
+    return DiskArray(disks, RaidLevel.RAID5, name="small")
+
+
+@pytest.fixture
+def fail_mid_run() -> FaultSchedule:
+    return FaultSchedule(
+        disk_failures=(DiskFailFault(at=FAIL_AT, member=FAILED_MEMBER),)
+    )
+
+
+class TestGoldenDegradedReplay:
+    """Pinned numbers for the canonical mid-run disk failure."""
+
+    def test_replay_completes_degraded_with_golden_summary(
+        self, small_trace, fail_mid_run
+    ):
+        result = replay_trace(small_trace, small_array(), faults=fail_mid_run)
+        # Every request completes — the failure degrades, never aborts.
+        assert result.completed == 110
+        assert result.metadata["failed_disk"] == FAILED_MEMBER
+        assert result.metadata["degraded_requests"] == 74
+        assert result.metadata["reconstruct_reads"] == 63
+        assert result.metadata["fault_counters"]["disk_failures"] == 1
+        assert result.duration == pytest.approx(1.5576811839782847)
+        assert result.mean_response == pytest.approx(0.008901482773881256)
+        assert result.energy_joules == pytest.approx(123.83177773487536)
+        assert result.mean_watts == pytest.approx(79.49751143466446)
+
+    def test_fault_event_logged_at_failure_time(self, small_trace, fail_mid_run):
+        result = replay_trace(small_trace, small_array(), faults=fail_mid_run)
+        assert len(result.fault_events) == 1
+        event = result.fault_events[0]
+        assert event.time == pytest.approx(FAIL_AT)
+        assert event.kind.value == "disk_fail"
+        assert event.detail == {"member": FAILED_MEMBER, "device": "d1"}
+        # And it survives the wire/database serialisation.
+        wire = result.to_dict()["fault_events"]
+        assert wire[0]["kind"] == "disk_fail"
+        json.dumps(wire)
+
+    def test_same_seed_byte_identical(self, small_trace, fail_mid_run):
+        runs = [
+            json.dumps(
+                replay_trace(
+                    small_trace, small_array(), faults=fail_mid_run
+                ).to_dict(),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_clean_run_has_no_fault_artifacts(self, small_trace):
+        array = small_array()
+        clean = replay_trace(small_trace, array)
+        assert clean.fault_events == []
+        assert "degraded_requests" not in clean.metadata
+        assert "fault_counters" not in clean.metadata
+        assert array.reconstruct_reads == 0
+
+
+class TestFaultedSessionPlumbing:
+    def test_empty_schedule_leaves_device_unwrapped(self, small_trace):
+        array = small_array()
+        session = ReplaySession(array, faults=FaultSchedule())
+        assert session.device is array
+
+    def test_packed_replay_matches_object_replay_under_faults(self, small_trace):
+        faults = FaultSchedule(
+            slowdowns=(SlowdownFault(start=0.2, duration=0.4, factor=2.5),),
+            stuck_windows=(StuckFault(start=0.9, duration=0.2),),
+            disk_failures=(DiskFailFault(at=FAIL_AT, member=FAILED_MEMBER),),
+        )
+        from_object = replay_trace(small_trace, small_array(), faults=faults)
+        from_packed = replay_trace(
+            pack(small_trace), small_array(), faults=faults
+        )
+        assert json.dumps(from_object.to_dict(), sort_keys=True) == json.dumps(
+            from_packed.to_dict(), sort_keys=True
+        )
+
+    def test_window_faults_surface_in_results(self, small_trace):
+        faults = FaultSchedule(
+            slowdowns=(SlowdownFault(start=0.2, duration=0.4, factor=2.5),),
+            stuck_windows=(StuckFault(start=0.9, duration=0.2),),
+        )
+        result = replay_trace(small_trace, small_array(), faults=faults)
+        kinds = {e.kind.value for e in result.fault_events}
+        assert kinds == {"slowdown", "stuck"}
+        counters = result.metadata["fault_counters"]
+        assert counters["slowdown_delayed"] > 0
+        assert counters["stuck_held"] > 0

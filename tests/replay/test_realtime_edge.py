@@ -1,0 +1,77 @@
+"""Wall-clock replayer edge cases: degenerate traces and reports."""
+
+import threading
+
+import pytest
+
+from repro.replay.realtime import RealtimeReplayer, RealtimeReport
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+
+def one_bunch_trace(packages=1):
+    pkgs = [IOPackage(i * 8, 4096, READ) for i in range(packages)]
+    return Trace([Bunch(0.0, pkgs)], label="one")
+
+
+class TestDegenerateTraces:
+    def test_single_bunch_trace_has_zero_trace_duration(self):
+        seen = []
+        replayer = RealtimeReplayer(seen.append, workers=2)
+        report = replayer.replay(one_bunch_trace(packages=3))
+        assert report.bunches == 1
+        assert report.packages == 3
+        assert len(seen) == 3
+        assert report.trace_duration == 0.0
+        # slowdown is defined (1.0) even when trace time is zero.
+        assert report.slowdown == 1.0
+
+    def test_single_package_single_worker(self):
+        seen = []
+        replayer = RealtimeReplayer(seen.append, workers=1)
+        report = replayer.replay(one_bunch_trace(packages=1))
+        assert report.packages == 1
+        assert seen[0].nbytes == 4096
+
+    def test_lateness_never_negative(self):
+        trace = Trace(
+            [
+                Bunch(0.0, [IOPackage(0, 512, READ)]),
+                Bunch(0.01, [IOPackage(8, 512, WRITE)]),
+            ],
+            label="two",
+        )
+        report = RealtimeReplayer(lambda pkg: None).replay(trace)
+        assert report.mean_lateness >= 0.0
+        assert report.max_lateness >= report.mean_lateness
+
+    def test_handler_runs_off_calling_thread(self):
+        threads = []
+        replayer = RealtimeReplayer(
+            lambda pkg: threads.append(threading.current_thread()), workers=2
+        )
+        replayer.replay(one_bunch_trace(packages=4))
+        assert all(t is not threading.main_thread() for t in threads)
+
+
+class TestReportProperties:
+    def test_slowdown_ratio(self):
+        report = RealtimeReport(
+            bunches=2,
+            packages=2,
+            wall_duration=2.0,
+            trace_duration=1.0,
+            mean_lateness=0.0,
+            max_lateness=0.0,
+        )
+        assert report.slowdown == pytest.approx(2.0)
+
+    def test_zero_trace_duration_slowdown_is_unity(self):
+        report = RealtimeReport(
+            bunches=1,
+            packages=1,
+            wall_duration=0.5,
+            trace_duration=0.0,
+            mean_lateness=0.0,
+            max_lateness=0.0,
+        )
+        assert report.slowdown == 1.0
