@@ -32,10 +32,13 @@ from repro.storage.base import Completion, StorageDevice
 from repro.trace.blktrace import dumps, dumps_packed, loads, loads_packed
 from repro.trace.packed import PACKED_PACKAGE_DTYPE, PackedTrace
 
-from .common import peak_trace
+from .common import peak_trace, telemetry_breakdown
 
 _RESULTS = {}
-_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_throughput.json"
+_BREAKDOWN = {}
+_ROOT = Path(__file__).resolve().parent.parent
+_JSON_PATH = _ROOT / "BENCH_engine_throughput.json"
+_JSONL_PATH = _ROOT / "BENCH_telemetry.jsonl"
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -43,7 +46,9 @@ def _emit_json():
     """Write the collected numbers once the module's benches finish."""
     yield
     if _RESULTS:
-        payload = {"schema": 1, "results": _RESULTS}
+        payload = {"schema": 2, "results": _RESULTS}
+        if _BREAKDOWN:
+            payload["breakdown"] = _BREAKDOWN
         _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nwrote {_JSON_PATH}")
 
@@ -230,6 +235,50 @@ def test_packed_vs_object_pipeline():
         "speedup": speedup,
     }
     assert speedup >= 5.0, f"packed path only {speedup:.1f}x faster"
+
+
+def test_telemetry_overhead_packed_pipeline():
+    """Telemetry-ON packed replay stays within 10% of telemetry-OFF.
+
+    The instrumented pipeline samples its histograms/spans (every Nth
+    completion) precisely so that turning observability on does not
+    change what it observes; this test enforces that budget and emits
+    the full instrumented snapshot as ``BENCH_telemetry.jsonl`` (the CI
+    artifact) plus a condensed breakdown into the bench JSON.
+    """
+    from repro.telemetry import enabled_telemetry
+    from repro.telemetry.exporters import write_jsonl
+
+    N_BUNCHES = 50_000
+    ROUNDS = 3
+    data = _synth_trace_bytes(N_BUNCHES)
+
+    expected = _packed_pipeline(data)  # warm allocators / import paths
+    disabled_best = min(_timed(_packed_pipeline, data) for _ in range(ROUNDS))
+    with enabled_telemetry() as reg:
+        assert _packed_pipeline(data) == expected  # same replayed work
+        enabled_best = min(
+            _timed(_packed_pipeline, data) for _ in range(ROUNDS)
+        )
+        snapshot = reg.snapshot(include_timers=True)
+    overhead = enabled_best / disabled_best - 1.0
+
+    print(
+        f"\ntelemetry overhead (packed, {N_BUNCHES} bunches): "
+        f"off {disabled_best:.3f}s, on {enabled_best:.3f}s, "
+        f"{overhead * 100:+.1f}%"
+    )
+    _RESULTS["telemetry_overhead"] = {
+        "bunches": N_BUNCHES,
+        "replayed_packages": expected,
+        "disabled_seconds": disabled_best,
+        "enabled_seconds": enabled_best,
+        "overhead_fraction": overhead,
+    }
+    _BREAKDOWN.update(telemetry_breakdown(snapshot))
+    write_jsonl(snapshot, _JSONL_PATH)
+    print(f"wrote {_JSONL_PATH}")
+    assert overhead < 0.10, f"telemetry overhead {overhead * 100:.1f}% >= 10%"
 
 
 def _timed(fn, *args) -> float:

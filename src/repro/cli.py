@@ -12,6 +12,8 @@ Subcommands mirror the evaluation workflow of §III-B:
 * ``profile``  — distributional workload characterisation;
 * ``compare``  — statistical similarity of two traces;
 * ``headroom`` — SLO-bounded intensity bisection (the Fig. 2 knob);
+* ``telemetry`` — instrumented replay with a metrics dump (JSONL /
+  Prometheus exports, see ``docs/observability.md``);
 * ``serve``    — run a workload-generator node (Fig. 3);
 * ``report`` / ``export`` — markdown report / CSV from a results database.
 """
@@ -287,6 +289,38 @@ def cmd_headroom(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Replay a trace with instrumentation on and print/export metrics."""
+    from .telemetry import enabled_telemetry
+    from .telemetry.exporters import (
+        format_table as telemetry_table,
+        to_prometheus,
+        write_jsonl,
+    )
+
+    trace = read_trace(args.trace)
+    with enabled_telemetry() as reg:
+        device = _device_factory(args.device, args.disks)()
+        session = ReplaySession(
+            device,
+            config=ReplayConfig(
+                sampling_cycle=args.cycle, time_scale=args.time_scale
+            ),
+        )
+        result = session.run(trace, load_proportion=args.load / 100.0)
+        snapshot = reg.snapshot(include_timers=args.timers)
+    print(format_table(summarize([result]), title=f"replay of {args.trace}"))
+    print()
+    print(telemetry_table(snapshot))
+    if args.jsonl:
+        write_jsonl(snapshot, args.jsonl)
+        print(f"telemetry written to {args.jsonl}")
+    if args.prometheus:
+        Path(args.prometheus).write_text(to_prometheus(snapshot))
+        print(f"prometheus text written to {args.prometheus}")
+    return 0
+
+
 def cmd_repo(args: argparse.Namespace) -> int:
     repo = TraceRepository(args.repository)
     names = list(repo.names())
@@ -397,6 +431,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", choices=["mean", "p95"], default="mean")
     p.add_argument("--max-intensity", type=float, default=64.0)
     p.set_defaults(func=cmd_headroom)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="replay a trace with instrumentation on and dump metrics",
+    )
+    _add_device_args(p)
+    p.add_argument("trace")
+    p.add_argument("--load", type=float, default=100.0, help="load percent (10..100)")
+    p.add_argument("--cycle", type=float, default=1.0, help="sampling cycle seconds")
+    p.add_argument("--time-scale", type=float, default=1.0)
+    p.add_argument("--timers", action="store_true",
+                   help="include wall-clock profiling timers (non-deterministic)")
+    p.add_argument("--jsonl", default="", help="write JSON-lines metrics here")
+    p.add_argument("--prometheus", default="",
+                   help="write Prometheus text-format metrics here")
+    p.set_defaults(func=cmd_telemetry)
 
     p = sub.add_parser("report", help="markdown report from a results database")
     p.add_argument("database")

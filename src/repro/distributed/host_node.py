@@ -143,7 +143,12 @@ class RemoteEvaluationHost:
             mbps_per_kilowatt=body["mbps_per_kilowatt"],
             label=request.label,
         )
-        self.database.insert(record)
+        record_id = self.database.insert(record)
+        telemetry = body.get("metadata", {}).get("telemetry")
+        if telemetry:
+            # The node ran with telemetry on; its snapshot rode the wire
+            # in the result metadata — keep it with the record.
+            self.database.insert_telemetry(record_id, telemetry)
         return record
 
     def run_load_sweep(

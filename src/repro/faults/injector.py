@@ -66,6 +66,20 @@ class FaultInjector(StorageDevice):
         self._windows_logged: set = set()
         self._last_cb: Optional[CompletionCallback] = None
         self._last_wrapped: Optional[CompletionCallback] = None
+        # Construction-time telemetry gate; the fault path is never on
+        # the perf-gated clean path, so guarded increments suffice here.
+        from ..telemetry import get_registry
+
+        reg = get_registry()
+        self._tele = reg if reg.enabled else None
+        if self._tele is not None:
+            self._tele_delays = reg.counter("fault.delays", device=self.name)
+            self._tele_disk_failures = reg.counter(
+                "fault.disk_failures", device=self.name
+            )
+            self._tele_delay_hist = reg.histogram(
+                "fault.delay_seconds", device=self.name
+            )
 
     # -- Device interface --------------------------------------------------
 
@@ -166,6 +180,12 @@ class FaultInjector(StorageDevice):
         if target <= now:
             cb(completion)
         else:
+            if self._tele is not None:
+                self._tele_delays.inc()
+                self._tele_delay_hist.observe(target - now)
+                self._tele.spans.record(
+                    "fault.delay", now, target, device=self.name
+                )
             sim.schedule(target, self._deliver_late, completion, target, cb,
                          priority=1)
 
@@ -191,6 +211,8 @@ class FaultInjector(StorageDevice):
             return  # re-armed schedule on a device that already failed
         array.fail_disk(fault.member)
         self.counters["disk_failures"] += 1
+        if self._tele is not None:
+            self._tele_disk_failures.inc()
         sim = self._require_sim()
         self._log(
             FaultKind.DISK_FAIL,

@@ -55,6 +55,10 @@ CREATE TABLE IF NOT EXISTS test_cycles (
     watts REAL NOT NULL,
     PRIMARY KEY (record_id, cycle_index)
 );
+CREATE TABLE IF NOT EXISTS test_telemetry (
+    record_id INTEGER PRIMARY KEY REFERENCES test_records(id) ON DELETE CASCADE,
+    snapshot_json TEXT NOT NULL
+);
 """
 
 
@@ -185,6 +189,37 @@ class ResultsDatabase:
             (record_id,),
         )
         return [dict(row) for row in cur.fetchall()]
+
+    def insert_telemetry(self, record_id: int, snapshot: dict) -> None:
+        """Persist a record's metrics snapshot (one JSON blob per test).
+
+        Snapshots arrive through the wire protocol inside the result
+        metadata when the generator node ran with telemetry enabled;
+        they are stored verbatim so the exact remote numbers can be
+        re-examined later.
+        """
+        import json
+
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO test_telemetry "
+                    "(record_id, snapshot_json) VALUES (?, ?)",
+                    (record_id, json.dumps(snapshot, sort_keys=True)),
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"telemetry insert failed: {exc}") from exc
+
+    def telemetry(self, record_id: int) -> Optional[dict]:
+        """The stored metrics snapshot for one record, or None."""
+        import json
+
+        cur = self._conn.execute(
+            "SELECT snapshot_json FROM test_telemetry WHERE record_id = ?",
+            (record_id,),
+        )
+        row = cur.fetchone()
+        return json.loads(row["snapshot_json"]) if row is not None else None
 
     def count(self) -> int:
         cur = self._conn.execute("SELECT COUNT(*) AS n FROM test_records")

@@ -124,6 +124,9 @@ class EvaluationHost:
         record_id = self.database.insert(record)
         if store_cycles:
             self.database.insert_cycles(record_id, result.cycles())
+        telemetry = result.metadata.get("telemetry")
+        if telemetry:
+            self.database.insert_telemetry(record_id, telemetry)
         return record
 
     def run_load_sweep(

@@ -41,6 +41,13 @@ class MultiChannelMeter:
         self._sensors: Dict[int, HallSensor] = {}
         self._analyzers: Dict[int, PowerAnalyzer] = {}
         self._last_samples: Dict[int, List[PowerSample]] = {}
+        from ..telemetry import get_registry
+
+        reg = get_registry()
+        self._tele = reg if reg.enabled else None
+        if self._tele is not None:
+            self._tele_starts = reg.counter("meter.channel_starts")
+            self._tele_stops = reg.counter("meter.channel_stops")
 
     def _check_channel(self, channel: int) -> None:
         if not 0 <= channel < self.n_channels:
@@ -76,6 +83,8 @@ class MultiChannelMeter:
         )
         analyzer.start(sim)
         self._analyzers[channel] = analyzer
+        if self._tele is not None:
+            self._tele_starts.inc()
 
     def start_all(self, sim: Simulator) -> None:
         """Start every connected, idle channel."""
@@ -97,6 +106,18 @@ class MultiChannelMeter:
             total_energy_joules=analyzer.total_energy,
         )
         self._last_samples[channel] = analyzer.samples
+        if self._tele is not None:
+            self._tele_stops.inc()
+            ch = str(channel)
+            self._tele.gauge("meter.mean_watts", channel=ch).set(
+                reading.mean_watts
+            )
+            self._tele.gauge("meter.energy_joules", channel=ch).set(
+                reading.total_energy_joules
+            )
+            self._tele.gauge("meter.sample_count", channel=ch).set(
+                reading.sample_count
+            )
         return reading
 
     def stop_all(self) -> List[ChannelReading]:

@@ -68,6 +68,13 @@ class PerformanceMonitor:
         self._bytes = 0
         self._response = 0.0
         self._pending_event = None
+        from ..telemetry import get_registry
+
+        reg = get_registry()
+        self._tele = reg if reg.enabled else None
+        if self._tele is not None:
+            self._tele_cycles = reg.counter("monitor.cycles")
+            self._tele_forced = reg.counter("monitor.forced_closes")
 
     def start(self, sim: Simulator) -> None:
         if self._armed:
@@ -93,8 +100,14 @@ class PerformanceMonitor:
         if self._armed:
             self._schedule_tick()
 
-    def _close_cycle(self, end: float) -> None:
-        if end <= self._cycle_start:
+    def _close_cycle(self, end: float, force: bool = False) -> None:
+        # A cycle that saw no time normally stays open (ticks land on
+        # boundaries; an empty zero-width window is not a sample).  But
+        # on a forced close (stop()) any pending counts must still be
+        # emitted, otherwise completions recorded in a zero-duration
+        # final window — instant devices, sub-cycle runs — vanish from
+        # ``samples`` while the totals still include them.
+        if end <= self._cycle_start and not (force and self._count):
             return
         sample = PerfSample(
             start=self._cycle_start,
@@ -108,6 +121,10 @@ class PerformanceMonitor:
         self._count = 0
         self._bytes = 0
         self._response = 0.0
+        if self._tele is not None:
+            self._tele_cycles.inc()
+            if force:
+                self._tele_forced.inc()
         if self.on_sample is not None:
             self.on_sample(sample)
 
@@ -128,7 +145,7 @@ class PerformanceMonitor:
             self._pending_event.cancel()
             self._pending_event = None
         assert self._sim is not None
-        self._close_cycle(self._sim.now)
+        self._close_cycle(self._sim.now, force=True)
 
     # -- Aggregates over all samples --------------------------------------
 
@@ -139,3 +156,8 @@ class PerformanceMonitor:
     @property
     def total_bytes(self) -> int:
         return sum(s.total_bytes for s in self.samples) + self._bytes
+
+    @property
+    def total_response(self) -> float:
+        """Summed response time, including any still-open cycle."""
+        return sum(s.total_response for s in self.samples) + self._response

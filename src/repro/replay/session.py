@@ -21,7 +21,7 @@ from ..power.sensor import HallSensor
 from ..sim.engine import Simulator
 from ..storage.array import DiskArray
 from ..storage.base import StorageDevice
-from ..trace.packed import TraceLike
+from ..trace.packed import PackedTrace, TraceLike
 from ..trace.record import Trace
 from .engine import ReplayEngine
 from .monitor import PerformanceMonitor
@@ -123,11 +123,33 @@ class ReplaySession:
         sim = sim if sim is not None else Simulator()
         self.device.attach(sim)
 
+        # Telemetry: mark the process-wide registry so this run can
+        # report its own delta, and profile the pipeline stages with
+        # wall timers (profiling section, excluded from deterministic
+        # snapshots).  When disabled, ``reg`` stays None and the run
+        # body is branch-free.
+        from ..telemetry import get_registry
+
+        reg: Optional[object] = None
+        tele_mark = None
+        _reg = get_registry()
+        if _reg.enabled:
+            import time as _time
+
+            reg = _reg
+            tele_mark = _reg.mark()
+            tele_path = "packed" if isinstance(trace, PackedTrace) else "object"
+            t_filter = _reg.timer("session.filter_seconds", path=tele_path)
+            t_replay = _reg.timer("session.replay_wall_seconds", path=tele_path)
+            _wall0 = _time.perf_counter()
+
         manipulated = self.controller.apply(trace, load_proportion)
         if self.config.time_scale != 1.0:
             from ..core.timescale import TimeScaler
 
             manipulated = TimeScaler(self.config.time_scale).apply(manipulated)
+        if reg is not None:
+            t_filter.add(_time.perf_counter() - _wall0)
         if len(manipulated) == 0:
             raise ReplayError(
                 f"load proportion {load_proportion} left no bunches to replay"
@@ -156,8 +178,12 @@ class ReplaySession:
         analyzer.start(sim)
         if thermal_monitor is not None:
             thermal_monitor.start(sim)
+        if reg is not None:
+            _wall0 = _time.perf_counter()
         engine.start()
         engine.run_to_completion()
+        if reg is not None:
+            t_replay.add(_time.perf_counter() - _wall0)
         monitor.stop()
         analyzer.stop()
         if thermal_monitor is not None:
@@ -167,7 +193,7 @@ class ReplaySession:
         duration = end - start
         total_bytes = monitor.total_bytes
         completed = monitor.total_completed
-        responses = sum(s.total_response for s in monitor.samples)
+        responses = monitor.total_response
         metadata = {
             "time_scale": self.config.time_scale,
             "group_size": self.config.group_size,
@@ -182,6 +208,34 @@ class ReplaySession:
             metadata["degraded_requests"] = target.degraded_requests
             metadata["reconstruct_reads"] = target.reconstruct_reads
             metadata["failed_disk"] = target.failed_disk
+        if reg is not None:
+            _reg.spans.record(
+                "session.stage", start, end, stage="replay", path=tele_path
+            )
+            # Power-model state residency (busy vs idle per member) and
+            # queue-discipline totals — sim-clock / plain-int sources,
+            # so the gauges stay deterministic.
+            members = target.disks if isinstance(target, DiskArray) else [target]
+            for disk in members:
+                timeline = getattr(disk, "timeline", None)
+                if timeline is not None:
+                    busy = timeline.busy_time(start, end)
+                    _reg.gauge("power.busy_seconds", device=disk.name).set(busy)
+                    _reg.gauge("power.busy_fraction", device=disk.name).set(
+                        busy / duration if duration > 0 else 0.0
+                    )
+                queue = getattr(disk, "_queue", None)
+                if queue is not None:
+                    _reg.gauge(
+                        "queue.pushed_total", device=disk.name
+                    ).set(queue.pushed_total)
+                    _reg.gauge(
+                        "queue.popped_total", device=disk.name
+                    ).set(queue.popped_total)
+                    _reg.gauge(
+                        "queue.high_water", device=disk.name
+                    ).set(getattr(disk, "queued_high_water", 0))
+            metadata["telemetry"] = _reg.collect(since=tele_mark)
         return ReplayResult(
             trace_label=manipulated.label,
             load_proportion=load_proportion,

@@ -100,6 +100,19 @@ class CachedArray(StorageDevice):
         self.write_absorbs = 0
         self.write_stalls = 0
         self.destages = 0
+        # Construction-time telemetry gate (cache ops schedule events,
+        # so one guarded increment per operation is far off the packed
+        # fast path's noise floor).
+        from ..telemetry import get_registry
+
+        reg = get_registry()
+        self._tele = reg if reg.enabled else None
+        if self._tele is not None:
+            self._tele_hits = reg.counter("cache.read_hits", cache=name)
+            self._tele_misses = reg.counter("cache.read_misses", cache=name)
+            self._tele_destages = reg.counter("cache.destages", cache=name)
+            self._tele_stalls = reg.counter("cache.write_stalls", cache=name)
+            self._tele_dirty = reg.gauge("cache.dirty_lines", cache=name)
 
     # -- Plumbing ------------------------------------------------------------
 
@@ -154,6 +167,9 @@ class CachedArray(StorageDevice):
         sim = self._require_sim()
         self._destaging += 1
         self.destages += 1
+        if self._tele is not None:
+            self._tele_destages.inc()
+            self._tele_dirty.set(self.dirty_lines)
         pkg = IOPackage(
             line * self.spec.line_sectors, self.spec.line_bytes, WRITE
         )
@@ -199,6 +215,8 @@ class CachedArray(StorageDevice):
         lines = list(self._line_range(package))
         if all(line in self._lines for line in lines):
             self.read_hits += 1
+            if self._tele is not None:
+                self._tele_hits.inc()
             for line in lines:
                 self._touch(line, dirty=False)
             finish = sim.now + self.spec.hit_time
@@ -209,6 +227,8 @@ class CachedArray(StorageDevice):
             )
             return
         self.read_misses += 1
+        if self._tele is not None:
+            self._tele_misses.inc()
 
         def _filled(completion: Completion) -> None:
             for line in lines:
@@ -226,6 +246,8 @@ class CachedArray(StorageDevice):
     ) -> None:
         if self._over_watermark():
             self.write_stalls += 1
+            if self._tele is not None:
+                self._tele_stalls.inc()
             self._write_waiters.append((package, submit_time, on_complete))
             self._pump()
             return

@@ -20,7 +20,15 @@ Entry = Tuple[IOPackage, float, object]
 
 
 class QueueDiscipline(ABC):
-    """Order in which a device drains waiting requests."""
+    """Order in which a device drains waiting requests.
+
+    ``pushed_total``/``popped_total`` are plain counters (like the
+    devices' ``queued_high_water``) that the telemetry layer exports as
+    gauges at session end — always-on ints, never a per-event branch.
+    """
+
+    pushed_total: int = 0
+    popped_total: int = 0
 
     @abstractmethod
     def push(self, entry: Entry) -> None: ...
@@ -38,12 +46,18 @@ class FIFOQueue(QueueDiscipline):
 
     def __init__(self) -> None:
         self._q: Deque[Entry] = deque()
+        self.pushed_total = 0
+        self.popped_total = 0
 
     def push(self, entry: Entry) -> None:
+        self.pushed_total += 1
         self._q.append(entry)
 
     def pop(self, head_sector: int) -> Optional[Entry]:
-        return self._q.popleft() if self._q else None
+        if not self._q:
+            return None
+        self.popped_total += 1
+        return self._q.popleft()
 
     def __len__(self) -> int:
         return len(self._q)
@@ -60,13 +74,18 @@ class ElevatorQueue(QueueDiscipline):
     def __init__(self) -> None:
         self._entries: List[Entry] = []
         self._direction = 1
+        self.pushed_total = 0
+        self.popped_total = 0
+        self.direction_reversals = 0
 
     def push(self, entry: Entry) -> None:
+        self.pushed_total += 1
         self._entries.append(entry)
 
     def pop(self, head_sector: int) -> Optional[Entry]:
         if not self._entries:
             return None
+        self.popped_total += 1
         ahead = [
             (i, e)
             for i, e in enumerate(self._entries)
@@ -74,6 +93,7 @@ class ElevatorQueue(QueueDiscipline):
         ]
         if not ahead:
             self._direction = -self._direction
+            self.direction_reversals += 1
             ahead = list(enumerate(self._entries))
         idx, entry = min(
             ahead, key=lambda item: abs(item[1][0].sector - head_sector)

@@ -1,0 +1,76 @@
+"""``repro.telemetry`` — zero-cost-when-disabled replay instrumentation.
+
+Public surface:
+
+* :func:`get_registry`, :func:`telemetry_enabled`, :func:`set_enabled`,
+  :func:`enabled_telemetry` — the process-wide switchboard;
+* :class:`MetricsRegistry` with :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (fixed buckets), :class:`Timer` (wall clock);
+* :class:`SpanRecorder` / :class:`Span` — bounded pipeline tracing;
+* exporters: :func:`to_jsonl`, :func:`to_prometheus`,
+  :func:`write_jsonl`, :func:`format_table`.
+
+Enable for a process with ``TRACER_TELEMETRY=1`` (the CI telemetry
+matrix job does exactly this) or for a scope with
+:func:`enabled_telemetry`.  The flag is a *construction-time* gate:
+components built while it is off carry no instrumentation at all.
+"""
+
+from .exporters import format_table, to_jsonl, to_prometheus, write_jsonl
+from .registry import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    TELEMETRY_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+    Timer,
+    enabled_telemetry,
+    get_registry,
+    set_enabled,
+    telemetry_enabled,
+)
+from .spans import (
+    DEFAULT_MAX_SPANS,
+    SPAN_COMPLETE,
+    SPAN_DEGRADED,
+    SPAN_DISPATCH,
+    SPAN_FAULT,
+    SPAN_QUEUE,
+    SPAN_SERVICE,
+    SPAN_STAGE,
+    Span,
+    SpanRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TelemetryError",
+    "Timer",
+    "DEFAULT_MAX_SPANS",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "TELEMETRY_ENV",
+    "SPAN_COMPLETE",
+    "SPAN_DEGRADED",
+    "SPAN_DISPATCH",
+    "SPAN_FAULT",
+    "SPAN_QUEUE",
+    "SPAN_SERVICE",
+    "SPAN_STAGE",
+    "enabled_telemetry",
+    "format_table",
+    "get_registry",
+    "set_enabled",
+    "telemetry_enabled",
+    "to_jsonl",
+    "to_prometheus",
+    "write_jsonl",
+]

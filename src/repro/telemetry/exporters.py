@@ -1,0 +1,170 @@
+"""Snapshot exporters: JSON lines and Prometheus text format.
+
+Both formats render a :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`
+dict.  Rendering is pure and deterministic — identical snapshots produce
+byte-identical output — so exported artifacts can themselves be golden-
+tested.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple, Union
+
+PathLike = Union[str, Path]
+
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def _split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key back into (name, labels)."""
+    m = _KEY_RE.match(key)
+    if m is None:  # pragma: no cover - keys are always well-formed
+        return key, {}
+    labels: Dict[str, str] = {}
+    raw = m.group("labels")
+    if raw:
+        for pair in raw.split(","):
+            k, _, v = pair.partition("=")
+            labels[k] = v
+    return m.group("name"), labels
+
+
+def _iter_records(snapshot: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Flatten a snapshot into one record per metric."""
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_key(key)
+        yield {"type": "counter", "name": name, "labels": labels, "value": value}
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_key(key)
+        yield {"type": "gauge", "name": name, "labels": labels, "value": value}
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _split_key(key)
+        yield {
+            "type": "histogram",
+            "name": name,
+            "labels": labels,
+            "buckets": hist["buckets"],
+            "counts": hist["counts"],
+            "sum": hist["sum"],
+            "count": hist["count"],
+        }
+    for key, timer in snapshot.get("timers", {}).items():
+        name, labels = _split_key(key)
+        yield {
+            "type": "timer",
+            "name": name,
+            "labels": labels,
+            "total_seconds": timer["total_seconds"],
+            "calls": timer["calls"],
+        }
+    spans = snapshot.get("spans")
+    if spans is not None:
+        yield {
+            "type": "spans",
+            "name": "spans",
+            "labels": {},
+            "total_recorded": spans.get("total_recorded", 0),
+            "dropped": spans.get("dropped", 0),
+            "spans": spans.get("spans", []),
+        }
+
+
+def to_jsonl(snapshot: Dict[str, Any]) -> str:
+    """One JSON object per line, one line per metric (plus one for spans)."""
+    lines = [
+        json.dumps(record, sort_keys=True) for record in _iter_records(snapshot)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(snapshot: Dict[str, Any], path: PathLike) -> Path:
+    """Write :func:`to_jsonl` output to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(to_jsonl(snapshot))
+    return target
+
+
+def _prom_name(name: str) -> str:
+    """Metric name mangling: dots become underscores (Prometheus rules)."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Prometheus exposition text format (counters/gauges/histograms).
+
+    Spans have no Prometheus representation and are summarised as two
+    gauges (recorded/dropped); timers export as ``*_seconds_total``.
+    """
+    out: List[str] = []
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _split_key(key)
+        pname = _prom_name(name) + "_total"
+        out.append(f"# TYPE {pname} counter")
+        out.append(f"{pname}{_prom_labels(labels)} {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _split_key(key)
+        pname = _prom_name(name)
+        out.append(f"# TYPE {pname} gauge")
+        out.append(f"{pname}{_prom_labels(labels)} {value}")
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _split_key(key)
+        pname = _prom_name(name)
+        out.append(f"# TYPE {pname} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            le = _prom_labels(labels, f'le="{bound}"')
+            out.append(f"{pname}_bucket{le} {cumulative}")
+        cumulative += hist["counts"][-1]
+        le = _prom_labels(labels, 'le="+Inf"')
+        out.append(f"{pname}_bucket{le} {cumulative}")
+        out.append(f"{pname}_sum{_prom_labels(labels)} {hist['sum']}")
+        out.append(f"{pname}_count{_prom_labels(labels)} {hist['count']}")
+    for key, timer in snapshot.get("timers", {}).items():
+        name, labels = _split_key(key)
+        pname = _prom_name(name) + "_seconds_total"
+        out.append(f"# TYPE {pname} counter")
+        out.append(f"{pname}{_prom_labels(labels)} {timer['total_seconds']}")
+    spans = snapshot.get("spans")
+    if spans is not None:
+        out.append("# TYPE tracer_spans_recorded gauge")
+        out.append(f"tracer_spans_recorded {spans.get('total_recorded', 0)}")
+        out.append("# TYPE tracer_spans_dropped gauge")
+        out.append(f"tracer_spans_dropped {spans.get('dropped', 0)}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def format_table(snapshot: Dict[str, Any]) -> str:
+    """Human-readable metric table for the CLI subcommand."""
+    rows: List[str] = []
+    for key, value in snapshot.get("counters", {}).items():
+        rows.append(f"{key:<52} counter   {value}")
+    for key, value in snapshot.get("gauges", {}).items():
+        rows.append(f"{key:<52} gauge     {value:.6g}")
+    for key, hist in snapshot.get("histograms", {}).items():
+        mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        rows.append(
+            f"{key:<52} histogram n={hist['count']} mean={mean:.6g}"
+        )
+    for key, timer in snapshot.get("timers", {}).items():
+        rows.append(
+            f"{key:<52} timer     {timer['total_seconds']:.4f}s "
+            f"({timer['calls']} calls)"
+        )
+    spans = snapshot.get("spans")
+    if spans is not None:
+        rows.append(
+            f"{'spans':<52} spans     recorded={spans.get('total_recorded', 0)} "
+            f"dropped={spans.get('dropped', 0)}"
+        )
+    return "\n".join(rows)

@@ -18,6 +18,21 @@ from repro.workload.collector import TraceCollector
 from repro.workload.iometer import IometerGenerator
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the frozen numbers under tests/golden/data/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

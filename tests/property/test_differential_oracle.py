@@ -1,0 +1,170 @@
+"""Differential oracle: every trace operation, object vs packed, exact.
+
+One parametrized test drives the full operation surface — proportional /
+random / bernoulli filtering, time scaling, statistics, codec, and
+measured replay (clean and fault-injected) — through both the legacy
+object :class:`~repro.trace.record.Trace` path and the columnar
+:class:`~repro.trace.packed.PackedTrace` fast path, on randomized seeded
+traces, and asserts the outputs are bit-identical.
+
+This consolidates the ad-hoc ``packed == object`` spot checks that grew
+across ``tests/property`` (the hypothesis-based equivalence suites in
+``test_property_packed.py`` remain as deeper per-operation probes; this
+oracle guarantees *no operation is missing* from the comparison).
+
+Comparisons are canonical serialisations (codec bytes for traces, sorted
+JSON for results), so "identical" means identical to the last bit, not
+approximately equal.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.proportional_filter import (
+    ProportionalFilter,
+    bernoulli_filter_trace,
+    random_filter_trace,
+)
+from repro.core.timescale import scale_trace
+from repro.faults.schedule import FaultSchedule
+from repro.replay.session import replay_trace
+from repro.rng import derive_seed, make_rng
+from repro.trace.blktrace import dumps, dumps_packed, loads, loads_packed
+from repro.trace.packed import PackedTrace, pack
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.trace.stats import compute_stats
+
+from .test_property_faults import tiny_array
+
+SEEDS = [3, 11, 29, 47]
+
+
+def random_trace(seed: int, max_bunches: int = 48) -> Trace:
+    """A randomized trace on the 1/64-second timestamp grid.
+
+    Timestamps on the grid are exactly representable in binary and in
+    nanoseconds, so codec round-trips and float arithmetic compare
+    bit-for-bit.  Sectors/sizes stay within the tiny test array's
+    capacity so the same trace replays on real devices.
+    """
+    rng = make_rng(derive_seed(seed, "differential-oracle"))
+    n = int(rng.integers(4, max_bunches + 1))
+    tick = 0
+    bunches = []
+    for _ in range(n):
+        tick += int(rng.integers(0, 48))
+        fan = int(rng.integers(1, 5))
+        packages = [
+            IOPackage(
+                sector=int(rng.integers(0, 1 << 14)),
+                nbytes=512 * int(rng.integers(1, 33)),
+                op=READ if rng.integers(0, 2) == 0 else WRITE,
+            )
+            for _ in range(fan)
+        ]
+        bunches.append(Bunch(tick / 64, packages))
+    return Trace(bunches, label="oracle")
+
+
+def canon(value) -> object:
+    """Canonical, bit-exact form of an operation's output."""
+    if isinstance(value, PackedTrace):
+        return dumps_packed(value)
+    if isinstance(value, Trace):
+        return dumps(value)
+    return value
+
+
+def canon_result(result) -> str:
+    """A replay result as sorted JSON, telemetry metadata excluded.
+
+    The telemetry snapshot labels its counters by pipeline path
+    (``path=object`` / ``path=packed``), which is *supposed* to differ
+    between the two runs; the measured physics must not.
+    """
+    d = result.to_dict()
+    d.get("metadata", {}).pop("telemetry", None)
+    return json.dumps(d, sort_keys=True)
+
+
+def _op_proportional_filter(trace, seed):
+    rng = make_rng(derive_seed(seed, "oracle-prop"))
+    group = int(rng.integers(1, 11))
+    proportion = int(rng.integers(1, group + 1)) / group
+    return canon(ProportionalFilter(group).apply(trace, proportion))
+
+
+def _op_random_filter(trace, seed):
+    return canon(random_filter_trace(trace, 0.5, seed=seed))
+
+
+def _op_bernoulli_filter(trace, seed):
+    return canon(bernoulli_filter_trace(trace, 0.7, seed=seed))
+
+
+def _op_timescale(trace, seed):
+    rng = make_rng(derive_seed(seed, "oracle-scale"))
+    intensity = float(rng.choice([0.25, 0.5, 1.0, 2.0, 3.7]))
+    return canon(scale_trace(trace, intensity))
+
+
+def _op_stats(trace, seed):
+    return compute_stats(trace)
+
+
+def _op_codec(trace, seed):
+    if isinstance(trace, PackedTrace):
+        return dumps_packed(loads_packed(dumps_packed(trace)))
+    return dumps(loads(dumps(trace)))
+
+
+def _op_replay_clean(trace, seed):
+    return canon_result(replay_trace(trace, tiny_array(), 1.0))
+
+
+def _op_replay_filtered(trace, seed):
+    return canon_result(replay_trace(trace, tiny_array(), 0.5))
+
+
+def _op_replay_faulted(trace, seed):
+    schedule = FaultSchedule.generate(
+        seed, duration=1.0, n_members=4, sector_error_count=2
+    )
+    return canon_result(replay_trace(trace, tiny_array(), faults=schedule))
+
+
+OPERATIONS = {
+    "proportional_filter": _op_proportional_filter,
+    "random_filter": _op_random_filter,
+    "bernoulli_filter": _op_bernoulli_filter,
+    "timescale": _op_timescale,
+    "stats": _op_stats,
+    "codec_roundtrip": _op_codec,
+    "replay_clean": _op_replay_clean,
+    "replay_filtered": _op_replay_filtered,
+    "replay_faulted": _op_replay_faulted,
+}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("op", sorted(OPERATIONS))
+def test_object_and_packed_paths_bit_identical(op, seed):
+    trace = random_trace(seed)
+    from_object = OPERATIONS[op](trace, seed)
+    from_packed = OPERATIONS[op](pack(trace), seed)
+    assert from_object == from_packed
+
+
+@pytest.mark.parametrize("op", ["replay_clean", "replay_faulted"])
+def test_oracle_holds_with_telemetry_enabled(op):
+    """Instrumentation must not perturb either path's results."""
+    from repro.telemetry import enabled_telemetry
+
+    trace = random_trace(SEEDS[0])
+    baseline = OPERATIONS[op](trace, SEEDS[0])
+    with enabled_telemetry():
+        assert OPERATIONS[op](trace, SEEDS[0]) == baseline
+        assert OPERATIONS[op](pack(trace), SEEDS[0]) == baseline

@@ -1,0 +1,115 @@
+"""Exporter tests: JSONL and Prometheus rendering is pure, complete,
+and byte-deterministic (exported artifacts can themselves be golden-
+tested)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    format_table,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def populated():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("io.requests", device="d0").inc(7)
+    reg.counter("replay.bunches", path="packed").inc(3)
+    reg.gauge("queue.high_water", device="d0").set(12.0)
+    h = reg.histogram("io.latency", buckets=(0.001, 0.01, 0.1), device="d0")
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(v)
+    reg.timer("session.wall").add(0.25, calls=2)
+    reg.spans.record("io.service", 0.0, 0.01, device="d0")
+    return reg
+
+
+class TestJsonl:
+    def test_one_record_per_metric_plus_spans(self, populated):
+        text = to_jsonl(populated.snapshot(include_timers=True))
+        records = [json.loads(line) for line in text.strip().split("\n")]
+        by_type = {}
+        for rec in records:
+            by_type.setdefault(rec["type"], []).append(rec)
+        assert len(by_type["counter"]) == 2
+        assert len(by_type["gauge"]) == 1
+        assert len(by_type["histogram"]) == 1
+        assert len(by_type["timer"]) == 1
+        assert len(by_type["spans"]) == 1
+
+    def test_labels_round_trip(self, populated):
+        text = to_jsonl(populated.snapshot())
+        records = [json.loads(line) for line in text.strip().split("\n")]
+        counters = {r["name"]: r for r in records if r["type"] == "counter"}
+        assert counters["io.requests"]["labels"] == {"device": "d0"}
+        assert counters["io.requests"]["value"] == 7
+        assert counters["replay.bunches"]["labels"] == {"path": "packed"}
+
+    def test_byte_deterministic(self, populated):
+        snap = populated.snapshot(include_timers=True)
+        assert to_jsonl(snap) == to_jsonl(snap)
+        assert to_jsonl(snap) == to_jsonl(json.loads(json.dumps(snap)))
+
+    def test_empty_snapshot_renders_spans_line_only(self):
+        reg = MetricsRegistry(enabled=True)
+        text = to_jsonl(reg.snapshot())
+        records = [json.loads(line) for line in text.strip().split("\n")]
+        assert [r["type"] for r in records] == ["spans"]
+
+    def test_write_jsonl_round_trips(self, populated, tmp_path):
+        target = write_jsonl(populated.snapshot(), tmp_path / "tele.jsonl")
+        assert target.read_text() == to_jsonl(populated.snapshot())
+
+
+class TestPrometheus:
+    def test_counter_gets_total_suffix(self, populated):
+        text = to_prometheus(populated.snapshot())
+        assert '# TYPE io_requests_total counter' in text
+        assert 'io_requests_total{device="d0"} 7' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self, populated):
+        lines = to_prometheus(populated.snapshot()).splitlines()
+        buckets = [l for l in lines if l.startswith("io_latency_bucket")]
+        # observations: 0.0005 | 0.005 | 0.05 | 0.5(overflow)
+        assert buckets == [
+            'io_latency_bucket{device="d0",le="0.001"} 1',
+            'io_latency_bucket{device="d0",le="0.01"} 2',
+            'io_latency_bucket{device="d0",le="0.1"} 3',
+            'io_latency_bucket{device="d0",le="+Inf"} 4',
+        ]
+        assert 'io_latency_count{device="d0"} 4' in lines
+
+    def test_inf_bucket_equals_count(self, populated):
+        # The +Inf cumulative bucket must equal the histogram count —
+        # the invariant Prometheus scrapers rely on.
+        snap = populated.snapshot()
+        lines = to_prometheus(snap).splitlines()
+        inf = next(l for l in lines if 'le="+Inf"' in l)
+        assert int(inf.rsplit(" ", 1)[1]) == snap["histograms"][
+            'io.latency{device=d0}'
+        ]["count"]
+
+    def test_spans_summarised_as_gauges(self, populated):
+        text = to_prometheus(populated.snapshot())
+        assert "tracer_spans_recorded 1" in text
+        assert "tracer_spans_dropped 0" in text
+
+    def test_byte_deterministic(self, populated):
+        snap = populated.snapshot(include_timers=True)
+        assert to_prometheus(snap) == to_prometheus(snap)
+
+
+class TestTable:
+    def test_every_instrument_family_listed(self, populated):
+        text = format_table(populated.snapshot(include_timers=True))
+        assert "io.requests{device=d0}" in text
+        assert "counter" in text
+        assert "gauge" in text
+        assert "histogram" in text
+        assert "timer" in text
+        assert "spans" in text

@@ -1,0 +1,168 @@
+"""MetricsRegistry unit tests: instruments, snapshots, delta collection,
+and the determinism guarantee (identical seeded runs ⇒ identical
+snapshots, on both trace paths)."""
+
+import json
+
+import pytest
+
+from repro.replay.session import replay_trace
+from repro.storage.array import build_hdd_raid5
+from repro.telemetry import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    TelemetryError,
+    enabled_telemetry,
+    get_registry,
+    set_enabled,
+    telemetry_enabled,
+)
+from repro.trace.packed import pack
+
+
+class TestInstruments:
+    def test_counter_and_labels(self):
+        reg = MetricsRegistry(enabled=True)
+        c = reg.counter("io.requests", device="d0", path="packed")
+        c.inc()
+        c.inc(4)
+        snap = reg.snapshot()
+        # Labels are sorted into a canonical key.
+        assert snap["counters"] == {"io.requests{device=d0,path=packed}": 5}
+
+    def test_accessors_idempotent(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("a", x="1") is reg.counter("a", x="1")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_histogram_bucketing_exact(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.001, 0.005, 0.05, 5.0):
+            h.observe(v)
+        # bisect_right: a value equal to a bound lands in the next bin.
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(0.0005 + 0.001 + 0.005 + 0.05 + 5.0)
+
+    def test_histogram_bounds_must_strictly_increase(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(TelemetryError):
+            reg.histogram("bad", buckets=(0.1, 0.1, 0.2))
+        with pytest.raises(TelemetryError):
+            reg.histogram("bad2", buckets=(0.2, 0.1))
+        with pytest.raises(TelemetryError):
+            reg.histogram("bad3", buckets=())
+        # The default boundaries themselves must validate.
+        reg.histogram("good", buckets=DEFAULT_TIME_BUCKETS)
+
+    def test_histogram_reregistered_with_other_buckets_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(TelemetryError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe_and_sorted(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.spans.record("io.service", 0.0, 1.0, device="d0")
+        snap = reg.snapshot()
+        json.dumps(snap)  # wire-protocol safe
+        assert list(snap["counters"]) == ["a", "b"]
+
+    def test_timers_excluded_by_default(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.timer("wall").add(1.0)
+        assert "timers" not in reg.snapshot()
+        snap = reg.snapshot(include_timers=True)
+        assert snap["timers"]["wall"]["total_seconds"] == pytest.approx(1.0)
+
+    def test_collect_delta_since_mark(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(10)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.spans.record("early", 0.0, 0.0)
+        mark = reg.mark()
+        reg.counter("c").inc(3)
+        reg.counter("new").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(2.0)
+        reg.spans.record("late", 1.0, 2.0)
+        delta = reg.collect(since=mark)
+        assert delta["counters"] == {"c": 3, "new": 1}
+        assert delta["histograms"]["h"]["count"] == 1
+        assert delta["histograms"]["h"]["counts"] == [0, 1]  # overflow bin
+        assert [s["category"] for s in delta["spans"]["spans"]] == ["late"]
+
+    def test_collect_without_mark_is_snapshot(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        assert reg.collect() == reg.snapshot()
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.spans.record("x", 0.0, 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["spans"]["total_recorded"] == 0
+
+
+class TestProcessFlag:
+    def test_context_manager_restores_prior_state(self):
+        prior = telemetry_enabled()
+        with enabled_telemetry() as reg:
+            assert telemetry_enabled()
+            assert reg is get_registry()
+        assert telemetry_enabled() == prior
+
+    def test_set_enabled_round_trip(self):
+        prior = telemetry_enabled()
+        try:
+            set_enabled(True)
+            assert telemetry_enabled()
+            set_enabled(False)
+            assert not telemetry_enabled()
+        finally:
+            set_enabled(prior)
+
+
+class TestDeterminism:
+    """Acceptance: identical seeded runs produce identical snapshots."""
+
+    def _snapshot_of_run(self, trace):
+        with enabled_telemetry() as reg:
+            result = replay_trace(trace, build_hdd_raid5(4), 1.0)
+            snap = json.dumps(reg.snapshot(), sort_keys=True)
+        return snap, result.metadata["telemetry"]
+
+    def test_object_path_snapshots_identical(self, small_trace):
+        a, delta_a = self._snapshot_of_run(small_trace)
+        b, delta_b = self._snapshot_of_run(small_trace)
+        assert a == b
+        assert delta_a == delta_b
+
+    def test_packed_path_snapshots_identical(self, small_trace):
+        a, delta_a = self._snapshot_of_run(pack(small_trace))
+        b, delta_b = self._snapshot_of_run(pack(small_trace))
+        assert a == b
+        assert delta_a == delta_b
+
+    def test_session_delta_isolates_each_run(self, small_trace):
+        # The registry is cumulative, but each session's metadata delta
+        # reports only its own activity — two identical back-to-back
+        # runs in one scope see identical deltas.
+        with enabled_telemetry():
+            r1 = replay_trace(small_trace, build_hdd_raid5(4), 1.0)
+            r2 = replay_trace(small_trace, build_hdd_raid5(4), 1.0)
+        t1 = r1.metadata["telemetry"]
+        t2 = r2.metadata["telemetry"]
+        assert t1["counters"] == t2["counters"]
+        assert t1["histograms"] == t2["histograms"]
