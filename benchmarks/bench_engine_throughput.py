@@ -281,6 +281,62 @@ def test_telemetry_overhead_packed_pipeline():
     assert overhead < 0.10, f"telemetry overhead {overhead * 100:.1f}% >= 10%"
 
 
+def test_streaming_disabled_overhead():
+    """Acceptance gate: streaming OFF costs < 1% on the replay stack.
+
+    Two pins.  Structural: a session without ``stream_interval`` keeps
+    the seed completion path — no interval recorder, no wrapped hook,
+    no ``interval_frames`` in the result metadata.  Statistical: the
+    default call and the explicitly-disabled call are the *same* code
+    path, so their interleaved min-of-rounds timings must agree within
+    1% — any gap means the streaming feature leaked work into the
+    disabled path.
+    """
+    from repro.replay.session import ReplaySession
+
+    trace = peak_trace("hdd", 4096, 50, 50, duration=2.0)
+
+    session = ReplaySession(build_hdd_raid5(6))
+    assert session.stream_interval == 0.0 and session.on_frame is None
+
+    def default_path():
+        return replay_trace(trace, build_hdd_raid5(6), 1.0)
+
+    def disabled_path():
+        return replay_trace(
+            trace, build_hdd_raid5(6), 1.0, stream_interval=None
+        )
+
+    result = default_path()  # warm-up; also the structural check below
+    assert "interval_frames" not in result.metadata
+    assert disabled_path().completed == result.completed
+
+    ROUNDS = 5
+    default_times, disabled_times = [], []
+    for _ in range(ROUNDS):  # interleave so drift hits both sides alike
+        default_times.append(_timed(default_path))
+        disabled_times.append(_timed(disabled_path))
+    default_best = min(default_times)
+    disabled_best = min(disabled_times)
+    overhead = disabled_best / default_best - 1.0
+
+    print(
+        f"\nstreaming-disabled overhead (replay stack, "
+        f"{trace.package_count} packages): default {default_best:.3f}s, "
+        f"disabled {disabled_best:.3f}s, {overhead * 100:+.2f}%"
+    )
+    _RESULTS["streaming_disabled_overhead"] = {
+        "packages": trace.package_count,
+        "default_seconds": default_best,
+        "disabled_seconds": disabled_best,
+        "overhead_fraction": overhead,
+    }
+    assert overhead < 0.01, (
+        f"streaming-disabled path {overhead * 100:.2f}% slower than the "
+        f"default path — the disabled path must be the seed path"
+    )
+
+
 def _timed(fn, *args) -> float:
     t0 = time.perf_counter()
     fn(*args)

@@ -15,6 +15,9 @@ Subcommands mirror the evaluation workflow of §III-B:
 * ``telemetry`` — instrumented replay with a metrics dump (JSONL /
   Prometheus exports, see ``docs/observability.md``);
 * ``serve``    — run a workload-generator node (Fig. 3);
+* ``watch``    — live view of a remote replay (streamed interval frames);
+* ``flightrec`` — dump the in-process flight recorder;
+* ``runs``     — query the run ledger (``list`` / ``show`` / ``diff``);
 * ``report`` / ``export`` — markdown report / CSV from a results database.
 """
 
@@ -103,19 +106,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    from .replay.console import ConsoleReporter
+    from .replay.console import ConsoleReporter, LiveFrameRenderer
+    from .telemetry.flightrec import arm_autodump
+    from .telemetry.stream import write_frames_jsonl
 
+    if args.flightrec:
+        arm_autodump(args.flightrec)
     trace = read_trace(args.trace)
     device = _device_factory(args.device, args.disks)()
+    interval = args.stream_interval if args.stream_interval > 0 else None
+    renderer = (
+        LiveFrameRenderer() if interval is not None and args.live else None
+    )
     session = ReplaySession(
         device,
         config=ReplayConfig(
             sampling_cycle=args.cycle, time_scale=args.time_scale
         ),
-        reporter=ConsoleReporter() if args.live else None,
+        reporter=ConsoleReporter() if args.live and renderer is None else None,
+        stream_interval=interval,
+        on_frame=renderer.on_frame if renderer is not None else None,
     )
     result = session.run(trace, load_proportion=args.load / 100.0)
     print(format_table(summarize([result]), title=f"replay of {args.trace}"))
+    if args.frames and result.interval_frames:
+        write_frames_jsonl(result.interval_frames, args.frames)
+        print(f"interval frames written to {args.frames}")
     return 0
 
 
@@ -321,6 +337,113 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Live view of a remote replay: streamed interval frames."""
+    from .distributed.host_node import RemoteEvaluationHost
+    from .host.ledger import RunLedger
+    from .replay.console import LiveFrameRenderer
+
+    mode = WorkloadMode(
+        request_size=args.request_size,
+        random_ratio=args.random,
+        read_ratio=args.read,
+    ).at_load(args.load / 100.0)
+    request = TestRequest(
+        mode=mode,
+        replay=ReplayConfig(seed=args.seed),
+        label=args.label,
+    )
+    ledger = RunLedger(args.ledger) if args.ledger else None
+    renderer = LiveFrameRenderer()
+    with RemoteEvaluationHost(
+        args.host,
+        args.port,
+        ledger=ledger,
+        frames_dir=args.frames_dir or None,
+    ) as host:
+        print(f"watching {host.device_label} on node {host.node_id} "
+              f"({args.host}:{args.port}), interval {args.interval}s")
+        record = host.run_test(
+            request,
+            on_progress=renderer.on_frame,
+            stream_interval=args.interval,
+        )
+    print(f"\n{renderer.frames_rendered} frames; final: "
+          f"{record.iops:.1f} IOPS, {record.mbps:.2f} MBPS, "
+          f"{record.mean_watts:.2f} W, "
+          f"{record.iops_per_watt:.2f} IOPS/W")
+    if ledger is not None:
+        latest = ledger.list(limit=1)
+        if latest:
+            print(f"ledger: run {latest[0].run_id} recorded in {args.ledger}")
+        ledger.close()
+    return 0
+
+
+def cmd_flightrec_dump(args: argparse.Namespace) -> int:
+    """Dump the in-process flight recorder to JSONL."""
+    from .telemetry.flightrec import get_flight_recorder
+
+    recorder = get_flight_recorder()
+    path = recorder.dump(args.output, reason="manual")
+    print(f"{len(recorder)} events ({recorder.total_recorded} recorded) "
+          f"dumped to {path}")
+    return 0
+
+
+def _open_ledger(path: str):
+    from .host.ledger import RunLedger
+
+    if not Path(path).exists():
+        raise SystemExit(f"no ledger at {path}")
+    return RunLedger(path)
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    with _open_ledger(args.ledger) as ledger:
+        records = ledger.list(
+            trace_label=args.trace or None,
+            origin=args.origin or None,
+            limit=args.limit or None,
+        )
+        total = ledger.count()
+    print(f"{'run_id':<16} {'origin':<18} {'trace':<34} "
+          f"{'seed':>6} {'IOPS':>9} {'Watts':>8}")
+    for rec in records:
+        print(
+            f"{rec.run_id:<16} {rec.origin:<18} {rec.trace_label:<34.34} "
+            f"{rec.seed if rec.seed is not None else '-':>6} "
+            f"{rec.summary.get('iops', 0.0):>9.1f} "
+            f"{rec.summary.get('mean_watts', 0.0):>8.2f}"
+        )
+    print(f"{len(records)} of {total} runs in {args.ledger}")
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    import json
+
+    with _open_ledger(args.ledger) as ledger:
+        record = ledger.get(args.run_id)
+    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    with _open_ledger(args.ledger) as ledger:
+        diff = ledger.diff(args.run_a, args.run_b)
+    print(f"{diff['a']} vs {diff['b']}  "
+          f"(same config: {diff['same_config']}, "
+          f"same trace: {diff['same_trace']})")
+    print(f"{'metric':<18} {'a':>12} {'b':>12} {'delta':>12} {'pct':>8}")
+    for key, row in diff["metrics"].items():
+        print(
+            f"{key:<18} {row['a']:>12.4f} {row['b']:>12.4f} "
+            f"{row['delta']:>12.4f} {row['pct']:>7.2f}%"
+        )
+    return 0
+
+
 def cmd_repo(args: argparse.Namespace) -> int:
     repo = TraceRepository(args.repository)
     names = list(repo.names())
@@ -366,6 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inter-arrival intensity scale (e.g. 2.0 = 200%%)")
     p.add_argument("--live", action="store_true",
                    help="stream one line per sampling cycle (GUI stand-in)")
+    p.add_argument("--stream-interval", type=float, default=0.0,
+                   help="emit interval frames every N sim seconds "
+                   "(0 = off; with --live, frames replace cycle rows)")
+    p.add_argument("--frames", default="",
+                   help="write streamed interval frames to this JSONL file")
+    p.add_argument("--flightrec", default="",
+                   help="arm the flight recorder to dump here on failure")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("sweep", help="replay a trace at 10%%..100%% load levels")
@@ -448,6 +578,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write Prometheus text-format metrics here")
     p.set_defaults(func=cmd_telemetry)
 
+    p = sub.add_parser(
+        "watch",
+        help="live view of a remote replay (streamed interval frames)",
+    )
+    p.add_argument("host", help="generator node address")
+    p.add_argument("port", type=int, help="generator node port")
+    p.add_argument("--request-size", type=int, default=4096)
+    p.add_argument("--random", type=float, default=0.0,
+                   help="random ratio (0..1)")
+    p.add_argument("--read", type=float, default=0.5,
+                   help="read ratio (0..1)")
+    p.add_argument("--load", type=float, default=100.0,
+                   help="load percent (10..100)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="interval-frame cadence in sim seconds")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--label", default="watch")
+    p.add_argument("--ledger", default="",
+                   help="append this run to a sqlite run ledger")
+    p.add_argument("--frames-dir", default="",
+                   help="persist streamed frames as JSONL in this directory")
+    p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "flightrec", help="flight recorder (bounded event ring)"
+    )
+    fr_sub = p.add_subparsers(dest="flightrec_command", required=True)
+    fp = fr_sub.add_parser("dump", help="dump the in-process ring to JSONL")
+    fp.add_argument("--output", default="flightrec.jsonl")
+    fp.set_defaults(func=cmd_flightrec_dump)
+
+    p = sub.add_parser("runs", help="query the run ledger")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    rp = runs_sub.add_parser("list", help="list runs, newest first")
+    rp.add_argument("ledger", help="ledger sqlite file")
+    rp.add_argument("--trace", default="", help="filter by trace label")
+    rp.add_argument("--origin", default="",
+                    help="filter by origin (local / remote:<node>)")
+    rp.add_argument("--limit", type=int, default=0)
+    rp.set_defaults(func=cmd_runs_list)
+    rp = runs_sub.add_parser("show", help="print one run record as JSON")
+    rp.add_argument("ledger")
+    rp.add_argument("run_id", help="run id (or unique prefix)")
+    rp.set_defaults(func=cmd_runs_show)
+    rp = runs_sub.add_parser("diff", help="compare two runs' summary metrics")
+    rp.add_argument("ledger")
+    rp.add_argument("run_a")
+    rp.add_argument("run_b")
+    rp.set_defaults(func=cmd_runs_diff)
+
     p = sub.add_parser("report", help="markdown report from a results database")
     p.add_argument("database")
     p.add_argument("--output", default="", help="write to file instead of stdout")
@@ -463,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .telemetry.flightrec import install_excepthook
+
+    # A crash in any subcommand dumps the flight recorder when armed
+    # (TRACER_FLIGHTREC=<path> or a --flightrec flag).
+    install_excepthook()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -26,18 +26,20 @@ from typing import Callable, Dict, Optional
 
 from ..config import TestRequest
 from ..errors import TracerError
-from ..host.communicator import CommunicatorServer
+from ..host.communicator import CommunicatorServer, PushFn
 from ..host.protocol import (
     Frame,
     KIND_ACK,
     KIND_ERROR,
     KIND_HELLO,
     KIND_LIST_TRACES,
+    KIND_PROGRESS,
     KIND_RUN_TEST,
     KIND_SHUTDOWN,
     KIND_TEST_RESULT,
     KIND_TRACE_LIST,
 )
+from ..obslog import get_logger
 from ..replay.session import ReplaySession
 from ..storage.base import StorageDevice
 from ..trace.repository import TraceRepository
@@ -96,7 +98,7 @@ class GeneratorNode:
 
     # -- Frame dispatch ------------------------------------------------------
 
-    def _handle(self, frame: Frame) -> Frame:
+    def _handle(self, frame: Frame, push: Optional[PushFn] = None) -> Frame:
         if frame.kind == KIND_HELLO:
             return Frame(
                 KIND_ACK,
@@ -109,16 +111,16 @@ class GeneratorNode:
             ]
             return Frame(KIND_TRACE_LIST, {"traces": names})
         if frame.kind == KIND_RUN_TEST:
-            return self._run_test(frame)
+            return self._run_test(frame, push)
         if frame.kind == KIND_SHUTDOWN:
             return Frame(KIND_ACK, {"node_id": self.node_id})
         return Frame(KIND_ERROR, {"message": f"unknown frame kind {frame.kind!r}"})
 
-    def _run_test(self, frame: Frame) -> Frame:
+    def _run_test(self, frame: Frame, push: Optional[PushFn] = None) -> Frame:
         request_id = frame.body.get("request_id")
         if request_id is None:
             # Legacy host without ids: execute unconditionally.
-            return self._execute(frame)
+            return self._execute(frame, push)
         while True:
             with self._lock:
                 cached = self._results.get(request_id)
@@ -144,7 +146,7 @@ class GeneratorNode:
                 )
         reply: Optional[Frame] = None
         try:
-            reply = self._execute(frame)
+            reply = self._execute(frame, push)
         finally:
             with self._lock:
                 # Cache only successes; a failed execution may succeed
@@ -157,17 +159,61 @@ class GeneratorNode:
                 done.set()
         return reply
 
-    def _execute(self, frame: Frame) -> Frame:
+    def _execute(self, frame: Frame, push: Optional[PushFn] = None) -> Frame:
+        request_id = frame.body.get("request_id")
+        stream = frame.body.get("stream") or {}
+        interval = float(stream.get("interval") or 0.0)
+        on_frame = None
+        if push is not None and interval > 0 and stream.get("progress"):
+            node_id = self.node_id
+            # Mutable cell so a dead peer stops further pushes; the
+            # replay itself keeps running and the terminal reply (or a
+            # retry served from cache) still carries every frame.
+            live = [True]
+
+            def on_frame(iframe) -> None:
+                if live[0] and not push(
+                    Frame(
+                        KIND_PROGRESS,
+                        {
+                            "request_id": request_id,
+                            "seq": iframe.index,
+                            "frame": iframe.to_dict(),
+                            "node_id": node_id,
+                        },
+                    )
+                ):
+                    live[0] = False
+
+        slog = get_logger("generator_node")
         try:
             request = TestRequest.from_dict(frame.body["request"])
             name = self.repository.lookup(self.device_label, request.mode)
             trace = self.repository.load(name)
             device = self.device_factory()
-            session = ReplaySession(device, config=request.replay)
+            session = ReplaySession(
+                device,
+                config=request.replay,
+                stream_interval=interval if interval > 0 else None,
+                on_frame=on_frame,
+            )
+            slog.event(
+                "run_test",
+                node=self.node_id,
+                request_id=request_id,
+                trace=name.filename,
+                streaming=interval if interval > 0 else 0.0,
+            )
             result = session.run(
                 trace, load_proportion=request.mode.load_proportion
             )
         except (TracerError, KeyError, ValueError) as exc:
+            slog.event(
+                "run_test_error",
+                node=self.node_id,
+                request_id=request_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return Frame(KIND_ERROR, {"message": f"{type(exc).__name__}: {exc}"})
         self.tests_served += 1
         body = result.to_dict()

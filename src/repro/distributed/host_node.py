@@ -20,12 +20,14 @@ from __future__ import annotations
 import itertools
 import time as _time
 import uuid
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..config import LOAD_LEVELS, ReplayConfig, TestRequest, WorkloadMode
 from ..errors import ProtocolError
 from ..host.communicator import Communicator, RetryPolicy
 from ..host.database import ResultsDatabase
+from ..host.ledger import RunLedger, build_record
 from ..host.protocol import (
     Frame,
     KIND_ERROR,
@@ -36,6 +38,11 @@ from ..host.protocol import (
     KIND_TRACE_LIST,
 )
 from ..host.records import TestRecord
+from ..telemetry.stream import frames_to_jsonl
+
+#: Callback for streamed interval frames: ``on_progress(frame_dict)``
+#: receives each interval frame's wire dict, in order, at most once.
+ProgressFn = Callable[[Dict], None]
 
 
 class RemoteEvaluationHost:
@@ -54,9 +61,13 @@ class RemoteEvaluationHost:
         clock: Callable[[], float] = _time.time,
         timeout: float = 60.0,
         retry: Optional[RetryPolicy] = None,
+        ledger: Optional[RunLedger] = None,
+        frames_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.database = database if database is not None else ResultsDatabase()
         self.clock = clock
+        self.ledger = ledger
+        self.frames_dir = Path(frames_dir) if frames_dir is not None else None
         self.node_id = "?"
         self.device_label = "?"
         self.comm: Optional[Communicator] = None
@@ -108,19 +119,53 @@ class RemoteEvaluationHost:
             raise ProtocolError(f"unexpected reply {reply.kind!r}")
         return list(reply.body.get("traces", []))
 
-    def run_test(self, request: TestRequest) -> TestRecord:
+    def run_test(
+        self,
+        request: TestRequest,
+        on_progress: Optional[ProgressFn] = None,
+        stream_interval: Optional[float] = None,
+    ) -> TestRecord:
         """Run one test remotely; store and return the record.
 
         The dispatch is tagged with a unique request id, so if the reply
         is lost and the communicator retries, the node returns the
         cached result of the first execution instead of replaying again.
+
+        With ``stream_interval`` set, the node pushes one ``progress``
+        frame per interval mid-replay; each interval frame's wire dict
+        is handed to ``on_progress`` exactly once and in order (frames
+        for other request ids, replays after a retried dispatch, and
+        out-of-order duplicates are dropped by sequence number).
         """
         request_id = f"{self._client_id}-{next(self._sequence)}"
+        body_out: Dict = {
+            "request": request.to_dict(),
+            "request_id": request_id,
+        }
+        consume = None
+        if stream_interval is not None and stream_interval > 0:
+            body_out["stream"] = {
+                "progress": on_progress is not None,
+                "interval": float(stream_interval),
+            }
+            if on_progress is not None:
+                seen_up_to = [-1]
+
+                def consume(progress: Frame) -> None:
+                    pbody = progress.body
+                    if pbody.get("request_id") != request_id:
+                        return
+                    seq = pbody.get("seq")
+                    frame = pbody.get("frame")
+                    if not isinstance(seq, int) or not isinstance(frame, dict):
+                        return
+                    if seq <= seen_up_to[0]:
+                        return
+                    seen_up_to[0] = seq
+                    on_progress(frame)
+
         reply = self._require_comm().request(
-            Frame(
-                KIND_RUN_TEST,
-                {"request": request.to_dict(), "request_id": request_id},
-            )
+            Frame(KIND_RUN_TEST, body_out), on_progress=consume
         )
         if reply.kind == KIND_ERROR:
             raise ProtocolError(f"remote test failed: {reply.body.get('message')}")
@@ -149,7 +194,31 @@ class RemoteEvaluationHost:
             # The node ran with telemetry on; its snapshot rode the wire
             # in the result metadata — keep it with the record.
             self.database.insert_telemetry(record_id, telemetry)
+        self._record_run(request, request_id, body)
         return record
+
+    def _record_run(
+        self, request: TestRequest, request_id: str, body: Dict
+    ) -> None:
+        """Persist interval frames and the run-ledger row, when enabled."""
+        frames = body.get("metadata", {}).get("interval_frames") or []
+        frames_path: Optional[Path] = None
+        if frames and self.frames_dir is not None:
+            self.frames_dir.mkdir(parents=True, exist_ok=True)
+            frames_path = self.frames_dir / f"run-{request_id}.jsonl"
+            frames_path.write_text(frames_to_jsonl(frames), encoding="utf-8")
+        if self.ledger is not None:
+            self.ledger.append(
+                build_record(
+                    body,
+                    origin=f"remote:{self.node_id}",
+                    mode=request.mode.to_dict(),
+                    replay=request.to_dict()["replay"],
+                    run_id=request_id,
+                    frames_path=str(frames_path) if frames_path else "",
+                    created=self.clock(),
+                )
+            )
 
     def run_load_sweep(
         self,

@@ -66,6 +66,15 @@ class FaultInjector(StorageDevice):
         self._windows_logged: set = set()
         self._last_cb: Optional[CompletionCallback] = None
         self._last_wrapped: Optional[CompletionCallback] = None
+        # Flight recording is always on (the ring is bounded and costs
+        # nothing while empty): every injected occurrence lands in the
+        # forensic record even when telemetry is disabled.  Event ids
+        # are a per-run counter so identically seeded runs log
+        # identical ids.
+        from ..telemetry.flightrec import get_flight_recorder
+
+        self._flightrec = get_flight_recorder()
+        self._event_seq = 0
         # Construction-time telemetry gate; the fault path is never on
         # the perf-gated clean path, so guarded increments suffice here.
         from ..telemetry import get_registry
@@ -98,6 +107,7 @@ class FaultInjector(StorageDevice):
         self._armed_for = sim
         self._last_cb = None
         self._last_wrapped = None
+        self._event_seq = 0
         spec = self.schedule.sector_errors
         if spec is not None and spec.count:
             starts = self.schedule.resolve_bad_extents(self.capacity_sectors)
@@ -219,6 +229,12 @@ class FaultInjector(StorageDevice):
             sim.now,
             {"member": fault.member, "device": array.disks[fault.member].name},
         )
+        # A dead member is the canonical forensic moment: flush the
+        # flight recorder (if armed) so what led up to the failure is
+        # on disk before degraded service even begins.
+        from ..telemetry.flightrec import autodump
+
+        autodump("disk_failure")
 
     def _log_window(self, key, kind: FaultKind, window) -> None:
         """Log a window fault once, on its first affected completion."""
@@ -231,11 +247,27 @@ class FaultInjector(StorageDevice):
         sim = self._require_sim()
         self._log(kind, sim.now, detail)
 
-    def _log(self, kind: FaultKind, time: float, detail: Dict) -> None:
+    def _log(self, kind: FaultKind, time: float, detail: Dict) -> int:
+        """Record one occurrence; returns its per-run event id.
+
+        The flight recorder always sees the event (its ring is bounded);
+        the per-run ``fault_events`` list caps at
+        :data:`MAX_LOGGED_EVENTS` while counters stay exact.
+        """
+        event_id = self._event_seq
+        self._event_seq += 1
+        self._flightrec.record(
+            f"fault.{kind.value}", time,
+            event_id=event_id, device=self.name, detail=dict(detail),
+        )
         if len(self.fault_events) < MAX_LOGGED_EVENTS:
             self.fault_events.append(
-                FaultEvent(time=time, kind=kind, device=self.name, detail=detail)
+                FaultEvent(
+                    time=time, kind=kind, device=self.name, detail=detail,
+                    event_id=event_id,
+                )
             )
+        return event_id
 
 
 def unwrap(device: StorageDevice) -> StorageDevice:

@@ -37,6 +37,11 @@ class FaultEvent:
     kind: FaultKind
     device: str
     detail: Dict[str, Any] = field(default_factory=dict)
+    event_id: int = -1
+    """Per-run injection sequence number, matching the ``event_id``
+    field of the flight-recorder entry for the same occurrence (so a
+    result's fault log joins against a forensic dump).  ``-1`` for
+    events constructed outside an injector."""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (stored in results, crosses the wire protocol)."""
@@ -45,6 +50,7 @@ class FaultEvent:
             "kind": self.kind.value,
             "device": self.device,
             "detail": dict(self.detail),
+            "event_id": self.event_id,
         }
 
 

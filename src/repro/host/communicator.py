@@ -17,6 +17,7 @@ side-effectful work attach request ids so the server can deduplicate
 
 from __future__ import annotations
 
+import inspect
 import socket
 import threading
 import time
@@ -24,9 +25,14 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import ProtocolError
-from .protocol import Frame, FrameReader, KIND_ERROR, encode_frame
+from ..telemetry.flightrec import autodump, get_flight_recorder
+from .protocol import Frame, FrameReader, KIND_ERROR, KIND_PROGRESS, encode_frame
 
 FrameHandler = Callable[[Frame], Frame]
+
+#: Push function handed to push-capable handlers: sends one extra frame
+#: on the requesting connection, returning False once the peer is gone.
+PushFn = Callable[[Frame], bool]
 
 
 @dataclass(frozen=True)
@@ -173,15 +179,29 @@ class Communicator:
                 self._pending = frames[1:]
                 return frames[0]
 
-    def request(self, frame: Frame) -> Frame:
-        """Send one frame and wait for the reply, retrying on failure.
+    def request(
+        self,
+        frame: Frame,
+        on_progress: Optional[Callable[[Frame], None]] = None,
+    ) -> Frame:
+        """Send one frame and wait for the terminal reply, retrying on
+        failure.
+
+        ``progress`` frames a server pushes mid-request are handed to
+        ``on_progress`` (and skipped when none is given — a host that
+        did not ask for streaming still tolerates a stream), so the
+        returned frame is always the request's terminal reply.  A
+        consumer exception never corrupts the dialogue: it is recorded
+        to the flight recorder and further progress delivery stops.
 
         Each attempt uses a fresh connection if the previous one died.
         Connection drops, timeouts, and malformed reply frames all count
-        against the retry budget; exhausting it raises
-        :class:`ProtocolError` carrying the last underlying failure.
-        A retried request may execute twice server-side — pass a
-        ``request_id`` in the frame body when that matters.
+        against the retry budget; every failed attempt is flight-
+        recorded, and exhausting the budget dumps the recorder (if
+        armed) before raising :class:`ProtocolError` with the last
+        underlying failure.  A retried request may execute twice
+        server-side — pass a ``request_id`` in the frame body when that
+        matters.
         """
         last: Optional[Exception] = None
         for attempt in range(self.retry.max_attempts):
@@ -189,12 +209,34 @@ class Communicator:
                 if self._sock is None:
                     self._reconnect()
                 self.send(frame)
-                return self.receive()
+                while True:
+                    reply = self.receive()
+                    if reply.kind != KIND_PROGRESS:
+                        return reply
+                    if on_progress is not None:
+                        try:
+                            on_progress(reply)
+                        except Exception as exc:
+                            get_flight_recorder().record(
+                                "comm.progress_consumer_error", 0.0,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            on_progress = None
             except (OSError, ProtocolError) as exc:
                 last = exc
                 self.close()
+                get_flight_recorder().record(
+                    "comm.retry", 0.0,
+                    kind=frame.kind, attempt=attempt, error=str(exc),
+                )
                 if attempt + 1 < self.retry.max_attempts:
                     time.sleep(self.retry.delay(attempt))
+        get_flight_recorder().record(
+            "comm.giveup", 0.0,
+            kind=frame.kind, attempts=self.retry.max_attempts,
+            error=str(last),
+        )
+        autodump("protocol_error")
         raise ProtocolError(
             f"request {frame.kind!r} to {self.address[0]}:{self.address[1]} "
             f"failed after {self.retry.max_attempts} attempts: {last}"
@@ -219,6 +261,7 @@ class CommunicatorServer:
         idle_timeout: Optional[float] = None,
     ):
         self.handler = handler
+        self._push_capable = self._accepts_push(handler)
         self.idle_timeout = idle_timeout
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -227,6 +270,19 @@ class CommunicatorServer:
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+
+    @staticmethod
+    def _accepts_push(handler: Callable) -> bool:
+        """Whether ``handler`` takes a second (push) argument.
+
+        Handlers keep the one-argument signature unless they stream;
+        signature inspection keeps both generations working unchanged.
+        """
+        try:
+            inspect.signature(handler).bind(None, None)
+        except TypeError:
+            return False
+        return True
 
     @property
     def port(self) -> int:
@@ -294,10 +350,31 @@ class CommunicatorServer:
                     break
                 for frame in frames:
                     try:
-                        reply = self.handler(frame)
+                        if self._push_capable:
+                            reply = self.handler(frame, self._pusher(conn))
+                        else:
+                            reply = self.handler(frame)
                     except Exception as exc:  # surface handler bugs to peer
                         reply = Frame(KIND_ERROR, {"message": repr(exc)})
                     try:
                         conn.sendall(encode_frame(reply))
                     except OSError:
                         return
+
+    @staticmethod
+    def _pusher(conn: socket.socket) -> PushFn:
+        """A push function bound to one connection.
+
+        Returns False once the peer is unreachable — the handler then
+        stops pushing but keeps executing; its terminal reply is still
+        attempted (and a retried request is served from cache).
+        """
+
+        def push(frame: Frame) -> bool:
+            try:
+                conn.sendall(encode_frame(frame))
+            except OSError:
+                return False
+            return True
+
+        return push

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from ..errors import DatabaseError
+from .ledger import RunLedger
 from .records import TestRecord
 
 PathLike = Union[str, Path]
@@ -220,6 +221,15 @@ class ResultsDatabase:
         )
         row = cur.fetchone()
         return json.loads(row["snapshot_json"]) if row is not None else None
+
+    def run_ledger(self) -> RunLedger:
+        """A :class:`~repro.host.ledger.RunLedger` sharing this database.
+
+        The ledger's ``run_ledger`` table lives in the same sqlite file
+        (or in-memory connection), so one database path carries both
+        metric records and run provenance.
+        """
+        return RunLedger(_conn=self._conn)
 
     def count(self) -> int:
         cur = self._conn.execute("SELECT COUNT(*) AS n FROM test_records")

@@ -19,17 +19,20 @@ as the paper resets the array between runs.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from ..config import LOAD_LEVELS, ReplayConfig, TestRequest, WorkloadMode
 from ..errors import RepositoryError, TracerError
 from ..replay.results import ReplayResult
 from ..replay.session import ReplaySession
 from ..storage.base import StorageDevice
+from ..telemetry.stream import frames_to_jsonl
 from ..trace.record import Trace
 from ..trace.repository import TraceName, TraceRepository
 from ..workload.matrix import build_matrix
 from .database import ResultsDatabase
+from .ledger import RunLedger, build_record, new_run_id
 from .records import TestRecord
 
 DeviceFactory = Callable[[], StorageDevice]
@@ -59,12 +62,16 @@ class EvaluationHost:
         repository: TraceRepository,
         database: Optional[ResultsDatabase] = None,
         clock: Callable[[], float] = _time.time,
+        ledger: Optional[RunLedger] = None,
+        frames_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.device_factory = device_factory
         self.device_label = device_label
         self.repository = repository
         self.database = database if database is not None else ResultsDatabase()
         self.clock = clock
+        self.ledger = ledger
+        self.frames_dir = Path(frames_dir) if frames_dir is not None else None
 
     # -- §III-B step 2: build the trace repository -------------------------
 
@@ -101,6 +108,8 @@ class EvaluationHost:
         request: TestRequest,
         trace: Optional[Trace] = None,
         store_cycles: bool = False,
+        stream_interval: Optional[float] = None,
+        on_frame: Optional[Callable] = None,
     ) -> TestRecord:
         """Execute one test and store its record.
 
@@ -108,11 +117,18 @@ class EvaluationHost:
         traces that are not part of the synthetic matrix).
         ``store_cycles`` additionally persists the per-cycle series
         (the GUI's real-time curves) alongside the summary record.
+        ``stream_interval``/``on_frame`` enable interval-frame streaming
+        for this run (see :class:`~repro.replay.session.ReplaySession`).
         """
         if trace is None:
             trace = self._load_trace(request.mode)
         device = self.device_factory()
-        session = ReplaySession(device, config=request.replay)
+        session = ReplaySession(
+            device,
+            config=request.replay,
+            stream_interval=stream_interval,
+            on_frame=on_frame,
+        )
         result = session.run(trace, load_proportion=request.mode.load_proportion)
         record = TestRecord.from_result(
             result,
@@ -127,7 +143,30 @@ class EvaluationHost:
         telemetry = result.metadata.get("telemetry")
         if telemetry:
             self.database.insert_telemetry(record_id, telemetry)
+        self._record_run(request, result)
         return record
+
+    def _record_run(self, request: TestRequest, result: ReplayResult) -> None:
+        """Persist interval frames and the run-ledger row, when enabled."""
+        run_id = new_run_id()
+        frames = result.interval_frames
+        frames_path: Optional[Path] = None
+        if frames and self.frames_dir is not None:
+            self.frames_dir.mkdir(parents=True, exist_ok=True)
+            frames_path = self.frames_dir / f"run-{run_id}.jsonl"
+            frames_path.write_text(frames_to_jsonl(frames), encoding="utf-8")
+        if self.ledger is not None:
+            self.ledger.append(
+                build_record(
+                    result.to_dict(),
+                    origin="local",
+                    mode=request.mode.to_dict(),
+                    replay=request.to_dict()["replay"],
+                    run_id=run_id,
+                    frames_path=str(frames_path) if frames_path else "",
+                    created=self.clock(),
+                )
+            )
 
     def run_load_sweep(
         self,

@@ -1,0 +1,314 @@
+"""The run ledger: every measured replay, queryable forever.
+
+The paper's evaluation host keeps a database so "users are able to send
+queries ... after the testing processes are done" (§III-A1).  The
+results database stores the *metrics* of a test; the ledger stores the
+*provenance* of a run — which trace, which mode vector, which seed,
+which configuration (hashed), where its interval-frame file landed,
+which code (git SHA) produced it — so any number in any report can be
+traced back to an exactly reproducible invocation and compared against
+any other run.
+
+Rows are append-only.  ``tracer runs list/show/diff`` is the query
+surface; :meth:`ResultsDatabase.run_ledger` opens a ledger sharing the
+results database file, so one sqlite file carries both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time as _time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import DatabaseError
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the recorded git SHA (CI sets this
+#: when the working tree is not a checkout).
+GIT_SHA_ENV = "TRACER_GIT_SHA"
+
+LEDGER_SCHEMA = """
+CREATE TABLE IF NOT EXISTS run_ledger (
+    run_id TEXT PRIMARY KEY,
+    created REAL NOT NULL,
+    origin TEXT NOT NULL,
+    trace_label TEXT NOT NULL,
+    mode_json TEXT NOT NULL,
+    seed INTEGER,
+    config_hash TEXT NOT NULL,
+    frames_path TEXT NOT NULL DEFAULT '',
+    git_sha TEXT NOT NULL DEFAULT '',
+    summary_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_ledger_created ON run_ledger (created);
+CREATE INDEX IF NOT EXISTS idx_ledger_trace ON run_ledger (trace_label);
+"""
+
+#: Summary metrics a ledger row carries (flat floats, diffable).
+SUMMARY_KEYS = (
+    "duration", "completed", "iops", "mbps", "mean_response",
+    "mean_watts", "energy_joules", "iops_per_watt", "mbps_per_kilowatt",
+)
+
+_GIT_SHA_CACHE: Optional[str] = None
+
+
+def current_git_sha() -> str:
+    """The code identity recorded with each run.
+
+    ``TRACER_GIT_SHA`` wins; otherwise ``git rev-parse --short HEAD``
+    is asked once per process; "unknown" when neither works.
+    """
+    global _GIT_SHA_CACHE
+    import os
+
+    env = os.environ.get(GIT_SHA_ENV, "").strip()
+    if env:
+        return env
+    if _GIT_SHA_CACHE is None:
+        import subprocess
+
+        try:
+            _GIT_SHA_CACHE = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=5.0, check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA_CACHE = "unknown"
+    return _GIT_SHA_CACHE
+
+
+def config_fingerprint(
+    mode: Dict[str, Any], replay: Optional[Dict[str, Any]] = None
+) -> str:
+    """Stable hash of a run's full configuration vector."""
+    canonical = json.dumps(
+        {"mode": mode, "replay": replay or {}},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def summary_from_result(result_dict: Dict[str, Any]) -> Dict[str, float]:
+    """Extract a ledger summary from a flat result dict (wire or local)."""
+    return {k: result_dict.get(k, 0.0) for k in SUMMARY_KEYS}
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger row."""
+
+    run_id: str
+    created: float
+    origin: str
+    trace_label: str
+    mode: Dict[str, Any]
+    seed: Optional[int]
+    config_hash: str
+    frames_path: str = ""
+    git_sha: str = ""
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "created": self.created,
+            "origin": self.origin,
+            "trace_label": self.trace_label,
+            "mode_json": json.dumps(self.mode, sort_keys=True),
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+            "frames_path": self.frames_path,
+            "git_sha": self.git_sha,
+            "summary_json": json.dumps(self.summary, sort_keys=True),
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            run_id=row["run_id"],
+            created=row["created"],
+            origin=row["origin"],
+            trace_label=row["trace_label"],
+            mode=json.loads(row["mode_json"]),
+            seed=row["seed"],
+            config_hash=row["config_hash"],
+            frames_path=row["frames_path"],
+            git_sha=row["git_sha"],
+            summary=json.loads(row["summary_json"]),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (``tracer runs show`` prints exactly this)."""
+        return {
+            "run_id": self.run_id,
+            "created": self.created,
+            "origin": self.origin,
+            "trace_label": self.trace_label,
+            "mode": dict(self.mode),
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+            "frames_path": self.frames_path,
+            "git_sha": self.git_sha,
+            "summary": dict(self.summary),
+        }
+
+
+def new_run_id() -> str:
+    """A fresh globally unique run id."""
+    return uuid.uuid4().hex[:16]
+
+
+def build_record(
+    result_dict: Dict[str, Any],
+    origin: str,
+    mode: Dict[str, Any],
+    replay: Optional[Dict[str, Any]] = None,
+    run_id: Optional[str] = None,
+    frames_path: str = "",
+    created: Optional[float] = None,
+) -> RunRecord:
+    """Assemble a :class:`RunRecord` from a flat result summary."""
+    seed = (replay or {}).get("seed")
+    return RunRecord(
+        run_id=run_id if run_id is not None else new_run_id(),
+        created=created if created is not None else _time.time(),
+        origin=origin,
+        trace_label=str(result_dict.get("trace_label", "")),
+        mode=dict(mode),
+        seed=int(seed) if seed is not None else None,
+        config_hash=config_fingerprint(mode, replay),
+        frames_path=str(frames_path),
+        git_sha=current_git_sha(),
+        summary=summary_from_result(result_dict),
+    )
+
+
+class RunLedger:
+    """sqlite-backed append-only store of :class:`RunRecord`."""
+
+    def __init__(
+        self,
+        path: PathLike = ":memory:",
+        _conn: Optional[sqlite3.Connection] = None,
+    ) -> None:
+        if _conn is not None:
+            self.path = ""
+            self._conn = _conn
+            self._owns_conn = False
+        else:
+            self.path = str(path)
+            self._conn = sqlite3.connect(
+                self.path, check_same_thread=False
+            )
+            self._owns_conn = True
+        self._conn.row_factory = sqlite3.Row
+        with self._conn:
+            self._conn.executescript(LEDGER_SCHEMA)
+
+    def close(self) -> None:
+        if self._owns_conn:
+            self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def append(self, record: RunRecord) -> str:
+        """Store one run; returns its id.  Duplicate ids are an error."""
+        row = record.to_row()
+        columns = ", ".join(row)
+        placeholders = ", ".join(f":{k}" for k in row)
+        try:
+            with self._conn:
+                self._conn.execute(
+                    f"INSERT INTO run_ledger ({columns}) "
+                    f"VALUES ({placeholders})",
+                    row,
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"ledger append failed: {exc}") from exc
+        return record.run_id
+
+    def get(self, run_id: str) -> RunRecord:
+        """Fetch by exact id, or by unique prefix (CLI convenience)."""
+        cur = self._conn.execute(
+            "SELECT * FROM run_ledger WHERE run_id = ?", (run_id,)
+        )
+        row = cur.fetchone()
+        if row is None:
+            cur = self._conn.execute(
+                "SELECT * FROM run_ledger WHERE run_id LIKE ? "
+                "ORDER BY run_id LIMIT 3",
+                (run_id + "%",),
+            )
+            rows = cur.fetchall()
+            if len(rows) == 1:
+                row = rows[0]
+            elif len(rows) > 1:
+                raise DatabaseError(
+                    f"run id prefix {run_id!r} is ambiguous"
+                )
+        if row is None:
+            raise DatabaseError(f"no run with id {run_id!r}")
+        return RunRecord.from_row(dict(row))
+
+    def list(
+        self,
+        trace_label: Optional[str] = None,
+        origin: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Runs newest-first, optionally filtered."""
+        clauses = []
+        params: list = []
+        if trace_label is not None:
+            clauses.append("trace_label = ?")
+            params.append(trace_label)
+        if origin is not None:
+            clauses.append("origin = ?")
+            params.append(origin)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        sql = (
+            f"SELECT * FROM run_ledger {where} "
+            "ORDER BY created DESC, run_id DESC"
+        )
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        cur = self._conn.execute(sql, params)
+        return [RunRecord.from_row(dict(row)) for row in cur.fetchall()]
+
+    def count(self) -> int:
+        cur = self._conn.execute("SELECT COUNT(*) AS n FROM run_ledger")
+        return int(cur.fetchone()["n"])
+
+    def diff(self, run_a: str, run_b: str) -> Dict[str, Any]:
+        """Compare two runs' summary metrics (b relative to a)."""
+        a = self.get(run_a)
+        b = self.get(run_b)
+        metrics: Dict[str, Dict[str, float]] = {}
+        for key in sorted(set(a.summary) | set(b.summary)):
+            va = float(a.summary.get(key, 0.0))
+            vb = float(b.summary.get(key, 0.0))
+            metrics[key] = {
+                "a": va,
+                "b": vb,
+                "delta": vb - va,
+                "pct": ((vb - va) / va * 100.0) if va else 0.0,
+            }
+        return {
+            "a": a.run_id,
+            "b": b.run_id,
+            "same_config": a.config_hash == b.config_hash,
+            "same_trace": a.trace_label == b.trace_label,
+            "metrics": metrics,
+        }

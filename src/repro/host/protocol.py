@@ -34,6 +34,13 @@ KIND_TRACE_LIST = "trace_list"
 KIND_ERROR = "error"
 KIND_SHUTDOWN = "shutdown"
 KIND_ACK = "ack"
+KIND_PROGRESS = "progress"
+"""Mid-``run_test`` interval-frame push (node → host).
+
+Streamed only when the host's ``run_test`` body opts in via a
+``stream`` key, so hosts that predate streaming never see one; new
+hosts skip any they are not expecting, keeping the frame type
+backward and forward compatible."""
 
 
 @dataclass(frozen=True)

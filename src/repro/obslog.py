@@ -1,0 +1,116 @@
+"""Structured event logging for hosts, nodes, and sessions.
+
+Every log call is one *event*: a component name, an event name, an
+optional simulation time, and flat JSON fields.  Events always land in
+the process flight recorder (:mod:`repro.telemetry.flightrec`) so the
+last N of them survive into crash dumps; they are additionally written
+as JSON Lines to a sink when ``TRACER_LOG`` is configured:
+
+* ``TRACER_LOG=stderr`` / ``stdout`` — stream to that descriptor;
+* ``TRACER_LOG=/path/to/file`` — append to the file;
+* unset — flight recorder only (the default; zero I/O).
+
+Loggers are cheap named handles (cached per component) and are used on
+*rare* paths only — session lifecycle, protocol retries, fault firings —
+never per-completion, so logging cannot perturb the perf-gated replay
+loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from typing import Any, Dict, Optional, TextIO
+
+from .telemetry.flightrec import FlightRecorder, get_flight_recorder
+
+#: Environment variable selecting the JSONL sink (unset = recorder only).
+OBSLOG_ENV = "TRACER_LOG"
+
+_SINK_LOCK = threading.Lock()
+_SINK: Optional[TextIO] = None
+_SINK_RESOLVED = False
+_LOGGERS: Dict[str, "StructuredLogger"] = {}
+
+
+def _resolve_sink() -> Optional[TextIO]:
+    """The configured sink stream, opened once per process."""
+    global _SINK, _SINK_RESOLVED
+    with _SINK_LOCK:
+        if _SINK_RESOLVED:
+            return _SINK
+        _SINK_RESOLVED = True
+        target = os.environ.get(OBSLOG_ENV, "").strip()
+        if not target:
+            _SINK = None
+        elif target == "stderr":
+            _SINK = sys.stderr
+        elif target == "stdout":
+            _SINK = sys.stdout
+        else:
+            try:
+                _SINK = open(target, "a")
+            except OSError:
+                _SINK = None
+        return _SINK
+
+
+def set_sink(stream: Optional[TextIO]) -> None:
+    """Override the sink explicitly (tests, embedding applications)."""
+    global _SINK, _SINK_RESOLVED
+    with _SINK_LOCK:
+        _SINK = stream
+        _SINK_RESOLVED = True
+
+
+class StructuredLogger:
+    """One component's logging handle."""
+
+    def __init__(
+        self,
+        component: str,
+        recorder: Optional[FlightRecorder] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.component = component
+        self._recorder = recorder if recorder is not None else get_flight_recorder()
+        self._stream = stream
+
+    def event(self, name: str, time: float = 0.0, **fields: Any) -> int:
+        """Record one event; returns its flight-recorder sequence number.
+
+        Field values must be JSON-serialisable (they ride into dumps and
+        log lines verbatim).
+        """
+        seq = self._recorder.record(
+            f"{self.component}.{name}", time, **fields
+        )
+        stream = self._stream if self._stream is not None else _resolve_sink()
+        if stream is not None:
+            line = json.dumps(
+                {
+                    "component": self.component,
+                    "event": name,
+                    "time": time,
+                    "seq": seq,
+                    **fields,
+                },
+                sort_keys=True,
+                default=str,
+            )
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a dead sink must never break the logged operation
+        return seq
+
+
+def get_logger(component: str) -> StructuredLogger:
+    """Cached per-component logger bound to the process recorder/sink."""
+    logger = _LOGGERS.get(component)
+    if logger is None:
+        logger = _LOGGERS[component] = StructuredLogger(component)
+    return logger

@@ -41,8 +41,10 @@ class MultiChannelMeter:
         self._sensors: Dict[int, HallSensor] = {}
         self._analyzers: Dict[int, PowerAnalyzer] = {}
         self._last_samples: Dict[int, List[PowerSample]] = {}
+        from ..obslog import get_logger
         from ..telemetry import get_registry
 
+        self._slog = get_logger("power.meter")
         reg = get_registry()
         self._tele = reg if reg.enabled else None
         if self._tele is not None:
@@ -83,6 +85,7 @@ class MultiChannelMeter:
         )
         analyzer.start(sim)
         self._analyzers[channel] = analyzer
+        self._slog.event("channel_start", time=sim.now, channel=channel)
         if self._tele is not None:
             self._tele_starts.inc()
 
@@ -106,6 +109,13 @@ class MultiChannelMeter:
             total_energy_joules=analyzer.total_energy,
         )
         self._last_samples[channel] = analyzer.samples
+        self._slog.event(
+            "channel_stop",
+            channel=channel,
+            samples=reading.sample_count,
+            mean_watts=reading.mean_watts,
+            energy_joules=reading.total_energy_joules,
+        )
         if self._tele is not None:
             self._tele_stops.inc()
             ch = str(channel)

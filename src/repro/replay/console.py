@@ -71,3 +71,51 @@ class ConsoleReporter:
             file=self.stream,
         )
         self.lines_emitted += 1
+
+
+class LiveFrameRenderer:
+    """Renders streamed interval frames — the terminal view behind
+    ``tracer watch``.
+
+    Consumes interval-frame wire dicts (what
+    :meth:`~repro.distributed.host_node.RemoteEvaluationHost.run_test`
+    hands its ``on_progress`` callback) or
+    :class:`~repro.telemetry.stream.IntervalFrame` objects, printing one
+    line per frame: throughput, response time, power, queue depth, and
+    the cumulative fault/degraded counters.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self._header_printed = False
+        self.frames_rendered = 0
+
+    def _print_header(self) -> None:
+        print(
+            f"{'#':>4} {'t(s)':>8} {'IOPS':>9} {'MBPS':>8} {'resp ms':>8} "
+            f"{'Watts':>8} {'qdepth':>6} {'faults':>6} {'degr':>5}",
+            file=self.stream,
+        )
+        self._header_printed = True
+
+    def on_frame(self, frame) -> None:
+        """Render one interval frame (wire dict or IntervalFrame)."""
+        if not isinstance(frame, dict):
+            frame = frame.to_dict()
+        if not self._header_printed:
+            self._print_header()
+        duration = max(frame["end"] - frame["start"], 1e-12)
+        completed = frame["completed"]
+        iops = completed / duration
+        mbps = (frame["total_bytes"] / 1e6) / duration
+        resp = frame["response_sum"] / completed if completed else 0.0
+        watts = frame["energy_joules"] / duration
+        faults = sum(frame.get("faults", {}).values())
+        print(
+            f"{frame['index']:>4} {frame['end']:>8.2f} {iops:>9.1f} "
+            f"{mbps:>8.2f} {resp * 1000:>8.2f} {watts:>8.2f} "
+            f"{frame['queue_depth']:>6} {faults:>6} "
+            f"{frame.get('degraded_requests', 0):>5}",
+            file=self.stream,
+        )
+        self.frames_rendered += 1

@@ -227,10 +227,23 @@ class ReplayEngine:
         steps = 0
         while not self.done:
             if max_events is not None and steps >= max_events:
+                self._record_stall("replay_max_events", max_events=max_events)
                 raise ReplayError(f"exceeded max_events={max_events} during replay")
             if not self.sim.step():
+                self._record_stall("replay_drained")
                 raise ReplayError(
                     f"simulation drained with {self.total_packages - self.completed} "
                     "requests outstanding — device lost completions"
                 )
             steps += 1
+
+    def _record_stall(self, reason: str, **fields) -> None:
+        """Flight-record a fatal replay condition and flush any armed dump."""
+        from ..telemetry.flightrec import autodump, get_flight_recorder
+
+        get_flight_recorder().record(
+            "replay.stall", self.sim.now,
+            reason=reason, issued=self.issued, completed=self.completed,
+            outstanding=self.total_packages - self.completed, **fields,
+        )
+        autodump(reason)

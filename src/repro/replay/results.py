@@ -77,6 +77,13 @@ class ReplayResult:
         return mbps_per_kilowatt(self.mbps, self.mean_watts)
 
     @property
+    def interval_frames(self) -> List[Dict[str, Any]]:
+        """Streamed interval-frame dicts, when the session ran with a
+        streaming interval (``[]`` otherwise).  Frames live in
+        ``metadata`` so they ride the wire protocol unchanged."""
+        return list(self.metadata.get("interval_frames", []))
+
+    @property
     def max_temperature(self) -> float:
         """Hottest sampled device temperature (°C); 0.0 if not monitored."""
         if not self.thermal_samples:

@@ -57,6 +57,8 @@ class ReplaySession:
         thermal: bool = False,
         reporter=None,
         faults: Optional[FaultSchedule] = None,
+        stream_interval: Optional[float] = None,
+        on_frame=None,
     ) -> None:
         if faults is not None and not faults.empty:
             device = FaultInjector(device, faults)
@@ -65,6 +67,13 @@ class ReplaySession:
         self.sensor = sensor
         self.thermal = thermal
         self.reporter = reporter
+        # Streaming observability: seconds of sim time per interval
+        # frame (0 = off).  ``None`` defers to TRACER_TELEMETRY_INTERVAL
+        # so long remote replays can be made observable per process.
+        from ..telemetry.stream import resolve_interval
+
+        self.stream_interval = resolve_interval(stream_interval)
+        self.on_frame = on_frame
         self.controller = LoadController(group_size=self.config.group_size)
 
     def _thermal_monitor(self):
@@ -168,14 +177,56 @@ class ReplaySession:
         )
         if self.reporter is not None:
             self.reporter.bind(analyzer)
+        target = unwrap(self.device)
+        recorder = None
+        on_completion = monitor.record
+        if self.stream_interval > 0:
+            # Streaming on: the interval recorder owns its instruments
+            # (independent of the gated registry, so frame series are
+            # identical whether telemetry is enabled or not) and shares
+            # the engine's completion hook with the monitor.  When off,
+            # the engine keeps the bare monitor hook — the seed path.
+            from ..telemetry.stream import IntervalRecorder
+
+            recorder = IntervalRecorder(
+                self.stream_interval,
+                power_source=self._power_source(),
+                members=(
+                    target.disks if isinstance(target, DiskArray) else [target]
+                ),
+                injector=(
+                    self.device
+                    if isinstance(self.device, FaultInjector)
+                    else None
+                ),
+                array=target if isinstance(target, DiskArray) else None,
+                on_frame=self.on_frame,
+            )
+            record_perf = monitor.record
+            observe_frame = recorder.observe
+
+            def on_completion(completion):
+                record_perf(completion)
+                observe_frame(completion)
+
         engine = ReplayEngine(
-            sim, manipulated, self.device, on_completion=monitor.record
+            sim, manipulated, self.device, on_completion=on_completion
         )
         thermal_monitor = self._thermal_monitor()
 
+        from ..obslog import get_logger
+
+        slog = get_logger("replay.session")
         start = sim.now
+        slog.event(
+            "start", time=start, trace=manipulated.label,
+            load=load_proportion, packages=manipulated.package_count,
+            streaming=self.stream_interval,
+        )
         monitor.start(sim)
         analyzer.start(sim)
+        if recorder is not None:
+            recorder.start(sim)
         if thermal_monitor is not None:
             thermal_monitor.start(sim)
         if reg is not None:
@@ -185,10 +236,16 @@ class ReplaySession:
         if reg is not None:
             t_replay.add(_time.perf_counter() - _wall0)
         monitor.stop()
+        if recorder is not None:
+            recorder.stop()
         analyzer.stop()
         if thermal_monitor is not None:
             thermal_monitor.stop()
         end = sim.now
+        slog.event(
+            "finish", time=end, trace=manipulated.label,
+            completed=monitor.total_completed, duration=end - start,
+        )
 
         duration = end - start
         total_bytes = monitor.total_bytes
@@ -199,11 +256,14 @@ class ReplaySession:
             "group_size": self.config.group_size,
             "bunches_replayed": len(manipulated),
         }
+        if recorder is not None:
+            metadata["interval_frames"] = [
+                f.to_dict() for f in recorder.frames
+            ]
         fault_events = []
         if isinstance(self.device, FaultInjector):
             fault_events = list(self.device.fault_events)
             metadata["fault_counters"] = dict(self.device.counters)
-        target = unwrap(self.device)
         if isinstance(target, DiskArray) and target.degraded_requests:
             metadata["degraded_requests"] = target.degraded_requests
             metadata["reconstruct_reads"] = target.reconstruct_reads
@@ -263,8 +323,14 @@ def replay_trace(
     load_proportion: float = 1.0,
     config: Optional[ReplayConfig] = None,
     faults: Optional[FaultSchedule] = None,
+    stream_interval: Optional[float] = None,
+    on_frame=None,
 ) -> ReplayResult:
     """Convenience one-shot wrapper around :class:`ReplaySession`."""
-    return ReplaySession(device, config=config, faults=faults).run(
-        trace, load_proportion
-    )
+    return ReplaySession(
+        device,
+        config=config,
+        faults=faults,
+        stream_interval=stream_interval,
+        on_frame=on_frame,
+    ).run(trace, load_proportion)

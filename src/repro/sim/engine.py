@@ -238,6 +238,15 @@ class Simulator:
             if until is not None and nxt.time > until:
                 break
             if max_events is not None and executed >= max_events:
+                # Runaway loops are exactly what the flight recorder
+                # exists for: capture the tail before raising.
+                from ..telemetry.flightrec import autodump, get_flight_recorder
+
+                get_flight_recorder().record(
+                    "sim.runaway", self._now,
+                    max_events=max_events, pending=len(self._calendar),
+                )
+                autodump("sim_runaway")
                 raise SimulationError(
                     f"exceeded max_events={max_events}; runaway event loop?"
                 )

@@ -17,6 +17,17 @@ components built while it is off carry no instrumentation at all.
 """
 
 from .exporters import format_table, to_jsonl, to_prometheus, write_jsonl
+from .flightrec import (
+    DEFAULT_CAPACITY,
+    FLIGHTREC_ENV,
+    FlightEvent,
+    FlightRecorder,
+    arm_autodump,
+    autodump,
+    autodump_armed,
+    get_flight_recorder,
+    install_excepthook,
+)
 from .registry import (
     DEFAULT_SIZE_BUCKETS,
     DEFAULT_TIME_BUCKETS,
@@ -31,6 +42,15 @@ from .registry import (
     get_registry,
     set_enabled,
     telemetry_enabled,
+)
+from .stream import (
+    TELEMETRY_INTERVAL_ENV,
+    IntervalFrame,
+    IntervalRecorder,
+    default_interval,
+    frames_to_jsonl,
+    resolve_interval,
+    write_frames_jsonl,
 )
 from .spans import (
     DEFAULT_MAX_SPANS,
@@ -47,17 +67,24 @@ from .spans import (
 
 __all__ = [
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "IntervalFrame",
+    "IntervalRecorder",
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
     "TelemetryError",
     "Timer",
+    "DEFAULT_CAPACITY",
     "DEFAULT_MAX_SPANS",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "FLIGHTREC_ENV",
     "TELEMETRY_ENV",
+    "TELEMETRY_INTERVAL_ENV",
     "SPAN_COMPLETE",
     "SPAN_DEGRADED",
     "SPAN_DISPATCH",
@@ -65,12 +92,21 @@ __all__ = [
     "SPAN_QUEUE",
     "SPAN_SERVICE",
     "SPAN_STAGE",
+    "arm_autodump",
+    "autodump",
+    "autodump_armed",
+    "default_interval",
     "enabled_telemetry",
     "format_table",
+    "frames_to_jsonl",
+    "get_flight_recorder",
     "get_registry",
+    "install_excepthook",
+    "resolve_interval",
     "set_enabled",
     "telemetry_enabled",
     "to_jsonl",
     "to_prometheus",
+    "write_frames_jsonl",
     "write_jsonl",
 ]

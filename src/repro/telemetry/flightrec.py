@@ -1,0 +1,220 @@
+"""The flight recorder: a bounded ring of recent structured events.
+
+Where the metrics registry answers "how much" (counters, histograms),
+the flight recorder answers "what just happened": fault injections,
+protocol retries, monitor state transitions, interval summaries.  It is
+**always on** — a :class:`collections.deque` with a fixed ``maxlen``
+costs nothing while empty and stays bounded forever — so a crash or an
+injected disk failure can always be reconstructed from the last N
+events, even in a run that never enabled telemetry.
+
+Two rules keep it off the perf-gated hot path:
+
+* nothing records per-completion or per-event-loop-step — only rare
+  occurrences (faults, retries, state changes) and per-interval
+  summaries land here;
+* recording is a lock, a counter increment, and a deque append.
+
+Dumps are JSON Lines: a header line (reason, capacity, event count)
+followed by one line per event in sequence order.  Arm automatic dumps
+with :func:`arm_autodump` or the ``TRACER_FLIGHTREC`` environment
+variable; components that detect a fatal condition (disk failure,
+exhausted protocol retries, runaway event loop, drained simulation)
+call :func:`autodump` and the recorder writes its ring to the armed
+path before the error propagates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Environment variable: when set to a path, autodump is armed at import.
+FLIGHTREC_ENV = "TRACER_FLIGHTREC"
+
+#: Environment variable overriding the ring capacity for the process.
+FLIGHTREC_CAPACITY_ENV = "TRACER_FLIGHTREC_CAPACITY"
+
+#: Default ring capacity (events retained).
+DEFAULT_CAPACITY = 1024
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded occurrence.
+
+    ``seq`` increases monotonically for the life of the recorder (it
+    keeps counting past evictions, so gaps reveal how much history the
+    ring dropped).  ``time`` is simulation time where one exists, else
+    0.0 — wall clocks stay out so dumps diff cleanly across runs.
+    """
+
+    seq: int
+    category: str
+    time: float
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "category": self.category,
+            "time": self.time,
+            **self.fields,
+        }
+
+
+class FlightRecorder:
+    """Thread-safe bounded event ring."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: "deque[FlightEvent]" = deque(maxlen=self.capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def record(self, category: str, time: float = 0.0, **fields: Any) -> int:
+        """Append one event; returns its sequence number."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self._ring.append(
+                FlightEvent(seq=seq, category=category, time=float(time),
+                            fields=fields)
+            )
+        return seq
+
+    def events(self) -> List[FlightEvent]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (including any evicted from the ring)."""
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._seq = 0
+
+    def to_jsonl(self, reason: str = "manual") -> str:
+        """The dump text: header line + one JSON line per event."""
+        events = self.events()
+        lines = [
+            json.dumps(
+                {
+                    "flightrec": True,
+                    "reason": reason,
+                    "capacity": self.capacity,
+                    "events": len(events),
+                    "total_recorded": self.total_recorded,
+                },
+                sort_keys=True,
+            )
+        ]
+        # default=str: a dump must never fail because a recorded field
+        # (a path, an exception, a dataclass) is not JSON-native.
+        lines.extend(
+            json.dumps(e.to_dict(), sort_keys=True, default=str)
+            for e in events
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: PathLike, reason: str = "manual") -> Path:
+        """Write the ring to ``path`` as JSON Lines (overwrites)."""
+        out = Path(path)
+        out.write_text(self.to_jsonl(reason=reason))
+        return out
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get(FLIGHTREC_CAPACITY_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_CAPACITY
+        if value >= 1:
+            return value
+    return DEFAULT_CAPACITY
+
+
+_RECORDER = FlightRecorder(capacity=_env_capacity())
+_AUTODUMP_PATH: Optional[str] = os.environ.get(FLIGHTREC_ENV, "").strip() or None
+_AUTODUMP_LOCK = threading.Lock()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide recorder every component records into."""
+    return _RECORDER
+
+
+def arm_autodump(path: Optional[PathLike]) -> None:
+    """Arm (or, with ``None``, disarm) automatic dumps to ``path``."""
+    global _AUTODUMP_PATH
+    with _AUTODUMP_LOCK:
+        _AUTODUMP_PATH = str(path) if path is not None else None
+
+
+def autodump_armed() -> Optional[str]:
+    """The armed dump path, or None."""
+    with _AUTODUMP_LOCK:
+        return _AUTODUMP_PATH
+
+
+def autodump(reason: str) -> Optional[Path]:
+    """Dump the ring to the armed path, if any.
+
+    Called by components on fatal conditions *before* raising; failures
+    to write are swallowed — forensics must never turn a diagnosable
+    error into a different one.
+    """
+    with _AUTODUMP_LOCK:
+        path = _AUTODUMP_PATH
+    if path is None:
+        return None
+    try:
+        return _RECORDER.dump(path, reason=reason)
+    except OSError:
+        return None
+
+
+_EXCEPTHOOK_INSTALLED = False
+
+
+def install_excepthook() -> None:
+    """Dump on unhandled exceptions (CLI entry points call this).
+
+    Idempotent; chains to the previously installed hook.
+    """
+    global _EXCEPTHOOK_INSTALLED
+    if _EXCEPTHOOK_INSTALLED:
+        return
+    import sys
+
+    _EXCEPTHOOK_INSTALLED = True
+    previous = sys.excepthook
+
+    def _hook(exc_type, exc, tb):  # pragma: no cover - process teardown
+        _RECORDER.record(
+            "crash", 0.0, error=f"{exc_type.__name__}: {exc}"
+        )
+        autodump("crash")
+        previous(exc_type, exc, tb)
+
+    sys.excepthook = _hook

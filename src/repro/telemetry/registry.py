@@ -273,18 +273,19 @@ class MetricsRegistry:
         for key, hist in after["histograms"].items():
             prev = since["histograms"].get(key)
             if prev is None:
-                if hist["count"]:
-                    histograms[key] = hist
+                # Registered during the window: report even with zero
+                # samples, so every delta carries every live histogram
+                # and Prometheus scrape schemas stay stable across runs
+                # (a quiet run still exports its empty bucket lines).
+                histograms[key] = hist
                 continue
             counts = [a - b for a, b in zip(hist["counts"], prev["counts"])]
-            count = hist["count"] - prev["count"]
-            if count:
-                histograms[key] = {
-                    "buckets": hist["buckets"],
-                    "counts": counts,
-                    "sum": hist["sum"] - prev["sum"],
-                    "count": count,
-                }
+            histograms[key] = {
+                "buckets": hist["buckets"],
+                "counts": counts,
+                "sum": hist["sum"] - prev["sum"],
+                "count": hist["count"] - prev["count"],
+            }
         cursor = since.get("_span_cursor", 0)
         return {
             "counters": counters,

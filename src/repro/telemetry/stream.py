@@ -1,0 +1,333 @@
+"""Interval-frame streaming: periodic flush of in-flight replay metrics.
+
+A :class:`ReplaySession` configured with a streaming interval attaches
+an :class:`IntervalRecorder` to the replay: every ``interval`` seconds
+of *simulation* time the recorder closes an :class:`IntervalFrame` —
+the delta of throughput, latency histogram, energy, queue depth, and
+fault/degraded counters over that window — and hands it to an
+``on_frame`` callback (the live console, the distributed ``PROGRESS``
+push) while also retaining the full series for
+``ReplayResult.metadata["interval_frames"]``.
+
+Determinism is the contract: every number in a frame derives from the
+simulation clock, the completion stream, or deterministic device
+counters — never a wall clock — and the recorder's tick events are
+scheduled like the performance monitor's, so identically seeded runs
+produce byte-identical frame series on the object and packed replay
+paths, with telemetry enabled or disabled (the recorder owns its
+instruments rather than borrowing the gated registry's).
+
+Streaming is off by default; enable per session or process-wide with
+``TRACER_TELEMETRY_INTERVAL=<seconds>``.  When off, nothing here is
+constructed and the replay hot path is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReplayError
+from ..sim.engine import Simulator
+from .flightrec import get_flight_recorder
+from .registry import DEFAULT_TIME_BUCKETS, Histogram
+
+#: Environment variable: seconds of sim time per interval frame (> 0
+#: enables streaming process-wide; unset/0 disables it).
+TELEMETRY_INTERVAL_ENV = "TRACER_TELEMETRY_INTERVAL"
+
+PathLike = Union[str, Path]
+
+#: Recorder ticks run after the performance monitor's (priority 10) at
+#: the same instant, so a frame boundary never splits a monitor cycle.
+_TICK_PRIORITY = 11
+
+_FAULT_COUNTER_KEYS: Tuple[str, ...] = (
+    "sector_errors", "slowdown_delayed", "stuck_held", "disk_failures",
+)
+
+
+def default_interval() -> float:
+    """The process-wide streaming interval from the environment (0 = off)."""
+    raw = os.environ.get(TELEMETRY_INTERVAL_ENV, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 0.0
+    return value if value > 0 else 0.0
+
+
+def resolve_interval(interval: Optional[float]) -> float:
+    """An explicit per-session interval, falling back to the environment."""
+    if interval is None:
+        return default_interval()
+    value = float(interval)
+    return value if value > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class IntervalFrame:
+    """One streamed window of replay metrics (all sim-clock quantities)."""
+
+    index: int
+    start: float
+    end: float
+    completed: int
+    total_bytes: int
+    response_sum: float
+    energy_joules: float
+    queue_depth: int
+    latency_buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS
+    latency_counts: Tuple[int, ...] = ()
+    faults: Dict[str, int] = field(default_factory=dict)
+    degraded_requests: int = 0
+    reconstruct_reads: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def iops(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mbps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return (self.total_bytes / 1e6) / self.duration
+
+    @property
+    def mean_response(self) -> float:
+        return self.response_sum / self.completed if self.completed else 0.0
+
+    @property
+    def watts(self) -> float:
+        return self.energy_joules / self.duration if self.duration > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form; key set is fixed so frame schemas never drift."""
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "completed": self.completed,
+            "total_bytes": self.total_bytes,
+            "response_sum": self.response_sum,
+            "iops": self.iops,
+            "mbps": self.mbps,
+            "mean_response": self.mean_response,
+            "energy_joules": self.energy_joules,
+            "watts": self.watts,
+            "queue_depth": self.queue_depth,
+            "latency": {
+                "buckets": list(self.latency_buckets),
+                "counts": list(self.latency_counts),
+            },
+            "faults": dict(self.faults),
+            "degraded_requests": self.degraded_requests,
+            "reconstruct_reads": self.reconstruct_reads,
+        }
+
+
+class IntervalRecorder:
+    """Closes one :class:`IntervalFrame` per sim-time interval.
+
+    Parameters
+    ----------
+    interval:
+        Seconds of simulation time per frame (> 0).
+    power_source:
+        Anything with ``energy_between(t0, t1)``; per-frame energy is
+        integrated over exactly the frame window.
+    members:
+        Devices whose queues contribute to the frame's ``queue_depth``
+        (in-flight = pushed − popped, read at the tick instant).
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; its
+        counters are windowed into per-frame deltas.
+    array:
+        Optional :class:`~repro.storage.array.DiskArray` for degraded /
+        reconstruct-read deltas.
+    on_frame:
+        Called with each closed :class:`IntervalFrame` (live view,
+        wire push).  Exceptions propagate — a broken consumer should
+        fail the run loudly, not silently drop frames.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        power_source=None,
+        members: Sequence[Any] = (),
+        injector=None,
+        array=None,
+        on_frame: Optional[Callable[[IntervalFrame], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ReplayError(f"streaming interval must be > 0, got {interval}")
+        self.interval = float(interval)
+        self.power_source = power_source
+        self.members = list(members)
+        self.injector = injector
+        self.array = array
+        self.on_frame = on_frame
+        self.frames: List[IntervalFrame] = []
+        self._sim: Optional[Simulator] = None
+        self._armed = False
+        self._frame_start = 0.0
+        self._count = 0
+        self._bytes = 0
+        self._response = 0.0
+        self._hist = Histogram(DEFAULT_TIME_BUCKETS)
+        self._prev_faults = self._fault_counts()
+        self._prev_degraded = 0
+        self._prev_reconstruct = 0
+        self._pending_event = None
+        self._flightrec = get_flight_recorder()
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def start(self, sim: Simulator) -> None:
+        if self._armed:
+            raise ReplayError("interval recorder already started")
+        self._armed = True
+        self._sim = sim
+        self._frame_start = sim.now
+        self._count = 0
+        self._bytes = 0
+        self._response = 0.0
+        self._hist = Histogram(DEFAULT_TIME_BUCKETS)
+        self.frames = []
+        self._prev_faults = self._fault_counts()
+        self._prev_degraded = self._degraded()
+        self._prev_reconstruct = self._reconstructs()
+        self._schedule_tick()
+
+    def observe(self, completion) -> None:
+        """Completion hook (composed with the monitor's in the session)."""
+        self._count += 1
+        self._bytes += completion.package.nbytes
+        self._response += completion.response_time
+        self._hist.observe(completion.response_time)
+
+    def stop(self) -> None:
+        """Disarm; closes the final partial frame if it saw time or work."""
+        if not self._armed:
+            raise ReplayError("interval recorder not started")
+        self._armed = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        assert self._sim is not None
+        self._close_frame(self._sim.now, force=True)
+
+    # -- Frame machinery ---------------------------------------------------
+
+    def _schedule_tick(self) -> None:
+        assert self._sim is not None
+        self._pending_event = self._sim.schedule(
+            self._frame_start + self.interval, self._tick,
+            priority=_TICK_PRIORITY,
+        )
+
+    def _tick(self) -> None:
+        assert self._sim is not None
+        self._close_frame(self._sim.now)
+        if self._armed:
+            self._schedule_tick()
+
+    def _fault_counts(self) -> Dict[str, int]:
+        if self.injector is None:
+            return {}
+        return {k: self.injector.counters.get(k, 0)
+                for k in _FAULT_COUNTER_KEYS}
+
+    def _degraded(self) -> int:
+        return getattr(self.array, "degraded_requests", 0) or 0
+
+    def _reconstructs(self) -> int:
+        return getattr(self.array, "reconstruct_reads", 0) or 0
+
+    def _queue_depth(self) -> int:
+        depth = 0
+        for member in self.members:
+            queue = getattr(member, "_queue", None)
+            if queue is not None:
+                depth += queue.pushed_total - queue.popped_total
+        return depth
+
+    def _close_frame(self, end: float, force: bool = False) -> None:
+        # Mirror the monitor's closing rule: boundary ticks on an empty
+        # zero-width window are not frames, but a forced close (stop)
+        # must still flush pending counts.
+        if end <= self._frame_start and not (force and self._count):
+            return
+        energy = (
+            self.power_source.energy_between(self._frame_start, end)
+            if self.power_source is not None
+            else 0.0
+        )
+        faults_now = self._fault_counts()
+        frame = IntervalFrame(
+            index=len(self.frames),
+            start=self._frame_start,
+            end=end,
+            completed=self._count,
+            total_bytes=self._bytes,
+            response_sum=self._response,
+            energy_joules=energy,
+            queue_depth=self._queue_depth(),
+            latency_buckets=self._hist.buckets,
+            latency_counts=tuple(self._hist.counts),
+            faults={
+                k: faults_now[k] - self._prev_faults.get(k, 0)
+                for k in faults_now
+            },
+            degraded_requests=self._degraded() - self._prev_degraded,
+            reconstruct_reads=self._reconstructs() - self._prev_reconstruct,
+        )
+        self.frames.append(frame)
+        self._frame_start = end
+        self._count = 0
+        self._bytes = 0
+        self._response = 0.0
+        self._hist = Histogram(DEFAULT_TIME_BUCKETS)
+        self._prev_faults = faults_now
+        self._prev_degraded = frame.degraded_requests + self._prev_degraded
+        self._prev_reconstruct = (
+            frame.reconstruct_reads + self._prev_reconstruct
+        )
+        self._flightrec.record(
+            "stream.interval", frame.end,
+            index=frame.index, completed=frame.completed,
+            queue_depth=frame.queue_depth,
+        )
+        if self.on_frame is not None:
+            self.on_frame(frame)
+
+
+def frames_to_jsonl(frames: Iterable[Any]) -> str:
+    """Frames (objects or wire dicts) as canonical JSON Lines text.
+
+    Keys are sorted and floats rendered by :func:`json.dumps` defaults,
+    so two deterministic runs produce byte-identical text — the property
+    the golden streaming test pins.
+    """
+    lines = []
+    for frame in frames:
+        payload = frame.to_dict() if hasattr(frame, "to_dict") else frame
+        lines.append(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_frames_jsonl(frames: Iterable[Any], path: PathLike) -> Path:
+    """Write a frame series to ``path`` as JSON Lines."""
+    out = Path(path)
+    out.write_text(frames_to_jsonl(frames))
+    return out

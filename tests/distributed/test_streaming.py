@@ -1,0 +1,220 @@
+"""Live PROGRESS streaming over the wire — including through faults.
+
+Satellite of the streaming-observability work: dropped or garbled
+mid-stream ``progress`` frames must never corrupt the final
+``ReplayResult`` or the request-id dedup state.  The retried dispatch is
+served from the node's result cache (the replay never runs twice) and
+the host's per-request sequence dedup guarantees each interval frame is
+delivered at most once, in order.
+"""
+
+import threading
+
+import pytest
+
+from repro.config import ReplayConfig, TestRequest, WorkloadMode
+from repro.distributed.generator_node import GeneratorNode
+from repro.distributed.host_node import RemoteEvaluationHost
+from repro.faults.network import FlakyLink, LinkFault
+from repro.host.communicator import Communicator, CommunicatorServer, RetryPolicy
+from repro.host.ledger import RunLedger
+from repro.host.protocol import Frame, KIND_ACK, KIND_PROGRESS
+from repro.storage.array import build_hdd_raid5
+from repro.trace.repository import TraceName
+
+MODE = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.02)
+INTERVAL = 0.1
+DEADLINE = 30.0
+
+
+def bounded(fn, deadline=DEADLINE):
+    """Run ``fn`` on a daemon thread; fail if it outlives the deadline."""
+    outcome = {}
+
+    def runner():
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    thread.join(deadline)
+    assert not thread.is_alive(), f"operation hung past {deadline}s"
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome.get("value")
+
+
+@pytest.fixture
+def node(repo, collected_trace):
+    repo.store(
+        TraceName("hdd-raid5", MODE.request_size, MODE.random_ratio,
+                  MODE.read_ratio),
+        collected_trace,
+    )
+    with GeneratorNode(
+        lambda: build_hdd_raid5(6), "hdd-raid5", repo, node_id="gen-stream"
+    ) as node:
+        yield node
+
+
+def streamed_request(seed=23, label="stream"):
+    return TestRequest(
+        mode=MODE.at_load(0.5), replay=ReplayConfig(seed=seed), label=label
+    )
+
+
+def assert_frames_clean(frames):
+    """Delivered frames are unique, ordered, and schema-complete."""
+    seqs = [f["index"] for f in frames]
+    assert seqs == sorted(set(seqs)), f"duplicated/reordered frames: {seqs}"
+    for frame in frames:
+        assert frame["end"] > frame["start"]
+        assert "latency" in frame and "faults" in frame
+
+
+class TestCleanStreaming:
+    def test_live_frames_match_result_series(self, node):
+        live = []
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            record = host.run_test(
+                streamed_request(),
+                on_progress=live.append,
+                stream_interval=INTERVAL,
+            )
+        assert record.iops > 0
+        assert live, "no frames streamed"
+        assert_frames_clean(live)
+        assert [f["index"] for f in live] == list(range(len(live)))
+
+    def test_unstreamed_request_receives_no_progress(self, node):
+        # Backward compatibility: no stream opt-in, no PROGRESS frames.
+        captured = []
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            comm = host.comm
+            original = comm.receive
+
+            def spying_receive():
+                frame = original()
+                captured.append(frame.kind)
+                return frame
+
+            comm.receive = spying_receive
+            host.run_test(streamed_request())
+        assert KIND_PROGRESS not in captured
+
+    def test_interval_without_consumer_still_returns_result(self, node):
+        # stream.progress is false when no on_progress is given; the node
+        # must not push, and the dialogue completes normally.
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            record = host.run_test(streamed_request(), stream_interval=INTERVAL)
+        assert record.iops > 0
+
+    def test_consumer_exception_does_not_corrupt_dialogue(self, node):
+        seen = []
+
+        def exploding(frame):
+            seen.append(frame)
+            raise RuntimeError("consumer bug")
+
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            record = host.run_test(
+                streamed_request(),
+                on_progress=exploding,
+                stream_interval=INTERVAL,
+            )
+        assert record.iops > 0
+        assert len(seen) == 1  # delivery stops after the first failure
+
+    def test_one_arg_handlers_still_served(self):
+        # CommunicatorServer must keep serving legacy handlers that take
+        # no push argument (signature detection, not a breaking change).
+        with CommunicatorServer(lambda frame: Frame(KIND_ACK, {})) as server:
+            with Communicator("127.0.0.1", server.port) as comm:
+                assert comm.request(Frame("hello", {})).kind == KIND_ACK
+
+
+class TestStreamingThroughFaults:
+    def run_through_link(self, node, plan, on_progress):
+        with FlakyLink("127.0.0.1", node.port, plan=plan) as link:
+            def dialogue():
+                with RemoteEvaluationHost(
+                    "127.0.0.1", link.port, retry=FAST_RETRY, timeout=5.0
+                ) as host:
+                    return host.run_test(
+                        streamed_request(),
+                        on_progress=on_progress,
+                        stream_interval=INTERVAL,
+                    )
+
+            return bounded(dialogue)
+
+    def test_connection_dropped_mid_stream(self, node):
+        # Let the hello reply and the first progress frames through, then
+        # kill the server->client direction mid-stream.  The retried
+        # dispatch must be served from the request-id cache (one replay)
+        # and deliver no duplicate frames.
+        live = []
+        record = self.run_through_link(
+            node, [LinkFault(drop_s2c_after=600)], live.append
+        )
+        assert record.iops > 0
+        assert node.tests_served == 1
+        assert_frames_clean(live)
+
+    def test_garbled_frame_mid_stream(self, node):
+        live = []
+        record = self.run_through_link(
+            node, [LinkFault(garble_reply=True)], live.append
+        )
+        assert record.iops > 0
+        assert node.tests_served == 1
+        assert_frames_clean(live)
+
+    def test_refused_then_dropped_then_clean(self, node):
+        live = []
+        record = self.run_through_link(
+            node,
+            [LinkFault(refuse=True), LinkFault(drop_s2c_after=600)],
+            live.append,
+        )
+        assert record.iops > 0
+        assert node.tests_served == 1
+        assert_frames_clean(live)
+
+    def test_result_identical_with_and_without_link_faults(self, node):
+        clean = []
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            host.run_test(
+                streamed_request(), on_progress=clean.append,
+                stream_interval=INTERVAL,
+            )
+        faulted = []
+        self.run_through_link(
+            node, [LinkFault(drop_s2c_after=600)], faulted.append
+        )
+        # The faulted dialogue may deliver fewer live frames (some died
+        # on the wire), but every delivered frame is bit-identical to
+        # its clean counterpart: faults lose frames, never corrupt them.
+        clean_by_index = {f["index"]: f for f in clean}
+        for frame in faulted:
+            assert frame == clean_by_index[frame["index"]]
+
+
+class TestLedgerOverTheWire:
+    def test_remote_run_recorded_with_frames_file(self, node, tmp_path):
+        ledger = RunLedger()
+        with RemoteEvaluationHost(
+            "127.0.0.1", node.port, ledger=ledger,
+            frames_dir=tmp_path / "frames",
+        ) as host:
+            host.run_test(streamed_request(), stream_interval=INTERVAL)
+        assert ledger.count() == 1
+        record = ledger.list()[0]
+        assert record.origin == "remote:gen-stream"
+        assert record.seed == 23
+        frames_file = tmp_path / "frames" / f"run-{record.run_id}.jsonl"
+        assert str(frames_file) == record.frames_path
+        assert frames_file.read_text().strip()

@@ -1,0 +1,90 @@
+"""Golden interval-frame series: streaming is deterministic to the byte.
+
+Satellite of the streaming-observability work.  One fig8-style filtered
+replay (seeded collected trace, HDD RAID-5, 50% load) streams interval
+frames at a fixed cadence; the resulting JSONL text is compared
+**exactly** against ``tests/golden/data/stream_fig8.jsonl``.  The same
+scenario replayed on the packed fast path must produce byte-identical
+text — the object/packed equivalence the streaming layer promises.
+
+Regenerate after an intentional model change with::
+
+    pytest tests/golden --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import ReplayConfig, WorkloadMode
+from repro.replay.session import replay_trace
+from repro.storage.array import build_hdd_raid5
+from repro.telemetry.stream import frames_to_jsonl
+from repro.trace.packed import pack
+from repro.workload.matrix import collect_trace
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+GOLDEN = DATA_DIR / "stream_fig8.jsonl"
+
+INTERVAL = 0.25
+LOAD = 0.5
+SEED = 23
+
+
+def _scenario_trace():
+    factory = lambda: build_hdd_raid5(6)
+    mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+    return collect_trace(factory, mode, 1.2, seed=SEED)
+
+
+def _stream(trace) -> str:
+    result = replay_trace(
+        trace,
+        build_hdd_raid5(6),
+        LOAD,
+        config=ReplayConfig(seed=SEED),
+        stream_interval=INTERVAL,
+    )
+    assert result.interval_frames, "scenario produced no frames"
+    return frames_to_jsonl(result.interval_frames)
+
+
+def test_golden_stream_series(update_golden):
+    got = _stream(_scenario_trace())
+    if update_golden:
+        DATA_DIR.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(got)
+        pytest.skip(f"regenerated {GOLDEN.name}")
+    if not GOLDEN.exists():
+        pytest.fail(
+            f"{GOLDEN} missing — run `pytest tests/golden --update-golden`"
+        )
+    assert got == GOLDEN.read_text(), (
+        "streamed interval frames drifted from the golden series; if the "
+        "change is intentional, regenerate with --update-golden and review "
+        "the diff"
+    )
+
+
+def test_packed_path_matches_golden_byte_for_byte(update_golden):
+    if update_golden:
+        pytest.skip("object-path test regenerates the golden file")
+    if not GOLDEN.exists():
+        pytest.fail(
+            f"{GOLDEN} missing — run `pytest tests/golden --update-golden`"
+        )
+    assert _stream(pack(_scenario_trace())) == GOLDEN.read_text()
+
+
+def test_golden_frames_are_wellformed():
+    if not GOLDEN.exists():
+        pytest.fail(
+            f"{GOLDEN} missing — run `pytest tests/golden --update-golden`"
+        )
+    frames = [json.loads(line) for line in GOLDEN.read_text().splitlines()]
+    assert [f["index"] for f in frames] == list(range(len(frames)))
+    assert all(f["end"] > f["start"] for f in frames)
+    assert sum(f["completed"] for f in frames) > 0

@@ -1,0 +1,196 @@
+"""Run ledger: provenance rows, queries, diffs, and host wiring."""
+
+import pytest
+
+from repro.config import ReplayConfig, TestRequest, WorkloadMode
+from repro.errors import DatabaseError
+from repro.host.database import ResultsDatabase
+from repro.host.ledger import (
+    GIT_SHA_ENV,
+    RunLedger,
+    RunRecord,
+    SUMMARY_KEYS,
+    build_record,
+    config_fingerprint,
+    current_git_sha,
+    new_run_id,
+    summary_from_result,
+)
+
+MODE = {"request_size": 4096, "random_ratio": 0.0, "read_ratio": 0.5,
+        "load_proportion": 0.5}
+REPLAY = {"sampling_cycle": 1.0, "time_scale": 1.0, "group_size": 1,
+          "seed": 23}
+
+
+def result_dict(iops=100.0, watts=80.0, label="trace-a"):
+    return {
+        "trace_label": label,
+        "duration": 2.0,
+        "completed": 200,
+        "iops": iops,
+        "mbps": 0.8,
+        "mean_response": 0.01,
+        "mean_watts": watts,
+        "energy_joules": watts * 2.0,
+        "iops_per_watt": iops / watts,
+        "mbps_per_kilowatt": 10.0,
+    }
+
+
+class TestFingerprints:
+    def test_fingerprint_is_stable_and_config_sensitive(self):
+        a = config_fingerprint(MODE, REPLAY)
+        assert a == config_fingerprint(dict(MODE), dict(REPLAY))
+        assert a != config_fingerprint({**MODE, "load_proportion": 0.6}, REPLAY)
+        assert a != config_fingerprint(MODE, {**REPLAY, "seed": 24})
+        assert len(a) == 16
+
+    def test_git_sha_env_override(self, monkeypatch):
+        monkeypatch.setenv(GIT_SHA_ENV, "abc123")
+        assert current_git_sha() == "abc123"
+
+    def test_summary_extraction_covers_all_keys(self):
+        summary = summary_from_result(result_dict())
+        assert set(summary) == set(SUMMARY_KEYS)
+        assert summary_from_result({})["iops"] == 0.0
+
+    def test_new_run_ids_unique(self):
+        assert new_run_id() != new_run_id()
+
+
+class TestBuildRecord:
+    def test_build_record_fields(self):
+        record = build_record(
+            result_dict(), origin="local", mode=MODE, replay=REPLAY,
+            run_id="run-1", frames_path="/tmp/f.jsonl", created=123.0,
+        )
+        assert record.run_id == "run-1"
+        assert record.created == 123.0
+        assert record.origin == "local"
+        assert record.trace_label == "trace-a"
+        assert record.seed == 23
+        assert record.frames_path == "/tmp/f.jsonl"
+        assert record.config_hash == config_fingerprint(MODE, REPLAY)
+        assert record.summary["iops"] == 100.0
+
+    def test_seedless_replay_records_null_seed(self):
+        record = build_record(result_dict(), origin="local", mode=MODE,
+                              replay={**REPLAY, "seed": None})
+        assert record.seed is None
+
+    def test_row_roundtrip(self):
+        record = build_record(result_dict(), origin="o", mode=MODE,
+                              replay=REPLAY, run_id="r", created=1.0)
+        assert RunRecord.from_row(record.to_row()) == record
+
+
+class TestLedgerStore:
+    def make(self, ledger, run_id, created=1.0, label="trace-a",
+             origin="local", iops=100.0):
+        ledger.append(
+            build_record(result_dict(iops=iops, label=label), origin=origin,
+                         mode=MODE, replay=REPLAY, run_id=run_id,
+                         created=created)
+        )
+
+    def test_append_get_roundtrip(self):
+        with RunLedger() as ledger:
+            self.make(ledger, "abcdef0123456789")
+            record = ledger.get("abcdef0123456789")
+            assert record.trace_label == "trace-a"
+            assert ledger.count() == 1
+
+    def test_duplicate_id_rejected(self):
+        with RunLedger() as ledger:
+            self.make(ledger, "dup")
+            with pytest.raises(DatabaseError, match="append failed"):
+                self.make(ledger, "dup")
+
+    def test_prefix_lookup(self):
+        with RunLedger() as ledger:
+            self.make(ledger, "abcd-1")
+            self.make(ledger, "abxy-2")
+            assert ledger.get("abc").run_id == "abcd-1"
+            with pytest.raises(DatabaseError, match="ambiguous"):
+                ledger.get("ab")
+            with pytest.raises(DatabaseError, match="no run"):
+                ledger.get("zzz")
+
+    def test_list_newest_first_with_filters(self):
+        with RunLedger() as ledger:
+            self.make(ledger, "r1", created=1.0, label="a")
+            self.make(ledger, "r2", created=2.0, label="b", origin="remote:n")
+            self.make(ledger, "r3", created=3.0, label="a")
+            assert [r.run_id for r in ledger.list()] == ["r3", "r2", "r1"]
+            assert [r.run_id for r in ledger.list(trace_label="a")] == ["r3", "r1"]
+            assert [r.run_id for r in ledger.list(origin="remote:n")] == ["r2"]
+            assert [r.run_id for r in ledger.list(limit=1)] == ["r3"]
+
+    def test_diff_reports_deltas(self):
+        with RunLedger() as ledger:
+            self.make(ledger, "a", iops=100.0)
+            self.make(ledger, "b", iops=110.0)
+            diff = ledger.diff("a", "b")
+            assert diff["same_config"] and diff["same_trace"]
+            assert diff["metrics"]["iops"]["delta"] == pytest.approx(10.0)
+            assert diff["metrics"]["iops"]["pct"] == pytest.approx(10.0)
+
+    def test_persists_to_disk(self, tmp_path):
+        path = tmp_path / "ledger.sqlite"
+        with RunLedger(path) as ledger:
+            self.make(ledger, "persisted")
+        with RunLedger(path) as reopened:
+            assert reopened.get("persisted").run_id == "persisted"
+
+    def test_shares_results_database_connection(self):
+        db = ResultsDatabase()
+        ledger = db.run_ledger()
+        self.make(ledger, "shared")
+        # Same sqlite file/connection: a second handle sees the row.
+        assert db.run_ledger().count() == 1
+        ledger.close()  # non-owning close must not kill the shared conn
+        assert db.run_ledger().count() == 1
+
+
+class TestHostWiring:
+    """EvaluationHost appends a ledger row (and frames file) per test."""
+
+    def test_local_run_lands_in_ledger(self, repo, collected_trace, tmp_path):
+        from repro.host.evaluation import EvaluationHost
+        from repro.storage.array import build_hdd_raid5
+        from repro.trace.repository import TraceName
+
+        mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+        repo.store(TraceName("hdd-raid5", 4096, 0.5, 0.0), collected_trace)
+        ledger = RunLedger()
+        host = EvaluationHost(
+            lambda: build_hdd_raid5(6), "hdd-raid5", repo,
+            ledger=ledger, frames_dir=tmp_path / "frames",
+        )
+        host.run_test(
+            TestRequest(mode=mode.at_load(0.5), replay=ReplayConfig(seed=5)),
+            stream_interval=0.25,
+        )
+        assert ledger.count() == 1
+        record = ledger.list()[0]
+        assert record.origin == "local"
+        assert record.seed == 5
+        frames_file = tmp_path / "frames" / f"run-{record.run_id}.jsonl"
+        assert str(frames_file) == record.frames_path
+        assert frames_file.read_text().strip()
+
+    def test_unstreamed_run_has_no_frames_file(self, repo, collected_trace):
+        from repro.host.evaluation import EvaluationHost
+        from repro.storage.array import build_hdd_raid5
+        from repro.trace.repository import TraceName
+
+        mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+        repo.store(TraceName("hdd-raid5", 4096, 0.5, 0.0), collected_trace)
+        ledger = RunLedger()
+        host = EvaluationHost(
+            lambda: build_hdd_raid5(6), "hdd-raid5", repo, ledger=ledger,
+        )
+        host.run_test(TestRequest(mode=mode.at_load(0.5)))
+        record = ledger.list()[0]
+        assert record.frames_path == ""

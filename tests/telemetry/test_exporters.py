@@ -113,3 +113,65 @@ class TestTable:
         assert "histogram" in text
         assert "timer" in text
         assert "spans" in text
+
+
+class TestZeroSampleStability:
+    """Satellite of the streaming-observability work: a histogram that
+    saw no samples must still export its full, stable bucket schema —
+    both in a fresh snapshot and in a ``collect`` delta (the ``tracer
+    telemetry`` snapshot path), so Prometheus scrape series never
+    appear and disappear between quiet and busy runs."""
+
+    def quiet_registry(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.histogram("io.latency", buckets=(0.001, 0.01, 0.1), device="d0")
+        return reg
+
+    def expected_lines(self):
+        return [
+            'io_latency_bucket{device="d0",le="0.001"} 0',
+            'io_latency_bucket{device="d0",le="0.01"} 0',
+            'io_latency_bucket{device="d0",le="0.1"} 0',
+            'io_latency_bucket{device="d0",le="+Inf"} 0',
+        ]
+
+    def test_snapshot_exports_empty_buckets(self):
+        lines = to_prometheus(self.quiet_registry().snapshot()).splitlines()
+        assert [l for l in lines if l.startswith("io_latency_bucket")] == (
+            self.expected_lines()
+        )
+
+    def test_collect_delta_exports_empty_buckets(self):
+        reg = self.quiet_registry()
+        mark = reg.mark()
+        # No samples land between mark and collect — a quiet window.
+        lines = to_prometheus(reg.collect(since=mark)).splitlines()
+        assert [l for l in lines if l.startswith("io_latency_bucket")] == (
+            self.expected_lines()
+        )
+
+    def test_quiet_and_busy_windows_share_a_schema(self):
+        reg = self.quiet_registry()
+        quiet = to_prometheus(reg.collect(since=reg.mark()))
+        mark = reg.mark()
+        reg.histogram(
+            "io.latency", buckets=(0.001, 0.01, 0.1), device="d0"
+        ).observe(0.005)
+        busy = to_prometheus(reg.collect(since=mark))
+
+        def series(text):
+            return sorted(
+                line.rsplit(" ", 1)[0]
+                for line in text.splitlines()
+                if line.startswith("io_latency")
+            )
+
+        assert series(quiet) == series(busy)
+
+    def test_histogram_registered_mid_window_exported(self):
+        reg = MetricsRegistry(enabled=True)
+        mark = reg.mark()
+        reg.histogram("late.arrival", buckets=(0.001,))
+        delta = reg.collect(since=mark)
+        assert delta["histograms"]["late.arrival"]["count"] == 0
+        assert "late_arrival_bucket" in to_prometheus(delta)

@@ -1,0 +1,166 @@
+"""Flight recorder: bounded ring, dumps, autodump arming, and the
+always-on fault-event trail (satellite of the streaming-observability
+work: fault injection must leave recorder evidence and stable event ids
+even with telemetry fully disabled).
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.faults.schedule import DiskFailFault, FaultSchedule
+from repro.replay.session import replay_trace
+from repro.telemetry import flightrec as fr_mod
+from repro.telemetry.flightrec import (
+    DEFAULT_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    arm_autodump,
+    autodump,
+    autodump_armed,
+    get_flight_recorder,
+    install_excepthook,
+)
+from tests.replay.test_faulted_session import small_array
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Tests share the process singleton; isolate each one."""
+    get_flight_recorder().clear()
+    armed_before = fr_mod._AUTODUMP_PATH
+    yield
+    get_flight_recorder().clear()
+    fr_mod._AUTODUMP_PATH = armed_before
+
+
+class TestRing:
+    def test_record_and_read_back(self):
+        rec = FlightRecorder(capacity=8)
+        seq = rec.record("test.event", 1.5, value=42)
+        events = rec.events()
+        assert len(events) == 1
+        assert events[0].seq == seq
+        assert events[0].category == "test.event"
+        assert events[0].time == 1.5
+        assert events[0].fields == {"value": 42}
+
+    def test_ring_evicts_oldest_but_seq_survives(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("e", i)
+        events = rec.events()
+        assert len(events) == 4
+        assert [e.seq for e in events] == [6, 7, 8, 9]
+        assert rec.total_recorded == 10
+        assert len(rec) == 4
+
+    def test_clear_resets_everything(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record("e")
+        rec.clear()
+        assert len(rec) == 0 and rec.total_recorded == 0
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_event_to_dict_flattens_fields(self):
+        event = FlightEvent(seq=3, category="c", time=2.0, fields={"a": 1})
+        d = event.to_dict()
+        assert d == {"seq": 3, "category": "c", "time": 2.0, "a": 1}
+
+
+class TestDump:
+    def test_jsonl_header_and_events(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record("alpha", 0.5, detail="x")
+        path = rec.dump(tmp_path / "dump.jsonl", reason="unit")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["flightrec"] is True
+        assert header["reason"] == "unit"
+        assert header["events"] == 1
+        body = json.loads(lines[1])
+        assert body["category"] == "alpha" and body["detail"] == "x"
+
+    def test_dump_never_fails_on_non_json_fields(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record("odd", 0.0, path=tmp_path)  # a Path is not JSON-native
+        dumped = json.loads(
+            rec.dump(tmp_path / "d.jsonl").read_text().splitlines()[1]
+        )
+        assert dumped["path"] == str(tmp_path)
+
+
+class TestAutodump:
+    def test_unarmed_autodump_is_noop(self):
+        assert not autodump_armed()
+        assert autodump("whatever") is None
+
+    def test_armed_autodump_writes_dump(self, tmp_path):
+        target = tmp_path / "crash.jsonl"
+        arm_autodump(target)
+        assert autodump_armed()
+        get_flight_recorder().record("boom", 1.0)
+        out = autodump("unit_reason")
+        assert out == target
+        header = json.loads(target.read_text().splitlines()[0])
+        assert header["reason"] == "unit_reason"
+
+    def test_unwritable_target_is_swallowed(self, tmp_path):
+        arm_autodump(tmp_path / "no" / "such" / "dir" / "f.jsonl")
+        assert autodump("r") is None  # OSError swallowed, not raised
+
+    def test_excepthook_install_is_idempotent(self):
+        before = sys.excepthook
+        try:
+            install_excepthook()
+            hook = sys.excepthook
+            install_excepthook()
+            assert sys.excepthook is hook
+        finally:
+            sys.excepthook = before
+
+
+class TestAlwaysOnFaultTrail:
+    """Satellite: injected faults leave recorder evidence and event ids
+    with telemetry disabled (the default for every test process)."""
+
+    def faulted_run(self, small_trace):
+        return replay_trace(
+            small_trace,
+            small_array(),
+            faults=FaultSchedule(
+                disk_failures=(DiskFailFault(at=0.5, member=1),)
+            ),
+        )
+
+    def test_fault_events_recorded_without_telemetry(self, small_trace):
+        result = self.faulted_run(small_trace)
+        fault_events = [
+            e for e in get_flight_recorder().events()
+            if e.category.startswith("fault.")
+        ]
+        assert len(fault_events) == 1
+        (recorded,) = fault_events
+        assert recorded.category == "fault.disk_fail"
+        assert recorded.time == pytest.approx(0.5)
+        assert recorded.fields["event_id"] == 0
+        assert recorded.fields["detail"] == {"member": 1, "device": "d1"}
+        # The result's fault event carries the matching id.
+        assert [e.event_id for e in result.fault_events] == [0]
+        assert result.fault_events[0].to_dict()["event_id"] == 0
+
+    def test_event_ids_deterministic_across_runs(self, small_trace):
+        ids_a = [e.event_id for e in self.faulted_run(small_trace).fault_events]
+        ids_b = [e.event_id for e in self.faulted_run(small_trace).fault_events]
+        assert ids_a == ids_b == [0]
+
+    def test_disk_failure_triggers_armed_autodump(self, small_trace, tmp_path):
+        target = tmp_path / "failure.jsonl"
+        arm_autodump(target)
+        self.faulted_run(small_trace)
+        assert target.exists()
+        header = json.loads(target.read_text().splitlines()[0])
+        assert header["reason"] == "disk_failure"

@@ -1,0 +1,64 @@
+"""Structured logging: events land in the flight recorder and,
+when a sink is configured, as JSON lines."""
+
+import io
+import json
+
+from repro import obslog
+from repro.obslog import StructuredLogger, get_logger, set_sink
+from repro.telemetry.flightrec import FlightRecorder, get_flight_recorder
+
+
+class TestStructuredLogger:
+    def test_event_lands_in_recorder(self):
+        recorder = FlightRecorder(capacity=8)
+        log = StructuredLogger("unit", recorder=recorder)
+        seq = log.event("started", time=1.5, run="r1")
+        (event,) = recorder.events()
+        assert event.seq == seq
+        assert event.category == "unit.started"
+        assert event.time == 1.5
+        assert event.fields == {"run": "r1"}
+
+    def test_event_writes_jsonl_to_stream(self):
+        stream = io.StringIO()
+        log = StructuredLogger(
+            "unit", recorder=FlightRecorder(capacity=8), stream=stream
+        )
+        log.event("finished", time=2.0, count=3)
+        line = json.loads(stream.getvalue())
+        assert line["component"] == "unit"
+        assert line["event"] == "finished"
+        assert line["count"] == 3 and line["time"] == 2.0
+
+    def test_non_json_fields_are_stringified_not_fatal(self, tmp_path):
+        stream = io.StringIO()
+        log = StructuredLogger(
+            "unit", recorder=FlightRecorder(capacity=8), stream=stream
+        )
+        log.event("odd", path=tmp_path)
+        assert json.loads(stream.getvalue())["path"] == str(tmp_path)
+
+    def test_dead_sink_never_breaks_the_operation(self):
+        closed = io.StringIO()
+        closed.close()
+        log = StructuredLogger(
+            "unit", recorder=FlightRecorder(capacity=8), stream=closed
+        )
+        assert isinstance(log.event("still_recorded"), int)
+
+    def test_get_logger_is_cached_per_component(self):
+        assert get_logger("comp-x") is get_logger("comp-x")
+        assert get_logger("comp-x") is not get_logger("comp-y")
+
+    def test_set_sink_routes_process_loggers(self):
+        get_flight_recorder().clear()
+        stream = io.StringIO()
+        set_sink(stream)
+        try:
+            get_logger("sinky").event("ping", n=1)
+            assert json.loads(stream.getvalue())["event"] == "ping"
+        finally:
+            set_sink(None)
+            obslog._SINK_RESOLVED = False
+        get_flight_recorder().clear()
