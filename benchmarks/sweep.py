@@ -9,9 +9,11 @@ by executing both and comparing.
 
 The default sweep reproduces ``bench_fig8_load_accuracy.py``: one peak
 trace (4 KiB requests, 50 % random, 0 % read, HDD RAID-5), replayed at
-every configured load proportion.  The trace ships to workers in the
-compact binary ``.replay`` encoding and each worker replays one load
-level on a fresh device.
+every configured load proportion.  The trace is published *once* into
+POSIX shared memory (:mod:`repro.trace.shm`); each worker maps the same
+columns zero-copy — only a ``(name, dtype, shape)`` descriptor and a
+``(device, load)`` point cross the process boundary — and replays one
+load level on a fresh device.
 
 Usage::
 
@@ -35,8 +37,8 @@ from typing import List, Optional, Sequence
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.config import LOAD_LEVELS
-from repro.trace.blktrace import dumps, loads
-from repro.workload.parallel import run_sweep
+from repro.trace.packed import pack
+from repro.workload.parallel import get_shared_trace, run_sweep
 
 from benchmarks.common import banner, peak_trace, run_replay
 
@@ -44,19 +46,23 @@ DEVICE = "hdd"
 
 
 def _replay_point(point: tuple, seed: int) -> dict:
-    """Worker: replay one load level of the shipped trace.
+    """Worker: replay one load level of the published trace.
 
-    ``seed`` is unused here — the simulated replay is fully
-    deterministic — but stays in the signature so stochastic sweeps
-    (fresh trace collection per point, sensor noise studies) drop in
-    without changing the engine.
+    The trace never travels with the point — it is mapped from shared
+    memory (or, serially, read from the parent's own object) via
+    :func:`repro.workload.parallel.get_shared_trace`.  ``seed`` is
+    unused here — the simulated replay is fully deterministic — but
+    stays in the signature so stochastic sweeps (fresh trace collection
+    per point, sensor noise studies) drop in without changing the
+    engine.
     """
-    trace_bytes, device, load = point
-    trace = loads(trace_bytes)
+    device, load = point
+    trace = get_shared_trace()
     result = run_replay(device, trace, load)
     return {
         "device": device,
         "load": load,
+        "engine": result.metadata.get("engine"),
         "iops": result.iops,
         "mbps": result.mbps,
         "completed": result.completed,
@@ -67,13 +73,11 @@ def _replay_point(point: tuple, seed: int) -> dict:
 
 
 def fig8_points(
-    duration: float = 15.0, loads_levels: Optional[Sequence[float]] = None
+    loads_levels: Optional[Sequence[float]] = None,
 ) -> List[tuple]:
-    """Build the Fig. 8 sweep: every load level over one peak trace."""
+    """Build the Fig. 8 sweep points: every load level, tiny payloads."""
     levels = list(loads_levels) if loads_levels is not None else list(LOAD_LEVELS)
-    trace = peak_trace(DEVICE, 4096, 50, 0, duration=duration)
-    data = dumps(trace)
-    return [(data, DEVICE, load) for load in levels]
+    return [(DEVICE, load) for load in levels]
 
 
 def sweep_fig8(
@@ -83,14 +87,16 @@ def sweep_fig8(
     loads_levels: Optional[Sequence[float]] = None,
 ) -> List[dict]:
     """Run the Fig. 8 load sweep; parallel by default, same numbers either way."""
-    points = fig8_points(duration=duration, loads_levels=loads_levels)
-    labels = [f"{DEVICE}@{point[2]:g}" for point in points]
+    trace = pack(peak_trace(DEVICE, 4096, 50, 0, duration=duration))
+    points = fig8_points(loads_levels=loads_levels)
+    labels = [f"{DEVICE}@{point[1]:g}" for point in points]
     return run_sweep(
         _replay_point,
         points,
         labels=labels,
         max_workers=max_workers,
         parallel=parallel,
+        shared_trace=trace,
     )
 
 

@@ -112,7 +112,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     if args.flightrec:
         arm_autodump(args.flightrec)
-    trace = read_trace(args.trace)
+    if args.engine == "event":
+        trace = read_trace(args.trace)
+    else:
+        # The analytical kernel only runs over the columnar layout;
+        # the packed load is also the faster path for auto.
+        from .trace.blktrace import read_trace_packed
+
+        trace = read_trace_packed(args.trace)
     device = _device_factory(args.device, args.disks)()
     interval = args.stream_interval if args.stream_interval > 0 else None
     renderer = (
@@ -121,7 +128,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
     session = ReplaySession(
         device,
         config=ReplayConfig(
-            sampling_cycle=args.cycle, time_scale=args.time_scale
+            sampling_cycle=args.cycle,
+            time_scale=args.time_scale,
+            engine=args.engine,
         ),
         reporter=ConsoleReporter() if args.live and renderer is None else None,
         stream_interval=interval,
@@ -129,6 +138,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
     )
     result = session.run(trace, load_proportion=args.load / 100.0)
     print(format_table(summarize([result]), title=f"replay of {args.trace}"))
+    engine = result.metadata.get("engine", "event")
+    fallback = result.metadata.get("engine_fallback")
+    print(f"engine: {engine}" + (f" (fell back: {fallback})" if fallback else ""))
     if args.frames and result.interval_frames:
         write_frames_jsonl(result.interval_frames, args.frames)
         print(f"interval frames written to {args.frames}")
@@ -437,6 +449,14 @@ def cmd_runs_diff(args: argparse.Namespace) -> int:
           f"same trace: {diff['same_trace']})")
     print(f"{'metric':<18} {'a':>12} {'b':>12} {'delta':>12} {'pct':>8}")
     for key, row in diff["metrics"].items():
+        if "equal" in row:
+            # Non-numeric provenance (e.g. engine): equality, not delta.
+            marker = "same" if row["equal"] else "DIFFERS"
+            print(
+                f"{key:<18} {str(row['a']):>12} {str(row['b']):>12} "
+                f"{marker:>12}"
+            )
+            continue
         print(
             f"{key:<18} {row['a']:>12.4f} {row['b']:>12.4f} "
             f"{row['delta']:>12.4f} {row['pct']:>7.2f}%"
@@ -487,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cycle", type=float, default=1.0, help="sampling cycle seconds")
     p.add_argument("--time-scale", type=float, default=1.0,
                    help="inter-arrival intensity scale (e.g. 2.0 = 200%%)")
+    p.add_argument("--engine", choices=("auto", "event", "kernel"),
+                   default="auto",
+                   help="replay engine: auto picks the analytical kernel "
+                   "when the run qualifies, else the event engine")
     p.add_argument("--live", action="store_true",
                    help="stream one line per sampling cycle (GUI stand-in)")
     p.add_argument("--stream-interval", type=float, default=0.0,

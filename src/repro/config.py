@@ -117,6 +117,11 @@ class ReplayConfig:
     time_scale: float = 1.0
     group_size: int = 10
     seed: int | None = None
+    engine: str = "auto"
+    """Replay engine selector: ``auto`` uses the analytical kernel
+    (:mod:`repro.sim.kernel`) whenever the run qualifies and falls back
+    to the event engine otherwise; ``event`` forces the event calendar;
+    ``kernel`` demands the closed form and errors if it cannot run."""
 
     def __post_init__(self) -> None:
         if self.sampling_cycle <= 0:
@@ -127,6 +132,11 @@ class ReplayConfig:
             raise WorkloadError(f"time_scale must be > 0, got {self.time_scale!r}")
         if self.group_size < 1:
             raise WorkloadError(f"group_size must be >= 1, got {self.group_size!r}")
+        if self.engine not in ("auto", "event", "kernel"):
+            raise WorkloadError(
+                f"engine must be 'auto', 'event', or 'kernel', "
+                f"got {self.engine!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -153,6 +163,7 @@ class TestRequest:
                 "time_scale": self.replay.time_scale,
                 "group_size": self.replay.group_size,
                 "seed": self.replay.seed,
+                "engine": self.replay.engine,
             },
             "label": self.label,
         }
@@ -167,6 +178,7 @@ class TestRequest:
                 time_scale=float(rp.get("time_scale", 1.0)),
                 group_size=int(rp.get("group_size", 10)),
                 seed=rp.get("seed"),
+                engine=str(rp.get("engine", "auto")),
             ),
             label=str(data.get("label", "")),
         )

@@ -95,9 +95,19 @@ def config_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
-def summary_from_result(result_dict: Dict[str, Any]) -> Dict[str, float]:
-    """Extract a ledger summary from a flat result dict (wire or local)."""
-    return {k: result_dict.get(k, 0.0) for k in SUMMARY_KEYS}
+def summary_from_result(result_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Extract a ledger summary from a flat result dict (wire or local).
+
+    Besides the flat metric floats, the replay's engine provenance
+    (``metadata.engine``: analytical kernel vs event-driven) is carried
+    when present, so ``tracer runs diff`` can compare runs *across*
+    engines and show which path produced each number.
+    """
+    summary: Dict[str, Any] = {k: result_dict.get(k, 0.0) for k in SUMMARY_KEYS}
+    engine = (result_dict.get("metadata") or {}).get("engine")
+    if engine:
+        summary["engine"] = str(engine)
+    return summary
 
 
 @dataclass(frozen=True)
@@ -292,18 +302,28 @@ class RunLedger:
         return int(cur.fetchone()["n"])
 
     def diff(self, run_a: str, run_b: str) -> Dict[str, Any]:
-        """Compare two runs' summary metrics (b relative to a)."""
+        """Compare two runs' summary metrics (b relative to a).
+
+        Non-numeric summary entries (e.g. ``engine``) diff by equality
+        instead of delta/percent.
+        """
         a = self.get(run_a)
         b = self.get(run_b)
-        metrics: Dict[str, Dict[str, float]] = {}
+        metrics: Dict[str, Dict[str, Any]] = {}
         for key in sorted(set(a.summary) | set(b.summary)):
-            va = float(a.summary.get(key, 0.0))
-            vb = float(b.summary.get(key, 0.0))
+            va = a.summary.get(key, 0.0)
+            vb = b.summary.get(key, 0.0)
+            try:
+                fa = float(va)
+                fb = float(vb)
+            except (TypeError, ValueError):
+                metrics[key] = {"a": va, "b": vb, "equal": va == vb}
+                continue
             metrics[key] = {
-                "a": va,
-                "b": vb,
-                "delta": vb - va,
-                "pct": ((vb - va) / va * 100.0) if va else 0.0,
+                "a": fa,
+                "b": fb,
+                "delta": fb - fa,
+                "pct": ((fb - fa) / fa * 100.0) if fa else 0.0,
             }
         return {
             "a": a.run_id,

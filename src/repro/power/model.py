@@ -115,6 +115,64 @@ class PowerTimeline:
         excess = watts * (end - start) - base
         self._cum_excess.append(self._cum_excess[-1] + excess)
 
+    def extend_segments(self, starts, ends, watts) -> None:
+        """Bulk-append many busy segments (the analytical kernel's path).
+
+        Semantically identical to calling :meth:`add_segment` once per
+        row in order — same validation, same arithmetic (the prefix-sum
+        chain is seeded with the current cumulative excess, so every
+        float matches the sequential path bit for bit).  Requires a
+        single-level baseline; timelines whose baseline has changed
+        (spin-down) fall back to the per-segment loop.
+        """
+        starts = np.asarray(starts, dtype=np.float64)
+        ends = np.asarray(ends, dtype=np.float64)
+        watts = np.asarray(watts, dtype=np.float64)
+        if len(self._base_times) > 1:
+            for s, e, w in zip(starts.tolist(), ends.tolist(), watts.tolist()):
+                self.add_segment(s, e, w)
+            return
+        if starts.size == 0:
+            return
+        durations = ends - starts
+        if np.any(durations < 0):
+            i = int(np.argmax(durations < 0))
+            raise PowerAnalyzerError(
+                f"segment end {ends[i]} precedes start {starts[i]}"
+            )
+        if np.any(watts < 0):
+            raise PowerAnalyzerError(
+                f"segment power must be >= 0, got {watts[watts < 0][0]}"
+            )
+        keep = durations > 0  # zero-length segments are ignored
+        if not keep.all():
+            starts = starts[keep]
+            ends = ends[keep]
+            watts = watts[keep]
+            durations = durations[keep]
+            if starts.size == 0:
+                return
+        if self._starts and starts[0] < self._ends[-1] - 1e-12:
+            raise PowerAnalyzerError(
+                f"segment at {starts[0]} overlaps previous ending "
+                f"{self._ends[-1]}"
+            )
+        if np.any(starts[1:] < ends[:-1] - 1e-12):
+            i = int(np.argmax(starts[1:] < ends[:-1] - 1e-12)) + 1
+            raise PowerAnalyzerError(
+                f"segment at {starts[i]} overlaps previous ending {ends[i - 1]}"
+            )
+        # Single-level baseline: per-segment baseline energy is exactly
+        # ``0.0 + base_watts * (end - start)`` — the one-iteration walk
+        # _baseline_energy performs.
+        base = self._base_watts[0] * durations
+        excess = watts * durations - base
+        cum = np.cumsum(np.concatenate(([self._cum_excess[-1]], excess)))
+        self._starts.extend(starts.tolist())
+        self._ends.extend(ends.tolist())
+        self._watts.extend(watts.tolist())
+        self._cum_excess.extend(cum[1:].tolist())
+
     def _excess_upto(self, t: float) -> float:
         """Cumulative excess energy of segments (or parts) before time t."""
         idx = bisect.bisect_right(self._starts, t)

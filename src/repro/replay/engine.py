@@ -23,7 +23,7 @@ from ..errors import ReplayError
 from ..sim.engine import Simulator
 from ..storage.base import Completion, StorageDevice
 from ..trace.packed import PackedTrace, TraceLike
-from ..trace.record import Bunch, Trace
+from ..trace.record import Bunch, IOPackage, Trace
 
 CompletionHook = Callable[[Completion], None]
 
@@ -72,6 +72,10 @@ class ReplayEngine:
         self.issued = 0
         self.completed = 0
         self.total_packages = trace.package_count
+        # Resolved once: duck-typed devices that implement ``submit``
+        # but not the packed batch hook still replay packed traces —
+        # the dispatcher falls back to per-package object dispatch.
+        self._submit_slice = getattr(device, "submit_slice", None)
         self._started = False
         self.start_time: float = 0.0
         self.end_time: Optional[float] = None
@@ -145,7 +149,18 @@ class ReplayEngine:
         start = int(offsets[i])
         stop = int(offsets[i + 1])
         self.issued += stop - start
-        self.device.submit_slice(self.trace, start, stop, self._on_done)
+        if self._submit_slice is not None:
+            self._submit_slice(self.trace, start, stop, self._on_done)
+        else:
+            self._dispatch_rows(start, stop)
+
+    def _dispatch_rows(self, start: int, stop: int) -> None:
+        """Per-package fallback for devices without ``submit_slice``."""
+        submit = self.device.submit
+        fast_pkg = IOPackage._from_validated
+        on_done = self._on_done
+        for sector, nbytes, op in self.trace.packages[start:stop].tolist():
+            submit(fast_pkg(sector, nbytes, op), on_done)
 
     def _on_done(self, completion: Completion) -> None:
         self.completed += 1
@@ -185,7 +200,10 @@ class ReplayEngine:
                 packages=stop - start, path=self._tele_path,
             )
         self.issued += stop - start
-        self.device.submit_slice(self.trace, start, stop, self._on_done)
+        if self._submit_slice is not None:
+            self._submit_slice(self.trace, start, stop, self._on_done)
+        else:
+            self._dispatch_rows(start, stop)
 
     def _on_done_instrumented(self, completion: Completion) -> None:
         # Per-completion work is one increment, one modulo, and the

@@ -59,11 +59,16 @@ class ReplaySession:
         faults: Optional[FaultSchedule] = None,
         stream_interval: Optional[float] = None,
         on_frame=None,
+        engine: Optional[str] = None,
     ) -> None:
         if faults is not None and not faults.empty:
             device = FaultInjector(device, faults)
         self.device = device
         self.config = config or ReplayConfig()
+        if engine is not None:
+            from dataclasses import replace
+
+            self.config = replace(self.config, engine=engine)
         self.sensor = sensor
         self.thermal = thermal
         self.reporter = reporter
@@ -104,6 +109,62 @@ class ReplaySession:
         if isinstance(target, DiskArray):
             return target.meter
         return target
+
+    def _kernel_blockers(self) -> Optional[str]:
+        """Session-level conditions only the event engine can honour."""
+        if isinstance(self.device, FaultInjector):
+            return "fault injection active"
+        if self.thermal:
+            return "thermal monitoring enabled"
+        if self.reporter is not None:
+            return "live reporter attached"
+        if self.on_frame is not None:
+            return "per-frame callback attached"
+        return None
+
+    def _kernel_result(
+        self, outcome, manipulated, load_proportion, sim, slog, start
+    ) -> ReplayResult:
+        """Assemble a :class:`ReplayResult` from a kernel outcome.
+
+        Mirrors the event path's assembly field for field so results
+        compare bit-identical downstream (JSON, ledger, goldens).
+        """
+        end = sim.now
+        duration = end - start
+        completed = outcome.completed
+        slog.event(
+            "finish", time=end, trace=manipulated.label,
+            completed=completed, duration=end - start,
+        )
+        metadata = {
+            "time_scale": self.config.time_scale,
+            "group_size": self.config.group_size,
+            "bunches_replayed": len(manipulated),
+            "engine": "kernel",
+        }
+        if self.stream_interval > 0:
+            metadata["interval_frames"] = [
+                f.to_dict() for f in outcome.frames
+            ]
+        analyzer = outcome.analyzer
+        return ReplayResult(
+            trace_label=manipulated.label,
+            load_proportion=load_proportion,
+            duration=duration,
+            completed=completed,
+            total_bytes=outcome.total_bytes,
+            mean_response=(
+                outcome.total_response / completed if completed else 0.0
+            ),
+            mean_watts=analyzer.mean_watts,
+            energy_joules=analyzer.total_energy,
+            perf_samples=list(outcome.perf_samples),
+            power_samples=list(analyzer.samples),
+            thermal_samples=[],
+            fault_events=[],
+            metadata=metadata,
+        )
 
     def run(
         self,
@@ -164,6 +225,45 @@ class ReplaySession:
                 f"load proportion {load_proportion} left no bunches to replay"
             )
 
+        from ..obslog import get_logger
+
+        slog = get_logger("replay.session")
+        start = sim.now
+        slog.event(
+            "start", time=start, trace=manipulated.label,
+            load=load_proportion, packages=manipulated.package_count,
+            streaming=self.stream_interval,
+        )
+
+        # Engine selection: the analytical kernel computes qualifying
+        # fault-free replays in closed form (bit-identical results); the
+        # event calendar covers everything else.  ``auto`` probes the
+        # kernel and records why it fell back; ``kernel`` demands it.
+        engine_mode = self.config.engine
+        kernel_reason: Optional[str] = None
+        if engine_mode in ("auto", "kernel"):
+            kernel_reason = self._kernel_blockers()
+            kernel_outcome = None
+            if kernel_reason is None:
+                from ..sim.kernel import try_kernel_replay
+
+                kernel_outcome, kernel_reason = try_kernel_replay(
+                    sim, manipulated, self.device,
+                    sampling_cycle=self.config.sampling_cycle,
+                    sensor=self.sensor,
+                    stream_interval=self.stream_interval,
+                )
+            if kernel_outcome is not None:
+                return self._kernel_result(
+                    kernel_outcome, manipulated, load_proportion, sim,
+                    slog, start,
+                )
+            if engine_mode == "kernel":
+                raise ReplayError(
+                    "engine='kernel' requested but the run does not "
+                    f"qualify: {kernel_reason}"
+                )
+
         monitor = PerformanceMonitor(
             sampling_cycle=self.config.sampling_cycle,
             on_sample=(
@@ -214,15 +314,6 @@ class ReplaySession:
         )
         thermal_monitor = self._thermal_monitor()
 
-        from ..obslog import get_logger
-
-        slog = get_logger("replay.session")
-        start = sim.now
-        slog.event(
-            "start", time=start, trace=manipulated.label,
-            load=load_proportion, packages=manipulated.package_count,
-            streaming=self.stream_interval,
-        )
         monitor.start(sim)
         analyzer.start(sim)
         if recorder is not None:
@@ -255,7 +346,10 @@ class ReplaySession:
             "time_scale": self.config.time_scale,
             "group_size": self.config.group_size,
             "bunches_replayed": len(manipulated),
+            "engine": "event",
         }
+        if engine_mode == "auto" and kernel_reason is not None:
+            metadata["engine_fallback"] = kernel_reason
         if recorder is not None:
             metadata["interval_frames"] = [
                 f.to_dict() for f in recorder.frames
@@ -325,6 +419,7 @@ def replay_trace(
     faults: Optional[FaultSchedule] = None,
     stream_interval: Optional[float] = None,
     on_frame=None,
+    engine: Optional[str] = None,
 ) -> ReplayResult:
     """Convenience one-shot wrapper around :class:`ReplaySession`."""
     return ReplaySession(
@@ -333,4 +428,5 @@ def replay_trace(
         faults=faults,
         stream_interval=stream_interval,
         on_frame=on_frame,
+        engine=engine,
     ).run(trace, load_proportion)

@@ -1,0 +1,798 @@
+"""Analytical (closed-form) replay kernel.
+
+The event-driven replay path costs one heap pop per bunch dispatch plus
+one per completion — for a 100k-bunch packed trace that is hundreds of
+thousands of Python callbacks even though the *math* of a fault-free
+FCFS replay is a handful of recurrences.  This module computes an entire
+qualifying replay in bulk over the :class:`~repro.trace.packed.PackedTrace`
+CSR arrays:
+
+* bunch dispatch times (vectorised rebase, identical to
+  :meth:`ReplayEngine.start`),
+* the array controller's link-serialisation chain
+  (``dispatch = max(arrival, link_busy) + overhead``),
+* RAID-0/5/JBOD chunk expansion in closed form (bit-for-bit the
+  :class:`~repro.storage.raid.RaidGeometry` loop),
+* per-device FCFS queue waits via a segmented Lindley recurrence
+  (``finish_k = max(submit_k, finish_{k-1}) + service_k``),
+* per-request service times and Watts from each device model's
+  vectorised ``service_times`` mirror,
+* and the sampled outputs — :class:`~repro.replay.monitor.PerfSample`
+  series, :class:`~repro.power.analyzer.PowerAnalyzer` windows, latency
+  histograms, and :class:`~repro.telemetry.stream.IntervalFrame` series.
+
+**Bit-identity is the contract.**  Every floating-point expression here
+is ordered exactly as the event path orders it: seeded ``np.cumsum``
+chains reproduce left-to-right scalar addition, ``np.maximum`` is a
+selection (exact), window sums re-run the monitor's Python-float
+accumulation over ``.tolist()`` slices, and the power analyzer /
+interval recorder are fed through their *real* implementations after
+the device timelines are committed.  Anything the closed form cannot
+reproduce exactly — unsorted dispatch times, tied flight completions,
+out-of-range requests (the event path raises mid-run), pathological
+sampling cycles — raises :class:`_Fallback` *before any state is
+mutated* and the caller falls back to the event engine.
+
+The public entry point is :func:`try_kernel_replay`; qualification rules
+are documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import StorageIOError
+from ..power.analyzer import PowerAnalyzer
+from ..power.states import PowerState
+from ..replay.monitor import PerfSample
+from ..storage.array import DiskArray
+from ..storage.base import QueuedDevice, StorageDevice
+from ..storage.hdd import HardDiskDrive
+from ..storage.queueing import FIFOQueue
+from ..storage.raid import RaidLevel
+from ..storage.ssd import SolidStateDrive
+from ..trace.packed import PackedTrace
+from ..trace.record import READ
+from ..units import SECTOR_BYTES
+from .engine import Simulator
+
+#: Segmented-solver refinement passes before falling back to the exact
+#: scalar loop (each pass only ever *adds* idle-start heads, so ten
+#: passes resolve all but adversarial arrival patterns).
+_MAX_PASSES = 10
+
+#: Sampling-window count cap: beyond this the closed-form window walk
+#: costs more than the event path saves.
+_MAX_WINDOWS = 2_000_000
+
+_NEG_INF = float("-inf")
+
+
+class _Fallback(Exception):
+    """The configuration (or computed schedule) needs the event engine."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Exact FCFS queue solver (Lindley recurrence)
+# ---------------------------------------------------------------------------
+
+
+def _lindley_scalar(submit: np.ndarray, sv: np.ndarray, prev: float) -> np.ndarray:
+    """Reference solver: the event path's arithmetic, request by request."""
+    out = np.empty(submit.size, dtype=np.float64)
+    cur = prev
+    for i, (t, s) in enumerate(zip(submit.tolist(), sv.tolist())):
+        start = t if t > cur else cur
+        cur = start + s
+        out[i] = cur
+    return out
+
+
+def _eval_lindley_segments(
+    submit: np.ndarray, sv: np.ndarray, heads: np.ndarray, prev: float
+) -> np.ndarray:
+    """Evaluate finish times given idle-start positions ``heads``.
+
+    Each segment [a, b) is a busy run: its first request starts at
+    ``max(submit[a], previous finish)`` (exact selection) and the rest
+    chain by seeded cumulative sum — the same left-to-right additions
+    the scalar loop performs.
+    """
+    n = submit.size
+    f = np.empty(n, dtype=np.float64)
+    cur = prev
+    bounds = np.append(heads, n)
+    for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        sa = submit[a]
+        seed = sa if sa > cur else cur
+        f[a:b] = np.cumsum(np.concatenate(([seed], sv[a:b])))[1:]
+        cur = float(f[b - 1])
+    return f
+
+
+def _solve_lindley(
+    submit: np.ndarray, sv: np.ndarray, prev: float = _NEG_INF
+) -> np.ndarray:
+    """Finish times of ``finish_k = max(submit_k, finish_{k-1}) + sv_k``.
+
+    Bit-identical to the scalar recurrence.  Two O(1)-pass fast paths
+    cover the common regimes (server never queues / server never
+    idles); otherwise idle-start heads are guessed from the arrival
+    slack and refined until the evaluation is self-consistent, which
+    by induction makes it exact.
+    """
+    n = submit.size
+    if n == 0:
+        return submit.astype(np.float64)
+    # Fully-idle: every request starts at its own submit time.
+    f_idle = submit + sv
+    if submit[0] >= prev and (n == 1 or bool(np.all(submit[1:] >= f_idle[:-1]))):
+        return f_idle
+    # Fully-busy: one seeded cumsum chain.
+    s0 = submit[0]
+    seed0 = s0 if s0 > prev else prev
+    f_busy = np.cumsum(np.concatenate(([seed0], sv)))[1:]
+    if bool(np.all(submit[1:] <= f_busy[:-1])):
+        return f_busy
+    # General: guess heads from arrival slack, refine to fixpoint.
+    approx = submit - np.concatenate(([0.0], np.cumsum(sv)[:-1]))
+    is_head = approx >= np.maximum.accumulate(approx)
+    is_head[0] = True
+    for _ in range(_MAX_PASSES):
+        heads = np.flatnonzero(is_head)
+        f = _eval_lindley_segments(submit, sv, heads, prev)
+        viol = np.flatnonzero(submit[1:] > f[:-1]) + 1
+        new = viol[~is_head[viol]]
+        if new.size == 0:
+            return f
+        is_head[new] = True
+    return _lindley_scalar(submit, sv, prev)
+
+
+# ---------------------------------------------------------------------------
+# Exact link-serialisation solver (controller dispatch chain)
+# ---------------------------------------------------------------------------
+
+
+def _chain_scalar(
+    t: np.ndarray, c: float, p: np.ndarray, prev: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    d = np.empty(t.size, dtype=np.float64)
+    link = np.empty(t.size, dtype=np.float64)
+    cur = prev
+    for i, (ti, pi) in enumerate(zip(t.tolist(), p.tolist())):
+        disp = ti if ti > cur else cur
+        disp = disp + c
+        d[i] = disp
+        cur = disp + pi
+        link[i] = cur
+    return d, link
+
+
+def _eval_chain_segments(
+    t: np.ndarray, c: float, p: np.ndarray, heads: np.ndarray, prev: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate the dispatch chain given idle-link positions ``heads``.
+
+    A busy run interleaves the per-request overhead and payload additions
+    into one cumulative sum — element order ``seed, +c, +p_0, +c, +p_1…``
+    matches the event path's ``dispatch += overhead; link = dispatch +
+    payload`` exactly.
+    """
+    n = t.size
+    d = np.empty(n, dtype=np.float64)
+    link = np.empty(n, dtype=np.float64)
+    cur = prev
+    bounds = np.append(heads, n)
+    for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        ta = t[a]
+        seed = ta if ta > cur else cur
+        m = b - a
+        arr = np.empty(2 * m + 1, dtype=np.float64)
+        arr[0] = seed
+        arr[1::2] = c
+        arr[2::2] = p[a:b]
+        cs = np.cumsum(arr)
+        d[a:b] = cs[1::2]
+        link[a:b] = cs[2::2]
+        cur = float(link[b - 1])
+    return d, link
+
+
+def _solve_link_chain(
+    t: np.ndarray, c: float, p: np.ndarray, prev: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Dispatch/link-free times of the array controller chain.
+
+    ``d_k = max(t_k, link_{k-1}) + c``; ``link_k = d_k + p_k`` — the
+    arithmetic of :meth:`DiskArray.submit`, reproduced bit-for-bit.
+    """
+    n = t.size
+    if n == 0:
+        empty = t.astype(np.float64)
+        return empty, empty
+    d_idle = t + c
+    l_idle = d_idle + p
+    if t[0] >= prev and (n == 1 or bool(np.all(t[1:] >= l_idle[:-1]))):
+        return d_idle, l_idle
+    t0 = t[0]
+    seed0 = t0 if t0 > prev else prev
+    heads0 = np.zeros(1, dtype=np.int64)
+    d_busy, l_busy = _eval_chain_segments(t, c, p, heads0, prev)
+    if bool(np.all(t[1:] <= l_busy[:-1])):
+        return d_busy, l_busy
+    approx = t - np.concatenate(([0.0], np.cumsum(c + p)[:-1]))
+    is_head = approx >= np.maximum.accumulate(approx)
+    is_head[0] = True
+    for _ in range(_MAX_PASSES):
+        heads = np.flatnonzero(is_head)
+        d, link = _eval_chain_segments(t, c, p, heads, prev)
+        viol = np.flatnonzero(t[1:] > link[:-1]) + 1
+        new = viol[~is_head[viol]]
+        if new.size == 0:
+            return d, link
+        is_head[new] = True
+    return _chain_scalar(t, c, p, prev)
+
+
+# ---------------------------------------------------------------------------
+# Qualification
+# ---------------------------------------------------------------------------
+
+
+def _qualify_member(dev: StorageDevice) -> Optional[str]:
+    """None if ``dev`` is kernel-capable, else the human-readable reason."""
+    if type(dev) is HardDiskDrive:
+        if dev.rotational_jitter:
+            return "hdd rotational jitter draws per request"
+        if dev.state is not PowerState.IDLE:
+            return f"hdd power state {dev.state.value}"
+    elif type(dev) is SolidStateDrive:
+        pass
+    else:
+        return f"device model {type(dev).__name__} has no kernel contract"
+    if dev._busy:
+        return "device busy at replay start"
+    if type(dev._queue) is not FIFOQueue:
+        return f"queue discipline {type(dev._queue).__name__}"
+    if len(dev._queue):
+        return "device queue not empty at replay start"
+    if "_finish" in dev.__dict__:
+        return "telemetry-instrumented device"
+    return None
+
+
+def _qualify_device(device: StorageDevice, trace: PackedTrace) -> Optional[str]:
+    """None if the target qualifies for the analytical kernel."""
+    if isinstance(device, DiskArray):
+        if type(device) is not DiskArray:
+            return f"array subclass {type(device).__name__}"
+        if device.geometry is None:
+            return "array has no disks installed"
+        if "_plan" in device.__dict__:
+            return "telemetry-instrumented array"
+        if device.failed_disk is not None or device.rebuilding:
+            return "array degraded or rebuilding"
+        level = device.geometry.level
+        if level in (RaidLevel.JBOD, RaidLevel.RAID0):
+            pass
+        elif level is RaidLevel.RAID5:
+            if not bool(np.all(trace.packages["op"] == READ)):
+                return "raid5 writes need read-modify-write planning"
+        else:
+            return f"raid level {level.value} mutates planner state"
+        for disk in device.disks:
+            reason = _qualify_member(disk)
+            if reason is not None:
+                return f"{disk.name}: {reason}"
+        return None
+    if isinstance(device, QueuedDevice):
+        reason = _qualify_member(device)
+        if reason is not None:
+            return f"{device.name}: {reason}"
+        return None
+    return f"device model {type(device).__name__} has no kernel contract"
+
+
+# ---------------------------------------------------------------------------
+# Schedule computation (pure — all mutations deferred to commit closures)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Computed:
+    """A fully-solved replay schedule, ready to commit.
+
+    ``fin``/``resp``/``nbytes`` are in *completion-event order* (the
+    order the monitor saw completions on the event path); ``push`` /
+    ``pop`` are the merged, sorted queue-entry and queue-exit instants
+    across all members (for interval-frame queue depths).  ``commit``
+    performs every device/timeline mutation the event path would have
+    made — it must be infallible.
+    """
+
+    end: float
+    fin: np.ndarray
+    resp: np.ndarray
+    nbytes: np.ndarray
+    push: np.ndarray
+    pop: np.ndarray
+    commit: Callable[[], None]
+
+
+def _dispatch_times(trace: PackedTrace, t0: float) -> np.ndarray:
+    """Per-package submit instants — the packed engine's rebased bunch
+    times, repeated across each bunch's rows."""
+    times = t0 + (trace.timestamps - trace.timestamps[0])
+    if times.size > 1 and bool(np.any(np.diff(times) < 0)):
+        raise _Fallback("unsorted bunch timestamps reorder dispatch")
+    return np.repeat(times, np.diff(trace.offsets))
+
+
+def _columns(trace: PackedTrace) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    pk = trace.packages
+    sectors = pk["sector"].astype(np.int64, copy=False)
+    nbytes = pk["nbytes"].astype(np.int64, copy=False)
+    ops = pk["op"].astype(np.int64)
+    if sectors.size == 0:
+        raise _Fallback("trace has no packages")
+    if bool(np.any(nbytes <= 0)) or bool(np.any(sectors < 0)):
+        raise _Fallback("invalid package geometry")
+    return sectors, nbytes, ops
+
+
+def _check_timeline_clear(dev: QueuedDevice, first_start: float) -> None:
+    """The event path appends segments after the timeline's last end;
+    a stale timeline would make it raise mid-run — fall back instead."""
+    ends = dev.timeline._ends
+    if ends and first_start < ends[-1] - 1e-12:
+        raise _Fallback(f"{dev.name}: power timeline extends past replay start")
+
+
+def _serve_fifo(
+    dev: QueuedDevice,
+    submit: np.ndarray,
+    sectors: np.ndarray,
+    nbytes: np.ndarray,
+    ops: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Callable[[], None]]:
+    """Solve one member device's FCFS service sequence.
+
+    Returns ``(fin, starts, push_times, pop_times, commit)``; commit
+    applies the device-model cursor state, queue counters, completion
+    count, head hint, and the power-timeline segments.
+    """
+    try:
+        svc = dev.service_times(sectors, nbytes, ops)
+    except StorageIOError as exc:
+        raise _Fallback(str(exc))
+    fin = _solve_lindley(submit, svc.seconds)
+    if bool(np.any(np.diff(fin) < 0)):
+        raise _Fallback(f"{dev.name}: non-monotone completion schedule")
+    starts = np.maximum(submit, np.concatenate(([_NEG_INF], fin[:-1])))
+    _check_timeline_clear(dev, float(starts[0]))
+    queued = starts > submit
+    push = submit[queued]
+    pop = starts[queued]
+    high = 0
+    if push.size:
+        ranks = np.arange(1, push.size + 1, dtype=np.int64)
+        high = int((ranks - np.searchsorted(pop, push, side="right")).max())
+    n = int(submit.size)
+    n_queued = int(push.size)
+    end_sectors = sectors + -(-nbytes // SECTOR_BYTES)
+    if int(end_sectors.max()) > dev.capacity_sectors:
+        raise _Fallback(f"{dev.name}: request beyond capacity")
+    last_end = int(end_sectors[-1])
+    watts = svc.watts
+    apply_model = svc.apply_state
+
+    def commit() -> None:
+        dev.timeline.extend_segments(starts, fin, watts)
+        apply_model()
+        dev.completed_count += n
+        dev._head_hint = last_end
+        dev._queue.pushed_total += n_queued
+        dev._queue.popped_total += n_queued
+        if high > dev.queued_high_water:
+            dev.queued_high_water = high
+
+    return fin, starts, push, pop, commit
+
+
+def _compute_single(
+    trace: PackedTrace, device: QueuedDevice, t0: float
+) -> _Computed:
+    submit = _dispatch_times(trace, t0)
+    sectors, nbytes, ops = _columns(trace)
+    fin, _starts, push, pop, commit = _serve_fifo(
+        device, submit, sectors, nbytes, ops
+    )
+    # Single-server FIFO completes in row order (finish events are
+    # scheduled in serving order, ties resolve by sequence), so the
+    # monitor saw completions exactly in row order.
+    resp = fin - submit
+    return _Computed(
+        end=float(fin[-1]),
+        fin=fin,
+        resp=resp,
+        nbytes=nbytes,
+        push=push,
+        pop=pop,
+        commit=commit,
+    )
+
+
+def _expand_subios(
+    geom, sectors: np.ndarray, nbytes: np.ndarray, ops: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form clean-mode stripe planning.
+
+    Returns ``(flight_offsets, sub_flight, disk, sub_sector, sub_nbytes,
+    sub_op)`` with sub-I/Os in flight-major, plan order — exactly the
+    order :meth:`RaidGeometry.plan` emits them.  Integer arithmetic
+    throughout (int64), so equality with the Python loop is exact.
+    """
+    n = sectors.size
+    if geom.level is RaidLevel.JBOD:
+        flight_offsets = np.arange(n + 1, dtype=np.int64)
+        sub_flight = np.arange(n, dtype=np.int64)
+        return (
+            flight_offsets,
+            sub_flight,
+            np.zeros(n, dtype=np.int64),
+            sectors,
+            nbytes,
+            ops,
+        )
+    strip = geom.strip_bytes
+    start_bytes = sectors * SECTOR_BYTES
+    off = start_bytes % strip
+    nch = (off + nbytes + strip - 1) // strip
+    flight_offsets = np.concatenate(
+        ([0], np.cumsum(nch))
+    ).astype(np.int64)
+    total = int(flight_offsets[-1])
+    sub_flight = np.repeat(np.arange(n, dtype=np.int64), nch)
+    j = np.arange(total, dtype=np.int64) - np.repeat(flight_offsets[:-1], nch)
+    si = (start_bytes // strip)[sub_flight] + j
+    chunk_start = np.maximum(start_bytes[sub_flight], si * strip)
+    chunk_end = np.minimum((start_bytes + nbytes)[sub_flight], (si + 1) * strip)
+    sub_nbytes = chunk_end - chunk_start
+    offset_bytes = chunk_start - si * strip
+    if geom.level is RaidLevel.RAID0:
+        disk = si % geom.n_disks
+        row = si // geom.n_disks
+    else:  # RAID5, reads only (qualified)
+        per_row = geom.n_disks - 1
+        row = si // per_row
+        pos = si % per_row
+        pdisk = (geom.n_disks - 1) - (row % geom.n_disks)
+        disk = pos + (pos >= pdisk)
+    sub_sector = row * geom.strip_sectors + offset_bytes // SECTOR_BYTES
+    return flight_offsets, sub_flight, disk, sub_sector, sub_nbytes, ops[sub_flight]
+
+
+def _compute_array(trace: PackedTrace, device: DiskArray, t0: float) -> _Computed:
+    geom = device.geometry
+    assert geom is not None
+    submit = _dispatch_times(trace, t0)
+    sectors, nbytes, ops = _columns(trace)
+    end_sectors = sectors + -(-nbytes // SECTOR_BYTES)
+    if int(end_sectors.max()) > geom.capacity_sectors:
+        raise _Fallback("request beyond array capacity")
+
+    # Controller dispatch: overhead plus host-link payload serialisation.
+    overhead = device.enclosure.controller_overhead
+    payload = nbytes / device.enclosure.link_rate
+    dispatch, link = _solve_link_chain(
+        submit, overhead, payload, device._link_busy_until
+    )
+
+    flight_offsets, sub_flight, disk_of, sub_sector, sub_nbytes, sub_op = (
+        _expand_subios(geom, sectors, nbytes, ops)
+    )
+    total = int(flight_offsets[-1])
+    arrivals = dispatch[sub_flight]
+
+    # Per-disk FCFS service.  Stable sort keeps each disk's sub-I/Os in
+    # flight/plan order — the member queue's arrival order.
+    order = np.argsort(disk_of, kind="stable")
+    disk_sorted = disk_of[order]
+    cuts = np.searchsorted(
+        disk_sorted, np.arange(len(device.disks) + 1, dtype=np.int64)
+    )
+    sub_fin = np.empty(total, dtype=np.float64)
+    commits: List[Callable[[], None]] = []
+    pushes: List[np.ndarray] = []
+    pops: List[np.ndarray] = []
+    for di, disk in enumerate(device.disks):
+        lo, hi = int(cuts[di]), int(cuts[di + 1])
+        if lo == hi:
+            continue
+        rows = order[lo:hi]
+        fin, _starts, push, pop, commit = _serve_fifo(
+            disk,
+            arrivals[rows],
+            sub_sector[rows],
+            sub_nbytes[rows],
+            sub_op[rows],
+        )
+        sub_fin[rows] = fin
+        commits.append(commit)
+        if push.size:
+            pushes.append(push)
+            pops.append(pop)
+
+    # A flight completes when its last sub-I/O finishes.  Tied flight
+    # finish times would make the monitor's accumulation order depend
+    # on event sequence numbers — the closed form cannot reproduce
+    # that, so such schedules fall back.
+    fl_fin = np.maximum.reduceat(sub_fin, flight_offsets[:-1])
+    if np.unique(fl_fin).size != fl_fin.size:
+        raise _Fallback("tied flight completion times")
+    comp_order = np.argsort(fl_fin, kind="stable")
+    fin_ev = fl_fin[comp_order]
+    resp_ev = (fl_fin - submit)[comp_order]
+    bytes_ev = nbytes[comp_order]
+
+    push_all = (
+        np.sort(np.concatenate(pushes))
+        if pushes
+        else np.empty(0, dtype=np.float64)
+    )
+    pop_all = (
+        np.sort(np.concatenate(pops)) if pops else np.empty(0, dtype=np.float64)
+    )
+    n_flights = int(submit.size)
+    link_end = float(link[-1])
+
+    def commit() -> None:
+        for one in commits:
+            one()
+        device.completed_count += n_flights
+        device.subio_count += total
+        device._link_busy_until = link_end
+
+    return _Computed(
+        end=float(fin_ev[-1]),
+        fin=fin_ev,
+        resp=resp_ev,
+        nbytes=bytes_ev,
+        push=push_all,
+        pop=pop_all,
+        commit=commit,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sampled-output synthesis
+# ---------------------------------------------------------------------------
+
+
+def _tick_boundaries(t0: float, t_end: float, cycle: float) -> List[float]:
+    """Fired sampling-tick instants, reproducing the event chain.
+
+    Boundaries accumulate as Python floats (``b += cycle``) exactly like
+    the rescheduling tick events; a tick landing at or after the final
+    completion never fires (completions carry priority 0, ticks 10/11,
+    and the run loop exits on the final completion).
+    """
+    bounds = [t0]
+    b = t0
+    while True:
+        nb = b + cycle
+        if nb >= t_end:
+            break
+        if nb <= b:
+            raise _Fallback("sampling cycle vanishes below float resolution")
+        bounds.append(nb)
+        b = nb
+        if len(bounds) > _MAX_WINDOWS:
+            raise _Fallback("too many sampling windows for the kernel")
+    return bounds
+
+
+def _window_cuts(bounds: List[float], fin: np.ndarray) -> np.ndarray:
+    """Completion-array cut indices per window (boundary ties close the
+    window: completion events outrank sampling ticks at equal times)."""
+    edges = np.asarray(bounds[1:], dtype=np.float64)
+    mid = np.searchsorted(fin, edges, side="right")
+    return np.concatenate(([0], mid, [fin.size])).astype(np.int64)
+
+
+def _perf_series(
+    bounds: List[float], end: float, comp: _Computed
+) -> List[PerfSample]:
+    cuts = _window_cuts(bounds, comp.fin)
+    resp_list = comp.resp.tolist()
+    byte_prefix = np.concatenate(([0], np.cumsum(comp.nbytes)))
+    starts = bounds
+    ends = bounds[1:] + [end]
+    samples: List[PerfSample] = []
+    for i in range(len(starts)):
+        a, b = int(cuts[i]), int(cuts[i + 1])
+        s, e = starts[i], ends[i]
+        cnt = b - a
+        if e <= s and not cnt:
+            continue  # the monitor's forced close flushes counts only
+        samples.append(
+            PerfSample(
+                start=float(s),
+                end=float(e),
+                completed=int(cnt),
+                total_bytes=int(byte_prefix[b] - byte_prefix[a]),
+                total_response=float(sum(resp_list[a:b])),
+            )
+        )
+    return samples
+
+
+def _power_windows(
+    analyzer: PowerAnalyzer, bounds: List[float], end: float
+) -> None:
+    """Replay the analyzer's sampling windows through its real
+    ``_record_window`` (same sensor-read order, same energy queries)."""
+    ends = bounds[1:] + [end]
+    for a, b in zip(bounds, ends):
+        analyzer._record_window(a, b)
+
+
+def _frame_series(
+    bounds: List[float],
+    end: float,
+    comp: _Computed,
+    power_source,
+) -> list:
+    from ..telemetry.flightrec import get_flight_recorder
+    from ..telemetry.registry import DEFAULT_TIME_BUCKETS
+    from ..telemetry.stream import IntervalFrame
+
+    buckets = tuple(float(b) for b in DEFAULT_TIME_BUCKETS)
+    barr = np.asarray(buckets, dtype=np.float64)
+    cuts = _window_cuts(bounds, comp.fin)
+    resp_list = comp.resp.tolist()
+    byte_prefix = np.concatenate(([0], np.cumsum(comp.nbytes)))
+    starts = bounds
+    ends = bounds[1:] + [end]
+    flightrec = get_flight_recorder()
+    frames = []
+    for i in range(len(starts)):
+        a, b = int(cuts[i]), int(cuts[i + 1])
+        s, e = starts[i], ends[i]
+        cnt = b - a
+        if e <= s and not cnt:
+            continue
+        if cnt:
+            counts = np.bincount(
+                np.searchsorted(barr, comp.resp[a:b], side="right"),
+                minlength=barr.size + 1,
+            )
+        else:
+            counts = np.zeros(barr.size + 1, dtype=np.int64)
+        energy = (
+            power_source.energy_between(s, e) if power_source is not None else 0.0
+        )
+        depth = int(
+            np.searchsorted(comp.push, e, side="right")
+            - np.searchsorted(comp.pop, e, side="right")
+        )
+        frame = IntervalFrame(
+            index=len(frames),
+            start=float(s),
+            end=float(e),
+            completed=int(cnt),
+            total_bytes=int(byte_prefix[b] - byte_prefix[a]),
+            response_sum=float(sum(resp_list[a:b])),
+            energy_joules=float(energy),
+            queue_depth=depth,
+            latency_buckets=buckets,
+            latency_counts=tuple(int(x) for x in counts),
+        )
+        frames.append(frame)
+        flightrec.record(
+            "stream.interval", frame.end,
+            index=frame.index, completed=frame.completed,
+            queue_depth=frame.queue_depth,
+        )
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KernelOutcome:
+    """Everything the session needs to assemble a ``ReplayResult``."""
+
+    end: float
+    perf_samples: List[PerfSample]
+    analyzer: PowerAnalyzer
+    frames: list
+    completed: int
+    total_bytes: int
+    total_response: float
+
+
+def try_kernel_replay(
+    sim: Simulator,
+    trace,
+    device: StorageDevice,
+    *,
+    sampling_cycle: float,
+    sensor=None,
+    stream_interval: float = 0.0,
+) -> Tuple[Optional[KernelOutcome], Optional[str]]:
+    """Attempt the closed-form replay of ``trace`` against ``device``.
+
+    Returns ``(outcome, None)`` on success — with all device, queue,
+    and power-timeline state committed and the simulation clock
+    advanced to the final completion — or ``(None, reason)`` when the
+    configuration does not qualify, in which case *nothing* has been
+    mutated and the caller must run the event engine.
+    """
+    from ..telemetry import get_registry
+
+    if get_registry().enabled:
+        return None, "telemetry registry enabled"
+    if not isinstance(trace, PackedTrace):
+        return None, "object-trace replay"
+    if sim.pending:
+        return None, "simulator calendar not empty"
+    reason = _qualify_device(device, trace)
+    if reason is not None:
+        return None, reason
+
+    t0 = sim.now
+    try:
+        if isinstance(device, DiskArray):
+            comp = _compute_array(trace, device, t0)
+        else:
+            comp = _compute_single(trace, device, t0)  # type: ignore[arg-type]
+        mon_bounds = _tick_boundaries(t0, comp.end, float(sampling_cycle))
+        frame_bounds = (
+            _tick_boundaries(t0, comp.end, float(stream_interval))
+            if stream_interval > 0
+            else None
+        )
+    except _Fallback as exc:
+        return None, exc.reason
+
+    # ---- Commit: infallible from here on. ----
+    comp.commit()
+    perf_samples = _perf_series(mon_bounds, comp.end, comp)
+    source = device.meter if isinstance(device, DiskArray) else device
+    analyzer = PowerAnalyzer(
+        source, sampling_cycle=float(sampling_cycle), sensor=sensor
+    )
+    _power_windows(analyzer, mon_bounds, comp.end)
+    frames = (
+        _frame_series(frame_bounds, comp.end, comp, source)
+        if frame_bounds is not None
+        else []
+    )
+    completed = sum(s.completed for s in perf_samples) + 0
+    total_bytes = sum(s.total_bytes for s in perf_samples) + 0
+    total_response = sum(s.total_response for s in perf_samples) + 0.0
+    sim.advance_to(comp.end)
+    return (
+        KernelOutcome(
+            end=comp.end,
+            perf_samples=perf_samples,
+            analyzer=analyzer,
+            frames=frames,
+            completed=completed,
+            total_bytes=total_bytes,
+            total_response=total_response,
+        ),
+        None,
+    )

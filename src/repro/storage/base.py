@@ -25,6 +25,25 @@ CompletionCallback = Callable[["Completion"], None]
 
 
 @dataclass(frozen=True)
+class VectorService:
+    """A vectorized service plan for a run of back-to-back requests.
+
+    Produced by a device's ``service_times(sectors, nbytes, ops)``:
+    per-request service seconds and mean Watts computed with arithmetic
+    ordered exactly as the scalar ``_service`` loop, starting from the
+    device's current cursor state.  Computing the plan is pure; calling
+    ``apply_state`` commits the cursor/counter mutations (head position,
+    streaming cursors, seek / random-write counters) the scalar loop
+    would have made, leaving the device in the identical end state.
+    Consumed by the analytical replay kernel (:mod:`repro.sim.kernel`).
+    """
+
+    seconds: "object"  # np.ndarray, float64
+    watts: "object"  # np.ndarray, float64
+    apply_state: Callable[[], None]
+
+
+@dataclass(frozen=True)
 class Completion:
     """Result of one finished request."""
 

@@ -26,11 +26,14 @@ from __future__ import annotations
 import math
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..errors import StorageConfigError, StorageIOError
 from ..power.states import PowerState
 from ..rng import make_rng
-from ..trace.record import IOPackage
-from .base import QueuedDevice
+from ..trace.record import IOPackage, WRITE
+from ..units import SECTOR_BYTES
+from .base import QueuedDevice, VectorService
 from .specs import HDDSpec, SEAGATE_7200_12
 
 
@@ -141,6 +144,114 @@ class HardDiskDrive(QueuedDevice):
         self._last_end_sector = package.end_sector
         self._last_op = package.op
         return total, mean_watts
+
+    def service_times(self, sectors, nbytes, ops) -> VectorService:
+        """Vectorized mirror of :meth:`_service` for the analytical kernel.
+
+        Computes service seconds and mean Watts for serving the given
+        rows back-to-back in order, starting from the drive's current
+        head/streaming state.  Every expression is evaluated in the same
+        order as the scalar path, so results are bit-identical.  Pure:
+        call ``apply_state()`` on the returned plan to commit the head
+        cursor, streaming context, and ``seek_count``.
+        """
+        if not self.state.ready:
+            raise StorageIOError(
+                f"{self.name}: request while {self.state.value}; spin up first"
+            )
+        if self.rotational_jitter:
+            raise StorageIOError(
+                f"{self.name}: vectorized service requires deterministic "
+                f"rotational latency (rotational_jitter draws per request)"
+            )
+        spec = self.spec
+        sectors = np.asarray(sectors, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        ops = np.asarray(ops, dtype=np.int64)
+        n = sectors.shape[0]
+        if n == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return VectorService(empty, empty, lambda: None)
+        end_sectors = sectors + -(-nbytes // SECTOR_BYTES)
+        is_write = ops == WRITE
+
+        # Streaming: previous request's end sector (row 0 uses the
+        # drive's cursor; None means no streaming context yet).
+        prev_end = np.empty(n, dtype=np.int64)
+        prev_end[1:] = end_sectors[:-1]
+        prev_end[0] = (
+            self._last_end_sector if self._last_end_sector is not None else -1
+        )
+        sequential = sectors == prev_end
+        if self._last_end_sector is None:
+            sequential[0] = False
+
+        # Turnaround on op-type switches (paid even while streaming).
+        prev_op = np.empty(n, dtype=np.int64)
+        prev_op[1:] = ops[:-1]
+        prev_op[0] = self._last_op if self._last_op is not None else -1
+        switched = ops != prev_op
+        if self._last_op is None:
+            switched[0] = False
+        turnaround = np.where(
+            switched,
+            np.where(
+                is_write,
+                spec.read_to_write_turnaround,
+                spec.write_to_read_turnaround,
+            ),
+            0.0,
+        )
+
+        # Seek from the head position, which the scalar path always
+        # leaves at the previous request's end sector.
+        head = np.empty(n, dtype=np.int64)
+        head[1:] = end_sectors[:-1]
+        head[0] = self._head_sector
+        distance = np.abs(sectors - head)
+        cap = max(self.capacity_sectors, 1)
+        seek = np.where(
+            distance == 0,
+            0.0,
+            spec.settle_time + spec.seek_coefficient * np.sqrt(distance / cap),
+        )
+        rotation = np.full(n, spec.mean_rotational_latency)
+        if spec.write_cache:
+            seek = np.where(is_write, seek * spec.destage_seek_factor, seek)
+            rotation = np.where(
+                is_write, rotation * spec.destage_seek_factor, rotation
+            )
+        seek = np.where(sequential, 0.0, seek)
+        rotation = np.where(sequential, 0.0, rotation)
+        seeks = int(np.count_nonzero(seek > 0))
+
+        frac = np.minimum(
+            np.maximum(sectors / max(spec.capacity_sectors, 1), 0.0), 1.0
+        )
+        rate = spec.outer_rate - (spec.outer_rate - spec.inner_rate) * frac
+        transfer = nbytes / rate
+        total = spec.command_overhead + turnaround + seek + rotation + transfer
+
+        xfer_watts = np.where(is_write, spec.write_watts, spec.read_watts)
+        energy = (
+            (spec.command_overhead + turnaround + rotation)
+            * spec.rotate_wait_watts
+            + seek * spec.seek_watts
+            + transfer * xfer_watts
+        )
+        mean_watts = np.full(n, spec.idle_watts)
+        np.divide(energy, total, out=mean_watts, where=total > 0)
+
+        last_end = int(end_sectors[-1])
+        last_op = int(ops[-1])
+
+        def apply_state() -> None:
+            self._head_sector = last_end
+            self._last_end_sector = last_end
+            self._last_op = last_op
+            self.seek_count += seeks
+
+        return VectorService(total, mean_watts, apply_state)
 
     # -- Spin-down support (energy-saving extensions) ---------------------
 

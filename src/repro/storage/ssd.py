@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from ..trace.record import IOPackage
-from .base import QueuedDevice
+import numpy as np
+
+from ..trace.record import IOPackage, WRITE
+from ..units import SECTOR_BYTES
+from .base import QueuedDevice, VectorService
 from .specs import SSDSpec, MEMORIGHT_SLC_32GB
 
 
@@ -73,3 +76,62 @@ class SolidStateDrive(QueuedDevice):
         # Non-transfer phases draw close to active power on an SSD (the
         # controller is the consumer); bill the whole service at op power.
         return total, watts
+
+    def service_times(self, sectors, nbytes, ops) -> VectorService:
+        """Vectorized mirror of :meth:`_service` for the analytical kernel.
+
+        Same contract as :meth:`HardDiskDrive.service_times
+        <repro.storage.hdd.HardDiskDrive.service_times>`: pure compute
+        with scalar-ordered arithmetic (bit-identical results), and an
+        ``apply_state`` callback committing the FTL streaming cursors
+        and ``random_write_count``.
+        """
+        spec = self.spec
+        sectors = np.asarray(sectors, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        ops = np.asarray(ops, dtype=np.int64)
+        n = sectors.shape[0]
+        if n == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return VectorService(empty, empty, lambda: None)
+        end_sectors = sectors + -(-nbytes // SECTOR_BYTES)
+        is_write = ops == WRITE
+
+        latency = np.where(is_write, spec.write_latency, spec.read_latency)
+        rate = np.where(is_write, spec.write_rate, spec.read_rate)
+        watts = np.where(is_write, spec.write_watts, spec.read_watts)
+        overhead = np.zeros(n, dtype=np.float64)
+
+        # Write sequentiality is judged against the *previous write*
+        # (reads interleave freely through the FTL), so shift within the
+        # write subsequence only.
+        w_idx = np.flatnonzero(is_write)
+        rand_writes = 0
+        if w_idx.size:
+            w_prev = np.empty(w_idx.size, dtype=np.int64)
+            w_prev[1:] = end_sectors[w_idx[:-1]]
+            w_prev[0] = (
+                self._last_write_end if self._last_write_end is not None else -1
+            )
+            w_seq = sectors[w_idx] == w_prev
+            if self._last_write_end is None:
+                w_seq[0] = False
+            overhead[w_idx[~w_seq]] = spec.random_write_overhead
+            rand_writes = int(np.count_nonzero(~w_seq))
+
+        transfer = nbytes / rate
+        total = spec.command_overhead + latency + overhead + transfer
+        mean_watts = watts + np.zeros(n, dtype=np.float64)
+
+        r_idx = np.flatnonzero(~is_write)
+        last_read_end = int(end_sectors[r_idx[-1]]) if r_idx.size else None
+        last_write_end = int(end_sectors[w_idx[-1]]) if w_idx.size else None
+
+        def apply_state() -> None:
+            if last_read_end is not None:
+                self._last_read_end = last_read_end
+            if last_write_end is not None:
+                self._last_write_end = last_write_end
+            self.random_write_count += rand_writes
+
+        return VectorService(total, mean_watts, apply_state)

@@ -90,6 +90,74 @@ class TraceName:
         )
 
 
+#: Members every packed sidecar must carry (checked against the zip
+#: directory before handing out a lazy trace — reading the directory
+#: touches no column data).
+_SIDECAR_KEYS = frozenset({"timestamps", "offsets", "sector", "nbytes", "op"})
+
+
+class _LazyPackedTrace(PackedTrace):
+    """A :class:`PackedTrace` whose columns load on first access.
+
+    ``load_packed`` returns this over an open ``.npz`` sidecar handle:
+    the zip directory has been read (cheap), the column payloads have
+    not.  Because :class:`PackedTrace` uses ``__slots__``, leaving the
+    column slots unset makes the first ``timestamps`` / ``offsets`` /
+    ``packages`` read raise into :meth:`__getattr__`, which materialises
+    all three and closes the handle — every later access is a plain slot
+    load, indistinguishable from an eager trace.  A sweep that looks up
+    many repository traces but replays few never parses the unused ones.
+
+    A sidecar that turns out to be truncated or corrupt mid-read falls
+    back to re-parsing the authoritative ``.replay`` file.
+    """
+
+    __slots__ = ("_npz", "_source")
+
+    def __init__(self, npz, source: Path, label: str) -> None:
+        # Deliberately no super().__init__: the column slots stay unset.
+        self._npz = npz
+        self._source = source
+        self.label = label
+
+    def _materialize(self) -> None:
+        npz, self._npz = self._npz, None
+        try:
+            try:
+                sector = npz["sector"]
+                packages = np.empty(len(sector), dtype=PACKED_PACKAGE_DTYPE)
+                packages["sector"] = sector
+                packages["nbytes"] = npz["nbytes"]
+                packages["op"] = npz["op"]
+                timestamps = np.asarray(npz["timestamps"], dtype=np.float64)
+                offsets = np.asarray(npz["offsets"], dtype=np.int64)
+            except (OSError, ValueError, KeyError):
+                rebuilt = read_trace_packed(self._source)
+                timestamps = rebuilt.timestamps
+                offsets = rebuilt.offsets
+                packages = rebuilt.packages
+        finally:
+            try:
+                npz.close()
+            except Exception:
+                pass
+        self.timestamps = timestamps
+        self.offsets = offsets
+        self.packages = packages
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the columns have been read from disk yet."""
+        return self._npz is None
+
+    def __getattr__(self, name: str):
+        if name in ("timestamps", "offsets", "packages"):
+            if self._npz is not None:
+                self._materialize()
+                return getattr(self, name)
+        raise AttributeError(name)
+
+
 class TraceRepository:
     """A directory of named ``.replay`` traces.
 
@@ -144,6 +212,13 @@ class TraceRepository:
         repository skip even the (already cheap) binary parse.  The
         sidecar is rebuilt whenever it is missing or older than its
         trace file.
+
+        A cache hit is *lazy*: the sidecar is opened (``mmap_mode="r"``,
+        which on an ``.npz`` archive means only the zip directory is
+        read) and the returned trace defers column materialisation to
+        the first ``timestamps`` / ``offsets`` / ``packages`` access —
+        loading a repository of traces to pick one costs a stat and a
+        directory read per trace, not a full parse.
         """
         path = self.path_for(name)
         if not path.exists():
@@ -151,23 +226,14 @@ class TraceRepository:
         cache = self.packed_cache_path(name)
         if cache.exists() and cache.stat().st_mtime >= path.stat().st_mtime:
             try:
-                with np.load(cache, allow_pickle=False) as data:
-                    packages = np.empty(
-                        len(data["sector"]), dtype=PACKED_PACKAGE_DTYPE
-                    )
-                    packages["sector"] = data["sector"]
-                    packages["nbytes"] = data["nbytes"]
-                    packages["op"] = data["op"]
-                    return PackedTrace(
-                        data["timestamps"],
-                        data["offsets"],
-                        packages,
-                        label=path.stem,
-                        validate=False,
-                    )
-            except (OSError, ValueError, KeyError):
+                data = np.load(cache, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError):
                 # Corrupt or foreign sidecar: fall through and rebuild.
                 pass
+            else:
+                if _SIDECAR_KEYS.issubset(data.files):
+                    return _LazyPackedTrace(data, path, label=path.stem)
+                data.close()
         packed = read_trace_packed(path)
         tmp = cache.with_suffix(".tmp.npz")
         np.savez(

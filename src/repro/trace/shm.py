@@ -1,0 +1,176 @@
+"""Zero-copy trace sharing across process boundaries.
+
+A parallel sweep used to ship its trace to every worker as pickled
+``.replay`` bytes — for a multi-hundred-MB packed trace that is one
+serialisation plus ``n_workers`` copies of the payload.  This module
+publishes the :class:`~repro.trace.packed.PackedTrace` columns *once*
+into POSIX shared memory; workers receive only a tiny descriptor —
+``(segment name, dtype descr, shape)`` per column — and map the same
+physical pages read-only.  No trace byte ever crosses a pipe.
+
+Protocol
+--------
+
+1. The parent wraps its trace in a :class:`SharedTracePublication`
+   (typically via the context manager): one ``multiprocessing.
+   shared_memory.SharedMemory`` block per column, columns copied in
+   once.
+2. ``publication.descriptor`` — a small picklable dict — travels to
+   workers through the pool initializer (see
+   :func:`repro.workload.parallel.run_sweep`).
+3. Workers call :func:`attach_packed` to map the segments and rebuild a
+   ``PackedTrace`` whose arrays alias the shared pages (``validate=
+   False``: the parent already validated the real trace).
+4. The parent closes *and unlinks* the segments when the sweep ends;
+   workers merely close their mappings.
+
+The CPython ``resource_tracker`` would normally unlink an attached
+segment when the *first* worker exits (fixed in 3.13 via
+``track=False``); :func:`_attach_block` suppresses tracker registration
+while attaching on older interpreters so the parent remains the sole
+owner.
+"""
+
+from __future__ import annotations
+
+import secrets
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from .packed import PackedTrace
+
+#: Columns published per trace, in descriptor order.
+_COLUMNS: Tuple[str, ...] = ("timestamps", "offsets", "packages")
+
+
+def _dtype_descr(dtype: np.dtype) -> Any:
+    """A picklable, reconstructible description of ``dtype``."""
+    return np.lib.format.dtype_to_descr(dtype)
+
+
+def _dtype_from_descr(descr: Any) -> np.dtype:
+    return np.lib.format.descr_to_dtype(descr)
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting ownership.
+
+    On Python >= 3.13 ``track=False`` skips the resource tracker; on
+    older interpreters registration is suppressed for the duration of
+    the attach, so a worker exit cannot unlink memory the parent still
+    owns (and the tracker never sees a segment it would double-free).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _register_except_shm(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedTracePublication:
+    """One packed trace published into shared memory (parent side).
+
+    Use as a context manager: the segments are unlinked on exit, after
+    which worker descriptors are dead.
+    """
+
+    def __init__(self, trace: PackedTrace) -> None:
+        if not isinstance(trace, PackedTrace):
+            raise TypeError(
+                f"only PackedTrace can be published, got {type(trace).__name__}"
+            )
+        self.label = trace.label
+        self._blocks: List[shared_memory.SharedMemory] = []
+        self._columns: Dict[str, Dict[str, Any]] = {}
+        token = secrets.token_hex(4)
+        try:
+            for i, column in enumerate(_COLUMNS):
+                arr = np.ascontiguousarray(getattr(trace, column))
+                block = shared_memory.SharedMemory(
+                    create=True,
+                    size=max(int(arr.nbytes), 1),
+                    name=f"tracer-{token}-{i}",
+                )
+                self._blocks.append(block)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=block.buf)
+                view[...] = arr
+                self._columns[column] = {
+                    "name": block.name,
+                    "dtype": _dtype_descr(arr.dtype),
+                    "shape": tuple(int(s) for s in arr.shape),
+                }
+        except BaseException:
+            self.close(unlink=True)
+            raise
+
+    @property
+    def descriptor(self) -> Dict[str, Any]:
+        """The picklable handle workers attach with — names, dtypes,
+        shapes, and the label; never the column data."""
+        return {"label": self.label, "columns": dict(self._columns)}
+
+    def close(self, unlink: bool = True) -> None:
+        """Release the parent's mapping and (by default) the segments."""
+        for block in self._blocks:
+            try:
+                block.close()
+                if unlink:
+                    block.unlink()
+            except FileNotFoundError:
+                pass
+        self._blocks = []
+
+    def __enter__(self) -> "SharedTracePublication":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close(unlink=True)
+
+
+def attach_packed(
+    descriptor: Dict[str, Any],
+) -> Tuple[PackedTrace, List[shared_memory.SharedMemory]]:
+    """Rebuild a :class:`PackedTrace` over shared segments (worker side).
+
+    Returns the trace and the attached blocks; the caller must keep the
+    blocks referenced for as long as the trace is used (the arrays alias
+    their pages) and ``close()`` them when done.
+    """
+    blocks: List[shared_memory.SharedMemory] = []
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        for column in _COLUMNS:
+            spec = descriptor["columns"][column]
+            block = _attach_block(spec["name"])
+            blocks.append(block)
+            arrays[column] = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=_dtype_from_descr(spec["dtype"]),
+                buffer=block.buf,
+            )
+    except BaseException:
+        for block in blocks:
+            block.close()
+        raise
+    trace = PackedTrace(
+        arrays["timestamps"],
+        arrays["offsets"],
+        arrays["packages"],
+        label=descriptor.get("label", ""),
+        validate=False,
+    )
+    return trace, blocks

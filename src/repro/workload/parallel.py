@@ -30,6 +30,36 @@ DeviceFactory = Callable[[], StorageDevice]
 #: (module-level function), like every process-pool entry point here.
 SweepWorker = Callable[[Any, int], Any]
 
+#: The trace published for the current sweep, visible to workers via
+#: :func:`get_shared_trace`.  In a pool worker it is attached from
+#: shared memory by the initializer; in serial mode the parent's own
+#: object is installed directly.
+_SHARED_TRACE = None
+#: Attached shared-memory blocks backing ``_SHARED_TRACE`` in a worker
+#: (kept referenced so the mapped pages outlive the arrays).
+_SHARED_BLOCKS: List[Any] = []
+
+
+def get_shared_trace():
+    """The sweep's published trace (inside a worker or a serial run).
+
+    Raises when the current sweep published nothing — workers that need
+    a trace must be launched through ``run_sweep(..., shared_trace=...)``.
+    """
+    if _SHARED_TRACE is None:
+        raise RuntimeError(
+            "no shared trace published; pass shared_trace= to run_sweep"
+        )
+    return _SHARED_TRACE
+
+
+def _attach_shared(descriptor: dict) -> None:
+    """Pool initializer: map the published columns into this worker."""
+    global _SHARED_TRACE, _SHARED_BLOCKS
+    from ..trace.shm import attach_packed
+
+    _SHARED_TRACE, _SHARED_BLOCKS = attach_packed(descriptor)
+
 
 def run_sweep(
     worker: SweepWorker,
@@ -39,6 +69,7 @@ def run_sweep(
     labels: Optional[Sequence[str]] = None,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    shared_trace=None,
 ) -> List[Any]:
     """Fan ``worker(point, seed)`` out across a process pool.
 
@@ -50,10 +81,18 @@ def run_sweep(
     come back in point order.
 
     ``worker`` must be a module-level function; point payloads cross the
-    process boundary pickled, so prefer compact encodings (e.g. the
-    binary trace bytes from :func:`repro.trace.blktrace.dumps`) for
-    large inputs.
+    process boundary pickled, so keep them small.
+
+    ``shared_trace`` (a :class:`~repro.trace.packed.PackedTrace`) is the
+    zero-copy path for the common one-trace-many-points shape: the
+    columns are published once into POSIX shared memory
+    (:mod:`repro.trace.shm`) and each pool worker maps the same pages —
+    only a ``(name, dtype, shape)`` descriptor crosses the process
+    boundary, never a pickled column.  Workers (and serial runs, which
+    share the parent's object directly) read it back with
+    :func:`get_shared_trace`.
     """
+    global _SHARED_TRACE
     points = list(points)
     if labels is not None:
         label_list = [str(lbl) for lbl in labels]
@@ -67,12 +106,32 @@ def run_sweep(
         derive_seed(base_seed, "sweep", label) for label in label_list
     ]
     if not parallel:
-        return [worker(p, s) for p, s in zip(points, seeds)]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = [
-            pool.submit(worker, p, s) for p, s in zip(points, seeds)
-        ]
-        return [f.result() for f in futures]
+        if shared_trace is None:
+            return [worker(p, s) for p, s in zip(points, seeds)]
+        prior = _SHARED_TRACE
+        _SHARED_TRACE = shared_trace
+        try:
+            return [worker(p, s) for p, s in zip(points, seeds)]
+        finally:
+            _SHARED_TRACE = prior
+    if shared_trace is None:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(worker, p, s) for p, s in zip(points, seeds)
+            ]
+            return [f.result() for f in futures]
+    from ..trace.shm import SharedTracePublication
+
+    with SharedTracePublication(shared_trace) as publication:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_attach_shared,
+            initargs=(publication.descriptor,),
+        ) as pool:
+            futures = [
+                pool.submit(worker, p, s) for p, s in zip(points, seeds)
+            ]
+            return [f.result() for f in futures]
 
 
 def _collect_cell(

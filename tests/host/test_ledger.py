@@ -136,6 +136,33 @@ class TestLedgerStore:
             assert diff["metrics"]["iops"]["delta"] == pytest.approx(10.0)
             assert diff["metrics"]["iops"]["pct"] == pytest.approx(10.0)
 
+    def test_diff_compares_engine_provenance_by_equality(self):
+        """`tracer runs diff` across engines: equality, not delta."""
+        with RunLedger() as ledger:
+            ledger.append(build_record(
+                {**result_dict(), "metadata": {"engine": "event"}},
+                origin="local", mode=MODE, replay=REPLAY, run_id="ev",
+                created=1.0,
+            ))
+            ledger.append(build_record(
+                {**result_dict(), "metadata": {"engine": "kernel"}},
+                origin="local", mode=MODE, replay=REPLAY, run_id="kn",
+                created=2.0,
+            ))
+            diff = ledger.diff("ev", "kn")
+            row = diff["metrics"]["engine"]
+            assert row == {"a": "event", "b": "kernel", "equal": False}
+            # Numeric metrics still diff numerically alongside.
+            assert diff["metrics"]["iops"]["delta"] == pytest.approx(0.0)
+            assert ledger.diff("ev", "ev")["metrics"]["engine"]["equal"]
+
+    def test_summary_carries_engine_when_present(self):
+        summary = summary_from_result(
+            {**result_dict(), "metadata": {"engine": "kernel"}}
+        )
+        assert summary["engine"] == "kernel"
+        assert set(summary) == set(SUMMARY_KEYS) | {"engine"}
+
     def test_persists_to_disk(self, tmp_path):
         path = tmp_path / "ledger.sqlite"
         with RunLedger(path) as ledger:

@@ -83,10 +83,17 @@ def canon_result(result) -> str:
 
     The telemetry snapshot labels its counters by pipeline path
     (``path=object`` / ``path=packed``), which is *supposed* to differ
-    between the two runs; the measured physics must not.
+    between the two runs; the measured physics must not.  The engine
+    provenance keys are likewise excluded: the object path can never
+    take the analytical kernel while the packed path may, and *that*
+    equivalence has its own oracle below
+    (:func:`test_kernel_vs_event_oracle`).
     """
     d = result.to_dict()
-    d.get("metadata", {}).pop("telemetry", None)
+    md = d.get("metadata", {})
+    md.pop("telemetry", None)
+    md.pop("engine", None)
+    md.pop("engine_fallback", None)
     return json.dumps(d, sort_keys=True)
 
 
@@ -168,3 +175,115 @@ def test_oracle_holds_with_telemetry_enabled(op):
     with enabled_telemetry():
         assert OPERATIONS[op](trace, SEEDS[0]) == baseline
         assert OPERATIONS[op](pack(trace), SEEDS[0]) == baseline
+
+
+# ---------------------------------------------------------------------------
+# Kernel-vs-event oracle: the analytical replay kernel must reproduce the
+# event engine bit for bit on every qualifying cell, and ``auto`` must
+# fall back (with a recorded reason) on every non-qualifying one.
+# ---------------------------------------------------------------------------
+
+
+def _force_ops(trace: Trace, op: int) -> Trace:
+    """Copy of ``trace`` with every package's op forced to ``op``."""
+    bunches = [
+        Bunch(
+            b.timestamp,
+            [IOPackage(p.sector, p.nbytes, op) for p in b.packages],
+        )
+        for b in trace.bunches
+    ]
+    return Trace(bunches, label=trace.label)
+
+
+def _tiny_hdd():
+    import dataclasses
+
+    from repro.storage.hdd import HardDiskDrive
+    from repro.storage.specs import SEAGATE_7200_12
+
+    spec = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024)
+    return HardDiskDrive("oracle-hdd", spec)
+
+
+def _tiny_ssd():
+    from repro.storage.ssd import SolidStateDrive
+
+    return SolidStateDrive("oracle-ssd")
+
+
+def _tiny_raid(level_name: str):
+    import dataclasses
+
+    from repro.storage.array import DiskArray
+    from repro.storage.hdd import HardDiskDrive
+    from repro.storage.raid import RaidLevel
+    from repro.storage.specs import SEAGATE_7200_12
+
+    spec = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024)
+    disks = [HardDiskDrive(f"o{i}", spec) for i in range(4)]
+    return DiskArray(disks, RaidLevel[level_name], name=f"oracle-{level_name}")
+
+
+#: device key -> (factory, op override or None, auto must take the kernel)
+KERNEL_CELLS = {
+    "hdd": (_tiny_hdd, None, True),
+    "ssd": (_tiny_ssd, None, True),
+    "raid0": (lambda: _tiny_raid("RAID0"), None, True),
+    "raid5_reads": (lambda: _tiny_raid("RAID5"), READ, True),
+    "raid5_writes": (lambda: _tiny_raid("RAID5"), WRITE, False),
+}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("cell", sorted(KERNEL_CELLS))
+def test_kernel_vs_event_oracle(cell, seed):
+    """Filter × timescale × device cells: kernel ≡ event, bit for bit."""
+    from repro.config import ReplayConfig
+    from repro.telemetry.stream import frames_to_jsonl
+
+    from repro.telemetry import get_registry
+
+    factory, op_override, expect_kernel = KERNEL_CELLS[cell]
+    # Instrumentation counts events, so a process-wide TRACER_TELEMETRY=1
+    # run legitimately keeps every cell on the event engine; the oracle
+    # then still proves auto == event with the fallback recorded.
+    expect_kernel = expect_kernel and not get_registry().enabled
+    trace = random_trace(seed)
+    if op_override is not None:
+        trace = _force_ops(trace, op_override)
+    packed = pack(trace)
+    # Vary the load-control and time-scale dimensions with the seed so
+    # the engine selector is exercised across filter × timescale cells.
+    load = 0.5 if seed % 2 else 1.0
+    config = ReplayConfig(
+        sampling_cycle=0.25, time_scale=2.0 if seed % 3 == 0 else 1.0
+    )
+    kwargs = dict(config=config, stream_interval=0.5)
+    event = replay_trace(
+        packed, factory(), load, engine="event", **kwargs
+    )
+    auto = replay_trace(packed, factory(), load, engine="auto", **kwargs)
+    assert event.metadata["engine"] == "event"
+    if expect_kernel:
+        assert auto.metadata["engine"] == "kernel", auto.metadata
+        assert canon_result(auto) == canon_result(event)
+        # Interval frames carry the latency histograms: byte-identical.
+        assert frames_to_jsonl(
+            auto.metadata["interval_frames"]
+        ) == frames_to_jsonl(event.metadata["interval_frames"])
+    else:
+        assert auto.metadata["engine"] == "event", auto.metadata
+        assert "engine_fallback" in auto.metadata
+        assert canon_result(auto) == canon_result(event)
+
+
+def test_engine_kernel_refuses_unqualified():
+    """``engine='kernel'`` on a non-qualifying run raises, naming why."""
+    from repro.errors import ReplayError
+
+    trace = _force_ops(random_trace(SEEDS[0]), WRITE)
+    with pytest.raises(ReplayError, match="does not qualify"):
+        replay_trace(
+            pack(trace), _tiny_raid("RAID5"), 1.0, engine="kernel"
+        )

@@ -1,0 +1,241 @@
+"""Analytical replay kernel: solvers, qualification, end-state parity.
+
+The differential oracle (`tests/property/test_differential_oracle.py`)
+proves result-level bit-identity against the event engine; these tests
+pin the kernel's internals — the exact Lindley / link-chain solvers
+against their scalar references, the fallback reasons `auto` records,
+and the committed *device* end state (timelines, cursors, counters),
+which the result JSON alone cannot see.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.replay.session import replay_trace
+from repro.sim.kernel import (
+    _chain_scalar,
+    _lindley_scalar,
+    _solve_lindley,
+    _solve_link_chain,
+)
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+from repro.storage.specs import SEAGATE_7200_12
+from repro.storage.ssd import SolidStateDrive
+from repro.trace.packed import PACKED_PACKAGE_DTYPE, PackedTrace, pack
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+_NEG_INF = float("-inf")
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Force the construction-time telemetry gate off for this suite.
+
+    The kernel defers to the event engine whenever instrumentation is
+    on (instrumentation counts events), so forced ``engine="kernel"``
+    runs here must build their sessions with the registry disabled even
+    under a process-wide ``TRACER_TELEMETRY=1`` test run.
+    """
+    from repro.telemetry import get_registry, set_enabled
+
+    prior = get_registry().enabled
+    set_enabled(False)
+    yield
+    set_enabled(prior)
+
+
+# ---------------------------------------------------------------------------
+# Exact solvers vs their scalar references
+
+
+def _regimes(rng, n):
+    """Arrival patterns spanning idle, saturated, and bursty service."""
+    submit = np.sort(rng.random(n) * 10.0)
+    yield submit, rng.random(n) * 0.01          # mostly idle
+    yield submit, rng.random(n) * 10.0          # fully busy
+    yield submit, rng.random(n) * 0.5           # mixed
+    burst = np.repeat(np.arange(n // 4 + 1) * 3.0, 4)[:n]
+    yield burst, rng.random(n) * 0.4            # tied submits, idle gaps
+
+
+class TestLindleySolver:
+    @pytest.mark.parametrize("seed", [1, 7, 19, 83])
+    @pytest.mark.parametrize("prev", [_NEG_INF, 2.5])
+    def test_bit_identical_to_scalar_reference(self, seed, prev):
+        rng = np.random.default_rng(seed)
+        for submit, sv in _regimes(rng, 257):
+            expect = _lindley_scalar(submit, sv, prev)
+            got = _solve_lindley(submit, sv, prev)
+            assert np.array_equal(got, expect)
+
+    def test_empty_and_singleton(self):
+        empty = np.empty(0, dtype=np.float64)
+        assert _solve_lindley(empty, empty).size == 0
+        one_t = np.array([3.0])
+        one_s = np.array([0.25])
+        assert np.array_equal(
+            _solve_lindley(one_t, one_s, 5.0),
+            _lindley_scalar(one_t, one_s, 5.0),
+        )
+
+
+class TestLinkChainSolver:
+    @pytest.mark.parametrize("seed", [2, 11, 31])
+    @pytest.mark.parametrize("prev", [_NEG_INF, 1.0])
+    def test_bit_identical_to_scalar_reference(self, seed, prev):
+        rng = np.random.default_rng(seed)
+        c = 5e-5
+        for t, p in _regimes(rng, 193):
+            ed, el = _chain_scalar(t, c, p * 1e-3, prev)
+            gd, gl = _solve_link_chain(t, c, p * 1e-3, prev)
+            assert np.array_equal(gd, ed)
+            assert np.array_equal(gl, el)
+
+
+# ---------------------------------------------------------------------------
+# Qualification and fallback reasons
+
+
+def _grid_trace(n=24, op=READ, fan=2):
+    bunches = [
+        Bunch(
+            i / 32,
+            [IOPackage(64 * (i * fan + j), 4096, op) for j in range(fan)],
+        )
+        for i in range(n)
+    ]
+    return Trace(bunches, label="kernel-unit")
+
+
+def _hdd():
+    spec = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024)
+    return HardDiskDrive("k-hdd", spec)
+
+
+def _ssd():
+    return SolidStateDrive("k-ssd")
+
+
+def _raid5():
+    spec = dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024)
+    return DiskArray(
+        [HardDiskDrive(f"k{i}", spec) for i in range(4)],
+        RaidLevel.RAID5,
+        name="k-raid5",
+    )
+
+
+class TestFallbackReasons:
+    def test_object_trace_stays_event_driven(self):
+        result = replay_trace(_grid_trace(), _hdd(), 1.0, engine="auto")
+        assert result.metadata["engine"] == "event"
+        assert "engine_fallback" in result.metadata
+
+    def test_telemetry_blocks_the_kernel(self):
+        from repro.telemetry import enabled_telemetry
+
+        with enabled_telemetry():
+            result = replay_trace(
+                pack(_grid_trace()), _hdd(), 1.0, engine="auto"
+            )
+        assert result.metadata["engine"] == "event"
+        assert "telemetry" in result.metadata["engine_fallback"]
+
+    def test_faults_block_the_kernel(self):
+        from repro.errors import ReplayError
+        from repro.faults.schedule import FaultSchedule
+
+        schedule = FaultSchedule.generate(
+            3, duration=1.0, n_members=4, sector_error_count=1
+        )
+        with pytest.raises(ReplayError, match="does not qualify"):
+            replay_trace(
+                pack(_grid_trace()), _raid5(), 1.0,
+                engine="kernel", faults=schedule,
+            )
+
+    def test_raid5_writes_fall_back(self):
+        result = replay_trace(
+            pack(_grid_trace(op=WRITE)), _raid5(), 1.0, engine="auto"
+        )
+        assert result.metadata["engine"] == "event"
+
+    def test_unsorted_timestamps_fall_back(self):
+        packed = pack(_grid_trace())
+        ts = packed.timestamps.copy()
+        ts[2], ts[3] = ts[3], ts[2]
+        shuffled = PackedTrace(
+            ts, packed.offsets, packed.packages, label="x", validate=False
+        )
+        result = replay_trace(shuffled, _hdd(), 1.0, engine="auto")
+        assert result.metadata["engine"] == "event"
+
+    def test_kernel_runs_qualifying_cells(self):
+        for factory in (_hdd, _ssd, _raid5):
+            result = replay_trace(
+                pack(_grid_trace()), factory(), 1.0, engine="kernel"
+            )
+            assert result.metadata["engine"] == "kernel"
+            assert result.completed == 48
+
+    def test_engine_validated_at_config(self):
+        from repro.config import ReplayConfig
+
+        with pytest.raises(Exception):
+            ReplayConfig(engine="warp")
+
+
+# ---------------------------------------------------------------------------
+# Committed device end state: kernel ≡ event beyond the result JSON
+
+
+def _queued_state(dev):
+    state = {
+        "completed": dev.completed_count,
+        "high_water": dev.queued_high_water,
+        "pushed": dev._queue.pushed_total,
+        "popped": dev._queue.popped_total,
+        "timeline": (
+            list(dev.timeline._starts),
+            list(dev.timeline._ends),
+            list(dev.timeline._watts),
+        ),
+    }
+    if isinstance(dev, HardDiskDrive):
+        state["cursors"] = (
+            dev._head_sector, dev._last_end_sector, dev._last_op,
+            dev.seek_count,
+        )
+    else:
+        state["cursors"] = (
+            dev._last_read_end, dev._last_write_end, dev.random_write_count,
+        )
+    return state
+
+
+def _end_state(dev):
+    if isinstance(dev, DiskArray):
+        return {
+            "completed": dev.completed_count,
+            "subios": dev.subio_count,
+            "link_busy": dev._link_busy_until,
+            "members": [_queued_state(m) for m in dev.disks],
+        }
+    return _queued_state(dev)
+
+
+class TestDeviceEndStateParity:
+    @pytest.mark.parametrize("factory", [_hdd, _ssd, _raid5])
+    def test_end_state_bit_identical(self, factory):
+        packed = pack(_grid_trace(n=40, fan=3))
+
+        def run(engine):
+            dev = factory()
+            replay_trace(packed, dev, 1.0, engine=engine)
+            return _end_state(dev)
+
+        assert run("kernel") == run("event")

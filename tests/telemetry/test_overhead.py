@@ -117,7 +117,12 @@ class TestGateIsPerConstruction:
         def run():
             result = replay_trace(small_trace, build_hdd_raid5(4), 1.0)
             d = result.to_dict()
-            d.get("metadata", {}).pop("telemetry", None)
+            md = d.get("metadata", {})
+            md.pop("telemetry", None)
+            # Engine provenance differs by design: the analytical kernel
+            # defers to the event engine while instrumentation is on.
+            md.pop("engine", None)
+            md.pop("engine_fallback", None)
             return json.dumps(d, sort_keys=True)
 
         prior = get_registry().enabled

@@ -288,3 +288,70 @@ class TestRepositorySidecar:
         repo.store(name, small_trace)
         repo.load_packed(name)
         assert list(repo.names()) == [name]
+
+    def test_cache_hit_is_lazy_until_first_column_access(
+        self, repo, small_trace
+    ):
+        from repro.trace.repository import TraceName, _LazyPackedTrace
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        eager = repo.load_packed(name)  # builds the sidecar
+        lazy = repo.load_packed(name)
+        assert isinstance(lazy, _LazyPackedTrace)
+        assert not lazy.materialized
+        assert lazy.label == eager.label
+        # First column access materialises everything at once.
+        assert lazy.timestamps is not None
+        assert lazy.materialized
+        assert lazy == eager
+        assert lazy.to_trace() == small_trace
+
+    def test_sidecar_missing_keys_rebuilt_eagerly(self, repo, small_trace):
+        import os
+        import time
+
+        import numpy as np
+
+        from repro.trace.repository import TraceName, _LazyPackedTrace
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        cache = repo.packed_cache_path(name)
+        np.savez(cache, wrong=np.arange(3))
+        os.utime(cache, (time.time() + 10, time.time() + 10))
+        loaded = repo.load_packed(name)
+        assert not isinstance(loaded, _LazyPackedTrace)
+        assert loaded.to_trace() == small_trace
+
+    def test_damaged_sidecar_columns_fall_back_to_replay_file(
+        self, repo, small_trace
+    ):
+        """Corruption that only surfaces at materialisation time still
+        resolves against the authoritative ``.replay`` file."""
+        import os
+        import time
+
+        import numpy as np
+
+        from repro.trace.repository import TraceName, _LazyPackedTrace
+
+        name = TraceName("hdd", 4096, 0.5, 0.0)
+        repo.store(name, small_trace)
+        good = repo.load_packed(name)
+        cache = repo.packed_cache_path(name)
+        # Right keys, inconsistent column lengths: the zip directory
+        # looks fine, the payload does not.
+        np.savez(
+            cache,
+            timestamps=np.zeros(2),
+            offsets=np.array([0, 1, 2]),
+            sector=np.zeros(2, dtype=np.int64),
+            nbytes=np.zeros(5, dtype=np.int64),
+            op=np.zeros(2, dtype=np.int8),
+        )
+        os.utime(cache, (time.time() + 10, time.time() + 10))
+        lazy = repo.load_packed(name)
+        assert isinstance(lazy, _LazyPackedTrace)
+        assert lazy.to_trace() == small_trace
+        assert lazy == good

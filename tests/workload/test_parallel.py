@@ -110,3 +110,129 @@ class TestRunSweep:
 
     def test_empty_sweep(self):
         assert run_sweep(echo_worker, []) == []
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy shared-memory trace publication
+
+
+def _shm_trace():
+    from repro.trace.packed import pack
+    from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+
+    bunches = [
+        Bunch(
+            i / 64,
+            [
+                IOPackage(1024 * i + j, 4096, READ if j % 2 else WRITE)
+                for j in range(3)
+            ],
+        )
+        for i in range(16)
+    ]
+    return pack(Trace(bunches, label="shm-test"))
+
+
+def shm_replay_worker(point, seed):
+    import json
+
+    from repro.replay.session import replay_trace
+    from repro.workload.parallel import get_shared_trace
+
+    _device, load = point
+    result = replay_trace(get_shared_trace(), build_hdd_raid5(4), load)
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def shm_hash_worker(point, seed):
+    import hashlib
+
+    from repro.workload.parallel import get_shared_trace
+
+    trace = get_shared_trace()
+    h = hashlib.sha256()
+    for col in (trace.timestamps, trace.offsets, trace.packages):
+        h.update(col.tobytes())
+    return h.hexdigest()
+
+
+class TestSharedMemorySweep:
+    POINTS = [("hdd", 0.5), ("hdd", 1.0)]
+
+    def test_parallel_byte_identical_to_serial(self):
+        trace = _shm_trace()
+        parallel = run_sweep(
+            shm_replay_worker, self.POINTS, max_workers=2,
+            shared_trace=trace,
+        )
+        serial = run_sweep(
+            shm_replay_worker, self.POINTS, parallel=False,
+            shared_trace=trace,
+        )
+        assert parallel == serial
+
+    def test_workers_see_the_exact_column_bytes(self):
+        import hashlib
+
+        trace = _shm_trace()
+        h = hashlib.sha256()
+        for col in (trace.timestamps, trace.offsets, trace.packages):
+            h.update(col.tobytes())
+        hashes = run_sweep(
+            shm_hash_worker, self.POINTS, max_workers=2,
+            shared_trace=trace,
+        )
+        assert hashes == [h.hexdigest()] * len(self.POINTS)
+
+    def test_trace_columns_never_pickled(self, monkeypatch):
+        """Acceptance gate: the zero-copy path must not serialise the
+        trace.  Pickling is booby-trapped in the parent; forked workers
+        inherit the trap, so any column crossing a pipe would raise."""
+        import pickle
+
+        from repro.trace.packed import PackedTrace
+
+        def _no_pickle(self, *args, **kwargs):
+            raise AssertionError("PackedTrace must not be pickled")
+
+        monkeypatch.setattr(PackedTrace, "__reduce_ex__", _no_pickle)
+        trace = _shm_trace()
+        with pytest.raises(AssertionError):
+            pickle.dumps(trace)  # the trap is armed
+        results = run_sweep(
+            shm_replay_worker, self.POINTS, max_workers=2,
+            shared_trace=trace,
+        )
+        assert len(results) == len(self.POINTS)
+
+    def test_get_shared_trace_requires_publication(self):
+        from repro.workload.parallel import get_shared_trace
+
+        with pytest.raises(RuntimeError, match="shared_trace"):
+            get_shared_trace()
+
+    def test_serial_mode_restores_prior_publication(self):
+        import repro.workload.parallel as par
+
+        outer, inner = _shm_trace(), _shm_trace()
+        par._SHARED_TRACE = outer
+        try:
+            run_sweep(
+                shm_hash_worker, self.POINTS[:1], parallel=False,
+                shared_trace=inner,
+            )
+            assert par._SHARED_TRACE is outer
+        finally:
+            par._SHARED_TRACE = None
+
+    def test_publication_unlinks_on_exit(self):
+        from multiprocessing import shared_memory
+
+        from repro.trace.shm import SharedTracePublication
+
+        with SharedTracePublication(_shm_trace()) as pub:
+            name = pub.descriptor["columns"]["timestamps"]["name"]
+            probe = shared_memory.SharedMemory(name=name)
+            probe.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
