@@ -6,35 +6,58 @@
 
 Paper results: efficiency falls as random ratio rises (seek energy up,
 throughput down) and becomes much less sensitive beyond ~30 % random.
+
+Both faces run through the grid API
+(:func:`repro.workload.parallel.run_grid`); ``--verify`` (``python -m
+benchmarks.bench_fig10_random_ratio --verify``) asserts the grid cells
+equal the per-point replay loop bit for bit.
 """
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
 
 import pytest
 
-from .common import banner, once, peak_trace, run_replay
+from repro.trace.packed import pack
+from repro.workload.parallel import run_grid
+
+from .common import FACTORIES, banner, once, peak_trace, run_replay
 
 RANDOMS = (0, 25, 50, 75, 100)
 SIZES_A = (512, 4096, 16384, 65536)
 SIZES_B = (4096, 65536, 1048576)
 
 
-def experiment_a():
-    table = {}
-    for size in SIZES_A:
-        table[size] = [
-            run_replay("hdd", peak_trace("hdd", size, rnd, 0), 1.0)
-            for rnd in RANDOMS
-        ]
-    return table
+def _grid_table(sizes, read_pct, grid=True):
+    traces = {
+        f"{size}rnd{rnd}": pack(peak_trace("hdd", size, rnd, read_pct))
+        for size in sizes
+        for rnd in RANDOMS
+    }
+    if grid:
+        outcome = run_grid(
+            traces, {"hdd": FACTORIES["hdd"]}, loads=(1.0,), parallel=False
+        )
+        by_trace = {c.trace: c.result for c in outcome.cells}
+    else:
+        by_trace = {
+            name: run_replay("hdd", trace, 1.0)
+            for name, trace in traces.items()
+        }
+    return {
+        size: [by_trace[f"{size}rnd{rnd}"] for rnd in RANDOMS]
+        for size in sizes
+    }
 
 
-def experiment_b():
-    table = {}
-    for size in SIZES_B:
-        table[size] = [
-            run_replay("hdd", peak_trace("hdd", size, rnd, 100), 1.0)
-            for rnd in RANDOMS
-        ]
-    return table
+def experiment_a(grid: bool = True):
+    return _grid_table(SIZES_A, 0, grid=grid)
+
+
+def experiment_b(grid: bool = True):
+    return _grid_table(SIZES_B, 100, grid=grid)
 
 
 def test_fig10a_mbps_per_kw_vs_random(benchmark):
@@ -81,3 +104,42 @@ def test_fig10b_iops_per_watt_vs_random(benchmark):
     for size, results in table.items():
         effs = [r.iops_per_watt for r in results]
         assert all(a >= b for a, b in zip(effs, effs[1:])), f"size {size}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also run the per-point replay loop, assert identical results",
+    )
+    args = parser.parse_args(argv)
+
+    for name, experiment in (("10a", experiment_a), ("10b", experiment_b)):
+        table = experiment()
+        banner(f"Fig. {name} (grid API, {len(table) * len(RANDOMS)} cells)")
+        for size, results in table.items():
+            print(
+                f"{size:>8} "
+                + " ".join(f"{r.mbps_per_kilowatt:>8.1f}" for r in results)
+            )
+        if args.verify:
+            reference = experiment(grid=False)
+            for size in table:
+                got = [
+                    json.dumps(r.to_dict(), sort_keys=True)
+                    for r in table[size]
+                ]
+                want = [
+                    json.dumps(r.to_dict(), sort_keys=True)
+                    for r in reference[size]
+                ]
+                if got != want:
+                    print(f"MISMATCH: fig {name} size {size} grid != "
+                          "per-point", file=sys.stderr)
+                    return 1
+            print(f"verified: fig {name} grid identical to per-point replay")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,24 +11,50 @@ Reproduction note: the U is asymmetric here — our cache-disabled RAID-5
 substrate charges partial-stripe writes the full read-modify-write,
 so the read-only end sits far above the write-only end (see
 EXPERIMENTS.md).
+
+The (read-ratio × random-ratio) face runs through the grid API
+(:func:`repro.workload.parallel.run_grid`); mixed-write cells take the
+recorded per-cell fallback, read-only cells fuse into the kernel.
+``--verify`` (``python -m benchmarks.bench_fig11_read_ratio --verify``)
+asserts the grid results equal the per-point replay loop bit for bit.
 """
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
 
 import pytest
 
-from .common import banner, once, peak_trace, run_replay
+from repro.trace.packed import pack
+from repro.workload.parallel import run_grid
+
+from .common import FACTORIES, banner, once, peak_trace, run_replay
 
 READS = (0, 25, 50, 75, 100)
 RANDOMS = (0, 50, 100)
 
 
-def experiment():
-    table = {}
-    for rnd in RANDOMS:
-        table[rnd] = [
-            run_replay("hdd", peak_trace("hdd", 16384, rnd, rd), 1.0)
-            for rd in READS
-        ]
-    return table
+def experiment(grid: bool = True):
+    traces = {
+        f"rnd{rnd}rd{rd}": pack(peak_trace("hdd", 16384, rnd, rd))
+        for rnd in RANDOMS
+        for rd in READS
+    }
+    if grid:
+        outcome = run_grid(
+            traces, {"hdd": FACTORIES["hdd"]}, loads=(1.0,), parallel=False
+        )
+        by_trace = {c.trace: c.result for c in outcome.cells}
+    else:
+        by_trace = {
+            name: run_replay("hdd", trace, 1.0)
+            for name, trace in traces.items()
+        }
+    return {
+        rnd: [by_trace[f"rnd{rnd}rd{rd}"] for rd in READS]
+        for rnd in RANDOMS
+    }
 
 
 def test_fig11_read_ratio(benchmark):
@@ -61,3 +87,38 @@ def test_fig11_read_ratio(benchmark):
         return max(vals) / min(vals)
 
     assert spread(table[0]) > spread(table[50]) > spread(table[100])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also run the per-point replay loop, assert identical results",
+    )
+    args = parser.parse_args(argv)
+
+    table = experiment()
+    banner(f"Fig. 11 (grid API, {len(RANDOMS) * len(READS)} cells)")
+    for rnd, results in table.items():
+        print(
+            f"rnd{rnd:>3}% MBPS    "
+            + " ".join(f"{r.mbps:>7.2f}" for r in results)
+        )
+    if args.verify:
+        reference = experiment(grid=False)
+        for rnd in RANDOMS:
+            got = [json.dumps(r.to_dict(), sort_keys=True) for r in table[rnd]]
+            want = [
+                json.dumps(r.to_dict(), sort_keys=True)
+                for r in reference[rnd]
+            ]
+            if got != want:
+                print(f"MISMATCH: random {rnd}% grid != per-point",
+                      file=sys.stderr)
+                return 1
+        print("verified: fig 11 grid identical to per-point replay")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

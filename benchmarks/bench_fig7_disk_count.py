@@ -2,17 +2,36 @@
 
 Paper result: power grows linearly with disk count; once more than three
 disks are installed, the disks dominate the enclosure's non-disk draw.
+
+A grid-driven companion experiment replays one all-read trace against
+RAID-5 arrays of 3–6 disks in a single broadcast
+(:func:`repro.workload.parallel.run_grid`, device axis) and checks that
+active power keeps the same ordering.  ``--verify`` (``python -m
+benchmarks.bench_fig7_disk_count --verify``) asserts the grid cells
+equal per-point kernel replay bit for bit.
 """
+
+import argparse
+import json
+import sys
+from functools import partial
+from typing import Optional, Sequence
 
 import pytest
 
 from repro.power.analyzer import PowerAnalyzer
+from repro.replay.session import replay_trace
 from repro.sim.engine import Simulator
-from repro.storage.array import DiskArray
+from repro.storage.array import DiskArray, build_hdd_raid5
 from repro.storage.hdd import HardDiskDrive
 from repro.storage.raid import RaidLevel
+from repro.trace.ops import fit_to_capacity
+from repro.trace.packed import pack
+from repro.workload.parallel import run_grid
 
-from .common import banner, once
+from .common import banner, once, peak_trace
+
+DISK_COUNTS = (3, 4, 5, 6)
 
 
 def _level_for(n: int) -> RaidLevel:
@@ -57,3 +76,83 @@ def test_fig7_power_vs_disk_count(benchmark):
     disk_power_at_3 = powers[3] - powers[0]
     assert disk_power_at_4 > powers[0]
     assert disk_power_at_3 < powers[0]
+
+
+def _active_trace():
+    """All-read peak trace wrapped into the smallest array's capacity so
+    the same addresses are valid on every disk count."""
+    base = peak_trace("hdd", 4096, 50, 100)
+    fitted = fit_to_capacity(
+        base, build_hdd_raid5(3).capacity_sectors, mode="wrap"
+    )
+    return pack(fitted)
+
+
+def active_power_by_disk_count(grid: bool = True):
+    """Replay the same all-read trace on 3–6 disk RAID-5 arrays; return
+    ``{n_disks: ReplayResult}``."""
+    trace = _active_trace()
+    devices = {
+        f"hdd{n}": partial(build_hdd_raid5, n) for n in DISK_COUNTS
+    }
+    if grid:
+        outcome = run_grid(
+            {"read4k": trace}, devices, loads=(1.0,), parallel=False
+        )
+        by_device = {c.device: c.result for c in outcome.cells}
+    else:
+        by_device = {
+            name: replay_trace(trace, factory(), 1.0)
+            for name, factory in devices.items()
+        }
+    return {n: by_device[f"hdd{n}"] for n in DISK_COUNTS}
+
+
+def test_fig7_active_power_vs_disk_count(benchmark):
+    table = once(benchmark, active_power_by_disk_count)
+
+    banner("Fig. 7 companion — active power vs. disk count (grid API)")
+    print(f"{'disks':>6} {'Watts':>8} {'MBPS':>8} {'engine':>8}")
+    for n, result in table.items():
+        print(
+            f"{n:>6} {result.mean_watts:>8.2f} {result.mbps:>8.2f} "
+            f"{result.metadata.get('engine'):>8}"
+        )
+
+    # All-read RAID-5 cells fuse into the kernel.
+    assert all(
+        r.metadata.get("engine") == "kernel" for r in table.values()
+    )
+    # Active power keeps the idle ordering: every extra spindle draws
+    # more than it saves in service time.
+    watts = [table[n].mean_watts for n in DISK_COUNTS]
+    assert watts == sorted(watts)
+    assert watts[0] < watts[-1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also run per-point kernel replay, assert identical results",
+    )
+    args = parser.parse_args(argv)
+
+    table = active_power_by_disk_count()
+    banner(f"Fig. 7 companion (grid API, {len(DISK_COUNTS)} cells)")
+    for n, result in table.items():
+        print(f"hdd{n}: {result.mean_watts:.2f} W  {result.mbps:.2f} MBPS")
+    if args.verify:
+        reference = active_power_by_disk_count(grid=False)
+        for n in DISK_COUNTS:
+            got = json.dumps(table[n].to_dict(), sort_keys=True)
+            want = json.dumps(reference[n].to_dict(), sort_keys=True)
+            if got != want:
+                print(f"MISMATCH: hdd{n} grid != per-point", file=sys.stderr)
+                return 1
+        print("verified: fig 7 companion grid identical to per-point replay")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

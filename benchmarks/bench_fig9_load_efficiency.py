@@ -5,13 +5,26 @@
     requests achieve higher IOPS/Watt.
 (b) MBPS/Kilowatt vs. load, request sizes 512 B .. 64 KB across read
     ratios 0-75 % (random 25 %): same linear-in-load trend.
+
+Each experiment's (trace × load) face now runs through the grid API
+(:func:`repro.workload.parallel.run_grid`): kernel-eligible cells fuse
+into one broadcast per load group, and parity-write cells fall back per
+cell exactly as ``engine="auto"`` does.  ``--verify`` (via ``python
+benchmarks/bench_fig9_load_efficiency.py --verify``) proves the grid
+tables equal the per-point replay loop.
 """
+
+import argparse
+import sys
+from typing import Optional, Sequence
 
 import pytest
 
 from repro.metrics.summary import linearity
+from repro.trace.packed import pack
+from repro.workload.parallel import run_grid
 
-from .common import banner, once, peak_trace, run_replay
+from .common import FACTORIES, banner, once, peak_trace, run_replay
 
 LOADS = (0.2, 0.4, 0.6, 0.8, 1.0)
 SIZES_A = (512, 4096, 16384, 65536, 1048576)
@@ -19,23 +32,55 @@ SIZES_B = (512, 4096, 16384, 65536)
 READS_B = (0, 25, 50, 75)
 
 
-def experiment_a():
-    table = {}
-    for size in SIZES_A:
-        trace = peak_trace("hdd", size, 25, 25)
-        table[size] = [run_replay("hdd", trace, lp).iops_per_watt for lp in LOADS]
-    return table
+def _grid_series(traces: dict) -> dict:
+    """Replay every (trace × load) cell through the grid API; return
+    ``{trace_name: [ReplayResult per load]}`` in load order."""
+    outcome = run_grid(
+        traces, {"hdd": FACTORIES["hdd"]}, loads=LOADS, parallel=False
+    )
+    by_key = {(c.trace, c.load): c.result for c in outcome.cells}
+    return {
+        name: [by_key[(name, load)] for load in LOADS] for name in traces
+    }
 
 
-def experiment_b():
-    table = {}
-    for size in SIZES_B:
-        for read in READS_B:
-            trace = peak_trace("hdd", size, 25, read)
-            table[(size, read)] = [
-                run_replay("hdd", trace, lp).mbps_per_kilowatt for lp in LOADS
-            ]
-    return table
+def experiment_a(grid: bool = True):
+    traces = {
+        str(size): pack(peak_trace("hdd", size, 25, 25)) for size in SIZES_A
+    }
+    if grid:
+        series = _grid_series(traces)
+    else:
+        series = {
+            name: [run_replay("hdd", trace, load) for load in LOADS]
+            for name, trace in traces.items()
+        }
+    return {
+        size: [r.iops_per_watt for r in series[str(size)]]
+        for size in SIZES_A
+    }
+
+
+def experiment_b(grid: bool = True):
+    traces = {
+        f"{size}r{read}": pack(peak_trace("hdd", size, 25, read))
+        for size in SIZES_B
+        for read in READS_B
+    }
+    if grid:
+        series = _grid_series(traces)
+    else:
+        series = {
+            name: [run_replay("hdd", trace, load) for load in LOADS]
+            for name, trace in traces.items()
+        }
+    return {
+        (size, read): [
+            r.mbps_per_kilowatt for r in series[f"{size}r{read}"]
+        ]
+        for size in SIZES_B
+        for read in READS_B
+    }
 
 
 def test_fig9a_iops_per_watt_vs_load(benchmark):
@@ -72,3 +117,28 @@ def test_fig9b_mbps_per_kilowatt_vs_load(benchmark):
     for key, series in table.items():
         assert series == sorted(series), f"{key} not monotone in load"
         assert linearity(LOADS, series) > 0.95, f"{key} not linear"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also run the per-point replay loop, assert identical tables",
+    )
+    args = parser.parse_args(argv)
+
+    for name, experiment in (("9a", experiment_a), ("9b", experiment_b)):
+        table = experiment()
+        banner(f"Fig. {name} (grid API, {len(table) * len(LOADS)} cells)")
+        for key, series in sorted(table.items(), key=str):
+            print(f"{key!s:>14} " + " ".join(f"{v:>9.3f}" for v in series))
+        if args.verify:
+            if experiment(grid=False) != table:
+                print(f"MISMATCH: fig {name} grid != per-point", file=sys.stderr)
+                return 1
+            print(f"verified: fig {name} grid identical to per-point replay")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

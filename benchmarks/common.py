@@ -41,9 +41,13 @@ CACHE_MAX_BYTES = int(
     float(os.environ.get("TRACER_BENCH_CACHE_BYTES", 256 * 1024 * 1024))
 )
 
+# functools.partial, not lambdas: grid sweeps ship factories across
+# process boundaries when a pool is worth it.
+from functools import partial
+
 FACTORIES: dict = {
-    "hdd": lambda: build_hdd_raid5(6),
-    "ssd": lambda: build_ssd_raid5(4),
+    "hdd": partial(build_hdd_raid5, 6),
+    "ssd": partial(build_ssd_raid5, 4),
 }
 
 
@@ -129,9 +133,18 @@ def peak_trace(
     return _TRACE_CACHE.get_or_create(key, collect)
 
 
-def run_replay(device: str, trace: Trace, load: float) -> ReplayResult:
+def run_replay(
+    device: str, trace: Trace, load: float, time_scale: float = 1.0
+) -> ReplayResult:
     """Replay on a fresh device of the given type."""
-    return replay_trace(trace, FACTORIES[device](), load)
+    if time_scale == 1.0:
+        return replay_trace(trace, FACTORIES[device](), load)
+    from repro.config import ReplayConfig
+
+    return replay_trace(
+        trace, FACTORIES[device](), load,
+        config=ReplayConfig(time_scale=time_scale),
+    )
 
 
 def telemetry_breakdown(snapshot: dict) -> dict:

@@ -36,11 +36,17 @@ from typing import List, Optional, Sequence
 # package (workers resolve the module through the fork server anyway).
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from repro.config import LOAD_LEVELS
+from repro.config import LOAD_LEVELS, ReplayConfig
+from repro.replay.session import replay_trace
 from repro.trace.packed import pack
-from repro.workload.parallel import get_shared_trace, run_sweep
+from repro.workload.parallel import (
+    get_shared_trace,
+    kernel_sweep_eligible,
+    run_grid,
+    run_sweep,
+)
 
-from benchmarks.common import banner, peak_trace, run_replay
+from benchmarks.common import FACTORIES, banner, peak_trace, run_replay
 
 DEVICE = "hdd"
 
@@ -80,14 +86,58 @@ def fig8_points(
     return [(DEVICE, load) for load in levels]
 
 
+def _cell_row(device: str, load: float, time_scale: float, result) -> dict:
+    row = {
+        "device": device,
+        "load": load,
+        "engine": result.metadata.get("engine"),
+        "iops": result.iops,
+        "mbps": result.mbps,
+        "completed": result.completed,
+        "mean_watts": result.mean_watts,
+        "energy_joules": result.energy_joules,
+        "mean_response": result.mean_response,
+    }
+    if time_scale != 1.0:
+        row["time_scale"] = time_scale
+    return row
+
+
 def sweep_fig8(
-    parallel: bool = True,
+    parallel="auto",
     max_workers: Optional[int] = None,
     duration: float = 15.0,
     loads_levels: Optional[Sequence[float]] = None,
+    time_scales: Sequence[float] = (1.0,),
+    read_pct: int = 0,
+    grid: bool = False,
 ) -> List[dict]:
-    """Run the Fig. 8 load sweep; parallel by default, same numbers either way."""
-    trace = pack(peak_trace(DEVICE, 4096, 50, 0, duration=duration))
+    """Run the Fig. 8 load sweep; same numbers on every execution mode.
+
+    ``grid=True`` routes the whole (load × time-scale) face through the
+    grid-fused kernel (:func:`repro.workload.parallel.run_grid`) — one
+    broadcast instead of one replay per point; otherwise the classic
+    per-point shared-memory sweep runs.  ``parallel="auto"`` no longer
+    pays process-pool startup when serial in-process execution wins.
+    """
+    trace = pack(peak_trace(DEVICE, 4096, 50, read_pct, duration=duration))
+    if grid:
+        outcome = run_grid(
+            {trace.label: trace},
+            {DEVICE: FACTORIES[DEVICE]},
+            loads=(
+                list(loads_levels)
+                if loads_levels is not None
+                else list(LOAD_LEVELS)
+            ),
+            time_scales=time_scales,
+            parallel=parallel,
+            max_workers=max_workers,
+        )
+        return [
+            _cell_row(cell.device, cell.load, cell.time_scale, cell.result)
+            for cell in outcome.cells
+        ]
     points = fig8_points(loads_levels=loads_levels)
     labels = [f"{DEVICE}@{point[1]:g}" for point in points]
     return run_sweep(
@@ -97,7 +147,31 @@ def sweep_fig8(
         max_workers=max_workers,
         parallel=parallel,
         shared_trace=trace,
+        kernel_eligible=kernel_sweep_eligible(trace, FACTORIES[DEVICE]),
     )
+
+
+def sweep_fig8_reference(
+    duration: float = 15.0,
+    loads_levels: Optional[Sequence[float]] = None,
+    time_scales: Sequence[float] = (1.0,),
+    read_pct: int = 0,
+) -> List[dict]:
+    """Per-point serial oracle for ``sweep_fig8(grid=True)``: the exact
+    hand-rolled loop the grid path must reproduce bit for bit."""
+    trace = pack(peak_trace(DEVICE, 4096, 50, read_pct, duration=duration))
+    levels = (
+        list(loads_levels) if loads_levels is not None else list(LOAD_LEVELS)
+    )
+    rows = []
+    for load in levels:
+        for ts in time_scales:
+            result = replay_trace(
+                trace, FACTORIES[DEVICE](), load,
+                config=ReplayConfig(time_scale=ts),
+            )
+            rows.append(_cell_row(DEVICE, load, ts, result))
+    return rows
 
 
 def _print_results(results: List[dict]) -> None:
@@ -123,31 +197,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--duration", type=float, default=15.0, help="trace collection seconds"
     )
     parser.add_argument("--json", type=Path, default=None, help="write results here")
+    parser.add_argument(
+        "--grid", action="store_true",
+        help="evaluate the sweep as one grid-fused kernel broadcast",
+    )
+    parser.add_argument(
+        "--time-scales", default="1.0",
+        help="comma-separated time-scale factors (adds a grid axis)",
+    )
+    parser.add_argument(
+        "--read-pct", type=int, default=0,
+        help="read percentage of the collected workload",
+    )
     args = parser.parse_args(argv)
+    time_scales = [float(x) for x in args.time_scales.split(",") if x.strip()]
 
     banner("Parallel sweep — Fig. 8 load accuracy "
            "(4 KB, random 50 %, read 0 %)")
     t0 = time.perf_counter()
     results = sweep_fig8(
-        parallel=not args.serial,
+        parallel=False if args.serial else "auto",
         max_workers=args.workers,
         duration=args.duration,
+        time_scales=time_scales,
+        read_pct=args.read_pct,
+        grid=args.grid,
     )
     elapsed = time.perf_counter() - t0
     _print_results(results)
-    mode = "serial" if args.serial else "parallel"
+    mode = "serial" if args.serial else ("grid" if args.grid else "auto")
     print(f"\n{len(results)} points in {elapsed:.1f}s ({mode})")
 
     if args.verify:
         t0 = time.perf_counter()
-        serial = sweep_fig8(parallel=False, duration=args.duration)
+        if args.grid:
+            serial = sweep_fig8_reference(
+                duration=args.duration, time_scales=time_scales,
+                read_pct=args.read_pct,
+            )
+        else:
+            serial = sweep_fig8(
+                parallel=False, duration=args.duration,
+                time_scales=time_scales, read_pct=args.read_pct,
+            )
         serial_elapsed = time.perf_counter() - t0
         if serial != results:
-            print("MISMATCH: parallel and serial sweeps disagree", file=sys.stderr)
+            print("MISMATCH: sweep modes disagree", file=sys.stderr)
             return 1
         print(
-            f"verified: parallel == serial "
-            f"({serial_elapsed:.1f}s serial vs {elapsed:.1f}s parallel)"
+            f"verified: identical to per-point serial "
+            f"({serial_elapsed:.1f}s serial vs {elapsed:.1f}s)"
         )
 
     if args.json is not None:

@@ -42,10 +42,14 @@ from .workload.matrix import build_matrix, matrix_modes
 
 
 def _device_factory(kind: str, n_disks: int) -> Callable:
+    # functools.partial, not a lambda: grid/pool paths ship the factory
+    # across process boundaries.
+    from functools import partial
+
     if kind == "hdd-raid5":
-        return lambda: build_hdd_raid5(n_disks)
+        return partial(build_hdd_raid5, n_disks)
     if kind == "ssd-raid5":
-        return lambda: build_ssd_raid5(n_disks)
+        return partial(build_ssd_raid5, n_disks)
     raise SystemExit(f"unknown device type {kind!r} (hdd-raid5 | ssd-raid5)")
 
 
@@ -147,7 +151,63 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str, flag: str) -> list:
+    try:
+        values = [float(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated numbers: {text!r}")
+    if not values:
+        raise SystemExit(f"{flag} expects at least one value")
+    return values
+
+
+def cmd_sweep_grid(args: argparse.Namespace) -> int:
+    from .trace.blktrace import read_trace_packed
+    from .workload.parallel import run_grid
+
+    trace = read_trace_packed(args.trace)
+    loads = _parse_axis(args.loads, "--loads")
+    time_scales = _parse_axis(args.time_scales, "--time-scales")
+    factory = _device_factory(args.device, args.disks)
+    outcome = run_grid(
+        {Path(args.trace).stem: trace},
+        {args.device: factory},
+        loads=loads,
+        time_scales=time_scales,
+        config=ReplayConfig(engine=args.engine),
+        engine=args.engine,
+    )
+    print(f"{'load%':>6} {'scale':>6} {'IOPS':>10} {'MBPS':>9} "
+          f"{'Watts':>8} {'IOPS/W':>8} {'engine':>7}")
+    for cell in outcome.cells:
+        r = cell.result
+        print(
+            f"{cell.load * 100:>5.0f}% {cell.time_scale:>6g} "
+            f"{r.iops:>10.1f} {r.mbps:>9.2f} {r.mean_watts:>8.2f} "
+            f"{r.iops_per_watt:>8.2f} {cell.engine:>7}"
+        )
+    d, t, l, s = outcome.shape
+    mix = ", ".join(f"{k}={v}" for k, v in sorted(outcome.engines.items()))
+    print(f"grid {d}x{t}x{l}x{s} ({len(outcome.cells)} cells, "
+          f"{outcome.fused_cells} fused) in {outcome.elapsed_seconds:.2f}s; "
+          f"engines: {mix}")
+    for key, reason in outcome.fallback_reasons.items():
+        print(f"  fallback {key}: {reason}")
+    if args.ledger:
+        from .host.ledger import RunLedger, record_grid_run
+
+        with RunLedger(args.ledger) as ledger:
+            run_id = record_grid_run(
+                ledger, outcome, config=ReplayConfig(engine=args.engine)
+            )
+        print(f"recorded as run {run_id} (+{len(outcome.cells)} cell rows) "
+              f"in {args.ledger}")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.grid:
+        return cmd_sweep_grid(args)
     trace = read_trace(args.trace)
     db = ResultsDatabase(args.database) if args.database else ResultsDatabase()
     repo = TraceRepository(args.repository) if args.repository else TraceRepository(
@@ -527,6 +587,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace")
     p.add_argument("--database", default="", help="sqlite file for records")
     p.add_argument("--repository", default="", help="trace repository directory")
+    p.add_argument("--grid", action="store_true",
+                   help="grid-fused sweep: evaluate the whole "
+                   "(load x time-scale) matrix as one batched kernel "
+                   "computation")
+    p.add_argument("--loads", default="0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1.0",
+                   help="comma-separated load proportions (with --grid)")
+    p.add_argument("--time-scales", default="1.0",
+                   help="comma-separated time-scale factors (with --grid)")
+    p.add_argument("--engine", choices=("auto", "event", "kernel"),
+                   default="auto", help="engine for grid cells (with --grid)")
+    p.add_argument("--ledger", default="",
+                   help="record the grid run (parent + per-cell rows) in "
+                   "this sqlite ledger (with --grid)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("repo", help="list a trace repository")

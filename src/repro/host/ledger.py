@@ -332,3 +332,71 @@ class RunLedger:
             "same_trace": a.trace_label == b.trace_label,
             "metrics": metrics,
         }
+
+
+def record_grid_run(
+    ledger: RunLedger,
+    outcome,
+    config=None,
+    run_id: Optional[str] = None,
+) -> str:
+    """Record a grid sweep: one parent row plus one row per cell.
+
+    The parent row (``origin="grid"``) carries the sweep's axes and
+    shape in ``mode`` and the engine mix / timing in ``summary``; each
+    cell lands as its own row with ``origin="cell:<parent_id>"`` and the
+    cell coordinates as its mode vector, so ``tracer runs list
+    --origin cell:<id>`` walks a sweep and ``tracer runs diff`` compares
+    any two cells (within or across sweeps).
+
+    ``outcome`` is a :class:`repro.workload.parallel.GridOutcome`;
+    ``config`` the sweep's :class:`~repro.config.ReplayConfig` (hashed
+    into every row's config fingerprint).  Returns the parent run id.
+    """
+    from dataclasses import asdict
+
+    replay = asdict(config) if config is not None else None
+    parent_id = run_id if run_id is not None else new_run_id()
+    mode = {
+        "devices": list(outcome.devices),
+        "traces": list(outcome.traces),
+        "loads": list(outcome.loads),
+        "time_scales": list(outcome.time_scales),
+        "shape": list(outcome.shape),
+    }
+    summary: Dict[str, Any] = {
+        "cells": float(len(outcome.cells)),
+        "fused_cells": float(outcome.fused_cells),
+        "fallback_cells": float(len(outcome.fallback_reasons)),
+        "elapsed_seconds": float(outcome.elapsed_seconds),
+    }
+    for engine, count in sorted(outcome.engines.items()):
+        summary[f"{engine}_cells"] = float(count)
+    parent = RunRecord(
+        run_id=parent_id,
+        created=_time.time(),
+        origin="grid",
+        trace_label=",".join(outcome.traces),
+        mode=mode,
+        seed=(replay or {}).get("seed"),
+        config_hash=config_fingerprint(mode, replay),
+        git_sha=current_git_sha(),
+        summary=summary,
+    )
+    ledger.append(parent)
+    for cell in outcome.cells:
+        cell_mode = {
+            "device": cell.device,
+            "trace": cell.trace,
+            "load": cell.load,
+            "time_scale": cell.time_scale,
+            "fused": cell.fused,
+        }
+        record = build_record(
+            cell.result.to_dict(),
+            origin=f"cell:{parent_id}",
+            mode=cell_mode,
+            replay=replay,
+        )
+        ledger.append(record)
+    return parent_id

@@ -156,6 +156,97 @@ def _solve_lindley(
     return _lindley_scalar(submit, sv, prev)
 
 
+def _eval_lindley_segments_grid(
+    submit: np.ndarray, sv: np.ndarray, heads: np.ndarray, prev: float
+) -> np.ndarray:
+    """Row-batched segment evaluation with *shared* head columns.
+
+    Every row is split at the same column positions.  A split at a
+    column where the row is actually mid-busy-run is harmless: the seed
+    ``max(submit[:, a], cur)`` resolves to ``cur`` there, and
+    ``cumsum([cur, sv_a, …])`` performs the identical left-to-right
+    additions the unsplit chain would — splitting a seeded cumsum is
+    bit-neutral.  Only *missing* a true idle restart changes results,
+    and the refinement loop in the caller catches those as violations.
+    """
+    n_rows, n = submit.shape
+    f = np.empty((n_rows, n), dtype=np.float64)
+    cur = np.full(n_rows, prev, dtype=np.float64)
+    bounds = np.append(heads, n)
+    for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        block = np.empty((n_rows, b - a + 1), dtype=np.float64)
+        np.maximum(submit[:, a], cur, out=block[:, 0])
+        block[:, 1:] = sv[a:b]
+        f[:, a:b] = np.cumsum(block, axis=1)[:, 1:]
+        cur = f[:, b - 1]
+    return f
+
+
+def _solve_lindley_grid(
+    submit: np.ndarray, sv: np.ndarray, prev: float = _NEG_INF
+) -> np.ndarray:
+    """Batched Lindley solver over a leading parameter axis.
+
+    ``submit`` is ``(P, n)`` — one row per grid cell, all rows sharing
+    the same service-time vector ``sv`` (service depends on request
+    geometry and fresh device state, never on arrival times).  Rows are
+    independent; each row's result is bit-identical to
+    ``_solve_lindley(submit[i], sv, prev)``:
+
+    * the idle fast path is the same elementwise ``submit + sv`` (a
+      broadcast is still one add per element);
+    * the busy fast path seeds column 0 per row and runs
+      ``np.cumsum(axis=1)`` — ``add.accumulate`` along the last axis is
+      a strict left-to-right chain per row, the exact additions of the
+      1-D seeded cumsum;
+    * remaining rows are solved together: per-row head guesses are
+      unioned into one shared column set and refined to a fixpoint.
+      Shared extra splits are bit-neutral (see
+      :func:`_eval_lindley_segments_grid`), so a violation-free
+      evaluation equals the scalar recurrence on every row.
+    """
+    submit = np.ascontiguousarray(submit, dtype=np.float64)
+    n_cells, n = submit.shape
+    if n == 0 or n_cells == 0:
+        return submit.copy()
+    out = np.empty((n_cells, n), dtype=np.float64)
+    f_idle = submit + sv
+    ok_idle = submit[:, 0] >= prev
+    if n > 1:
+        ok_idle &= np.all(submit[:, 1:] >= f_idle[:, :-1], axis=1)
+    chain = np.empty((n_cells, n + 1), dtype=np.float64)
+    chain[:, 0] = np.maximum(submit[:, 0], prev)
+    chain[:, 1:] = sv
+    f_busy = np.cumsum(chain, axis=1)[:, 1:]
+    if n > 1:
+        ok_busy = np.all(submit[:, 1:] <= f_busy[:, :-1], axis=1)
+    else:
+        ok_busy = np.ones(n_cells, dtype=bool)
+    out[ok_idle] = f_idle[ok_idle]
+    busy_rows = ~ok_idle & ok_busy
+    out[busy_rows] = f_busy[busy_rows]
+    gen = np.flatnonzero(~ok_idle & ~ok_busy)
+    if gen.size == 0:
+        return out
+    sub = np.ascontiguousarray(submit[gen])
+    approx = sub - np.concatenate(([0.0], np.cumsum(sv)[:-1]))
+    is_head = approx >= np.maximum.accumulate(approx, axis=1)
+    col_head = np.any(is_head, axis=0)
+    col_head[0] = True
+    for _ in range(_MAX_PASSES):
+        heads = np.flatnonzero(col_head)
+        f = _eval_lindley_segments_grid(sub, sv, heads, prev)
+        viol_cols = np.flatnonzero(np.any(sub[:, 1:] > f[:, :-1], axis=0)) + 1
+        new = viol_cols[~col_head[viol_cols]]
+        if new.size == 0:
+            out[gen] = f
+            return out
+        col_head[new] = True
+    for i in gen:
+        out[i] = _solve_lindley(submit[i], sv, prev)
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Exact link-serialisation solver (controller dispatch chain)
 # ---------------------------------------------------------------------------
@@ -240,6 +331,98 @@ def _solve_link_chain(
             return d, link
         is_head[new] = True
     return _chain_scalar(t, c, p, prev)
+
+
+def _eval_chain_segments_grid(
+    t: np.ndarray, c: float, p: np.ndarray, heads: np.ndarray, prev: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-batched dispatch-chain evaluation with *shared* head columns.
+
+    Same bit-neutral-split argument as
+    :func:`_eval_lindley_segments_grid`: a split where a row is
+    mid-busy-run seeds with ``cur`` and the interleaved cumsum
+    ``[cur, c, p_a, c, p_{a+1}, …]`` repeats the unsplit chain's
+    additions exactly.
+    """
+    n_rows, n = t.shape
+    d = np.empty((n_rows, n), dtype=np.float64)
+    link = np.empty((n_rows, n), dtype=np.float64)
+    cur = np.full(n_rows, prev, dtype=np.float64)
+    bounds = np.append(heads, n)
+    for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+        m = b - a
+        arr = np.empty((n_rows, 2 * m + 1), dtype=np.float64)
+        np.maximum(t[:, a], cur, out=arr[:, 0])
+        arr[:, 1::2] = c
+        arr[:, 2::2] = p[a:b]
+        cs = np.cumsum(arr, axis=1)
+        d[:, a:b] = cs[:, 1::2]
+        link[:, a:b] = cs[:, 2::2]
+        cur = link[:, b - 1]
+    return d, link
+
+
+def _solve_link_chain_grid(
+    t: np.ndarray, c: float, p: np.ndarray, prev: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched link-chain solver over a leading parameter axis.
+
+    ``t`` is ``(P, n)`` submit times; ``c`` (controller overhead) and
+    ``p`` (per-request payload serialisation) are shared across rows.
+    Per row bit-identical to ``_solve_link_chain(t[i], c, p, prev)``:
+    the busy path interleaves ``seed, +c, +p_0, +c, +p_1…`` into one
+    ``(P, 2n + 1)`` row-wise cumsum, the same left-to-right additions
+    as the 1-D evaluator; general rows are solved together with a
+    shared, refined head-column union (extra splits are bit-neutral).
+    """
+    t = np.ascontiguousarray(t, dtype=np.float64)
+    n_cells, n = t.shape
+    if n == 0 or n_cells == 0:
+        return t.copy(), t.copy()
+    d = np.empty((n_cells, n), dtype=np.float64)
+    link = np.empty((n_cells, n), dtype=np.float64)
+    d_idle = t + c
+    l_idle = d_idle + p
+    ok_idle = t[:, 0] >= prev
+    if n > 1:
+        ok_idle &= np.all(t[:, 1:] >= l_idle[:, :-1], axis=1)
+    arr = np.empty((n_cells, 2 * n + 1), dtype=np.float64)
+    arr[:, 0] = np.maximum(t[:, 0], prev)
+    arr[:, 1::2] = c
+    arr[:, 2::2] = p
+    cs = np.cumsum(arr, axis=1)
+    d_busy = cs[:, 1::2]
+    l_busy = cs[:, 2::2]
+    if n > 1:
+        ok_busy = np.all(t[:, 1:] <= l_busy[:, :-1], axis=1)
+    else:
+        ok_busy = np.ones(n_cells, dtype=bool)
+    d[ok_idle] = d_idle[ok_idle]
+    link[ok_idle] = l_idle[ok_idle]
+    busy_rows = ~ok_idle & ok_busy
+    d[busy_rows] = d_busy[busy_rows]
+    link[busy_rows] = l_busy[busy_rows]
+    gen = np.flatnonzero(~ok_idle & ~ok_busy)
+    if gen.size == 0:
+        return d, link
+    tg = np.ascontiguousarray(t[gen])
+    approx = tg - np.concatenate(([0.0], np.cumsum(c + p)[:-1]))
+    is_head = approx >= np.maximum.accumulate(approx, axis=1)
+    col_head = np.any(is_head, axis=0)
+    col_head[0] = True
+    for _ in range(_MAX_PASSES):
+        heads = np.flatnonzero(col_head)
+        dg, lg = _eval_chain_segments_grid(tg, c, p, heads, prev)
+        viol_cols = np.flatnonzero(np.any(tg[:, 1:] > lg[:, :-1], axis=0)) + 1
+        new = viol_cols[~col_head[viol_cols]]
+        if new.size == 0:
+            d[gen] = dg
+            link[gen] = lg
+            return d, link
+        col_head[new] = True
+    for i in gen:
+        d[i], link[i] = _solve_link_chain(t[i], c, p, prev)
+    return d, link
 
 
 # ---------------------------------------------------------------------------

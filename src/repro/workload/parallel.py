@@ -15,7 +15,8 @@ worker identity.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..config import WorkloadMode
 from ..rng import DEFAULT_SEED, derive_seed
@@ -61,6 +62,47 @@ def _attach_shared(descriptor: dict) -> None:
     _SHARED_TRACE, _SHARED_BLOCKS = attach_packed(descriptor)
 
 
+def _use_pool(parallel, n_points: int, kernel_eligible=None) -> bool:
+    """Resolve a ``parallel`` setting (bool or ``"auto"``) to pool/serial."""
+    if parallel == "auto":
+        import os
+
+        if kernel_eligible:
+            # Kernel-fast points finish in milliseconds; fork+pickle
+            # startup can never amortise against them.
+            return False
+        if (os.cpu_count() or 1) <= 1:
+            return False
+        floor = int(os.environ.get("TRACER_SWEEP_MIN_POOL_POINTS", "4"))
+        return n_points >= floor
+    return bool(parallel)
+
+
+def kernel_sweep_eligible(trace, device_factory, *, stream_interval=None) -> bool:
+    """Probe whether per-point replays of ``trace`` would take the kernel.
+
+    Builds one throwaway device from ``device_factory`` and runs the
+    same qualification the replay session does — packed trace, no
+    telemetry registry, kernel-capable device/array.  Sweep drivers use
+    the verdict to keep ``parallel="auto"`` in-process for sweeps whose
+    points are analytical-kernel fast (pool startup would dominate).
+    The probe is conservative: any error means "not eligible".
+    """
+    from ..trace.packed import PackedTrace
+
+    if not isinstance(trace, PackedTrace) or len(trace) == 0:
+        return False
+    try:
+        from ..sim.kernel import _qualify_device
+        from ..telemetry import get_registry
+
+        if get_registry().enabled:
+            return False
+        return _qualify_device(device_factory(), trace) is None
+    except Exception:
+        return False
+
+
 def run_sweep(
     worker: SweepWorker,
     points: Sequence[Any],
@@ -68,8 +110,9 @@ def run_sweep(
     base_seed: int = DEFAULT_SEED,
     labels: Optional[Sequence[str]] = None,
     max_workers: Optional[int] = None,
-    parallel: bool = True,
+    parallel=True,
     shared_trace=None,
+    kernel_eligible: Optional[bool] = None,
 ) -> List[Any]:
     """Fan ``worker(point, seed)`` out across a process pool.
 
@@ -91,6 +134,16 @@ def run_sweep(
     boundary, never a pickled column.  Workers (and serial runs, which
     share the parent's object directly) read it back with
     :func:`get_shared_trace`.
+
+    ``parallel`` may be ``True`` (always pool), ``False`` (always
+    serial, in-process) or ``"auto"``: pool only when the host has more
+    than one core and the sweep is large enough to amortise worker
+    startup (``TRACER_SWEEP_MIN_POOL_POINTS``, default 4) — the fix for
+    small kernel-eligible sweeps paying fork+pickle for nothing.
+    ``kernel_eligible=True`` (typically the verdict of
+    :func:`kernel_sweep_eligible`) tells ``"auto"`` the points resolve
+    to the analytical kernel, which forces in-process serial execution:
+    millisecond points never amortise pool startup.
     """
     global _SHARED_TRACE
     points = list(points)
@@ -105,7 +158,7 @@ def run_sweep(
     seeds = [
         derive_seed(base_seed, "sweep", label) for label in label_list
     ]
-    if not parallel:
+    if not _use_pool(parallel, len(points), kernel_eligible):
         if shared_trace is None:
             return [worker(p, s) for p, s in zip(points, seeds)]
         prior = _SHARED_TRACE
@@ -209,3 +262,270 @@ def build_matrix_parallel(
                 results[i] = (names[i], len(trace))
 
     return [r for r in results if r is not None]
+
+# ---------------------------------------------------------------------------
+# Grid-fused sweeps
+
+
+@dataclass
+class GridCellResult:
+    """One evaluated grid cell: its coordinates plus the replay result."""
+
+    device: str
+    trace: str
+    load: float
+    time_scale: float
+    result: Any  # ReplayResult
+    fused: bool  # True when the fused kernel produced it directly
+
+    @property
+    def key(self) -> str:
+        return (
+            f"{self.device}/{self.trace}"
+            f"@{self.load:g}x{self.time_scale:g}"
+        )
+
+    @property
+    def engine(self) -> str:
+        return self.result.metadata.get("engine", "event")
+
+    @property
+    def fallback(self) -> Optional[str]:
+        return self.result.metadata.get("engine_fallback")
+
+
+@dataclass
+class GridOutcome:
+    """A completed grid sweep: per-cell results plus run-shape metadata.
+
+    ``cells`` is in row-major axis order (device, trace, load,
+    time_scale); ``engines`` counts cells per engine actually used;
+    ``fallback_reasons`` maps a cell key to why the kernel declined it
+    (only cells that fell back to the event engine appear).
+    """
+
+    cells: List[GridCellResult]
+    devices: Tuple[str, ...]
+    traces: Tuple[str, ...]
+    loads: Tuple[float, ...]
+    time_scales: Tuple[float, ...]
+    engines: Dict[str, int]
+    fallback_reasons: Dict[str, str]
+    fused_cells: int
+    elapsed_seconds: float
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return (
+            len(self.devices), len(self.traces),
+            len(self.loads), len(self.time_scales),
+        )
+
+    def cell(
+        self, device: str, trace: str, load: float, time_scale: float = 1.0
+    ) -> GridCellResult:
+        """Look one cell up by its coordinates."""
+        for c in self.cells:
+            if (
+                c.device == device and c.trace == trace
+                and c.load == load and c.time_scale == time_scale
+            ):
+                return c
+        raise KeyError(f"{device}/{trace}@{load:g}x{time_scale:g}")
+
+
+def _grid_slab_worker(slab, seed):
+    """Pool entry point: replay one slab of per-point cells.
+
+    A slab is ``(factory, points, config, stream_interval, engine)``
+    with ``points`` a list of ``(load, time_scale)``; the trace arrives
+    zero-copy via the sweep's shared-memory publication.
+    """
+    from dataclasses import replace as _replace
+
+    from ..replay.session import replay_trace
+
+    factory, points, config, stream_interval, engine = slab
+    trace = get_shared_trace()
+    out = []
+    for load, time_scale in points:
+        cfg = _replace(config, time_scale=time_scale)
+        out.append(
+            replay_trace(
+                trace, factory(), load, config=cfg,
+                stream_interval=stream_interval, engine=engine,
+            )
+        )
+    return out
+
+
+def _replay_points_serial(
+    trace, factory, points, config, stream_interval, engine
+):
+    from dataclasses import replace as _replace
+
+    from ..replay.session import replay_trace
+
+    out = []
+    for load, time_scale in points:
+        cfg = _replace(config, time_scale=time_scale)
+        out.append(
+            replay_trace(
+                trace, factory(), load, config=cfg,
+                stream_interval=stream_interval, engine=engine,
+            )
+        )
+    return out
+
+
+def _poolable(factory, trace) -> bool:
+    """Can this plane's per-point work cross a process boundary?"""
+    import pickle
+
+    from ..trace.packed import PackedTrace
+
+    if not isinstance(trace, PackedTrace):
+        return False
+    try:
+        pickle.dumps(factory)
+    except Exception:
+        return False
+    return True
+
+
+def run_grid(
+    traces,
+    devices,
+    loads: Sequence[float] = (1.0,),
+    time_scales: Sequence[float] = (1.0,),
+    *,
+    config=None,
+    stream_interval: Optional[float] = None,
+    engine: str = "auto",
+    parallel="auto",
+    max_workers: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
+) -> GridOutcome:
+    """Evaluate a (device × trace × load × time-scale) grid in one call.
+
+    The workhorse behind ``tracer sweep --grid`` and the figure
+    benchmarks: for every (device, trace) plane the whole
+    (load × time_scale) face is handed to the grid-fused kernel
+    (:func:`repro.sim.grid.evaluate_grid_cells`) — one broadcast over
+    shared trace columns instead of one replay per cell.  Cells the
+    fusion declines are replayed per point with the *same* ``engine``
+    setting, so their results, fallback metadata, and error behaviour
+    are exactly what a hand-rolled loop over
+    :func:`~repro.replay.session.replay_trace` produces today.
+
+    Parameters
+    ----------
+    traces:
+        Mapping of label → trace, or a single trace (labelled by its
+        own ``label``).
+    devices:
+        Mapping of name → device factory (fresh device per call), or a
+        single factory (named ``"device"``).
+    engine:
+        ``"auto"`` (fuse, fall back per cell), ``"kernel"`` (fuse,
+        *raise* where a per-point ``engine="kernel"`` replay would
+        raise) or ``"event"`` (skip fusion entirely; every cell runs
+        the event engine per point).
+    parallel / max_workers:
+        Scheduling for the *unfused* cells only: ``"auto"`` replays
+        them in-process unless the host has spare cores and enough
+        points to amortise a pool, in which case they fan out as
+        per-plane slabs over :func:`run_sweep`'s zero-copy shared-trace
+        path.  Fused cells never pay fork+pickle.
+
+    Returns a :class:`GridOutcome`; cells come back in row-major
+    (device, trace, load, time_scale) order regardless of how they
+    were scheduled.
+    """
+    import time as _time
+
+    from ..config import ReplayConfig
+    from ..sim.grid import (
+        DEFAULT_CHUNK_BYTES,
+        GridCell,
+        evaluate_grid_cells,
+    )
+
+    t_wall = _time.perf_counter()
+    if not isinstance(traces, dict):
+        traces = {getattr(traces, "label", "trace"): traces}
+    if not isinstance(devices, dict):
+        devices = {"device": devices}
+    loads = [float(x) for x in loads]
+    time_scales = [float(x) for x in time_scales]
+    if not loads or not time_scales or not traces or not devices:
+        raise ValueError("run_grid needs at least one value per axis")
+    cfg = config or ReplayConfig()
+    if engine not in ("auto", "kernel", "event"):
+        raise ValueError(f"unknown engine {engine!r}")
+    face = [
+        GridCell(load, ts) for load in loads for ts in time_scales
+    ]
+    chunk = chunk_bytes if chunk_bytes is not None else DEFAULT_CHUNK_BYTES
+
+    cells: List[GridCellResult] = []
+    engines: Dict[str, int] = {}
+    fallback_reasons: Dict[str, str] = {}
+    fused_cells = 0
+    for dev_name, factory in devices.items():
+        for trace_label, trace in traces.items():
+            if engine == "event":
+                evals = [None] * len(face)
+            else:
+                evals = evaluate_grid_cells(
+                    trace, factory(), face, config=cfg,
+                    stream_interval=stream_interval, chunk_bytes=chunk,
+                )
+            pending = [
+                i for i, ev in enumerate(evals)
+                if ev is None or ev.result is None
+            ]
+            results: List[Any] = [
+                None if ev is None else ev.result for ev in evals
+            ]
+            if pending:
+                points = [(face[i].load, face[i].time_scale) for i in pending]
+                if (
+                    _use_pool(parallel, len(points))
+                    and _poolable(factory, trace)
+                ):
+                    slab = (factory, points, cfg, stream_interval, engine)
+                    slab_out = run_sweep(
+                        _grid_slab_worker, [slab],
+                        labels=[f"{dev_name}/{trace_label}"],
+                        max_workers=max_workers, shared_trace=trace,
+                    )[0]
+                else:
+                    slab_out = _replay_points_serial(
+                        trace, factory, points, cfg, stream_interval, engine
+                    )
+                for i, res in zip(pending, slab_out):
+                    results[i] = res
+            for i, cell in enumerate(face):
+                fused = evals[i] is not None and evals[i].result is not None
+                fused_cells += 1 if fused else 0
+                gcr = GridCellResult(
+                    device=dev_name, trace=trace_label,
+                    load=cell.load, time_scale=cell.time_scale,
+                    result=results[i], fused=fused,
+                )
+                engines[gcr.engine] = engines.get(gcr.engine, 0) + 1
+                if gcr.fallback is not None:
+                    fallback_reasons[gcr.key] = gcr.fallback
+                cells.append(gcr)
+    return GridOutcome(
+        cells=cells,
+        devices=tuple(devices),
+        traces=tuple(traces),
+        loads=tuple(loads),
+        time_scales=tuple(time_scales),
+        engines=engines,
+        fallback_reasons=fallback_reasons,
+        fused_cells=fused_cells,
+        elapsed_seconds=_time.perf_counter() - t_wall,
+    )

@@ -221,3 +221,83 @@ class TestHostWiring:
         host.run_test(TestRequest(mode=mode.at_load(0.5)))
         record = ledger.list()[0]
         assert record.frames_path == ""
+
+
+class TestGridRecord:
+    """Grid sweeps land as one parent row plus one row per cell."""
+
+    def _outcome(self):
+        from repro.storage.array import build_hdd_raid5
+        from repro.trace.packed import pack
+        from repro.trace.record import READ, Bunch, IOPackage, Trace
+        from repro.workload.parallel import run_grid
+
+        trace = pack(
+            Trace(
+                [
+                    Bunch(i / 64, [IOPackage(1024 * i, 4096, READ)])
+                    for i in range(12)
+                ],
+                label="ledger-grid",
+            )
+        )
+        return run_grid(
+            {"t": trace}, {"hdd": build_hdd_raid5},
+            loads=(0.5, 1.0), time_scales=(1.0, 2.0), parallel=False,
+        )
+
+    def test_parent_and_cell_rows(self):
+        from repro.host.ledger import record_grid_run
+
+        outcome = self._outcome()
+        with RunLedger() as ledger:
+            parent_id = record_grid_run(
+                ledger, outcome, config=ReplayConfig(seed=7)
+            )
+            assert ledger.count() == 1 + len(outcome.cells)
+            parent = ledger.get(parent_id)
+            assert parent.origin == "grid"
+            assert parent.mode["shape"] == [1, 1, 2, 2]
+            assert parent.summary["cells"] == 4.0
+            assert parent.summary["fused_cells"] == float(
+                outcome.fused_cells
+            )
+            cells = ledger.list(origin=f"cell:{parent_id}")
+            assert len(cells) == 4
+            coords = {
+                (r.mode["load"], r.mode["time_scale"]) for r in cells
+            }
+            assert coords == {(0.5, 1.0), (0.5, 2.0), (1.0, 1.0), (1.0, 2.0)}
+            assert all(r.mode["device"] == "hdd" for r in cells)
+
+    def test_cell_rows_diffable(self):
+        from repro.host.ledger import record_grid_run
+
+        outcome = self._outcome()
+        with RunLedger() as ledger:
+            parent_id = record_grid_run(ledger, outcome)
+            cells = [
+                r for r in ledger.list(origin=f"cell:{parent_id}")
+                if r.mode["time_scale"] == 1.0
+            ]
+            assert len(cells) == 2
+            diff = ledger.diff(cells[0].run_id, cells[1].run_id)
+            # The replayed label carries the load distortion and the
+            # cell coordinates feed the config fingerprint, so two
+            # different cells never claim to be the same run setup.
+            assert not diff["same_trace"]
+            assert not diff["same_config"]
+            assert "iops" in diff["metrics"]
+            assert diff["metrics"]["engine"]["equal"]
+
+    def test_explicit_run_id_and_seed(self):
+        from repro.host.ledger import record_grid_run
+
+        outcome = self._outcome()
+        with RunLedger() as ledger:
+            got = record_grid_run(
+                ledger, outcome, config=ReplayConfig(seed=99),
+                run_id="grid-fixed-id",
+            )
+            assert got == "grid-fixed-id"
+            assert ledger.get("grid-fixed-id").seed == 99

@@ -1,0 +1,443 @@
+"""Grid-fused sweeps: batched solvers, per-cell bit-identity, fallback
+parity.
+
+The contract under test: every cell of a :func:`repro.workload.parallel
+.run_grid` sweep is *bit-identical* to a hand-rolled per-point
+:func:`~repro.replay.session.replay_trace` loop — fused cells against
+forced ``engine="kernel"`` replay, declined cells against the same
+``engine`` setting the grid was given (so fallback metadata matches a
+serial sweep exactly).  The batched solvers are additionally pinned
+against their 1-D references row by row, including rows forced down the
+shared-head general path.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ReplayConfig
+from repro.errors import ReplayError
+from repro.replay.session import replay_trace
+from repro.sim.kernel import (
+    _solve_lindley,
+    _solve_lindley_grid,
+    _solve_link_chain,
+    _solve_link_chain_grid,
+)
+from repro.storage.array import DiskArray
+from repro.storage.hdd import HardDiskDrive
+from repro.storage.raid import RaidLevel
+from repro.storage.specs import SEAGATE_7200_12
+from repro.storage.ssd import SolidStateDrive
+from repro.trace.packed import pack
+from repro.trace.record import READ, WRITE, Bunch, IOPackage, Trace
+from repro.workload.parallel import run_grid
+
+_NEG_INF = float("-inf")
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """The fused path declines whole planes whenever instrumentation is
+    on; run this suite with the registry forced off so fusion happens
+    even under a process-wide ``TRACER_TELEMETRY=1`` run."""
+    from repro.telemetry import get_registry, set_enabled
+
+    prior = get_registry().enabled
+    set_enabled(False)
+    yield
+    set_enabled(prior)
+
+
+# ---------------------------------------------------------------------------
+# Batched solvers vs their 1-D references, row by row
+
+
+def _row_matrix(rng, n, n_rows):
+    """(P, n) submit matrices whose rows span idle, busy, and mixed
+    regimes — time-scaled copies of one arrival pattern, exactly the
+    shape the grid feeds the solvers."""
+    base = np.sort(rng.random(n) * 10.0)
+    scales = 0.25 + 2.0 * rng.random(n_rows)
+    yield np.outer(scales, base), rng.random(n) * 0.01   # mostly idle rows
+    yield np.outer(scales, base), rng.random(n) * 10.0   # fully busy rows
+    yield np.outer(scales, base), rng.random(n) * 0.5    # mixed / general
+    burst = np.repeat(np.arange(n // 4 + 1) * 3.0, 4)[:n]
+    yield np.outer(scales, burst), rng.random(n) * 0.4   # tied submits
+
+
+class TestGridLindleySolver:
+    @pytest.mark.parametrize("seed", [3, 17, 59])
+    @pytest.mark.parametrize("prev", [_NEG_INF, 2.5])
+    def test_rows_bit_identical_to_1d_solver(self, seed, prev):
+        rng = np.random.default_rng(seed)
+        for submit, sv in _row_matrix(rng, 193, 9):
+            got = _solve_lindley_grid(submit, sv, prev)
+            for i in range(submit.shape[0]):
+                expect = _solve_lindley(submit[i], sv, prev)
+                assert np.array_equal(got[i], expect), f"row {i}"
+
+    def test_general_path_rows(self):
+        """Rows engineered to defeat both fast paths (idle gap in the
+        middle, saturation elsewhere) must still match bit for bit —
+        this exercises the shared head-column union and refinement."""
+        rng = np.random.default_rng(41)
+        n = 128
+        submit = np.cumsum(rng.random((7, n)) * 0.2, axis=1)
+        submit[:, n // 2:] += 50.0  # idle restart mid-trace on every row
+        sv = rng.random(n) * 0.3
+        got = _solve_lindley_grid(submit, sv, 0.0)
+        for i in range(7):
+            assert np.array_equal(got[i], _solve_lindley(submit[i], sv, 0.0))
+
+    def test_degenerate_shapes(self):
+        empty = np.empty((3, 0), dtype=np.float64)
+        assert _solve_lindley_grid(empty, np.empty(0)).shape == (3, 0)
+        one = np.array([[2.0], [0.5]])
+        got = _solve_lindley_grid(one, np.array([0.25]), 1.0)
+        for i in range(2):
+            assert np.array_equal(
+                got[i], _solve_lindley(one[i], np.array([0.25]), 1.0)
+            )
+
+
+class TestGridLinkChainSolver:
+    @pytest.mark.parametrize("seed", [5, 23])
+    @pytest.mark.parametrize("prev", [_NEG_INF, 1.0])
+    def test_rows_bit_identical_to_1d_solver(self, seed, prev):
+        rng = np.random.default_rng(seed)
+        c = 5e-5
+        for t, p in _row_matrix(rng, 161, 8):
+            gd, gl = _solve_link_chain_grid(t, c, p * 1e-3, prev)
+            for i in range(t.shape[0]):
+                ed, el = _solve_link_chain(t[i], c, p * 1e-3, prev)
+                assert np.array_equal(gd[i], ed), f"row {i}"
+                assert np.array_equal(gl[i], el), f"row {i}"
+
+    def test_general_path_rows(self):
+        rng = np.random.default_rng(43)
+        n = 96
+        t = np.cumsum(rng.random((6, n)) * 1e-4, axis=1)
+        t[:, n // 3:] += 2.0
+        t[:, 2 * n // 3:] += 2.0
+        p = rng.random(n) * 1e-3
+        gd, gl = _solve_link_chain_grid(t, 5e-5, p, 0.0)
+        for i in range(6):
+            ed, el = _solve_link_chain(t[i], 5e-5, p, 0.0)
+            assert np.array_equal(gd[i], ed)
+            assert np.array_equal(gl[i], el)
+
+
+# ---------------------------------------------------------------------------
+# Grid cells vs per-point replay
+
+
+def _mixed_trace(n=48, fan=2, write_every=3):
+    """Packed trace with interleaved reads and writes (RAID-0-safe)."""
+    bunches = []
+    for i in range(n):
+        op = WRITE if i % write_every == 0 else READ
+        bunches.append(
+            Bunch(
+                i / 40,
+                [IOPackage(64 * (i * fan + j), 4096, op) for j in range(fan)],
+            )
+        )
+    return pack(Trace(bunches, label="grid-mixed"))
+
+
+def _read_trace(n=48, fan=2):
+    return pack(
+        Trace(
+            [
+                Bunch(
+                    i / 40,
+                    [
+                        IOPackage(64 * (i * fan + j), 4096, READ)
+                        for j in range(fan)
+                    ],
+                )
+                for i in range(n)
+            ],
+            label="grid-read",
+        )
+    )
+
+
+def _small_spec():
+    return dataclasses.replace(
+        SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024
+    )
+
+
+def _hdd():
+    return HardDiskDrive("g-hdd", _small_spec())
+
+
+def _ssd():
+    return SolidStateDrive("g-ssd")
+
+
+def _raid5():
+    return DiskArray(
+        [HardDiskDrive(f"g{i}", _small_spec()) for i in range(4)],
+        RaidLevel.RAID5,
+        name="g-raid5",
+    )
+
+
+def _raid0():
+    return DiskArray(
+        [HardDiskDrive(f"g{i}", _small_spec()) for i in range(4)],
+        RaidLevel.RAID0,
+        name="g-raid0",
+    )
+
+
+def _canon(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _canon_engine_neutral(result) -> str:
+    payload = result.to_dict()
+    payload["metadata"] = {
+        k: v
+        for k, v in payload["metadata"].items()
+        if not k.startswith("engine")
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+LOADS = (0.5, 1.0)
+SCALES = (1.0, 1.75)
+
+
+class TestGridVsPerPointKernel:
+    @pytest.mark.parametrize("factory", [_hdd, _ssd, _raid0, _raid5])
+    def test_full_json_bit_identity(self, factory):
+        trace = _read_trace()
+        outcome = run_grid(
+            {"t": trace}, {"d": factory}, loads=LOADS, time_scales=SCALES,
+            engine="kernel", parallel=False,
+        )
+        assert outcome.fused_cells == len(outcome.cells) == 4
+        for cell in outcome.cells:
+            serial = replay_trace(
+                trace, factory(), cell.load,
+                config=ReplayConfig(time_scale=cell.time_scale),
+                engine="kernel",
+            )
+            assert _canon(cell.result) == _canon(serial), cell.key
+
+    def test_mixed_ops_on_raid0(self):
+        trace = _mixed_trace()
+        outcome = run_grid(
+            {"t": trace}, {"d": _raid0}, loads=LOADS, time_scales=SCALES,
+            engine="kernel", parallel=False,
+        )
+        assert outcome.fused_cells == 4
+        for cell in outcome.cells:
+            serial = replay_trace(
+                trace, _raid0(), cell.load,
+                config=ReplayConfig(time_scale=cell.time_scale),
+                engine="kernel",
+            )
+            assert _canon(cell.result) == _canon(serial), cell.key
+
+    def test_chunking_invariance(self):
+        """A pathologically small chunk budget splits the face into many
+        slabs; results must not move by a single bit."""
+        trace = _read_trace()
+        big = run_grid(
+            {"t": trace}, {"d": _raid5},
+            loads=LOADS, time_scales=(1.0, 1.25, 1.5, 2.0),
+            engine="kernel", parallel=False,
+        )
+        tiny = run_grid(
+            {"t": trace}, {"d": _raid5},
+            loads=LOADS, time_scales=(1.0, 1.25, 1.5, 2.0),
+            engine="kernel", parallel=False, chunk_bytes=4096,
+        )
+        assert [_canon(c.result) for c in big.cells] == [
+            _canon(c.result) for c in tiny.cells
+        ]
+
+    def test_interval_frames_match_per_point_streaming(self):
+        trace = _read_trace()
+        outcome = run_grid(
+            {"t": trace}, {"d": _raid5}, loads=(1.0,), time_scales=SCALES,
+            engine="kernel", parallel=False, stream_interval=0.25,
+        )
+        for cell in outcome.cells:
+            serial = replay_trace(
+                trace, _raid5(), cell.load,
+                config=ReplayConfig(time_scale=cell.time_scale),
+                engine="kernel", stream_interval=0.25,
+            )
+            assert cell.result.metadata["interval_frames"] == \
+                serial.metadata["interval_frames"], cell.key
+            assert _canon(cell.result) == _canon(serial), cell.key
+
+
+class TestGridVsEventEngine:
+    """Sampled differential oracle: the fused kernel must agree with the
+    event-driven engine on everything but the engine provenance keys."""
+
+    @pytest.mark.parametrize("factory", [_hdd, _raid5])
+    def test_engine_neutral_equality(self, factory):
+        trace = _read_trace()
+        outcome = run_grid(
+            {"t": trace}, {"d": factory}, loads=(1.0,), time_scales=(1.0, 1.75),
+            engine="kernel", parallel=False,
+        )
+        for cell in outcome.cells:
+            event = replay_trace(
+                trace, factory(), cell.load,
+                config=ReplayConfig(time_scale=cell.time_scale),
+                engine="event",
+            )
+            assert _canon_engine_neutral(cell.result) == \
+                _canon_engine_neutral(event), cell.key
+
+
+class TestFallbackParity:
+    def test_raid5_writes_fall_back_with_per_point_metadata(self):
+        """Parity writes decline fusion; every cell must re-run per
+        point under the same ``engine="auto"`` — results *and* fallback
+        metadata identical to a hand-rolled serial loop."""
+        trace = _mixed_trace()
+        outcome = run_grid(
+            {"t": trace}, {"d": _raid5}, loads=LOADS, time_scales=SCALES,
+            engine="auto", parallel=False,
+        )
+        assert outcome.fused_cells == 0
+        assert outcome.engines == {"event": 4}
+        assert set(outcome.fallback_reasons) == {
+            c.key for c in outcome.cells
+        }
+        for cell in outcome.cells:
+            serial = replay_trace(
+                trace, _raid5(), cell.load,
+                config=ReplayConfig(time_scale=cell.time_scale),
+                engine="auto",
+            )
+            assert _canon(cell.result) == _canon(serial), cell.key
+            assert cell.fallback == serial.metadata["engine_fallback"]
+
+    def test_forced_kernel_raises_where_per_point_would(self):
+        with pytest.raises(ReplayError, match="does not qualify"):
+            run_grid(
+                {"t": _mixed_trace()}, {"d": _raid5},
+                engine="kernel", parallel=False,
+            )
+
+    def test_object_trace_replays_per_point(self):
+        obj = Trace(
+            [Bunch(i / 40, [IOPackage(64 * i, 4096, READ)]) for i in range(8)],
+            label="obj",
+        )
+        outcome = run_grid({"t": obj}, {"d": _hdd}, parallel=False)
+        assert outcome.fused_cells == 0
+        assert outcome.cells[0].engine == "event"
+        serial = replay_trace(obj, _hdd(), 1.0, engine="auto")
+        assert _canon(outcome.cells[0].result) == _canon(serial)
+
+    def test_telemetry_declines_fusion(self):
+        from repro.telemetry import enabled_telemetry
+
+        with enabled_telemetry():
+            outcome = run_grid(
+                {"t": _read_trace()}, {"d": _hdd}, parallel=False
+            )
+        assert outcome.fused_cells == 0
+        assert all(
+            "telemetry" in reason
+            for reason in outcome.fallback_reasons.values()
+        )
+
+
+class TestGridOutcomeShape:
+    def test_row_major_order_and_lookup(self):
+        traces = {"a": _read_trace(), "b": _read_trace(n=24)}
+        outcome = run_grid(
+            traces, {"hdd": _hdd, "raid": _raid5},
+            loads=LOADS, time_scales=SCALES, parallel=False,
+        )
+        assert outcome.shape == (2, 2, 2, 2)
+        assert len(outcome.cells) == 16
+        expect = [
+            (d, t, lo, ts)
+            for d in ("hdd", "raid")
+            for t in ("a", "b")
+            for lo in LOADS
+            for ts in SCALES
+        ]
+        got = [
+            (c.device, c.trace, c.load, c.time_scale) for c in outcome.cells
+        ]
+        assert got == expect
+        cell = outcome.cell("raid", "b", 0.5, 1.75)
+        assert (cell.device, cell.trace) == ("raid", "b")
+        with pytest.raises(KeyError):
+            outcome.cell("raid", "b", 0.33)
+
+    def test_engine_mix_counts_every_cell(self):
+        outcome = run_grid(
+            {"t": _read_trace()}, {"d": _raid5},
+            loads=LOADS, time_scales=SCALES, parallel=False,
+        )
+        assert sum(outcome.engines.values()) == len(outcome.cells)
+        assert outcome.engines == {"kernel": 4}
+        assert outcome.fallback_reasons == {}
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ReplayError, match="empty trace"):
+            run_grid(
+                {"t": pack(Trace([], label="empty"))}, {"d": _hdd},
+                parallel=False,
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            run_grid({"t": _read_trace()}, {"d": _hdd}, loads=())
+
+    def test_single_values_accepted_without_mappings(self):
+        """A bare trace / bare factory (no dicts) sweeps one plane."""
+        trace = _read_trace()
+        outcome = run_grid(trace, _hdd, loads=(1.0,), parallel=False)
+        assert outcome.traces == ("grid-read",)
+        assert outcome.devices == ("device",)
+        assert outcome.cells[0].engine == "kernel"
+
+
+def _module_hdd():
+    # Module-level for picklability across the pool boundary.
+    return HardDiskDrive(
+        "g-hdd",
+        dataclasses.replace(SEAGATE_7200_12, capacity_bytes=16 * 1024 * 1024),
+    )
+
+
+class TestUnfusedPoolPath:
+    def test_forced_pool_matches_serial(self):
+        """``engine="event"`` skips fusion entirely; with ``parallel=True``
+        the per-point remainder crosses the zero-copy pool path and must
+        still come back bit-identical and in row-major order."""
+        trace = _read_trace()
+        pooled = run_grid(
+            {"t": trace}, {"d": _module_hdd},
+            loads=LOADS, time_scales=SCALES,
+            engine="event", parallel=True, max_workers=2,
+        )
+        serial = run_grid(
+            {"t": trace}, {"d": _module_hdd},
+            loads=LOADS, time_scales=SCALES,
+            engine="event", parallel=False,
+        )
+        assert pooled.fused_cells == serial.fused_cells == 0
+        assert [c.key for c in pooled.cells] == [c.key for c in serial.cells]
+        assert [_canon(c.result) for c in pooled.cells] == [
+            _canon(c.result) for c in serial.cells
+        ]

@@ -256,6 +256,36 @@ class TestReportAndExport:
 
 
 class TestSweep:
+    def test_grid_sweep_records_ledger(self, trace_file, tmp_path, capsys):
+        ledger = tmp_path / "runs.sqlite"
+        rc = main([
+            "sweep", str(trace_file), "--grid",
+            "--loads", "0.5,1.0", "--time-scales", "1.0,2.0",
+            "--ledger", str(ledger),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "grid 1x1x2x2 (4 cells" in out
+        assert "recorded as run" in out
+
+        assert main(["runs", "list", str(ledger), "--origin", "grid"]) == 0
+        listing = capsys.readouterr().out
+        parent_id = listing.splitlines()[1].split()[0]
+        assert main([
+            "runs", "list", str(ledger), "--origin", f"cell:{parent_id}",
+        ]) == 0
+        cell_lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "cell:" in line
+        ]
+        assert len(cell_lines) == 4
+
+    def test_grid_sweep_rejects_bad_axis(self, trace_file, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "sweep", str(trace_file), "--grid", "--loads", "hot,cold",
+            ])
+
     def test_sweep_with_database(self, trace_file, tmp_path, capsys):
         db = tmp_path / "results.sqlite"
         rc = main([

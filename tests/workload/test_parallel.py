@@ -236,3 +236,79 @@ class TestSharedMemorySweep:
             probe.close()
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-aware scheduling and the grid front-end
+
+
+def _packed_read_trace(n=16):
+    from repro.trace.packed import pack
+    from repro.trace.record import READ, Bunch, IOPackage, Trace
+
+    bunches = [
+        Bunch(i / 64, [IOPackage(1024 * i, 4096, READ)]) for i in range(n)
+    ]
+    return pack(Trace(bunches, label="grid-front"))
+
+
+def _packed_write_trace(n=16):
+    from repro.trace.packed import pack
+    from repro.trace.record import WRITE, Bunch, IOPackage, Trace
+
+    bunches = [
+        Bunch(i / 64, [IOPackage(1024 * i, 4096, WRITE)]) for i in range(n)
+    ]
+    return pack(Trace(bunches, label="grid-front-w"))
+
+
+class TestKernelAwareScheduling:
+    def test_kernel_eligible_points_stay_in_process(self):
+        from repro.workload.parallel import _use_pool
+
+        assert _use_pool("auto", 100, kernel_eligible=True) is False
+        # Explicit booleans always win over the probe verdict.
+        assert _use_pool(True, 2, kernel_eligible=True) is True
+        assert _use_pool(False, 100, kernel_eligible=False) is False
+
+    @pytest.fixture
+    def _registry_off(self):
+        """The probe answers for the *current* telemetry state; pin it
+        off so these verdicts hold under a TRACER_TELEMETRY=1 run."""
+        from repro.telemetry import get_registry, set_enabled
+
+        prior = get_registry().enabled
+        set_enabled(False)
+        yield
+        set_enabled(prior)
+
+    def test_probe_accepts_kernel_qualifying_sweep(self, _registry_off):
+        from repro.workload.parallel import kernel_sweep_eligible
+
+        assert kernel_sweep_eligible(_packed_read_trace(), hdd_factory)
+
+    def test_probe_rejects_object_trace_and_parity_writes(self, _registry_off):
+        from repro.trace.record import READ, Bunch, IOPackage, Trace
+        from repro.workload.parallel import kernel_sweep_eligible
+
+        obj = Trace(
+            [Bunch(0.0, [IOPackage(0, 4096, READ)])], label="obj"
+        )
+        assert not kernel_sweep_eligible(obj, hdd_factory)
+        # RAID-5 parity writes take the event engine per point.
+        assert not kernel_sweep_eligible(_packed_write_trace(), hdd_factory)
+
+    def test_probe_rejects_under_telemetry(self):
+        from repro.telemetry import enabled_telemetry
+        from repro.workload.parallel import kernel_sweep_eligible
+
+        with enabled_telemetry():
+            assert not kernel_sweep_eligible(_packed_read_trace(), hdd_factory)
+
+    def test_probe_never_raises(self):
+        from repro.workload.parallel import kernel_sweep_eligible
+
+        def broken_factory():
+            raise RuntimeError("no device for you")
+
+        assert not kernel_sweep_eligible(_packed_read_trace(), broken_factory)
