@@ -46,12 +46,12 @@ def _emit_json():
     """Write the collected numbers once the module's benches finish."""
     yield
     if _RESULTS:
-        # Schema 4: adds the grid_vs_serial_kernel section (grid-fused
-        # parameter-matrix evaluation vs per-point kernel replay) and
-        # reworks sweep_shared_memory around the kernel-aware "auto"
-        # mode — its gated speedup now compares auto (in-process) with
-        # the old forced process pool.
-        payload = {"schema": 4, "results": _RESULTS}
+        # Schema 5: adds the policy_search_vs_serial section (fused
+        # policy search — one captured grid replay re-scored under every
+        # energy policy — vs the naive per-(cell × policy) replay loop).
+        # Schema 4 added grid_vs_serial_kernel and reworked
+        # sweep_shared_memory around the kernel-aware "auto" mode.
+        payload = {"schema": 5, "results": _RESULTS}
         if _BREAKDOWN:
             payload["breakdown"] = _BREAKDOWN
         _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -576,6 +576,134 @@ def test_grid_vs_serial_kernel():
     }
     assert speedup >= 10.0, f"grid only {speedup:.1f}x vs per-point kernel"
     assert grid_seconds < 10.0, f"grid matrix took {grid_seconds:.1f}s"
+
+
+def test_policy_search_vs_serial():
+    """Acceptance gate: the fused policy search is ≥8× the naive
+    per-(cell × policy) replay loop, bit-identical on every metric.
+
+    The naive alternative to :func:`run_policy_search` replays the
+    trace once per (base cell × policy) and scores that policy from the
+    per-point capture — (P+1) full replays per cell.  The search
+    replays the whole grid *once* through the fused kernel and
+    re-scores the frozen captures under every policy, so both sides
+    compute the same physics and every
+    :class:`~repro.energysaving.policy.PolicyMetrics` must agree to
+    the last bit.
+    """
+    from dataclasses import replace
+    from functools import partial
+
+    from repro.config import ReplayConfig
+    from repro.energysaving import DRPMPolicy, MAIDPolicy
+    from repro.energysaving.policy import BaselinePolicy, evaluate_policy
+    from repro.replay.capture import CaptureSink
+    from repro.storage.array import RaidLevel
+    from repro.workload.parallel import run_policy_search
+
+    def policies():
+        return [MAIDPolicy(idle_timeout=1.0), DRPMPolicy(step_timeout=0.5)]
+
+    config = ReplayConfig(sampling_cycle=1000.0)
+    # Larger traces than the grid bench: policy scoring is common to
+    # both sides, so the gate isolates the replay savings — the bigger
+    # the per-point replay, the closer the measured ratio gets to the
+    # true (P+1)-replays-per-cell waste the search eliminates.
+    traces = {
+        "read100": _grid_trace(3000, 100, seed=11),
+        "read70": _grid_trace(3000, 70, seed=12),
+    }
+    devices = {"hdd-raid0": partial(build_hdd_raid5, 6, level=RaidLevel.RAID0)}
+    loads = (0.4, 0.7, 1.0)
+    scales = tuple(round(0.5 + 1.5 * i / 15, 4) for i in range(16))
+
+    def fused():
+        return run_policy_search(
+            traces, devices, policies(),
+            loads=loads, time_scales=scales,
+            config=config, parallel=False,
+        )
+
+    def serial():
+        """One fresh replay per (cell × policy), the pre-search loop."""
+        rows = {}
+        probe = devices["hdd-raid0"]()
+        base_policy = BaselinePolicy()
+        base_policy.configure(probe)
+        pols = policies()
+        for policy in pols:
+            policy.configure(probe)
+        for tname in traces:
+            for load in loads:
+                for ts in scales:
+                    cell_key = f"hdd-raid0/{tname}@{load:g}x{ts:g}"
+                    per_cell = []
+                    for policy in [base_policy] + pols:
+                        sink = CaptureSink()
+                        replay_trace(
+                            traces[tname], devices["hdd-raid0"](), load,
+                            config=replace(config, time_scale=ts),
+                            engine="kernel", capture=sink,
+                        )
+                        if policy is base_policy:
+                            from dataclasses import replace as _rep
+
+                            base = _rep(
+                                policy.evaluate(
+                                    sink.capture, sampling_cycle=1000.0
+                                ),
+                                energy_saving=0.0, response_penalty=0.0,
+                            )
+                            per_cell.append(base)
+                        else:
+                            per_cell.append(
+                                evaluate_policy(
+                                    policy, sink.capture,
+                                    sampling_cycle=1000.0, baseline=base,
+                                )
+                            )
+                    for m in per_cell:
+                        rows[f"{cell_key}#{m.policy}"] = json.dumps(
+                            m.to_dict(), sort_keys=True
+                        )
+        return rows
+
+    fused()  # warm imports / allocators outside the timed region
+
+    t0 = time.perf_counter()
+    outcome = fused()
+    fused_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial_rows = serial()
+    serial_seconds = time.perf_counter() - t0
+
+    from_search = {
+        c.key: json.dumps(c.metrics.to_dict(), sort_keys=True)
+        for c in outcome.cells
+    }
+    identical = from_search == serial_rows
+    assert identical, "search metrics diverge from the per-point loop"
+    assert outcome.fused_cells == outcome.base_cells
+
+    speedup = serial_seconds / fused_seconds
+    print(
+        f"\npolicy search vs serial ({outcome.base_cells} base cells x "
+        f"{len(outcome.policies)} policies = {len(outcome.cells)} scored): "
+        f"serial {serial_seconds:.2f}s, fused {fused_seconds:.2f}s, "
+        f"{speedup:.1f}x"
+    )
+    _RESULTS["policy_search_vs_serial"] = {
+        "base_cells": outcome.base_cells,
+        "policies": list(outcome.policies),
+        "scored_cells": len(outcome.cells),
+        "fused_cells": outcome.fused_cells,
+        "serial_seconds": serial_seconds,
+        "fused_seconds": fused_seconds,
+        "speedup": speedup,
+        "bit_identical": identical,
+    }
+    assert speedup >= 8.0, f"search only {speedup:.1f}x vs per-point loop"
 
 
 def _timed(fn, *args) -> float:

@@ -1,0 +1,91 @@
+"""CI policy-search smoke.
+
+Drives ``tracer search`` end-to-end the way CI gates it:
+
+1. synthesise a webserver trace and sweep a 288-base-cell matrix
+   (6 loads × 48 time-scales) under two energy policies with
+   ``--verify`` — every cell re-derived per point and compared
+   bit-for-bit, the run recorded in a ledger, the outcome exported as
+   JSON;
+2. assert the exported outcome has the full matrix, a non-empty Pareto
+   frontier, and a complete IOPS/Watt ranking;
+3. round-trip the provenance: ``tracer runs list --origin search``
+   names the parent row and the per-cell rows are all present.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/ci_search_smoke.py artifacts
+
+Artifacts land under the given directory (default ``artifacts/``):
+``search.replay``, ``search.json``, ``search.md``, ``runs.sqlite``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+LOADS = "0.4,0.5,0.6,0.7,0.85,1.0"
+TIME_SCALES = ",".join(str(round(0.5 + 3.5 * i / 47, 4)) for i in range(48))
+POLICIES = "maid:idle_timeout=1,drpm:step_timeout=0.5"
+BASE_CELLS = 6 * 48
+
+
+def main(workdir: str = "artifacts") -> None:
+    out = Path(workdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    from repro.cli import main as tracer
+    from repro.host.ledger import RunLedger
+    from repro.trace.blktrace import write_trace
+    from repro.workload.webserver import generate_webserver_trace
+
+    trace_path = out / "search.replay"
+    write_trace(generate_webserver_trace(duration=2.0, seed=13), trace_path)
+
+    # 1. The full CLI path: fused search + per-point --verify + ledger.
+    code = tracer(
+        [
+            "search",
+            str(trace_path),
+            "--device", "hdd-raid0",
+            "--policies", POLICIES,
+            "--loads", LOADS,
+            "--time-scales", TIME_SCALES,
+            "--verify",
+            "--json", str(out / "search.json"),
+            "--output", str(out / "search.md"),
+            "--ledger", str(out / "runs.sqlite"),
+        ]
+    )
+    assert code == 0, f"tracer search --verify exited {code}"
+
+    # 2. The exported outcome carries the whole matrix.
+    outcome = json.loads((out / "search.json").read_text())
+    assert outcome["base_cells"] == BASE_CELLS, outcome["base_cells"]
+    assert len(outcome["cells"]) == BASE_CELLS * 3  # baseline + 2 policies
+    assert outcome["policies"] == ["baseline", "maid", "drpm"]
+    assert outcome["frontier"], "empty Pareto frontier"
+    assert len(outcome["ranking"]) == len(outcome["cells"])
+    print(
+        f"search smoke: {outcome['base_cells']} base cells x "
+        f"{len(outcome['policies'])} policies verified per point; "
+        f"frontier {len(outcome['frontier'])} cells; "
+        f"engines {outcome['engines']}"
+    )
+
+    # 3. Provenance round-trip: parent + per-cell ledger rows.
+    with RunLedger(out / "runs.sqlite") as ledger:
+        searches = ledger.list(origin="search")
+        assert len(searches) == 1, [r.run_id for r in searches]
+        parent = searches[0]
+        cells = ledger.list(origin=f"cell:{parent.run_id}")
+        assert len(cells) == BASE_CELLS * 3, len(cells)
+    code = tracer(
+        ["runs", "list", str(out / "runs.sqlite"), "--origin", "search"]
+    )
+    assert code == 0, f"tracer runs list exited {code}"
+    print(f"ledger: search run {parent.run_id} with {len(cells)} cell rows")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

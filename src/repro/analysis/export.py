@@ -1,20 +1,52 @@
-"""CSV export of evaluation outputs.
+"""Shared text/CSV writers for evaluation outputs.
 
 Plotting and statistics happen outside this library (the environment is
 matplotlib-free by design); these writers produce the flat files any
-external tool ingests.
+external tool ingests, plus the one table and JSON rendering every
+human-facing surface shares (``tracer runs show``, the policy
+comparison, the search report) so their formatting cannot drift apart.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Any, Iterable, Sequence, Union
 
 from ..host.records import TestRecord
 from ..replay.results import ReplayResult
 
 PathLike = Union[str, Path]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render a markdown pipe table; cells are stringified as given.
+
+    The single table writer every report in the repo uses — pass
+    pre-formatted strings for numeric cells so precision stays the
+    caller's decision.
+    """
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "---|" * len(headers),
+    ]
+    for row in rows:
+        cells = [str(c) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"table row has {len(cells)} cells, expected {len(headers)}"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_json(payload: Any) -> str:
+    """The one JSON rendering (sorted keys, 2-space indent) shared by
+    ``tracer runs show`` and every exported report artifact."""
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 RECORD_COLUMNS = [
     "test_time",

@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 
 from ..host.database import ResultsDatabase
 from ..host.records import TestRecord
+from .export import render_table
 
 ModeKey = Tuple[int, float, float]
 
@@ -87,6 +88,114 @@ def database_report(db: ResultsDatabase, title: str = "TRACER evaluation") -> st
         lines.append("|---|---|---|---|")
         for rank, (eff, device, heading) in enumerate(best, start=1):
             lines.append(f"| {rank} | {device} | {heading} | {eff:.1f} |")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def _search_row(rank: int, cell) -> List[str]:
+    m = cell.metrics
+    saving = m.energy_saving if m.energy_saving is not None else 0.0
+    penalty = (
+        m.response_penalty if m.response_penalty is not None else 0.0
+    )
+    return [
+        str(rank),
+        cell.key,
+        f"{m.iops_per_watt:.3f}",
+        f"{m.energy_joules:.3f}",
+        f"{saving * 100:.1f}%",
+        f"{m.mean_response * 1000:.3f}",
+        f"{m.p99_response * 1000:.3f}",
+        f"{penalty * 100:.1f}%",
+    ]
+
+
+SEARCH_HEADERS = (
+    "rank", "cell", "IOPS/W", "energy J",
+    "saving%", "resp ms", "p99 ms", "penalty%",
+)
+
+
+def search_report(
+    outcome,
+    title: str = "TRACER policy search",
+    top: int = 10,
+    deterministic: bool = False,
+) -> str:
+    """Ranked recommendation report for a policy search.
+
+    Renders the :class:`~repro.search.SearchOutcome` as markdown: the
+    IOPS/Watt ranking (the paper's headline efficiency metric), the
+    exact Pareto frontier (energy vs. mean response), and a one-line
+    recommendation.  ``deterministic=True`` omits engine provenance and
+    wall-clock so the text is byte-identical across runs and telemetry
+    settings — the form the golden tests pin.
+    """
+    lines = [f"# {title}", ""]
+    n_dev, n_trace, n_load, n_scale, n_pol = outcome.shape
+    lines.append(
+        f"{outcome.base_cells} base cell(s) "
+        f"({n_dev} device(s) × {n_trace} trace(s) × {n_load} load(s) × "
+        f"{n_scale} time-scale(s)) × {n_pol} policies = "
+        f"{len(outcome.cells)} scored cells."
+    )
+    lines.append("")
+    if not deterministic:
+        mix = ", ".join(
+            f"{k}×{v}" for k, v in sorted(outcome.engines.items())
+        )
+        lines.append(
+            f"Engine mix: {mix}; {outcome.fused_cells} cell(s) fused; "
+            f"{outcome.elapsed_seconds:.2f} s."
+        )
+        lines.append("")
+
+    ranked = outcome.ranked()
+    shown = ranked[: max(0, top)]
+    lines.append(f"## Efficiency ranking (IOPS/Watt, top {len(shown)})")
+    lines.append("")
+    lines.append(
+        render_table(
+            SEARCH_HEADERS,
+            [_search_row(i, c) for i, c in enumerate(shown, start=1)],
+        )
+    )
+    lines.append("")
+
+    front = outcome.frontier()
+    lines.append("## Pareto frontier (energy vs. mean response)")
+    lines.append("")
+    lines.append(
+        render_table(
+            ("cell", "energy J", "resp ms", "p99 ms", "IOPS/W"),
+            [
+                [
+                    c.key,
+                    f"{c.metrics.energy_joules:.3f}",
+                    f"{c.metrics.mean_response * 1000:.3f}",
+                    f"{c.metrics.p99_response * 1000:.3f}",
+                    f"{c.metrics.iops_per_watt:.3f}",
+                ]
+                for c in front
+            ],
+        )
+    )
+    lines.append("")
+
+    if ranked:
+        best = ranked[0]
+        m = best.metrics
+        saving = (m.energy_saving or 0.0) * 100
+        penalty = (m.response_penalty or 0.0) * 100
+        lines.append("## Recommendation")
+        lines.append("")
+        lines.append(
+            f"`{best.key}` delivers the best efficiency at "
+            f"{m.iops_per_watt:.3f} IOPS/Watt "
+            f"(energy saving {saving:.1f}%, "
+            f"response penalty {penalty:.1f}% vs. always-on)."
+        )
         lines.append("")
 
     return "\n".join(lines)

@@ -18,6 +18,9 @@ Subcommands mirror the evaluation workflow of §III-B:
 * ``watch``    — live view of a remote replay (streamed interval frames);
 * ``flightrec`` — dump the in-process flight recorder;
 * ``runs``     — query the run ledger (``list`` / ``show`` / ``diff``);
+* ``search``   — energy-policy Pareto search: one fused replay grid,
+  every cell re-scored under each policy, ranked by IOPS/Watt
+  (``--verify`` re-derives every cell per point and diffs bit-for-bit);
 * ``report`` / ``export`` — markdown report / CSV from a results database.
 """
 
@@ -46,18 +49,31 @@ def _device_factory(kind: str, n_disks: int) -> Callable:
     # across process boundaries.
     from functools import partial
 
+    from .storage.array import RaidLevel
+
     if kind == "hdd-raid5":
         return partial(build_hdd_raid5, n_disks)
     if kind == "ssd-raid5":
         return partial(build_ssd_raid5, n_disks)
-    raise SystemExit(f"unknown device type {kind!r} (hdd-raid5 | ssd-raid5)")
+    if kind == "hdd-raid0":
+        return partial(
+            build_hdd_raid5, n_disks, name="hdd-raid0", level=RaidLevel.RAID0
+        )
+    if kind == "ssd-raid0":
+        return partial(
+            build_ssd_raid5, n_disks, name="ssd-raid0", level=RaidLevel.RAID0
+        )
+    raise SystemExit(
+        f"unknown device type {kind!r} "
+        "(hdd-raid5 | ssd-raid5 | hdd-raid0 | ssd-raid0)"
+    )
 
 
 def _add_device_args(parser: argparse.ArgumentParser, default_disks: int = 6) -> None:
     parser.add_argument(
         "--device",
         default="hdd-raid5",
-        choices=["hdd-raid5", "ssd-raid5"],
+        choices=["hdd-raid5", "ssd-raid5", "hdd-raid0", "ssd-raid0"],
         help="simulated device under test",
     )
     parser.add_argument(
@@ -202,6 +218,96 @@ def cmd_sweep_grid(args: argparse.Namespace) -> int:
             )
         print(f"recorded as run {run_id} (+{len(outcome.cells)} cell rows) "
               f"in {args.ledger}")
+    return 0
+
+
+def _split_policy_specs(text: str) -> List[str]:
+    """Split ``--policies`` into specs, keeping params with their policy.
+
+    Commas separate policies *and* parameters, so a segment containing
+    ``=`` but no ``:`` continues the previous spec:
+    ``maid:idle_timeout=5,drpm:step_timeout=1,transition_time=0.5``
+    is two specs, the second with two parameters.
+    """
+    specs: List[str] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if specs and "=" in part and ":" not in part:
+            specs[-1] += "," + part
+        else:
+            specs.append(part)
+    return specs
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    from .analysis.export import render_json
+    from .analysis.report import search_report
+    from .energysaving.policy import PolicyError
+    from .search import build_policies, verify_search
+    from .trace.blktrace import read_trace_packed
+    from .workload.parallel import run_policy_search
+
+    trace = read_trace_packed(args.trace)
+    loads = _parse_axis(args.loads, "--loads")
+    time_scales = _parse_axis(args.time_scales, "--time-scales")
+    try:
+        policies = build_policies(_split_policy_specs(args.policies))
+    except PolicyError as exc:
+        raise SystemExit(str(exc))
+    if not policies:
+        raise SystemExit("--policies expects at least one policy spec")
+    traces = {Path(args.trace).stem: trace}
+    devices = {args.device: _device_factory(args.device, args.disks)}
+    config = ReplayConfig(sampling_cycle=args.cycle, engine=args.engine)
+    try:
+        outcome = run_policy_search(
+            traces,
+            devices,
+            policies,
+            loads=loads,
+            time_scales=time_scales,
+            config=config,
+            engine=args.engine,
+        )
+    except PolicyError as exc:
+        raise SystemExit(str(exc))
+
+    if args.frontier:
+        # Machine-friendly frontier listing instead of the full report.
+        for cell in outcome.frontier():
+            m = cell.metrics
+            print(f"{cell.key} energy={m.energy_joules:.3f}J "
+                  f"resp={m.mean_response * 1000:.3f}ms "
+                  f"iops_per_watt={m.iops_per_watt:.3f}")
+    else:
+        print(search_report(outcome, top=args.top))
+    if args.output:
+        Path(args.output).write_text(search_report(outcome, top=args.top))
+        print(f"report written to {args.output}")
+    if args.json:
+        Path(args.json).write_text(render_json(outcome.to_dict()))
+        print(f"search outcome written to {args.json}")
+    if args.ledger:
+        from .host.ledger import RunLedger, record_search_run
+
+        with RunLedger(args.ledger) as ledger:
+            run_id = record_search_run(ledger, outcome, config=config)
+        print(f"recorded as run {run_id} (+{len(outcome.cells)} cell rows) "
+              f"in {args.ledger}")
+    if args.verify:
+        mismatches = verify_search(
+            outcome, traces, devices, policies, config=config
+        )
+        if mismatches:
+            print(f"VERIFY FAILED: {len(mismatches)} mismatch(es)")
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print(f"verified: {outcome.base_cells} base cell(s) x "
+              f"{len(outcome.policies)} policies re-derived per point, "
+              "bit-identical")
     return 0
 
 
@@ -493,11 +599,11 @@ def cmd_runs_list(args: argparse.Namespace) -> int:
 
 
 def cmd_runs_show(args: argparse.Namespace) -> int:
-    import json
+    from .analysis.export import render_json
 
     with _open_ledger(args.ledger) as ledger:
         record = ledger.get(args.run_id)
-    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+    print(render_json(record.to_dict()))
     return 0
 
 
@@ -724,6 +830,40 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("run_a")
     rp.add_argument("run_b")
     rp.set_defaults(func=cmd_runs_diff)
+
+    p = sub.add_parser(
+        "search",
+        help="energy-policy Pareto search over a fused replay grid",
+    )
+    _add_device_args(p)
+    p.add_argument("trace")
+    p.add_argument("--policies", default="maid,drpm",
+                   help="comma-separated policy specs, e.g. "
+                   "'maid:idle_timeout=5,drpm,pdc' (a baseline is always "
+                   "evaluated implicitly)")
+    p.add_argument("--loads", default="0.5,1.0",
+                   help="comma-separated load proportions")
+    p.add_argument("--time-scales", default="1.0",
+                   help="comma-separated time-scale factors")
+    p.add_argument("--cycle", type=float, default=1.0,
+                   help="sampling cycle seconds")
+    p.add_argument("--engine", choices=("auto", "event", "kernel"),
+                   default="auto", help="engine for the base replay grid")
+    p.add_argument("--top", type=int, default=10,
+                   help="ranking rows in the report")
+    p.add_argument("--frontier", action="store_true",
+                   help="print only the Pareto-frontier cells, one per line")
+    p.add_argument("--verify", action="store_true",
+                   help="re-derive every cell per point (kernel/event) and "
+                   "fail on any bitwise metric difference")
+    p.add_argument("--output", default="",
+                   help="write the full markdown report to this file")
+    p.add_argument("--json", default="",
+                   help="write the full search outcome as JSON to this file")
+    p.add_argument("--ledger", default="",
+                   help="record the search (parent + per-cell rows) in this "
+                   "sqlite ledger")
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("report", help="markdown report from a results database")
     p.add_argument("database")

@@ -21,19 +21,39 @@ framework has something to evaluate (see
   saving vs. response-time penalty) using TRACER's metrics.
 """
 
-from .maid import MAIDArray
-from .drpm import DRPMDisk, DRPMArray, SPEED_LEVELS
-from .pdc import PDCArray
-from .eraid import ERAIDArray
+from .maid import MAIDArray, MAIDPolicy
+from .drpm import DRPMDisk, DRPMArray, DRPMPolicy, SPEED_LEVELS
+from .pdc import PDCArray, PDCPolicy
+from .eraid import ERAIDArray, ERAIDPolicy
+from .policy import (
+    AnalyticPolicy,
+    BaselinePolicy,
+    Policy,
+    PolicyError,
+    PolicyMetrics,
+    Transition,
+    evaluate_policy,
+)
 from .report import PolicyComparison, compare_policies
 
 __all__ = [
     "MAIDArray",
+    "MAIDPolicy",
     "DRPMDisk",
     "DRPMArray",
+    "DRPMPolicy",
     "SPEED_LEVELS",
     "PDCArray",
+    "PDCPolicy",
     "ERAIDArray",
+    "ERAIDPolicy",
+    "AnalyticPolicy",
+    "BaselinePolicy",
+    "Policy",
+    "PolicyError",
+    "PolicyMetrics",
+    "Transition",
+    "evaluate_policy",
     "PolicyComparison",
     "compare_policies",
 ]

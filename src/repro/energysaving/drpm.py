@@ -12,7 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import StorageConfigError
+from .policy import (
+    AnalyticPolicy,
+    MemberBuild,
+    PolicyBuild,
+    PowerProgram,
+    baseline_member_build,
+    busy_segments,
+    idle_gap_segments,
+)
 from ..sim.engine import Simulator
 from ..storage.array import DiskArray
 from ..storage.hdd import HardDiskDrive
@@ -168,3 +179,129 @@ class DRPMArray(DiskArray):
             elif util > self.up_threshold and disk.speed != 1.0:
                 disk.set_speed(1.0)
         sim.schedule(t1 + self.window, self._policy_tick, priority=20)
+
+
+class DRPMPolicy(AnalyticPolicy):
+    """Analytic DRPM: step idle members down the RPM ladder.
+
+    The pure-function counterpart of :class:`DRPMArray` for the policy
+    search.  A member gap steps down one :data:`SPEED_LEVELS` entry per
+    ``step_timeout`` of idleness (windage-law dwell power, the same
+    derating :class:`DRPMDisk` applies) and reserves
+    ``transition_time`` at seek power to restore full speed before the
+    next committed request.  A gap only steps down when the dwell
+    savings cover the restore ramp, so gap energy is bounded by the
+    always-on draw from above and by the lowest-RPM dwell power from
+    below — the bound the property tier asserts.  Members without a
+    seek model (SSDs) pass through unchanged.
+    """
+
+    name = "drpm"
+
+    def __init__(
+        self, step_timeout: float = 2.0, transition_time: float = 1.0
+    ) -> None:
+        super().__init__()
+        if step_timeout <= 0:
+            raise StorageConfigError("step_timeout must be positive")
+        if transition_time < 0:
+            raise StorageConfigError("transition_time must be >= 0")
+        self.step_timeout = float(step_timeout)
+        self.transition_time = float(transition_time)
+
+    @property
+    def params(self):
+        return {
+            "step_timeout": self.step_timeout,
+            "transition_time": self.transition_time,
+        }
+
+    def dwell_watts(self, idle_watts: float) -> np.ndarray:
+        """Idle power at each RPM level, full speed first."""
+        return np.asarray(
+            [idle_watts * _derate(s).idle_power_factor for s in SPEED_LEVELS]
+        )
+
+    def _build(self, capture) -> PolicyBuild:
+        members = [
+            self._member(spec, profile, gs, ge, capture.end)
+            for spec, profile, gs, ge in self._prepared(capture)
+        ]
+        return PolicyBuild(members)
+
+    def _member(self, spec, profile, gs, ge, end) -> MemberBuild:
+        idle = spec.idle_watts
+        if spec.seek_watts is None or gs.size == 0:
+            return baseline_member_build(spec, profile, gs, ge)
+        step = self.step_timeout
+        ramp = self.transition_time
+        dwell = self.dwell_watts(idle)
+        top = len(SPEED_LEVELS) - 1
+        length = ge - gs
+        interior = ge < end
+        usable = length - np.where(interior, ramp, 0.0)
+        n_down = np.where(
+            usable > 0,
+            np.minimum(top, np.floor(usable / step).astype(np.int64)),
+            0,
+        )
+        hold_end = np.where(interior, ge - ramp, ge)
+        # Break-even gate: dwell savings must cover the restore ramp.
+        cum_save = np.concatenate(
+            (np.zeros(1), np.cumsum(step * (idle - dwell[1:])))
+        )
+        tail_save = (hold_end - gs - n_down * step) * (idle - dwell[n_down])
+        savings = cum_save[np.maximum(n_down - 1, 0)] + np.where(
+            n_down > 0, tail_save, 0.0
+        )
+        ramp_cost = np.where(interior, (spec.seek_watts - idle) * ramp, 0.0)
+        n_down = np.where(savings >= ramp_cost, n_down, 0)
+
+        active = n_down >= 1
+        pieces = [
+            busy_segments(profile),
+            idle_gap_segments(gs[~active], ge[~active], idle),
+            # Full-speed dwell before the first downshift.
+            (
+                gs[active],
+                gs[active] + step,
+                np.full(int(np.count_nonzero(active)), idle),
+            ),
+        ]
+        transitions = []
+        for k in range(1, top + 1):
+            mk = n_down >= k
+            if not bool(np.any(mk)):
+                break
+            seg_start = gs[mk] + k * step
+            seg_end = np.where(
+                n_down[mk] == k, hold_end[mk], gs[mk] + (k + 1) * step
+            )
+            pieces.append(
+                (seg_start, seg_end, np.full(seg_start.shape, dwell[k]))
+            )
+            transitions.append((seg_start, f"speed:{SPEED_LEVELS[k]:g}"))
+        restore = active & interior
+        r0 = hold_end[restore]
+        pieces.append(
+            (r0, ge[restore], np.full(r0.shape, spec.seek_watts))
+        )
+        if r0.size:
+            transitions.append((r0, "speed:1"))
+        windows = None
+        if r0.size:
+            windows = (
+                gs[restore] + step,
+                ge[restore],
+                np.full(r0.shape, ramp),
+            )
+        slow = hold_end[active] - gs[active] - step
+        return MemberBuild(
+            PowerProgram.concat(pieces),
+            transitions=transitions,
+            windows=windows,
+            counters={
+                "downshifts": float(np.sum(n_down)),
+                "slow_seconds": float(np.sum(slow)),
+            },
+        )

@@ -27,7 +27,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import StorageConfigError
+from .policy import (
+    AnalyticPolicy,
+    MemberBuild,
+    PolicyBuild,
+    PowerProgram,
+    baseline_member_build,
+)
 from ..power.model import EnergyMeter
 from ..power.states import PowerState
 from ..sim.engine import Simulator
@@ -278,3 +287,115 @@ class ERAIDArray(StorageDevice):
         for pair, pkg in backlog:
             self.resynced_writes += 1
             self.disks[2 * pair + 1].submit(pkg, _done)
+
+
+class ERAIDPolicy(AnalyticPolicy):
+    """Analytic eRAID for the policy search.
+
+    The pure-function counterpart of :class:`ERAIDArray`: members pair
+    up mirror-style (``i`` with ``i + n//2``); in each pair the
+    less-busy member parks in standby for the whole horizon when its
+    utilisation is at or below ``utilization_threshold``.  Its
+    committed service is redirected to the partner (charged as a
+    constant-power stream so no energy disappears), reads served while
+    parked count as degraded — never more than the workload's reads,
+    the invariant the property tier asserts — and the write fraction
+    of the redirected service is resynced at write power before the
+    horizon ends.
+    """
+
+    name = "eraid"
+
+    def __init__(self, utilization_threshold: float = 0.2) -> None:
+        super().__init__()
+        if not 0.0 <= utilization_threshold <= 1.0:
+            raise StorageConfigError(
+                "utilization_threshold must be within [0, 1]"
+            )
+        self.utilization_threshold = float(utilization_threshold)
+
+    @property
+    def params(self):
+        return {"utilization_threshold": self.utilization_threshold}
+
+    def _build(self, capture) -> PolicyBuild:
+        prepared = self._prepared(capture)
+        n = len(prepared)
+        end = capture.end
+        half = n // 2
+        sleeping = set()
+        for i in range(half):
+            j = i + half
+            busy_i = prepared[i][1].busy_seconds
+            busy_j = prepared[j][1].busy_seconds
+            si = i if busy_i <= busy_j else j
+            spec_s, profile_s = prepared[si][0], prepared[si][1]
+            util = profile_s.busy_seconds / end if end > 0 else 0.0
+            if spec_s.can_spin_down and util <= self.utilization_threshold:
+                sleeping.add(si)
+        total_bytes = capture.read_bytes + capture.write_bytes
+        write_fraction = (
+            capture.write_bytes / total_bytes if total_bytes else 0.0
+        )
+        members = []
+        extras = []
+        counters = {
+            "sleeping_members": float(len(sleeping)),
+            "degraded_reads": 0.0,
+            "resync_seconds": 0.0,
+            "redirected_joules": 0.0,
+        }
+        for i, (spec, profile, gs, ge) in enumerate(prepared):
+            if i not in sleeping:
+                members.append(baseline_member_build(spec, profile, gs, ge))
+                continue
+            redirected = float(
+                np.sum(profile.watts * (profile.ends - profile.starts))
+            )
+            resync = min(profile.busy_seconds * write_fraction, end)
+            program = PowerProgram.concat(
+                [
+                    (
+                        np.zeros(1),
+                        np.asarray([end - resync]),
+                        np.asarray([spec.standby_watts]),
+                    ),
+                    (
+                        np.asarray([end - resync]),
+                        np.asarray([end]),
+                        np.asarray([spec.write_watts]),
+                    ),
+                ]
+            )
+            transitions = [(np.zeros(1), "standby")]
+            if resync > 0:
+                transitions.append((np.asarray([end - resync]), "resync"))
+            windows = None
+            if profile.starts.size:
+                windows = (
+                    profile.starts,
+                    profile.ends,
+                    profile.ends - profile.starts,
+                )
+            members.append(
+                MemberBuild(program, transitions=transitions, windows=windows)
+            )
+            if redirected > 0 and end > 0:
+                extras.append(
+                    PowerProgram(
+                        np.zeros(1),
+                        np.asarray([end]),
+                        np.asarray([redirected / end]),
+                    )
+                )
+            counters["degraded_reads"] += float(
+                min(profile.starts.size, capture.reads)
+            )
+            counters["resync_seconds"] += resync
+            counters["redirected_joules"] += redirected
+        # A read can only degrade once however many mirrors sleep: the
+        # array-wide count is capped by the reads the trace served.
+        counters["degraded_reads"] = float(
+            min(counters["degraded_reads"], capture.reads)
+        )
+        return PolicyBuild(members, extras=extras, counters=counters)

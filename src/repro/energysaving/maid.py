@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import StorageConfigError
+from .policy import AnalyticPolicy, PolicyBuild, spin_down_gap_build
 from ..power.model import EnergyMeter
 from ..power.states import PowerState
 from ..sim.engine import Simulator
@@ -186,3 +187,37 @@ class MAIDArray(StorageDevice):
             sim.schedule_after(0.1, _when_ready, priority=5)
         else:
             disk.submit(sub, _done)
+
+
+class MAIDPolicy(AnalyticPolicy):
+    """Analytic MAID: spin idle members down after ``idle_timeout``.
+
+    The pure-function counterpart of :class:`MAIDArray` for the policy
+    search: member gaps longer than the timeout are rewritten to
+    idle → standby → spin-up power, gated so a sleep can never cost
+    energy (see :func:`~repro.energysaving.policy.spin_down_gap_build`
+    for the break-even condition and the monotonicity argument).
+    Members whose spec has no standby state (SSDs) pass through
+    unchanged.
+    """
+
+    name = "maid"
+
+    def __init__(self, idle_timeout: float = 10.0) -> None:
+        super().__init__()
+        if idle_timeout <= 0:
+            raise StorageConfigError("idle_timeout must be positive")
+        self.idle_timeout = float(idle_timeout)
+
+    @property
+    def params(self):
+        return {"idle_timeout": self.idle_timeout}
+
+    def _build(self, capture) -> PolicyBuild:
+        members = [
+            spin_down_gap_build(
+                spec, profile, gs, ge, capture.end, self.idle_timeout
+            )
+            for spec, profile, gs, ge in self._prepared(capture)
+        ]
+        return PolicyBuild(members)

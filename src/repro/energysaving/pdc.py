@@ -28,7 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import StorageConfigError
+from .policy import (
+    AnalyticPolicy,
+    PolicyBuild,
+    PowerProgram,
+    baseline_member_build,
+    spin_down_gap_build,
+)
 from ..power.model import EnergyMeter
 from ..power.states import PowerState
 from ..sim.engine import Simulator
@@ -345,3 +354,75 @@ class PDCArray(StorageDevice):
         """Invariant: every (disk, slot) home is owned by one segment."""
         homes = set(self._map)
         return len(homes) == self.n_segments
+
+
+class PDCPolicy(AnalyticPolicy):
+    """Analytic Popular Data Concentration for the policy search.
+
+    The pure-function counterpart of :class:`PDCArray`: the less-busy
+    half of the members (by committed busy seconds) gets MAID-style
+    spin-down gaps, and the migration that concentrates popular data is
+    charged as a constant-power stream on the busiest member —
+    ``min(migration_budget, bytes written)`` bytes at that member's
+    transfer rate and write power.  The migrated volume can never
+    exceed the bytes the workload wrote, the invariant the property
+    tier asserts.
+    """
+
+    name = "pdc"
+
+    def __init__(
+        self,
+        idle_timeout: float = 5.0,
+        migration_budget: int = 256 * 1024 * 1024,
+    ) -> None:
+        super().__init__()
+        if idle_timeout <= 0:
+            raise StorageConfigError("idle_timeout must be positive")
+        if migration_budget < 0:
+            raise StorageConfigError("migration_budget must be >= 0")
+        self.idle_timeout = float(idle_timeout)
+        self.migration_budget = int(migration_budget)
+
+    @property
+    def params(self):
+        return {
+            "idle_timeout": self.idle_timeout,
+            "migration_budget": float(self.migration_budget),
+        }
+
+    def _build(self, capture) -> PolicyBuild:
+        prepared = self._prepared(capture)
+        n = len(prepared)
+        order = sorted(
+            range(n), key=lambda i: (prepared[i][1].busy_seconds, i)
+        )
+        cold = set(order[: n // 2]) if n >= 2 else set()
+        members = []
+        for i, (spec, profile, gs, ge) in enumerate(prepared):
+            if i in cold:
+                members.append(
+                    spin_down_gap_build(
+                        spec, profile, gs, ge, capture.end, self.idle_timeout
+                    )
+                )
+            else:
+                members.append(baseline_member_build(spec, profile, gs, ge))
+        migrated = min(self.migration_budget, capture.write_bytes)
+        counters = {
+            "migrated_bytes": float(migrated),
+            "cold_members": float(len(cold)),
+        }
+        extras = []
+        if migrated and capture.end > 0:
+            hot_spec = prepared[order[-1]][0]
+            joules = hot_spec.write_watts * (migrated / hot_spec.transfer_rate)
+            extras.append(
+                PowerProgram(
+                    np.zeros(1),
+                    np.asarray([capture.end]),
+                    np.asarray([joules / capture.end]),
+                )
+            )
+            counters["migration_joules"] = joules
+        return PolicyBuild(members, extras=extras, counters=counters)

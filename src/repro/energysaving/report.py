@@ -94,19 +94,54 @@ def compare_policies(
     return rows
 
 
+COMPARISON_HEADERS = (
+    "policy", "energy J", "saving%", "resp ms", "penalty%", "MBPS", "IOPS/W",
+)
+
+
+def comparison_rows(rows: Sequence[PolicyComparison]) -> List[List[str]]:
+    """Pre-formatted table cells for :func:`format_comparison`."""
+    return [
+        [
+            row.name,
+            f"{row.result.energy_joules:.1f}",
+            f"{row.energy_saving * 100:.1f}%",
+            f"{row.result.mean_response * 1000:.3f}",
+            f"{row.response_penalty * 100:.1f}%",
+            f"{row.result.mbps:.2f}",
+            f"{row.iops_per_watt:.2f}",
+        ]
+        for row in rows
+    ]
+
+
 def format_comparison(rows: Sequence[PolicyComparison]) -> str:
-    """Fixed-width table for bench/example output."""
-    header = (
-        f"{'policy':<20} {'energy J':>10} {'saving%':>8} {'resp ms':>9} "
-        f"{'penalty%':>9} {'MBPS':>8} {'IOPS/W':>8}"
+    """Comparison table through the shared markdown writer.
+
+    Rendered by :func:`repro.analysis.export.render_table` — the same
+    writer ``tracer runs show`` and the search report use — so the
+    bench/example output can no longer drift from the CLI's formatting.
+    """
+    from ..analysis.export import render_table
+
+    return render_table(COMPARISON_HEADERS, comparison_rows(rows))
+
+
+def comparison_json(rows: Sequence[PolicyComparison]) -> str:
+    """Comparison rows through the shared JSON writer."""
+    from ..analysis.export import render_json
+
+    return render_json(
+        [
+            {
+                "policy": row.name,
+                "energy_joules": row.result.energy_joules,
+                "energy_saving": row.energy_saving,
+                "mean_response": row.result.mean_response,
+                "response_penalty": row.response_penalty,
+                "mbps": row.result.mbps,
+                "iops_per_watt": row.iops_per_watt,
+            }
+            for row in rows
+        ]
     )
-    lines = [header, "-" * len(header)]
-    for row in rows:
-        lines.append(
-            f"{row.name:<20} {row.result.energy_joules:>10.1f} "
-            f"{row.energy_saving * 100:>7.1f}% "
-            f"{row.result.mean_response * 1000:>9.3f} "
-            f"{row.response_penalty * 100:>8.1f}% "
-            f"{row.result.mbps:>8.2f} {row.iops_per_watt:>8.2f}"
-        )
-    return "\n".join(lines)

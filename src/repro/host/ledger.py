@@ -400,3 +400,102 @@ def record_grid_run(
         )
         ledger.append(record)
     return parent_id
+
+
+def record_search_run(
+    ledger: RunLedger,
+    outcome,
+    config=None,
+    run_id: Optional[str] = None,
+) -> str:
+    """Record a policy search: one parent row plus one row per scored cell.
+
+    The parent row (``origin="search"``) carries the search axes —
+    devices, traces, loads, time-scales, *and policies* — plus the
+    engine mix and timing, so ``tracer runs list --origin search``
+    enumerates searches.  Every (base cell × policy) point lands as its
+    own row with ``origin="cell:<parent_id>"``, the policy name and
+    parameters in its mode vector, and the policy metrics as its
+    diffable summary, so ``tracer runs list --origin cell:<id>`` walks
+    one search's full matrix and ``tracer runs diff`` compares any two
+    policy cells.
+
+    ``outcome`` is a :class:`repro.search.SearchOutcome`; ``config`` the
+    search's :class:`~repro.config.ReplayConfig`.  Returns the parent
+    run id.
+    """
+    from dataclasses import asdict
+
+    replay = asdict(config) if config is not None else None
+    parent_id = run_id if run_id is not None else new_run_id()
+    mode = {
+        "devices": list(outcome.devices),
+        "traces": list(outcome.traces),
+        "loads": list(outcome.loads),
+        "time_scales": list(outcome.time_scales),
+        "policies": list(outcome.policies),
+        "shape": list(outcome.shape),
+        "sampling_cycle": outcome.sampling_cycle,
+    }
+    summary: Dict[str, Any] = {
+        "base_cells": float(outcome.base_cells),
+        "cells": float(len(outcome.cells)),
+        "frontier_cells": float(len(outcome.frontier())),
+        "fused_cells": float(outcome.fused_cells),
+        "fallback_cells": float(len(outcome.fallback_reasons)),
+        "elapsed_seconds": float(outcome.elapsed_seconds),
+    }
+    for engine, count in sorted(outcome.engines.items()):
+        summary[f"{engine}_cells"] = float(count)
+    parent = RunRecord(
+        run_id=parent_id,
+        created=_time.time(),
+        origin="search",
+        trace_label=",".join(outcome.traces),
+        mode=mode,
+        seed=(replay or {}).get("seed"),
+        config_hash=config_fingerprint(mode, replay),
+        git_sha=current_git_sha(),
+        summary=summary,
+    )
+    ledger.append(parent)
+    for cell in outcome.cells:
+        m = cell.metrics
+        cell_mode = {
+            "device": cell.device,
+            "trace": cell.trace,
+            "load": cell.load,
+            "time_scale": cell.time_scale,
+            "policy": cell.policy,
+            "params": dict(sorted(m.params.items())),
+            "fused": cell.fused,
+        }
+        cell_summary: Dict[str, Any] = {
+            "energy_joules": m.energy_joules,
+            "mean_watts": m.mean_watts,
+            "energy_per_io": m.energy_per_io,
+            "iops": m.iops,
+            "iops_per_watt": m.iops_per_watt,
+            "mean_response": m.mean_response,
+            "p99_response": m.p99_response,
+            "transitions": float(m.transitions),
+            "on_frontier": 1.0 if cell.on_frontier else 0.0,
+        }
+        if m.energy_saving is not None:
+            cell_summary["energy_saving"] = m.energy_saving
+        if m.response_penalty is not None:
+            cell_summary["response_penalty"] = m.response_penalty
+        ledger.append(
+            RunRecord(
+                run_id=new_run_id(),
+                created=_time.time(),
+                origin=f"cell:{parent_id}",
+                trace_label=cell.trace,
+                mode=cell_mode,
+                seed=(replay or {}).get("seed"),
+                config_hash=config_fingerprint(cell_mode, replay),
+                git_sha=current_git_sha(),
+                summary=cell_summary,
+            )
+        )
+    return parent_id

@@ -60,10 +60,14 @@ class ReplaySession:
         stream_interval: Optional[float] = None,
         on_frame=None,
         engine: Optional[str] = None,
+        capture=None,
     ) -> None:
         if faults is not None and not faults.empty:
             device = FaultInjector(device, faults)
         self.device = device
+        # Optional CaptureSink the run fills with a ReplayCapture —
+        # the frozen record the energy-policy oracle re-scores.
+        self.capture_sink = capture
         self.config = config or ReplayConfig()
         if engine is not None:
             from dataclasses import replace
@@ -254,6 +258,16 @@ class ReplaySession:
                     stream_interval=self.stream_interval,
                 )
             if kernel_outcome is not None:
+                if self.capture_sink is not None:
+                    from .capture import workload_totals
+
+                    self.capture_sink.finish(
+                        unwrap(self.device),
+                        end=sim.now,
+                        finishes=kernel_outcome.finishes,
+                        responses=kernel_outcome.responses,
+                        totals=workload_totals(manipulated),
+                    )
                 return self._kernel_result(
                     kernel_outcome, manipulated, load_proportion, sim,
                     slog, start,
@@ -309,6 +323,14 @@ class ReplaySession:
                 record_perf(completion)
                 observe_frame(completion)
 
+        if self.capture_sink is not None:
+            inner_hook = on_completion
+            observe_capture = self.capture_sink.observe
+
+            def on_completion(completion, _inner=inner_hook):
+                _inner(completion)
+                observe_capture(completion)
+
         engine = ReplayEngine(
             sim, manipulated, self.device, on_completion=on_completion
         )
@@ -337,6 +359,16 @@ class ReplaySession:
             "finish", time=end, trace=manipulated.label,
             completed=monitor.total_completed, duration=end - start,
         )
+
+        if self.capture_sink is not None:
+            fin_series, resp_series = self.capture_sink.observed_series()
+            self.capture_sink.finish(
+                target,
+                end=end,
+                finishes=fin_series,
+                responses=resp_series,
+                totals=self.capture_sink.observed_totals(),
+            )
 
         duration = end - start
         total_bytes = monitor.total_bytes
@@ -420,6 +452,7 @@ def replay_trace(
     stream_interval: Optional[float] = None,
     on_frame=None,
     engine: Optional[str] = None,
+    capture=None,
 ) -> ReplayResult:
     """Convenience one-shot wrapper around :class:`ReplaySession`."""
     return ReplaySession(
@@ -429,4 +462,5 @@ def replay_trace(
         stream_interval=stream_interval,
         on_frame=on_frame,
         engine=engine,
+        capture=capture,
     ).run(trace, load_proportion)

@@ -1,0 +1,35 @@
+"""Energy-policy Pareto search at kernel speed.
+
+The paper's headline question — *which storage configuration and
+energy policy is most efficient for this workload?* — answered as one
+sweep: :func:`repro.workload.parallel.run_policy_search` replays a
+(device × trace × load × time-scale) grid once through the fused
+kernel with per-cell captures, this package re-scores every capture
+under each energy policy (:mod:`repro.energysaving.policy`), reduces
+the matrix to its exact Pareto frontier (energy vs. response time),
+and ranks the cells by IOPS/Watt.  ``tracer search`` is the CLI;
+``--verify`` re-derives every cell per point and diffs bit-for-bit.
+"""
+
+from .driver import (
+    SearchCell,
+    SearchOutcome,
+    available_policies,
+    build_policies,
+    evaluate_search,
+    policy_from_spec,
+    verify_search,
+)
+from .pareto import dominates, pareto_indices
+
+__all__ = [
+    "SearchCell",
+    "SearchOutcome",
+    "available_policies",
+    "build_policies",
+    "evaluate_search",
+    "policy_from_spec",
+    "verify_search",
+    "dominates",
+    "pareto_indices",
+]

@@ -1,0 +1,417 @@
+"""Policy-search assembly and verification.
+
+:func:`evaluate_search` turns a capture-carrying
+:class:`~repro.workload.parallel.GridOutcome` into a
+:class:`SearchOutcome`: every base cell's frozen capture is re-scored
+under an implicit always-on baseline plus each requested policy, and
+the full (cell × policy) matrix is reduced to its exact Pareto
+frontier (energy vs. mean response time).
+
+:func:`verify_search` is the trust anchor ``tracer search --verify``
+invokes: each base cell is replayed *per point* — ``engine="kernel"``
+where the fused grid used the kernel, ``engine="event"`` otherwise —
+its capture re-scored through the same policies, and every metric
+compared bit-for-bit against the search outcome.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..config import ReplayConfig
+from ..energysaving.policy import (
+    AnalyticPolicy,
+    BaselinePolicy,
+    PolicyError,
+    PolicyMetrics,
+    evaluate_policy,
+)
+from .pareto import pareto_indices
+
+__all__ = [
+    "SearchCell",
+    "SearchOutcome",
+    "available_policies",
+    "policy_from_spec",
+    "build_policies",
+    "evaluate_search",
+    "verify_search",
+]
+
+
+def _policy_registry() -> Dict[str, type]:
+    from ..energysaving.drpm import DRPMPolicy
+    from ..energysaving.eraid import ERAIDPolicy
+    from ..energysaving.maid import MAIDPolicy
+    from ..energysaving.pdc import PDCPolicy
+
+    return {
+        "baseline": BaselinePolicy,
+        "maid": MAIDPolicy,
+        "drpm": DRPMPolicy,
+        "pdc": PDCPolicy,
+        "eraid": ERAIDPolicy,
+    }
+
+
+def available_policies() -> Tuple[str, ...]:
+    return tuple(sorted(_policy_registry()))
+
+
+def policy_from_spec(spec: str) -> AnalyticPolicy:
+    """Build a policy from ``name`` or ``name:key=value,key=value``.
+
+    Examples: ``"maid"``, ``"maid:idle_timeout=5"``,
+    ``"drpm:step_timeout=1,transition_time=0.5"``.
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    registry = _policy_registry()
+    if name not in registry:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: "
+            + ", ".join(available_policies())
+        )
+    kwargs: Dict[str, float] = {}
+    if rest.strip():
+        for part in rest.split(","):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise PolicyError(
+                    f"bad policy parameter {part!r} in {spec!r} "
+                    "(expected key=value)"
+                )
+            try:
+                kwargs[key.strip()] = float(value)
+            except ValueError:
+                raise PolicyError(
+                    f"policy parameter {key.strip()!r} in {spec!r} "
+                    f"is not a number: {value!r}"
+                )
+    try:
+        return registry[name](**kwargs)
+    except TypeError as exc:
+        raise PolicyError(f"policy {name!r} rejected parameters: {exc}")
+
+
+def build_policies(specs: Sequence[str]) -> List[AnalyticPolicy]:
+    policies = [policy_from_spec(s) for s in specs]
+    names = [p.name for p in policies]
+    if len(set(names)) != len(names):
+        raise PolicyError(f"duplicate policy names in {list(names)}")
+    return policies
+
+
+@dataclass
+class SearchCell:
+    """One (base grid cell × policy) point of the search matrix."""
+
+    device: str
+    trace: str
+    load: float
+    time_scale: float
+    policy: str
+    metrics: PolicyMetrics
+    engine: str
+    fused: bool
+    fallback: Optional[str]
+    on_frontier: bool = False
+
+    @property
+    def base_key(self) -> str:
+        return (
+            f"{self.device}/{self.trace}"
+            f"@{self.load:g}x{self.time_scale:g}"
+        )
+
+    @property
+    def key(self) -> str:
+        return f"{self.base_key}#{self.policy}"
+
+    def to_dict(self, deterministic: bool = False) -> dict:
+        payload = {
+            "device": self.device,
+            "trace": self.trace,
+            "load": self.load,
+            "time_scale": self.time_scale,
+            "policy": self.policy,
+            "metrics": self.metrics.to_dict(),
+            "on_frontier": self.on_frontier,
+        }
+        if not deterministic:
+            payload["engine"] = self.engine
+            payload["fused"] = self.fused
+            if self.fallback is not None:
+                payload["fallback"] = self.fallback
+        return payload
+
+
+@dataclass
+class SearchOutcome:
+    """A completed policy search: the scored matrix plus its frontier.
+
+    ``cells`` is row-major over (device, trace, load, time_scale) with
+    the policy axis innermost (baseline first).  ``grid`` retains the
+    underlying :class:`~repro.workload.parallel.GridOutcome` so
+    verification and ledger recording can reach the raw replay results.
+    """
+
+    cells: List[SearchCell]
+    policies: Tuple[str, ...]
+    devices: Tuple[str, ...]
+    traces: Tuple[str, ...]
+    loads: Tuple[float, ...]
+    time_scales: Tuple[float, ...]
+    sampling_cycle: float
+    base_cells: int
+    engines: Dict[str, int]
+    fallback_reasons: Dict[str, str]
+    fused_cells: int
+    elapsed_seconds: float
+    grid: Any = field(repr=False, default=None)
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int, int]:
+        return (
+            len(self.devices), len(self.traces),
+            len(self.loads), len(self.time_scales), len(self.policies),
+        )
+
+    def frontier(self) -> List[SearchCell]:
+        """Non-dominated cells, cheapest-energy first."""
+        front = [c for c in self.cells if c.on_frontier]
+        front.sort(
+            key=lambda c: (
+                c.metrics.energy_joules, c.metrics.mean_response, c.key
+            )
+        )
+        return front
+
+    def ranked(self) -> List[SearchCell]:
+        """All cells, best IOPS/Watt first (the paper's headline rank)."""
+        return sorted(
+            self.cells,
+            key=lambda c: (-c.metrics.iops_per_watt, c.key),
+        )
+
+    def to_dict(self, deterministic: bool = False) -> dict:
+        payload = {
+            "policies": list(self.policies),
+            "devices": list(self.devices),
+            "traces": list(self.traces),
+            "loads": list(self.loads),
+            "time_scales": list(self.time_scales),
+            "sampling_cycle": self.sampling_cycle,
+            "base_cells": self.base_cells,
+            "cells": [c.to_dict(deterministic) for c in self.cells],
+            "frontier": [c.key for c in self.frontier()],
+            "ranking": [c.key for c in self.ranked()],
+        }
+        if not deterministic:
+            payload["engines"] = dict(sorted(self.engines.items()))
+            payload["fallback_reasons"] = dict(
+                sorted(self.fallback_reasons.items())
+            )
+            payload["fused_cells"] = self.fused_cells
+            payload["elapsed_seconds"] = self.elapsed_seconds
+        return payload
+
+
+def evaluate_search(
+    grid,
+    policies: Sequence[AnalyticPolicy],
+    devices,
+    *,
+    config: Optional[ReplayConfig] = None,
+) -> SearchOutcome:
+    """Re-score a capture-carrying grid under ``policies``.
+
+    ``devices`` must be the factory mapping the grid ran with (probe
+    instances bind each policy's spec constants per device family).
+    The implicit always-on baseline is evaluated first per cell as the
+    savings reference and included in the matrix.
+    """
+    import time as _time
+
+    t_wall = _time.perf_counter()
+    cfg = config or ReplayConfig()
+    if not isinstance(devices, dict):
+        devices = {"device": devices}
+    policies = list(policies)
+    names = [p.name for p in policies]
+    if "baseline" in names:
+        raise PolicyError("the baseline policy is always evaluated implicitly")
+    if len(set(names)) != len(names):
+        raise PolicyError(f"duplicate policy names in {names}")
+    baseline = BaselinePolicy()
+    cycle = float(cfg.sampling_cycle)
+    cells: List[SearchCell] = []
+    configured_for: Optional[str] = None
+    for gcell in grid.cells:
+        if gcell.capture is None:
+            raise PolicyError(
+                f"grid cell {gcell.key} carries no capture; "
+                "run the grid with capture=True"
+            )
+        if gcell.device != configured_for:
+            try:
+                probe = devices[gcell.device]()
+            except KeyError:
+                raise PolicyError(
+                    f"no device factory named {gcell.device!r} for search"
+                )
+            baseline.configure(probe)
+            for policy in policies:
+                policy.configure(probe)
+            configured_for = gcell.device
+
+        def add(metrics: PolicyMetrics) -> None:
+            cells.append(
+                SearchCell(
+                    device=gcell.device,
+                    trace=gcell.trace,
+                    load=gcell.load,
+                    time_scale=gcell.time_scale,
+                    policy=metrics.policy,
+                    metrics=metrics,
+                    engine=gcell.engine,
+                    fused=gcell.fused,
+                    fallback=gcell.fallback,
+                )
+            )
+
+        base_metrics = replace(
+            baseline.evaluate(gcell.capture, sampling_cycle=cycle),
+            energy_saving=0.0,
+            response_penalty=0.0,
+        )
+        add(base_metrics)
+        for policy in policies:
+            add(
+                evaluate_policy(
+                    policy, gcell.capture,
+                    sampling_cycle=cycle, baseline=base_metrics,
+                )
+            )
+
+    for i in pareto_indices(
+        [(c.metrics.energy_joules, c.metrics.mean_response) for c in cells]
+    ):
+        cells[i].on_frontier = True
+    return SearchOutcome(
+        cells=cells,
+        policies=tuple(["baseline"] + names),
+        devices=grid.devices,
+        traces=grid.traces,
+        loads=grid.loads,
+        time_scales=grid.time_scales,
+        sampling_cycle=cycle,
+        base_cells=len(grid.cells),
+        engines=dict(grid.engines),
+        fallback_reasons=dict(grid.fallback_reasons),
+        fused_cells=grid.fused_cells,
+        elapsed_seconds=grid.elapsed_seconds
+        + (_time.perf_counter() - t_wall),
+        grid=grid,
+    )
+
+
+def _canon_result(result) -> str:
+    """Result summary minus engine/telemetry provenance, for equality."""
+    payload = result.to_dict()
+    metadata = dict(payload.get("metadata", {}))
+    for key in ("engine", "engine_fallback", "telemetry", "interval_frames"):
+        metadata.pop(key, None)
+    payload["metadata"] = metadata
+    return json.dumps(payload, sort_keys=True)
+
+
+def verify_search(
+    outcome: SearchOutcome,
+    traces,
+    devices,
+    policies: Sequence[AnalyticPolicy],
+    *,
+    config: Optional[ReplayConfig] = None,
+    stream_interval: Optional[float] = None,
+) -> List[str]:
+    """Re-derive every cell per point and diff it against ``outcome``.
+
+    Each base cell is replayed individually — ``engine="kernel"`` where
+    the search used the kernel (fused or per-point), ``engine="event"``
+    otherwise — its capture re-scored under the same policies, and both
+    the replay summary and every policy metric compared exactly.
+    Returns human-readable mismatch descriptions; empty means verified.
+    """
+    from ..replay.capture import CaptureSink
+    from ..replay.session import replay_trace
+
+    cfg = config or ReplayConfig()
+    if not isinstance(traces, dict):
+        traces = {getattr(traces, "label", "trace"): traces}
+    if not isinstance(devices, dict):
+        devices = {"device": devices}
+    if outcome.grid is None:
+        raise PolicyError("search outcome carries no grid to verify against")
+    by_base: Dict[str, Dict[str, SearchCell]] = {}
+    for cell in outcome.cells:
+        by_base.setdefault(cell.base_key, {})[cell.policy] = cell
+
+    baseline = BaselinePolicy()
+    cycle = float(cfg.sampling_cycle)
+    mismatches: List[str] = []
+    configured_for: Optional[str] = None
+    for gcell in outcome.grid.cells:
+        engine = "kernel" if gcell.engine == "kernel" else "event"
+        sink = CaptureSink()
+        result = replay_trace(
+            traces[gcell.trace],
+            devices[gcell.device](),
+            gcell.load,
+            config=replace(cfg, time_scale=gcell.time_scale),
+            stream_interval=stream_interval,
+            engine=engine,
+            capture=sink,
+        )
+        if _canon_result(result) != _canon_result(gcell.result):
+            mismatches.append(
+                f"{gcell.key}: per-point engine={engine!r} replay summary "
+                "differs from the search's result"
+            )
+        if gcell.device != configured_for:
+            probe = devices[gcell.device]()
+            baseline.configure(probe)
+            for policy in policies:
+                policy.configure(probe)
+            configured_for = gcell.device
+        base_metrics = replace(
+            baseline.evaluate(sink.capture, sampling_cycle=cycle),
+            energy_saving=0.0,
+            response_penalty=0.0,
+        )
+        expected = by_base.get(gcell.key, {})
+        reference = [base_metrics] + [
+            evaluate_policy(
+                policy, sink.capture,
+                sampling_cycle=cycle, baseline=base_metrics,
+            )
+            for policy in policies
+        ]
+        for metrics in reference:
+            cell = expected.get(metrics.policy)
+            if cell is None:
+                mismatches.append(
+                    f"{gcell.key}#{metrics.policy}: missing from the search"
+                )
+                continue
+            got = json.dumps(cell.metrics.to_dict(), sort_keys=True)
+            want = json.dumps(metrics.to_dict(), sort_keys=True)
+            if got != want:
+                mismatches.append(
+                    f"{cell.key}: policy metrics differ from per-point "
+                    f"engine={engine!r} replay\n  search:    {got}\n"
+                    f"  per-point: {want}"
+                )
+    return mismatches

@@ -1,0 +1,52 @@
+"""Exact Pareto reduction for the energy-policy search.
+
+The search matrix scores every (cell × policy) combination on two
+objectives the paper trades off — energy consumed and mean response
+time — and the frontier is the exact non-dominated set under
+minimisation of both.  Comparisons are exact float comparisons (no
+epsilon): the inputs are deterministic replay metrics, bit-identical
+across engines, so approximate dominance would only blur them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["dominates", "pareto_indices"]
+
+
+def dominates(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    """True when ``a`` is at least as good on both axes and better on one."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def pareto_indices(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the non-dominated points, ascending.
+
+    Duplicate points are mutually non-dominated and all kept; a point
+    is dropped iff some other point strictly dominates it.  O(n log n)
+    sweep in (x, y) order.
+    """
+    n = len(points)
+    order = sorted(
+        range(n), key=lambda i: (float(points[i][0]), float(points[i][1]))
+    )
+    keep: List[int] = []
+    best_y = math.inf
+    at = 0
+    while at < n:
+        x = float(points[order[at]][0])
+        group = []
+        while at < n and float(points[order[at]][0]) == x:
+            group.append(order[at])
+            at += 1
+        min_y = min(float(points[g][1]) for g in group)
+        # Same-x points above the group minimum are dominated inside
+        # the group; the minimum survives only if no smaller-x point
+        # already reached (or beat) its y.
+        if min_y < best_y:
+            keep.extend(g for g in group if float(points[g][1]) == min_y)
+            best_y = min_y
+    keep.sort()
+    return keep

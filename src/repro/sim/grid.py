@@ -95,11 +95,14 @@ class CellEval:
     was evaluated by the fused kernel; otherwise ``unfused`` names why
     the fusion handed the cell back (the caller replays it per point,
     which re-derives the user-visible fallback reason exactly as
-    ``engine="auto"`` does).
+    ``engine="auto"`` does).  ``capture`` is the cell's
+    :class:`~repro.replay.capture.ReplayCapture` when requested —
+    bit-identical to what a per-point replay would capture.
     """
 
     result: Optional[object]
     unfused: Optional[str]
+    capture: Optional[object] = None
 
 
 class _NullClock:
@@ -220,6 +223,7 @@ def evaluate_grid_cells(
     config: Optional[ReplayConfig] = None,
     stream_interval: Optional[float] = None,
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    capture: bool = False,
 ) -> List[CellEval]:
     """Evaluate ``cells`` against ``device`` with the fused kernel.
 
@@ -265,6 +269,7 @@ def evaluate_grid_cells(
             _evaluate_group(
                 trace, device, load, groups[load], cells, evals,
                 session=session, slog=slog, cfg=cfg, chunk_bytes=chunk_bytes,
+                capture=capture,
             )
     finally:
         session.config = cfg
@@ -283,6 +288,7 @@ def _evaluate_group(
     slog,
     cfg: ReplayConfig,
     chunk_bytes: int,
+    capture: bool = False,
 ) -> None:
     def refuse(reason: str) -> None:
         for gi in indices:
@@ -378,6 +384,14 @@ def _evaluate_group(
     except _Fallback as exc:
         refuse(exc.reason)
         return
+
+    totals = None
+    if capture:
+        from ..replay.capture import workload_totals
+
+        # Workload totals are load-dependent but time-scale-invariant:
+        # one computation covers every cell of the group.
+        totals = workload_totals(base)
 
     n_bunches = len(base)
     n_pkgs = int(base.package_count)
@@ -506,7 +520,65 @@ def _evaluate_group(
             result = session._kernel_result(
                 outcome, m, load, _NullClock(end), slog, 0.0
             )
-            evals[gi] = CellEval(result, None)
+            cell_capture = (
+                _cell_capture(
+                    members, batches, i, fin_ev2d[i], resp_ev2d[i],
+                    end, overhead_watts, totals,
+                )
+                if capture
+                else None
+            )
+            evals[gi] = CellEval(result, None, cell_capture)
+
+
+def _cell_capture(
+    members: List[QueuedDevice],
+    batches: List["_MemberBatch"],
+    i: int,
+    fin_row: np.ndarray,
+    resp_row: np.ndarray,
+    end: float,
+    overhead_watts: Optional[float],
+    totals,
+):
+    """Freeze one cell's replay record for the policy oracle.
+
+    Rows are copied out of the chunk arrays so the capture does not pin
+    the whole ``(P, k)`` batch in memory.  The values are bit-identical
+    to what :class:`~repro.replay.capture.CaptureSink` snapshots after a
+    per-point replay: members commit one segment per served request in
+    member arrival order on every path.
+    """
+    from ..replay.capture import MemberProfile, ReplayCapture
+
+    profiles = []
+    for member, b in zip(members, batches):
+        if b.watts.size:
+            profiles.append(
+                MemberProfile(
+                    name=member.name,
+                    starts=np.array(b.starts2d[i], dtype=np.float64),
+                    ends=np.array(b.fin2d[i], dtype=np.float64),
+                    watts=b.watts,
+                    base_watts=b.base_watts,
+                )
+            )
+        else:
+            profiles.append(
+                MemberProfile(member.name, _EMPTY, _EMPTY, _EMPTY, b.base_watts)
+            )
+    reads, writes, read_bytes, write_bytes = totals
+    return ReplayCapture(
+        end=end,
+        finishes=np.array(fin_row, dtype=np.float64),
+        responses=np.array(resp_row, dtype=np.float64),
+        members=tuple(profiles),
+        overhead_watts=overhead_watts,
+        reads=reads,
+        writes=writes,
+        read_bytes=read_bytes,
+        write_bytes=write_bytes,
+    )
 
 
 def _lindley_batch(

@@ -904,6 +904,10 @@ class KernelOutcome:
     completed: int
     total_bytes: int
     total_response: float
+    #: Per-request finish / response times in completion-event order —
+    #: the same values the event-path monitor would have observed.
+    finishes: Optional[np.ndarray] = None
+    responses: Optional[np.ndarray] = None
 
 
 def try_kernel_replay(
@@ -976,6 +980,8 @@ def try_kernel_replay(
             completed=completed,
             total_bytes=total_bytes,
             total_response=total_response,
+            finishes=comp.fin,
+            responses=comp.resp,
         ),
         None,
     )

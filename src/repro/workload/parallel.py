@@ -277,6 +277,9 @@ class GridCellResult:
     time_scale: float
     result: Any  # ReplayResult
     fused: bool  # True when the fused kernel produced it directly
+    #: ReplayCapture when the sweep ran with ``capture=True`` — the
+    #: frozen record the energy-policy search re-scores per cell.
+    capture: Any = None
 
     @property
     def key(self) -> str:
@@ -360,21 +363,22 @@ def _grid_slab_worker(slab, seed):
 
 
 def _replay_points_serial(
-    trace, factory, points, config, stream_interval, engine
+    trace, factory, points, config, stream_interval, engine, capture=False
 ):
     from dataclasses import replace as _replace
 
+    from ..replay.capture import CaptureSink
     from ..replay.session import replay_trace
 
     out = []
     for load, time_scale in points:
         cfg = _replace(config, time_scale=time_scale)
-        out.append(
-            replay_trace(
-                trace, factory(), load, config=cfg,
-                stream_interval=stream_interval, engine=engine,
-            )
+        sink = CaptureSink() if capture else None
+        result = replay_trace(
+            trace, factory(), load, config=cfg,
+            stream_interval=stream_interval, engine=engine, capture=sink,
         )
+        out.append((result, sink.capture) if capture else result)
     return out
 
 
@@ -405,6 +409,7 @@ def run_grid(
     parallel="auto",
     max_workers: Optional[int] = None,
     chunk_bytes: Optional[int] = None,
+    capture: bool = False,
 ) -> GridOutcome:
     """Evaluate a (device × trace × load × time-scale) grid in one call.
 
@@ -437,6 +442,11 @@ def run_grid(
         points to amortise a pool, in which case they fan out as
         per-plane slabs over :func:`run_sweep`'s zero-copy shared-trace
         path.  Fused cells never pay fork+pickle.
+    capture:
+        Attach a bit-identical
+        :class:`~repro.replay.capture.ReplayCapture` to every cell (the
+        record the energy-policy search re-scores).  Capturing keeps
+        unfused cells in-process — the sink rides the session.
 
     Returns a :class:`GridOutcome`; cells come back in row-major
     (device, trace, load, time_scale) order regardless of how they
@@ -480,6 +490,7 @@ def run_grid(
                 evals = evaluate_grid_cells(
                     trace, factory(), face, config=cfg,
                     stream_interval=stream_interval, chunk_bytes=chunk,
+                    capture=capture,
                 )
             pending = [
                 i for i, ev in enumerate(evals)
@@ -488,10 +499,14 @@ def run_grid(
             results: List[Any] = [
                 None if ev is None else ev.result for ev in evals
             ]
+            captures: List[Any] = [
+                None if ev is None else ev.capture for ev in evals
+            ]
             if pending:
                 points = [(face[i].load, face[i].time_scale) for i in pending]
                 if (
-                    _use_pool(parallel, len(points))
+                    not capture
+                    and _use_pool(parallel, len(points))
                     and _poolable(factory, trace)
                 ):
                     slab = (factory, points, cfg, stream_interval, engine)
@@ -502,10 +517,14 @@ def run_grid(
                     )[0]
                 else:
                     slab_out = _replay_points_serial(
-                        trace, factory, points, cfg, stream_interval, engine
+                        trace, factory, points, cfg, stream_interval, engine,
+                        capture=capture,
                     )
                 for i, res in zip(pending, slab_out):
-                    results[i] = res
+                    if capture:
+                        results[i], captures[i] = res
+                    else:
+                        results[i] = res
             for i, cell in enumerate(face):
                 fused = evals[i] is not None and evals[i].result is not None
                 fused_cells += 1 if fused else 0
@@ -513,6 +532,7 @@ def run_grid(
                     device=dev_name, trace=trace_label,
                     load=cell.load, time_scale=cell.time_scale,
                     result=results[i], fused=fused,
+                    capture=captures[i],
                 )
                 engines[gcr.engine] = engines.get(gcr.engine, 0) + 1
                 if gcr.fallback is not None:
@@ -529,3 +549,47 @@ def run_grid(
         fused_cells=fused_cells,
         elapsed_seconds=_time.perf_counter() - t_wall,
     )
+
+
+def run_policy_search(
+    traces,
+    devices,
+    policies,
+    loads: Sequence[float] = (1.0,),
+    time_scales: Sequence[float] = (1.0,),
+    *,
+    config=None,
+    stream_interval: Optional[float] = None,
+    engine: str = "auto",
+    parallel="auto",
+    max_workers: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
+):
+    """Sweep energy policies over a replay grid at kernel speed.
+
+    The workhorse behind ``tracer search``: one :func:`run_grid` pass
+    with ``capture=True`` replays every (device × trace × load ×
+    time-scale) base cell — fused where the grid kernel qualifies,
+    per-point otherwise, reusing the same chunking and shared-memory
+    scheduling — and each policy in ``policies`` is then evaluated as a
+    deterministic post-pass over the captured record, so a P-policy
+    search replays each base cell once instead of P+1 times.
+
+    ``policies`` is a sequence of configured-or-fresh
+    :class:`~repro.energysaving.policy.AnalyticPolicy` instances; an
+    always-on baseline is evaluated implicitly as the savings
+    reference.  Returns a :class:`repro.search.SearchOutcome` whose
+    per-cell metrics are bit-identical to a per-point
+    ``engine="kernel"``/``"event"`` replay of the same cell (the
+    differential-oracle property; ``tracer search --verify`` re-checks
+    it).
+    """
+    from ..search.driver import evaluate_search
+
+    grid = run_grid(
+        traces, devices, loads, time_scales,
+        config=config, stream_interval=stream_interval, engine=engine,
+        parallel=parallel, max_workers=max_workers, chunk_bytes=chunk_bytes,
+        capture=True,
+    )
+    return evaluate_search(grid, policies, devices, config=config)

@@ -287,3 +287,161 @@ def test_engine_kernel_refuses_unqualified():
         replay_trace(
             pack(trace), _tiny_raid("RAID5"), 1.0, engine="kernel"
         )
+
+
+# ---------------------------------------------------------------------------
+# Policy-search oracle: the fused grid's captures, a per-point kernel
+# replay's capture, and a per-point *event* replay's capture must yield
+# bit-identical policy metrics for every (cell × policy) point, and the
+# designed fused-path fallbacks (telemetry on, object trace) must be
+# recorded while still producing identical numbers.
+# ---------------------------------------------------------------------------
+
+
+def _search_policies():
+    from repro.energysaving import DRPMPolicy, MAIDPolicy
+
+    return [MAIDPolicy(idle_timeout=1.0), DRPMPolicy(step_timeout=0.5)]
+
+
+def _run_search(trace, seed, *, loads=(0.5, 1.0), time_scales=(1.0, 2.0)):
+    from repro.config import ReplayConfig
+    from repro.workload.parallel import run_policy_search
+
+    traces = {"oracle": trace}
+    devices = {"raid0": lambda: _tiny_raid("RAID0")}
+    config = ReplayConfig(sampling_cycle=0.25)
+    outcome = run_policy_search(
+        traces,
+        devices,
+        _search_policies(),
+        loads=loads,
+        time_scales=time_scales,
+        config=config,
+    )
+    return outcome, traces, devices, config
+
+
+def _per_point_metrics(outcome, traces, devices, config, engine):
+    """Re-derive every cell's policy metrics from a per-point replay."""
+    import dataclasses
+
+    from repro.energysaving.policy import BaselinePolicy, evaluate_policy
+    from repro.replay.capture import CaptureSink
+
+    policies = _search_policies()
+    baseline = BaselinePolicy()
+    probe = devices["raid0"]()
+    baseline.configure(probe)
+    for policy in policies:
+        policy.configure(probe)
+    metrics = {}
+    for gcell in outcome.grid.cells:
+        sink = CaptureSink()
+        replay_trace(
+            traces[gcell.trace],
+            devices[gcell.device](),
+            gcell.load,
+            config=dataclasses.replace(config, time_scale=gcell.time_scale),
+            engine=engine,
+            capture=sink,
+        )
+        base = dataclasses.replace(
+            baseline.evaluate(sink.capture, sampling_cycle=0.25),
+            energy_saving=0.0,
+            response_penalty=0.0,
+        )
+        rows = [base] + [
+            evaluate_policy(
+                p, sink.capture, sampling_cycle=0.25, baseline=base
+            )
+            for p in policies
+        ]
+        for m in rows:
+            metrics[f"{gcell.key}#{m.policy}"] = json.dumps(
+                m.to_dict(), sort_keys=True
+            )
+    return metrics
+
+
+def _search_metrics(outcome):
+    return {
+        c.key: json.dumps(c.metrics.to_dict(), sort_keys=True)
+        for c in outcome.cells
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_policy_search_oracle(seed):
+    """Fused grid ≡ per-point kernel ≡ per-point event, per policy cell."""
+    from repro.telemetry import get_registry
+
+    packed = pack(random_trace(seed))
+    outcome, traces, devices, config = _run_search(packed, seed)
+    assert outcome.shape == (1, 1, 2, 2, 3)
+    assert len(outcome.cells) == 12
+    if not get_registry().enabled:
+        # RAID0 reads+writes qualify: the whole base grid must fuse.
+        assert outcome.engines == {"kernel": 4}
+        assert outcome.fused_cells == 4
+        from_kernel = _per_point_metrics(
+            outcome, traces, devices, config, "kernel"
+        )
+        assert _search_metrics(outcome) == from_kernel
+    from_event = _per_point_metrics(
+        outcome, traces, devices, config, "event"
+    )
+    assert _search_metrics(outcome) == from_event
+    # The built-in verifier is the same oracle; it must agree.
+    assert verify_search(
+        outcome, traces, devices, _search_policies(), config=config
+    ) == []
+
+
+def test_policy_search_telemetry_fallback_bit_identical():
+    """Telemetry on: every cell falls back (reason recorded) yet every
+    policy metric stays bit-identical to the instrumented-off search."""
+    from repro.telemetry import enabled_telemetry
+
+    packed = pack(random_trace(SEEDS[1]))
+    baseline_outcome, *_ = _run_search(packed, SEEDS[1])
+    with enabled_telemetry():
+        outcome, traces, devices, config = _run_search(packed, SEEDS[1])
+        assert outcome.fused_cells == 0
+        assert set(outcome.fallback_reasons.values()) == {
+            "telemetry registry enabled"
+        }
+        assert _search_metrics(outcome) == _search_metrics(baseline_outcome)
+        assert verify_search(
+            outcome, traces, devices, _search_policies(), config=config
+        ) == []
+
+
+def test_policy_search_object_trace_fallback_bit_identical():
+    """An object Trace can't fuse ("object-trace replay") but the
+    event-path captures must score identically to the packed search."""
+    from repro.telemetry import get_registry
+
+    trace = random_trace(SEEDS[2])
+    packed_outcome, *_ = _run_search(pack(trace), SEEDS[2])
+    outcome, traces, devices, config = _run_search(trace, SEEDS[2])
+    assert outcome.fused_cells == 0
+    # A process-wide TRACER_TELEMETRY=1 run trips the telemetry gate
+    # before the trace-layout gate; either way the cell must not fuse.
+    expected = (
+        "telemetry registry enabled"
+        if get_registry().enabled
+        else "object-trace replay"
+    )
+    assert set(outcome.fallback_reasons.values()) == {expected}
+    assert _search_metrics(outcome) == _search_metrics(packed_outcome)
+    assert verify_search(
+        outcome, traces, devices, _search_policies(), config=config
+    ) == []
+
+
+def verify_search(outcome, traces, devices, policies, *, config):
+    """Thin alias so each oracle test reads as one assertion."""
+    from repro.search import verify_search as _verify
+
+    return _verify(outcome, traces, devices, policies, config=config)

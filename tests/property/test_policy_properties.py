@@ -1,0 +1,156 @@
+"""Property-based tests: energy-policy invariants over random captures.
+
+The analytic policies (:mod:`repro.energysaving.policy`) are pure
+functions over frozen :class:`~repro.replay.capture.ReplayCapture`
+records, so their physical invariants can be probed directly on
+randomized captures without running a replay:
+
+* MAID — per-gap break-even gating makes energy monotone
+  *non-decreasing* in the idle timeout (a longer timeout can only spin
+  down less);
+* DRPM — energy is bounded by the RPM envelope: never above always-on
+  (full-speed idle) and never below every gap dwelling at the minimum
+  speed's power floor;
+* PDC — never migrates more bytes than the workload wrote;
+* eRAID — degraded reads cannot exceed the reads the array served.
+
+Timestamps are drawn on the 1/64-second grid (exactly representable in
+binary) so segment arithmetic compares without float surprises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.energysaving import (
+    DRPMPolicy,
+    ERAIDPolicy,
+    MAIDPolicy,
+    PDCPolicy,
+)
+from repro.replay.capture import MemberProfile, ReplayCapture
+from repro.storage.array import RaidLevel, build_hdd_raid5
+
+N_MEMBERS = 4
+
+#: One shared probe array: policies bind spec constants at configure
+#: time, so every synthetic capture below is scored on the same specs.
+_PROBE = build_hdd_raid5(N_MEMBERS, level=RaidLevel.RAID0)
+_IDLE_WATTS = _PROBE.disks[0].spec.idle_watts
+
+
+def _configured(policy):
+    policy.configure(_PROBE)
+    return policy
+
+
+@st.composite
+def captures(draw) -> ReplayCapture:
+    """A random frozen capture for an ``N_MEMBERS``-member array."""
+    members = []
+    horizon = 0.0
+    for m in range(N_MEMBERS):
+        tick = draw(st.integers(min_value=0, max_value=64))
+        starts, ends, watts = [], [], []
+        for _ in range(draw(st.integers(min_value=0, max_value=8))):
+            tick += draw(st.integers(min_value=1, max_value=64 * 30))
+            length = draw(st.integers(min_value=1, max_value=64 * 4))
+            starts.append(tick / 64)
+            ends.append((tick + length) / 64)
+            watts.append(draw(st.floats(min_value=5.0, max_value=15.0)))
+            tick += length
+        members.append(
+            MemberProfile(
+                name=f"m{m}",
+                starts=np.array(starts, dtype=np.float64),
+                ends=np.array(ends, dtype=np.float64),
+                watts=np.array(watts, dtype=np.float64),
+                base_watts=_IDLE_WATTS,
+            )
+        )
+        horizon = max(horizon, tick / 64)
+    tail = draw(st.integers(min_value=1, max_value=64 * 40))
+    end = horizon + tail / 64
+    n_req = draw(st.integers(min_value=1, max_value=24))
+    finishes = np.sort(
+        np.array(
+            [
+                draw(st.integers(min_value=1, max_value=int(end * 64)))
+                / 64
+                for _ in range(n_req)
+            ],
+            dtype=np.float64,
+        )
+    )
+    responses = np.array(
+        [draw(st.integers(min_value=0, max_value=32)) / 64 for _ in finishes],
+        dtype=np.float64,
+    )
+    responses = np.minimum(responses, finishes)
+    reads = draw(st.integers(min_value=0, max_value=n_req))
+    return ReplayCapture(
+        end=end,
+        finishes=finishes,
+        responses=responses,
+        members=members,
+        overhead_watts=draw(st.floats(min_value=0.0, max_value=20.0)),
+        reads=reads,
+        writes=n_req - reads,
+        read_bytes=reads * 4096,
+        write_bytes=(n_req - reads) * 4096,
+    )
+
+
+def _gap_seconds(capture: ReplayCapture) -> float:
+    total = 0.0
+    for profile in capture.members:
+        busy = float(np.sum(profile.ends - profile.starts))
+        total += max(0.0, capture.end - busy)
+    return total
+
+
+class TestPolicyInvariants:
+    @given(captures())
+    @settings(max_examples=60, deadline=None)
+    def test_maid_energy_monotone_in_idle_timeout(self, capture):
+        energies = [
+            _configured(MAIDPolicy(idle_timeout=tau))
+            .evaluate(capture)
+            .energy_joules
+            for tau in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+        ]
+        for shorter, longer in zip(energies, energies[1:]):
+            assert longer >= shorter - 1e-9 * max(1.0, shorter)
+
+    @given(captures())
+    @settings(max_examples=60, deadline=None)
+    def test_drpm_energy_bounded_by_rpm_envelope(self, capture):
+        from repro.energysaving.policy import BaselinePolicy
+
+        base = _configured(BaselinePolicy()).evaluate(capture)
+        drpm = _configured(DRPMPolicy(step_timeout=0.5)).evaluate(capture)
+        assert drpm.energy_joules <= base.energy_joules + 1e-9 * max(
+            1.0, base.energy_joules
+        )
+        # The deepest possible cut: every idle second dwelling at the
+        # minimum speed level's power floor (0.25 × idle watts).
+        floor = base.energy_joules - _gap_seconds(capture) * _IDLE_WATTS * 0.75
+        assert drpm.energy_joules >= floor - 1e-9 * max(1.0, abs(floor))
+
+    @given(captures())
+    @settings(max_examples=60, deadline=None)
+    def test_pdc_migrates_no_more_than_written(self, capture):
+        metrics = _configured(
+            PDCPolicy(idle_timeout=1.0, migration_budget=64 * 1024)
+        ).evaluate(capture)
+        assert metrics.counters["migrated_bytes"] <= capture.write_bytes
+        assert metrics.counters["migrated_bytes"] <= 64 * 1024
+
+    @given(captures())
+    @settings(max_examples=60, deadline=None)
+    def test_eraid_degraded_reads_bounded_by_served_reads(self, capture):
+        metrics = _configured(
+            ERAIDPolicy(utilization_threshold=0.5)
+        ).evaluate(capture)
+        assert metrics.counters["degraded_reads"] <= capture.reads

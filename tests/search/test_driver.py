@@ -1,0 +1,202 @@
+"""Unit tests for the search driver: spec parsing, error paths,
+outcome structure, and ledger provenance round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReplayConfig
+from repro.energysaving import DRPMPolicy, MAIDPolicy
+from repro.energysaving.policy import BaselinePolicy, PolicyError
+from repro.host.ledger import RunLedger, record_search_run
+from repro.search import (
+    available_policies,
+    build_policies,
+    evaluate_search,
+    policy_from_spec,
+    verify_search,
+)
+from repro.storage.array import RaidLevel, build_hdd_raid5
+from repro.trace.packed import pack
+from repro.workload.parallel import run_grid, run_policy_search
+from repro.workload.webserver import generate_webserver_trace
+
+
+def _trace():
+    return pack(generate_webserver_trace(duration=2.0, seed=5))
+
+
+def _device():
+    return build_hdd_raid5(4, name="hdd-raid0", level=RaidLevel.RAID0)
+
+
+def _search(**kwargs):
+    return run_policy_search(
+        {"web": _trace()},
+        {"hdd-raid0": _device},
+        [MAIDPolicy(idle_timeout=1.0), DRPMPolicy(step_timeout=0.5)],
+        loads=(0.5, 1.0),
+        time_scales=(1.0,),
+        config=ReplayConfig(sampling_cycle=0.5),
+        **kwargs,
+    )
+
+
+class TestPolicySpecs:
+    def test_bare_name_uses_defaults(self):
+        policy = policy_from_spec("maid")
+        assert policy.name == "maid"
+
+    def test_parameters_are_parsed_as_floats(self):
+        policy = policy_from_spec("maid:idle_timeout=2.5")
+        assert policy.params["idle_timeout"] == 2.5
+
+    def test_all_registered_names_build(self):
+        for name in available_policies():
+            assert policy_from_spec(name).name == name
+
+    def test_unknown_policy_lists_available(self):
+        with pytest.raises(PolicyError, match="available"):
+            policy_from_spec("turbo")
+
+    def test_parameter_without_value_rejected(self):
+        with pytest.raises(PolicyError, match="key=value"):
+            policy_from_spec("maid:idle_timeout")
+
+    def test_non_numeric_parameter_rejected(self):
+        with pytest.raises(PolicyError, match="not a number"):
+            policy_from_spec("maid:idle_timeout=fast")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(PolicyError, match="rejected parameters"):
+            policy_from_spec("maid:warp_factor=9")
+
+    def test_build_policies_rejects_duplicates(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            build_policies(["maid", "maid:idle_timeout=5"])
+
+
+class TestEvaluateSearchErrors:
+    def test_explicit_baseline_rejected(self):
+        grid = run_grid(
+            {"web": _trace()}, {"hdd-raid0": _device},
+            loads=(1.0,), capture=True,
+        )
+        with pytest.raises(PolicyError, match="implicitly"):
+            evaluate_search(grid, [BaselinePolicy()], {"hdd-raid0": _device})
+
+    def test_duplicate_policy_names_rejected(self):
+        grid = run_grid(
+            {"web": _trace()}, {"hdd-raid0": _device},
+            loads=(1.0,), capture=True,
+        )
+        with pytest.raises(PolicyError, match="duplicate"):
+            evaluate_search(
+                grid,
+                [MAIDPolicy(idle_timeout=1.0), MAIDPolicy(idle_timeout=2.0)],
+                {"hdd-raid0": _device},
+            )
+
+    def test_captureless_grid_rejected(self):
+        grid = run_grid(
+            {"web": _trace()}, {"hdd-raid0": _device},
+            loads=(1.0,), capture=False,
+        )
+        with pytest.raises(PolicyError, match="capture"):
+            evaluate_search(
+                grid, [MAIDPolicy(idle_timeout=1.0)], {"hdd-raid0": _device},
+            )
+
+    def test_missing_device_factory_rejected(self):
+        grid = run_grid(
+            {"web": _trace()}, {"hdd-raid0": _device},
+            loads=(1.0,), capture=True,
+        )
+        with pytest.raises(PolicyError, match="no device factory"):
+            evaluate_search(grid, [], {"other": _device})
+
+
+class TestSearchOutcome:
+    def test_shape_and_keys(self):
+        outcome = _search()
+        assert outcome.shape == (1, 1, 2, 1, 3)
+        assert outcome.policies == ("baseline", "maid", "drpm")
+        assert len(outcome.cells) == 6
+        keys = {c.key for c in outcome.cells}
+        assert "hdd-raid0/web@1x1#baseline" in keys
+        assert "hdd-raid0/web@0.5x1#drpm" in keys
+
+    def test_frontier_is_mutually_nondominated(self):
+        outcome = _search()
+        frontier = outcome.frontier()
+        assert frontier
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    a.metrics.energy_joules <= b.metrics.energy_joules
+                    and a.metrics.mean_response <= b.metrics.mean_response
+                    and (
+                        a.metrics.energy_joules < b.metrics.energy_joules
+                        or a.metrics.mean_response < b.metrics.mean_response
+                    )
+                )
+                assert not dominates
+
+    def test_ranked_orders_by_iops_per_watt(self):
+        ranked = _search().ranked()
+        values = [c.metrics.iops_per_watt for c in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_baseline_is_its_own_savings_reference(self):
+        outcome = _search()
+        for cell in outcome.cells:
+            d = cell.to_dict()
+            assert "energy_saving" in d["metrics"]
+            if cell.policy == "baseline":
+                assert d["metrics"]["energy_saving"] == 0.0
+                assert d["metrics"]["response_penalty"] == 0.0
+
+    def test_deterministic_dict_drops_engine_provenance(self):
+        d = _search().to_dict(deterministic=True)
+        for key in ("engines", "fused_cells", "elapsed_seconds"):
+            assert key not in d
+
+    def test_verify_search_is_clean(self):
+        outcome = _search()
+        mismatches = verify_search(
+            outcome, {"web": _trace()}, {"hdd-raid0": _device},
+            [MAIDPolicy(idle_timeout=1.0), DRPMPolicy(step_timeout=0.5)],
+            config=ReplayConfig(sampling_cycle=0.5),
+        )
+        assert mismatches == []
+
+
+class TestSearchLedger:
+    def test_record_search_run_round_trip(self, tmp_path):
+        outcome = _search()
+        with RunLedger(tmp_path / "runs.sqlite") as ledger:
+            parent_id = record_search_run(ledger, outcome)
+            parents = ledger.list(origin="search")
+            assert [r.run_id for r in parents] == [parent_id]
+            parent = parents[0]
+            assert list(parent.mode["policies"]) == ["baseline", "maid", "drpm"]
+            assert parent.summary["base_cells"] == 2.0
+            assert parent.summary["cells"] == 6.0
+
+            cells = ledger.list(origin=f"cell:{parent_id}")
+            assert len(cells) == 6
+            by_key = {
+                f"{r.mode['device']}/{r.mode['trace']}"
+                f"@{r.mode['load']:g}x{r.mode['time_scale']:g}"
+                f"#{r.mode['policy']}": r
+                for r in cells
+            }
+            for cell in outcome.cells:
+                row = by_key[cell.key]
+                assert row.summary["energy_joules"] == (
+                    cell.metrics.energy_joules
+                )
+                expect_frontier = 1.0 if cell in outcome.frontier() else 0.0
+                assert row.summary["on_frontier"] == expect_frontier

@@ -1,0 +1,59 @@
+"""Exact Pareto reduction: small hand-checkable cases + invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.search.pareto import dominates, pareto_indices
+
+
+class TestDominates:
+    def test_strictly_better_on_one_axis(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+
+class TestParetoIndices:
+    def test_single_point(self):
+        assert pareto_indices([(1.0, 1.0)]) == [0]
+
+    def test_chain_keeps_tradeoffs(self):
+        pts = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        assert pareto_indices(pts) == [0, 1, 2, 3]
+
+    def test_dominated_point_dropped(self):
+        pts = [(1.0, 1.0), (2.0, 2.0)]
+        assert pareto_indices(pts) == [0]
+
+    def test_duplicates_mutually_nondominated(self):
+        pts = [(1.0, 2.0), (1.0, 2.0), (3.0, 1.0)]
+        assert pareto_indices(pts) == [0, 1, 2]
+
+    def test_equal_x_keeps_only_min_y(self):
+        pts = [(1.0, 2.0), (1.0, 3.0)]
+        assert pareto_indices(pts) == [0]
+
+    points = st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+
+    @given(points)
+    @settings(max_examples=200, deadline=None)
+    def test_frontier_matches_brute_force(self, pts):
+        fast = set(pareto_indices(pts))
+        brute = {
+            i
+            for i, p in enumerate(pts)
+            if not any(dominates(q, p) for q in pts)
+        }
+        assert fast == brute

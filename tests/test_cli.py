@@ -298,3 +298,81 @@ class TestSweep:
 
         with ResultsDatabase(db) as database:
             assert database.count() == 10
+
+
+class TestSearch:
+    def test_search_report(self, trace_file, capsys):
+        rc = main([
+            "search", str(trace_file), "--device", "hdd-raid0",
+            "--policies", "maid:idle_timeout=1,drpm:step_timeout=0.5",
+            "--loads", "0.5,1.0", "--cycle", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Efficiency ranking" in out
+        assert "Pareto frontier" in out
+        assert "Recommendation" in out
+        assert "#maid" in out and "#drpm" in out
+
+    def test_search_frontier_only(self, trace_file, capsys):
+        rc = main([
+            "search", str(trace_file), "--device", "hdd-raid0",
+            "--policies", "maid", "--loads", "1.0", "--frontier",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "energy=" in out and "iops_per_watt=" in out
+        assert "Efficiency ranking" not in out
+
+    def test_search_verify_and_provenance(
+        self, trace_file, tmp_path, capsys,
+    ):
+        ledger = tmp_path / "runs.sqlite"
+        out_json = tmp_path / "search.json"
+        rc = main([
+            "search", str(trace_file), "--device", "hdd-raid0",
+            "--policies", "maid:idle_timeout=1", "--loads", "0.5,1.0",
+            "--cycle", "0.5", "--verify",
+            "--json", str(out_json), "--ledger", str(ledger),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified: 2 base cell(s)" in out
+        assert "bit-identical" in out
+
+        import json as _json
+
+        payload = _json.loads(out_json.read_text())
+        assert payload["policies"] == ["baseline", "maid"]
+        assert len(payload["cells"]) == 4
+
+        assert main([
+            "runs", "list", str(ledger), "--origin", "search",
+        ]) == 0
+        listing = capsys.readouterr().out
+        parent_id = listing.splitlines()[1].split()[0]
+        assert main([
+            "runs", "list", str(ledger), "--origin", f"cell:{parent_id}",
+        ]) == 0
+        cell_lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if "cell:" in line
+        ]
+        assert len(cell_lines) == 4
+
+    def test_search_rejects_bad_policy(self, trace_file):
+        with pytest.raises(SystemExit):
+            main([
+                "search", str(trace_file), "--device", "hdd-raid0",
+                "--policies", "turbo",
+            ])
+
+    def test_policy_spec_splitting_keeps_params_attached(self):
+        from repro.cli import _split_policy_specs
+
+        assert _split_policy_specs(
+            "maid:idle_timeout=1,transition_time=2,drpm,pdc:idle_timeout=3"
+        ) == ["maid:idle_timeout=1,transition_time=2", "drpm",
+              "pdc:idle_timeout=3"]
+        assert _split_policy_specs("maid, drpm ") == ["maid", "drpm"]
+        assert _split_policy_specs("") == []
