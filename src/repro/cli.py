@@ -639,6 +639,150 @@ def cmd_repo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_request(args: argparse.Namespace, kind: str, body: dict):
+    from .host.communicator import Communicator
+    from .host.protocol import Frame
+
+    comm = Communicator(args.host, args.port, timeout=args.timeout)
+    try:
+        return comm.request(Frame(kind, body))
+    finally:
+        comm.close()
+
+
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Run the replay-as-a-service fleet endpoint."""
+    import threading
+
+    from .fleet import (
+        EvaluationContext,
+        FleetScheduler,
+        FleetService,
+        TenantSpec,
+        local_worker_pool,
+    )
+    from .host.ledger import RunLedger
+    from .trace.blktrace import read_trace_packed
+
+    context = EvaluationContext()
+    for path in args.trace:
+        context.add_trace(Path(path).stem, read_trace_packed(path))
+    if not context.labels():
+        raise SystemExit("fleet serve needs at least one --trace")
+    ledger = RunLedger(args.db if args.db else ":memory:")
+    workers = local_worker_pool(
+        args.workers, context, mode=args.worker_mode
+    )
+    scheduler = FleetScheduler(
+        workers,
+        context=context,
+        ledger=ledger,
+        aging_rate=args.aging_rate,
+        default_quota=args.quota,
+    )
+    for entry in args.tenant:
+        parts = entry.split(":")
+        if not 1 <= len(parts) <= 3:
+            raise SystemExit(
+                f"bad --tenant {entry!r} (name[:quota[:priority]])"
+            )
+        scheduler.register_tenant(TenantSpec(
+            name=parts[0],
+            quota=int(parts[1]) if len(parts) > 1 else args.quota,
+            priority=float(parts[2]) if len(parts) > 2 else 0.0,
+        ))
+    service = FleetService(scheduler, host=args.bind, port=args.port)
+    service.start()
+    print(f"fleet serving {len(workers)} {args.worker_mode} workers, "
+          f"traces {context.labels()} on {args.bind}:{service.port} "
+          f"(ledger: {args.db or 'in-memory'})")
+    try:
+        if args.max_jobs:
+            # Scriptable mode: exit once N jobs have completed.
+            while scheduler.completed + scheduler.failed < args.max_jobs:
+                threading.Event().wait(0.05)
+        else:  # pragma: no cover - interactive mode
+            threading.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:
+        service.close()
+        ledger.close()
+    print(f"fleet served {scheduler.completed} jobs "
+          f"({scheduler.failed} failed); shutting down")
+    return 0
+
+
+def cmd_fleet_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a running fleet endpoint."""
+    import json as _json
+    import uuid as _uuid
+
+    from .analysis.export import render_json
+    from .host.protocol import KIND_ERROR, KIND_FLEET_SUBMIT
+
+    if args.spec_json:
+        spec = _json.loads(args.spec_json)
+    else:
+        spec = {
+            "kind": args.kind,
+            "trace": args.job_trace,
+            "device": args.device,
+            "n_disks": args.disks,
+            "load": args.load,
+            "seed": args.seed,
+            "engine": args.engine,
+        }
+        if args.policies:
+            spec["policies"] = [
+                p.strip() for p in args.policies.split(";") if p.strip()
+            ]
+    reply = _fleet_request(args, KIND_FLEET_SUBMIT, {
+        "spec": spec,
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "wait": args.wait,
+        "submit_id": _uuid.uuid4().hex,
+    })
+    if reply.kind == KIND_ERROR:
+        raise SystemExit(f"fleet refused: {reply.body.get('message')}")
+    if not args.wait:
+        print(reply.body.get("job_id", "?"))
+        return 0
+    body = dict(reply.body)
+    if not args.full:
+        # The full result payload can be large; default to provenance
+        # plus the flat metrics.
+        result = body.get("result") or {}
+        body["result"] = {
+            k: v for k, v in result.items() if not isinstance(v, (dict, list))
+        }
+    print(render_json(body))
+    return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    from .analysis.export import render_json
+    from .host.protocol import KIND_ERROR, KIND_FLEET_STATUS
+
+    reply = _fleet_request(args, KIND_FLEET_STATUS, {})
+    if reply.kind == KIND_ERROR:
+        raise SystemExit(f"fleet error: {reply.body.get('message')}")
+    print(render_json(reply.body))
+    return 0
+
+
+def cmd_fleet_drain(args: argparse.Namespace) -> int:
+    from .analysis.export import render_json
+    from .host.protocol import KIND_ERROR, KIND_FLEET_DRAIN
+
+    reply = _fleet_request(args, KIND_FLEET_DRAIN, {})
+    if reply.kind == KIND_ERROR:
+        raise SystemExit(f"fleet error: {reply.body.get('message')}")
+    print(render_json(reply.body))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tracer",
@@ -818,7 +962,9 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("ledger", help="ledger sqlite file")
     rp.add_argument("--trace", default="", help="filter by trace label")
     rp.add_argument("--origin", default="",
-                    help="filter by origin (local / remote:<node>)")
+                    help="filter by origin, exact or prefix "
+                         "(local / remote:<node> / fleet / "
+                         "fleet/job:<id>)")
     rp.add_argument("--limit", type=int, default=0)
     rp.set_defaults(func=cmd_runs_list)
     rp = runs_sub.add_parser("show", help="print one run record as JSON")
@@ -830,6 +976,60 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("run_a")
     rp.add_argument("run_b")
     rp.set_defaults(func=cmd_runs_diff)
+
+    p = sub.add_parser(
+        "fleet", help="replay-as-a-service: multi-tenant evaluation fleet"
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    fp = fleet_sub.add_parser("serve", help="run a fleet endpoint")
+    fp.add_argument("--trace", action="append", default=[],
+                    help=".replay trace file to serve (repeatable; "
+                         "the label is the file stem)")
+    fp.add_argument("--workers", type=int, default=4)
+    fp.add_argument("--worker-mode", default="thread",
+                    choices=("thread", "process"))
+    fp.add_argument("--bind", default="127.0.0.1")
+    fp.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral, printed on start)")
+    fp.add_argument("--db", default="",
+                    help="run-ledger sqlite file (default: in-memory)")
+    fp.add_argument("--quota", type=int, default=4,
+                    help="default per-tenant in-flight quota")
+    fp.add_argument("--aging-rate", type=float, default=0.1,
+                    help="priority gained per tick while waiting")
+    fp.add_argument("--tenant", action="append", default=[],
+                    help="pre-register name[:quota[:priority]] (repeatable)")
+    fp.add_argument("--max-jobs", type=int, default=0,
+                    help="exit after N jobs complete (0 = until Ctrl-C)")
+    fp.set_defaults(func=cmd_fleet_serve)
+    for name, fn in (("submit", cmd_fleet_submit),
+                     ("status", cmd_fleet_status),
+                     ("drain", cmd_fleet_drain)):
+        fp = fleet_sub.add_parser(name, help=f"{name} against a fleet endpoint")
+        fp.add_argument("--host", default="127.0.0.1")
+        fp.add_argument("--port", type=int, required=True)
+        fp.add_argument("--timeout", type=float, default=120.0)
+        if name == "submit":
+            fp.add_argument("--spec-json", default="",
+                            help="full job spec as JSON (overrides flags)")
+            fp.add_argument("--kind", default="replay",
+                            choices=("replay", "grid", "search"))
+            fp.add_argument("--job-trace", default="",
+                            help="trace label on the fleet")
+            _add_device_args(fp)
+            fp.add_argument("--load", type=float, default=1.0)
+            fp.add_argument("--seed", type=int, default=0)
+            fp.add_argument("--engine", default="auto",
+                            choices=("auto", "event", "analytical"))
+            fp.add_argument("--policies", default="",
+                            help="';'-separated policy specs (search jobs)")
+            fp.add_argument("--tenant", default="default")
+            fp.add_argument("--priority", type=float, default=0.0)
+            fp.add_argument("--wait", action="store_true",
+                            help="block until the result and print it")
+            fp.add_argument("--full", action="store_true",
+                            help="print the full result payload")
+        fp.set_defaults(func=fn)
 
     p = sub.add_parser(
         "search",

@@ -138,6 +138,55 @@ class RemoteEvaluationHost:
         out-of-order duplicates are dropped by sequence number).
         """
         request_id = f"{self._client_id}-{next(self._sequence)}"
+        body = self.run_test_raw(
+            request,
+            request_id=request_id,
+            on_progress=on_progress,
+            stream_interval=stream_interval,
+        )
+        record = TestRecord(
+            test_time=self.clock(),
+            device_label=self.device_label,
+            mode=request.mode,
+            mean_amperes=body["mean_watts"] / 220.0,
+            mean_volts=220.0,
+            mean_watts=body["mean_watts"],
+            energy_joules=body["energy_joules"],
+            iops=body["iops"],
+            mbps=body["mbps"],
+            mean_response=body["mean_response"],
+            duration=body["duration"],
+            iops_per_watt=body["iops_per_watt"],
+            mbps_per_kilowatt=body["mbps_per_kilowatt"],
+            label=request.label,
+        )
+        record_id = self.database.insert(record)
+        telemetry = body.get("metadata", {}).get("telemetry")
+        if telemetry:
+            # The node ran with telemetry on; its snapshot rode the wire
+            # in the result metadata — keep it with the record.
+            self.database.insert_telemetry(record_id, telemetry)
+        self._record_run(request, request_id, body)
+        return record
+
+    def run_test_raw(
+        self,
+        request: TestRequest,
+        request_id: Optional[str] = None,
+        on_progress: Optional[ProgressFn] = None,
+        stream_interval: Optional[float] = None,
+    ) -> Dict:
+        """Run one test remotely; return the raw result-wire body.
+
+        Unlike :meth:`run_test` this neither touches the local database
+        nor the ledger — the caller owns persistence.  ``request_id``
+        may be supplied by the caller (the fleet scheduler passes its
+        job id so a job reassigned to a *new* connection against the
+        same node is still served from the node's result cache instead
+        of replaying); when omitted a fresh unique id is generated.
+        """
+        if request_id is None:
+            request_id = f"{self._client_id}-{next(self._sequence)}"
         body_out: Dict = {
             "request": request.to_dict(),
             "request_id": request_id,
@@ -171,31 +220,7 @@ class RemoteEvaluationHost:
             raise ProtocolError(f"remote test failed: {reply.body.get('message')}")
         if reply.kind != KIND_TEST_RESULT:
             raise ProtocolError(f"unexpected reply {reply.kind!r}")
-        body: Dict = reply.body
-        record = TestRecord(
-            test_time=self.clock(),
-            device_label=self.device_label,
-            mode=request.mode,
-            mean_amperes=body["mean_watts"] / 220.0,
-            mean_volts=220.0,
-            mean_watts=body["mean_watts"],
-            energy_joules=body["energy_joules"],
-            iops=body["iops"],
-            mbps=body["mbps"],
-            mean_response=body["mean_response"],
-            duration=body["duration"],
-            iops_per_watt=body["iops_per_watt"],
-            mbps_per_kilowatt=body["mbps_per_kilowatt"],
-            label=request.label,
-        )
-        record_id = self.database.insert(record)
-        telemetry = body.get("metadata", {}).get("telemetry")
-        if telemetry:
-            # The node ran with telemetry on; its snapshot rode the wire
-            # in the result metadata — keep it with the record.
-            self.database.insert_telemetry(record_id, telemetry)
-        self._record_run(request, request_id, body)
-        return record
+        return dict(reply.body)
 
     def _record_run(
         self, request: TestRequest, request_id: str, body: Dict

@@ -74,3 +74,16 @@ class DatabaseError(TracerError):
 
 class SimulationError(TracerError):
     """Discrete-event engine misuse (scheduling into the past, ...)."""
+
+
+class FleetError(TracerError):
+    """Fleet scheduler misuse: bad job specs, draining admission, ..."""
+
+
+class WorkerDied(FleetError):
+    """An evaluation worker died before delivering its job's result.
+
+    The scheduler catches this to requeue the job onto a surviving
+    worker; it never reaches API callers unless every retry is
+    exhausted.
+    """

@@ -1,0 +1,52 @@
+"""Replay-as-a-service: the multi-tenant evaluation fleet.
+
+The paper's evaluation host serves one client; this package turns the
+reproduction into a *service* that admits thousands of concurrent
+replay / grid / search jobs from many tenants, shards them across a
+pool of evaluation workers (in-process or remote generator nodes),
+dedupes identical ``(trace, config)`` work against the run ledger's
+result cache, and survives workers dying mid-job without ever executing
+a job's side effects twice.  See ``docs/fleet.md``.
+"""
+
+from .jobs import (
+    FleetJob,
+    FleetResult,
+    JobSpec,
+    canonical_result_bytes,
+    faults_from_dict,
+    faults_to_dict,
+    trace_fingerprint,
+)
+from .queue import FleetQueue, TenantSpec
+from .scheduler import FleetScheduler, run_jobs
+from .service import FleetService
+from .workers import (
+    EvaluationContext,
+    FleetWorker,
+    LocalWorker,
+    RemoteWorker,
+    device_factory,
+    local_worker_pool,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "FleetJob",
+    "FleetQueue",
+    "FleetResult",
+    "FleetScheduler",
+    "FleetService",
+    "FleetWorker",
+    "JobSpec",
+    "LocalWorker",
+    "RemoteWorker",
+    "TenantSpec",
+    "canonical_result_bytes",
+    "device_factory",
+    "faults_from_dict",
+    "faults_to_dict",
+    "local_worker_pool",
+    "run_jobs",
+    "trace_fingerprint",
+]

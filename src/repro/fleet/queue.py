@@ -1,0 +1,179 @@
+"""Multi-tenant job queue: quotas, priorities, and an aging policy.
+
+Pure synchronous data structure — the asyncio scheduler drives it, and
+the Hypothesis property suite exercises it directly.  The policy:
+
+* **FIFO within a tenant.**  Only each tenant's queue *head* competes
+  for the next dispatch slot, so one tenant's jobs never reorder.
+* **Quota.**  A tenant with ``in_flight >= quota`` is ineligible; its
+  jobs wait regardless of priority.  Quotas bound how much of the
+  worker pool any tenant can occupy, never how much it may enqueue.
+* **Priority with aging.**  Among eligible heads the scheduler picks
+  the maximum *effective* priority ``tenant.priority + job.priority +
+  aging_rate × waited_ticks`` (ties broken by admission order).  Every
+  ``select`` advances the tick, so a waiting head's effective priority
+  grows without bound: a job admitted ``d`` ticks later can only beat
+  it while its static advantage exceeds ``aging_rate × d``.  With
+  priorities spanning ``S``, nothing admitted more than ``S /
+  aging_rate`` ticks later ever overtakes — the starvation bound the
+  property suite checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from ..errors import FleetError
+from .jobs import FleetJob
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's scheduling contract."""
+
+    name: str
+    quota: int = 4
+    priority: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("tenant needs a name")
+        if self.quota < 1:
+            raise FleetError(
+                f"tenant {self.name!r} quota must be >= 1, got {self.quota}"
+            )
+
+
+class FleetQueue:
+    """The admission queue behind :class:`~repro.fleet.scheduler.FleetScheduler`."""
+
+    def __init__(self, aging_rate: float = 0.1,
+                 default_quota: int = 4) -> None:
+        if aging_rate < 0:
+            raise FleetError(f"aging_rate must be >= 0, got {aging_rate}")
+        self.aging_rate = aging_rate
+        self.default_quota = default_quota
+        self.tenants: Dict[str, TenantSpec] = {}
+        self._queues: Dict[str, Deque[FleetJob]] = {}
+        self._in_flight: Dict[str, int] = {}
+        self._peak_in_flight: Dict[str, int] = {}
+        self.tick = 0
+        self._seq = 0
+        self.admitted = 0
+        self.selected = 0
+
+    # -- tenancy -------------------------------------------------------------
+
+    def register(self, spec: TenantSpec) -> None:
+        self.tenants[spec.name] = spec
+        self._queues.setdefault(spec.name, deque())
+        self._in_flight.setdefault(spec.name, 0)
+        self._peak_in_flight.setdefault(spec.name, 0)
+
+    def _ensure(self, tenant: str) -> TenantSpec:
+        if tenant not in self.tenants:
+            self.register(TenantSpec(name=tenant, quota=self.default_quota))
+        return self.tenants[tenant]
+
+    # -- admission / selection ----------------------------------------------
+
+    def admit(self, job: FleetJob) -> None:
+        """Enqueue at the tail of the job's tenant queue."""
+        self._ensure(job.tenant)
+        job.enqueue_tick = self.tick
+        job.enqueue_seq = self._seq
+        self._seq += 1
+        self.admitted += 1
+        self._queues[job.tenant].append(job)
+
+    def requeue_front(self, job: FleetJob) -> None:
+        """Put a job whose worker died back at its tenant's head.
+
+        The original ``enqueue_tick`` is kept, so a retried job retains
+        (and keeps accruing) its aging credit instead of losing its
+        place to jobs admitted while it ran.
+        """
+        self._ensure(job.tenant)
+        self._in_flight[job.tenant] = max(
+            0, self._in_flight[job.tenant] - 1
+        )
+        self._queues[job.tenant].appendleft(job)
+
+    def eligible_tenants(self) -> List[str]:
+        """Tenants with a queued job and spare quota, admission order."""
+        return [
+            name for name, q in self._queues.items()
+            if q and self._in_flight[name] < self.tenants[name].quota
+        ]
+
+    def select(self) -> Optional[FleetJob]:
+        """Pop the next job to dispatch, or None when nothing is eligible.
+
+        Work-conserving by construction: returns None *only* when every
+        tenant is empty or at quota.  Each call advances the aging tick.
+        """
+        self.tick += 1
+        best: Optional[FleetJob] = None
+        best_key = None
+        for name in self.eligible_tenants():
+            head = self._queues[name][0]
+            key = (
+                head.effective_priority(
+                    self.tenants[name].priority, self.aging_rate, self.tick
+                ),
+                -head.enqueue_seq,
+            )
+            if best_key is None or key > best_key:
+                best, best_key = head, key
+        if best is None:
+            return None
+        self._queues[best.tenant].popleft()
+        self._in_flight[best.tenant] += 1
+        self._peak_in_flight[best.tenant] = max(
+            self._peak_in_flight[best.tenant],
+            self._in_flight[best.tenant],
+        )
+        self.selected += 1
+        return best
+
+    def release(self, job: FleetJob) -> None:
+        """A selected job finished (or failed terminally): free its slot."""
+        self._in_flight[job.tenant] = max(
+            0, self._in_flight[job.tenant] - 1
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self._queues.get(tenant, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def in_flight(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return self._in_flight.get(tenant, 0)
+        return sum(self._in_flight.values())
+
+    def peak_in_flight(self, tenant: str) -> int:
+        return self._peak_in_flight.get(tenant, 0)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "admitted": self.admitted,
+            "selected": self.selected,
+            "depth": self.depth(),
+            "in_flight": self.in_flight(),
+            "tenants": {
+                name: {
+                    "quota": spec.quota,
+                    "priority": spec.priority,
+                    "depth": self.depth(name),
+                    "in_flight": self.in_flight(name),
+                    "peak_in_flight": self.peak_in_flight(name),
+                }
+                for name, spec in sorted(self.tenants.items())
+            },
+        }

@@ -1,0 +1,460 @@
+"""The fleet scheduler: thousands of jobs, a handful of workers.
+
+One asyncio event loop owns all scheduling state — admission, dedup,
+placement, retry — so no lock guards it; workers execute on their own
+executors and their completion re-enters the loop via
+``asyncio.wrap_future``.  The flow per job:
+
+1. **Admission** (:meth:`FleetScheduler.submit`).  The job's dedup key
+   ``(trace fingerprint, config fingerprint)`` is checked against the
+   run ledger's result cache (completed identical job → resolved
+   immediately, ``cache_hit``) and against the in-flight leader table
+   (identical job currently queued/running → attached as a *follower*
+   that shares the leader's single execution).  Fresh work enters the
+   multi-tenant queue.
+2. **Placement.**  The dispatch loop pairs the queue's
+   :meth:`~repro.fleet.queue.FleetQueue.select` choice with an idle
+   worker; it sleeps only when no worker is idle or nothing is
+   eligible, so the fleet is work-conserving.
+3. **Completion.**  The payload is canonicalised
+   (:func:`~repro.fleet.jobs.canonical_result_bytes`), stored in the
+   ledger's result cache, recorded as a ``fleet/job:<id>`` provenance
+   row for the leader *and every follower*, and all attached futures
+   resolve with byte-identical results.
+4. **Failure.**  :class:`~repro.errors.WorkerDied` removes the worker
+   from the pool and requeues the job at its tenant's head under the
+   *same* request id — a node that already executed it serves its
+   cached result, so at-least-once dispatch stays exactly-once
+   execution.  Other exceptions fail the job (and its followers): the
+   evaluation itself was bad, not the worker.
+
+PROGRESS frames and job lifecycle events fan out to any number of
+watchers through :class:`~repro.telemetry.stream.FrameFanout`, whose
+per-job sequence numbers make retried replays re-push nothing a watcher
+already saw.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import FleetError, WorkerDied
+from ..host.ledger import RunLedger, new_run_id, record_fleet_job
+from ..telemetry.registry import get_registry
+from ..telemetry.stream import FrameFanout
+from .jobs import FleetJob, FleetResult, JobSpec, canonical_result_bytes
+from .queue import FleetQueue, TenantSpec
+from .workers import EvaluationContext, FleetWorker
+
+
+class FleetScheduler:
+    """Admits, dedupes, places, retries, and records evaluation jobs."""
+
+    def __init__(
+        self,
+        workers: List[FleetWorker],
+        context: Optional[EvaluationContext] = None,
+        ledger: Optional[RunLedger] = None,
+        aging_rate: float = 0.1,
+        default_quota: int = 4,
+        max_attempts: int = 3,
+    ) -> None:
+        if not workers:
+            raise FleetError("a fleet needs at least one worker")
+        if max_attempts < 1:
+            raise FleetError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.queue = FleetQueue(
+            aging_rate=aging_rate, default_quota=default_quota
+        )
+        self.context = context
+        self.ledger = ledger
+        self.max_attempts = max_attempts
+        self.workers: List[FleetWorker] = list(workers)
+        self._idle: List[FleetWorker] = list(workers)
+        self._dead: List[FleetWorker] = []
+        self.jobs: Dict[str, FleetJob] = {}
+        self._leaders: Dict[str, FleetJob] = {}
+        self._followers: Dict[str, List[FleetJob]] = {}
+        self._keys: Dict[str, str] = {}  # job_id -> cache key
+        self._stream: Dict[str, Optional[float]] = {}
+        self._job_fanouts: Dict[str, FrameFanout] = {}
+        self._events = FrameFanout()
+        self._event_seq = itertools.count()
+        self._job_seq = itertools.count()
+        self._wake: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._running_jobs: Dict[str, asyncio.Task] = {}
+        self._draining = False
+        self.completed = 0
+        self.failed = 0
+        self.executions_started = 0
+        self.cache_hits = 0          # served from the ledger result cache
+        self.inflight_hits = 0       # attached to an in-flight leader
+        self.worker_deaths = 0
+        self.retries = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "FleetScheduler":
+        if self._dispatcher is not None:
+            raise FleetError("scheduler already started")
+        self._wake = asyncio.Event()
+        self._dispatcher = asyncio.get_event_loop().create_task(
+            self._dispatch_loop()
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Cancel outstanding work and shut the workers down."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for task in list(self._running_jobs.values()):
+            task.cancel()
+        for worker in self.workers + self._dead:
+            worker.close()
+
+    async def drain(self) -> Dict[str, Any]:
+        """Stop admitting, finish everything admitted, return status."""
+        self._draining = True
+        pending = [
+            j.future for j in self.jobs.values()
+            if j.future is not None and not j.future.done()
+        ]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        return self.status()
+
+    def register_tenant(self, spec: TenantSpec) -> None:
+        self.queue.register(spec)
+
+    # -- admission -----------------------------------------------------------
+
+    def _fingerprint(self, spec: JobSpec) -> str:
+        """Trace fingerprint for dedup: content hash when the trace is
+        local, label hash otherwise (remote-only fleets trust labels)."""
+        if self.context is not None:
+            try:
+                return self.context.trace_fp(spec.trace)
+            except FleetError:
+                pass
+        import hashlib
+
+        return hashlib.sha256(
+            f"label:{spec.trace}".encode("utf-8")
+        ).hexdigest()[:16]
+
+    async def submit(
+        self,
+        spec: JobSpec,
+        tenant: str,
+        priority: float = 0.0,
+        stream_interval: Optional[float] = None,
+    ) -> FleetJob:
+        """Admit one job; returns it with an awaitable ``future``."""
+        if self._draining:
+            raise FleetError("fleet is draining; not admitting jobs")
+        if self._wake is None:
+            raise FleetError("scheduler not started")
+        loop = asyncio.get_event_loop()
+        job = FleetJob(
+            job_id=f"j{next(self._job_seq):06d}-{new_run_id()[:8]}",
+            spec=spec,
+            tenant=tenant,
+            priority=priority,
+        )
+        job.future = loop.create_future()
+        self.jobs[job.job_id] = job
+        key = spec.cache_key(self._fingerprint(spec))
+        self._keys[job.job_id] = key
+        self._stream[job.job_id] = stream_interval
+        self._emit("admitted", job)
+
+        cached = self.ledger.cache_get(key) if self.ledger is not None else None
+        if cached is not None:
+            self.cache_hits += 1
+            result = FleetResult(
+                job_id=job.job_id,
+                result_bytes=cached["result_json"].encode("utf-8"),
+                cache_hit=True,
+                attempts=0,
+                worker=f"cache:{cached['run_id']}",
+            )
+            self._record(job, result)
+            self._resolve(job, result)
+            self._emit("cache_hit", job)
+            self._update_gauges()
+            return job
+
+        leader = self._leaders.get(key)
+        if leader is not None:
+            self.inflight_hits += 1
+            self._followers.setdefault(key, []).append(job)
+            self._emit("attached", job, leader=leader.job_id)
+            self._update_gauges()
+            return job
+
+        self._leaders[key] = job
+        self.queue.admit(job)
+        self._emit("queued", job)
+        self._update_gauges()
+        self._wake.set()
+        return job
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            while self._idle:
+                job = self.queue.select()
+                if job is None:
+                    break
+                worker = self._idle.pop(0)
+                task = asyncio.get_event_loop().create_task(
+                    self._run_job(job, worker)
+                )
+                self._running_jobs[job.job_id] = task
+            self._wake.clear()
+            await self._wake.wait()
+
+    async def _run_job(self, job: FleetJob, worker: FleetWorker) -> None:
+        job.attempts += 1
+        self.executions_started += 1
+        self._emit("dispatched", job, worker=worker.name,
+                   attempt=job.attempts)
+        loop = asyncio.get_event_loop()
+        interval = self._stream.get(job.job_id)
+        on_frame = None
+        if interval is not None and interval > 0:
+            frame_seq = itertools.count()
+
+            def on_frame(frame: Dict[str, Any],
+                         _job_id: str = job.job_id) -> None:
+                # Worker-thread side: marshal into the loop; the per-job
+                # fanout's sequence numbers drop anything a previous
+                # (died mid-replay) attempt already delivered.
+                seq = next(frame_seq)
+                loop.call_soon_threadsafe(
+                    self._deliver_frame, _job_id, seq, frame
+                )
+
+        try:
+            payload = await asyncio.wrap_future(
+                worker.submit(job, on_frame=on_frame, stream_interval=interval)
+            )
+        except asyncio.CancelledError:
+            raise
+        except WorkerDied as exc:
+            self._on_worker_died(job, worker, exc)
+            return
+        except Exception as exc:
+            self._on_job_failed(job, worker, exc)
+            return
+        finally:
+            self._running_jobs.pop(job.job_id, None)
+        self._on_job_done(job, worker, payload)
+
+    def _on_worker_died(self, job: FleetJob, worker: FleetWorker,
+                        exc: WorkerDied) -> None:
+        self.worker_deaths += 1
+        worker.alive = False
+        if worker in self.workers:
+            self.workers.remove(worker)
+            self._dead.append(worker)
+        if worker in self._idle:  # pragma: no cover - defensive
+            self._idle.remove(worker)
+        self._emit("worker_died", job, worker=worker.name)
+        if job.attempts >= self.max_attempts or not self.workers:
+            self.queue.release(job)
+            self._fail(job, FleetError(
+                f"job {job.job_id} lost its worker {job.attempts} time(s), "
+                f"giving up: {exc}"
+            ))
+        else:
+            self.retries += 1
+            self.queue.requeue_front(job)
+            self._emit("requeued", job, attempt=job.attempts)
+        self._update_gauges()
+        if self._wake is not None:
+            self._wake.set()
+
+    def _on_job_failed(self, job: FleetJob, worker: FleetWorker,
+                       exc: Exception) -> None:
+        self.queue.release(job)
+        if worker.alive and worker in self.workers:
+            self._idle.append(worker)
+        self._fail(job, exc)
+        self._update_gauges()
+        if self._wake is not None:
+            self._wake.set()
+
+    def _on_job_done(self, job: FleetJob, worker: FleetWorker,
+                     payload: Dict[str, Any]) -> None:
+        self.queue.release(job)
+        if worker.alive and worker in self.workers:
+            self._idle.append(worker)
+        key = self._keys[job.job_id]
+        result_bytes = canonical_result_bytes(payload)
+        if self.ledger is not None:
+            self.ledger.cache_put(
+                key, result_bytes.decode("utf-8"), job.job_id
+            )
+        result = FleetResult(
+            job_id=job.job_id,
+            result_bytes=result_bytes,
+            cache_hit=False,
+            attempts=job.attempts,
+            worker=worker.name,
+        )
+        self._record(job, result)
+        self._resolve(job, result)
+        self._emit("completed", job, worker=worker.name,
+                   attempts=job.attempts)
+        # Followers share the leader's bytes, with cache-hit provenance.
+        for follower in self._followers.pop(key, []):
+            fresult = FleetResult(
+                job_id=follower.job_id,
+                result_bytes=result_bytes,
+                cache_hit=True,
+                attempts=0,
+                worker=f"leader:{job.job_id}",
+            )
+            self._record(follower, fresult)
+            self._resolve(follower, fresult)
+            self._emit("cache_hit", follower, leader=job.job_id)
+        self._leaders.pop(key, None)
+        self._update_gauges()
+        if self._wake is not None:
+            self._wake.set()
+
+    def _fail(self, job: FleetJob, exc: Exception) -> None:
+        self.failed += 1
+        if job.future is not None and not job.future.done():
+            job.future.set_exception(exc)
+        self._emit("failed", job, error=str(exc))
+        key = self._keys.get(job.job_id)
+        if key is not None and self._leaders.get(key) is job:
+            self._leaders.pop(key, None)
+            for follower in self._followers.pop(key, []):
+                self.failed += 1
+                if follower.future is not None and not follower.future.done():
+                    follower.future.set_exception(exc)
+                self._emit("failed", follower, error=str(exc))
+
+    def _resolve(self, job: FleetJob, result: FleetResult) -> None:
+        self.completed += 1
+        if job.future is not None and not job.future.done():
+            job.future.set_result(result)
+
+    # -- provenance / observability ------------------------------------------
+
+    def _record(self, job: FleetJob, result: FleetResult) -> None:
+        if self.ledger is None:
+            return
+        record_fleet_job(
+            self.ledger,
+            job_id=job.job_id,
+            tenant=job.tenant,
+            spec_dict=job.spec.to_dict(),
+            result_dict=self._summary_payload(result),
+            cache_hit=result.cache_hit,
+            attempts=result.attempts,
+            worker=result.worker,
+        )
+
+    @staticmethod
+    def _summary_payload(result: FleetResult) -> Dict[str, Any]:
+        payload = result.payload
+        # Grid/search payloads have no flat metrics at top level; the
+        # ledger summary keys simply read as zeros for them.
+        return payload if isinstance(payload, dict) else {}
+
+    def watch(self, callback: Callable[[Dict[str, Any]], None],
+              job_id: Optional[str] = None) -> Callable[[], None]:
+        """Attach a watcher; returns its detach function.
+
+        Without ``job_id`` the watcher sees every lifecycle event; with
+        one, it sees that job's streamed PROGRESS frames.
+        """
+        if job_id is None:
+            return self._events.add(callback)
+        fanout = self._job_fanouts.setdefault(job_id, FrameFanout())
+        return fanout.add(callback)
+
+    def _deliver_frame(self, job_id: str, seq: int,
+                       frame: Dict[str, Any]) -> None:
+        fanout = self._job_fanouts.get(job_id)
+        if fanout is not None:
+            fanout.deliver(seq, frame)
+
+    def _emit(self, event: str, job: FleetJob, **extra: Any) -> None:
+        if len(self._events) == 0:
+            next(self._event_seq)  # keep the sequence monotone anyway
+            return
+        body = {"event": event, "job_id": job.job_id, "tenant": job.tenant}
+        body.update(extra)
+        self._events.deliver(next(self._event_seq), body)
+
+    def _update_gauges(self) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.gauge("fleet_queue_depth").set(float(self.queue.depth()))
+        registry.gauge("fleet_workers_alive").set(float(len(self.workers)))
+        served = self.completed + self.failed
+        hits = self.cache_hits + self.inflight_hits
+        if served:
+            registry.gauge("fleet_dedup_hit_rate").set(hits / served)
+        for tenant in self.queue.tenants:
+            registry.gauge("fleet_in_flight", tenant=tenant).set(
+                float(self.queue.in_flight(tenant))
+            )
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the whole fleet."""
+        return {
+            "draining": self._draining,
+            "queue": self.queue.stats(),
+            "workers": [w.describe() for w in self.workers],
+            "dead_workers": [w.describe() for w in self._dead],
+            "jobs": {
+                "submitted": len(self.jobs),
+                "completed": self.completed,
+                "failed": self.failed,
+                "executions_started": self.executions_started,
+                "retries": self.retries,
+                "worker_deaths": self.worker_deaths,
+            },
+            "dedup": {
+                "cache_hits": self.cache_hits,
+                "inflight_hits": self.inflight_hits,
+                "hit_rate": (
+                    (self.cache_hits + self.inflight_hits)
+                    / max(1, self.completed + self.failed)
+                ),
+            },
+        }
+
+
+async def run_jobs(
+    scheduler: FleetScheduler,
+    submissions: List[Dict[str, Any]],
+) -> List[FleetResult]:
+    """Submit a batch (``{"spec", "tenant", "priority"?}`` dicts) and
+    await every result, in submission order."""
+    jobs = []
+    for sub in submissions:
+        jobs.append(
+            await scheduler.submit(
+                sub["spec"], sub["tenant"],
+                priority=float(sub.get("priority", 0.0)),
+            )
+        )
+    return list(await asyncio.gather(*(j.future for j in jobs)))

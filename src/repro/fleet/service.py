@@ -1,0 +1,166 @@
+"""Replay-as-a-service: the fleet scheduler behind a TCP endpoint.
+
+:class:`FleetService` runs a :class:`~repro.fleet.scheduler.FleetScheduler`
+on a dedicated asyncio loop thread and serves the fleet frame kinds
+(``fleet_submit`` / ``fleet_status`` / ``fleet_drain``) over the same
+length-prefixed wire protocol the generator nodes speak, via
+:class:`~repro.host.communicator.CommunicatorServer`.  Handler threads
+bridge into the loop with ``asyncio.run_coroutine_threadsafe``; the
+loop never blocks on the network.
+
+Submissions are idempotent: each ``fleet_submit`` may carry a
+``submit_id``, and a retried frame (the communicator retries over fresh
+connections) maps back to the originally admitted job instead of
+enqueueing a duplicate — the same exactly-once discipline the workers
+apply one layer down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Dict, Optional
+
+from ..errors import FleetError, TracerError
+from ..host.communicator import CommunicatorServer
+from ..host.protocol import (
+    Frame,
+    KIND_ACK,
+    KIND_ERROR,
+    KIND_FLEET_DRAIN,
+    KIND_FLEET_RESULT,
+    KIND_FLEET_STATUS,
+    KIND_FLEET_SUBMIT,
+)
+from .jobs import JobSpec
+from .scheduler import FleetScheduler
+
+
+class FleetService:
+    """Own the loop thread, the scheduler, and the TCP server."""
+
+    def __init__(
+        self,
+        scheduler: FleetScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout: Optional[float] = None,
+        result_timeout: float = 300.0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.result_timeout = result_timeout
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, daemon=True, name="fleet-loop"
+        )
+        self._submits: Dict[str, str] = {}  # submit_id -> job_id
+        self._submits_lock = threading.Lock()
+        self._server = CommunicatorServer(
+            self._handle, host=host, port=port, idle_timeout=idle_timeout
+        )
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self):
+        return self._server.address
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def start(self) -> "FleetService":
+        self._loop_thread.start()
+        self._call(self.scheduler.start())
+        self._server.start()
+        return self
+
+    def close(self) -> None:
+        self._server.stop()
+        try:
+            self._call(self.scheduler.stop())
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(timeout=5.0)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _call(self, coro, timeout: Optional[float] = 60.0):
+        """Run a coroutine on the scheduler loop from a handler thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout
+        )
+
+    # -- frame handling ------------------------------------------------------
+
+    def _handle(self, frame: Frame) -> Optional[Frame]:
+        try:
+            if frame.kind == KIND_FLEET_SUBMIT:
+                return self._handle_submit(frame.body)
+            if frame.kind == KIND_FLEET_STATUS:
+                return Frame(KIND_ACK, self._status())
+            if frame.kind == KIND_FLEET_DRAIN:
+                status = self._call(self.scheduler.drain(), timeout=None)
+                return Frame(KIND_ACK, status)
+        except TracerError as exc:
+            return Frame(KIND_ERROR, {"message": str(exc)})
+        return Frame(
+            KIND_ERROR, {"message": f"unexpected frame {frame.kind!r}"}
+        )
+
+    def _status(self) -> Dict[str, Any]:
+        async def _snap() -> Dict[str, Any]:
+            return self.scheduler.status()
+
+        return self._call(_snap())
+
+    def _handle_submit(self, body: Dict[str, Any]) -> Frame:
+        spec = JobSpec.from_dict(body.get("spec") or {})
+        tenant = str(body.get("tenant") or "default")
+        priority = float(body.get("priority", 0.0))
+        submit_id = body.get("submit_id")
+        job_id = self._admit(spec, tenant, priority, submit_id)
+        if not body.get("wait", False):
+            return Frame(KIND_ACK, {"job_id": job_id})
+        result = self._await_result(job_id)
+        return Frame(KIND_FLEET_RESULT, result.to_dict())
+
+    def _admit(
+        self,
+        spec: JobSpec,
+        tenant: str,
+        priority: float,
+        submit_id: Optional[str],
+    ) -> str:
+        with self._submits_lock:
+            if submit_id is not None and submit_id in self._submits:
+                return self._submits[submit_id]
+            job = self._call(
+                self.scheduler.submit(spec, tenant, priority=priority)
+            )
+            if submit_id is not None:
+                self._submits[submit_id] = job.job_id
+            return job.job_id
+
+    def _await_result(self, job_id: str):
+        job = self.scheduler.jobs.get(job_id)
+        if job is None or job.future is None:
+            raise FleetError(f"unknown job {job_id!r}")
+
+        async def _wait():
+            return await asyncio.wait_for(
+                asyncio.shield(job.future), self.result_timeout
+            )
+
+        return self._call(_wait(), timeout=self.result_timeout + 30.0)

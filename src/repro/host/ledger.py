@@ -48,6 +48,12 @@ CREATE TABLE IF NOT EXISTS run_ledger (
 );
 CREATE INDEX IF NOT EXISTS idx_ledger_created ON run_ledger (created);
 CREATE INDEX IF NOT EXISTS idx_ledger_trace ON run_ledger (trace_label);
+CREATE TABLE IF NOT EXISTS result_cache (
+    cache_key TEXT PRIMARY KEY,
+    run_id TEXT NOT NULL,
+    created REAL NOT NULL,
+    result_json TEXT NOT NULL
+);
 """
 
 #: Summary metrics a ledger row carries (flat floats, diffable).
@@ -284,8 +290,11 @@ class RunLedger:
             clauses.append("trace_label = ?")
             params.append(trace_label)
         if origin is not None:
-            clauses.append("origin = ?")
-            params.append(origin)
+            # Exact origin, or any origin nested under it: ``fleet``
+            # matches every ``fleet/job:<id>`` row while ``cell:<id>``
+            # and ``fleet/job:<id>`` still filter exactly.
+            clauses.append("(origin = ? OR origin LIKE ? || '/%')")
+            params.extend([origin, origin])
         where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
         sql = (
             f"SELECT * FROM run_ledger {where} "
@@ -299,6 +308,53 @@ class RunLedger:
 
     def count(self) -> int:
         cur = self._conn.execute("SELECT COUNT(*) AS n FROM run_ledger")
+        return int(cur.fetchone()["n"])
+
+    # -- Result cache --------------------------------------------------------
+    #
+    # The fleet scheduler dedupes identical (trace fingerprint, config
+    # fingerprint) jobs against this table: the first execution stores
+    # its canonical result bytes, every later identical submission is
+    # served from here — byte-identical — without replaying.
+
+    def cache_put(
+        self, cache_key: str, result_json: str, run_id: str,
+        created: Optional[float] = None,
+    ) -> None:
+        """Store one job's canonical result under its dedup key.
+
+        Idempotent: re-putting an existing key keeps the first entry
+        (the cache is a record of the *first* execution; identical jobs
+        produce identical bytes anyway).
+        """
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO result_cache "
+                    "(cache_key, run_id, created, result_json) "
+                    "VALUES (?, ?, ?, ?)",
+                    (
+                        cache_key, run_id,
+                        created if created is not None else _time.time(),
+                        result_json,
+                    ),
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"result-cache put failed: {exc}") from exc
+
+    def cache_get(self, cache_key: str) -> Optional[Dict[str, Any]]:
+        """Look a dedup key up; ``{"run_id", "result_json"}`` or None."""
+        cur = self._conn.execute(
+            "SELECT run_id, result_json FROM result_cache WHERE cache_key = ?",
+            (cache_key,),
+        )
+        row = cur.fetchone()
+        if row is None:
+            return None
+        return {"run_id": row["run_id"], "result_json": row["result_json"]}
+
+    def cache_size(self) -> int:
+        cur = self._conn.execute("SELECT COUNT(*) AS n FROM result_cache")
         return int(cur.fetchone()["n"])
 
     def diff(self, run_a: str, run_b: str) -> Dict[str, Any]:
@@ -499,3 +555,47 @@ def record_search_run(
             )
         )
     return parent_id
+
+
+def record_fleet_job(
+    ledger: RunLedger,
+    job_id: str,
+    tenant: str,
+    spec_dict: Dict[str, Any],
+    result_dict: Dict[str, Any],
+    cache_hit: bool,
+    attempts: int,
+    worker: str = "",
+) -> str:
+    """Record one fleet job's provenance row.
+
+    Every fleet job — executed or served from the dedup cache — lands as
+    its own row with ``origin="fleet/job:<job_id>"``, so ``tracer runs
+    list --origin fleet`` enumerates the fleet's whole history (origin
+    prefix matching) while ``--origin fleet/job:<id>`` pins one job.
+    The mode vector carries the full job spec plus tenancy; the summary
+    carries the replay metrics (when the job is a replay) alongside
+    scheduling provenance: how many dispatch ``attempts`` the job took
+    (>1 means a worker died mid-job) and whether it was a cache hit.
+    """
+    summary = summary_from_result(result_dict)
+    summary["attempts"] = float(attempts)
+    summary["cache_hit"] = 1.0 if cache_hit else 0.0
+    mode = dict(spec_dict)
+    mode["tenant"] = tenant
+    if worker:
+        mode["worker"] = worker
+    seed = spec_dict.get("seed")
+    record = RunRecord(
+        run_id=job_id,
+        created=_time.time(),
+        origin=f"fleet/job:{job_id}",
+        trace_label=str(spec_dict.get("trace", "")),
+        mode=mode,
+        seed=int(seed) if seed is not None else None,
+        config_hash=config_fingerprint(mode, None),
+        git_sha=current_git_sha(),
+        summary=summary,
+    )
+    ledger.append(record)
+    return job_id

@@ -42,6 +42,21 @@ Streamed only when the host's ``run_test`` body opts in via a
 hosts skip any they are not expecting, keeping the frame type
 backward and forward compatible."""
 
+# Fleet service dialogue (client ↔ `tracer fleet serve`).
+KIND_FLEET_SUBMIT = "fleet_submit"
+"""Submit one job to the fleet: ``{"spec": .., "tenant": .., "priority":
+.., "wait": bool, "submit_id": ..}``.  With ``wait`` the terminal reply
+is a ``fleet_result``; otherwise an ``ack`` carrying the job id."""
+KIND_FLEET_RESULT = "fleet_result"
+"""Terminal reply to a waited ``fleet_submit``: job id, result payload,
+and cache provenance."""
+KIND_FLEET_STATUS = "fleet_status"
+"""Request the scheduler's status snapshot; replied with an ``ack``
+whose body is the status dict."""
+KIND_FLEET_DRAIN = "fleet_drain"
+"""Finish all admitted work, stop admitting, reply with the final
+status snapshot."""
+
 
 @dataclass(frozen=True)
 class Frame:

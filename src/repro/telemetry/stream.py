@@ -312,6 +312,64 @@ class IntervalRecorder:
             self.on_frame(frame)
 
 
+class FrameFanout:
+    """Deliver one job's interval frames to many watchers, exactly once.
+
+    The fleet scheduler (and any other multi-consumer front end) owns
+    one fanout per streamed job: every producer-side frame arrives via
+    :meth:`deliver` tagged with its sequence number, and only frames
+    *advancing* the sequence are forwarded — so a retried dispatch whose
+    frames are replayed from a server-side cache, a reconnect that
+    re-pushes an overlapping window, or out-of-order duplicates can
+    never reach a watcher twice.  Watchers added mid-stream only see
+    frames from their attach point on (live view semantics; the full
+    series still rides the terminal result).
+
+    A watcher that raises is dropped — one broken consumer must never
+    stall the stream for the others (mirroring
+    :meth:`Communicator.request`'s single-consumer rule).
+    """
+
+    def __init__(self) -> None:
+        self._watchers: Dict[int, Callable[[Dict[str, Any]], None]] = {}
+        self._next_token = 0
+        self._seen_up_to = -1
+        self.delivered = 0
+        self.duplicates_dropped = 0
+
+    def add(self, watcher: Callable[[Dict[str, Any]], None]) -> Callable[[], None]:
+        """Attach a watcher; returns a zero-argument detach callable."""
+        token = self._next_token
+        self._next_token += 1
+        self._watchers[token] = watcher
+
+        def detach() -> None:
+            self._watchers.pop(token, None)
+
+        return detach
+
+    def __len__(self) -> int:
+        return len(self._watchers)
+
+    def deliver(self, seq: int, frame: Dict[str, Any]) -> bool:
+        """Forward ``frame`` to every watcher unless ``seq`` is stale.
+
+        Returns True when the frame advanced the stream (was fanned
+        out), False when it was a duplicate and dropped.
+        """
+        if seq <= self._seen_up_to:
+            self.duplicates_dropped += 1
+            return False
+        self._seen_up_to = seq
+        self.delivered += 1
+        for token, watcher in list(self._watchers.items()):
+            try:
+                watcher(frame)
+            except Exception:
+                self._watchers.pop(token, None)
+        return True
+
+
 def frames_to_jsonl(frames: Iterable[Any]) -> str:
     """Frames (objects or wire dicts) as canonical JSON Lines text.
 

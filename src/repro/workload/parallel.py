@@ -336,6 +336,46 @@ class GridOutcome:
                 return c
         raise KeyError(f"{device}/{trace}@{load:g}x{time_scale:g}")
 
+    def to_dict(self, deterministic: bool = False) -> Dict[str, Any]:
+        """JSON-safe form of the whole sweep.
+
+        With ``deterministic`` the wall-clock ``elapsed_seconds`` (and
+        any per-cell telemetry snapshots) are omitted so two runs of the
+        same sweep serialise to identical bytes — the form the fleet's
+        dedup cache stores and compares.
+        """
+        cells = []
+        for c in self.cells:
+            rd = c.result.to_dict()
+            if deterministic:
+                md = dict(rd.get("metadata") or {})
+                md.pop("telemetry", None)
+                rd["metadata"] = md
+            cells.append(
+                {
+                    "device": c.device,
+                    "trace": c.trace,
+                    "load": c.load,
+                    "time_scale": c.time_scale,
+                    "fused": c.fused,
+                    "result": rd,
+                }
+            )
+        out: Dict[str, Any] = {
+            "devices": list(self.devices),
+            "traces": list(self.traces),
+            "loads": list(self.loads),
+            "time_scales": list(self.time_scales),
+            "shape": list(self.shape),
+            "engines": dict(sorted(self.engines.items())),
+            "fallback_reasons": dict(sorted(self.fallback_reasons.items())),
+            "fused_cells": self.fused_cells,
+            "cells": cells,
+        }
+        if not deterministic:
+            out["elapsed_seconds"] = self.elapsed_seconds
+        return out
+
 
 def _grid_slab_worker(slab, seed):
     """Pool entry point: replay one slab of per-point cells.

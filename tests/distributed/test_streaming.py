@@ -8,6 +8,7 @@ the host's per-request sequence dedup guarantees each interval frame is
 delivered at most once, in order.
 """
 
+import itertools
 import threading
 
 import pytest
@@ -201,6 +202,100 @@ class TestStreamingThroughFaults:
         clean_by_index = {f["index"]: f for f in clean}
         for frame in faulted:
             assert frame == clean_by_index[frame["index"]]
+
+
+class TestMultiWatcherFanout:
+    """N concurrent watchers behind one streamed dialogue.
+
+    The fleet fans every job's PROGRESS frames out through a
+    :class:`FrameFanout`; the regression pinned here is that a retried
+    dispatch served from the node's result cache must not re-push
+    frames to *any* watcher — neither via the wire (cached replies do
+    not re-stream) nor via the fanout (sequence dedup drops replays).
+    """
+
+    N_WATCHERS = 5
+
+    def _fanout_with_watchers(self):
+        from repro.telemetry.stream import FrameFanout
+
+        fanout = FrameFanout()
+        watchers = [[] for _ in range(self.N_WATCHERS)]
+        for sink in watchers:
+            fanout.add(sink.append)
+        return fanout, watchers
+
+    def test_cached_retry_pushes_nothing_new_to_any_watcher(self, node):
+        fanout, watchers = self._fanout_with_watchers()
+        seq = itertools.count()
+
+        def on_progress(frame):
+            fanout.deliver(next(seq), frame)
+
+        with FlakyLink(
+            "127.0.0.1", node.port, plan=[LinkFault(drop_s2c_after=600)]
+        ) as link:
+            def dialogue():
+                with RemoteEvaluationHost(
+                    "127.0.0.1", link.port, retry=FAST_RETRY, timeout=5.0
+                ) as host:
+                    return host.run_test(
+                        streamed_request(),
+                        on_progress=on_progress,
+                        stream_interval=INTERVAL,
+                    )
+
+            record = bounded(dialogue)
+        assert record.iops > 0
+        # One replay ever ran: the retried dispatch hit the node's
+        # request-id cache, which never re-streams.
+        assert node.tests_served == 1
+        for sink in watchers:
+            assert_frames_clean(sink)
+            assert sink == watchers[0]
+        assert fanout.delivered == len(watchers[0])
+        assert fanout.duplicates_dropped == 0
+
+    def test_fanout_drops_replayed_sequence_for_all_watchers(self):
+        # A worker that died mid-replay re-streams its frames from seq 0
+        # on the retry; the fanout must deliver only the unseen tail.
+        fanout, watchers = self._fanout_with_watchers()
+        for seq in (0, 1, 2, 0, 1, 2, 3):
+            fanout.deliver(seq, {"index": seq})
+        for sink in watchers:
+            assert [f["index"] for f in sink] == [0, 1, 2, 3]
+        assert fanout.duplicates_dropped == 3
+        assert fanout.delivered == 4
+
+    def test_detached_watcher_stops_receiving(self):
+        from repro.telemetry.stream import FrameFanout
+
+        fanout = FrameFanout()
+        kept, dropped = [], []
+        fanout.add(kept.append)
+        detach = fanout.add(dropped.append)
+        fanout.deliver(0, {"index": 0})
+        detach()
+        fanout.deliver(1, {"index": 1})
+        assert [f["index"] for f in kept] == [0, 1]
+        assert [f["index"] for f in dropped] == [0]
+        assert len(fanout) == 1
+
+    def test_exploding_watcher_is_detached_not_fatal(self):
+        from repro.telemetry.stream import FrameFanout
+
+        fanout = FrameFanout()
+        healthy = []
+        fanout.add(healthy.append)
+
+        def exploding(frame):
+            raise RuntimeError("watcher bug")
+
+        fanout.add(exploding)
+        fanout.deliver(0, {"index": 0})
+        fanout.deliver(1, {"index": 1})
+        assert [f["index"] for f in healthy] == [0, 1]
+        assert len(fanout) == 1  # the broken watcher was dropped
 
 
 class TestLedgerOverTheWire:

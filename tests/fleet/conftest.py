@@ -1,0 +1,13 @@
+"""Shared fixtures for the fleet suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import EvaluationContext
+
+
+@pytest.fixture
+def context(collected_trace) -> EvaluationContext:
+    """One trace ("t1"), wire-normalised, shared by local workers."""
+    return EvaluationContext({"t1": collected_trace})

@@ -1,0 +1,189 @@
+"""Chaos: kill a worker mid-replay; the job must complete exactly once.
+
+Satellite 2 of the fleet issue.  Two flavours of death:
+
+* a **remote** worker whose link drops mid-stream (``FlakyLink`` with a
+  timed server→client cut) — the scheduler reassigns the job to a
+  healthy worker pointed at the *same* generator node, and the wire
+  request-id dedup means the node replays once (``tests_served == 1``)
+  even though the fleet dispatched twice;
+* a **local** thread worker killed by the chaos hook while running a
+  job with a timed disk failure in its fault schedule — the retried
+  attempt must produce a result bit-identical to a serial replay of the
+  same spec.
+
+Either way: one ledger row per job, byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import ReplayConfig, TestRequest, WorkloadMode
+from repro.distributed.generator_node import GeneratorNode
+from repro.distributed.host_node import RemoteEvaluationHost
+from repro.errors import WorkerDied
+from repro.faults.network import FlakyLink, LinkFault
+from repro.fleet import (
+    FleetScheduler,
+    JobSpec,
+    RemoteWorker,
+    canonical_result_bytes,
+    local_worker_pool,
+)
+from repro.host.communicator import NO_RETRY
+from repro.host.ledger import RunLedger
+from repro.storage.array import build_hdd_raid5
+from repro.trace.repository import TraceName
+
+MODE = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 120))
+
+
+@pytest.fixture
+def node(repo, collected_trace):
+    repo.store(
+        TraceName("hdd-raid5", MODE.request_size, MODE.random_ratio,
+                  MODE.read_ratio),
+        collected_trace,
+    )
+    with GeneratorNode(
+        lambda: build_hdd_raid5(6), "hdd-raid5", repo, node_id="gen-chaos"
+    ) as node:
+        yield node
+
+
+class TestRemoteWorkerDeath:
+    def test_link_cut_mid_replay_completes_exactly_once(self, node):
+        """Worker A's link dies mid-stream; B finishes the job off the
+        node's request-id cache.  One replay, one ledger row, result
+        bit-identical to a direct serial run."""
+        spec = JobSpec(trace="hdd-raid5", mode=MODE.to_dict(), load=0.5,
+                       seed=23)
+
+        async def flow(link):
+            ledger = RunLedger()
+            flaky = RemoteWorker("flaky", "127.0.0.1", link.port,
+                                 retry=NO_RETRY)
+            stable = RemoteWorker("stable", "127.0.0.1", node.port,
+                                  retry=NO_RETRY)
+            sched = FleetScheduler([flaky, stable], ledger=ledger)
+            await sched.start()
+            frames = []
+            job = await sched.submit(spec, "chaos-tenant",
+                                     stream_interval=0.1)
+            sched.watch(frames.append, job_id=job.job_id)
+            result = await job.future
+            status = await sched.drain()
+            await sched.stop()
+            return job, result, status, ledger, frames
+
+        with FlakyLink(
+            "127.0.0.1", node.port, plan=[LinkFault(drop_s2c_after=600)]
+        ) as link:
+            job, result, status, ledger, frames = run(flow(link))
+
+        # The fleet dispatched twice but the node replayed once.
+        assert node.tests_served == 1
+        assert result.attempts == 2
+        assert result.cache_hit is False
+        assert result.worker == "stable"
+        assert status["jobs"]["worker_deaths"] == 1
+        assert status["dead_workers"][0]["name"] == "flaky"
+
+        # Exactly one provenance row for the job.
+        rows = ledger.list(origin=f"fleet/job:{job.job_id}")
+        assert len(rows) == 1
+        assert rows[0].summary["attempts"] == 2.0
+
+        # Watchers saw each interval frame at most once, in order.
+        seqs = [f["index"] for f in frames]
+        assert seqs == sorted(set(seqs))
+
+        # Bit-identical to a serial replay of the same spec against the
+        # same node, outside the fleet.
+        request = TestRequest(
+            mode=MODE.at_load(spec.load),
+            replay=ReplayConfig(seed=spec.seed),
+            label="serial-check",
+        )
+        with RemoteEvaluationHost("127.0.0.1", node.port) as host:
+            serial = host.run_test_raw(request)
+        assert result.result_bytes == canonical_result_bytes(serial)
+
+
+class TestLocalWorkerDeath:
+    def test_faulted_replay_survives_worker_death(self, context):
+        """A job carrying a timed disk failure is killed mid-run on its
+        first worker; the retry replays the identical fault schedule and
+        matches the serial result byte for byte."""
+        spec = JobSpec(
+            trace="t1",
+            load=0.5,
+            seed=11,
+            faults={
+                "seed": 11,
+                "disk_failures": [{"at": 0.2, "member": 2}],
+            },
+        )
+        killed = []
+
+        def chaos(worker, job):
+            if not killed:
+                killed.append(worker)
+                raise WorkerDied(f"{worker} pulled the plug")
+
+        async def flow():
+            ledger = RunLedger()
+            workers = local_worker_pool(2, context, chaos=chaos)
+            sched = FleetScheduler(workers, context=context, ledger=ledger)
+            await sched.start()
+            job = await sched.submit(spec, "chaos-tenant")
+            result = await job.future
+            status = await sched.drain()
+            await sched.stop()
+            return job, result, status, ledger
+
+        job, result, status, ledger = run(flow())
+        assert killed, "chaos hook never fired"
+        assert result.attempts == 2
+        assert status["jobs"]["worker_deaths"] == 1
+        assert status["jobs"]["completed"] == 1
+
+        rows = ledger.list(origin=f"fleet/job:{job.job_id}")
+        assert len(rows) == 1
+
+        # The faulted replay is deterministic: serial == fleet-retried.
+        serial = canonical_result_bytes(context.execute(spec))
+        assert result.result_bytes == serial
+        # And the fault really happened (serial and fleet agree on it).
+        payload = result.payload
+        assert len(payload["fault_events"]) >= 1
+
+    def test_all_workers_dead_fails_cleanly(self, context):
+        def chaos(worker, job):
+            raise WorkerDied(f"{worker} gone")
+
+        async def flow():
+            workers = local_worker_pool(1, context, chaos=chaos)
+            sched = FleetScheduler(workers, context=context, max_attempts=5)
+            await sched.start()
+            job = await sched.submit(JobSpec(trace="t1"), "t")
+            try:
+                await job.future
+                raise AssertionError("job should have failed")
+            except Exception as exc:
+                message = str(exc)
+            status = await sched.drain()
+            await sched.stop()
+            return message, status
+
+        message, status = run(flow())
+        assert "worker" in message.lower() or "fleet" in message.lower()
+        assert status["workers"] == []
+        assert status["jobs"]["failed"] == 1

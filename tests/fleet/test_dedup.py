@@ -1,0 +1,149 @@
+"""Dedup: identical jobs from different tenants run exactly once.
+
+Covers satellite 3 of the fleet issue — two tenants submit the same
+``(trace fingerprint, config fingerprint)`` job, the fleet executes it
+once, both get byte-identical results, and the second tenant's ledger
+row records cache-hit provenance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fleet import (
+    FleetScheduler,
+    JobSpec,
+    canonical_result_bytes,
+    local_worker_pool,
+)
+from repro.fleet.jobs import trace_fingerprint
+from repro.host.ledger import RunLedger
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 120))
+
+
+SPEC = JobSpec(trace="t1", load=0.4, seed=3)
+
+
+class TestInFlightDedup:
+    def test_two_tenants_one_execution(self, context):
+        async def flow():
+            ledger = RunLedger()
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context, ledger=ledger
+            )
+            await sched.start()
+            first = await sched.submit(SPEC, "alice")
+            second = await sched.submit(SPEC, "bob")
+            results = await asyncio.gather(first.future, second.future)
+            status = await sched.drain()
+            await sched.stop()
+            return first, second, results, status, ledger
+
+        first, second, (r1, r2), status, ledger = run(flow())
+        assert context.executions == 1
+        assert r1.result_bytes == r2.result_bytes
+        assert r1.cache_hit is False
+        assert r2.cache_hit is True
+        assert r2.worker == f"leader:{first.job_id}"
+        assert status["dedup"]["inflight_hits"] == 1
+        # Both jobs still get their own provenance rows; the follower's
+        # is marked as a cache hit.
+        rows = {row.run_id: row for row in ledger.list(origin="fleet")}
+        assert set(rows) == {first.job_id, second.job_id}
+        assert rows[first.job_id].summary["cache_hit"] == 0.0
+        assert rows[second.job_id].summary["cache_hit"] == 1.0
+        assert rows[second.job_id].mode["tenant"] == "bob"
+
+    def test_result_matches_serial_execution(self, context):
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context
+            )
+            await sched.start()
+            job = await sched.submit(SPEC, "alice")
+            result = await job.future
+            await sched.drain()
+            await sched.stop()
+            return result
+
+        result = run(flow())
+        serial = canonical_result_bytes(context.execute(SPEC))
+        assert result.result_bytes == serial
+
+
+class TestLedgerCacheDedup:
+    def test_cache_survives_scheduler_restart(self, context, tmp_path):
+        """A second fleet sharing the ledger serves the job from cache
+        without executing anything."""
+        db = str(tmp_path / "fleet.db")
+
+        async def first_fleet():
+            ledger = RunLedger(db)
+            sched = FleetScheduler(
+                local_worker_pool(1, context), context=context, ledger=ledger
+            )
+            await sched.start()
+            job = await sched.submit(SPEC, "alice")
+            result = await job.future
+            await sched.drain()
+            await sched.stop()
+            return result
+
+        warm = run(first_fleet())
+        executed = context.executions
+
+        async def second_fleet():
+            ledger = RunLedger(db)
+            sched = FleetScheduler(
+                local_worker_pool(1, context), context=context, ledger=ledger
+            )
+            await sched.start()
+            job = await sched.submit(SPEC, "bob")
+            result = await job.future
+            status = await sched.drain()
+            await sched.stop()
+            return job, result, status, ledger
+
+        job, cached, status, ledger = run(second_fleet())
+        assert context.executions == executed  # nothing re-ran
+        assert cached.cache_hit is True
+        assert cached.worker.startswith("cache:")
+        assert cached.result_bytes == warm.result_bytes
+        assert status["dedup"]["cache_hits"] == 1
+        rows = ledger.list(origin=f"fleet/job:{job.job_id}")
+        assert len(rows) == 1
+        assert rows[0].summary["cache_hit"] == 1.0
+
+    def test_different_specs_do_not_collide(self, context):
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context
+            )
+            await sched.start()
+            a = await sched.submit(JobSpec(trace="t1", load=0.4, seed=3), "t")
+            b = await sched.submit(JobSpec(trace="t1", load=0.4, seed=4), "t")
+            results = await asyncio.gather(a.future, b.future)
+            await sched.drain()
+            await sched.stop()
+            return results
+
+        r1, r2 = run(flow())
+        assert context.executions == 2
+        assert not r1.cache_hit and not r2.cache_hit
+
+
+class TestFingerprints:
+    def test_cache_key_depends_on_trace_and_config(self, context):
+        fp = trace_fingerprint(context.trace("t1"))
+        key_a = JobSpec(trace="t1", load=0.4).cache_key(fp)
+        key_b = JobSpec(trace="t1", load=0.5).cache_key(fp)
+        assert key_a != key_b
+        assert key_a.startswith(fp + ":")
+
+    def test_config_fingerprint_is_stable(self):
+        spec = JobSpec(trace="t1", load=0.4, seed=3)
+        clone = JobSpec.from_dict(spec.to_dict())
+        assert spec.config_fingerprint() == clone.config_fingerprint()

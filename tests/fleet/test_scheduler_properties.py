@@ -1,0 +1,167 @@
+"""Property-based tests: scheduling invariants over arbitrary streams.
+
+The queue is a pure synchronous structure, so Hypothesis can drive it
+through arbitrary interleavings of admissions, selections, and
+completions and check the three contract properties directly:
+
+* **quota** — a tenant's in-flight count never exceeds its quota, at
+  any point of any interleaving;
+* **work conservation** — ``select`` never comes back empty while some
+  tenant has a queued job and spare quota;
+* **no starvation** — with a positive aging rate and bounded static
+  priorities, every admitted job is eventually selected; concretely, a
+  job that stays eligible is picked within ``span / aging_rate`` ticks
+  plus the backlog that existed when it reached its tenant's head.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import FleetQueue, JobSpec, TenantSpec
+from repro.fleet.jobs import FleetJob
+
+TENANTS = ("alpha", "beta", "gamma", "delta")
+PRIORITY_SPAN = 4.0
+
+tenant_specs = st.fixed_dictionaries(
+    {
+        name: st.builds(
+            TenantSpec,
+            name=st.just(name),
+            quota=st.integers(min_value=1, max_value=3),
+            priority=st.floats(min_value=0.0, max_value=PRIORITY_SPAN),
+        )
+        for name in TENANTS
+    }
+)
+
+#: An operation stream: admit to a tenant, or try to run one
+#: select+complete cycle, or select and *hold* (slot stays occupied).
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("admit"), st.sampled_from(TENANTS),
+                  st.floats(min_value=0.0, max_value=PRIORITY_SPAN)),
+        st.tuples(st.just("run"), st.just(""), st.just(0.0)),
+        st.tuples(st.just("hold"), st.just(""), st.just(0.0)),
+        st.tuples(st.just("finish"), st.just(""), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _job(tenant: str, priority: float, n: int) -> FleetJob:
+    return FleetJob(
+        job_id=f"{tenant}-{n}",
+        spec=JobSpec(trace="t1"),
+        tenant=tenant,
+        priority=priority,
+    )
+
+
+def _drive(specs, stream):
+    """Replay an op stream; return (queue, held, selected ids)."""
+    q = FleetQueue(aging_rate=0.5)
+    for spec in specs.values():
+        q.register(spec)
+    held = []
+    selected = []
+    n = 0
+    for op, tenant, priority in stream:
+        if op == "admit":
+            q.admit(_job(tenant, priority, n))
+            n += 1
+        elif op == "run":
+            job = q.select()
+            if job is not None:
+                selected.append(job.job_id)
+                q.release(job)
+        elif op == "hold":
+            job = q.select()
+            if job is not None:
+                selected.append(job.job_id)
+                held.append(job)
+        elif op == "finish" and held:
+            q.release(held.pop(0))
+        # Invariant: quota respected at every step.
+        for name, spec in specs.items():
+            assert q.in_flight(name) <= spec.quota, (
+                f"tenant {name} at {q.in_flight(name)} > quota {spec.quota}"
+            )
+    return q, held, selected
+
+
+@given(specs=tenant_specs, stream=ops)
+@settings(max_examples=60, deadline=None)
+def test_quota_never_exceeded(specs, stream):
+    _drive(specs, stream)
+
+
+@given(specs=tenant_specs, stream=ops)
+@settings(max_examples=60, deadline=None)
+def test_work_conserving(specs, stream):
+    """select() is empty only when no tenant is eligible."""
+    q, held, _ = _drive(specs, stream)
+    while True:
+        eligible = q.eligible_tenants()
+        job = q.select()
+        if job is None:
+            assert eligible == [], (
+                f"select returned None with eligible tenants {eligible}"
+            )
+            break
+        assert job.tenant in eligible
+        q.release(job)
+
+
+@given(specs=tenant_specs, stream=ops)
+@settings(max_examples=60, deadline=None)
+def test_every_admitted_job_eventually_selected(specs, stream):
+    """Draining the queue selects every job ever admitted (no loss,
+    no starvation once admission stops)."""
+    q, held, selected = _drive(specs, stream)
+    for job in held:
+        q.release(job)
+    guard = q.depth() + 1
+    while q.depth():
+        job = q.select()
+        assert job is not None, "queue non-empty but nothing eligible"
+        selected.append(job.job_id)
+        q.release(job)
+        guard -= 1
+        assert guard >= 0
+    assert len(selected) == q.admitted
+    assert len(set(selected)) == len(selected), "a job was selected twice"
+
+
+@given(
+    victim_priority=st.floats(min_value=0.0, max_value=1.0),
+    bully_priority=st.floats(min_value=1.0, max_value=PRIORITY_SPAN),
+    aging_rate=st.floats(min_value=0.25, max_value=2.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_aging_bound_holds_for_any_priority_gap(
+    victim_priority, bully_priority, aging_rate
+):
+    """An adversarial stream cannot starve a waiting head past
+    ``gap / aging_rate`` selects: each later-admitted job's static
+    advantage shrinks by ``aging_rate`` per tick of the victim's wait,
+    so only finitely many can ever beat it."""
+    q = FleetQueue(aging_rate=aging_rate)
+    q.register(TenantSpec("victim", quota=1, priority=victim_priority))
+    q.register(TenantSpec("bully", quota=1000, priority=bully_priority))
+    victim = _job("victim", 0.0, 0)
+    q.admit(victim)
+    gap = bully_priority - victim_priority
+    bound = int(gap / aging_rate) + 2
+    for n in range(bound + 1):
+        q.admit(_job("bully", 0.0, n + 1))
+        picked = q.select()
+        assert picked is not None
+        if picked.tenant == "victim":
+            return
+    raise AssertionError(
+        f"victim not selected within {bound} adversarial selects "
+        f"(gap={gap}, aging_rate={aging_rate})"
+    )

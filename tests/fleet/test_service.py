@@ -1,0 +1,125 @@
+"""FleetService: the scheduler behind the length-prefixed TCP protocol."""
+
+from __future__ import annotations
+
+import uuid
+
+import pytest
+
+from repro.errors import TracerError
+from repro.fleet import (
+    FleetScheduler,
+    FleetService,
+    JobSpec,
+    local_worker_pool,
+)
+from repro.host.communicator import Communicator
+from repro.host.ledger import RunLedger
+from repro.host.protocol import (
+    Frame,
+    KIND_ACK,
+    KIND_ERROR,
+    KIND_FLEET_DRAIN,
+    KIND_FLEET_RESULT,
+    KIND_FLEET_STATUS,
+    KIND_FLEET_SUBMIT,
+)
+
+SPEC = {"kind": "replay", "trace": "t1", "load": 0.4, "seed": 5}
+
+
+@pytest.fixture
+def service(context):
+    scheduler = FleetScheduler(
+        local_worker_pool(2, context), context=context, ledger=RunLedger()
+    )
+    with FleetService(scheduler).start() as svc:
+        yield svc
+
+
+def submit_frame(wait=True, submit_id=None, tenant="alice", spec=None):
+    body = {
+        "spec": dict(spec or SPEC),
+        "tenant": tenant,
+        "wait": wait,
+    }
+    if submit_id is not None:
+        body["submit_id"] = submit_id
+    return Frame(KIND_FLEET_SUBMIT, body)
+
+
+class TestSubmit:
+    def test_blocking_submit_returns_result(self, service, context):
+        with Communicator("127.0.0.1", service.port) as comm:
+            reply = comm.request(submit_frame(wait=True))
+        assert reply.kind == KIND_FLEET_RESULT
+        assert reply.body["cache_hit"] is False
+        assert reply.body["attempts"] == 1
+        assert reply.body["result"]["iops"] > 0
+        assert context.executions == 1
+
+    def test_nowait_submit_acks_with_job_id(self, service):
+        with Communicator("127.0.0.1", service.port) as comm:
+            reply = comm.request(submit_frame(wait=False))
+            assert reply.kind == KIND_ACK
+            job_id = reply.body["job_id"]
+            assert job_id.startswith("j")
+            drained = comm.request(Frame(KIND_FLEET_DRAIN, {}))
+        assert drained.kind == KIND_ACK
+        assert drained.body["jobs"]["completed"] == 1
+
+    def test_submit_id_is_idempotent(self, service, context):
+        sid = str(uuid.uuid4())
+        with Communicator("127.0.0.1", service.port) as comm:
+            first = comm.request(submit_frame(wait=False, submit_id=sid))
+            second = comm.request(submit_frame(wait=False, submit_id=sid))
+        assert first.body["job_id"] == second.body["job_id"]
+
+    def test_distinct_submit_ids_make_distinct_jobs(self, service):
+        with Communicator("127.0.0.1", service.port) as comm:
+            a = comm.request(
+                submit_frame(wait=False, submit_id=str(uuid.uuid4()))
+            )
+            b = comm.request(
+                submit_frame(wait=False, submit_id=str(uuid.uuid4()))
+            )
+        assert a.body["job_id"] != b.body["job_id"]
+
+    def test_bad_spec_maps_to_error_frame(self, service):
+        bad = dict(SPEC)
+        bad["kind"] = "demolish"
+        with Communicator("127.0.0.1", service.port) as comm:
+            reply = comm.request(submit_frame(spec=bad))
+        assert reply.kind == KIND_ERROR
+        assert "demolish" in reply.body["message"]
+
+
+class TestStatusAndDrain:
+    def test_status_reports_fleet_shape(self, service):
+        with Communicator("127.0.0.1", service.port) as comm:
+            comm.request(submit_frame(wait=True))
+            status = comm.request(Frame(KIND_FLEET_STATUS, {}))
+        assert status.kind == KIND_ACK
+        body = status.body
+        assert body["jobs"]["completed"] == 1
+        assert len(body["workers"]) == 2
+        assert body["queue"]["tenants"]["alice"]["in_flight"] == 0
+
+    def test_drain_rejects_late_submissions(self, service):
+        with Communicator("127.0.0.1", service.port) as comm:
+            drained = comm.request(Frame(KIND_FLEET_DRAIN, {}))
+            assert drained.kind == KIND_ACK
+            late = comm.request(submit_frame(wait=False))
+        assert late.kind == KIND_ERROR
+        assert "draining" in late.body["message"]
+
+    def test_two_clients_share_the_dedup_cache(self, service, context):
+        with Communicator("127.0.0.1", service.port) as alice, Communicator(
+            "127.0.0.1", service.port
+        ) as bob:
+            first = alice.request(submit_frame(wait=True, tenant="alice"))
+            second = bob.request(submit_frame(wait=True, tenant="bob"))
+        assert first.body["cache_hit"] is False
+        assert second.body["cache_hit"] is True
+        assert first.body["result"] == second.body["result"]
+        assert context.executions == 1

@@ -301,3 +301,79 @@ class TestGridRecord:
             )
             assert got == "grid-fixed-id"
             assert ledger.get("grid-fixed-id").seed == 99
+
+
+class TestResultCache:
+    """The fleet's dedup cache rides in the same sqlite file."""
+
+    def test_put_get_roundtrip(self):
+        with RunLedger() as ledger:
+            assert ledger.cache_get("fp:cfg") is None
+            ledger.cache_put("fp:cfg", '{"iops": 1.0}', "run-1")
+            hit = ledger.cache_get("fp:cfg")
+            assert hit == {"run_id": "run-1", "result_json": '{"iops": 1.0}'}
+            assert ledger.cache_size() == 1
+
+    def test_first_entry_wins(self):
+        # INSERT OR IGNORE: a racing second writer cannot clobber the
+        # bytes the first execution published.
+        with RunLedger() as ledger:
+            ledger.cache_put("k", '{"v": 1}', "run-1")
+            ledger.cache_put("k", '{"v": 2}', "run-2")
+            hit = ledger.cache_get("k")
+            assert hit["run_id"] == "run-1"
+            assert hit["result_json"] == '{"v": 1}'
+            assert ledger.cache_size() == 1
+
+    def test_cache_persists_to_disk(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        with RunLedger(db) as ledger:
+            ledger.cache_put("k", '{"v": 1}', "run-1")
+        with RunLedger(db) as ledger:
+            assert ledger.cache_get("k")["run_id"] == "run-1"
+
+
+class TestOriginPrefixFilter:
+    def _seed(self, ledger):
+        for i, origin in enumerate(
+            ["local", "fleet/job:a", "fleet/job:b", "fleetish", "remote:n1"]
+        ):
+            ledger.append(
+                build_record(
+                    result_dict(), origin, MODE, REPLAY,
+                    run_id=f"run-{i}",
+                )
+            )
+
+    def test_exact_match_still_exact(self):
+        with RunLedger() as ledger:
+            self._seed(ledger)
+            assert [r.origin for r in ledger.list(origin="local")] == ["local"]
+            rows = ledger.list(origin="fleet/job:a")
+            assert [r.run_id for r in rows] == ["run-1"]
+
+    def test_prefix_matches_the_segment_not_the_string(self):
+        with RunLedger() as ledger:
+            self._seed(ledger)
+            fleet = {r.origin for r in ledger.list(origin="fleet")}
+            # "fleetish" must NOT match: the prefix is path-segmented.
+            assert fleet == {"fleet/job:a", "fleet/job:b"}
+
+    def test_fleet_rows_round_trip_through_record_helper(self):
+        from repro.host.ledger import record_fleet_job
+
+        spec = {"kind": "replay", "trace": "t1", "load": 0.5, "seed": 7}
+        with RunLedger() as ledger:
+            record_fleet_job(
+                ledger, "j000001-aaaa", "alice", spec, result_dict(),
+                cache_hit=False, attempts=2, worker="local-0",
+            )
+            rows = ledger.list(origin="fleet")
+            assert len(rows) == 1
+            row = rows[0]
+            assert row.run_id == "j000001-aaaa"
+            assert row.origin == "fleet/job:j000001-aaaa"
+            assert row.mode["tenant"] == "alice"
+            assert row.mode["worker"] == "local-0"
+            assert row.summary["attempts"] == 2.0
+            assert row.summary["cache_hit"] == 0.0

@@ -376,3 +376,82 @@ class TestSearch:
               "pdc:idle_timeout=3"]
         assert _split_policy_specs("maid, drpm ") == ["maid", "drpm"]
         assert _split_policy_specs("") == []
+
+
+class TestFleet:
+    def test_serve_submit_status_roundtrip(self, tmp_path, trace_file,
+                                           capsys):
+        """Serve a fleet via the CLI in a thread, drive it with submit /
+        status / runs-list, and watch it exit after --max-jobs."""
+        import json
+        import re
+        import threading
+
+        db = str(tmp_path / "fleet.sqlite")
+        rc = {}
+
+        def run_server():
+            rc["value"] = main([
+                "fleet", "serve", "--trace", str(trace_file),
+                "--workers", "2", "--db", db, "--max-jobs", "3",
+                "--tenant", "alice:2:1.0", "--tenant", "bob",
+            ])
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        port = None
+        for _ in range(100):
+            out = capsys.readouterr().out
+            m = re.search(r"on 127\.0\.0\.1:(\d+)", out)
+            if m:
+                port = int(m.group(1))
+                break
+            threading.Event().wait(0.05)
+        assert port is not None
+
+        # 1. alice executes; the filtered --wait output keeps the flat
+        # metrics plus provenance.
+        assert main([
+            "fleet", "submit", "--port", str(port), "--tenant", "alice",
+            "--job-trace", "demo", "--load", "0.5", "--seed", "7",
+            "--wait",
+        ]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_hit"] is False
+        assert first["result"]["iops"] > 0
+        assert "metadata" not in first["result"]
+
+        # 2. bob submits the identical spec and is served from cache.
+        assert main([
+            "fleet", "submit", "--port", str(port), "--tenant", "bob",
+            "--job-trace", "demo", "--load", "0.5", "--seed", "7",
+            "--wait", "--full",
+        ]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hit"] is True
+        assert second["result"]["metadata"] is not None
+
+        assert main(["fleet", "status", "--port", str(port)]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["jobs"]["completed"] == 2
+        assert status["queue"]["tenants"]["alice"]["quota"] == 2
+
+        # 3. a --spec-json submit completes the --max-jobs budget and
+        # the server exits on its own.
+        assert main([
+            "fleet", "submit", "--port", str(port), "--tenant", "bob",
+            "--spec-json",
+            '{"kind": "replay", "trace": "demo", "load": 0.2}',
+        ]) == 0
+        job_id = capsys.readouterr().out.strip()
+        assert job_id.startswith("j")
+
+        thread.join(timeout=30)
+        assert rc["value"] == 0
+        assert "fleet served 3 jobs" in capsys.readouterr().out
+
+        # Provenance survives in the ledger file, origin-prefix query.
+        assert main(["runs", "list", db, "--origin", "fleet"]) == 0
+        listing = capsys.readouterr().out
+        assert "3 of 3 runs" in listing
+        assert f"fleet/job:{job_id}"[:18] in listing
