@@ -17,6 +17,7 @@ pipeline.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -46,12 +47,14 @@ def _emit_json():
     """Write the collected numbers once the module's benches finish."""
     yield
     if _RESULTS:
-        # Schema 5: adds the policy_search_vs_serial section (fused
-        # policy search — one captured grid replay re-scored under every
-        # energy policy — vs the naive per-(cell × policy) replay loop).
-        # Schema 4 added grid_vs_serial_kernel and reworked
-        # sweep_shared_memory around the kernel-aware "auto" mode.
-        payload = {"schema": 5, "results": _RESULTS}
+        # Schema 6: adds the fleet_tracing_disabled_overhead section
+        # (distributed tracing OFF must be the seed fleet path).
+        # Schema 5 added policy_search_vs_serial (fused policy search —
+        # one captured grid replay re-scored under every energy policy —
+        # vs the naive per-(cell × policy) replay loop); schema 4 added
+        # grid_vs_serial_kernel and reworked sweep_shared_memory around
+        # the kernel-aware "auto" mode.
+        payload = {"schema": 6, "results": _RESULTS}
         if _BREAKDOWN:
             payload["breakdown"] = _BREAKDOWN
         _JSON_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True))
@@ -462,6 +465,167 @@ def test_streaming_disabled_overhead():
     assert overhead < 0.01, (
         f"streaming-disabled path {overhead * 100:.2f}% slower than the "
         f"default path — the disabled path must be the seed path"
+    )
+
+
+def test_fleet_tracing_disabled_overhead():
+    """Acceptance gate: distributed tracing OFF costs < 1% on the fleet.
+
+    Two pins, mirroring the streaming gate above.  Structural: a
+    scheduler built without ``tracing`` (and without ``TRACER_DTRACE``
+    in the environment) opens no spans, flushes nothing to the spans
+    ledger, and ships results whose payloads carry no ``dtrace``
+    section.  Statistical: the default scheduler and one with tracing
+    explicitly disabled are the *same* code path, so their best-round
+    fleet throughput must agree within 1% — any gap means the tracing
+    hooks leaked work into the disabled path.
+
+    Measurement design, hardened against shared-runner noise:
+
+    * The timed fleet runs on an *inline* worker (a ``FleetWorker``
+      whose ``submit`` executes synchronously and returns a resolved
+      future), so the whole job pipeline — admission, dedup, placement,
+      dispatch, replay, result handling — runs on the event-loop
+      thread.  Executor-thread handoffs are pure OS-scheduler jitter
+      and carry none of the tracing hooks this gate polices.
+    * Rounds accumulate adaptively: both sides run the same bytecode,
+      so their best-case round times converge to the same floor; the
+      gate keeps interleaving ABBA rounds (up to ``MAX_PASSES``) until
+      the cumulative min-of-rounds ratio lands inside the 1% budget.
+      A real leak would raise the disabled side's *floor*, which no
+      amount of extra sampling can bring back under the budget.
+    """
+    import asyncio
+    from concurrent.futures import Future
+
+    from repro.fleet import EvaluationContext, FleetScheduler, JobSpec
+    from repro.fleet.workers import FleetWorker
+    from repro.host.ledger import RunLedger
+    from repro.workload.matrix import collect_trace
+    from repro.config import WorkloadMode
+
+    assert not os.environ.get("TRACER_DTRACE"), (
+        "unset TRACER_DTRACE before running the tracing-overhead gate"
+    )
+
+    mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+    trace = collect_trace(lambda: build_hdd_raid5(6), mode, 3.0, seed=23)
+    context = EvaluationContext({"bench": trace})
+    N_JOBS = 8          # jobs per timed batch
+    ROUNDS_PER_PASS = 4  # timed batches per side per pass
+    MAX_PASSES = 10
+
+    class InlineWorker(FleetWorker):
+        """Executes on the caller's thread; submit returns a done future."""
+
+        def __init__(self, name):
+            self.name = name
+            self.alive = True
+            self.jobs_done = 0
+
+        def submit(self, job, on_frame=None, stream_interval=None):
+            fut = Future()
+            try:
+                payload = context.execute(
+                    job.spec, on_frame=on_frame,
+                    stream_interval=stream_interval,
+                    trace_context=job.trace_context,
+                )
+                self.jobs_done += 1
+                fut.set_result(payload)
+            except BaseException as exc:  # pragma: no cover - defensive
+                fut.set_exception(exc)
+            return fut
+
+    seeds = iter(range(1_000_000))  # unique seeds: no dedup hits, ever
+
+    async def batch(sched):
+        jobs = [
+            await sched.submit(
+                JobSpec(trace="bench", load=0.5, seed=next(seeds)), "bench"
+            )
+            for _ in range(N_JOBS)
+        ]
+        return await asyncio.gather(*(j.future for j in jobs))
+
+    # Structural pin: the default path writes no spans anywhere.
+    async def structural():
+        with RunLedger() as probe:
+            sched = FleetScheduler(
+                [InlineWorker("inline-0")], context=context,
+                ledger=probe, tracing=None,
+            )
+            await sched.start()
+            results = await batch(sched)
+            await sched.drain()
+            await sched.stop()
+            assert probe.spans_count() == 0
+            assert all("dtrace" not in r.payload for r in results)
+            assert all(
+                "dtrace" not in (r.payload.get("metadata") or {})
+                for r in results
+            )
+
+    asyncio.run(structural())
+
+    async def measure():
+        default = FleetScheduler(
+            [InlineWorker("inline-d")], context=context, tracing=None
+        )
+        disabled = FleetScheduler(
+            [InlineWorker("inline-x")], context=context, tracing=False
+        )
+        await default.start()
+        await disabled.start()
+        default_times, disabled_times = [], []
+        overhead = None
+        for a_pass in range(MAX_PASSES):
+            if a_pass == 0:  # warm both schedulers untimed
+                await batch(default)
+                await batch(disabled)
+            for i in range(ROUNDS_PER_PASS):
+                # ABBA order: alternate which side runs first so
+                # monotonic machine drift cancels instead of always
+                # taxing the same side.
+                pairs = (
+                    [(default, default_times), (disabled, disabled_times)]
+                    if i % 2 == 0 else
+                    [(disabled, disabled_times), (default, default_times)]
+                )
+                for sched, sink in pairs:
+                    start = time.perf_counter()
+                    await batch(sched)
+                    sink.append(time.perf_counter() - start)
+            overhead = min(disabled_times) / min(default_times) - 1.0
+            if overhead < 0.01:
+                break
+        for sched in (default, disabled):
+            await sched.drain()
+            await sched.stop()
+        return default_times, disabled_times, overhead
+
+    default_times, disabled_times, overhead = asyncio.run(measure())
+    default_best = min(default_times)
+    disabled_best = min(disabled_times)
+
+    print(
+        f"\ntracing-disabled overhead (fleet, {N_JOBS} jobs x "
+        f"{trace.package_count} packages, {len(default_times)} rounds/side):"
+        f" default {default_best:.3f}s, "
+        f"disabled {disabled_best:.3f}s, {overhead * 100:+.2f}%"
+    )
+    _RESULTS["fleet_tracing_disabled_overhead"] = {
+        "jobs": N_JOBS,
+        "packages": trace.package_count,
+        "rounds_per_side": len(default_times),
+        "default_seconds": default_best,
+        "disabled_seconds": disabled_best,
+        "overhead_fraction": overhead,
+    }
+    assert overhead < 0.01, (
+        f"tracing-disabled fleet path {overhead * 100:.2f}% slower than "
+        f"the default path after {len(default_times)} rounds/side — "
+        f"tracing OFF must be the seed path"
     )
 
 

@@ -1,0 +1,202 @@
+"""CI trace smoke: the observability plane under real fleet load.
+
+Drives a 200-job multi-tenant fleet run with distributed tracing and
+the heartbeat metrics plane both on, then audits what landed:
+
+1. every job — executed, deduped, or retried after a chaos worker
+   kill — owns exactly one rooted, orphan-free span tree in the
+   ledger's ``spans`` table;
+2. the chaos-killed job's tree shows both dispatch attempts as sibling
+   spans under one root;
+3. every surviving worker landed ≥1 heartbeat row in the
+   ``fleet_metrics`` time series, alongside fleet- and tenant-scoped
+   series;
+4. tracing is bit-transparent: a traced job's result bytes equal an
+   untraced serial replay of the same spec;
+5. ``tracer trace show`` renders a tree for a real job id through the
+   CLI.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/ci_trace_smoke.py artifacts
+
+Artifacts land under the given directory (default ``artifacts/``):
+``trace.sqlite`` (ledger + spans + fleet_metrics), ``spans.jsonl``
+(every stored span), and ``fleet_metrics.jsonl`` (the full time
+series).
+"""
+
+import asyncio
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+N_JOBS = 200
+TENANTS = {"alice": 3, "bob": 2, "carol": 2, "dave": 1}
+LOADS = [round(0.1 + 0.1 * i, 1) for i in range(8)]
+SEEDS = list(range(4))
+N_WORKERS = 4
+HEARTBEAT_ROUNDS = 3
+
+
+def main(workdir: str = "artifacts") -> None:
+    out = Path(workdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    from repro.config import WorkloadMode
+    from repro.errors import WorkerDied
+    from repro.fleet import (
+        EvaluationContext,
+        FleetScheduler,
+        JobSpec,
+        TenantSpec,
+        canonical_result_bytes,
+        local_worker_pool,
+    )
+    from repro.host.ledger import RunLedger
+    from repro.storage.array import build_hdd_raid5
+    from repro.telemetry.dtrace import SPAN_ATTEMPT, build_tree
+    from repro.workload.matrix import collect_trace
+
+    mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
+    trace = collect_trace(lambda: build_hdd_raid5(6), mode, 1.0, seed=23)
+    context = EvaluationContext({"smoke": trace})
+
+    specs = [
+        JobSpec(trace="smoke", load=load, seed=seed)
+        for load in LOADS
+        for seed in SEEDS
+    ]
+    unique = len(specs)
+
+    killed = []
+
+    def chaos(worker, job):
+        if worker == f"local-{N_WORKERS - 1}" and not killed:
+            killed.append(job.job_id)
+            raise WorkerDied(f"{worker} chaos-killed mid-replay")
+
+    ledger_path = out / "trace.sqlite"
+    ledger_path.unlink(missing_ok=True)
+
+    async def drive():
+        ledger = RunLedger(ledger_path)
+        workers = local_worker_pool(N_WORKERS, context, chaos=chaos)
+        sched = FleetScheduler(
+            workers, context=context, ledger=ledger, tracing=True,
+            heartbeat_interval=0.0,  # rounds driven explicitly below
+        )
+        for name, quota in TENANTS.items():
+            sched.register_tenant(TenantSpec(name, quota=quota))
+        await sched.start()
+
+        tenants = list(TENANTS)
+        jobs = []
+        for i in range(N_JOBS):
+            jobs.append(
+                await sched.submit(specs[i % unique],
+                                   tenants[i % len(tenants)])
+            )
+        loop = asyncio.get_event_loop()
+        # Interleave heartbeat rounds with the running jobs so the time
+        # series sees the fleet busy, then drained.
+        await sched._heartbeat_round(loop)
+        results = await asyncio.gather(*(j.future for j in jobs))
+        for _ in range(HEARTBEAT_ROUNDS - 1):
+            await sched._heartbeat_round(loop)
+        status = await sched.drain()
+        await sched.stop()
+        ledger.close()
+        return jobs, results, status
+
+    jobs, results, status = asyncio.run(drive())
+
+    assert status["jobs"]["completed"] == N_JOBS, status["jobs"]
+    assert status["jobs"]["failed"] == 0
+    assert killed, "chaos never fired: no worker death induced"
+    print(f"{N_JOBS} jobs completed, tracing on, 1 chaos death recovered")
+
+    ledger = RunLedger(ledger_path)
+
+    # 1. Every job owns exactly one rooted, orphan-free span tree.
+    traced_jobs = ledger.span_jobs()
+    assert len(traced_jobs) == N_JOBS, (
+        f"{len(traced_jobs)} traced jobs, want {N_JOBS}"
+    )
+    attempt_counts = {}
+    for job_id in traced_jobs:
+        spans = ledger.spans_for_job(job_id)
+        tree = build_tree(spans)
+        assert len(tree["roots"]) == 1, (
+            f"job {job_id}: {len(tree['roots'])} roots"
+        )
+        assert tree["orphans"] == [], (
+            f"job {job_id}: {len(tree['orphans'])} orphan spans"
+        )
+        attempt_counts[job_id] = sum(
+            1 for s in spans if s["name"] == SPAN_ATTEMPT
+        )
+    print(f"{len(traced_jobs)} span trees: all rooted, zero orphans "
+          f"({ledger.spans_count()} spans total)")
+
+    # 2. The chaos-killed job shows both attempts as siblings.
+    assert attempt_counts[killed[0]] == 2, (
+        f"killed job {killed[0]} has {attempt_counts[killed[0]]} "
+        "attempt spans, want 2"
+    )
+    print(f"chaos-killed job {killed[0]}: retry is a sibling attempt span")
+
+    # 3. Every surviving worker beat into the time series.
+    for worker in status["workers"]:
+        beats = ledger.metrics_series(metric="worker.beats",
+                                      scope=worker["name"])
+        assert beats, f"worker {worker['name']} landed no heartbeat rows"
+    fleet_rows = ledger.metrics_series(scope="fleet")
+    assert fleet_rows, "no fleet-scoped metric rows"
+    tenant_scopes = [s for s in ledger.metrics_scopes()
+                     if s.startswith("tenant:")]
+    assert len(tenant_scopes) == len(TENANTS), tenant_scopes
+    print(f"heartbeats: {ledger.metrics_count()} metric rows across "
+          f"{len(ledger.metrics_scopes())} scopes")
+
+    # 4. Tracing is bit-transparent to results.
+    spec, result = jobs[0].spec, results[0]
+    serial = canonical_result_bytes(context.execute(spec))
+    assert result.result_bytes == serial, (
+        "traced fleet result diverged from untraced serial replay"
+    )
+    print("traced result bit-identical to untraced serial replay")
+
+    # Artifacts: full span and metric dumps.
+    spans_file = out / "spans.jsonl"
+    with spans_file.open("w") as fh:
+        for job_id in traced_jobs:
+            for span in ledger.spans_for_job(job_id):
+                fh.write(json.dumps(span, sort_keys=True) + "\n")
+    metrics_file = out / "fleet_metrics.jsonl"
+    with metrics_file.open("w") as fh:
+        for row in ledger.metrics_series():
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    ledger.close()
+    print(f"artifacts: {spans_file}, {metrics_file}, {ledger_path}")
+
+    # 5. The CLI renders a real tree.
+    shown = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "show",
+         str(ledger_path), killed[0]],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    assert "fleet.job" in shown and "fleet.attempt" in shown, shown
+    listing = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "jobs",
+         str(ledger_path)],
+        check=True, capture_output=True, text=True,
+    ).stdout
+    assert str(N_JOBS) in listing, listing
+    print("`tracer trace show` renders the killed job's tree via the CLI")
+    print("trace smoke OK")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

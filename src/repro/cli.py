@@ -679,6 +679,9 @@ def cmd_fleet_serve(args: argparse.Namespace) -> int:
         ledger=ledger,
         aging_rate=args.aging_rate,
         default_quota=args.quota,
+        tracing=True if args.tracing else None,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
     )
     for entry in args.tenant:
         parts = entry.split(":")
@@ -780,6 +783,73 @@ def cmd_fleet_drain(args: argparse.Namespace) -> int:
     if reply.kind == KIND_ERROR:
         raise SystemExit(f"fleet error: {reply.body.get('message')}")
     print(render_json(reply.body))
+    return 0
+
+
+def cmd_fleet_top(args: argparse.Namespace) -> int:
+    """Live fleet view: poll fleet_status and repaint."""
+    import time as _time
+
+    from .fleet.top import render_top, status_snapshot
+    from .host.protocol import KIND_ERROR, KIND_FLEET_STATUS
+    from .telemetry.exporters import to_jsonl, to_prometheus
+
+    iterations = args.iterations if args.iterations > 0 else None
+    shown = 0
+    while True:
+        reply = _fleet_request(args, KIND_FLEET_STATUS, {})
+        if reply.kind == KIND_ERROR:
+            raise SystemExit(f"fleet error: {reply.body.get('message')}")
+        status = reply.body
+        if shown and iterations is None:  # pragma: no cover - interactive
+            print("\033[2J\033[H", end="")
+        print(render_top(status), end="")
+        if args.prometheus or args.jsonl:
+            snapshot = status_snapshot(status)
+            if args.prometheus:
+                Path(args.prometheus).write_text(to_prometheus(snapshot))
+            if args.jsonl:
+                Path(args.jsonl).write_text(to_jsonl(snapshot))
+        shown += 1
+        if iterations is not None and shown >= iterations:
+            return 0
+        _time.sleep(args.interval)
+
+
+def cmd_trace_show(args: argparse.Namespace) -> int:
+    """Render one fleet job's distributed-trace span tree."""
+    from .host.ledger import RunLedger
+    from .telemetry.dtrace import build_tree, render_tree
+
+    ledger = RunLedger(args.ledger)
+    try:
+        spans = ledger.spans_for_job(args.job_id)
+    finally:
+        ledger.close()
+    if not spans:
+        print(f"no spans recorded for job {args.job_id!r}", file=sys.stderr)
+        return 1
+    print(render_tree(spans), end="")
+    tree = build_tree(spans)
+    if tree["orphans"]:
+        print(f"warning: {len(tree['orphans'])} orphan span(s)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_trace_jobs(args: argparse.Namespace) -> int:
+    """List jobs that have recorded span trees."""
+    from .host.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger)
+    try:
+        jobs = ledger.span_jobs()
+        count = ledger.spans_count()
+    finally:
+        ledger.close()
+    for job_id in jobs:
+        print(job_id)
+    print(f"{len(jobs)} traced jobs, {count} spans")
     return 0
 
 
@@ -1001,7 +1071,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pre-register name[:quota[:priority]] (repeatable)")
     fp.add_argument("--max-jobs", type=int, default=0,
                     help="exit after N jobs complete (0 = until Ctrl-C)")
+    fp.add_argument("--tracing", action="store_true",
+                    help="record a distributed span tree per job "
+                         "(also TRACER_DTRACE=1)")
+    fp.add_argument("--heartbeat-interval", type=float, default=0.0,
+                    help="probe workers every N seconds (0 = off); silent "
+                         "workers go suspect, then dead")
+    fp.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                    help="per-probe reply deadline in seconds")
     fp.set_defaults(func=cmd_fleet_serve)
+    fp = fleet_sub.add_parser(
+        "top", help="live fleet view (queue, workers, rolling IOPS/W)"
+    )
+    fp.add_argument("--host", default="127.0.0.1")
+    fp.add_argument("--port", type=int, required=True)
+    fp.add_argument("--timeout", type=float, default=30.0)
+    fp.add_argument("--interval", type=float, default=2.0,
+                    help="poll cadence in seconds")
+    fp.add_argument("--iterations", type=int, default=0,
+                    help="exit after N repaints (0 = until Ctrl-C)")
+    fp.add_argument("--prometheus", default="",
+                    help="also write the snapshot in Prometheus text "
+                         "format to this file each repaint")
+    fp.add_argument("--jsonl", default="",
+                    help="also write the snapshot as JSONL to this file "
+                         "each repaint")
+    fp.set_defaults(func=cmd_fleet_top)
     for name, fn in (("submit", cmd_fleet_submit),
                      ("status", cmd_fleet_status),
                      ("drain", cmd_fleet_drain)):
@@ -1030,6 +1125,18 @@ def build_parser() -> argparse.ArgumentParser:
             fp.add_argument("--full", action="store_true",
                             help="print the full result payload")
         fp.set_defaults(func=fn)
+
+    p = sub.add_parser(
+        "trace", help="distributed traces recorded by a tracing fleet"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    tp = trace_sub.add_parser("show", help="render one job's span tree")
+    tp.add_argument("ledger", help="run-ledger sqlite file")
+    tp.add_argument("job_id", help="fleet job id (or unique prefix)")
+    tp.set_defaults(func=cmd_trace_show)
+    tp = trace_sub.add_parser("jobs", help="list jobs with recorded spans")
+    tp.add_argument("ledger", help="run-ledger sqlite file")
+    tp.set_defaults(func=cmd_trace_jobs)
 
     p = sub.add_parser(
         "search",

@@ -21,8 +21,9 @@ after a transient failure re-executes.
 from __future__ import annotations
 
 import threading
+import time as _time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..config import TestRequest
 from ..errors import TracerError
@@ -31,6 +32,7 @@ from ..host.protocol import (
     Frame,
     KIND_ACK,
     KIND_ERROR,
+    KIND_HEARTBEAT,
     KIND_HELLO,
     KIND_LIST_TRACES,
     KIND_PROGRESS,
@@ -75,6 +77,10 @@ class GeneratorNode:
         self._lock = threading.Lock()
         self._results: "OrderedDict[str, Frame]" = OrderedDict()
         self._in_progress: Dict[str, threading.Event] = {}
+        # Telemetry cursor for heartbeat deltas: each HEARTBEAT reply
+        # reports only what happened since the previous one, so the
+        # polling scheduler can merge beats without double-counting.
+        self._heartbeat_mark: Optional[Dict[str, Any]] = None
         self._server = CommunicatorServer(
             self._handle, host=host, port=port, idle_timeout=idle_timeout
         )
@@ -112,9 +118,33 @@ class GeneratorNode:
             return Frame(KIND_TRACE_LIST, {"traces": names})
         if frame.kind == KIND_RUN_TEST:
             return self._run_test(frame, push)
+        if frame.kind == KIND_HEARTBEAT:
+            return self._heartbeat()
         if frame.kind == KIND_SHUTDOWN:
             return Frame(KIND_ACK, {"node_id": self.node_id})
         return Frame(KIND_ERROR, {"message": f"unknown frame kind {frame.kind!r}"})
+
+    def _heartbeat(self) -> Frame:
+        """Answer a liveness probe with identity, load, and telemetry.
+
+        The telemetry section (present only when the node's process
+        registry is enabled) is a *delta* since the previous heartbeat
+        — cumulative instrument state stays on the node; pollers merge
+        deltas, so repeated beats never double-count.
+        """
+        from ..telemetry.registry import get_registry
+
+        body: Dict[str, Any] = {
+            "node_id": self.node_id,
+            "tests_served": self.tests_served,
+        }
+        registry = get_registry()
+        if registry.enabled:
+            with self._lock:
+                mark = self._heartbeat_mark
+                body["telemetry"] = registry.collect(since=mark)
+                self._heartbeat_mark = registry.mark()
+        return Frame(KIND_ACK, body)
 
     def _run_test(self, frame: Frame, push: Optional[PushFn] = None) -> Frame:
         request_id = frame.body.get("request_id")
@@ -172,6 +202,10 @@ class GeneratorNode:
             live = [True]
 
             def on_frame(iframe) -> None:
+                # ``emitted_at`` is the node's wall clock at push time,
+                # riding *beside* the sim-clock frame dict so watchers
+                # can show replay lag without touching the golden-
+                # pinned IntervalFrame schema.
                 if live[0] and not push(
                     Frame(
                         KIND_PROGRESS,
@@ -180,6 +214,7 @@ class GeneratorNode:
                             "seq": iframe.index,
                             "frame": iframe.to_dict(),
                             "node_id": node_id,
+                            "emitted_at": _time.time(),
                         },
                     )
                 ):
@@ -204,9 +239,28 @@ class GeneratorNode:
                 trace=name.filename,
                 streaming=interval if interval > 0 else 0.0,
             )
-            result = session.run(
-                trace, load_proportion=request.mode.load_proportion
-            )
+            trace_context = frame.body.get("trace_context")
+            span_sink = None
+            if trace_context:
+                # The host propagated a distributed-tracing context:
+                # execute inside it so the session's phase spans parent
+                # to the dispatching fleet attempt, and send the spans
+                # home in the result metadata.
+                from ..telemetry import dtrace
+
+                ctx = dtrace.TraceContext.from_dict(trace_context)
+                with dtrace.tracing_scope(ctx) as span_sink:
+                    with dtrace.span(dtrace.SPAN_NODE_EXECUTE,
+                                     node=self.node_id,
+                                     trace=name.filename):
+                        result = session.run(
+                            trace,
+                            load_proportion=request.mode.load_proportion,
+                        )
+            else:
+                result = session.run(
+                    trace, load_proportion=request.mode.load_proportion
+                )
         except (TracerError, KeyError, ValueError) as exc:
             slog.event(
                 "run_test_error",
@@ -218,4 +272,8 @@ class GeneratorNode:
         self.tests_served += 1
         body = result.to_dict()
         body["node_id"] = self.node_id
+        if span_sink is not None:
+            metadata = dict(body.get("metadata") or {})
+            metadata["dtrace"] = span_sink
+            body["metadata"] = metadata
         return Frame(KIND_TEST_RESULT, body)

@@ -175,6 +175,7 @@ class RemoteEvaluationHost:
         request_id: Optional[str] = None,
         on_progress: Optional[ProgressFn] = None,
         stream_interval: Optional[float] = None,
+        trace_context: Optional[Dict] = None,
     ) -> Dict:
         """Run one test remotely; return the raw result-wire body.
 
@@ -184,6 +185,9 @@ class RemoteEvaluationHost:
         job id so a job reassigned to a *new* connection against the
         same node is still served from the node's result cache instead
         of replaying); when omitted a fresh unique id is generated.
+        ``trace_context`` (a ``repro.telemetry.dtrace`` context dict)
+        rides the wire so the node's execution spans parent into the
+        caller's distributed trace.
         """
         if request_id is None:
             request_id = f"{self._client_id}-{next(self._sequence)}"
@@ -191,6 +195,8 @@ class RemoteEvaluationHost:
             "request": request.to_dict(),
             "request_id": request_id,
         }
+        if trace_context is not None:
+            body_out["trace_context"] = dict(trace_context)
         consume = None
         if stream_interval is not None and stream_interval > 0:
             body_out["stream"] = {
@@ -211,6 +217,15 @@ class RemoteEvaluationHost:
                     if seq <= seen_up_to[0]:
                         return
                     seen_up_to[0] = seq
+                    emitted = pbody.get("emitted_at")
+                    if emitted is not None:
+                        # Surface the node's wall-clock emit time beside
+                        # the sim-clock fields so watchers can compute
+                        # replay lag (now - wall_emitted).  Injected
+                        # host-side: the IntervalFrame dict schema
+                        # itself stays golden-pinned.
+                        frame = dict(frame)
+                        frame["wall_emitted"] = float(emitted)
                     on_progress(frame)
 
         reply = self._require_comm().request(

@@ -19,8 +19,15 @@ from .jobs import (
     trace_fingerprint,
 )
 from .queue import FleetQueue, TenantSpec
-from .scheduler import FleetScheduler, run_jobs
+from .scheduler import (
+    HEALTH_DEAD,
+    HEALTH_HEALTHY,
+    HEALTH_SUSPECT,
+    FleetScheduler,
+    run_jobs,
+)
 from .service import FleetService
+from .top import render_top, status_snapshot
 from .workers import (
     EvaluationContext,
     FleetWorker,
@@ -38,6 +45,9 @@ __all__ = [
     "FleetScheduler",
     "FleetService",
     "FleetWorker",
+    "HEALTH_DEAD",
+    "HEALTH_HEALTHY",
+    "HEALTH_SUSPECT",
     "JobSpec",
     "LocalWorker",
     "RemoteWorker",
@@ -47,6 +57,8 @@ __all__ = [
     "faults_from_dict",
     "faults_to_dict",
     "local_worker_pool",
+    "render_top",
     "run_jobs",
+    "status_snapshot",
     "trace_fingerprint",
 ]

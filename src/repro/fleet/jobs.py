@@ -32,8 +32,11 @@ JOB_KINDS = ("replay", "grid", "search")
 
 #: Result-payload keys that vary run-to-run without changing the
 #: evaluation (wall clock, node identity); stripped before hashing or
-#: byte-comparing results.
-_NONDETERMINISTIC_KEYS = ("node_id", "elapsed_seconds")
+#: byte-comparing results.  ``dtrace`` is the distributed-tracing span
+#: list (wall-clock timestamps and random span ids) that rides home in
+#: the payload — stripping it at every dict level keeps results
+#: bit-identical with tracing on or off.
+_NONDETERMINISTIC_KEYS = ("node_id", "elapsed_seconds", "dtrace")
 #: ``engine_fallback`` is a diagnostic phrase describing *why* the
 #: analytical kernel declined; its wording depends on which in-memory
 #: trace representation the worker held, not on the evaluation.
@@ -224,6 +227,14 @@ class FleetJob:
     enqueue_seq: int = 0
     attempts: int = 0
     future: Any = None  # asyncio.Future, attached by the scheduler
+    #: Distributed-tracing context (``trace_id``/``span_id`` dict) the
+    #: *current attempt's* worker execution should parent its spans to.
+    #: Set by the scheduler per dispatch; never fingerprinted — tracing
+    #: must not change the dedup key.
+    trace_context: Optional[Dict[str, Any]] = None
+    #: Path of the flight-recorder dump taken when a worker died while
+    #: holding this job (recorded into the job's ledger row).
+    dump_path: str = ""
 
     @property
     def request_id(self) -> str:

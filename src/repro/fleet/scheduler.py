@@ -38,15 +38,33 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+import time as _time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..errors import FleetError, WorkerDied
 from ..host.ledger import RunLedger, new_run_id, record_fleet_job
+from ..telemetry import dtrace
+from ..telemetry.flightrec import autodump, get_flight_recorder
 from ..telemetry.registry import get_registry
 from ..telemetry.stream import FrameFanout
 from .jobs import FleetJob, FleetResult, JobSpec, canonical_result_bytes
 from .queue import FleetQueue, TenantSpec
 from .workers import EvaluationContext, FleetWorker
+
+#: Worker health states the heartbeat plane walks through.  A worker is
+#: ``healthy`` while it answers beats, ``suspect`` after
+#: ``suspect_after`` consecutive misses (no new dispatches; still
+#: counted alive), and ``dead`` after ``dead_after`` misses (removed
+#: from the pool, flight recorder dumped).  A successful beat from a
+#: suspect worker restores it to ``healthy`` and to the idle pool.
+HEALTH_HEALTHY = "healthy"
+HEALTH_SUSPECT = "suspect"
+HEALTH_DEAD = "dead"
+
+#: Completed replay samples kept for the rolling IOPS / IOPS-per-watt
+#: series ``tracer fleet top`` displays.
+ROLLING_WINDOW = 64
 
 
 class FleetScheduler:
@@ -60,11 +78,21 @@ class FleetScheduler:
         aging_rate: float = 0.1,
         default_quota: int = 4,
         max_attempts: int = 3,
+        tracing: Optional[bool] = None,
+        heartbeat_interval: float = 0.0,
+        heartbeat_timeout: float = 5.0,
+        suspect_after: int = 2,
+        dead_after: int = 4,
     ) -> None:
         if not workers:
             raise FleetError("a fleet needs at least one worker")
         if max_attempts < 1:
             raise FleetError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0 < suspect_after <= dead_after:
+            raise FleetError(
+                f"need 0 < suspect_after <= dead_after, got "
+                f"{suspect_after}/{dead_after}"
+            )
         self.queue = FleetQueue(
             aging_rate=aging_rate, default_quota=default_quota
         )
@@ -94,6 +122,35 @@ class FleetScheduler:
         self.inflight_hits = 0       # attached to an in-flight leader
         self.worker_deaths = 0
         self.retries = 0
+        # -- distributed tracing (None → TRACER_DTRACE decides).  Off
+        # by default: no root spans are created, job.trace_context stays
+        # None, and workers/sessions never enter a tracing scope — the
+        # zero-cost-when-disabled invariant extends across the fleet.
+        self._tracing = dtrace.env_enabled() if tracing is None else bool(
+            tracing
+        )
+        #: Finished span dicts per job, kept after flush so tests and
+        #: callers without a ledger can still read a job's tree.
+        self.job_spans: Dict[str, List[Dict[str, Any]]] = {}
+        self._root_spans: Dict[str, dtrace.SpanHandle] = {}
+        self._open_spans: Dict[str, dtrace.SpanHandle] = {}
+        # -- heartbeat metrics plane (interval 0.0 → off, zero cost).
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.suspect_after = int(suspect_after)
+        self.dead_after = int(dead_after)
+        self.heartbeat_deaths = 0
+        self.health: Dict[str, str] = {
+            w.name: HEALTH_HEALTHY for w in workers
+        }
+        self._misses: Dict[str, int] = {}
+        self._beats: Dict[str, int] = {}
+        self._quarantined: List[FleetWorker] = []
+        self._busy: Dict[str, str] = {}  # worker name -> job id
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._rolling: Deque[Tuple[float, float]] = deque(
+            maxlen=ROLLING_WINDOW
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -104,10 +161,21 @@ class FleetScheduler:
         self._dispatcher = asyncio.get_event_loop().create_task(
             self._dispatch_loop()
         )
+        if self.heartbeat_interval > 0:
+            self._heartbeat_task = asyncio.get_event_loop().create_task(
+                self._heartbeat_loop()
+            )
         return self
 
     async def stop(self) -> None:
         """Cancel outstanding work and shut the workers down."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -174,6 +242,15 @@ class FleetScheduler:
         key = spec.cache_key(self._fingerprint(spec))
         self._keys[job.job_id] = key
         self._stream[job.job_id] = stream_interval
+        if self._tracing:
+            # Root of the job's distributed trace: submit → (queue-wait
+            # → dispatch attempts → worker/session spans) → cache-write.
+            root = dtrace.SpanHandle.begin(
+                dtrace.SPAN_JOB, job_id=job.job_id, tenant=tenant,
+                kind=spec.kind,
+            )
+            self._root_spans[job.job_id] = root
+            self.job_spans[job.job_id] = []
         self._emit("admitted", job)
 
         cached = self.ledger.cache_get(key) if self.ledger is not None else None
@@ -186,8 +263,12 @@ class FleetScheduler:
                 attempts=0,
                 worker=f"cache:{cached['run_id']}",
             )
+            self._trace_child_span(
+                job, dtrace.SPAN_CACHE_HIT, source=cached["run_id"]
+            )
             self._record(job, result)
             self._resolve(job, result)
+            self._trace_finish(job, "ok")
             self._emit("cache_hit", job)
             self._update_gauges()
             return job
@@ -202,6 +283,7 @@ class FleetScheduler:
 
         self._leaders[key] = job
         self.queue.admit(job)
+        self._trace_open_span(job, dtrace.SPAN_QUEUE_WAIT)
         self._emit("queued", job)
         self._update_gauges()
         self._wake.set()
@@ -227,6 +309,18 @@ class FleetScheduler:
     async def _run_job(self, job: FleetJob, worker: FleetWorker) -> None:
         job.attempts += 1
         self.executions_started += 1
+        self._busy[worker.name] = job.job_id
+        if self._tracing:
+            # The queue-wait span ends at dispatch; the attempt span is
+            # the context the worker executes under, so retries show up
+            # as sibling attempt spans under the same root.
+            self._trace_close_open(job, "ok")
+            attempt = self._trace_open_span(
+                job, dtrace.SPAN_ATTEMPT,
+                worker=worker.name, attempt=job.attempts,
+            )
+            if attempt is not None:
+                job.trace_context = attempt.context().to_dict()
         self._emit("dispatched", job, worker=worker.name,
                    attempt=job.attempts)
         loop = asyncio.get_event_loop()
@@ -265,11 +359,26 @@ class FleetScheduler:
                         exc: WorkerDied) -> None:
         self.worker_deaths += 1
         worker.alive = False
+        self._busy.pop(worker.name, None)
+        self.health[worker.name] = HEALTH_DEAD
         if worker in self.workers:
             self.workers.remove(worker)
             self._dead.append(worker)
         if worker in self._idle:  # pragma: no cover - defensive
             self._idle.remove(worker)
+        if worker in self._quarantined:
+            self._quarantined.remove(worker)
+        # Black box: note the death in the flight recorder and, when a
+        # dump path is armed, persist the ring buffer; the dump path
+        # lands in the job's ledger row (satellite: autodump on death).
+        get_flight_recorder().record(
+            "worker_died", 0.0,
+            worker=worker.name, job=job.job_id, error=str(exc),
+        )
+        dump = autodump("worker_died")
+        if dump is not None:
+            job.dump_path = str(dump)
+        self._trace_close_open(job, "worker_died", error=str(exc))
         self._emit("worker_died", job, worker=worker.name)
         if job.attempts >= self.max_attempts or not self.workers:
             self.queue.release(job)
@@ -280,16 +389,31 @@ class FleetScheduler:
         else:
             self.retries += 1
             self.queue.requeue_front(job)
+            self._trace_open_span(job, dtrace.SPAN_QUEUE_WAIT,
+                                  retry_of_attempt=job.attempts)
             self._emit("requeued", job, attempt=job.attempts)
         self._update_gauges()
         if self._wake is not None:
             self._wake.set()
 
+    def _return_worker(self, worker: FleetWorker) -> None:
+        """Put a finished worker back into dispatch rotation — unless
+        the heartbeat plane has it quarantined (suspect workers take no
+        new jobs until a beat restores them)."""
+        self._busy.pop(worker.name, None)
+        if not worker.alive or worker not in self.workers:
+            return
+        if self.health.get(worker.name, HEALTH_HEALTHY) == HEALTH_HEALTHY:
+            if worker not in self._idle:
+                self._idle.append(worker)
+        elif worker not in self._quarantined:
+            self._quarantined.append(worker)
+
     def _on_job_failed(self, job: FleetJob, worker: FleetWorker,
                        exc: Exception) -> None:
         self.queue.release(job)
-        if worker.alive and worker in self.workers:
-            self._idle.append(worker)
+        self._return_worker(worker)
+        self._trace_close_open(job, "error", error=str(exc))
         self._fail(job, exc)
         self._update_gauges()
         if self._wake is not None:
@@ -298,14 +422,39 @@ class FleetScheduler:
     def _on_job_done(self, job: FleetJob, worker: FleetWorker,
                      payload: Dict[str, Any]) -> None:
         self.queue.release(job)
-        if worker.alive and worker in self.workers:
-            self._idle.append(worker)
+        self._return_worker(worker)
         key = self._keys[job.job_id]
+        if self._tracing:
+            self._trace_close_open(job, "ok")
+            spans = self.job_spans.get(job.job_id)
+            if spans is not None:
+                # Worker-side spans (worker/node execute, session
+                # phases) ride the *raw* payload home; collect them
+                # before canonicalisation strips the carrier.
+                spans.extend(self._payload_spans(payload))
+        if isinstance(payload, dict) and "iops" in payload:
+            self._rolling.append(
+                (
+                    float(payload.get("iops") or 0.0),
+                    float(payload.get("mean_watts") or 0.0),
+                )
+            )
         result_bytes = canonical_result_bytes(payload)
         if self.ledger is not None:
+            cache_span = None
+            if self._tracing:
+                root = self._root_spans.get(job.job_id)
+                if root is not None:
+                    cache_span = dtrace.SpanHandle.begin(
+                        dtrace.SPAN_CACHE_WRITE, context=root.context()
+                    )
             self.ledger.cache_put(
                 key, result_bytes.decode("utf-8"), job.job_id
             )
+            if cache_span is not None:
+                self.job_spans[job.job_id].append(
+                    cache_span.finish().to_dict()
+                )
         result = FleetResult(
             job_id=job.job_id,
             result_bytes=result_bytes,
@@ -315,6 +464,7 @@ class FleetScheduler:
         )
         self._record(job, result)
         self._resolve(job, result)
+        self._trace_finish(job, "ok")
         self._emit("completed", job, worker=worker.name,
                    attempts=job.attempts)
         # Followers share the leader's bytes, with cache-hit provenance.
@@ -326,8 +476,12 @@ class FleetScheduler:
                 attempts=0,
                 worker=f"leader:{job.job_id}",
             )
+            self._trace_child_span(
+                follower, dtrace.SPAN_CACHE_HIT, leader=job.job_id
+            )
             self._record(follower, fresult)
             self._resolve(follower, fresult)
+            self._trace_finish(follower, "ok")
             self._emit("cache_hit", follower, leader=job.job_id)
         self._leaders.pop(key, None)
         self._update_gauges()
@@ -338,6 +492,7 @@ class FleetScheduler:
         self.failed += 1
         if job.future is not None and not job.future.done():
             job.future.set_exception(exc)
+        self._trace_finish(job, "failed")
         self._emit("failed", job, error=str(exc))
         key = self._keys.get(job.job_id)
         if key is not None and self._leaders.get(key) is job:
@@ -346,12 +501,226 @@ class FleetScheduler:
                 self.failed += 1
                 if follower.future is not None and not follower.future.done():
                     follower.future.set_exception(exc)
+                self._trace_finish(follower, "failed")
                 self._emit("failed", follower, error=str(exc))
 
     def _resolve(self, job: FleetJob, result: FleetResult) -> None:
         self.completed += 1
         if job.future is not None and not job.future.done():
             job.future.set_result(result)
+
+    # -- distributed tracing -------------------------------------------------
+
+    def _trace_open_span(
+        self, job: FleetJob, name: str, **attrs: Any
+    ) -> Optional[dtrace.SpanHandle]:
+        """Open a child span under the job's root; at most one open
+        span per job (queue-wait or the current attempt)."""
+        if not self._tracing:
+            return None
+        root = self._root_spans.get(job.job_id)
+        if root is None:
+            return None
+        handle = dtrace.SpanHandle.begin(name, context=root.context(),
+                                         **attrs)
+        self._open_spans[job.job_id] = handle
+        return handle
+
+    def _trace_close_open(self, job: FleetJob, status: str,
+                          **attrs: Any) -> None:
+        handle = self._open_spans.pop(job.job_id, None)
+        if handle is not None:
+            self.job_spans[job.job_id].append(
+                handle.finish(status=status, **attrs).to_dict()
+            )
+
+    def _trace_child_span(self, job: FleetJob, name: str,
+                          **attrs: Any) -> None:
+        """Record an instantaneous child span (cache hit provenance)."""
+        if not self._tracing:
+            return
+        root = self._root_spans.get(job.job_id)
+        if root is None:
+            return
+        handle = dtrace.SpanHandle.begin(name, context=root.context(),
+                                         **attrs)
+        self.job_spans[job.job_id].append(handle.finish().to_dict())
+
+    def _trace_finish(self, job: FleetJob, status: str) -> None:
+        """Seal the job's root span and flush its tree to the ledger."""
+        if not self._tracing:
+            return
+        self._trace_close_open(job, status)
+        root = self._root_spans.pop(job.job_id, None)
+        if root is None:
+            return
+        spans = self.job_spans.get(job.job_id, [])
+        spans.insert(0, root.finish(status=status).to_dict())
+        if self.ledger is not None:
+            self.ledger.spans_put(job.job_id, spans)
+
+    @staticmethod
+    def _payload_spans(payload: Any) -> List[Dict[str, Any]]:
+        """Extract worker-side span dicts from a raw result payload."""
+        if not isinstance(payload, dict):
+            return []
+        spans = payload.get("dtrace")
+        if spans is None:
+            spans = (payload.get("metadata") or {}).get("dtrace")
+        return list(spans) if spans else []
+
+    # -- heartbeat metrics plane ---------------------------------------------
+
+    async def _heartbeat_loop(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            await self._heartbeat_round(loop)
+
+    async def _heartbeat_round(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Probe every live worker once; aggregate into fleet metrics.
+
+        Probes run on executor threads (remote beats do a TCP
+        round-trip) with a timeout, so one hung worker cannot stall the
+        round — it just misses its beat and walks toward ``suspect``.
+        """
+        now = _time.time()
+        rows: List[Dict[str, Any]] = []
+        registry = get_registry()
+        for worker in list(self.workers):
+            name = worker.name
+            beat: Optional[Dict[str, Any]] = None
+            try:
+                beat = await asyncio.wait_for(
+                    loop.run_in_executor(None, worker.heartbeat),
+                    timeout=self.heartbeat_timeout,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                beat = None
+            if beat is None:
+                self._on_heartbeat_missed(worker)
+                continue
+            self._beats[name] = self._beats.get(name, 0) + 1
+            self._misses[name] = 0
+            if self.health.get(name) == HEALTH_SUSPECT:
+                self._recover_worker(worker)
+            if registry.enabled and beat.get("telemetry"):
+                # Remote workers ship per-beat telemetry *deltas*;
+                # merging them makes the scheduler's registry read as
+                # the whole fleet's (satellite: MetricsRegistry.merge).
+                registry.merge(beat["telemetry"])
+            rows.append({"created": now, "scope": name,
+                         "metric": "worker.jobs_done",
+                         "value": float(beat.get("jobs_done") or 0)})
+            rows.append({"created": now, "scope": name,
+                         "metric": "worker.busy",
+                         "value": 1.0 if name in self._busy else 0.0})
+            rows.append({"created": now, "scope": name,
+                         "metric": "worker.beats",
+                         "value": float(self._beats[name])})
+        served = self.completed + self.failed
+        hits = self.cache_hits + self.inflight_hits
+        fleet_rows = {
+            "queue_depth": float(self.queue.depth()),
+            "workers_alive": float(len(self.workers)),
+            "workers_suspect": float(sum(
+                1 for s in self.health.values() if s == HEALTH_SUSPECT
+            )),
+            "completed": float(self.completed),
+            "failed": float(self.failed),
+            "dedup_hit_rate": hits / served if served else 0.0,
+            "rolling_iops": self._rolling_iops(),
+            "rolling_iops_per_watt": self._rolling_iops_per_watt(),
+        }
+        for metric, value in fleet_rows.items():
+            rows.append({"created": now, "scope": "fleet",
+                         "metric": f"fleet.{metric}", "value": value})
+        for tenant in self.queue.tenants:
+            rows.append({"created": now, "scope": f"tenant:{tenant}",
+                         "metric": "tenant.depth",
+                         "value": float(self.queue.depth(tenant))})
+            rows.append({"created": now, "scope": f"tenant:{tenant}",
+                         "metric": "tenant.in_flight",
+                         "value": float(self.queue.in_flight(tenant))})
+        if self.ledger is not None and rows:
+            self.ledger.metrics_put(rows)
+        self._update_gauges()
+
+    def _on_heartbeat_missed(self, worker: FleetWorker) -> None:
+        name = worker.name
+        misses = self._misses.get(name, 0) + 1
+        self._misses[name] = misses
+        state = self.health.get(name, HEALTH_HEALTHY)
+        if misses >= self.dead_after and state != HEALTH_DEAD:
+            self._mark_dead(worker, misses)
+        elif misses >= self.suspect_after and state == HEALTH_HEALTHY:
+            self._mark_suspect(worker, misses)
+
+    def _mark_suspect(self, worker: FleetWorker, misses: int) -> None:
+        """Quarantine: no new dispatches, but the worker stays alive —
+        this fires *before* any dispatch failure would."""
+        name = worker.name
+        self.health[name] = HEALTH_SUSPECT
+        if worker in self._idle:
+            self._idle.remove(worker)
+        if worker not in self._quarantined:
+            self._quarantined.append(worker)
+        get_flight_recorder().record(
+            "worker_suspect", 0.0, worker=name, misses=misses
+        )
+        self._emit_worker("worker_suspect", name, misses=misses)
+
+    def _recover_worker(self, worker: FleetWorker) -> None:
+        name = worker.name
+        self.health[name] = HEALTH_HEALTHY
+        if worker in self._quarantined:
+            self._quarantined.remove(worker)
+        if (
+            worker in self.workers
+            and name not in self._busy
+            and worker not in self._idle
+        ):
+            self._idle.append(worker)
+            if self._wake is not None:
+                self._wake.set()
+        self._emit_worker("worker_recovered", name)
+
+    def _mark_dead(self, worker: FleetWorker, misses: int) -> None:
+        """Heartbeat-declared death: drop the worker from the pool and
+        dump the flight recorder, exactly as a dispatch death would."""
+        name = worker.name
+        self.heartbeat_deaths += 1
+        self.health[name] = HEALTH_DEAD
+        worker.alive = False
+        if worker in self.workers:
+            self.workers.remove(worker)
+            self._dead.append(worker)
+        if worker in self._idle:
+            self._idle.remove(worker)
+        if worker in self._quarantined:
+            self._quarantined.remove(worker)
+        get_flight_recorder().record(
+            "worker_dead", 0.0,
+            worker=name, reason="heartbeat silence", misses=misses,
+        )
+        dump = autodump("heartbeat_death")
+        self._emit_worker(
+            "worker_dead", name,
+            reason="heartbeat", dump=str(dump) if dump else "",
+        )
+
+    def _rolling_iops(self) -> float:
+        if not self._rolling:
+            return 0.0
+        return sum(i for i, _ in self._rolling) / len(self._rolling)
+
+    def _rolling_iops_per_watt(self) -> float:
+        if not self._rolling:
+            return 0.0
+        watts = sum(w for _, w in self._rolling) / len(self._rolling)
+        return self._rolling_iops() / watts if watts > 0 else 0.0
 
     # -- provenance / observability ------------------------------------------
 
@@ -367,6 +736,7 @@ class FleetScheduler:
             cache_hit=result.cache_hit,
             attempts=result.attempts,
             worker=result.worker,
+            dump_path=job.dump_path,
         )
 
     @staticmethod
@@ -402,12 +772,24 @@ class FleetScheduler:
         body.update(extra)
         self._events.deliver(next(self._event_seq), body)
 
+    def _emit_worker(self, event: str, worker: str, **extra: Any) -> None:
+        """Lifecycle event about a worker, not a job (heartbeat plane)."""
+        if len(self._events) == 0:
+            next(self._event_seq)
+            return
+        body = {"event": event, "worker": worker}
+        body.update(extra)
+        self._events.deliver(next(self._event_seq), body)
+
     def _update_gauges(self) -> None:
         registry = get_registry()
         if not registry.enabled:
             return
         registry.gauge("fleet_queue_depth").set(float(self.queue.depth()))
         registry.gauge("fleet_workers_alive").set(float(len(self.workers)))
+        registry.gauge("fleet_workers_suspect").set(float(sum(
+            1 for s in self.health.values() if s == HEALTH_SUSPECT
+        )))
         served = self.completed + self.failed
         hits = self.cache_hits + self.inflight_hits
         if served:
@@ -439,6 +821,28 @@ class FleetScheduler:
                     (self.cache_hits + self.inflight_hits)
                     / max(1, self.completed + self.failed)
                 ),
+            },
+            "tracing": self._tracing,
+            "health": {
+                name: {
+                    "state": state,
+                    "busy": self._busy.get(name, ""),
+                    "beats": self._beats.get(name, 0),
+                    "misses": self._misses.get(name, 0),
+                }
+                for name, state in sorted(self.health.items())
+            },
+            "heartbeats": {
+                "interval": self.heartbeat_interval,
+                "deaths": self.heartbeat_deaths,
+                "suspect": sum(
+                    1 for s in self.health.values() if s == HEALTH_SUSPECT
+                ),
+            },
+            "metrics": {
+                "rolling_iops": self._rolling_iops(),
+                "rolling_iops_per_watt": self._rolling_iops_per_watt(),
+                "samples": len(self._rolling),
             },
         }
 

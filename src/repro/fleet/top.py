@@ -1,0 +1,141 @@
+"""``tracer fleet top`` — a live terminal view of a running fleet.
+
+Pure rendering: :func:`render_top` turns one
+:meth:`~repro.fleet.scheduler.FleetScheduler.status` snapshot into a
+terminal screen (header, per-tenant queue table, per-worker health
+table), and :func:`status_snapshot` flattens the same snapshot into a
+registry-shaped dict the standard exporters
+(:func:`~repro.telemetry.exporters.to_prometheus`,
+:func:`~repro.telemetry.exporters.to_jsonl`) consume — so a scrape
+endpoint or a JSONL time series costs no extra plumbing.  The CLI polls
+``fleet_status`` frames and repaints; nothing here touches the network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Health-state → single-glyph marker used in the worker table.
+_HEALTH_GLYPH = {"healthy": "+", "suspect": "?", "dead": "x"}
+
+
+def _fmt(value: float, digits: int = 1) -> str:
+    return f"{value:,.{digits}f}"
+
+
+def render_top(status: Dict[str, Any]) -> str:
+    """Render one fleet status snapshot as a terminal screen."""
+    jobs = status.get("jobs", {})
+    dedup = status.get("dedup", {})
+    metrics = status.get("metrics", {})
+    beats = status.get("heartbeats", {})
+    queue = status.get("queue", {})
+    lines: List[str] = []
+
+    lines.append(
+        "tracer fleet top"
+        + ("  [draining]" if status.get("draining") else "")
+        + ("  [tracing]" if status.get("tracing") else "")
+    )
+    lines.append(
+        f"jobs: {jobs.get('submitted', 0)} submitted  "
+        f"{jobs.get('completed', 0)} done  {jobs.get('failed', 0)} failed  "
+        f"{jobs.get('retries', 0)} retries  "
+        f"queue depth {queue.get('depth', 0)}"
+    )
+    lines.append(
+        f"dedup: {dedup.get('cache_hits', 0)} cache + "
+        f"{dedup.get('inflight_hits', 0)} in-flight "
+        f"(hit rate {100.0 * dedup.get('hit_rate', 0.0):.1f}%)   "
+        f"rolling: {_fmt(metrics.get('rolling_iops', 0.0))} IOPS, "
+        f"{_fmt(metrics.get('rolling_iops_per_watt', 0.0), 2)} IOPS/W "
+        f"over {metrics.get('samples', 0)} jobs"
+    )
+    if beats.get("interval", 0.0):
+        lines.append(
+            f"heartbeats: every {beats['interval']:g}s  "
+            f"{beats.get('suspect', 0)} suspect  "
+            f"{beats.get('deaths', 0)} heartbeat deaths  "
+            f"{jobs.get('worker_deaths', 0)} dispatch deaths"
+        )
+
+    tenants = queue.get("tenants", {})
+    if tenants:
+        lines.append("")
+        lines.append(
+            f"{'TENANT':<16} {'DEPTH':>6} {'IN-FLIGHT':>10} "
+            f"{'QUOTA':>6} {'PRIO':>6}"
+        )
+        for name, t in sorted(tenants.items()):
+            lines.append(
+                f"{name:<16} {t.get('depth', 0):>6} "
+                f"{t.get('in_flight', 0):>10} {t.get('quota', 0):>6} "
+                f"{t.get('priority', 0.0):>6.1f}"
+            )
+
+    health = status.get("health", {})
+    workers = {w.get("name", "?"): w for w in status.get("workers", [])}
+    if health:
+        lines.append("")
+        lines.append(
+            f"{'WORKER':<20} {'STATE':<9} {'BUSY ON':<18} "
+            f"{'BEATS':>6} {'MISS':>5} {'JOBS':>6}"
+        )
+        for name, h in sorted(health.items()):
+            state = h.get("state", "?")
+            glyph = _HEALTH_GLYPH.get(state, " ")
+            desc = workers.get(name, {})
+            lines.append(
+                f"{glyph} {name:<18} {state:<9} "
+                f"{h.get('busy') or '-':<18} {h.get('beats', 0):>6} "
+                f"{h.get('misses', 0):>5} {desc.get('jobs_done', 0):>6}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def status_snapshot(status: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a fleet status dict into an exporter-ready snapshot.
+
+    Shaped like a :meth:`MetricsRegistry.snapshot` (counters + gauges
+    only), so ``to_prometheus`` / ``to_jsonl`` render it unchanged.
+    """
+    jobs = status.get("jobs", {})
+    dedup = status.get("dedup", {})
+    metrics = status.get("metrics", {})
+    beats = status.get("heartbeats", {})
+    queue = status.get("queue", {})
+    counters: Dict[str, float] = {
+        "fleet_jobs_submitted": jobs.get("submitted", 0),
+        "fleet_jobs_completed": jobs.get("completed", 0),
+        "fleet_jobs_failed": jobs.get("failed", 0),
+        "fleet_retries": jobs.get("retries", 0),
+        "fleet_worker_deaths": jobs.get("worker_deaths", 0),
+        "fleet_heartbeat_deaths": beats.get("deaths", 0),
+        "fleet_cache_hits": dedup.get("cache_hits", 0),
+        "fleet_inflight_hits": dedup.get("inflight_hits", 0),
+    }
+    gauges: Dict[str, float] = {
+        "fleet_queue_depth": float(queue.get("depth", 0)),
+        "fleet_workers_alive": float(len(status.get("workers", []))),
+        "fleet_workers_suspect": float(beats.get("suspect", 0)),
+        "fleet_dedup_hit_rate": float(dedup.get("hit_rate", 0.0)),
+        "fleet_rolling_iops": float(metrics.get("rolling_iops", 0.0)),
+        "fleet_rolling_iops_per_watt": float(
+            metrics.get("rolling_iops_per_watt", 0.0)
+        ),
+    }
+    for name, t in sorted(status.get("queue", {}).get("tenants", {}).items()):
+        gauges[f'fleet_tenant_depth{{tenant={name}}}'] = float(
+            t.get("depth", 0)
+        )
+        gauges[f'fleet_tenant_in_flight{{tenant={name}}}'] = float(
+            t.get("in_flight", 0)
+        )
+    for name, h in sorted(status.get("health", {}).items()):
+        gauges[f'fleet_worker_beats{{worker={name}}}'] = float(
+            h.get("beats", 0)
+        )
+        gauges[f'fleet_worker_misses{{worker={name}}}'] = float(
+            h.get("misses", 0)
+        )
+    return {"counters": counters, "gauges": gauges}

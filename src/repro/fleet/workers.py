@@ -142,8 +142,43 @@ class EvaluationContext:
         spec: JobSpec,
         on_frame: Optional[FrameFn] = None,
         stream_interval: Optional[float] = None,
+        trace_context: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """Run one job spec to completion; return its raw result dict."""
+        """Run one job spec to completion; return its raw result dict.
+
+        With a ``trace_context`` (a ``repro.telemetry.dtrace`` context
+        dict) the execution runs inside a tracing scope: a
+        ``worker.execute`` span wraps the run, the replay session's
+        phase spans nest under it, and the finished span list rides the
+        payload home (``metadata["dtrace"]`` for replay results, a
+        top-level ``dtrace`` key for grid/search).  The span carrier is
+        stripped by :func:`~repro.fleet.jobs.canonical_result_bytes`,
+        so traced and untraced executions stay bit-identical.
+        """
+        if trace_context is None:
+            return self._execute(spec, on_frame, stream_interval)
+        from ..telemetry import dtrace
+
+        ctx = dtrace.TraceContext.from_dict(trace_context)
+        with dtrace.tracing_scope(ctx) as sink:
+            with dtrace.span(dtrace.SPAN_EXECUTE, kind=spec.kind,
+                             trace=spec.trace):
+                payload = self._execute(spec, on_frame, stream_interval)
+        payload = dict(payload)
+        if spec.kind == "replay":
+            metadata = dict(payload.get("metadata") or {})
+            metadata["dtrace"] = sink
+            payload["metadata"] = metadata
+        else:
+            payload["dtrace"] = sink
+        return payload
+
+    def _execute(
+        self,
+        spec: JobSpec,
+        on_frame: Optional[FrameFn] = None,
+        stream_interval: Optional[float] = None,
+    ) -> Dict[str, Any]:
         with self._lock:
             self.executions += 1
         config = ReplayConfig(
@@ -213,9 +248,14 @@ def _child_init(encoded: Dict[str, bytes]) -> None:
     )
 
 
-def _child_execute(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+def _child_execute(
+    spec_dict: Dict[str, Any],
+    trace_context: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     assert _CHILD_CONTEXT is not None, "process worker not initialised"
-    return _CHILD_CONTEXT.execute(JobSpec.from_dict(spec_dict))
+    return _CHILD_CONTEXT.execute(
+        JobSpec.from_dict(spec_dict), trace_context=trace_context
+    )
 
 
 def _child_pid() -> int:
@@ -256,6 +296,24 @@ class FleetWorker:
 
     def close(self) -> None:  # pragma: no cover - trivial default
         self.alive = False
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """Liveness + load probe, polled by the scheduler's heartbeat
+        loop from an executor thread.
+
+        Returns a JSON-safe beat dict (``worker``/``alive``/
+        ``jobs_done`` at minimum; remote workers add node identity and
+        a telemetry delta).  Raising — any exception — counts as a
+        missed beat and walks the worker's health toward ``suspect``
+        and ``dead``.
+        """
+        if not self.alive:
+            raise WorkerDied(f"worker {self.name} is dead")
+        return {
+            "worker": self.name,
+            "alive": True,
+            "jobs_done": self.jobs_done,
+        }
 
     def describe(self) -> Dict[str, Any]:
         return {
@@ -312,7 +370,9 @@ class LocalWorker(FleetWorker):
             # Streaming needs a same-process callback; process workers
             # run unstreamed (the scheduler documents this trade-off).
             fut = _translated(
-                self._executor.submit(_child_execute, job.spec.to_dict()),
+                self._executor.submit(
+                    _child_execute, job.spec.to_dict(), job.trace_context
+                ),
                 self._translate,
             )
         return fut
@@ -326,7 +386,8 @@ class LocalWorker(FleetWorker):
         if self.chaos is not None:
             self.chaos(self.name, job)
         payload = self.context.execute(
-            job.spec, on_frame=on_frame, stream_interval=stream_interval
+            job.spec, on_frame=on_frame, stream_interval=stream_interval,
+            trace_context=job.trace_context,
         )
         self.jobs_done += 1
         return payload
@@ -372,12 +433,15 @@ class RemoteWorker(FleetWorker):
         port: int,
         retry: Optional[Any] = None,
         timeout: float = 60.0,
+        heartbeat_timeout: float = 5.0,
     ) -> None:
         from ..distributed.host_node import RemoteEvaluationHost
 
         self.name = name
         self.alive = True
         self.jobs_done = 0
+        self._addr = (host, port)
+        self._heartbeat_timeout = float(heartbeat_timeout)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"fleet-{name}"
         )
@@ -437,6 +501,7 @@ class RemoteWorker(FleetWorker):
                 request_id=job.request_id,
                 on_progress=on_frame,
                 stream_interval=stream_interval,
+                trace_context=job.trace_context,
             )
         except (ProtocolError, OSError) as exc:
             self.alive = False
@@ -448,6 +513,43 @@ class RemoteWorker(FleetWorker):
             raise
         self.jobs_done += 1
         return body
+
+    def heartbeat(self) -> Dict[str, Any]:
+        """Probe the generator node over a *dedicated* connection.
+
+        The worker's main connection (and its single-thread executor)
+        may be busy streaming a replay, so heartbeats dial their own
+        short-timeout, no-retry connection per probe — a hung or dead
+        node fails the beat fast instead of queueing behind a job.
+        """
+        if not self.alive:
+            raise WorkerDied(f"worker {self.name} is dead")
+        from ..host.communicator import NO_RETRY, Communicator
+        from ..host.protocol import KIND_ACK, KIND_HEARTBEAT, Frame
+
+        comm = Communicator(
+            self._addr[0], self._addr[1],
+            timeout=self._heartbeat_timeout, retry=NO_RETRY,
+        )
+        try:
+            reply = comm.request(Frame(KIND_HEARTBEAT, {}))
+        finally:
+            comm.close()
+        if reply.kind != KIND_ACK:
+            raise ProtocolError(
+                f"node {self.node_id} heartbeat answered {reply.kind!r}: "
+                f"{reply.body.get('message')}"
+            )
+        beat = {
+            "worker": self.name,
+            "alive": True,
+            "jobs_done": self.jobs_done,
+            "node": reply.body.get("node_id"),
+            "tests_served": reply.body.get("tests_served"),
+        }
+        if reply.body.get("telemetry") is not None:
+            beat["telemetry"] = reply.body["telemetry"]
+        return beat
 
     def close(self) -> None:
         self.alive = False

@@ -54,6 +54,29 @@ CREATE TABLE IF NOT EXISTS result_cache (
     created REAL NOT NULL,
     result_json TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS spans (
+    span_id TEXT PRIMARY KEY,
+    trace_id TEXT NOT NULL,
+    parent_id TEXT,
+    job_id TEXT NOT NULL,
+    name TEXT NOT NULL,
+    status TEXT NOT NULL DEFAULT 'ok',
+    wall_start REAL NOT NULL DEFAULT 0,
+    wall_end REAL NOT NULL DEFAULT 0,
+    sim_start REAL,
+    sim_end REAL,
+    energy_joules REAL,
+    attrs_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS idx_spans_trace ON spans (trace_id);
+CREATE INDEX IF NOT EXISTS idx_spans_job ON spans (job_id);
+CREATE TABLE IF NOT EXISTS fleet_metrics (
+    created REAL NOT NULL,
+    scope TEXT NOT NULL,
+    metric TEXT NOT NULL,
+    value REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_fleet_metrics ON fleet_metrics (metric, created);
 """
 
 #: Summary metrics a ledger row carries (flat floats, diffable).
@@ -357,6 +380,161 @@ class RunLedger:
         cur = self._conn.execute("SELECT COUNT(*) AS n FROM result_cache")
         return int(cur.fetchone()["n"])
 
+    # -- Span store ----------------------------------------------------------
+    #
+    # The fleet's distributed traces (repro.telemetry.dtrace): one row
+    # per span, keyed by span id, indexed by trace id and fleet job id.
+    # ``tracer trace show <job>`` renders a job's rows as a tree.
+
+    def spans_put(self, job_id: str, spans: List[Dict[str, Any]]) -> int:
+        """Store one job's span dicts; idempotent per span id."""
+        rows = [
+            (
+                s["span_id"], s["trace_id"], s.get("parent_id"), job_id,
+                s.get("name", "?"), s.get("status", "ok"),
+                float(s.get("wall_start") or 0.0),
+                float(s.get("wall_end") or 0.0),
+                s.get("sim_start"), s.get("sim_end"),
+                s.get("energy_joules"),
+                json.dumps(s.get("attrs") or {}, sort_keys=True),
+            )
+            for s in spans
+        ]
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO spans (span_id, trace_id, "
+                    "parent_id, job_id, name, status, wall_start, wall_end, "
+                    "sim_start, sim_end, energy_joules, attrs_json) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"span put failed: {exc}") from exc
+        return len(rows)
+
+    @staticmethod
+    def _span_from_row(row: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "span_id": row["span_id"],
+            "trace_id": row["trace_id"],
+            "parent_id": row["parent_id"],
+            "job_id": row["job_id"],
+            "name": row["name"],
+            "status": row["status"],
+            "wall_start": row["wall_start"],
+            "wall_end": row["wall_end"],
+            "sim_start": row["sim_start"],
+            "sim_end": row["sim_end"],
+            "energy_joules": row["energy_joules"],
+            "attrs": json.loads(row["attrs_json"]),
+        }
+
+    def spans_for_job(self, job_id: str) -> List[Dict[str, Any]]:
+        """A job's spans by exact id or unique prefix, oldest first."""
+        cur = self._conn.execute(
+            "SELECT * FROM spans WHERE job_id = ? "
+            "ORDER BY wall_start, span_id",
+            (job_id,),
+        )
+        rows = cur.fetchall()
+        if not rows:
+            cur = self._conn.execute(
+                "SELECT DISTINCT job_id FROM spans WHERE job_id LIKE ? "
+                "ORDER BY job_id LIMIT 3",
+                (job_id + "%",),
+            )
+            matches = [r["job_id"] for r in cur.fetchall()]
+            if len(matches) > 1:
+                raise DatabaseError(
+                    f"job id prefix {job_id!r} is ambiguous: {matches}"
+                )
+            if matches:
+                return self.spans_for_job(matches[0])
+        return [self._span_from_row(dict(row)) for row in rows]
+
+    def span_jobs(self) -> List[str]:
+        """Every job id with at least one stored span."""
+        cur = self._conn.execute(
+            "SELECT DISTINCT job_id FROM spans ORDER BY job_id"
+        )
+        return [row["job_id"] for row in cur.fetchall()]
+
+    def spans_count(self) -> int:
+        cur = self._conn.execute("SELECT COUNT(*) AS n FROM spans")
+        return int(cur.fetchone()["n"])
+
+    # -- Fleet metrics time-series -------------------------------------------
+    #
+    # The heartbeat plane: each scheduler heartbeat round appends one
+    # row per (scope, metric) sample.  ``scope`` is a worker name, a
+    # ``tenant:<name>`` label, or ``fleet`` for scheduler-wide series.
+
+    def metrics_put(self, rows: List[Dict[str, Any]]) -> int:
+        """Append fleet-metric samples (``created/scope/metric/value``)."""
+        try:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO fleet_metrics (created, scope, metric, "
+                    "value) VALUES (?, ?, ?, ?)",
+                    [
+                        (
+                            float(r["created"]), str(r["scope"]),
+                            str(r["metric"]), float(r["value"]),
+                        )
+                        for r in rows
+                    ],
+                )
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"fleet-metrics put failed: {exc}") from exc
+        return len(rows)
+
+    def metrics_series(
+        self,
+        metric: Optional[str] = None,
+        scope: Optional[str] = None,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Samples oldest-first, optionally filtered."""
+        clauses = []
+        params: list = []
+        if metric is not None:
+            clauses.append("metric = ?")
+            params.append(metric)
+        if scope is not None:
+            clauses.append("scope = ?")
+            params.append(scope)
+        if since is not None:
+            clauses.append("created >= ?")
+            params.append(float(since))
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        sql = (
+            f"SELECT * FROM fleet_metrics {where} "
+            "ORDER BY created, scope, metric"
+        )
+        if limit is not None:
+            # A limited query tails the series: keep the most recent N
+            # samples, still returned oldest-first.
+            sql = (
+                f"SELECT * FROM (SELECT * FROM fleet_metrics {where} "
+                "ORDER BY created DESC, scope, metric LIMIT ?) "
+                "ORDER BY created, scope, metric"
+            )
+            params.append(int(limit))
+        cur = self._conn.execute(sql, params)
+        return [dict(row) for row in cur.fetchall()]
+
+    def metrics_scopes(self) -> List[str]:
+        cur = self._conn.execute(
+            "SELECT DISTINCT scope FROM fleet_metrics ORDER BY scope"
+        )
+        return [row["scope"] for row in cur.fetchall()]
+
+    def metrics_count(self) -> int:
+        cur = self._conn.execute("SELECT COUNT(*) AS n FROM fleet_metrics")
+        return int(cur.fetchone()["n"])
+
     def diff(self, run_a: str, run_b: str) -> Dict[str, Any]:
         """Compare two runs' summary metrics (b relative to a).
 
@@ -566,6 +744,7 @@ def record_fleet_job(
     cache_hit: bool,
     attempts: int,
     worker: str = "",
+    dump_path: str = "",
 ) -> str:
     """Record one fleet job's provenance row.
 
@@ -585,6 +764,11 @@ def record_fleet_job(
     mode["tenant"] = tenant
     if worker:
         mode["worker"] = worker
+    if dump_path:
+        # A worker died during this job and the flight recorder dumped
+        # its ring buffer; the path makes the black box findable from
+        # the job's provenance row.
+        mode["flightrec_dump"] = dump_path
     seed = spec_dict.get("seed")
     record = RunRecord(
         run_id=job_id,

@@ -42,6 +42,14 @@ Streamed only when the host's ``run_test`` body opts in via a
 hosts skip any they are not expecting, keeping the frame type
 backward and forward compatible."""
 
+KIND_HEARTBEAT = "heartbeat"
+"""Liveness/metrics probe (host → node), replied with an ``ack`` whose
+body carries ``node_id``, ``tests_served``, and — when the node runs
+with telemetry enabled — a registry *delta* since the previous
+heartbeat, so the polling scheduler can merge worker telemetry without
+double-counting.  Nodes that predate heartbeats answer with an
+``error`` frame, which pollers treat as a missed beat."""
+
 # Fleet service dialogue (client ↔ `tracer fleet serve`).
 KIND_FLEET_SUBMIT = "fleet_submit"
 """Submit one job to the fleet: ``{"spec": .., "tenant": .., "priority":

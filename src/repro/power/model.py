@@ -16,6 +16,7 @@ re-scanning.
 from __future__ import annotations
 
 import bisect
+import math
 from typing import List, Tuple
 
 import numpy as np
@@ -196,10 +197,25 @@ class PowerTimeline:
         base = self._baseline_energy(t0, t1)
         return base + self._excess_upto(t1) - self._excess_upto(t0)
 
+    def power_at(self, time: float) -> float:
+        """Instantaneous Watts at ``time``: segment power if a busy
+        segment covers the instant, the baseline otherwise."""
+        idx = bisect.bisect_right(self._starts, time)
+        if idx > 0 and self._ends[idx - 1] > time:
+            return self._watts[idx - 1]
+        return self._baseline_at(time)
+
     def mean_power(self, t0: float, t1: float) -> float:
         """Average Watts over [t0, t1]."""
         if t1 <= t0:
             return self._baseline_at(t0)
+        if t1 - t0 < 16.0 * math.ulp(max(abs(t0), abs(t1), 1.0)):
+            # The excess-energy difference in energy_between carries
+            # ~1 ULP of the *cumulative* totals; divided by a window at
+            # float resolution that is watts-scale noise (it can even
+            # go negative).  The honest answer at that width is the
+            # instantaneous power.
+            return self.power_at(t0)
         return self.energy_between(t0, t1) / (t1 - t0)
 
     def busy_time(self, t0: float, t1: float) -> float:
@@ -237,5 +253,10 @@ class EnergyMeter:
         if t1 <= t0:
             return self.overhead_watts + sum(
                 tl.mean_power(t0, t1) for tl in self.timelines
+            )
+        if t1 - t0 < 16.0 * math.ulp(max(abs(t0), abs(t1), 1.0)):
+            # Same degenerate-window guard as PowerTimeline.mean_power.
+            return self.overhead_watts + sum(
+                tl.power_at(t0) for tl in self.timelines
             )
         return self.energy_between(t0, t1) / (t1 - t0)

@@ -14,7 +14,8 @@ Wire it in via :class:`~repro.replay.session.ReplaySession`'s
 from __future__ import annotations
 
 import sys
-from typing import Optional, TextIO
+import time as _time
+from typing import Callable, Optional, TextIO
 
 from ..metrics.efficiency import iops_per_watt, mbps_per_kilowatt
 from ..power.analyzer import PowerAnalyzer
@@ -83,17 +84,28 @@ class LiveFrameRenderer:
     :class:`~repro.telemetry.stream.IntervalFrame` objects, printing one
     line per frame: throughput, response time, power, queue depth, and
     the cumulative fault/degraded counters.
+
+    Frames that crossed the wire carry a ``wall_emitted`` timestamp
+    (the node's wall clock at push time, injected host-side); when
+    present a ``lag ms`` column shows how far behind the live replay
+    each delivered frame is — queueing plus transit delay, the
+    fleet-top view of streaming freshness.
     """
 
-    def __init__(self, stream: Optional[TextIO] = None) -> None:
+    def __init__(self, stream: Optional[TextIO] = None,
+                 clock: Callable[[], float] = _time.time) -> None:
         self.stream = stream if stream is not None else sys.stdout
+        self.clock = clock
         self._header_printed = False
+        self._show_lag = False
         self.frames_rendered = 0
+        self.last_lag_seconds: Optional[float] = None
 
     def _print_header(self) -> None:
+        lag = f" {'lag ms':>7}" if self._show_lag else ""
         print(
             f"{'#':>4} {'t(s)':>8} {'IOPS':>9} {'MBPS':>8} {'resp ms':>8} "
-            f"{'Watts':>8} {'qdepth':>6} {'faults':>6} {'degr':>5}",
+            f"{'Watts':>8} {'qdepth':>6} {'faults':>6} {'degr':>5}" + lag,
             file=self.stream,
         )
         self._header_printed = True
@@ -103,6 +115,10 @@ class LiveFrameRenderer:
         if not isinstance(frame, dict):
             frame = frame.to_dict()
         if not self._header_printed:
+            # Lag column appears only for wire frames that carry the
+            # emit timestamp; decided at first frame so local replays
+            # keep the historical layout.
+            self._show_lag = "wall_emitted" in frame
             self._print_header()
         duration = max(frame["end"] - frame["start"], 1e-12)
         completed = frame["completed"]
@@ -111,11 +127,16 @@ class LiveFrameRenderer:
         resp = frame["response_sum"] / completed if completed else 0.0
         watts = frame["energy_joules"] / duration
         faults = sum(frame.get("faults", {}).values())
-        print(
+        line = (
             f"{frame['index']:>4} {frame['end']:>8.2f} {iops:>9.1f} "
             f"{mbps:>8.2f} {resp * 1000:>8.2f} {watts:>8.2f} "
             f"{frame['queue_depth']:>6} {faults:>6} "
-            f"{frame.get('degraded_requests', 0):>5}",
-            file=self.stream,
+            f"{frame.get('degraded_requests', 0):>5}"
         )
+        if self._show_lag and "wall_emitted" in frame:
+            self.last_lag_seconds = max(
+                0.0, self.clock() - float(frame["wall_emitted"])
+            )
+            line += f" {self.last_lag_seconds * 1000:>7.1f}"
+        print(line, file=self.stream)
         self.frames_rendered += 1

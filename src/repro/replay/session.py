@@ -217,6 +217,18 @@ class ReplaySession:
             t_replay = _reg.timer("session.replay_wall_seconds", path=tele_path)
             _wall0 = _time.perf_counter()
 
+        # Distributed tracing: when this run executes under a fleet
+        # trace context (repro.telemetry.dtrace), its phases land as
+        # spans with wall-clock, sim-clock, and energy attribution.
+        # One thread-local check per run; no active context ⇒ no cost.
+        from ..telemetry import dtrace
+
+        _traced = dtrace.active()
+        if _traced:
+            import time as _wtime
+
+            _t_phase = _wtime.time()
+
         manipulated = self.controller.apply(trace, load_proportion)
         if self.config.time_scale != 1.0:
             from ..core.timescale import TimeScaler
@@ -224,6 +236,13 @@ class ReplaySession:
             manipulated = TimeScaler(self.config.time_scale).apply(manipulated)
         if reg is not None:
             t_filter.add(_time.perf_counter() - _wall0)
+        if _traced:
+            _t_now = _wtime.time()
+            dtrace.record_span(
+                dtrace.SPAN_FILTER, _t_phase, _t_now,
+                load=load_proportion, time_scale=self.config.time_scale,
+            )
+            _t_phase = _t_now
         if len(manipulated) == 0:
             raise ReplayError(
                 f"load proportion {load_proportion} left no bunches to replay"
@@ -267,6 +286,13 @@ class ReplaySession:
                         finishes=kernel_outcome.finishes,
                         responses=kernel_outcome.responses,
                         totals=workload_totals(manipulated),
+                    )
+                if _traced:
+                    dtrace.record_span(
+                        dtrace.SPAN_REPLAY, _t_phase, _wtime.time(),
+                        sim_start=start, sim_end=sim.now,
+                        energy_joules=kernel_outcome.analyzer.total_energy,
+                        engine="kernel",
                     )
                 return self._kernel_result(
                     kernel_outcome, manipulated, load_proportion, sim,
@@ -422,6 +448,13 @@ class ReplaySession:
                         "queue.high_water", device=disk.name
                     ).set(getattr(disk, "queued_high_water", 0))
             metadata["telemetry"] = _reg.collect(since=tele_mark)
+        if _traced:
+            dtrace.record_span(
+                dtrace.SPAN_REPLAY, _t_phase, _wtime.time(),
+                sim_start=start, sim_end=end,
+                energy_joules=analyzer.total_energy,
+                engine="event",
+            )
         return ReplayResult(
             trace_label=manipulated.label,
             load_proportion=load_proportion,

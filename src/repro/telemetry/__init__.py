@@ -16,6 +16,15 @@ matrix job does exactly this) or for a scope with
 components built while it is off carry no instrumentation at all.
 """
 
+from .dtrace import (
+    DTRACE_ENV,
+    SpanHandle,
+    TraceContext,
+    build_tree,
+    new_trace_id,
+    render_tree,
+    tracing_scope,
+)
 from .exporters import format_table, to_jsonl, to_prometheus, write_jsonl
 from .flightrec import (
     DEFAULT_CAPACITY,
@@ -78,8 +87,11 @@ __all__ = [
     "SpanRecorder",
     "TelemetryError",
     "Timer",
+    "SpanHandle",
+    "TraceContext",
     "DEFAULT_CAPACITY",
     "DEFAULT_MAX_SPANS",
+    "DTRACE_ENV",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
     "FLIGHTREC_ENV",
@@ -95,6 +107,7 @@ __all__ = [
     "arm_autodump",
     "autodump",
     "autodump_armed",
+    "build_tree",
     "default_interval",
     "enabled_telemetry",
     "format_table",
@@ -102,11 +115,14 @@ __all__ = [
     "get_flight_recorder",
     "get_registry",
     "install_excepthook",
+    "new_trace_id",
+    "render_tree",
     "resolve_interval",
     "set_enabled",
     "telemetry_enabled",
     "to_jsonl",
     "to_prometheus",
+    "tracing_scope",
     "write_frames_jsonl",
     "write_jsonl",
 ]

@@ -1,0 +1,380 @@
+"""Causal distributed tracing across the fleet.
+
+PR 3's :class:`~repro.telemetry.spans.SpanRecorder` attributes *simulated*
+time within one process; this module follows one *job* across processes
+and machines — scheduler → worker → generator node — the TraceTracker
+idea (PAPERS.md, arXiv 1709.04806) applied to the replay fleet.  Every
+span carries:
+
+* ``trace_id`` / ``span_id`` / ``parent_id`` — the causal chain.  A
+  :class:`TraceContext` is the portable ``(trace_id, span_id)`` pair a
+  parent hands to the work it spawns; whatever runs under that context
+  parents its spans to it, no matter which process it lands in.
+* wall-clock start/end (``time.time()``) — real elapsed time, the thing
+  the sim clock cannot show (queue waits, wire latency, retry gaps);
+* optional sim-clock start/end — the replay's own timeline;
+* optional ``energy_joules`` — pulled from the
+  :class:`~repro.power.analyzer.PowerAnalyzer`, so a span answers
+  "how many joules were spent here".
+
+Propagation is explicit and cheap: a context rides as a three-key dict
+on the wire (``RUN_TEST`` bodies, fleet job state) and activates on the
+executing thread via :func:`tracing_scope`.  When no scope is active
+every hook is a single thread-local read returning ``None`` — replays
+outside a traced fleet job record nothing and pay nothing, and because
+span payloads are stripped by
+:func:`~repro.fleet.jobs.canonical_result_bytes`, results are
+bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Environment variable enabling fleet tracing by default
+#: (``FleetScheduler(tracing=None)`` consults it).
+DTRACE_ENV = "TRACER_DTRACE"
+
+#: Span names used by the built-in fleet instrumentation, in lifecycle
+#: order (documented in docs/observability.md).
+SPAN_JOB = "fleet.job"
+SPAN_QUEUE_WAIT = "fleet.queue_wait"
+SPAN_ATTEMPT = "fleet.attempt"
+SPAN_CACHE_HIT = "fleet.cache_hit"
+SPAN_CACHE_WRITE = "fleet.cache_write"
+SPAN_EXECUTE = "worker.execute"
+SPAN_NODE_EXECUTE = "node.execute"
+SPAN_FILTER = "session.filter"
+SPAN_REPLAY = "session.replay"
+
+
+def new_trace_id() -> str:
+    """A fresh globally unique trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable causal position: which trace, under which span.
+
+    Spans created under this context get ``parent_id = span_id``; the
+    dict form is what crosses process and wire boundaries.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceContext":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+        )
+
+
+class SpanHandle:
+    """One in-flight span; :meth:`finish` seals it.
+
+    Handles are explicit so single-threaded orchestrators (the asyncio
+    fleet scheduler interleaves many jobs on one thread) can hold spans
+    open across await points; the thread-local :func:`span` scope is a
+    convenience wrapper for straight-line code.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "status",
+        "wall_start", "wall_end", "sim_start", "sim_end",
+        "energy_joules", "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[str],
+        **attrs: Any,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.status = "ok"
+        self.wall_start = time.time()
+        self.wall_end: Optional[float] = None
+        self.sim_start: Optional[float] = None
+        self.sim_end: Optional[float] = None
+        self.energy_joules: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs)
+
+    @classmethod
+    def begin(
+        cls,
+        name: str,
+        context: Optional[TraceContext] = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> "SpanHandle":
+        """Open a span under ``context`` (or start a fresh trace)."""
+        if context is not None:
+            return cls(name, context.trace_id, context.span_id, **attrs)
+        return cls(
+            name,
+            trace_id if trace_id is not None else new_trace_id(),
+            None,
+            **attrs,
+        )
+
+    def context(self) -> TraceContext:
+        """The context children of this span should run under."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def finish(
+        self,
+        status: str = "ok",
+        sim_start: Optional[float] = None,
+        sim_end: Optional[float] = None,
+        energy_joules: Optional[float] = None,
+        **attrs: Any,
+    ) -> "SpanHandle":
+        self.wall_end = time.time()
+        self.status = status
+        if sim_start is not None:
+            self.sim_start = float(sim_start)
+        if sim_end is not None:
+            self.sim_end = float(sim_end)
+        if energy_joules is not None:
+            self.energy_joules = float(energy_joules)
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "status": self.status,
+            "wall_start": self.wall_start,
+            "wall_end": (
+                self.wall_end if self.wall_end is not None else self.wall_start
+            ),
+            "sim_start": self.sim_start,
+            "sim_end": self.sim_end,
+            "energy_joules": self.energy_joules,
+            "attrs": dict(self.attrs),
+        }
+
+
+# -- thread-local activation ------------------------------------------------
+
+class _ActiveScope(threading.local):
+    context: Optional[TraceContext] = None
+    sink: Optional[List[Dict[str, Any]]] = None
+
+
+_ACTIVE = _ActiveScope()
+
+
+def active() -> bool:
+    """Whether a tracing scope is active on this thread."""
+    return _ACTIVE.context is not None
+
+
+def current_context() -> Optional[TraceContext]:
+    """The active context, or None (the disabled fast path)."""
+    return _ACTIVE.context
+
+
+@contextmanager
+def tracing_scope(
+    context: TraceContext,
+) -> Iterator[List[Dict[str, Any]]]:
+    """Activate ``context`` on this thread; yields the span sink.
+
+    Every span finished inside the scope (via :func:`span`,
+    :func:`start_span`/:func:`finish_span`, or :func:`record_span`)
+    lands in the yielded list as a JSON-safe dict — the caller attaches
+    it to whatever payload travels back toward the scheduler.
+    """
+    prior_ctx, prior_sink = _ACTIVE.context, _ACTIVE.sink
+    sink: List[Dict[str, Any]] = []
+    _ACTIVE.context, _ACTIVE.sink = context, sink
+    try:
+        yield sink
+    finally:
+        _ACTIVE.context, _ACTIVE.sink = prior_ctx, prior_sink
+
+
+def start_span(name: str, **attrs: Any) -> Optional[SpanHandle]:
+    """Open a span under the active scope; None when tracing is off."""
+    ctx = _ACTIVE.context
+    if ctx is None:
+        return None
+    return SpanHandle.begin(name, context=ctx, **attrs)
+
+
+def finish_span(handle: Optional[SpanHandle], **kwargs: Any) -> None:
+    """Seal ``handle`` into the active sink (no-op for None handles)."""
+    if handle is None:
+        return
+    handle.finish(**kwargs)
+    sink = _ACTIVE.sink
+    if sink is not None:
+        sink.append(handle.to_dict())
+
+
+def record_span(
+    name: str,
+    wall_start: float,
+    wall_end: float,
+    sim_start: Optional[float] = None,
+    sim_end: Optional[float] = None,
+    energy_joules: Optional[float] = None,
+    status: str = "ok",
+    **attrs: Any,
+) -> None:
+    """Record an already-measured span under the active scope.
+
+    Straight-line code (the replay session) measures its phases with
+    plain timestamps and records them after the fact — no handle
+    juggling across branches, and nothing happens when tracing is off.
+    """
+    ctx = _ACTIVE.context
+    sink = _ACTIVE.sink
+    if ctx is None or sink is None:
+        return
+    handle = SpanHandle.begin(name, context=ctx, **attrs)
+    handle.wall_start = float(wall_start)
+    handle.wall_end = float(wall_end)
+    handle.status = status
+    handle.sim_start = sim_start if sim_start is None else float(sim_start)
+    handle.sim_end = sim_end if sim_end is None else float(sim_end)
+    handle.energy_joules = (
+        energy_joules if energy_joules is None else float(energy_joules)
+    )
+    sink.append(handle.to_dict())
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[SpanHandle]]:
+    """Scoped span: opens under the active context and nests below it.
+
+    Inside the ``with`` block the new span *is* the active context, so
+    spans created within parent to it.  Yields None (and costs one
+    thread-local read) when tracing is off.
+    """
+    ctx = _ACTIVE.context
+    if ctx is None:
+        yield None
+        return
+    handle = SpanHandle.begin(name, context=ctx, **attrs)
+    _ACTIVE.context = handle.context()
+    try:
+        yield handle
+        finish_after = {"status": "ok"}
+    except BaseException:
+        finish_after = {"status": "error"}
+        raise
+    finally:
+        _ACTIVE.context = ctx
+        finish_span(handle, **finish_after)
+
+
+# -- span trees -------------------------------------------------------------
+
+def build_tree(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Assemble span dicts into parent/child trees.
+
+    Returns ``{"roots": [node...], "orphans": [span...], "count": n}``
+    where a node is ``{"span": dict, "children": [node...]}``.  A root
+    has ``parent_id`` None; an *orphan* names a parent that is not in
+    the set — the chaos tests assert there are none, because a broken
+    chain means context propagation lost a hop.  Children sort by wall
+    start (admission order), so retries render as ordered siblings.
+    """
+    by_id = {s["span_id"]: {"span": s, "children": []} for s in spans}
+    roots: List[Dict[str, Any]] = []
+    orphans: List[Dict[str, Any]] = []
+    for node in by_id.values():
+        parent = node["span"].get("parent_id")
+        if parent is None:
+            roots.append(node)
+        elif parent in by_id:
+            by_id[parent]["children"].append(node)
+        else:
+            orphans.append(node["span"])
+
+    def _sort(nodes: List[Dict[str, Any]]) -> None:
+        nodes.sort(
+            key=lambda n: (n["span"].get("wall_start", 0.0),
+                           n["span"].get("name", ""))
+        )
+        for n in nodes:
+            _sort(n["children"])
+
+    _sort(roots)
+    return {"roots": roots, "orphans": orphans, "count": len(spans)}
+
+
+def _describe(s: Dict[str, Any]) -> str:
+    parts = [s.get("name", "?")]
+    status = s.get("status", "ok")
+    if status != "ok":
+        parts.append(f"[{status}]")
+    wall = (s.get("wall_end") or 0.0) - (s.get("wall_start") or 0.0)
+    parts.append(f"{wall * 1000:.1f}ms")
+    if s.get("sim_start") is not None and s.get("sim_end") is not None:
+        parts.append(f"sim {s['sim_end'] - s['sim_start']:.3f}s")
+    if s.get("energy_joules") is not None:
+        parts.append(f"{s['energy_joules']:.2f}J")
+    attrs = s.get("attrs") or {}
+    for key in sorted(attrs):
+        parts.append(f"{key}={attrs[key]}")
+    return "  ".join(str(p) for p in parts)
+
+
+def render_tree(spans: List[Dict[str, Any]]) -> str:
+    """ASCII span tree — what ``tracer trace show`` prints."""
+    tree = build_tree(spans)
+    lines: List[str] = []
+
+    def _walk(node: Dict[str, Any], prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + _describe(node["span"]))
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        children = node["children"]
+        for i, child in enumerate(children):
+            _walk(child, child_prefix, i == len(children) - 1)
+
+    for root in tree["roots"]:
+        lines.append(_describe(root["span"]))
+        children = root["children"]
+        for i, child in enumerate(children):
+            _walk(child, "", i == len(children) - 1)
+    if tree["orphans"]:
+        lines.append(f"! {len(tree['orphans'])} orphan span(s):")
+        for s in tree["orphans"]:
+            lines.append(f"  ? {_describe(s)} (parent {s.get('parent_id')})")
+    return "\n".join(lines)
+
+
+def env_enabled() -> bool:
+    """Whether ``TRACER_DTRACE`` turns fleet tracing on by default."""
+    import os
+
+    return os.environ.get(DTRACE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )

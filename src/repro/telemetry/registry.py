@@ -294,6 +294,59 @@ class MetricsRegistry:
             "spans": self.spans.snapshot(since=cursor),
         }
 
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's snapshot (or delta) into this one.
+
+        The fleet aggregation primitive: every worker heartbeat carries
+        a telemetry delta from its process, and the scheduler merges
+        them all into its own registry, so fleet-wide metrics read as if
+        one registry had observed everything.  Semantics per instrument
+        (property-tested in ``tests/telemetry/test_registry_merge.py``):
+
+        * **counters** sum;
+        * **gauges** last-write-wins (the incoming value replaces ours,
+          matching what a single registry would hold after the same
+          final ``set``);
+        * **histograms** add bucket-wise — bucket *boundaries* must
+          match (they are part of the metric definition), else
+          :class:`TelemetryError`;
+        * **timers** (when present) accumulate seconds and calls.
+
+        Span sections are ignored: spans are per-process narratives, and
+        the fleet's causal story lives in ``repro.telemetry.dtrace``.
+        """
+        with self._lock:
+            for key, value in (snapshot.get("counters") or {}).items():
+                inst = self._counters.get(key)
+                if inst is None:
+                    inst = self._counters[key] = Counter()
+                inst.value += int(value)
+            for key, value in (snapshot.get("gauges") or {}).items():
+                ginst = self._gauges.get(key)
+                if ginst is None:
+                    ginst = self._gauges[key] = Gauge()
+                ginst.value = float(value)
+            for key, hist in (snapshot.get("histograms") or {}).items():
+                bounds = tuple(float(b) for b in hist["buckets"])
+                hinst = self._histograms.get(key)
+                if hinst is None:
+                    hinst = self._histograms[key] = Histogram(bounds)
+                elif hinst.buckets != bounds:
+                    raise TelemetryError(
+                        f"histogram {key!r} merged with different buckets"
+                    )
+                hinst.counts = [
+                    a + b for a, b in zip(hinst.counts, hist["counts"])
+                ]
+                hinst.sum += float(hist["sum"])
+                hinst.count += int(hist["count"])
+            for key, timer in (snapshot.get("timers") or {}).items():
+                tinst = self._timers.get(key)
+                if tinst is None:
+                    tinst = self._timers[key] = Timer()
+                tinst.total_seconds += float(timer["total_seconds"])
+                tinst.calls += int(timer["calls"])
+
     def reset(self) -> None:
         """Drop every instrument (tests and long-lived generator nodes)."""
         with self._lock:

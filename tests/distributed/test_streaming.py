@@ -74,6 +74,9 @@ def assert_frames_clean(frames):
     for frame in frames:
         assert frame["end"] > frame["start"]
         assert "latency" in frame and "faults" in frame
+        # Every frame that crossed the wire carries the node's wall-clock
+        # emit time (host-side injection), so watchers can show lag.
+        assert isinstance(frame["wall_emitted"], float)
 
 
 class TestCleanStreaming:
@@ -199,9 +202,14 @@ class TestStreamingThroughFaults:
         # The faulted dialogue may deliver fewer live frames (some died
         # on the wire), but every delivered frame is bit-identical to
         # its clean counterpart: faults lose frames, never corrupt them.
-        clean_by_index = {f["index"]: f for f in clean}
+        # ``wall_emitted`` is the one legitimately wall-clock field, so
+        # it is excluded from the identity check.
+        def sim_only(frame):
+            return {k: v for k, v in frame.items() if k != "wall_emitted"}
+
+        clean_by_index = {f["index"]: sim_only(f) for f in clean}
         for frame in faulted:
-            assert frame == clean_by_index[frame["index"]]
+            assert sim_only(frame) == clean_by_index[frame["index"]]
 
 
 class TestMultiWatcherFanout:

@@ -165,6 +165,113 @@ class TestLocalWorkerDeath:
         payload = result.payload
         assert len(payload["fault_events"]) >= 1
 
+    def test_trace_survives_local_worker_death(self, context):
+        """Tracing on, chaos kill on attempt 1: the job still yields ONE
+        complete span tree — no orphans, the retry as a sibling attempt
+        span under the same root."""
+        from repro.telemetry.dtrace import (
+            SPAN_ATTEMPT, SPAN_EXECUTE, build_tree,
+        )
+
+        killed = []
+
+        def chaos(worker, job):
+            if not killed:
+                killed.append(worker)
+                raise WorkerDied(f"{worker} chaos-killed")
+
+        async def flow():
+            ledger = RunLedger()
+            workers = local_worker_pool(2, context, chaos=chaos)
+            sched = FleetScheduler(workers, context=context, ledger=ledger,
+                                   tracing=True)
+            await sched.start()
+            job = await sched.submit(
+                JobSpec(trace="t1", load=0.5, seed=5), "chaos-tenant"
+            )
+            result = await job.future
+            await sched.drain()
+            await sched.stop()
+            return job, result, ledger
+
+        job, result, ledger = run(flow())
+        assert result.attempts == 2
+        spans = ledger.spans_for_job(job.job_id)
+        tree = build_tree(spans)
+        assert len(tree["roots"]) == 1, "exactly one root span per job"
+        assert tree["orphans"] == [], "death must not break the chain"
+        attempts = [
+            s for s in spans
+            if s["name"] == SPAN_ATTEMPT
+        ]
+        assert len(attempts) == 2
+        # Both attempts are siblings under the job root.
+        root_id = tree["roots"][0]["span"]["span_id"]
+        assert {a["parent_id"] for a in attempts} == {root_id}
+        assert sorted(a["attrs"]["attempt"] for a in attempts) == [1, 2]
+        statuses = sorted(a["status"] for a in attempts)
+        assert statuses == ["ok", "worker_died"]
+        # The surviving attempt carries the worker's execution span.
+        executes = [s for s in spans if s["name"] == SPAN_EXECUTE]
+        assert len(executes) == 1
+        ok_attempt = next(a for a in attempts if a["status"] == "ok")
+        assert executes[0]["parent_id"] == ok_attempt["span_id"]
+
+    def test_trace_survives_remote_link_cut(self, node):
+        """Remote flavour: the link dies mid-stream, the retry is served
+        from the node's request-id cache — whose cached reply carries
+        spans parented into attempt 1.  The assembled tree is still
+        rooted and orphan-free."""
+        from repro.telemetry.dtrace import (
+            SPAN_ATTEMPT, SPAN_NODE_EXECUTE, build_tree,
+        )
+
+        spec = JobSpec(trace="hdd-raid5", mode=MODE.to_dict(), load=0.5,
+                       seed=23)
+
+        async def flow(link):
+            ledger = RunLedger()
+            flaky = RemoteWorker("flaky", "127.0.0.1", link.port,
+                                 retry=NO_RETRY)
+            stable = RemoteWorker("stable", "127.0.0.1", node.port,
+                                  retry=NO_RETRY)
+            sched = FleetScheduler([flaky, stable], ledger=ledger,
+                                   tracing=True)
+            await sched.start()
+            job = await sched.submit(spec, "chaos-tenant",
+                                     stream_interval=0.1)
+            result = await job.future
+            await sched.drain()
+            await sched.stop()
+            return job, result, ledger
+
+        with FlakyLink(
+            "127.0.0.1", node.port, plan=[LinkFault(drop_s2c_after=600)]
+        ) as link:
+            job, result, ledger = run(flow(link))
+
+        assert node.tests_served == 1
+        assert result.attempts == 2
+        spans = ledger.spans_for_job(job.job_id)
+        tree = build_tree(spans)
+        assert len(tree["roots"]) == 1
+        assert tree["orphans"] == []
+        attempts = [s for s in spans if s["name"] == SPAN_ATTEMPT]
+        assert len(attempts) == 2
+        assert sorted(a["status"] for a in attempts) == [
+            "ok", "worker_died",
+        ]
+        # The node's execution span crossed the wire home (once — the
+        # cached retry reply reuses the original execution's spans).
+        node_spans = [s for s in spans if s["name"] == SPAN_NODE_EXECUTE]
+        assert len(node_spans) == 1
+        assert node_spans[0]["attrs"]["node"] == "gen-chaos"
+        # Replay phases rode along with sim clock and energy.
+        replay = [s for s in spans if s["name"] == "session.replay"]
+        assert len(replay) == 1
+        assert replay[0]["energy_joules"] > 0
+        assert replay[0]["sim_end"] > replay[0]["sim_start"]
+
     def test_all_workers_dead_fails_cleanly(self, context):
         def chaos(worker, job):
             raise WorkerDied(f"{worker} gone")

@@ -1,0 +1,267 @@
+"""The heartbeat metrics plane: health states, quarantine, time series.
+
+The invariant under test: a silent worker is quarantined (``suspect``)
+and then dropped (``dead``) *by the heartbeat loop alone* — before any
+dispatch to it has a chance to fail — while every beat lands rows in
+the ledger's ``fleet_metrics`` time series.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import WorkerDied
+from repro.fleet import (
+    HEALTH_DEAD,
+    HEALTH_HEALTHY,
+    HEALTH_SUSPECT,
+    FleetScheduler,
+    JobSpec,
+    local_worker_pool,
+)
+from repro.host.ledger import RunLedger
+from repro.telemetry.flightrec import get_flight_recorder
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 120))
+
+
+def silence(worker):
+    """Make a worker stop answering heartbeats (its jobs still run)."""
+
+    def dead_beat():
+        raise WorkerDied(f"{worker.name} went silent")
+
+    worker.heartbeat = dead_beat
+
+
+async def beats(sched, n):
+    """Drive n explicit heartbeat rounds (no wall-clock sleeps)."""
+    loop = asyncio.get_event_loop()
+    for _ in range(n):
+        await sched._heartbeat_round(loop)
+
+
+class TestHealthStateMachine:
+    def test_worker_heartbeat_reports_liveness(self, context):
+        workers = local_worker_pool(1, context)
+        try:
+            beat = workers[0].heartbeat()
+            assert beat["alive"] is True
+            assert beat["worker"] == workers[0].name
+            assert beat["jobs_done"] == 0
+        finally:
+            workers[0].close()
+
+    def test_silent_worker_walks_suspect_then_dead(self, context):
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context,
+                heartbeat_interval=0.0, suspect_after=2, dead_after=4,
+            )
+            await sched.start()
+            silence(sched.workers[0])
+            name = sched.workers[0].name
+            states = []
+            for _ in range(4):
+                await beats(sched, 1)
+                states.append(sched.health[name])
+            status = sched.status()
+            await sched.drain()
+            await sched.stop()
+            return name, states, status
+
+        name, states, status = run(flow())
+        assert states == [
+            HEALTH_HEALTHY, HEALTH_SUSPECT, HEALTH_SUSPECT, HEALTH_DEAD,
+        ]
+        assert status["heartbeats"]["deaths"] == 1
+        # Heartbeat deaths are their own counter: no dispatch ever
+        # failed, so worker_deaths stays untouched.
+        assert status["jobs"]["worker_deaths"] == 0
+        assert name in [w["name"] for w in status["dead_workers"]]
+
+    def test_suspect_worker_takes_no_new_dispatches(self, context):
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context,
+                suspect_after=1, dead_after=10,
+            )
+            await sched.start()
+            silence(sched.workers[0])
+            suspect = sched.workers[0].name
+            await beats(sched, 1)
+            assert sched.health[suspect] == HEALTH_SUSPECT
+            jobs = [
+                await sched.submit(JobSpec(trace="t1", load=0.3, seed=i), "t")
+                for i in range(4)
+            ]
+            await asyncio.gather(*(j.future for j in jobs))
+            status = sched.status()
+            await sched.drain()
+            await sched.stop()
+            return suspect, status
+
+        suspect, status = run(flow())
+        # All four jobs completed on the healthy worker; the suspect one
+        # ran nothing and nothing failed.
+        assert status["jobs"]["completed"] == 4
+        assert status["jobs"]["failed"] == 0
+        assert status["jobs"]["worker_deaths"] == 0
+        assert status["health"][suspect]["state"] == HEALTH_SUSPECT
+        by_name = {w["name"]: w for w in status["workers"]}
+        assert by_name[suspect]["jobs_done"] == 0
+
+    def test_recovered_worker_returns_to_rotation(self, context):
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context,
+                suspect_after=1, dead_after=10,
+            )
+            await sched.start()
+            worker = sched.workers[0]
+            original_beat = worker.heartbeat
+            silence(worker)
+            await beats(sched, 1)
+            assert sched.health[worker.name] == HEALTH_SUSPECT
+            worker.heartbeat = original_beat  # it comes back
+            await beats(sched, 1)
+            state = sched.health[worker.name]
+            # Back in the idle pool: submit enough work for both workers.
+            jobs = [
+                await sched.submit(JobSpec(trace="t1", load=0.3, seed=i), "t")
+                for i in range(6)
+            ]
+            await asyncio.gather(*(j.future for j in jobs))
+            status = sched.status()
+            await sched.drain()
+            await sched.stop()
+            return worker.name, state, status
+
+        name, state, status = run(flow())
+        assert state == HEALTH_HEALTHY
+        assert status["jobs"]["completed"] == 6
+        by_name = {w["name"]: w for w in status["workers"]}
+        assert by_name[name]["jobs_done"] > 0
+
+    def test_heartbeat_death_dumps_flight_recorder(self, context, tmp_path):
+        from repro.telemetry.flightrec import arm_autodump
+
+        get_flight_recorder().clear()
+        arm_autodump(tmp_path / "flightrec")
+
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(1, context), context=context,
+                suspect_after=1, dead_after=2,
+            )
+            await sched.start()
+            silence(sched.workers[0])
+            await beats(sched, 2)
+            await sched.stop()
+
+        try:
+            run(flow())
+        finally:
+            arm_autodump(None)
+        dumps = list(tmp_path.glob("flightrec*"))
+        assert dumps, "heartbeat death must dump the flight recorder"
+        text = dumps[0].read_text()
+        assert "worker_suspect" in text
+        assert "worker_dead" in text
+
+    def test_validation_rejects_bad_thresholds(self, context):
+        from repro.errors import FleetError
+
+        workers = local_worker_pool(1, context)
+        try:
+            with pytest.raises(FleetError):
+                FleetScheduler(workers, context=context,
+                               suspect_after=0)
+            with pytest.raises(FleetError):
+                FleetScheduler(workers, context=context,
+                               suspect_after=5, dead_after=2)
+        finally:
+            workers[0].close()
+
+
+class TestMetricsTimeSeries:
+    def test_rounds_land_rows_in_fleet_metrics(self, context):
+        async def flow():
+            ledger = RunLedger()
+            sched = FleetScheduler(
+                local_worker_pool(2, context), context=context,
+                ledger=ledger,
+            )
+            await sched.start()
+            job = await sched.submit(JobSpec(trace="t1", load=0.5), "acme")
+            await job.future
+            await beats(sched, 3)
+            await sched.drain()
+            await sched.stop()
+            return sched, ledger
+
+        sched, ledger = run(flow())
+        assert ledger.metrics_count() > 0
+        scopes = ledger.metrics_scopes()
+        assert "fleet" in scopes
+        assert "tenant:acme" in scopes
+        for worker_name in [w.name for w in sched.workers]:
+            series = ledger.metrics_series(
+                metric="worker.beats", scope=worker_name
+            )
+            assert [r["value"] for r in series] == [1.0, 2.0, 3.0]
+        depth = ledger.metrics_series(metric="fleet.queue_depth")
+        assert len(depth) == 3
+        completed = ledger.metrics_series(metric="fleet.completed")
+        assert completed[-1]["value"] == 1.0
+        ipw = ledger.metrics_series(metric="fleet.rolling_iops_per_watt")
+        assert all(r["value"] > 0 for r in ipw)
+
+    def test_series_filters_and_limit(self, context):
+        async def flow():
+            ledger = RunLedger()
+            sched = FleetScheduler(
+                local_worker_pool(1, context), context=context,
+                ledger=ledger,
+            )
+            await sched.start()
+            await beats(sched, 5)
+            await sched.stop()
+            return ledger
+
+        ledger = run(flow())
+        full = ledger.metrics_series(metric="fleet.workers_alive")
+        assert len(full) == 5
+        limited = ledger.metrics_series(metric="fleet.workers_alive", limit=2)
+        assert len(limited) == 2
+        # Oldest-first ordering; limit keeps the most recent rows.
+        assert [r["created"] for r in limited] == sorted(
+            r["created"] for r in limited
+        )
+        since = ledger.metrics_series(
+            metric="fleet.workers_alive", since=full[2]["created"]
+        )
+        assert len(since) == 3
+
+    def test_status_carries_rolling_efficiency(self, context):
+        async def flow():
+            sched = FleetScheduler(
+                local_worker_pool(1, context), context=context,
+            )
+            await sched.start()
+            job = await sched.submit(JobSpec(trace="t1", load=0.5), "t")
+            await job.future
+            status = sched.status()
+            await sched.drain()
+            await sched.stop()
+            return status
+
+        status = run(flow())
+        metrics = status["metrics"]
+        assert metrics["samples"] == 1
+        assert metrics["rolling_iops"] > 0
+        assert metrics["rolling_iops_per_watt"] > 0

@@ -377,3 +377,169 @@ class TestOriginPrefixFilter:
             assert row.mode["worker"] == "local-0"
             assert row.summary["attempts"] == 2.0
             assert row.summary["cache_hit"] == 0.0
+
+    def test_fleet_row_carries_flightrec_dump_path(self):
+        from repro.host.ledger import record_fleet_job
+
+        spec = {"kind": "replay", "trace": "t1", "load": 0.5, "seed": 7}
+        with RunLedger() as ledger:
+            record_fleet_job(
+                ledger, "j000002-bbbb", "alice", spec, result_dict(),
+                cache_hit=False, attempts=2, worker="local-1",
+                dump_path="/tmp/flightrec-0001.jsonl",
+            )
+            record_fleet_job(
+                ledger, "j000003-cccc", "alice", spec, result_dict(),
+                cache_hit=True, attempts=1,
+            )
+            dumped = ledger.get("j000002-bbbb")
+            assert dumped.mode["flightrec_dump"] == "/tmp/flightrec-0001.jsonl"
+            # No death, no dump: the key is absent, not empty.
+            clean = ledger.get("j000003-cccc")
+            assert "flightrec_dump" not in clean.mode
+
+
+def span_dict(span_id, name, parent_id=None, trace_id="t" * 8,
+              wall_start=1.0, **extra):
+    base = {
+        "span_id": span_id,
+        "trace_id": trace_id,
+        "parent_id": parent_id,
+        "name": name,
+        "status": "ok",
+        "wall_start": wall_start,
+        "wall_end": wall_start + 0.5,
+        "sim_start": None,
+        "sim_end": None,
+        "energy_joules": None,
+        "attrs": {},
+    }
+    base.update(extra)
+    return base
+
+
+class TestSpansTable:
+    def _seed_job(self, ledger, job_id, trace_id="trace-a"):
+        ledger.spans_put(job_id, [
+            span_dict(f"{job_id}-root", "fleet.job", trace_id=trace_id,
+                      wall_start=1.0),
+            span_dict(f"{job_id}-att", "fleet.attempt",
+                      parent_id=f"{job_id}-root", trace_id=trace_id,
+                      wall_start=2.0, attrs={"attempt": 1},
+                      sim_start=0.0, sim_end=0.5, energy_joules=12.5),
+        ])
+
+    def test_spans_round_trip_all_fields(self):
+        with RunLedger() as ledger:
+            self._seed_job(ledger, "job-1")
+            spans = ledger.spans_for_job("job-1")
+            assert [s["name"] for s in spans] == [
+                "fleet.job", "fleet.attempt",
+            ]
+            attempt = spans[1]
+            assert attempt["parent_id"] == "job-1-root"
+            assert attempt["trace_id"] == "trace-a"
+            assert attempt["job_id"] == "job-1"
+            assert attempt["attrs"] == {"attempt": 1}
+            assert attempt["sim_start"] == 0.0
+            assert attempt["sim_end"] == 0.5
+            assert attempt["energy_joules"] == 12.5
+            assert attempt["wall_end"] == attempt["wall_start"] + 0.5
+
+    def test_spans_put_is_idempotent_per_span_id(self):
+        with RunLedger() as ledger:
+            self._seed_job(ledger, "job-1")
+            # A re-flush (e.g. a retried ledger write) replaces, never
+            # duplicates.
+            self._seed_job(ledger, "job-1")
+            assert ledger.spans_count() == 2
+
+    def test_unique_prefix_resolves_ambiguous_raises(self):
+        with RunLedger() as ledger:
+            self._seed_job(ledger, "j00000001-aaaa")
+            self._seed_job(ledger, "j00000002-bbbb", trace_id="trace-b")
+            # Unique prefix resolves to the full job.
+            spans = ledger.spans_for_job("j00000001")
+            assert len(spans) == 2
+            assert spans[0]["job_id"] == "j00000001-aaaa"
+            # Shared prefix is ambiguous.
+            with pytest.raises(DatabaseError):
+                ledger.spans_for_job("j0000000")
+            # Unknown id is simply empty.
+            assert ledger.spans_for_job("nope") == []
+
+    def test_span_jobs_enumerates_traced_jobs(self):
+        with RunLedger() as ledger:
+            assert ledger.span_jobs() == []
+            assert ledger.spans_count() == 0
+            self._seed_job(ledger, "job-b")
+            self._seed_job(ledger, "job-a")
+            assert ledger.span_jobs() == ["job-a", "job-b"]
+            assert ledger.spans_count() == 4
+
+    def test_spans_persist_to_disk(self, tmp_path):
+        db = str(tmp_path / "spans.db")
+        with RunLedger(db) as ledger:
+            self._seed_job(ledger, "job-1")
+        with RunLedger(db) as ledger:
+            assert len(ledger.spans_for_job("job-1")) == 2
+
+
+class TestFleetMetricsTable:
+    def _seed(self, ledger):
+        ledger.metrics_put([
+            {"created": 10.0, "scope": "fleet", "metric": "queue_depth",
+             "value": 4.0},
+            {"created": 10.0, "scope": "local-0", "metric": "worker.beats",
+             "value": 1.0},
+            {"created": 20.0, "scope": "fleet", "metric": "queue_depth",
+             "value": 2.0},
+            {"created": 20.0, "scope": "local-0", "metric": "worker.beats",
+             "value": 2.0},
+            {"created": 30.0, "scope": "tenant:acme", "metric": "tenant.depth",
+             "value": 1.0},
+        ])
+
+    def test_series_filters_by_metric_and_scope(self):
+        with RunLedger() as ledger:
+            self._seed(ledger)
+            assert ledger.metrics_count() == 5
+            depth = ledger.metrics_series(metric="queue_depth")
+            assert [r["value"] for r in depth] == [4.0, 2.0]
+            beats = ledger.metrics_series(scope="local-0")
+            assert [r["value"] for r in beats] == [1.0, 2.0]
+            both = ledger.metrics_series(
+                metric="worker.beats", scope="local-0"
+            )
+            assert len(both) == 2
+
+    def test_limit_tails_the_series(self):
+        with RunLedger() as ledger:
+            self._seed(ledger)
+            tail = ledger.metrics_series(metric="queue_depth", limit=1)
+            # Most recent sample survives, oldest-first ordering holds.
+            assert [r["value"] for r in tail] == [2.0]
+
+    def test_series_since_and_ordering(self):
+        with RunLedger() as ledger:
+            self._seed(ledger)
+            recent = ledger.metrics_series(since=20.0)
+            assert [r["created"] for r in recent] == [20.0, 20.0, 30.0]
+            everything = ledger.metrics_series()
+            assert [r["created"] for r in everything] == sorted(
+                r["created"] for r in everything
+            )
+
+    def test_scopes_enumerated(self):
+        with RunLedger() as ledger:
+            self._seed(ledger)
+            assert ledger.metrics_scopes() == [
+                "fleet", "local-0", "tenant:acme",
+            ]
+
+    def test_metrics_persist_to_disk(self, tmp_path):
+        db = str(tmp_path / "metrics.db")
+        with RunLedger(db) as ledger:
+            self._seed(ledger)
+        with RunLedger(db) as ledger:
+            assert ledger.metrics_count() == 5

@@ -50,6 +50,22 @@ class TestEnergyProperties:
         assert mean >= -1e-9
         assert mean <= max(baseline, 100.0) + 1e-6
 
+    def test_mean_power_over_epsilon_window_is_instantaneous(self):
+        # Regression: a window at float resolution used to divide the
+        # prefix-sum cancellation error (~1 ULP of the cumulative
+        # excess) by ~2.2e-16, yielding watts-scale garbage (observed:
+        # mean_power(0.0, 2.2e-16) == -1.0 on a 3 W baseline).  Such
+        # windows now report the instantaneous power instead.
+        import sys
+
+        tl = PowerTimeline(3.0)
+        tl.add_segment(0.0, 1.0, 7.0)
+        eps = sys.float_info.epsilon
+        assert tl.mean_power(0.0, eps) == 7.0  # inside the segment
+        assert tl.mean_power(2.0, 2.0 + eps) == 3.0  # idle: baseline
+        assert tl.power_at(0.5) == 7.0
+        assert tl.power_at(1.5) == 3.0
+
     @given(timelines())
     @settings(max_examples=100, deadline=None)
     def test_busy_time_bounded_by_window(self, tl_info):

@@ -1,0 +1,158 @@
+"""Distributed tracing primitives: contexts, scopes, span trees."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import dtrace
+from repro.telemetry.dtrace import (
+    SpanHandle,
+    TraceContext,
+    build_tree,
+    new_trace_id,
+    render_tree,
+    tracing_scope,
+)
+
+
+class TestContextPropagation:
+    def test_begin_under_context_sets_parent(self):
+        root = SpanHandle.begin("fleet.job")
+        child = SpanHandle.begin("fleet.attempt", context=root.context())
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_context_round_trips_as_dict(self):
+        ctx = TraceContext(trace_id=new_trace_id(), span_id="abc123")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_scope_activates_and_restores(self):
+        assert not dtrace.active()
+        ctx = TraceContext(new_trace_id(), "root-span")
+        with tracing_scope(ctx) as sink:
+            assert dtrace.active()
+            assert dtrace.current_context() == ctx
+            dtrace.record_span("phase", 1.0, 2.0)
+        assert not dtrace.active()
+        assert len(sink) == 1
+        assert sink[0]["parent_id"] == "root-span"
+        assert sink[0]["trace_id"] == ctx.trace_id
+
+    def test_scope_is_thread_local(self):
+        ctx = TraceContext(new_trace_id(), "main-span")
+        seen = []
+
+        def other_thread():
+            seen.append(dtrace.active())
+
+        with tracing_scope(ctx):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen == [False]
+
+    def test_nested_span_parents_to_enclosing_span(self):
+        ctx = TraceContext(new_trace_id(), "root-span")
+        with tracing_scope(ctx) as sink:
+            with dtrace.span("outer") as outer:
+                with dtrace.span("inner"):
+                    pass
+        by_name = {s["name"]: s for s in sink}
+        assert by_name["inner"]["parent_id"] == outer.span_id
+        assert by_name["outer"]["parent_id"] == "root-span"
+        # Inner finishes first (LIFO), both share the trace.
+        assert [s["name"] for s in sink] == ["inner", "outer"]
+
+    def test_span_records_error_status_on_exception(self):
+        ctx = TraceContext(new_trace_id(), "root-span")
+        with tracing_scope(ctx) as sink:
+            with pytest.raises(ValueError):
+                with dtrace.span("doomed"):
+                    raise ValueError("boom")
+        assert sink[0]["status"] == "error"
+
+
+class TestDisabledFastPath:
+    def test_hooks_are_noops_without_scope(self):
+        assert dtrace.start_span("x") is None
+        dtrace.finish_span(None)  # must not raise
+        dtrace.record_span("x", 0.0, 1.0)  # silently dropped
+        with dtrace.span("x") as handle:
+            assert handle is None
+
+    def test_env_enabled_parses_truthy_values(self, monkeypatch):
+        for value, expected in (("1", True), ("true", True), ("on", True),
+                                ("0", False), ("", False), ("no", False)):
+            monkeypatch.setenv(dtrace.DTRACE_ENV, value)
+            assert dtrace.env_enabled() is expected
+        monkeypatch.delenv(dtrace.DTRACE_ENV)
+        assert dtrace.env_enabled() is False
+
+
+class TestSpanDicts:
+    def test_finish_captures_sim_clock_and_energy(self):
+        handle = SpanHandle.begin("session.replay")
+        handle.finish(sim_start=0.0, sim_end=2.5, energy_joules=42.0,
+                      engine="kernel")
+        d = handle.to_dict()
+        assert d["sim_start"] == 0.0 and d["sim_end"] == 2.5
+        assert d["energy_joules"] == 42.0
+        assert d["attrs"]["engine"] == "kernel"
+        assert d["wall_end"] >= d["wall_start"]
+
+    def test_unfinished_span_serialises_with_zero_duration(self):
+        d = SpanHandle.begin("open").to_dict()
+        assert d["wall_end"] == d["wall_start"]
+
+
+class TestTrees:
+    def _family(self):
+        root = SpanHandle.begin("fleet.job").finish()
+        a = SpanHandle.begin("fleet.attempt",
+                             context=root.context()).finish()
+        b = SpanHandle.begin("worker.execute", context=a.context()).finish()
+        return root, a, b
+
+    def test_build_tree_links_parents(self):
+        root, a, b = self._family()
+        tree = build_tree([s.to_dict() for s in (b, root, a)])
+        assert tree["count"] == 3
+        assert tree["orphans"] == []
+        assert len(tree["roots"]) == 1
+        top = tree["roots"][0]
+        assert top["span"]["name"] == "fleet.job"
+        assert top["children"][0]["span"]["name"] == "fleet.attempt"
+        grandchild = top["children"][0]["children"][0]
+        assert grandchild["span"]["name"] == "worker.execute"
+
+    def test_missing_parent_reported_as_orphan(self):
+        _, a, b = self._family()
+        tree = build_tree([a.to_dict(), b.to_dict()])  # root withheld
+        assert len(tree["orphans"]) == 1
+        assert tree["orphans"][0]["name"] == "fleet.attempt"
+        # b still chains under a, which survives as neither root nor
+        # orphan-child; only the broken hop is reported.
+        assert tree["roots"] == []
+
+    def test_siblings_sort_by_wall_start(self):
+        root = SpanHandle.begin("fleet.job")
+        first = SpanHandle.begin("fleet.attempt", context=root.context())
+        second = SpanHandle.begin("fleet.attempt", context=root.context())
+        first.wall_start, second.wall_start = 10.0, 20.0
+        spans = [s.finish().to_dict() for s in (second, first, root)]
+        spans[0]["wall_start"], spans[1]["wall_start"] = 20.0, 10.0
+        tree = build_tree(spans)
+        kids = tree["roots"][0]["children"]
+        assert [k["span"]["wall_start"] for k in kids] == [10.0, 20.0]
+
+    def test_render_tree_shows_hierarchy_and_orphans(self):
+        root, a, b = self._family()
+        text = render_tree([s.to_dict() for s in (root, a, b)])
+        assert "fleet.job" in text
+        assert "└─ fleet.attempt" in text
+        assert "└─ worker.execute" in text
+        orphan_text = render_tree([b.to_dict()])
+        assert "orphan" in orphan_text

@@ -1,0 +1,157 @@
+"""Property tests: ``MetricsRegistry.merge`` is real aggregation.
+
+The fleet's heartbeat plane merges per-worker telemetry deltas into the
+scheduler's registry.  The property that makes the merged registry
+trustworthy: splitting a stream of instrument operations across N
+worker registries and merging their snapshots gives the *same* state as
+one registry observing the whole stream — counters sum, histograms add
+bucket-wise, and per-worker gauges (naturally namespaced by labels)
+survive unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry.registry import MetricsRegistry, TelemetryError
+
+BUCKETS = (0.001, 0.01, 0.1, 1.0)
+
+# One instrument operation: (kind, metric-name, value).
+_ops = st.tuples(
+    st.sampled_from(["counter", "histogram"]),
+    st.sampled_from(["io_requests", "bytes_read", "service_seconds"]),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+
+
+def _apply(registry: MetricsRegistry, op, worker: str = "") -> None:
+    kind, name, value = op
+    if kind == "counter":
+        registry.counter(name).inc(max(1, int(value)))
+    else:
+        registry.histogram(name, buckets=BUCKETS).observe(value)
+
+
+@st.composite
+def _sharded_ops(draw):
+    n_workers = draw(st.integers(min_value=1, max_value=4))
+    ops = draw(st.lists(_ops, min_size=0, max_size=40))
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_workers - 1),
+            min_size=len(ops), max_size=len(ops),
+        )
+    )
+    return n_workers, list(zip(assignment, ops))
+
+
+class TestMergeIsAggregation:
+    @settings(max_examples=60, deadline=None)
+    @given(_sharded_ops())
+    def test_merged_shards_equal_single_registry(self, sharded):
+        n_workers, assigned = sharded
+        whole = MetricsRegistry(enabled=True)
+        shards = [MetricsRegistry(enabled=True) for _ in range(n_workers)]
+        for worker, op in assigned:
+            _apply(whole, op)
+            _apply(shards[worker], op)
+        aggregate = MetricsRegistry(enabled=True)
+        for shard in shards:
+            aggregate.merge(shard.snapshot())
+        _assert_equivalent(_comparable(aggregate), _comparable(whole))
+
+    @settings(max_examples=30, deadline=None)
+    @given(_sharded_ops())
+    def test_merge_of_deltas_equals_merge_of_totals(self, sharded):
+        # The heartbeat plane merges per-beat *deltas*; merging each
+        # shard's sequence of deltas must land on the same totals as
+        # merging its final cumulative snapshot once.
+        n_workers, assigned = sharded
+        shards = [MetricsRegistry(enabled=True) for _ in range(n_workers)]
+        via_deltas = MetricsRegistry(enabled=True)
+        marks = [None] * n_workers
+        for worker, op in assigned:
+            _apply(shards[worker], op)
+            # Beat: collect the delta since the last beat, merge, re-mark.
+            via_deltas.merge(shards[worker].collect(since=marks[worker]))
+            marks[worker] = shards[worker].mark()
+        via_totals = MetricsRegistry(enabled=True)
+        for shard in shards:
+            via_totals.merge(shard.snapshot())
+        _assert_equivalent(_comparable(via_deltas), _comparable(via_totals))
+
+
+def _comparable(registry: MetricsRegistry):
+    snap = registry.snapshot()
+    return {
+        "counters": snap["counters"],
+        "histograms": {
+            k: {kk: vv for kk, vv in h.items()}
+            for k, h in snap["histograms"].items()
+        },
+    }
+
+
+def _assert_equivalent(got, want):
+    """Counters and bucket counts match exactly; histogram float sums
+    only up to addition-order rounding (shard-wise vs interleaved
+    accumulation differ in the last ulp)."""
+    assert got["counters"] == want["counters"]
+    assert set(got["histograms"]) == set(want["histograms"])
+    for key, hist in got["histograms"].items():
+        ref = want["histograms"][key]
+        assert hist["buckets"] == ref["buckets"]
+        assert hist["counts"] == ref["counts"]
+        assert hist["count"] == ref["count"]
+        assert hist["sum"] == pytest.approx(ref["sum"])
+
+
+class TestMergeSemantics:
+    def test_gauges_are_last_write_wins(self):
+        target = MetricsRegistry(enabled=True)
+        target.gauge("fleet_queue_depth").set(3.0)
+        target.merge({"gauges": {"fleet_queue_depth": 7.0}})
+        assert target.snapshot()["gauges"]["fleet_queue_depth"] == 7.0
+
+    def test_worker_labelled_gauges_do_not_collide(self):
+        # Per-worker gauges keep their identity through a merge because
+        # labels are part of the key — the natural namespacing the fleet
+        # relies on.
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        a.gauge("utilization", worker="w0").set(0.25)
+        b.gauge("utilization", worker="w1").set(0.75)
+        agg = MetricsRegistry(enabled=True)
+        agg.merge(a.snapshot())
+        agg.merge(b.snapshot())
+        gauges = agg.snapshot()["gauges"]
+        assert gauges["utilization{worker=w0}"] == 0.25
+        assert gauges["utilization{worker=w1}"] == 0.75
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        target = MetricsRegistry(enabled=True)
+        target.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        with pytest.raises(TelemetryError):
+            target.merge({
+                "histograms": {
+                    "lat": {"buckets": [0.5, 5.0], "counts": [1, 0],
+                            "sum": 0.2, "count": 1},
+                }
+            })
+
+    def test_timers_accumulate(self):
+        target = MetricsRegistry(enabled=True)
+        t = target.timer("phase")
+        t.add(1.5)
+        target.merge({"timers": {"phase": {"total_seconds": 2.5, "calls": 3}}})
+        snap = target.snapshot(include_timers=True)
+        assert snap["timers"]["phase"] == {"total_seconds": 4.0, "calls": 4}
+
+    def test_merge_ignores_span_sections(self):
+        source = MetricsRegistry(enabled=True)
+        source.spans.record("stage", 0.0, 1.0)
+        target = MetricsRegistry(enabled=True)
+        target.merge(source.snapshot())
+        assert target.spans.total_recorded == 0
