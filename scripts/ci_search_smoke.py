@@ -2,11 +2,14 @@
 
 Drives ``tracer search`` end-to-end the way CI gates it:
 
-1. synthesise a webserver trace and sweep a 288-base-cell matrix
-   (6 loads × 48 time-scales) under two energy policies with
-   ``--verify`` — every cell re-derived per point and compared
-   bit-for-bit, the run recorded in a ledger, the outcome exported as
-   JSON;
+1. synthesise a write-heavy cello-style trace (the paper's RMW-bound
+   workload) and sweep a 288-base-cell RAID-5 matrix (6 loads × 48
+   time-scales) under two energy policies with ``--verify`` — every
+   cell re-derived per point and compared bit-for-bit, the run recorded
+   in a ledger, the outcome exported as JSON.  RAID-5 writes plan as
+   two-phase read-modify-write flights, so the whole matrix rides the
+   fused RMW kernel — the smoke asserts no cell fell back to the event
+   engine;
 2. assert the exported outcome has the full matrix, a non-empty Pareto
    frontier, and a complete IOPS/Watt ranking;
 3. round-trip the provenance: ``tracer runs list --origin search``
@@ -37,17 +40,17 @@ def main(workdir: str = "artifacts") -> None:
     from repro.cli import main as tracer
     from repro.host.ledger import RunLedger
     from repro.trace.blktrace import write_trace
-    from repro.workload.webserver import generate_webserver_trace
+    from repro.workload.cello import generate_cello_trace
 
     trace_path = out / "search.replay"
-    write_trace(generate_webserver_trace(duration=2.0, seed=13), trace_path)
+    write_trace(generate_cello_trace(duration=2.0, seed=13), trace_path)
 
     # 1. The full CLI path: fused search + per-point --verify + ledger.
     code = tracer(
         [
             "search",
             str(trace_path),
-            "--device", "hdd-raid0",
+            "--device", "hdd-raid5",
             "--policies", POLICIES,
             "--loads", LOADS,
             "--time-scales", TIME_SCALES,
@@ -66,6 +69,9 @@ def main(workdir: str = "artifacts") -> None:
     assert outcome["policies"] == ["baseline", "maid", "drpm"]
     assert outcome["frontier"], "empty Pareto frontier"
     assert len(outcome["ranking"]) == len(outcome["cells"])
+    # Write-heavy RAID-5 cells must ride the fused RMW kernel, not the
+    # per-point event fallback.
+    assert outcome["engines"] == {"kernel": BASE_CELLS}, outcome["engines"]
     print(
         f"search smoke: {outcome['base_cells']} base cells x "
         f"{len(outcome['policies'])} policies verified per point; "

@@ -59,12 +59,20 @@ def main(workdir: str = "artifacts") -> None:
     from repro.telemetry.dtrace import SPAN_ATTEMPT, build_tree
     from repro.workload.matrix import collect_trace
 
+    # Two write-heavy RAID-5 workloads: all-write and mixed read/write.
+    # Both plan as RAID-5 read-modify-write flights, so every fleet job
+    # exercises the fused two-phase RMW kernel path under tracing.
+    factory = lambda: build_hdd_raid5(6)  # noqa: E731
     mode = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.0)
-    trace = collect_trace(lambda: build_hdd_raid5(6), mode, 1.0, seed=23)
-    context = EvaluationContext({"smoke": trace})
+    mixed = WorkloadMode(request_size=4096, random_ratio=0.5, read_ratio=0.5)
+    context = EvaluationContext({
+        "smoke": collect_trace(factory, mode, 1.0, seed=23),
+        "smoke-mixed": collect_trace(factory, mixed, 1.0, seed=27),
+    })
 
     specs = [
-        JobSpec(trace="smoke", load=load, seed=seed)
+        JobSpec(trace=label, load=load, seed=seed)
+        for label in ("smoke", "smoke-mixed")
         for load in LOADS
         for seed in SEEDS
     ]
@@ -167,6 +175,16 @@ def main(workdir: str = "artifacts") -> None:
         "traced fleet result diverged from untraced serial replay"
     )
     print("traced result bit-identical to untraced serial replay")
+
+    # 4b. The write-heavy RAID-5 jobs rode the fused RMW kernel: every
+    # payload reports the analytical engine with no fallback reason.
+    engines = {r.payload["metadata"].get("engine") for r in results}
+    assert engines == {"kernel"}, engines
+    assert not any(
+        "engine_fallback" in r.payload["metadata"] for r in results
+    )
+    print(f"{len(results)} write-heavy RAID-5 jobs all fused "
+          "(engine=kernel, zero fallbacks)")
 
     # Artifacts: full span and metric dumps.
     spans_file = out / "spans.jsonl"

@@ -59,6 +59,7 @@ from .kernel import (
     KernelOutcome,
     _Computed,
     _Fallback,
+    _MAX_RMW_PASSES,
     _NEG_INF,
     _columns,
     _expand_subios,
@@ -194,25 +195,45 @@ def _noop() -> None:
 
 @dataclass
 class _MemberPlan:
-    """One member disk's shared (time-independent) service plan."""
+    """One member disk's shared (time-independent) service plan.
 
-    rows: np.ndarray  # sub-I/O indices served by this disk, arrival order
-    seconds: np.ndarray
-    watts: np.ndarray
+    ``seconds``/``watts`` are ``None`` on the RAID-5 RMW path: there the
+    serving order (hence the seek/stream-dependent service plan) varies
+    per cell, so plans are derived per arrival-order class inside
+    :func:`_solve_array_chunk_rmw` instead of once per group.
+    """
+
+    rows: np.ndarray  # sub-I/O indices served by this disk, plan order
+    seconds: Optional[np.ndarray]
+    watts: Optional[np.ndarray]
     base_watts: float
 
 
 @dataclass
 class _MemberBatch:
     """One member's solved schedule for a chunk of cells (columns empty
-    when the member served nothing)."""
+    when the member served nothing).
 
-    starts2d: np.ndarray  # (P, k) segment starts, arrival order
+    Columns are in the member's *serving* (arrival) order.  On the
+    read/single-phase path that order is shared by every cell, so one
+    ``watts`` row serves the whole chunk; on the RMW path each cell may
+    serve in a different order and ``watts2d`` carries per-cell rows.
+    """
+
+    starts2d: np.ndarray  # (P, k) segment starts, serving order
     fin2d: np.ndarray  # (P, k) segment ends
-    watts: np.ndarray  # (k,) shared across cells
+    watts: np.ndarray  # (k,) shared across cells (empty when per-cell)
     cum2d: np.ndarray  # (P, k + 1) seeded excess prefix sums
     base_watts: float
     submit2d: np.ndarray  # (P, k) member arrival instants
+    watts2d: Optional[np.ndarray] = None  # (P, k) per-cell Watts rows
+
+    @property
+    def served(self) -> bool:
+        return self.fin2d.size > 0
+
+    def cell_watts(self, i: int) -> np.ndarray:
+        return self.watts2d[i] if self.watts2d is not None else self.watts
 
 
 def evaluate_grid_cells(
@@ -333,13 +354,11 @@ def _evaluate_group(
             link_overhead = device.enclosure.controller_overhead
             link_prev = device._link_busy_until
             payload = nbytes / device.enclosure.link_rate
-            (
-                flight_offsets, sub_flight, disk_of,
-                sub_sector, sub_nbytes, sub_op,
-            ) = _expand_subios(geom, sectors, nbytes, ops)
-            total = int(flight_offsets[-1])
-            order = np.argsort(disk_of, kind="stable")
-            disk_sorted = disk_of[order]
+            exp = _expand_subios(geom, sectors, nbytes, ops)
+            total = exp.total
+            rmw = exp.has_pre
+            order = np.argsort(exp.disk, kind="stable")
+            disk_sorted = exp.disk[order]
             cuts = np.searchsorted(
                 disk_sorted, np.arange(len(members) + 1, dtype=np.int64)
             )
@@ -349,17 +368,28 @@ def _evaluate_group(
                     plans.append(None)
                     continue
                 rows = order[lo:hi]
-                try:
-                    svc = disk.service_times(
-                        sub_sector[rows], sub_nbytes[rows], sub_op[rows]
-                    )
-                except StorageIOError as exc:
-                    raise _Fallback(str(exc))
-                sub_end = sub_sector[rows] + -(
-                    -sub_nbytes[rows] // SECTOR_BYTES
+                sub_end = exp.sector[rows] + -(
+                    -exp.nbytes[rows] // SECTOR_BYTES
                 )
                 if int(sub_end.max()) > disk.capacity_sectors:
                     raise _Fallback(f"{disk.name}: request beyond capacity")
+                if rmw:
+                    # Serving order — and with it the seek/stream-
+                    # dependent service plan — varies per cell on the
+                    # RMW path; plans are built per arrival-order class
+                    # in the chunk solver.
+                    plans.append(
+                        _MemberPlan(
+                            rows, None, None, disk.timeline._base_watts[0]
+                        )
+                    )
+                    continue
+                try:
+                    svc = disk.service_times(
+                        exp.sector[rows], exp.nbytes[rows], exp.op[rows]
+                    )
+                except StorageIOError as exc:
+                    raise _Fallback(str(exc))
                 plans.append(
                     _MemberPlan(
                         rows, svc.seconds, svc.watts,
@@ -401,9 +431,12 @@ def _evaluate_group(
 
     # Chunk the parameter axis so the working set stays bounded: the
     # dominant per-cell float64 rows are ~7 over the sub-I/O axis plus
-    # the flight/event-order and bunch-time rows.
+    # the flight/event-order and bunch-time rows.  The RMW solver also
+    # holds per-cell serving orders, Watts rows, and the serving-order
+    # segment columns, roughly doubling the sub-I/O-axis footprint.
     if is_array:
-        per_cell = 8 * (7 * total + 10 * n_pkgs + 2 * n_bunches)
+        sub_rows = 14 if rmw else 7
+        per_cell = 8 * (sub_rows * total + 10 * n_pkgs + 2 * n_bunches)
     else:
         per_cell = 8 * (8 * n_pkgs + 2 * n_bunches)
     step = max(1, int(chunk_bytes // max(per_cell, 1)))
@@ -431,10 +464,15 @@ def _evaluate_group(
         ]
         submit2d = np.repeat(times2d, reps, axis=1)
 
-        if is_array:
+        if is_array and rmw:
+            solved = _solve_array_chunk_rmw(
+                device, members, plans, submit2d, link_overhead, link_prev,
+                payload, exp, nbytes, cell_reason,
+            )
+        elif is_array:
             solved = _solve_array_chunk(
                 device, members, plans, submit2d, link_overhead, link_prev,
-                payload, sub_flight, flight_offsets, total, nbytes,
+                payload, exp.sub_flight, exp.flight_offsets, total, nbytes,
                 cell_reason,
             )
         else:
@@ -480,10 +518,10 @@ def _evaluate_group(
             perf_samples = _perf_series(mon_bounds, end, comp)
             timelines = [
                 _FrozenTimeline(
-                    b.starts2d[i], b.fin2d[i], b.watts, b.cum2d[i],
+                    b.starts2d[i], b.fin2d[i], b.cell_watts(i), b.cum2d[i],
                     b.base_watts,
                 )
-                if b.watts.size
+                if b.served
                 else _FrozenTimeline(
                     _EMPTY, _EMPTY, _EMPTY, _CUM_SEED, b.base_watts
                 )
@@ -553,13 +591,13 @@ def _cell_capture(
 
     profiles = []
     for member, b in zip(members, batches):
-        if b.watts.size:
+        if b.served:
             profiles.append(
                 MemberProfile(
                     name=member.name,
                     starts=np.array(b.starts2d[i], dtype=np.float64),
                     ends=np.array(b.fin2d[i], dtype=np.float64),
-                    watts=b.watts,
+                    watts=np.array(b.cell_watts(i), dtype=np.float64),
                     base_watts=b.base_watts,
                 )
             )
@@ -694,6 +732,29 @@ def _solve_array_chunk(
     if all(r is not None for r in cell_reason):
         return None
 
+    fin_ev2d, resp_ev2d, bytes_ev2d = _flight_completions(
+        sub_fin2d, flight_offsets, submit2d, nbytes, cell_reason
+    )
+    return fin_ev2d, resp_ev2d, bytes_ev2d, batches, (
+        device.enclosure.non_disk_watts
+    )
+
+
+def _flight_completions(
+    sub_fin2d: np.ndarray,
+    flight_offsets: np.ndarray,
+    submit2d: np.ndarray,
+    nbytes: np.ndarray,
+    cell_reason: List[Optional[str]],
+):
+    """Reduce sub-I/O finishes to completion-event-order flight columns.
+
+    Shared tail of both array chunk solvers: a flight completes when its
+    last sub-I/O finishes; tied flight completions cannot be reproduced
+    (the monitor's accumulation order would depend on event sequence
+    numbers) and mark the cell unfused.
+    """
+    n_cells = sub_fin2d.shape[0]
     fl_fin2d = np.maximum.reduceat(sub_fin2d, flight_offsets[:-1], axis=1)
     if fl_fin2d.shape[1] > 1:
         srt = np.sort(fl_fin2d, axis=1)
@@ -705,6 +766,214 @@ def _solve_array_chunk(
     fin_ev2d = np.take_along_axis(fl_fin2d, comp_order2d, axis=1)
     resp_ev2d = np.take_along_axis(fl_fin2d - submit2d, comp_order2d, axis=1)
     bytes_ev2d = nbytes[comp_order2d]
+    return fin_ev2d, resp_ev2d, bytes_ev2d
+
+
+def _solve_array_chunk_rmw(
+    device: DiskArray,
+    members: List[QueuedDevice],
+    plans: List[Optional[_MemberPlan]],
+    submit2d: np.ndarray,
+    link_overhead: float,
+    link_prev: float,
+    payload: np.ndarray,
+    exp,
+    nbytes: np.ndarray,
+    cell_reason: List[Optional[str]],
+):
+    """Batch-solve a chunk of cells whose expansion carries RMW barriers.
+
+    The two-phase fixpoint of :func:`~repro.sim.kernel._solve_two_phase`
+    lifted to the parameter axis.  Post-write arrival instants feed back
+    into each member's serving order, and the order determines the
+    seek/stream-dependent service plan — so unlike the single-phase
+    path there is no chunk-wide shared ``VectorService``.  Instead, each
+    pass evaluates whole ``(P, k)`` matrices: per-cell serving orders
+    come from one ``argsort``, per-cell service plans from the members'
+    ``service_times_grid`` 2-D mirrors (row-wise bit-identical to
+    ``service_times`` on that row's sequence), and the queue recurrence
+    from :func:`~repro.sim.kernel._solve_lindley_grid` with a per-row
+    service matrix — no per-cell Python loop anywhere in the pass.
+    Convergence is tracked per row (exact float equality of the
+    post-arrival vector); a converged row is a fixpoint of a
+    deterministic map, so re-solving it can never change it — each pass
+    only touches the still-active rows and the chunk's cost decays with
+    convergence.  Rows that fail to converge — or that tie in a way
+    only event sequence numbers could break — are marked in
+    ``cell_reason`` and handed back for per-point replay, while the
+    converged rows stay fused.
+    """
+    n_cells = submit2d.shape[0]
+    total = exp.total
+    sub_flight = exp.sub_flight
+    has_pre = exp.pre_counts > 0
+    pre_flights = np.flatnonzero(has_pre)
+    pre_idx = np.flatnonzero(exp.is_pre)
+    pre_seg = np.concatenate(
+        ([0], np.cumsum(exp.pre_counts[pre_flights])[:-1])
+    ).astype(np.int64)
+    post_mask = ~exp.is_pre & has_pre[sub_flight]
+    post_at = sub_flight[post_mask]
+
+    d2d, _link2d = _solve_link_chain_grid(
+        submit2d, link_overhead, payload, link_prev
+    )
+    base_arr2d = d2d[:, sub_flight]
+    post2d = d2d.copy()
+    arrivals2d = base_arr2d.copy()
+    sub_fin2d = np.empty((n_cells, total), dtype=np.float64)
+    # Full-size per-member state, written only for active rows each pass
+    # (frozen rows keep their fixpoint values for assembly below).
+    ord_full: List[Optional[np.ndarray]] = [None] * len(plans)
+    fin_sorted: List[Optional[np.ndarray]] = [None] * len(plans)
+    watts_sorted: List[Optional[np.ndarray]] = [None] * len(plans)
+    for di, plan in enumerate(plans):
+        if plan is None:
+            continue
+        if not hasattr(members[di], "service_times_grid"):
+            reason = f"{members[di].name}: no vectorized grid service model"
+            for i in range(n_cells):
+                if cell_reason[i] is None:
+                    cell_reason[i] = reason
+            return None
+        k = int(plan.rows.size)
+        ord_full[di] = np.empty((n_cells, k), dtype=np.int64)
+        fin_sorted[di] = np.empty((n_cells, k), dtype=np.float64)
+        watts_sorted[di] = np.empty((n_cells, k), dtype=np.float64)
+    converged = np.zeros(n_cells, dtype=bool)
+    act = np.arange(n_cells)
+    for _ in range(_MAX_RMW_PASSES):
+        arr_act = base_arr2d[act].copy()
+        arr_act[:, post_mask] = post2d[np.ix_(act, post_at)]
+        arrivals2d[act] = arr_act
+        for di, plan in enumerate(plans):
+            if plan is None:
+                continue
+            rows = plan.rows
+            a2d = np.ascontiguousarray(arr_act[:, rows])
+            ord2d = np.argsort(a2d, axis=1, kind="stable")
+            ord_full[di][act] = ord2d
+            a_sorted = np.take_along_axis(a2d, ord2d, axis=1)
+            perm2d = rows[ord2d]
+            try:
+                sec2d, w2d = members[di].service_times_grid(
+                    exp.sector[perm2d], exp.nbytes[perm2d], exp.op[perm2d]
+                )
+            except StorageIOError as exc:
+                reason = str(exc)
+                for i in act.tolist():
+                    if cell_reason[i] is None:
+                        cell_reason[i] = reason
+                fin_srt = a_sorted  # placeholder; cells already unfused
+                w2d = np.zeros_like(a_sorted)
+            else:
+                fin_srt = _solve_lindley_grid(a_sorted, sec2d)
+            fin_sorted[di][act] = fin_srt
+            watts_sorted[di][act] = w2d
+            sub_fin2d[act[:, None], perm2d] = fin_srt
+        new_post = d2d[act].copy()
+        new_post[:, pre_flights] = np.maximum.reduceat(
+            sub_fin2d[np.ix_(act, pre_idx)], pre_seg, axis=1
+        )
+        row_done = np.all(new_post == post2d[act], axis=1)
+        post2d[act] = new_post
+        converged[act[row_done]] = True
+        # Unfused rows (service errors) stop iterating too — nothing
+        # downstream reads their values.
+        dead = np.array(
+            [cell_reason[i] is not None for i in act.tolist()], dtype=bool
+        )
+        act = act[~(row_done | dead)]
+        if not act.size:
+            break
+    for i in range(n_cells):
+        if cell_reason[i] is None and not bool(converged[i]):
+            cell_reason[i] = "rmw barrier schedule did not converge"
+
+    # Arrival-tie taxonomy — same rule as the 1-D solver: cross-flight
+    # ties at a member are deterministic only when a completion-issued
+    # post precedes a dispatch-issued sub-I/O.
+    for di, plan in enumerate(plans):
+        if plan is None or plan.rows.size < 2:
+            continue
+        rows = plan.rows
+        ord2d = ord_full[di]
+        a_sorted = np.take_along_axis(
+            np.ascontiguousarray(arrivals2d[:, rows]), ord2d, axis=1
+        )
+        perm2d = rows[ord2d]
+        fl = sub_flight[perm2d]
+        pm = post_mask[perm2d]
+        tied = a_sorted[:, 1:] == a_sorted[:, :-1]
+        cross = fl[:, 1:] != fl[:, :-1]
+        benign = pm[:, :-1] & ~pm[:, 1:]
+        bad = np.any(tied & cross & ~benign, axis=1)
+        for i in np.flatnonzero(bad).tolist():
+            if cell_reason[i] is None:
+                cell_reason[i] = "tied sub-I/O arrival times"
+    if all(r is not None for r in cell_reason):
+        return None
+
+    batches: List[_MemberBatch] = []
+    for di, plan in enumerate(plans):
+        if plan is None:
+            batches.append(
+                _MemberBatch(
+                    _EMPTY, _EMPTY, _EMPTY, _CUM_SEED,
+                    members[di].timeline._base_watts[0], _EMPTY,
+                )
+            )
+            continue
+        rows = plan.rows
+        k = int(rows.size)
+        sub2d = np.take_along_axis(
+            np.ascontiguousarray(arrivals2d[:, rows]), ord_full[di], axis=1
+        )
+        fin2d = fin_sorted[di]
+        watts2d = watts_sorted[di]
+        starts2d = np.maximum(
+            sub2d,
+            np.concatenate(
+                (np.full((n_cells, 1), _NEG_INF), fin2d[:, :-1]), axis=1
+            ),
+        )
+        if k > 1:
+            mono_bad = np.any(np.diff(fin2d, axis=1) < 0, axis=1)
+        else:
+            mono_bad = np.zeros(n_cells, dtype=bool)
+        dur2d = fin2d - starts2d
+        zero_bad = np.any(dur2d <= 0.0, axis=1)
+        name = members[di].name
+        for i in range(n_cells):
+            if cell_reason[i] is None and bool(mono_bad[i]):
+                cell_reason[i] = f"{name}: non-monotone completion schedule"
+            if cell_reason[i] is None and bool(zero_bad[i]):
+                cell_reason[i] = f"{name}: zero-length power segment"
+        excess2d = watts2d * dur2d - plan.base_watts * dur2d
+        cum2d = np.concatenate(
+            (
+                np.zeros((n_cells, 1), dtype=np.float64),
+                np.cumsum(excess2d, axis=1),
+            ),
+            axis=1,
+        )
+        batches.append(
+            _MemberBatch(
+                starts2d=starts2d,
+                fin2d=fin2d,
+                watts=_EMPTY,
+                cum2d=cum2d,
+                base_watts=plan.base_watts,
+                submit2d=sub2d,
+                watts2d=watts2d,
+            )
+        )
+    if all(r is not None for r in cell_reason):
+        return None
+
+    fin_ev2d, resp_ev2d, bytes_ev2d = _flight_completions(
+        sub_fin2d, exp.flight_offsets, submit2d, nbytes, cell_reason
+    )
     return fin_ev2d, resp_ev2d, bytes_ev2d, batches, (
         device.enclosure.non_disk_watts
     )
@@ -719,7 +988,7 @@ def _queue_instants(
     pushes = []
     pops = []
     for b in batches:
-        if not b.watts.size:
+        if not b.served:
             continue
         submit_row = b.submit2d[i]
         starts_row = b.starts2d[i]

@@ -52,7 +52,7 @@ from ..storage.array import DiskArray
 from ..storage.base import QueuedDevice, StorageDevice
 from ..storage.hdd import HardDiskDrive
 from ..storage.queueing import FIFOQueue
-from ..storage.raid import RaidLevel
+from ..storage.raid import FlightExpansion, RaidLevel, expand_flights
 from ..storage.ssd import SolidStateDrive
 from ..trace.packed import PackedTrace
 from ..trace.record import READ
@@ -63,6 +63,14 @@ from .engine import Simulator
 #: scalar loop (each pass only ever *adds* idle-start heads, so ten
 #: passes resolve all but adversarial arrival patterns).
 _MAX_PASSES = 10
+
+#: Two-phase RMW barrier fixpoint passes.  Each pass propagates one more
+#: level of the pre-read -> parity-write dependency chain, so congested
+#: write queues need more passes than the segmented refinements above
+#: (a saturated 600-package stripe mix takes ~11); the fixpoint itself
+#: is unique, so the cap only decides fuse-vs-fallback, never the
+#: numbers.
+_MAX_RMW_PASSES = 32
 
 #: Sampling-window count cap: beyond this the closed-form window walk
 #: costs more than the event path saves.
@@ -95,10 +103,10 @@ def _lindley_scalar(submit: np.ndarray, sv: np.ndarray, prev: float) -> np.ndarr
     return out
 
 
-def _eval_lindley_segments(
+def _eval_lindley_segments_loop(
     submit: np.ndarray, sv: np.ndarray, heads: np.ndarray, prev: float
 ) -> np.ndarray:
-    """Evaluate finish times given idle-start positions ``heads``.
+    """Per-segment reference evaluation (sequential over busy runs).
 
     Each segment [a, b) is a busy run: its first request starts at
     ``max(submit[a], previous finish)`` (exact selection) and the rest
@@ -115,6 +123,92 @@ def _eval_lindley_segments(
         f[a:b] = np.cumsum(np.concatenate(([seed], sv[a:b])))[1:]
         cur = float(f[b - 1])
     return f
+
+
+#: Offset-sweep eligibility: below this many segments the per-segment
+#: loop's overhead is negligible, so the sweep machinery isn't worth it.
+_SWEEP_MIN_SEGMENTS = 256
+
+#: Segments longer than this are evaluated with one seeded cumsum each
+#: (a handful of numpy calls) instead of joining the offset sweep, which
+#: would otherwise pay one sweep step per element of the longest run.
+_SWEEP_MAX_LEN = 64
+
+#: Seed-repair waves before falling back to the sequential loop.  Each
+#: wave finalises at least one more segment of every chain of busy runs
+#: that merge (a head whose submit lands inside the previous run), so
+#: only adversarially long merge chains hit the cap.
+_MAX_SWEEP_WAVES = 40
+
+
+def _eval_lindley_segments(
+    submit: np.ndarray, sv: np.ndarray, heads: np.ndarray, prev: float
+) -> np.ndarray:
+    """Evaluate finish times given idle-start positions ``heads``.
+
+    Lightly loaded schedules split into tens of thousands of short busy
+    runs; evaluating them one Python-loop iteration apiece dominates the
+    solver.  Instead, sweep *by offset within segment*: seed every
+    segment at its own ``submit[a]`` (the true seed whenever the head is
+    a genuine idle restart), then chain ``f[a + j] = f[a + j - 1] +
+    sv[a + j]`` for all segments at once, one vectorized step per
+    offset.  The additions and their dependency order are exactly the
+    per-segment cumsum's, so the values are bit-identical.  Heads whose
+    run actually merges with the previous one (``submit[a]`` below the
+    previous run's finish) are then re-seeded at ``max(submit[a],
+    previous finish)`` and re-swept — values only grow, and each wave
+    finalises the next segment of every merge chain, so the iteration
+    reaches the sequential evaluation's unique answer; if a pathological
+    chain outlives the wave cap, fall back to the sequential loop.
+    """
+    n = submit.size
+    n_seg = heads.size
+    if n_seg < _SWEEP_MIN_SEGMENTS:
+        return _eval_lindley_segments_loop(submit, sv, heads, prev)
+    bounds = np.append(heads, n)
+    lens = np.diff(bounds)
+    long_seg = np.flatnonzero(lens > _SWEEP_MAX_LEN)
+    if long_seg.size * 8 > n_seg:
+        return _eval_lindley_segments_loop(submit, sv, heads, prev)
+
+    f = np.empty(n, dtype=np.float64)
+    seed = submit[heads].copy()
+    if not seed[0] > prev:
+        seed[0] = prev
+
+    def _sweep(sel: np.ndarray) -> None:
+        """(Re)evaluate the selected segments from their current seeds."""
+        if long_seg.size:
+            is_long = lens[sel] > _SWEEP_MAX_LEN
+            for si in sel[is_long].tolist():
+                a, b = int(bounds[si]), int(bounds[si + 1])
+                f[a:b] = np.cumsum(
+                    np.concatenate(([seed[si]], sv[a:b]))
+                )[1:]
+            sel = sel[~is_long]
+            if not sel.size:
+                return
+        hs = heads[sel]
+        ls = lens[sel]
+        f[hs] = seed[sel] + sv[hs]
+        for j in range(1, int(ls.max())):
+            live = ls > j
+            if not np.all(live):
+                hs, ls = hs[live], ls[live]
+            pos = hs + j
+            f[pos] = f[pos - 1] + sv[pos]
+
+    _sweep(np.arange(n_seg))
+    tails = bounds[1:-1] - 1
+    for _ in range(_MAX_SWEEP_WAVES):
+        want = seed.copy()
+        np.maximum(submit[heads[1:]], f[tails], out=want[1:])
+        stale = np.flatnonzero(want != seed)
+        if not stale.size:
+            return f
+        seed[stale] = want[stale]
+        _sweep(stale)
+    return _eval_lindley_segments_loop(submit, sv, heads, prev)
 
 
 def _solve_lindley(
@@ -168,6 +262,11 @@ def _eval_lindley_segments_grid(
     additions the unsplit chain would — splitting a seeded cumsum is
     bit-neutral.  Only *missing* a true idle restart changes results,
     and the refinement loop in the caller catches those as violations.
+
+    ``sv`` is ``(n,)`` when every row shares one service vector or
+    ``(P, n)`` for per-row service times (the RMW grid path, where each
+    cell serves in its own order); a 1-D slice broadcasts into the
+    block exactly as the per-row copy would.
     """
     n_rows, n = submit.shape
     f = np.empty((n_rows, n), dtype=np.float64)
@@ -176,7 +275,7 @@ def _eval_lindley_segments_grid(
     for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
         block = np.empty((n_rows, b - a + 1), dtype=np.float64)
         np.maximum(submit[:, a], cur, out=block[:, 0])
-        block[:, 1:] = sv[a:b]
+        block[:, 1:] = sv[..., a:b]
         f[:, a:b] = np.cumsum(block, axis=1)[:, 1:]
         cur = f[:, b - 1]
     return f
@@ -187,11 +286,13 @@ def _solve_lindley_grid(
 ) -> np.ndarray:
     """Batched Lindley solver over a leading parameter axis.
 
-    ``submit`` is ``(P, n)`` — one row per grid cell, all rows sharing
-    the same service-time vector ``sv`` (service depends on request
-    geometry and fresh device state, never on arrival times).  Rows are
+    ``submit`` is ``(P, n)`` — one row per grid cell.  ``sv`` is either
+    one shared ``(n,)`` service-time vector (the single-phase path:
+    service depends on request geometry and fresh device state, never
+    on arrival times) or a ``(P, n)`` matrix of per-row service times
+    (the RMW path, where each cell's serving order differs).  Rows are
     independent; each row's result is bit-identical to
-    ``_solve_lindley(submit[i], sv, prev)``:
+    ``_solve_lindley(submit[i], sv_row, prev)``:
 
     * the idle fast path is the same elementwise ``submit + sv`` (a
       broadcast is still one add per element);
@@ -229,21 +330,31 @@ def _solve_lindley_grid(
     if gen.size == 0:
         return out
     sub = np.ascontiguousarray(submit[gen])
-    approx = sub - np.concatenate(([0.0], np.cumsum(sv)[:-1]))
+    sv_gen = sv if sv.ndim == 1 else np.ascontiguousarray(sv[gen])
+    if sv.ndim == 1:
+        approx = sub - np.concatenate(([0.0], np.cumsum(sv)[:-1]))
+    else:
+        # Head guesses only pick split columns (splits are bit-neutral);
+        # subtracting the per-row running service sum mirrors the 1-D
+        # expression row by row.
+        approx = sub.copy()
+        approx[:, 1:] -= np.cumsum(sv_gen, axis=1)[:, :-1]
     is_head = approx >= np.maximum.accumulate(approx, axis=1)
     col_head = np.any(is_head, axis=0)
     col_head[0] = True
     for _ in range(_MAX_PASSES):
         heads = np.flatnonzero(col_head)
-        f = _eval_lindley_segments_grid(sub, sv, heads, prev)
+        f = _eval_lindley_segments_grid(sub, sv_gen, heads, prev)
         viol_cols = np.flatnonzero(np.any(sub[:, 1:] > f[:, :-1], axis=0)) + 1
         new = viol_cols[~col_head[viol_cols]]
         if new.size == 0:
             out[gen] = f
             return out
         col_head[new] = True
-    for i in gen:
-        out[i] = _solve_lindley(submit[i], sv, prev)
+    for j, i in enumerate(gen.tolist()):
+        out[i] = _solve_lindley(
+            submit[i], sv if sv.ndim == 1 else sv_gen[j], prev
+        )
     return out
 
 
@@ -267,10 +378,10 @@ def _chain_scalar(
     return d, link
 
 
-def _eval_chain_segments(
+def _eval_chain_segments_loop(
     t: np.ndarray, c: float, p: np.ndarray, heads: np.ndarray, prev: float
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Evaluate the dispatch chain given idle-link positions ``heads``.
+    """Per-segment reference evaluation of the dispatch chain.
 
     A busy run interleaves the per-request overhead and payload additions
     into one cumulative sum — element order ``seed, +c, +p_0, +c, +p_1…``
@@ -295,6 +406,76 @@ def _eval_chain_segments(
         link[a:b] = cs[2::2]
         cur = float(link[b - 1])
     return d, link
+
+
+def _eval_chain_segments(
+    t: np.ndarray, c: float, p: np.ndarray, heads: np.ndarray, prev: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Evaluate the dispatch chain given idle-link positions ``heads``.
+
+    Same offset-sweep scheme as :func:`_eval_lindley_segments` (which
+    see): segments are seeded independently at their own submit times
+    and chained one vectorized step per offset — ``d[k] = link[k - 1] +
+    c``; ``link[k] = d[k] + p[k]``, the interleaved cumsum's exact
+    additions — then heads that actually merge with the previous busy
+    run are re-seeded and re-swept until the evaluation is
+    self-consistent.
+    """
+    n = t.size
+    n_seg = heads.size
+    if n_seg < _SWEEP_MIN_SEGMENTS:
+        return _eval_chain_segments_loop(t, c, p, heads, prev)
+    bounds = np.append(heads, n)
+    lens = np.diff(bounds)
+    long_seg = np.flatnonzero(lens > _SWEEP_MAX_LEN)
+    if long_seg.size * 8 > n_seg:
+        return _eval_chain_segments_loop(t, c, p, heads, prev)
+
+    d = np.empty(n, dtype=np.float64)
+    link = np.empty(n, dtype=np.float64)
+    seed = t[heads].copy()
+    if not seed[0] > prev:
+        seed[0] = prev
+
+    def _sweep(sel: np.ndarray) -> None:
+        if long_seg.size:
+            is_long = lens[sel] > _SWEEP_MAX_LEN
+            for si in sel[is_long].tolist():
+                a, b = int(bounds[si]), int(bounds[si + 1])
+                m = b - a
+                arr = np.empty(2 * m + 1, dtype=np.float64)
+                arr[0] = seed[si]
+                arr[1::2] = c
+                arr[2::2] = p[a:b]
+                cs = np.cumsum(arr)
+                d[a:b] = cs[1::2]
+                link[a:b] = cs[2::2]
+            sel = sel[~is_long]
+            if not sel.size:
+                return
+        hs = heads[sel]
+        ls = lens[sel]
+        d[hs] = seed[sel] + c
+        link[hs] = d[hs] + p[hs]
+        for j in range(1, int(ls.max())):
+            live = ls > j
+            if not np.all(live):
+                hs, ls = hs[live], ls[live]
+            pos = hs + j
+            d[pos] = link[pos - 1] + c
+            link[pos] = d[pos] + p[pos]
+
+    _sweep(np.arange(n_seg))
+    tails = bounds[1:-1] - 1
+    for _ in range(_MAX_SWEEP_WAVES):
+        want = seed.copy()
+        np.maximum(t[heads[1:]], link[tails], out=want[1:])
+        stale = np.flatnonzero(want != seed)
+        if not stale.size:
+            return d, link
+        seed[stale] = want[stale]
+        _sweep(stale)
+    return _eval_chain_segments_loop(t, c, p, heads, prev)
 
 
 def _solve_link_chain(
@@ -453,7 +634,16 @@ def _qualify_member(dev: StorageDevice) -> Optional[str]:
 
 
 def _qualify_device(device: StorageDevice, trace: PackedTrace) -> Optional[str]:
-    """None if the target qualifies for the analytical kernel."""
+    """None if the target qualifies for the analytical kernel.
+
+    Checks run in a documented, deterministic order so the recorded
+    fallback reason is stable when several apply: array-level structure
+    first (subclass, empty enclosure, instrumentation, degraded state,
+    RAID level), then the member disks in disk-index order.  A RAID-5
+    array that cannot take the kernel for a structural reason therefore
+    reports *that* reason — never whichever member check happens to
+    fire first (see ``tests/sim/test_kernel.py``).
+    """
     if isinstance(device, DiskArray):
         if type(device) is not DiskArray:
             return f"array subclass {type(device).__name__}"
@@ -464,12 +654,8 @@ def _qualify_device(device: StorageDevice, trace: PackedTrace) -> Optional[str]:
         if device.failed_disk is not None or device.rebuilding:
             return "array degraded or rebuilding"
         level = device.geometry.level
-        if level in (RaidLevel.JBOD, RaidLevel.RAID0):
-            pass
-        elif level is RaidLevel.RAID5:
-            if not bool(np.all(trace.packages["op"] == READ)):
-                return "raid5 writes need read-modify-write planning"
-        else:
+        if level not in (RaidLevel.JBOD, RaidLevel.RAID0, RaidLevel.RAID5):
+            # RAID-1/10 round-robin mirror reads through planner state.
             return f"raid level {level.value} mutates planner state"
         for disk in device.disks:
             reason = _qualify_member(disk)
@@ -615,52 +801,135 @@ def _compute_single(
 
 def _expand_subios(
     geom, sectors: np.ndarray, nbytes: np.ndarray, ops: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> FlightExpansion:
     """Closed-form clean-mode stripe planning.
 
-    Returns ``(flight_offsets, sub_flight, disk, sub_sector, sub_nbytes,
-    sub_op)`` with sub-I/Os in flight-major, plan order — exactly the
-    order :meth:`RaidGeometry.plan` emits them.  Integer arithmetic
-    throughout (int64), so equality with the Python loop is exact.
+    Delegates to :func:`repro.storage.raid.expand_flights` — sub-I/Os
+    come back flight-major in plan order (``pre`` block, then ``post``),
+    exactly as :meth:`RaidGeometry.plan` emits them, with integer
+    arithmetic throughout (int64) so equality with the Python loop is
+    exact.
     """
-    n = sectors.size
-    if geom.level is RaidLevel.JBOD:
-        flight_offsets = np.arange(n + 1, dtype=np.int64)
-        sub_flight = np.arange(n, dtype=np.int64)
-        return (
-            flight_offsets,
-            sub_flight,
-            np.zeros(n, dtype=np.int64),
-            sectors,
-            nbytes,
-            ops,
-        )
-    strip = geom.strip_bytes
-    start_bytes = sectors * SECTOR_BYTES
-    off = start_bytes % strip
-    nch = (off + nbytes + strip - 1) // strip
-    flight_offsets = np.concatenate(
-        ([0], np.cumsum(nch))
+    return expand_flights(geom, sectors, nbytes, ops)
+
+
+def _solve_two_phase(
+    device: DiskArray,
+    exp: FlightExpansion,
+    dispatch: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+    """Solve the per-flight two-phase (RMW) barrier to a verified fixpoint.
+
+    The event path issues a flight's ``pre`` reads at its dispatch
+    instant and its ``post`` writes the moment the last pre read
+    completes (:meth:`DiskArray._pre_done` runs inside that completion
+    callback).  Post arrivals therefore feed back into the member FIFO
+    orders, which determine the order-dependent service times (seek
+    chains, write-stream cursors), which determine the pre completion
+    times — a fixpoint.  Iterate it: seed every post arrival at its
+    flight's dispatch, then repeatedly (a) sort each disk's sub-I/Os by
+    arrival (stable, so plan order breaks ties exactly like the event
+    calendar: completion-issued posts carry lower flight indices than
+    any dispatch tied with them, and a flight's pre block precedes its
+    post block), (b) recompute that order's service plan and Lindley
+    finishes, (c) reduce each flight's pre block to its barrier instant.
+    Exact float convergence of the arrival vector means the evaluated
+    schedule is self-consistent, and causality (service times are
+    positive, posts issue strictly after their pre reads) makes the
+    event engine's schedule the *unique* fixpoint — so the converged
+    arrivals are bit-identical to the event path's.
+
+    Returns ``(arrivals, sub_fin, disk_rows)`` with ``arrivals`` the
+    converged per-sub-I/O queue-entry instants, ``sub_fin`` their finish
+    times, and ``disk_rows`` each member's sub-I/O indices in plan
+    order.  Raises :class:`_Fallback` on non-convergence or on arrival
+    ties the event calendar would break by schedule sequence numbers
+    (two RMW barriers releasing at one instant).
+    """
+    total = exp.total
+    sub_flight = exp.sub_flight
+    has_pre = exp.pre_counts > 0
+    pre_flights = np.flatnonzero(has_pre)
+    pre_idx = np.flatnonzero(exp.is_pre)
+    pre_seg = np.concatenate(
+        ([0], np.cumsum(exp.pre_counts[pre_flights])[:-1])
     ).astype(np.int64)
-    total = int(flight_offsets[-1])
-    sub_flight = np.repeat(np.arange(n, dtype=np.int64), nch)
-    j = np.arange(total, dtype=np.int64) - np.repeat(flight_offsets[:-1], nch)
-    si = (start_bytes // strip)[sub_flight] + j
-    chunk_start = np.maximum(start_bytes[sub_flight], si * strip)
-    chunk_end = np.minimum((start_bytes + nbytes)[sub_flight], (si + 1) * strip)
-    sub_nbytes = chunk_end - chunk_start
-    offset_bytes = chunk_start - si * strip
-    if geom.level is RaidLevel.RAID0:
-        disk = si % geom.n_disks
-        row = si // geom.n_disks
-    else:  # RAID5, reads only (qualified)
-        per_row = geom.n_disks - 1
-        row = si // per_row
-        pos = si % per_row
-        pdisk = (geom.n_disks - 1) - (row % geom.n_disks)
-        disk = pos + (pos >= pdisk)
-    sub_sector = row * geom.strip_sectors + offset_bytes // SECTOR_BYTES
-    return flight_offsets, sub_flight, disk, sub_sector, sub_nbytes, ops[sub_flight]
+    post_mask = ~exp.is_pre & has_pre[sub_flight]
+
+    order0 = np.argsort(exp.disk, kind="stable")
+    disk_sorted = exp.disk[order0]
+    cuts = np.searchsorted(
+        disk_sorted, np.arange(len(device.disks) + 1, dtype=np.int64)
+    )
+    disk_rows = [
+        order0[int(cuts[di]):int(cuts[di + 1])]
+        for di in range(len(device.disks))
+    ]
+
+    sub_fin = np.empty(total, dtype=np.float64)
+    base_arr = dispatch[sub_flight]
+    post_at = sub_flight[post_mask]
+    post_arrival = dispatch.copy()
+    arrivals = base_arr
+    # Two exact pass-to-pass shortcuts: a member whose arrival vector is
+    # unchanged serves identically (its finishes are already in
+    # ``sub_fin``), and a member whose serving *order* is unchanged
+    # reuses the previous pass's service plan (service depends only on
+    # the request sequence, never on the clock).
+    svc_memo: List[Optional[tuple]] = [None] * len(device.disks)
+    arr_memo: List[Optional[np.ndarray]] = [None] * len(device.disks)
+    for _ in range(_MAX_RMW_PASSES):
+        arrivals = base_arr.copy()
+        arrivals[post_mask] = post_arrival[post_at]
+        for di, disk in enumerate(device.disks):
+            rows = disk_rows[di]
+            if not rows.size:
+                continue
+            arr_d = arrivals[rows]
+            if arr_memo[di] is not None and np.array_equal(
+                arr_memo[di], arr_d
+            ):
+                continue
+            arr_memo[di] = arr_d
+            perm = rows[np.argsort(arr_d, kind="stable")]
+            memo = svc_memo[di]
+            if memo is not None and np.array_equal(memo[0], perm):
+                svc = memo[1]
+            else:
+                try:
+                    svc = disk.service_times(
+                        exp.sector[perm], exp.nbytes[perm], exp.op[perm]
+                    )
+                except StorageIOError as exc:
+                    raise _Fallback(str(exc))
+                svc_memo[di] = (perm, svc)
+            sub_fin[perm] = _solve_lindley(arrivals[perm], svc.seconds)
+        new_post = dispatch.copy()
+        new_post[pre_flights] = np.maximum.reduceat(
+            sub_fin[pre_idx], pre_seg
+        )
+        if np.array_equal(new_post, post_arrival):
+            break
+        post_arrival = new_post
+    else:
+        raise _Fallback("rmw barrier schedule did not converge")
+
+    # Arrival ties the event calendar breaks by sequence number cannot
+    # be reproduced: equal instants at one disk are only deterministic
+    # within a flight (plan order) or between a completion-issued post
+    # and a later flight's dispatch (completions outrank dispatch
+    # events) — which stable plan-order sorting already encodes.
+    for rows in disk_rows:
+        if rows.size < 2:
+            continue
+        arr_d = arrivals[rows]
+        perm = rows[np.argsort(arr_d, kind="stable")]
+        tied = arrivals[perm[1:]] == arrivals[perm[:-1]]
+        cross = sub_flight[perm[1:]] != sub_flight[perm[:-1]]
+        benign = post_mask[perm[:-1]] & ~post_mask[perm[1:]]
+        if bool(np.any(tied & cross & ~benign)):
+            raise _Fallback("tied sub-I/O arrival times")
+    return arrivals, sub_fin, disk_rows
 
 
 def _compute_array(trace: PackedTrace, device: DiskArray, t0: float) -> _Computed:
@@ -679,40 +948,63 @@ def _compute_array(trace: PackedTrace, device: DiskArray, t0: float) -> _Compute
         submit, overhead, payload, device._link_busy_until
     )
 
-    flight_offsets, sub_flight, disk_of, sub_sector, sub_nbytes, sub_op = (
-        _expand_subios(geom, sectors, nbytes, ops)
-    )
-    total = int(flight_offsets[-1])
-    arrivals = dispatch[sub_flight]
-
-    # Per-disk FCFS service.  Stable sort keeps each disk's sub-I/Os in
-    # flight/plan order — the member queue's arrival order.
-    order = np.argsort(disk_of, kind="stable")
-    disk_sorted = disk_of[order]
-    cuts = np.searchsorted(
-        disk_sorted, np.arange(len(device.disks) + 1, dtype=np.int64)
-    )
+    exp = _expand_subios(geom, sectors, nbytes, ops)
+    flight_offsets = exp.flight_offsets
+    sub_sector, sub_nbytes, sub_op = exp.sector, exp.nbytes, exp.op
+    total = exp.total
     sub_fin = np.empty(total, dtype=np.float64)
     commits: List[Callable[[], None]] = []
     pushes: List[np.ndarray] = []
     pops: List[np.ndarray] = []
-    for di, disk in enumerate(device.disks):
-        lo, hi = int(cuts[di]), int(cuts[di + 1])
-        if lo == hi:
-            continue
-        rows = order[lo:hi]
-        fin, _starts, push, pop, commit = _serve_fifo(
-            disk,
-            arrivals[rows],
-            sub_sector[rows],
-            sub_nbytes[rows],
-            sub_op[rows],
+    if exp.has_pre:
+        # RAID-5 read-modify-write: post writes barrier on their pre
+        # reads.  Solve the barrier fixpoint, then serve each member in
+        # the converged arrival order.
+        arrivals, _fins, disk_rows = _solve_two_phase(device, exp, dispatch)
+        for di, disk in enumerate(device.disks):
+            rows = disk_rows[di]
+            if not rows.size:
+                continue
+            perm = rows[np.argsort(arrivals[rows], kind="stable")]
+            fin, _starts, push, pop, commit = _serve_fifo(
+                disk,
+                arrivals[perm],
+                sub_sector[perm],
+                sub_nbytes[perm],
+                sub_op[perm],
+            )
+            sub_fin[perm] = fin
+            commits.append(commit)
+            if push.size:
+                pushes.append(push)
+                pops.append(pop)
+    else:
+        arrivals = dispatch[exp.sub_flight]
+
+        # Per-disk FCFS service.  Stable sort keeps each disk's sub-I/Os
+        # in flight/plan order — the member queue's arrival order.
+        order = np.argsort(exp.disk, kind="stable")
+        disk_sorted = exp.disk[order]
+        cuts = np.searchsorted(
+            disk_sorted, np.arange(len(device.disks) + 1, dtype=np.int64)
         )
-        sub_fin[rows] = fin
-        commits.append(commit)
-        if push.size:
-            pushes.append(push)
-            pops.append(pop)
+        for di, disk in enumerate(device.disks):
+            lo, hi = int(cuts[di]), int(cuts[di + 1])
+            if lo == hi:
+                continue
+            rows = order[lo:hi]
+            fin, _starts, push, pop, commit = _serve_fifo(
+                disk,
+                arrivals[rows],
+                sub_sector[rows],
+                sub_nbytes[rows],
+                sub_op[rows],
+            )
+            sub_fin[rows] = fin
+            commits.append(commit)
+            if push.size:
+                pushes.append(push)
+                pops.append(pop)
 
     # A flight completes when its last sub-I/O finishes.  Tied flight
     # finish times would make the monitor's accumulation order depend

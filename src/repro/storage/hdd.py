@@ -253,6 +253,101 @@ class HardDiskDrive(QueuedDevice):
 
         return VectorService(total, mean_watts, apply_state)
 
+    def service_times_grid(self, sectors, nbytes, ops):
+        """Pure ``(P, n)`` mirror of :meth:`service_times` for grid cells.
+
+        Each row is an independent serving sequence from the drive's
+        current cursor state; row ``i`` of the returned
+        ``(seconds, watts)`` matrices is bit-identical to
+        ``service_times(sectors[i], nbytes[i], ops[i])`` — every
+        expression is the same elementwise ufunc chain, shifted along
+        the last axis instead of a flat one.  Used by the RMW grid
+        solver, where each cell serves the same requests in its own
+        order so no single 1-D service vector can be shared.  Pure:
+        commits no cursor, streaming, or seek-count state.
+        """
+        if not self.state.ready:
+            raise StorageIOError(
+                f"{self.name}: request while {self.state.value}; spin up first"
+            )
+        if self.rotational_jitter:
+            raise StorageIOError(
+                f"{self.name}: vectorized service requires deterministic "
+                f"rotational latency (rotational_jitter draws per request)"
+            )
+        spec = self.spec
+        sectors = np.asarray(sectors, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        ops = np.asarray(ops, dtype=np.int64)
+        p, n = sectors.shape
+        if n == 0 or p == 0:
+            empty = np.empty((p, n), dtype=np.float64)
+            return empty, empty.copy()
+        end_sectors = sectors + -(-nbytes // SECTOR_BYTES)
+        is_write = ops == WRITE
+
+        prev_end = np.empty((p, n), dtype=np.int64)
+        prev_end[:, 1:] = end_sectors[:, :-1]
+        prev_end[:, 0] = (
+            self._last_end_sector if self._last_end_sector is not None else -1
+        )
+        sequential = sectors == prev_end
+        if self._last_end_sector is None:
+            sequential[:, 0] = False
+
+        prev_op = np.empty((p, n), dtype=np.int64)
+        prev_op[:, 1:] = ops[:, :-1]
+        prev_op[:, 0] = self._last_op if self._last_op is not None else -1
+        switched = ops != prev_op
+        if self._last_op is None:
+            switched[:, 0] = False
+        turnaround = np.where(
+            switched,
+            np.where(
+                is_write,
+                spec.read_to_write_turnaround,
+                spec.write_to_read_turnaround,
+            ),
+            0.0,
+        )
+
+        head = np.empty((p, n), dtype=np.int64)
+        head[:, 1:] = end_sectors[:, :-1]
+        head[:, 0] = self._head_sector
+        distance = np.abs(sectors - head)
+        cap = max(self.capacity_sectors, 1)
+        seek = np.where(
+            distance == 0,
+            0.0,
+            spec.settle_time + spec.seek_coefficient * np.sqrt(distance / cap),
+        )
+        rotation = np.full((p, n), spec.mean_rotational_latency)
+        if spec.write_cache:
+            seek = np.where(is_write, seek * spec.destage_seek_factor, seek)
+            rotation = np.where(
+                is_write, rotation * spec.destage_seek_factor, rotation
+            )
+        seek = np.where(sequential, 0.0, seek)
+        rotation = np.where(sequential, 0.0, rotation)
+
+        frac = np.minimum(
+            np.maximum(sectors / max(spec.capacity_sectors, 1), 0.0), 1.0
+        )
+        rate = spec.outer_rate - (spec.outer_rate - spec.inner_rate) * frac
+        transfer = nbytes / rate
+        total = spec.command_overhead + turnaround + seek + rotation + transfer
+
+        xfer_watts = np.where(is_write, spec.write_watts, spec.read_watts)
+        energy = (
+            (spec.command_overhead + turnaround + rotation)
+            * spec.rotate_wait_watts
+            + seek * spec.seek_watts
+            + transfer * xfer_watts
+        )
+        mean_watts = np.full((p, n), spec.idle_watts)
+        np.divide(energy, total, out=mean_watts, where=total > 0)
+        return total, mean_watts
+
     # -- Spin-down support (energy-saving extensions) ---------------------
 
     def spin_down(self) -> float:

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from ..errors import StorageConfigError
 from ..trace.record import READ, WRITE, IOPackage
 from ..units import SECTOR_BYTES
@@ -426,3 +428,196 @@ class RaidGeometry:
         )
         post = (SubIO(failed_disk, sector, nbytes, WRITE),)
         return IOPlan(pre=pre, post=post)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized clean-mode planning (shared by the analytical kernel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlightExpansion:
+    """Closed-form :meth:`RaidGeometry.plan` over many requests at once.
+
+    Sub-I/Os are laid out flight-major in *plan order* — for each flight
+    the ``pre`` tuple first, then the ``post`` tuple, each exactly as
+    the scalar planner emits them.  All columns are int64, so equality
+    with the Python loop is exact (property-tested in
+    ``tests/property/test_property_raid_vector.py``).
+    """
+
+    flight_offsets: np.ndarray  # (n + 1,) CSR offsets into the sub columns
+    sub_flight: np.ndarray  # (total,) owning flight per sub-I/O
+    disk: np.ndarray  # (total,) member disk index
+    sector: np.ndarray  # (total,) member sector
+    nbytes: np.ndarray  # (total,)
+    op: np.ndarray  # (total,) READ/WRITE
+    is_pre: np.ndarray  # (total,) bool: True for pre-phase reads
+    pre_counts: np.ndarray  # (n,) pre-phase sub-I/Os per flight
+
+    @property
+    def total(self) -> int:
+        return int(self.flight_offsets[-1])
+
+    @property
+    def has_pre(self) -> bool:
+        return bool(self.pre_counts.any())
+
+
+def expand_flights(
+    geom: RaidGeometry,
+    sectors: np.ndarray,
+    nbytes: np.ndarray,
+    ops: np.ndarray,
+) -> FlightExpansion:
+    """Vectorize :meth:`RaidGeometry.plan` over CSR request columns.
+
+    Supports the kernel-capable clean-mode levels: JBOD, RAID-0 (any op
+    mix) and RAID-5 — including writes, which expand to the scalar
+    planner's full-stripe (in-memory parity, no pre-reads) or partial
+    stripe read-modify-write (pre-read old data chunks + old parity over
+    the row's union extent, then write new data + new parity) plans.
+    """
+    sectors = np.asarray(sectors, dtype=np.int64)
+    nbytes = np.asarray(nbytes, dtype=np.int64)
+    ops = np.asarray(ops, dtype=np.int64)
+    n = sectors.size
+    no_pre = np.zeros(n, dtype=np.int64)
+    if geom.level is RaidLevel.JBOD:
+        flight_offsets = np.arange(n + 1, dtype=np.int64)
+        return FlightExpansion(
+            flight_offsets,
+            np.arange(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            sectors,
+            nbytes,
+            ops,
+            np.zeros(n, dtype=bool),
+            no_pre,
+        )
+    if geom.level not in (RaidLevel.RAID0, RaidLevel.RAID5):
+        raise StorageConfigError(
+            f"vectorized planning supports jbod/raid0/raid5, "
+            f"not {geom.level.value}"
+        )
+
+    # Strip-aligned chunk expansion — the closed form of ``_chunks``.
+    strip = geom.strip_bytes
+    start_bytes = sectors * SECTOR_BYTES
+    off = start_bytes % strip
+    nch = (off + nbytes + strip - 1) // strip
+    chunk_offsets = np.concatenate(([0], np.cumsum(nch))).astype(np.int64)
+    totc = int(chunk_offsets[-1])
+    c_flight = np.repeat(np.arange(n, dtype=np.int64), nch)
+    j = np.arange(totc, dtype=np.int64) - np.repeat(chunk_offsets[:-1], nch)
+    si = (start_bytes // strip)[c_flight] + j
+    chunk_start = np.maximum(start_bytes[c_flight], si * strip)
+    chunk_end = np.minimum((start_bytes + nbytes)[c_flight], (si + 1) * strip)
+    c_nbytes = chunk_end - chunk_start
+    c_off = chunk_start - si * strip
+
+    if geom.level is RaidLevel.RAID0:
+        disk = si % geom.n_disks
+        row = si // geom.n_disks
+        sector = row * geom.strip_sectors + c_off // SECTOR_BYTES
+        return FlightExpansion(
+            chunk_offsets, c_flight, disk, sector, c_nbytes,
+            ops[c_flight], np.zeros(totc, dtype=bool), no_pre,
+        )
+
+    # RAID-5: left-asymmetric rotating parity data placement.
+    per_row = geom.n_disks - 1
+    row = si // per_row
+    pos = si % per_row
+    pdisk = (geom.n_disks - 1) - (row % geom.n_disks)
+    d_disk = pos + (pos >= pdisk)
+    d_sector = row * geom.strip_sectors + c_off // SECTOR_BYTES
+
+    wmask = (ops == WRITE)[c_flight]
+    if not bool(wmask.any()):
+        return FlightExpansion(
+            chunk_offsets, c_flight, d_disk, d_sector, c_nbytes,
+            ops[c_flight], np.zeros(totc, dtype=bool), no_pre,
+        )
+
+    # Write chunks group per (flight, stripe row).  Chunks ascend the
+    # strip index, so rows are already in the scalar planner's
+    # ``sorted(rows.items())`` order and groups are contiguous runs.
+    widx = np.flatnonzero(wmask)
+    wf = c_flight[widx]
+    wr = row[widx]
+    wk = widx.size
+    new = np.empty(wk, dtype=bool)
+    new[0] = True
+    new[1:] = (wf[1:] != wf[:-1]) | (wr[1:] != wr[:-1])
+    gstart = np.flatnonzero(new)
+    gid = np.cumsum(new) - 1
+    gcnt = np.diff(np.append(gstart, wk)).astype(np.int64)
+    gflight = wf[gstart]
+    grow = wr[gstart]
+    covered = np.add.reduceat(c_nbytes[widx], gstart)
+    glo = np.minimum.reduceat(c_off[widx], gstart)
+    ghi = np.maximum.reduceat((c_off + c_nbytes)[widx], gstart)
+    partial = covered != per_row * strip
+    gpdisk = (geom.n_disks - 1) - (grow % geom.n_disks)
+    gpsector = grow * geom.strip_sectors + glo // SECTOR_BYTES
+    gpnbytes = ghi - glo
+    q = np.arange(wk, dtype=np.int64) - gstart[gid]
+
+    # Candidate sub-I/Os: each category carries its plan-order sort keys
+    # (flight, phase, row, okey) where phase 0 = pre / 1 = post and okey
+    # orders one row group as [data chunks in chunk order, parity].
+    ppre = np.flatnonzero(partial)  # partial (RMW) groups
+    dpre = np.flatnonzero(partial[gid])  # their data chunks
+    ridx = np.flatnonzero(~wmask)  # read-flight chunks
+
+    def _cat(flight, phase, rowk, okey, disk, sector, nb, op):
+        m = flight.size
+        return (
+            flight, np.full(m, phase, dtype=np.int64), rowk, okey,
+            disk, sector, nb, np.full(m, op, dtype=np.int64),
+        )
+
+    cats = [
+        # Read flights: plain data placement, chunk order (phase 1,
+        # row key 0, okey = within-flight chunk index).
+        _cat(
+            c_flight[ridx], 1, np.zeros(ridx.size, dtype=np.int64), j[ridx],
+            d_disk[ridx], d_sector[ridx], c_nbytes[ridx], READ,
+        ),
+        # RMW pre: old data chunks, then the old parity extent.
+        _cat(
+            wf[dpre], 0, wr[dpre], q[dpre],
+            d_disk[widx][dpre], d_sector[widx][dpre],
+            c_nbytes[widx][dpre], READ,
+        ),
+        _cat(
+            gflight[ppre], 0, grow[ppre], gcnt[ppre],
+            gpdisk[ppre], gpsector[ppre], gpnbytes[ppre], READ,
+        ),
+        # Post: new data chunks, then the new parity extent (all rows).
+        _cat(
+            wf, 1, wr, q,
+            d_disk[widx], d_sector[widx], c_nbytes[widx], WRITE,
+        ),
+        _cat(gflight, 1, grow, gcnt, gpdisk, gpsector, gpnbytes, WRITE),
+    ]
+    flight_k, phase_k, row_k, okey_k, disk_k, sector_k, nb_k, op_k = (
+        np.concatenate(cols) for cols in zip(*cats)
+    )
+    order = np.lexsort((okey_k, row_k, phase_k, flight_k))
+    counts = np.bincount(flight_k, minlength=n).astype(np.int64)
+    flight_offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    pre_counts = np.bincount(
+        flight_k[phase_k == 0], minlength=n
+    ).astype(np.int64)
+    return FlightExpansion(
+        flight_offsets,
+        flight_k[order],
+        disk_k[order],
+        sector_k[order],
+        nb_k[order],
+        op_k[order],
+        (phase_k == 0)[order],
+        pre_counts,
+    )

@@ -135,3 +135,57 @@ class SolidStateDrive(QueuedDevice):
             self.random_write_count += rand_writes
 
         return VectorService(total, mean_watts, apply_state)
+
+    def service_times_grid(self, sectors, nbytes, ops):
+        """Pure ``(P, n)`` mirror of :meth:`service_times` for grid cells.
+
+        Row ``i`` of the returned ``(seconds, watts)`` matrices is
+        bit-identical to ``service_times(sectors[i], nbytes[i],
+        ops[i])``.  The per-row previous-write chain (write
+        sequentiality is judged against the last *write*, skipping
+        interleaved reads) is vectorized with a running-maximum over
+        write column indices.  Pure: commits no FTL cursor or counter
+        state.
+        """
+        spec = self.spec
+        sectors = np.asarray(sectors, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        ops = np.asarray(ops, dtype=np.int64)
+        p, n = sectors.shape
+        if n == 0 or p == 0:
+            empty = np.empty((p, n), dtype=np.float64)
+            return empty, empty.copy()
+        end_sectors = sectors + -(-nbytes // SECTOR_BYTES)
+        is_write = ops == WRITE
+
+        latency = np.where(is_write, spec.write_latency, spec.read_latency)
+        rate = np.where(is_write, spec.write_rate, spec.read_rate)
+        watts = np.where(is_write, spec.write_watts, spec.read_watts)
+
+        # Index of the last write strictly before each column (per row):
+        # a running maximum over write column indices, shifted right.
+        wpos = np.where(is_write, np.arange(n, dtype=np.int64), -1)
+        last_w = np.maximum.accumulate(wpos, axis=1)
+        prev_w = np.empty((p, n), dtype=np.int64)
+        prev_w[:, 1:] = last_w[:, :-1]
+        prev_w[:, 0] = -1
+        gathered = np.take_along_axis(
+            end_sectors, np.maximum(prev_w, 0), axis=1
+        )
+        dev_prev = (
+            self._last_write_end if self._last_write_end is not None else -1
+        )
+        w_prev_end = np.where(prev_w >= 0, gathered, dev_prev)
+        w_seq = is_write & (sectors == w_prev_end)
+        if self._last_write_end is None:
+            # No FTL context: a row's first write is never sequential
+            # (matches the scalar path's explicit ``w_seq[0] = False``).
+            w_seq &= prev_w >= 0
+        overhead = np.where(
+            is_write & ~w_seq, spec.random_write_overhead, 0.0
+        )
+
+        transfer = nbytes / rate
+        total = spec.command_overhead + latency + overhead + transfer
+        mean_watts = watts + np.zeros((p, n), dtype=np.float64)
+        return total, mean_watts

@@ -169,8 +169,52 @@ def table5_cello() -> dict:
     }
 
 
+def raid5_write_engines() -> dict:
+    """Write-heavy RAID-5 under both engines: cello-style RMW mix and
+    full-stripe-aligned writes (PR 10's two-phase kernel path).
+
+    The frozen numbers are engine-independent by the kernel's
+    bit-identity contract; the scenario additionally asserts (when
+    telemetry is off, so fusion is allowed) that the auto engine fused
+    with zero ``engine_fallback``.
+    """
+    from repro.storage.raid import RaidLevel
+    from repro.telemetry import get_registry
+    from repro.trace.packed import pack
+    from repro.trace.record import WRITE, Bunch, IOPackage, Trace
+
+    factory = lambda: build_hdd_raid5(6)
+    geom = factory().geometry
+    stripe_bytes = (geom.n_disks - 1) * geom.strip_bytes
+    stripe_sectors = stripe_bytes // 512
+    full_stripe = Trace(
+        [
+            Bunch(
+                i / 32,
+                [IOPackage(i * stripe_sectors, stripe_bytes, WRITE)],
+            )
+            for i in range(12)
+        ],
+        label="full-stripe",
+    )
+    cello = generate_cello_trace(duration=3.0, seed=31)
+    out = {}
+    for key, trace in (("cello_rmw", cello), ("full_stripe", full_stripe)):
+        packed = pack(trace)
+        event = replay_trace(packed, factory(), 1.0, engine="event")
+        auto = replay_trace(packed, factory(), 1.0, engine="auto")
+        if not get_registry().enabled:
+            assert auto.metadata["engine"] == "kernel", auto.metadata
+            assert "engine_fallback" not in auto.metadata
+        fields = _result_fields(auto)
+        assert fields == _result_fields(event)
+        out[key] = fields
+    return out
+
+
 SCENARIOS = {
     "fig7_idle_power": fig7_idle_power,
+    "raid5_write_engines": raid5_write_engines,
     "fig8_load_accuracy": fig8_load_accuracy,
     "fig9_load_efficiency": fig9_load_efficiency,
     "fig10_random_ratio": fig10_random_ratio,

@@ -231,7 +231,10 @@ KERNEL_CELLS = {
     "ssd": (_tiny_ssd, None, True),
     "raid0": (lambda: _tiny_raid("RAID0"), None, True),
     "raid5_reads": (lambda: _tiny_raid("RAID5"), READ, True),
-    "raid5_writes": (lambda: _tiny_raid("RAID5"), WRITE, False),
+    # Write-only (every partial stripe goes through the two-phase RMW
+    # barrier) and mixed cello-style cells now fuse too.
+    "raid5_writes": (lambda: _tiny_raid("RAID5"), WRITE, True),
+    "raid5_mixed": (lambda: _tiny_raid("RAID5"), None, True),
 }
 
 
@@ -279,14 +282,54 @@ def test_kernel_vs_event_oracle(cell, seed):
 
 
 def test_engine_kernel_refuses_unqualified():
-    """``engine='kernel'`` on a non-qualifying run raises, naming why."""
+    """``engine='kernel'`` on a non-qualifying run raises, naming why.
+
+    RAID-5 writes fuse now, so the designed refusal is a *degraded*
+    array — reconstruction reads mutate planner state per request.
+    """
     from repro.errors import ReplayError
 
     trace = _force_ops(random_trace(SEEDS[0]), WRITE)
+    device = _tiny_raid("RAID5")
+    device.fail_disk(1)
     with pytest.raises(ReplayError, match="does not qualify"):
-        replay_trace(
-            pack(trace), _tiny_raid("RAID5"), 1.0, engine="kernel"
+        replay_trace(pack(trace), device, 1.0, engine="kernel")
+
+
+def test_full_stripe_aligned_writes_fuse():
+    """Stripe-aligned full-row writes (empty pre phase) stay fused and
+    bit-identical — the in-memory-parity fast path of the planner."""
+    from repro.telemetry import get_registry
+
+    if get_registry().enabled:
+        pytest.skip("telemetry registry keeps every cell on the event path")
+    device_factory = lambda: _tiny_raid("RAID5")
+    geom = device_factory().geometry
+    stripe_bytes = (geom.n_disks - 1) * geom.strip_bytes
+    stripe_sectors = stripe_bytes // 512
+    bunches = [
+        Bunch(
+            i / 64,
+            [IOPackage(sector=i * stripe_sectors, nbytes=stripe_bytes, op=WRITE)],
         )
+        for i in range(8)
+    ]
+    packed = pack(Trace(bunches, label="full-stripe"))
+    event = replay_trace(packed, device_factory(), 1.0, engine="event")
+    auto = replay_trace(packed, device_factory(), 1.0, engine="auto")
+    assert auto.metadata["engine"] == "kernel", auto.metadata
+    assert "engine_fallback" not in auto.metadata
+    assert canon_result(auto) == canon_result(event)
+
+
+def test_degraded_raid5_writes_stay_event():
+    """Degraded arrays keep the designed event-path fallback reason."""
+    trace = _force_ops(random_trace(SEEDS[1]), WRITE)
+    device = _tiny_raid("RAID5")
+    device.fail_disk(2)
+    auto = replay_trace(pack(trace), device, 1.0, engine="auto")
+    assert auto.metadata["engine"] == "event"
+    assert auto.metadata["engine_fallback"] == "array degraded or rebuilding"
 
 
 # ---------------------------------------------------------------------------

@@ -231,20 +231,41 @@ class TestGridVsPerPointKernel:
             )
             assert _canon(cell.result) == _canon(serial), cell.key
 
-    def test_mixed_ops_on_raid0(self):
+    @pytest.mark.parametrize("factory", [_raid0, _raid5])
+    def test_mixed_ops_fuse(self, factory):
         trace = _mixed_trace()
         outcome = run_grid(
-            {"t": trace}, {"d": _raid0}, loads=LOADS, time_scales=SCALES,
+            {"t": trace}, {"d": factory}, loads=LOADS, time_scales=SCALES,
             engine="kernel", parallel=False,
         )
         assert outcome.fused_cells == 4
         for cell in outcome.cells:
             serial = replay_trace(
-                trace, _raid0(), cell.load,
+                trace, factory(), cell.load,
                 config=ReplayConfig(time_scale=cell.time_scale),
                 engine="kernel",
             )
             assert _canon(cell.result) == _canon(serial), cell.key
+
+    def test_rmw_chunking_invariance(self):
+        """The RMW solver's per-order-class batching must be chunk-size
+        neutral: a tiny budget means more, smaller order classes per
+        solve, and not one bit of drift."""
+        trace = _mixed_trace(write_every=2)
+        big = run_grid(
+            {"t": trace}, {"d": _raid5},
+            loads=LOADS, time_scales=(1.0, 1.25, 1.5, 2.0),
+            engine="kernel", parallel=False,
+        )
+        tiny = run_grid(
+            {"t": trace}, {"d": _raid5},
+            loads=LOADS, time_scales=(1.0, 1.25, 1.5, 2.0),
+            engine="kernel", parallel=False, chunk_bytes=4096,
+        )
+        assert big.fused_cells == tiny.fused_cells == 8
+        assert [_canon(c.result) for c in big.cells] == [
+            _canon(c.result) for c in tiny.cells
+        ]
 
     def test_chunking_invariance(self):
         """A pathologically small chunk budget splits the face into many
@@ -285,9 +306,12 @@ class TestGridVsEventEngine:
     """Sampled differential oracle: the fused kernel must agree with the
     event-driven engine on everything but the engine provenance keys."""
 
-    @pytest.mark.parametrize("factory", [_hdd, _raid5])
-    def test_engine_neutral_equality(self, factory):
-        trace = _read_trace()
+    @pytest.mark.parametrize(
+        "factory,trace_fn",
+        [(_hdd, _read_trace), (_raid5, _read_trace), (_raid5, _mixed_trace)],
+    )
+    def test_engine_neutral_equality(self, factory, trace_fn):
+        trace = trace_fn()
         outcome = run_grid(
             {"t": trace}, {"d": factory}, loads=(1.0,), time_scales=(1.0, 1.75),
             engine="kernel", parallel=False,
@@ -303,13 +327,33 @@ class TestGridVsEventEngine:
 
 
 class TestFallbackParity:
-    def test_raid5_writes_fall_back_with_per_point_metadata(self):
-        """Parity writes decline fusion; every cell must re-run per
-        point under the same ``engine="auto"`` — results *and* fallback
-        metadata identical to a hand-rolled serial loop."""
+    def test_raid5_writes_fuse_with_zero_fallbacks(self):
+        """Parity writes fuse via the two-phase RMW solver now: an
+        ``engine="auto"`` sweep over a write-heavy matrix must record no
+        fallback at all."""
         trace = _mixed_trace()
         outcome = run_grid(
             {"t": trace}, {"d": _raid5}, loads=LOADS, time_scales=SCALES,
+            engine="auto", parallel=False,
+        )
+        assert outcome.fused_cells == 4
+        assert outcome.engines == {"kernel": 4}
+        assert outcome.fallback_reasons == {}
+
+    def test_degraded_raid5_falls_back_with_per_point_metadata(self):
+        """Degraded arrays decline fusion (reconstruction mutates
+        planner state); every cell must re-run per point under the same
+        ``engine="auto"`` — results *and* fallback metadata identical to
+        a hand-rolled serial loop."""
+
+        def degraded():
+            dev = _raid5()
+            dev.fail_disk(1)
+            return dev
+
+        trace = _mixed_trace()
+        outcome = run_grid(
+            {"t": trace}, {"d": degraded}, loads=LOADS, time_scales=SCALES,
             engine="auto", parallel=False,
         )
         assert outcome.fused_cells == 0
@@ -317,9 +361,12 @@ class TestFallbackParity:
         assert set(outcome.fallback_reasons) == {
             c.key for c in outcome.cells
         }
+        assert set(outcome.fallback_reasons.values()) == {
+            "array degraded or rebuilding"
+        }
         for cell in outcome.cells:
             serial = replay_trace(
-                trace, _raid5(), cell.load,
+                trace, degraded(), cell.load,
                 config=ReplayConfig(time_scale=cell.time_scale),
                 engine="auto",
             )
@@ -327,9 +374,14 @@ class TestFallbackParity:
             assert cell.fallback == serial.metadata["engine_fallback"]
 
     def test_forced_kernel_raises_where_per_point_would(self):
+        def degraded():
+            dev = _raid5()
+            dev.fail_disk(1)
+            return dev
+
         with pytest.raises(ReplayError, match="does not qualify"):
             run_grid(
-                {"t": _mixed_trace()}, {"d": _raid5},
+                {"t": _mixed_trace()}, {"d": degraded},
                 engine="kernel", parallel=False,
             )
 

@@ -158,11 +158,45 @@ class TestFallbackReasons:
                 engine="kernel", faults=schedule,
             )
 
-    def test_raid5_writes_fall_back(self):
+    def test_raid5_writes_take_the_kernel(self):
         result = replay_trace(
             pack(_grid_trace(op=WRITE)), _raid5(), 1.0, engine="auto"
         )
+        assert result.metadata["engine"] == "kernel"
+        assert "engine_fallback" not in result.metadata
+
+    def test_degraded_raid5_reports_the_structural_reason(self):
+        """Satellite: qualification checks run in a documented order —
+        array-level structure before member probes — so a degraded
+        RAID-5 with a *non-write* trace still names the degradation, not
+        whichever member check happens to fire."""
+        from repro.sim.kernel import _qualify_device
+
+        device = _raid5()
+        device.fail_disk(0)
+        result = replay_trace(
+            pack(_grid_trace(op=READ)), device, 1.0, engine="auto"
+        )
         assert result.metadata["engine"] == "event"
+        assert (
+            result.metadata["engine_fallback"] == "array degraded or rebuilding"
+        )
+        # With a member perturbed *too*, the array-level reason wins —
+        # structure is checked before any member probe.
+        device.disks[2]._busy = True
+        assert (
+            _qualify_device(device, pack(_grid_trace()))
+            == "array degraded or rebuilding"
+        )
+
+    def test_member_reasons_report_in_disk_index_order(self):
+        from repro.sim.kernel import _qualify_device
+
+        device = _raid5()
+        device.disks[1]._busy = True
+        device.disks[3]._busy = True
+        reason = _qualify_device(device, pack(_grid_trace()))
+        assert reason == "k1: device busy at replay start"
 
     def test_unsorted_timestamps_fall_back(self):
         packed = pack(_grid_trace())
@@ -235,6 +269,36 @@ class TestDeviceEndStateParity:
 
         def run(engine):
             dev = factory()
+            replay_trace(packed, dev, 1.0, engine=engine)
+            return _end_state(dev)
+
+        assert run("kernel") == run("event")
+
+    @pytest.mark.parametrize("op", [WRITE, None])
+    def test_raid5_write_end_state_bit_identical(self, op):
+        """Two-phase RMW commits: member cursors, seek counts, queue
+        counters, and power segments all match the event path exactly
+        (``op=None`` interleaves reads and writes)."""
+        if op is None:
+            bunches = [
+                Bunch(
+                    i / 32,
+                    [
+                        IOPackage(
+                            64 * (i * 3 + j), 4096,
+                            WRITE if (i + j) % 2 else READ,
+                        )
+                        for j in range(3)
+                    ],
+                )
+                for i in range(40)
+            ]
+            packed = pack(Trace(bunches, label="kernel-unit"))
+        else:
+            packed = pack(_grid_trace(n=40, op=op, fan=3))
+
+        def run(engine):
+            dev = _raid5()
             replay_trace(packed, dev, 1.0, engine=engine)
             return _end_state(dev)
 

@@ -287,7 +287,9 @@ class TestKernelAwareScheduling:
 
         assert kernel_sweep_eligible(_packed_read_trace(), hdd_factory)
 
-    def test_probe_rejects_object_trace_and_parity_writes(self, _registry_off):
+    def test_probe_rejects_object_trace_accepts_parity_writes(
+        self, _registry_off
+    ):
         from repro.trace.record import READ, Bunch, IOPackage, Trace
         from repro.workload.parallel import kernel_sweep_eligible
 
@@ -295,8 +297,18 @@ class TestKernelAwareScheduling:
             [Bunch(0.0, [IOPackage(0, 4096, READ)])], label="obj"
         )
         assert not kernel_sweep_eligible(obj, hdd_factory)
-        # RAID-5 parity writes take the event engine per point.
-        assert not kernel_sweep_eligible(_packed_write_trace(), hdd_factory)
+        # RAID-5 parity writes plan as two-phase RMW flights and
+        # qualify for the kernel; degraded arrays stay event-driven.
+        assert kernel_sweep_eligible(_packed_write_trace(), hdd_factory)
+
+        def degraded_factory():
+            device = hdd_factory()
+            device.fail_disk(0)
+            return device
+
+        assert not kernel_sweep_eligible(
+            _packed_write_trace(), degraded_factory
+        )
 
     def test_probe_rejects_under_telemetry(self):
         from repro.telemetry import enabled_telemetry
